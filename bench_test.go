@@ -1,0 +1,392 @@
+package rnl
+
+// The benchmark harness: one benchmark per figure or quantitative claim in
+// the paper's evaluation (see the per-experiment index in DESIGN.md and
+// measured results in EXPERIMENTS.md).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rnl/internal/baseline"
+	"rnl/internal/compress"
+	"rnl/internal/l1switch"
+	"rnl/internal/netsim"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+	"rnl/internal/wanem"
+)
+
+// templateFrames builds n Ethernet-sized frames from one template, varying
+// only sequence fields — the paper's performance-testing workload (§4).
+func templateFrames(n, size int) [][]byte {
+	base := make([]byte, size)
+	r := rand.New(rand.NewSource(99))
+	r.Read(base)
+	base[12], base[13] = 0x08, 0x00 // look like IPv4 at a glance
+	out := make([][]byte, n)
+	for i := range out {
+		f := append([]byte(nil), base...)
+		binary.BigEndian.PutUint32(f[38:42], uint32(i))
+		out[i] = f
+	}
+	return out
+}
+
+// randomFrames builds n frames of random content (incompressible).
+func randomFrames(n, size int) [][]byte {
+	r := rand.New(rand.NewSource(7))
+	out := make([][]byte, n)
+	for i := range out {
+		f := make([]byte, size)
+		r.Read(f)
+		out[i] = f
+	}
+	return out
+}
+
+// pumpWindowed pushes b.N frames through a send function with a bounded
+// in-flight window, waiting for all receptions. recvCount must increase as
+// frames land.
+func pumpWindowed(b *testing.B, frames [][]byte, window int, send func([]byte), recvCount func() uint64) {
+	b.Helper()
+	start := recvCount()
+	sent := 0
+	for sent < b.N {
+		inFlight := uint64(sent) - (recvCount() - start)
+		if int(inFlight) >= window {
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		send(frames[sent%len(frames)])
+		sent++
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for recvCount()-start < uint64(b.N) {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d/%d frames arrived", recvCount()-start, b.N)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// BenchmarkFig4PacketFlow measures the paper's Fig. 4 path — capture at
+// the source RIS, wrap, route-server matrix lookup, wrap, deliver at the
+// destination RIS — as sustained pipelined throughput.
+func BenchmarkFig4PacketFlow(b *testing.B) {
+	for _, size := range []int{64, 512, 1500} {
+		b.Run(fmt.Sprintf("frame=%dB", size), func(b *testing.B) {
+			tp := newTunnelPair(b, false, nil)
+			defer tp.Close()
+			frames := templateFrames(64, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			pumpWindowed(b, frames, 128, tp.A.Transmit, tp.Received)
+		})
+	}
+}
+
+// BenchmarkFig4Latency measures one-frame round-trip through the tunnel
+// (A→server→B, then B→server→A), the "added delay" of the virtual wire.
+func BenchmarkFig4Latency(b *testing.B) {
+	tp := newTunnelPair(b, false, nil)
+	defer tp.Close()
+	echo := make(chan struct{}, 1)
+	tp.SetOnReceiveB(func(f []byte) { tp.B.Transmit(f) })
+	got := atomic.Uint64{}
+	tp.A.SetReceiver(func([]byte) {
+		got.Add(1)
+		select {
+		case echo <- struct{}{}:
+		default:
+		}
+	})
+	frame := templateFrames(1, 256)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.A.Transmit(frame)
+		select {
+		case <-echo:
+		case <-time.After(5 * time.Second):
+			b.Fatal("echo lost")
+		}
+	}
+}
+
+// BenchmarkTunnelCompression compares the tunnel with and without the §4
+// template compression, on compressible and incompressible workloads.
+// The interesting metric is wire-bytes/op (the provisioned Internet
+// bandwidth the paper worries about).
+func BenchmarkTunnelCompression(b *testing.B) {
+	workloads := []struct {
+		name   string
+		frames [][]byte
+	}{
+		{"template", templateFrames(512, 1000)},
+		{"random", randomFrames(512, 1000)},
+	}
+	for _, comp := range []bool{false, true} {
+		for _, wl := range workloads {
+			name := fmt.Sprintf("compress=%v/%s", comp, wl.name)
+			b.Run(name, func(b *testing.B) {
+				tp := newTunnelPair(b, comp, nil)
+				defer tp.Close()
+				b.SetBytes(1000)
+				b.ResetTimer()
+				pumpWindowed(b, wl.frames, 128, tp.A.Transmit, tp.Received)
+				b.StopTimer()
+				st := tp.Server.StatsSnapshot()
+				if fwd := st["packets_forwarded"]; fwd > 0 {
+					// bytes_forwarded counts decompressed payload; compare
+					// against what actually crossed the socket via the RIS
+					// agent stats — approximated by the compressor ratio on
+					// a shadow run below in EXPERIMENTS.md.
+					b.ReportMetric(float64(st["bytes_forwarded"])/float64(fwd), "payloadB/op")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompressionRatio reports the §4 compression ratio on the
+// template workload directly (compressor in isolation).
+func BenchmarkCompressionRatio(b *testing.B) {
+	for _, wl := range []struct {
+		name   string
+		frames [][]byte
+	}{
+		{"template", templateFrames(512, 1000)},
+		{"random", randomFrames(512, 1000)},
+	} {
+		b.Run(wl.name, func(b *testing.B) {
+			c := compress.NewCompressor()
+			b.SetBytes(1000)
+			for i := 0; i < b.N; i++ {
+				c.Compress(wl.frames[i%len(wl.frames)])
+			}
+			b.ReportMetric(c.Ratio(), "ratio")
+		})
+	}
+}
+
+// BenchmarkFig7L1SwitchVsTunnel compares the two data paths of Fig. 7: the
+// programmable layer-1 cross connect bridging two co-located ports
+// directly, versus the same two ports connected through the Internet
+// tunnel.
+func BenchmarkFig7L1SwitchVsTunnel(b *testing.B) {
+	const size = 1000
+	frames := templateFrames(64, size)
+
+	b.Run("l1-bridged", func(b *testing.B) {
+		x := l1switch.New("mcc", []string{"p1", "p2"})
+		a := netsim.NewIface("dev-a")
+		bb := netsim.NewIface("dev-b")
+		w1 := netsim.Connect(a, x.Port("p1"), nil)
+		w2 := netsim.Connect(bb, x.Port("p2"), nil)
+		defer w1.Disconnect()
+		defer w2.Disconnect()
+		if err := x.Bridge("p1", "p2"); err != nil {
+			b.Fatal(err)
+		}
+		var got atomic.Uint64
+		bb.SetReceiver(func([]byte) { got.Add(1) })
+		b.SetBytes(size)
+		b.ResetTimer()
+		pumpWindowed(b, frames, 128, a.Transmit, got.Load)
+	})
+	b.Run("tunneled", func(b *testing.B) {
+		tp := newTunnelPair(b, false, nil)
+		defer tp.Close()
+		b.SetBytes(size)
+		b.ResetTimer()
+		pumpWindowed(b, frames, 128, tp.A.Transmit, tp.Received)
+	})
+}
+
+// BenchmarkRouteServerScaling measures §4's scaling concern: N concurrent
+// labs funneled through one central route server versus one route server
+// per user. Reported as aggregate throughput across all labs.
+func BenchmarkRouteServerScaling(b *testing.B) {
+	const size = 512
+	frames := templateFrames(64, size)
+
+	runLabs := func(b *testing.B, servers []*routeserver.Server, labsPerServer int) {
+		type labT struct {
+			a    *netsim.Iface
+			got  *atomic.Uint64
+			stop []func()
+		}
+		var labs []*labT
+		for si, s := range servers {
+			for li := 0; li < labsPerServer; li++ {
+				lab := &labT{got: &atomic.Uint64{}}
+				addr := s.Addr()
+				join := func(name string) (*netsim.Iface, routeserver.PortKey) {
+					dev := netsim.NewIface(name + "-dev")
+					nic := netsim.NewIface(name + "-nic")
+					w := netsim.Connect(dev, nic, nil)
+					lab.stop = append(lab.stop, w.Disconnect)
+					ag, err := ris.New(ris.Config{
+						ServerAddr: addr, PCName: name,
+						Routers: []ris.RouterDef{{Name: name, Ports: []ris.PortMap{{Name: "p0", NIC: nic}}}},
+					}, quietLogger())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := ag.Start(); err != nil {
+						b.Fatal(err)
+					}
+					lab.stop = append(lab.stop, ag.Close)
+					rid, pid, _ := ag.PortID(name, "p0")
+					return dev, routeserver.PortKey{Router: rid, Port: pid}
+				}
+				aDev, pkA := join(fmt.Sprintf("s%dl%da", si, li))
+				bDev, pkB := join(fmt.Sprintf("s%dl%db", si, li))
+				bDev.SetReceiver(func([]byte) { lab.got.Add(1) })
+				if err := s.Deploy(fmt.Sprintf("lab-%d-%d", si, li), []routeserver.Link{{A: pkA, B: pkB}}); err != nil {
+					b.Fatal(err)
+				}
+				lab.a = aDev
+				labs = append(labs, lab)
+			}
+		}
+		defer func() {
+			for _, l := range labs {
+				for i := len(l.stop) - 1; i >= 0; i-- {
+					l.stop[i]()
+				}
+			}
+		}()
+		total := func() uint64 {
+			var t uint64
+			for _, l := range labs {
+				t += l.got.Load()
+			}
+			return t
+		}
+		b.SetBytes(int64(size * len(labs)))
+		b.ResetTimer()
+		// Each op pushes one frame per lab, window applied globally.
+		start := total()
+		sent := uint64(0)
+		for i := 0; i < b.N; i++ {
+			for int(sent-(total()-start)) >= 128*len(labs) {
+				time.Sleep(50 * time.Microsecond)
+			}
+			for _, l := range labs {
+				l.a.Transmit(frames[i%len(frames)])
+				sent++
+			}
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for total()-start < sent {
+			if time.Now().After(deadline) {
+				b.Fatalf("only %d/%d frames arrived", total()-start, sent)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	for _, nLabs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("central/labs=%d", nLabs), func(b *testing.B) {
+			s := routeserver.New(routeserver.Options{Logger: quietLogger()})
+			if _, err := s.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			runLabs(b, []*routeserver.Server{s}, nLabs)
+		})
+	}
+	for _, nLabs := range []int{4, 8} {
+		b.Run(fmt.Sprintf("per-user/labs=%d", nLabs), func(b *testing.B) {
+			var servers []*routeserver.Server
+			for i := 0; i < nLabs; i++ {
+				s := routeserver.New(routeserver.Options{Logger: quietLogger()})
+				if _, err := s.Listen("127.0.0.1:0"); err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				servers = append(servers, s)
+			}
+			runLabs(b, servers, 1)
+		})
+	}
+}
+
+// BenchmarkTunnelUnderDelay quantifies §4's delay concern: tunnel
+// round-trips with injected WAN latency on the RIS uplink. Configuration
+// testing (low volume) tolerates it; the numbers show why performance
+// testing needs the Fig. 7 layer-1 bypass instead.
+func BenchmarkTunnelUnderDelay(b *testing.B) {
+	for _, delay := range []time.Duration{0, 5 * time.Millisecond, 20 * time.Millisecond} {
+		b.Run(fmt.Sprintf("wan=%v", delay), func(b *testing.B) {
+			cond := wanem.New(wanem.Profile{Delay: delay}, 1)
+			tp := newTunnelPair(b, false, cond)
+			defer tp.Close()
+			echo := make(chan struct{}, 1)
+			tp.SetOnReceiveB(func(f []byte) { tp.B.Transmit(f) })
+			tp.A.SetReceiver(func([]byte) {
+				select {
+				case echo <- struct{}{}:
+				default:
+				}
+			})
+			frame := templateFrames(1, 256)[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp.A.Transmit(frame)
+				select {
+				case <-echo:
+				case <-time.After(10 * time.Second):
+					b.Fatal("echo lost")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireMechanisms compares raw per-frame forwarding cost of the
+// three virtual-wire mechanisms of §5 on plain IP traffic (the traffic
+// class all three carry; only RNL's wire carries everything else — see
+// TestWireFidelityComparison in internal/baseline).
+func BenchmarkWireMechanisms(b *testing.B) {
+	const size = 512
+	frames := templateFrames(64, size)
+	mk := func(name string, connect func(a, bIf *netsim.Iface) func()) {
+		b.Run(name, func(b *testing.B) {
+			a, bb := netsim.NewIface("a"), netsim.NewIface("b")
+			var got atomic.Uint64
+			bb.SetReceiver(func([]byte) { got.Add(1) })
+			disconnect := connect(a, bb)
+			defer disconnect()
+			b.SetBytes(size)
+			b.ResetTimer()
+			pumpWindowed(b, frames, 128, a.Transmit, got.Load)
+		})
+	}
+	mk("direct", func(a, bIf *netsim.Iface) func() {
+		w := netsim.Connect(a, bIf, nil)
+		return w.Disconnect
+	})
+	mk("vlan", func(a, bIf *netsim.Iface) func() {
+		w := baseline.ConnectVLAN(a, bIf)
+		return w.Disconnect
+	})
+	mk("vpn", func(a, bIf *netsim.Iface) func() {
+		w := baseline.ConnectVPN(a, bIf)
+		return w.Disconnect
+	})
+	mk("rnl-tunnel", func(a, bIf *netsim.Iface) func() {
+		// a/bIf already have receivers; rebuild via tunnelPair ports.
+		tp := newTunnelPair(b, false, nil)
+		// Redirect: transmit on tp.A; count at tp.B into got via the
+		// caller's receiver on bIf is not reachable here, so bridge:
+		tp.SetOnReceiveB(func(f []byte) { bIf.Deliver(f) })
+		a.SetOutput(func(f []byte) { tp.A.Transmit(f) })
+		return tp.Close
+	})
+}

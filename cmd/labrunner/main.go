@@ -1,0 +1,189 @@
+// Command labrunner executes a suite of automated network configuration
+// tests against an RNL server — the paper's "nightly unit test" (§3.2):
+// run it from cron, read the log in the morning, and know whether the
+// configuration change can roll out.
+//
+// The suite is a JSON file:
+//
+//	{
+//	  "tests": [
+//	    {
+//	      "name": "subnet A isolated from subnet B",
+//	      "design": "fig6",
+//	      "user": "nightly",
+//	      "steps": [
+//	        {"kind": "console", "router": "fig6-r1", "commands": ["enable", "show ip route"]},
+//	        {"kind": "wait", "ms": 500},
+//	        {"kind": "probe",
+//	         "inject_router": "fig6-r3", "inject_port": "e2",
+//	         "expect_router": "fig6-r4", "expect_port": "e2",
+//	         "udp": {"src_mac": "02:00:00:00:00:01", "dst_mac": "02:00:00:00:00:02",
+//	                 "src_ip": "10.1.0.2", "dst_ip": "10.2.0.2",
+//	                 "src_port": 7, "dst_port": 9999, "payload": "nightly-probe"},
+//	         "expect": false, "within_ms": 1500}
+//	      ]
+//	    }
+//	  ]
+//	}
+//
+// Usage:
+//
+//	labrunner -server http://host:8080 -suite nightly.json [-token T]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/autotest"
+	"rnl/internal/packet"
+)
+
+// udpSpec describes a probe frame to build.
+type udpSpec struct {
+	SrcMAC  string `json:"src_mac"`
+	DstMAC  string `json:"dst_mac"`
+	SrcIP   string `json:"src_ip"`
+	DstIP   string `json:"dst_ip"`
+	SrcPort uint16 `json:"src_port"`
+	DstPort uint16 `json:"dst_port"`
+	Payload string `json:"payload"`
+}
+
+func (u *udpSpec) build() ([]byte, error) {
+	srcMAC, err := net.ParseMAC(u.SrcMAC)
+	if err != nil {
+		return nil, fmt.Errorf("src_mac: %w", err)
+	}
+	dstMAC, err := net.ParseMAC(u.DstMAC)
+	if err != nil {
+		return nil, fmt.Errorf("dst_mac: %w", err)
+	}
+	srcIP, dstIP := net.ParseIP(u.SrcIP), net.ParseIP(u.DstIP)
+	if srcIP == nil || dstIP == nil {
+		return nil, fmt.Errorf("bad src_ip/dst_ip %q/%q", u.SrcIP, u.DstIP)
+	}
+	return packet.BuildUDP(srcMAC, dstMAC, srcIP, dstIP, u.SrcPort, u.DstPort, []byte(u.Payload))
+}
+
+// stepSpec is one step in the suite file.
+type stepSpec struct {
+	Kind string `json:"kind"` // console | wait | probe
+
+	// console
+	Router   string   `json:"router,omitempty"`
+	Commands []string `json:"commands,omitempty"`
+
+	// wait
+	MS int `json:"ms,omitempty"`
+
+	// probe
+	InjectRouter string   `json:"inject_router,omitempty"`
+	InjectPort   string   `json:"inject_port,omitempty"`
+	FromPort     bool     `json:"from_port,omitempty"`
+	ExpectRouter string   `json:"expect_router,omitempty"`
+	ExpectPort   string   `json:"expect_port,omitempty"`
+	UDP          *udpSpec `json:"udp,omitempty"`
+	MatchPayload string   `json:"match_payload,omitempty"`
+	Expect       bool     `json:"expect"`
+	WithinMS     int      `json:"within_ms,omitempty"`
+	Count        int      `json:"count,omitempty"`
+}
+
+func (s *stepSpec) toStep() (autotest.Step, error) {
+	switch s.Kind {
+	case "console":
+		if s.Router == "" || len(s.Commands) == 0 {
+			return nil, fmt.Errorf("console step needs router and commands")
+		}
+		return autotest.Console{Router: s.Router, Commands: s.Commands}, nil
+	case "wait":
+		return autotest.Wait{Duration: time.Duration(s.MS) * time.Millisecond}, nil
+	case "probe":
+		if s.UDP == nil {
+			return nil, fmt.Errorf("probe step needs a udp frame spec")
+		}
+		frame, err := s.UDP.build()
+		if err != nil {
+			return nil, fmt.Errorf("probe frame: %w", err)
+		}
+		match := autotest.MatchUDPPayload([]byte(s.UDP.Payload))
+		if s.MatchPayload != "" {
+			match = autotest.MatchUDPPayload([]byte(s.MatchPayload))
+		}
+		p := autotest.Probe{
+			Name:         fmt.Sprintf("%s.%s->%s.%s", s.InjectRouter, s.InjectPort, s.ExpectRouter, s.ExpectPort),
+			InjectRouter: s.InjectRouter, InjectPort: s.InjectPort,
+			FromPort: s.FromPort, Frame: frame, Count: s.Count,
+			ExpectRouter: s.ExpectRouter, ExpectPort: s.ExpectPort,
+			Match: match, Expect: s.Expect,
+			Within: time.Duration(s.WithinMS) * time.Millisecond,
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("unknown step kind %q", s.Kind)
+	}
+}
+
+// testSpec is one test case in the suite file.
+type testSpec struct {
+	Name           string     `json:"name"`
+	Design         string     `json:"design,omitempty"`
+	User           string     `json:"user,omitempty"`
+	RestoreConfigs bool       `json:"restore_configs,omitempty"`
+	Steps          []stepSpec `json:"steps"`
+}
+
+// suiteSpec is the whole file.
+type suiteSpec struct {
+	Tests []testSpec `json:"tests"`
+}
+
+func main() {
+	var (
+		server = flag.String("server", "http://127.0.0.1:8080", "RNL web server URL")
+		token  = flag.String("token", "", "API token")
+		suite  = flag.String("suite", "nightly.json", "suite file")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "labrunner: reading suite: %v\n", err)
+		os.Exit(2)
+	}
+	var spec suiteSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		fmt.Fprintf(os.Stderr, "labrunner: parsing suite: %v\n", err)
+		os.Exit(2)
+	}
+	var cases []autotest.TestCase
+	for _, ts := range spec.Tests {
+		tc := autotest.TestCase{
+			Name: ts.Name, Design: ts.Design, User: ts.User, RestoreConfigs: ts.RestoreConfigs,
+		}
+		for i, ss := range ts.Steps {
+			step, err := ss.toStep()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "labrunner: test %q step %d: %v\n", ts.Name, i, err)
+				os.Exit(2)
+			}
+			tc.Steps = append(tc.Steps, step)
+		}
+		cases = append(cases, tc)
+	}
+
+	runner := &autotest.Runner{Client: api.NewClient(*server, *token), Log: os.Stderr}
+	results := runner.RunSuite(cases)
+	autotest.WriteReport(os.Stdout, results)
+	for _, res := range results {
+		if !res.Passed {
+			os.Exit(1)
+		}
+	}
+}

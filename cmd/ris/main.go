@@ -1,0 +1,205 @@
+// Command ris runs a Router Interface Software agent: the lab-PC process
+// that fronts network equipment and joins it to the labs (paper §2.2).
+//
+// Because this reproduction has no physical routers, the agent also stands
+// up the emulated equipment it fronts, described by a JSON config file:
+//
+//	{
+//	  "server": "127.0.0.1:9000",
+//	  "pc_name": "pc-sanjose-1",
+//	  "compress": true,
+//	  "devices": [
+//	    {"kind": "host",   "name": "s1",  "ip": "10.0.0.1/24", "gateway": "10.0.0.254"},
+//	    {"kind": "router", "name": "r1",  "ports": ["e0", "e1"]},
+//	    {"kind": "switch", "name": "sw1", "ports": ["Gi0/1", "Gi0/2", "Gi0/3"]},
+//	    {"kind": "fwsm",   "name": "fw1", "unit": 1}
+//	  ]
+//	}
+//
+// Usage:
+//
+//	ris -config ris.json [-fast]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rnl/internal/device"
+	"rnl/internal/netsim"
+	"rnl/internal/ris"
+)
+
+// deviceSpec is one piece of equipment in the config file.
+type deviceSpec struct {
+	Kind    string   `json:"kind"` // host | router | switch | fwsm
+	Name    string   `json:"name"`
+	IP      string   `json:"ip,omitempty"`      // host: "a.b.c.d/len"
+	Gateway string   `json:"gateway,omitempty"` // host
+	Ports   []string `json:"ports,omitempty"`   // router/switch
+	Unit    uint32   `json:"unit,omitempty"`    // fwsm
+}
+
+// fileConfig is the ris.json schema.
+type fileConfig struct {
+	Server   string       `json:"server"`
+	PCName   string       `json:"pc_name"`
+	Compress bool         `json:"compress"`
+	Devices  []deviceSpec `json:"devices"`
+}
+
+// buildDevice stands up one emulated device and returns its RIS router
+// definition plus a shutdown func.
+func buildDevice(spec deviceSpec, timers device.Timers) (ris.RouterDef, func(), error) {
+	var (
+		def   ris.RouterDef
+		stops []func()
+	)
+	stop := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	type consoled interface {
+		Port(string) *netsim.Iface
+		Close()
+	}
+	var (
+		dev       consoled
+		portNames []string
+		model     string
+		attach    func(io.ReadWriter)
+	)
+	switch spec.Kind {
+	case "host":
+		h := device.NewHost(spec.Name, timers)
+		ip, mask, err := parseCIDR(spec.IP)
+		if err != nil {
+			h.Close()
+			return def, nil, fmt.Errorf("host %s: %w", spec.Name, err)
+		}
+		var gw net.IP
+		if spec.Gateway != "" {
+			gw = net.ParseIP(spec.Gateway)
+			if gw == nil {
+				h.Close()
+				return def, nil, fmt.Errorf("host %s: bad gateway %q", spec.Name, spec.Gateway)
+			}
+		}
+		if err := h.Configure(ip, mask, gw); err != nil {
+			h.Close()
+			return def, nil, err
+		}
+		dev, portNames, model = h, []string{"eth0"}, "Linux Server"
+		attach = func(rw io.ReadWriter) { device.AttachConsole(h, rw) }
+	case "router":
+		if len(spec.Ports) == 0 {
+			return def, nil, fmt.Errorf("router %s: needs ports", spec.Name)
+		}
+		r := device.NewRouter(spec.Name, spec.Ports, timers)
+		dev, portNames, model = r, spec.Ports, "7200 Series"
+		attach = func(rw io.ReadWriter) { device.AttachConsole(r, rw) }
+	case "switch":
+		if len(spec.Ports) == 0 {
+			return def, nil, fmt.Errorf("switch %s: needs ports", spec.Name)
+		}
+		s := device.NewSwitch(spec.Name, spec.Ports, timers)
+		dev, portNames, model = s, spec.Ports, "Catalyst 6500"
+		attach = func(rw io.ReadWriter) { device.AttachConsole(s, rw) }
+	case "fwsm":
+		unit := spec.Unit
+		if unit == 0 {
+			unit = 1
+		}
+		f := device.NewFWSM(spec.Name, unit, timers)
+		dev, portNames, model = f, []string{"inside", "outside", "fail"}, "FWSM"
+		attach = func(rw io.ReadWriter) { device.AttachConsole(f, rw) }
+	default:
+		return def, nil, fmt.Errorf("unknown device kind %q", spec.Kind)
+	}
+	stops = append(stops, dev.Close)
+
+	def = ris.RouterDef{Name: spec.Name, Model: model, Description: spec.Kind + " " + spec.Name}
+	for _, pn := range portNames {
+		nic := netsim.NewIface(spec.Name + "/" + pn)
+		w := netsim.Connect(dev.Port(pn), nic, nil)
+		stops = append(stops, w.Disconnect)
+		def.Ports = append(def.Ports, ris.PortMap{Name: pn, NIC: nic, Description: pn})
+	}
+	sp := netsim.NewSerialPort()
+	stops = append(stops, sp.Close)
+	go attach(sp.DeviceEnd)
+	def.Console = sp.PCEnd
+	return def, stop, nil
+}
+
+func parseCIDR(s string) (net.IP, net.IPMask, error) {
+	ip, ipnet, err := net.ParseCIDR(s)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad CIDR %q: %w", s, err)
+	}
+	return ip.To4(), ipnet.Mask, nil
+}
+
+func main() {
+	var (
+		configPath = flag.String("config", "ris.json", "path to the RIS configuration")
+		fast       = flag.Bool("fast", false, "use fast protocol timers (demos)")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		log.Error("reading config", "err", err)
+		os.Exit(1)
+	}
+	var fc fileConfig
+	if err := json.Unmarshal(raw, &fc); err != nil {
+		log.Error("parsing config", "err", err)
+		os.Exit(1)
+	}
+	timers := device.DefaultTimers()
+	if *fast {
+		timers = device.FastTimers()
+	}
+	cfg := ris.Config{ServerAddr: fc.Server, PCName: fc.PCName, Compress: fc.Compress}
+	var stops []func()
+	defer func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}()
+	for _, spec := range fc.Devices {
+		def, stop, err := buildDevice(spec, timers)
+		if err != nil {
+			log.Error("building device", "err", err)
+			os.Exit(1)
+		}
+		stops = append(stops, stop)
+		cfg.Routers = append(cfg.Routers, def)
+	}
+	agent, err := ris.New(cfg, log)
+	if err != nil {
+		log.Error("invalid configuration", "err", err)
+		os.Exit(1)
+	}
+	log.Info("joining labs", "server", fc.Server, "devices", len(cfg.Routers))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		cancel()
+	}()
+	agent.Run(ctx)
+}

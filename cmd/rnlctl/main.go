@@ -1,0 +1,326 @@
+// Command rnlctl is the command-line client for RNL's web-services API —
+// everything the browser UI can do, scriptable (paper §3.2).
+//
+// Usage:
+//
+//	rnlctl [-server http://host:8080] [-token T] <command> [args]
+//
+// Commands:
+//
+//	inventory                          list registered routers and ports
+//	stats                              route server counters
+//	designs                            list saved designs
+//	design-get <name>                  print a design as JSON
+//	design-save <file.json>            save a design from a JSON file
+//	design-delete <name>               delete a saved design
+//	save-configs <design>              dump router configs into a design
+//	reserve <user> <minutes> <router...>  book routers starting now
+//	next-free <minutes> <router...>    find the next common free slot
+//	schedule <router>                  show a router's bookings
+//	deploy <design> <user> [restore]   deploy a saved design
+//	teardown <design>                  tear a deployment down
+//	deployments                        list active deployments
+//	console <router> <command...>      run console commands
+//	attach <router>                    interactive console (VT100-style)
+//	flash <router> <version>           load a firmware version via console
+//	generate <router> <port> <hexframe> [from-port]  inject a frame
+//	capture <router> <port> <seconds>  capture and print frames
+//	pcap <router> <port> <seconds> <file.pcap>  capture to a pcap file
+//	stream <router> <port> <hexframe> <pps> <count>  rate-controlled generation
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/topology"
+)
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rnlctl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func printJSON(v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal("encoding output: %v", err)
+	}
+	fmt.Println(string(b))
+}
+
+func main() {
+	var (
+		server = flag.String("server", "http://127.0.0.1:8080", "RNL web server URL")
+		token  = flag.String("token", "", "API token")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fatal("missing command; see -h")
+	}
+	c := api.NewClient(*server, *token)
+	cmd, rest := args[0], args[1:]
+
+	switch cmd {
+	case "inventory":
+		inv, err := c.Inventory()
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, r := range inv {
+			state := "online"
+			if !r.Online {
+				state = "offline"
+			}
+			fmt.Printf("%-4d %-20s %-16s fw=%-8s pc=%-14s ports=%d console=%v %s\n",
+				r.ID, r.Name, r.Model, r.Firmware, r.PC, len(r.Ports), r.HasConsole, state)
+		}
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			fatal("%v", err)
+		}
+		printJSON(st)
+	case "designs":
+		names, err := c.Designs()
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "design-get":
+		need(rest, 1, "design-get <name>")
+		d, err := c.GetDesign(rest[0])
+		if err != nil {
+			fatal("%v", err)
+		}
+		printJSON(d)
+	case "design-save":
+		need(rest, 1, "design-save <file.json>")
+		f, err := os.Open(rest[0])
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		d, err := topology.Import(f)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := c.SaveDesign(d); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("saved design %q\n", d.Name)
+	case "design-delete":
+		need(rest, 1, "design-delete <name>")
+		if err := c.DeleteDesign(rest[0]); err != nil {
+			fatal("%v", err)
+		}
+	case "save-configs":
+		need(rest, 1, "save-configs <design>")
+		d, err := c.SaveConfigs(rest[0])
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("saved configurations for %d routers\n", len(d.Configs))
+	case "reserve":
+		if len(rest) < 3 {
+			fatal("usage: reserve <user> <minutes> <router...>")
+		}
+		mins, err := strconv.Atoi(rest[1])
+		if err != nil {
+			fatal("bad minutes %q", rest[1])
+		}
+		res, err := c.Reserve(api.ReserveRequest{
+			User: rest[0], Routers: rest[2:],
+			Start: time.Now(), End: time.Now().Add(time.Duration(mins) * time.Minute),
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, r := range res {
+			fmt.Printf("reservation %d: %s until %s\n", r.ID, r.Router, r.End.Format(time.RFC3339))
+		}
+	case "next-free":
+		if len(rest) < 2 {
+			fatal("usage: next-free <minutes> <router...>")
+		}
+		mins, err := strconv.Atoi(rest[0])
+		if err != nil {
+			fatal("bad minutes %q", rest[0])
+		}
+		start, err := c.NextFree(api.NextFreeRequest{
+			Routers: rest[1:], Duration: time.Duration(mins) * time.Minute,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(start.Format(time.RFC3339))
+	case "schedule":
+		need(rest, 1, "schedule <router>")
+		sched, err := c.Schedule(rest[0])
+		if err != nil {
+			fatal("%v", err)
+		}
+		printJSON(sched)
+	case "deploy":
+		if len(rest) < 2 {
+			fatal("usage: deploy <design> <user> [restore]")
+		}
+		req := api.DeployRequest{Design: rest[0], User: rest[1]}
+		if len(rest) > 2 && rest[2] == "restore" {
+			req.RestoreConfigs = true
+		}
+		if err := c.Deploy(req); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("deployed %q\n", rest[0])
+	case "teardown":
+		need(rest, 1, "teardown <design>")
+		if err := c.Teardown(rest[0]); err != nil {
+			fatal("%v", err)
+		}
+	case "deployments":
+		deps, err := c.Deployments()
+		if err != nil {
+			fatal("%v", err)
+		}
+		printJSON(deps)
+	case "console":
+		if len(rest) < 2 {
+			fatal("usage: console <router> <command...>")
+		}
+		outs, err := c.ConsoleExec(api.ConsoleExecRequest{Router: rest[0], Commands: rest[1:]})
+		if err != nil {
+			fatal("%v", err)
+		}
+		for i, out := range outs {
+			fmt.Printf("> %s\n%s\n", rest[1+i], out)
+		}
+	case "attach":
+		need(rest, 1, "attach <router>")
+		conn, err := c.AttachConsole(rest[0])
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer conn.Close()
+		fmt.Fprintf(os.Stderr, "attached to %s console; Ctrl-D to detach\n", rest[0])
+		done := make(chan struct{}, 2)
+		go func() { io.Copy(os.Stdout, conn); done <- struct{}{} }()
+		go func() { io.Copy(conn, os.Stdin); done <- struct{}{} }()
+		<-done
+	case "flash":
+		need(rest, 2, "flash <router> <version>")
+		if err := c.FlashFirmware(rest[0], rest[1]); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("flashed %s to %s\n", rest[0], rest[1])
+	case "generate":
+		if len(rest) < 3 {
+			fatal("usage: generate <router> <port> <hexframe> [from-port]")
+		}
+		frame, err := hex.DecodeString(strings.ReplaceAll(rest[2], ":", ""))
+		if err != nil {
+			fatal("bad hex frame: %v", err)
+		}
+		req := api.GenerateRequest{Router: rest[0], Port: rest[1], Frame: frame}
+		if len(rest) > 3 && rest[3] == "from-port" {
+			req.FromPort = true
+		}
+		if err := c.Generate(req); err != nil {
+			fatal("%v", err)
+		}
+	case "capture":
+		if len(rest) < 3 {
+			fatal("usage: capture <router> <port> <seconds>")
+		}
+		secs, err := strconv.Atoi(rest[2])
+		if err != nil {
+			fatal("bad seconds %q", rest[2])
+		}
+		id, err := c.OpenCapture(api.CaptureRequest{Router: rest[0], Port: rest[1]})
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer c.CloseCapture(id)
+		deadline := time.Now().Add(time.Duration(secs) * time.Second)
+		for time.Now().Before(deadline) {
+			frames, err := c.ReadCapture(id, 100, time.Second)
+			if err != nil {
+				fatal("%v", err)
+			}
+			for _, f := range frames {
+				fmt.Printf("%s %-9s %d bytes  %s\n",
+					f.When.Format("15:04:05.000"), f.Dir, len(f.Frame), hex.EncodeToString(f.Frame))
+			}
+		}
+	case "pcap":
+		if len(rest) < 4 {
+			fatal("usage: pcap <router> <port> <seconds> <file.pcap>")
+		}
+		secs, err := strconv.Atoi(rest[2])
+		if err != nil {
+			fatal("bad seconds %q", rest[2])
+		}
+		id, err := c.OpenCapture(api.CaptureRequest{Router: rest[0], Port: rest[1], Depth: 4096})
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer c.CloseCapture(id)
+		raw, err := c.DownloadPcap(id, 1<<20, time.Duration(secs)*time.Second)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(rest[3], raw, 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %d bytes to %s\n", len(raw), rest[3])
+	case "stream":
+		if len(rest) < 5 {
+			fatal("usage: stream <router> <port> <hexframe> <pps> <count>")
+		}
+		frame, err := hex.DecodeString(strings.ReplaceAll(rest[2], ":", ""))
+		if err != nil {
+			fatal("bad hex frame: %v", err)
+		}
+		pps, err1 := strconv.Atoi(rest[3])
+		count, err2 := strconv.Atoi(rest[4])
+		if err1 != nil || err2 != nil {
+			fatal("bad pps/count")
+		}
+		id, err := c.StartStream(api.StreamRequest{
+			Router: rest[0], Port: rest[1], Frame: frame, PPS: pps, Count: count,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		for {
+			st, err := c.StreamStatus(id)
+			if err != nil {
+				fatal("%v", err)
+			}
+			fmt.Printf("stream %d: sent %d\n", id, st.Sent)
+			if !st.Running {
+				break
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+	default:
+		fatal("unknown command %q", cmd)
+	}
+}
+
+func need(rest []string, n int, usage string) {
+	if len(rest) < n {
+		fatal("usage: %s", usage)
+	}
+}

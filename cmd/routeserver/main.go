@@ -1,0 +1,68 @@
+// Command routeserver runs RNL's central back-end: the tunnel endpoint RIS
+// agents join (the paper's netlabs.accenture.com) plus the web server with
+// the browser UI and the web-services API.
+//
+// Usage:
+//
+//	routeserver [-tunnel :9000] [-http :8080] [-compress] [-token T] [-store DIR]
+package main
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/reservation"
+	"rnl/internal/routeserver"
+	"rnl/internal/sim"
+	"rnl/internal/topology"
+)
+
+func main() {
+	var (
+		tunnelAddr = flag.String("tunnel", ":9000", "address for RIS tunnel connections")
+		httpAddr   = flag.String("http", ":8080", "address for the web UI and API")
+		compress   = flag.Bool("compress", false, "accept tunnel packet compression")
+		token      = flag.String("token", "", "API token (empty disables auth)")
+		storeDir   = flag.String("store", "", "directory for persisted designs (empty = memory only)")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	rs := routeserver.New(routeserver.Options{AllowCompression: *compress, Logger: log})
+	boundTunnel, err := rs.Listen(*tunnelAddr)
+	if err != nil {
+		log.Error("tunnel listen failed", "err", err)
+		os.Exit(1)
+	}
+	store, err := topology.NewStore(*storeDir)
+	if err != nil {
+		log.Error("design store failed", "err", err)
+		os.Exit(1)
+	}
+	web := api.NewServer(api.Config{
+		RouteServer:    rs,
+		Store:          store,
+		Calendar:       reservation.New(sim.Real{}),
+		Token:          *token,
+		ConsoleTimeout: 10 * time.Second,
+		Logger:         log,
+	})
+	boundHTTP, err := web.Listen(*httpAddr)
+	if err != nil {
+		log.Error("http listen failed", "err", err)
+		os.Exit(1)
+	}
+	log.Info("route server up", "tunnel", boundTunnel, "http", boundHTTP, "compress", *compress)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Info("shutting down")
+	web.Close()
+	rs.Close()
+}

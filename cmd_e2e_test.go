@@ -1,0 +1,189 @@
+package rnl
+
+// End-to-end test of the actual binaries: build cmd/routeserver, cmd/ris,
+// cmd/rnlctl and cmd/labrunner, run them as separate processes, and drive
+// a complete workflow — the distributed deployment the README describes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildBinaries compiles the four commands once into a temp dir.
+func buildBinaries(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"routeserver", "ris", "rnlctl", "labrunner"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = "."
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+	return bins
+}
+
+// freePort grabs an unused TCP port.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+// startProc launches a long-running binary and registers cleanup.
+func startProc(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+// ctl runs one rnlctl invocation and returns its stdout.
+func ctl(t *testing.T, bin, server string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-server", server}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("rnlctl %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	bins := buildBinaries(t)
+	httpPort, tunnelPort := freePort(t), freePort(t)
+	serverURL := fmt.Sprintf("http://127.0.0.1:%d", httpPort)
+
+	startProc(t, bins["routeserver"],
+		"-http", fmt.Sprintf("127.0.0.1:%d", httpPort),
+		"-tunnel", fmt.Sprintf("127.0.0.1:%d", tunnelPort),
+		"-compress")
+
+	// Wait for the web server to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", fmt.Sprintf("127.0.0.1:%d", httpPort), 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("routeserver never came up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A lab site: two hosts behind one RIS.
+	risCfg := map[string]any{
+		"server":   fmt.Sprintf("127.0.0.1:%d", tunnelPort),
+		"pc_name":  "pc-e2e",
+		"compress": true,
+		"devices": []map[string]any{
+			{"kind": "host", "name": "e2e-h1", "ip": "10.33.0.1/24"},
+			{"kind": "host", "name": "e2e-h2", "ip": "10.33.0.2/24"},
+		},
+	}
+	cfgPath := filepath.Join(t.TempDir(), "ris.json")
+	b, _ := json.Marshal(risCfg)
+	if err := os.WriteFile(cfgPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	startProc(t, bins["ris"], "-config", cfgPath, "-fast")
+
+	// Inventory should show both hosts once the RIS joins.
+	deadline = time.Now().Add(10 * time.Second)
+	var inv string
+	for time.Now().Before(deadline) {
+		inv = ctl(t, bins["rnlctl"], serverURL, "inventory")
+		if strings.Contains(inv, "e2e-h1") && strings.Contains(inv, "e2e-h2") {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !strings.Contains(inv, "e2e-h1") {
+		t.Fatalf("inventory never showed the site's hosts:\n%s", inv)
+	}
+
+	// Save a design, reserve, deploy.
+	design := `{
+	  "name": "e2e-lab",
+	  "routers": ["e2e-h1", "e2e-h2"],
+	  "links": [{"a": {"router": "e2e-h1", "port": "eth0"},
+	             "b": {"router": "e2e-h2", "port": "eth0"}}]
+	}`
+	designPath := filepath.Join(t.TempDir(), "design.json")
+	if err := os.WriteFile(designPath, []byte(design), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctl(t, bins["rnlctl"], serverURL, "design-save", designPath)
+	ctl(t, bins["rnlctl"], serverURL, "reserve", "e2e-user", "60", "e2e-h1", "e2e-h2")
+	ctl(t, bins["rnlctl"], serverURL, "deploy", "e2e-lab", "e2e-user")
+
+	// Console through the full stack: binary → HTTP → route server →
+	// tunnel → RIS → serial → device. Hosts answer pings of each other
+	// only if the virtual wire works, so use console ping + show.
+	out := ctl(t, bins["rnlctl"], serverURL, "console", "e2e-h1", "enable", "show ip")
+	if !strings.Contains(out, "10.33.0.1") {
+		t.Fatalf("console output wrong:\n%s", out)
+	}
+
+	// The labrunner drives a probe across the deployed wire.
+	suite := `{
+	  "tests": [{
+	    "name": "wire carries traffic",
+	    "steps": [{
+	      "kind": "probe",
+	      "inject_router": "e2e-h1", "inject_port": "eth0", "from_port": true,
+	      "expect_router": "e2e-h2", "expect_port": "eth0",
+	      "udp": {"src_mac": "02:00:00:00:00:01", "dst_mac": "02:00:00:00:00:02",
+	              "src_ip": "10.33.0.1", "dst_ip": "10.33.0.2",
+	              "src_port": 7, "dst_port": 9999, "payload": "e2e-probe"},
+	      "expect": true, "within_ms": 3000
+	    }]
+	  }]
+	}`
+	suitePath := filepath.Join(t.TempDir(), "suite.json")
+	if err := os.WriteFile(suitePath, []byte(suite), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runner := exec.Command(bins["labrunner"], "-server", serverURL, "-suite", suitePath)
+	runnerOut, err := runner.CombinedOutput()
+	if err != nil {
+		t.Fatalf("labrunner failed: %v\n%s", err, runnerOut)
+	}
+	if !strings.Contains(string(runnerOut), "1/1 test cases passed") {
+		t.Fatalf("labrunner report:\n%s", runnerOut)
+	}
+
+	// Stats show forwarded traffic; teardown cleans up.
+	stats := ctl(t, bins["rnlctl"], serverURL, "stats")
+	if !strings.Contains(stats, "packets_forwarded") {
+		t.Fatalf("stats output:\n%s", stats)
+	}
+	ctl(t, bins["rnlctl"], serverURL, "teardown", "e2e-lab")
+}

@@ -1,0 +1,14 @@
+// Package rnl is a from-scratch Go reproduction of "Remote Network Labs:
+// An On-Demand Network Cloud for Configuration Testing" (Liu & Orban,
+// WREN'09 / ACM SIGCOMM CCR 40(1), 2010).
+//
+// The system lives under internal/: the layer-2-preserving tunnel (wire,
+// ris, routeserver), the lab-facing services (topology, reservation, api,
+// console, autotest), the engineering extensions from §4 (compress,
+// l1switch, wanem), the comparison baselines (§5), and the emulated
+// equipment substrate that stands in for the paper's physical routers
+// (packet, netsim, device). The runnable entry points are under cmd/ and
+// examples/; bench_test.go and experiments_test.go at this level
+// regenerate the paper's figures and quantitative claims (see DESIGN.md
+// and EXPERIMENTS.md).
+package rnl

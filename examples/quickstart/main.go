@@ -1,0 +1,126 @@
+// Quickstart: the smallest end-to-end Remote Network Labs session.
+//
+// It stands up an in-process RNL cloud (route server + web server), joins
+// two servers through their own RIS agents, and then performs the paper's
+// Fig. 2 workflow entirely through the web-services API: list the
+// inventory, draw a design, reserve the equipment, deploy, verify
+// connectivity, inspect a console, and tear down.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/lab"
+	"rnl/internal/topology"
+)
+
+func main() {
+	cloud, err := lab.NewCloud(lab.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cloud.Close()
+	fmt.Printf("RNL cloud up: web UI http://%s  tunnel %s\n\n", cloud.WebAddr, cloud.TunnelAddr)
+
+	// Two servers at "different sites", each behind its own lab PC.
+	h1, _, err := cloud.AddHost("server-east", "10.0.0.1/24", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	h2, _, err := cloud.AddHost("server-west", "10.0.0.2/24", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client := cloud.Client
+	inv, err := client.Inventory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Inventory:")
+	for _, r := range inv {
+		fmt.Printf("  #%d %-12s %-13s pc=%s ports=%d console=%v\n",
+			r.ID, r.Name, r.Model, r.PC, len(r.Ports), r.HasConsole)
+	}
+
+	// Draw the design: one virtual wire between the two servers.
+	design := &topology.Design{Name: "quickstart", Owner: "you", Routers: []string{"server-east", "server-west"}}
+	if err := design.Connect("server-east", "eth0", "server-west", "eth0"); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.SaveDesign(design); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDesign 'quickstart' saved: server-east.eth0 <-> server-west.eth0")
+
+	// Reserve both machines, then deploy.
+	now := time.Now()
+	if _, err := client.Reserve(api.ReserveRequest{
+		User: "you", Routers: design.Routers, Start: now.Add(-time.Minute), End: now.Add(time.Hour),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Deploy(api.DeployRequest{Design: "quickstart", User: "you"}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Deployed: the route server now tunnels frames between the two ports")
+
+	if ok, rtt := h1.Ping(h2.IP(), 5*time.Second); ok {
+		fmt.Printf("\nserver-east ping server-west: OK (%v)\n", rtt.Round(time.Microsecond))
+	} else {
+		log.Fatal("ping failed — the virtual wire is broken")
+	}
+
+	// Console access through the tunnel, exactly what the browser's
+	// VT100 window does.
+	outs, err := client.ConsoleExec(api.ConsoleExecRequest{
+		Router:   "server-west",
+		Commands: []string{"enable", "show ip", "show interfaces"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nserver-west console:")
+	for _, out := range outs[1:] {
+		fmt.Println("  " + indent(out))
+	}
+
+	stats, _ := client.Stats()
+	fmt.Printf("\nRoute server forwarded %d packets (%d bytes)\n",
+		stats["packets_forwarded"], stats["bytes_forwarded"])
+
+	if err := client.Teardown("quickstart"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Torn down. Done.")
+}
+
+func indent(s string) string {
+	out := ""
+	for i, line := range splitLines(s) {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += line
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	return append(lines, cur)
+}

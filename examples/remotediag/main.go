@@ -1,0 +1,102 @@
+// Remotediag: the paper's §3.3 "avoid shipping" use case.
+//
+// A diagnostic appliance (think Netcordia NetMRI) normally has to be
+// shipped to a client site, racked, used for a few weeks and shipped
+// back. With RNL, the client instead exposes one Ethernet port of their
+// enterprise network by connecting a lab PC to it and joining the labs;
+// the appliance, sitting in the vendor's lab, is then virtually deployed
+// into the client network by drawing a single wire in a design.
+//
+//	go run ./examples/remotediag
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rnl/internal/lab"
+	"rnl/internal/topology"
+)
+
+func main() {
+	cloud, err := lab.NewCloud(lab.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cloud.Close()
+
+	// --- the client's enterprise network (a switch and two servers) ---
+	sw, _, err := cloud.AddSwitch("client-sw", []string{"p1", "p2", "spare"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = sw
+	app1, _, err := cloud.AddHost("client-erp", "172.20.0.11/24", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app2, _, err := cloud.AddHost("client-mail", "172.20.0.12/24", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, _ = app1, app2
+
+	// --- the vendor's diagnostic appliance, far away ---
+	netmri, _, err := cloud.AddHost("netmri", "172.20.0.99/24", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The client's internal wiring and the "exposed Ethernet port" are
+	// all just links in one design: the spare switch port is where the
+	// appliance virtually plugs in.
+	d := &topology.Design{
+		Name:    "remote-diagnosis",
+		Owner:   "client-netops",
+		Routers: []string{"client-sw", "client-erp", "client-mail", "netmri"},
+	}
+	must(d.Connect("client-sw", "p1", "client-erp", "eth0"))
+	must(d.Connect("client-sw", "p2", "client-mail", "eth0"))
+	must(d.Connect("client-sw", "spare", "netmri", "eth0"))
+	if err := cloud.Client.SaveDesign(d); err != nil {
+		log.Fatal(err)
+	}
+	if err := cloud.DeployDesign(d); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("design deployed: the NetMRI appliance is now virtually inside the client network")
+	fmt.Println("(no shipping, no racking — one wire drawn in the web UI)")
+
+	// The appliance sweeps the client subnet, as it would on site.
+	fmt.Println("\nappliance sweep of 172.20.0.0/24:")
+	targets := []struct {
+		name string
+		ip   []byte
+	}{
+		{"client-erp ", []byte{172, 20, 0, 11}},
+		{"client-mail", []byte{172, 20, 0, 12}},
+		{"unused addr", []byte{172, 20, 0, 50}},
+	}
+	for _, tgt := range targets {
+		ok, rtt := netmri.Ping(tgt.ip, 3*time.Second)
+		if ok {
+			fmt.Printf("  %s  %v  UP   rtt=%v\n", tgt.name, tgt.ip, rtt.Round(time.Microsecond))
+		} else {
+			fmt.Printf("  %s  %v  DOWN\n", tgt.name, tgt.ip)
+		}
+	}
+
+	// Diagnosis done: tear down and the appliance is instantly free for
+	// the next client — "improving the utilization of test equipment".
+	if err := cloud.Client.Teardown("remote-diagnosis"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndiagnosis complete; appliance released for the next engagement")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

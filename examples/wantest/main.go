@@ -1,0 +1,121 @@
+// Wantest: the paper's §3.5 application testing use case.
+//
+// "Applications designed in a local network may experience widely
+// different behavior when deployed in a real-life scenario where the
+// users may be far away. RNL can inject delay and jitter to simulate any
+// wide area link."
+//
+// A client host and an application server are joined to the labs; the
+// client's wire is conditioned with successively worse WAN profiles, and
+// a small request/response application is measured under each.
+//
+//	go run ./examples/wantest
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"rnl/internal/lab"
+	"rnl/internal/topology"
+	"rnl/internal/wanem"
+)
+
+func main() {
+	profiles := []struct {
+		name string
+		p    wanem.Profile
+	}{
+		{"LAN (ideal)", wanem.LAN},
+		{"metro (~5ms)", wanem.Metro},
+		{"transcontinental (~40ms, 0.1% loss)", wanem.Transcontinental},
+		{"intercontinental (~100ms, 0.5% loss)", wanem.Intercontinental},
+	}
+
+	cloud, err := lab.NewCloud(lab.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cloud.Close()
+
+	// The client joins through a conditioner we can retune live — the
+	// knob the web-services API exposes for WAN emulation.
+	cond := wanem.New(wanem.LAN, 1)
+	client, _, err := cloud.AddHostVia("wan-client", "10.50.0.1/24", "", cond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, _, err := cloud.AddHost("app-server", "10.50.0.2/24", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The application: a UDP echo service on the server.
+	server.HandleUDP(4000, func(src net.IP, srcPort uint16, payload []byte) {
+		server.SendUDP(src, 4000, srcPort, payload)
+	})
+	replies := make(chan struct{}, 64)
+	client.HandleUDP(4001, func(net.IP, uint16, []byte) {
+		select {
+		case replies <- struct{}{}:
+		default:
+		}
+	})
+
+	d := &topology.Design{Name: "wan-test", Owner: "dev", Routers: []string{"wan-client", "app-server"}}
+	if err := d.Connect("wan-client", "eth0", "app-server", "eth0"); err != nil {
+		log.Fatal(err)
+	}
+	if err := cloud.Client.SaveDesign(d); err != nil {
+		log.Fatal(err)
+	}
+	if err := cloud.DeployDesign(d); err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm ARP on the ideal link first.
+	if ok, _ := client.Ping(server.IP(), 5*time.Second); !ok {
+		log.Fatal("baseline connectivity failed")
+	}
+
+	fmt.Println("application: 40 request/response transactions per WAN profile")
+	fmt.Printf("%-40s %10s %10s %8s\n", "profile", "median", "worst", "loss")
+	const n = 40
+	for _, prof := range profiles {
+		cond.Set(prof.p)
+		var rtts []time.Duration
+		lost := 0
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			if err := client.SendUDP(server.IP(), 4001, 4000, []byte("req")); err != nil {
+				log.Fatal(err)
+			}
+			select {
+			case <-replies:
+				rtts = append(rtts, time.Since(start))
+			case <-time.After(800 * time.Millisecond):
+				lost++
+			}
+		}
+		med, worst := stats(rtts)
+		fmt.Printf("%-40s %10v %10v %7.1f%%\n", prof.name,
+			med.Round(100*time.Microsecond), worst.Round(100*time.Microsecond),
+			100*float64(lost)/n)
+	}
+	fmt.Println("\nthe same binary, the same lab — only the injected WAN profile changed")
+}
+
+func stats(rtts []time.Duration) (median, worst time.Duration) {
+	if len(rtts) == 0 {
+		return 0, 0
+	}
+	// insertion sort; n is tiny
+	for i := 1; i < len(rtts); i++ {
+		for j := i; j > 0 && rtts[j] < rtts[j-1]; j-- {
+			rtts[j], rtts[j-1] = rtts[j-1], rtts[j]
+		}
+	}
+	return rtts[len(rtts)/2], rtts[len(rtts)-1]
+}

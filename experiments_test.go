@@ -1,0 +1,391 @@
+package rnl
+
+// Experiment reproductions indexed in DESIGN.md that aren't covered by a
+// package-level test: Fig. 1 (architecture), Fig. 3 (RIS port mapping),
+// Fig. 4 (packet flow integrity), Fig. 7 (layer-1 switch modes), and the
+// §4 delay claim. The Fig. 5 / Fig. 6 experiments live in internal/lab,
+// the §5 fidelity comparison in internal/baseline.
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/device"
+	"rnl/internal/l1switch"
+	"rnl/internal/lab"
+	"rnl/internal/netsim"
+	"rnl/internal/packet"
+	"rnl/internal/ris"
+	"rnl/internal/topology"
+	"rnl/internal/wanem"
+)
+
+// TestArchitectureEndToEnd is Fig. 1: geographically distributed
+// equipment, each site's PC dialing OUT to the central server (the
+// firewall-traversal property), a central web+route server coordinating
+// everything, users driving it through the web services API.
+func TestArchitectureEndToEnd(t *testing.T) {
+	cloud, err := lab.NewCloud(lab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+
+	// Three "sites": San Jose (router), Chicago (switch), client site
+	// (server). Each joins through its own RIS over an outbound TCP
+	// connection — the route server never dials the sites.
+	if _, _, err := cloud.AddRouter("sj-router", []string{"e0", "e1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cloud.AddSwitch("chi-switch", []string{"p1", "p2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cloud.AddHost("client-host", "10.9.0.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	inv, err := cloud.Client.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv) != 3 {
+		t.Fatalf("inventory = %d routers, want 3 across 3 sites", len(inv))
+	}
+	pcs := map[string]bool{}
+	for _, r := range inv {
+		pcs[r.PC] = true
+		if !r.Online {
+			t.Errorf("router %s not online", r.Name)
+		}
+	}
+	if len(pcs) != 3 {
+		t.Errorf("expected 3 distinct lab PCs, saw %v", pcs)
+	}
+}
+
+// TestRISConfigMapping is Fig. 3: the lab manager's NIC↔port mapping —
+// descriptions, image regions, console COM assignment — all flow through
+// the join and appear in the inventory for the web UI to render.
+func TestRISConfigMapping(t *testing.T) {
+	cloud, err := lab.NewCloud(lab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+
+	nic1 := netsim.NewIface("pc9/eth3")
+	nic2 := netsim.NewIface("pc9/eth4")
+	agent, err := ris.New(ris.Config{
+		ServerAddr: cloud.TunnelAddr,
+		PCName:     "pc9",
+		Routers: []ris.RouterDef{{
+			Name:        "cat6500-lab9",
+			Description: "Catalyst 6500 with FWSM, building 9 lab",
+			Model:       "Catalyst 6500",
+			Image:       "cat6500-back.png",
+			Firmware:    "12.2(33)SXH",
+			Ports: []ris.PortMap{
+				{Name: "Gi1/1", Description: "uplink port", NIC: nic1, Rect: [4]int{10, 20, 40, 15}},
+				{Name: "Gi1/2", Description: "server port", NIC: nic2, Rect: [4]int{60, 20, 40, 15}},
+			},
+		}},
+	}, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	r, ok := cloud.RS.RouterByName("cat6500-lab9")
+	if !ok {
+		t.Fatal("router missing from inventory")
+	}
+	if r.Model != "Catalyst 6500" || r.Image != "cat6500-back.png" || r.Firmware != "12.2(33)SXH" {
+		t.Errorf("router metadata lost: %+v", r)
+	}
+	if r.PC != "pc9" {
+		t.Errorf("PC = %q", r.PC)
+	}
+	p, ok := r.PortByName("Gi1/1")
+	if !ok {
+		t.Fatal("port Gi1/1 missing")
+	}
+	if p.Description != "uplink port" || p.NIC != "pc9/eth3" || p.Rect != [4]int{10, 20, 40, 15} {
+		t.Errorf("port mapping lost: %+v", p)
+	}
+	if r.HasConsole {
+		t.Error("no console was mapped; inventory disagrees")
+	}
+}
+
+// TestPacketFlowPath is Fig. 4 as a correctness property: a frame
+// transmitted at one port arrives at the far port byte-identical — the
+// complete layer-2 packet, exactly as captured.
+func TestPacketFlowPath(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			tp := newTunnelPair(t, compress, nil)
+			defer tp.Close()
+			got := make(chan []byte, 16)
+			tp.SetOnReceiveB(func(f []byte) {
+				c := append([]byte(nil), f...)
+				select {
+				case got <- c:
+				default:
+				}
+			})
+			// An exotic frame: 802.3 + LLC + BPDU with padding — the
+			// kind of thing VLAN/VPN links mangle or drop.
+			frame, err := packet.BuildBPDU(packet.STPMulticast[:6], &packet.STP{
+				BPDUType: packet.BPDUTypeConfig,
+				RootID:   packet.BridgeID{Priority: 4096, MAC: []byte{2, 0, 0, 0, 0, 1}},
+				BridgeID: packet.BridgeID{Priority: 8192, MAC: []byte{2, 0, 0, 0, 0, 2}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tp.A.Transmit(frame)
+			select {
+			case rx := <-got:
+				if !bytes.Equal(rx, frame) {
+					t.Fatalf("frame mutated in transit:\n tx %x\n rx %x", frame, rx)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("frame never arrived")
+			}
+		})
+	}
+}
+
+// TestL1SwitchModes is Fig. 7's operational story: the same two co-located
+// router ports are switched between the full-bandwidth layer-1 bridge (for
+// performance testing) and the RIS/tunnel path (for everything else) by
+// reprogramming the cross connect.
+func TestL1SwitchModes(t *testing.T) {
+	// Two "router ports" and the RIS NICs, all patched into the cross
+	// connect as in the paper's wiring diagram.
+	x := l1switch.New("mcc", []string{"rA", "rB", "risA", "risB"})
+	devA, devB := netsim.NewIface("dev-a"), netsim.NewIface("dev-b")
+	wA := netsim.Connect(devA, x.Port("rA"), nil)
+	wB := netsim.Connect(devB, x.Port("rB"), nil)
+	defer wA.Disconnect()
+	defer wB.Disconnect()
+
+	tp := newTunnelPair(t, false, nil)
+	defer tp.Close()
+	// Relay interfaces patch the cross connect's RIS-facing ports into
+	// the tunnel pair: frames arriving from the cross connect go into
+	// the tunnel, frames arriving from the tunnel go back to the cross
+	// connect.
+	relayA, relayB := netsim.NewIface("relay-a"), netsim.NewIface("relay-b")
+	wRA := netsim.Connect(relayA, x.Port("risA"), nil)
+	wRB := netsim.Connect(relayB, x.Port("risB"), nil)
+	defer wRA.Disconnect()
+	defer wRB.Disconnect()
+	relayA.SetReceiver(func(f []byte) { tp.A.Transmit(f) })
+	relayB.SetReceiver(func(f []byte) { tp.B.Transmit(f) })
+	tp.A.SetReceiver(func(f []byte) { relayA.Transmit(f) })
+	tp.SetOnReceiveB(func(f []byte) { relayB.Transmit(f) })
+
+	got := make(chan string, 16)
+	devB.SetReceiver(func(f []byte) {
+		select {
+		case got <- string(f):
+		default:
+		}
+	})
+
+	expect := func(want string) {
+		t.Helper()
+		select {
+		case s := <-got:
+			if s != want {
+				t.Fatalf("got %q, want %q", s, want)
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatalf("frame %q never arrived", want)
+		}
+	}
+	drainQuiet := func() {
+		for {
+			select {
+			case <-got:
+			case <-time.After(50 * time.Millisecond):
+				return
+			}
+		}
+	}
+
+	// Mode 1: performance testing — direct layer-1 bridge.
+	if err := x.Bridge("rA", "rB"); err != nil {
+		t.Fatal(err)
+	}
+	devA.Transmit([]byte("bridged-frame"))
+	expect("bridged-frame")
+
+	// Mode 2: normal operation — router ports patched to the RIS PCs,
+	// traffic goes through the Internet tunnel.
+	if err := x.Bridge("rA", "risA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Bridge("rB", "risB"); err != nil {
+		t.Fatal(err)
+	}
+	drainQuiet()
+	devA.Transmit([]byte("tunneled-frame"))
+	expect("tunneled-frame")
+}
+
+// TestConfigTestingUnderDelay is §4's claim that "delay and jitter will
+// not affect configuration testing": with 50 ms of injected WAN latency on
+// the tunnel, the full configuration workflow — console commands, config
+// save, connectivity check — still works.
+func TestConfigTestingUnderDelay(t *testing.T) {
+	cloud, err := lab.NewCloud(lab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+	cond := wanem.New(wanem.Profile{Delay: 25 * time.Millisecond, Jitter: 5 * time.Millisecond}, 1)
+	h1, _, err := cloud.AddHostVia("far-host", "10.70.0.1/24", "", cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := cloud.AddHost("near-host", "10.70.0.2/24", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &topology.Design{Name: "delay-lab", Routers: []string{"far-host", "near-host"}}
+	if err := d.Connect("far-host", "eth0", "near-host", "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cloud.Client.SaveDesign(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := cloud.DeployDesign(d); err != nil {
+		t.Fatal(err)
+	}
+	// Console automation across the delayed path.
+	outs, err := cloud.Client.ConsoleExec(api.ConsoleExecRequest{
+		Router: "far-host", Commands: []string{"enable", "show ip"}, TimeoutMS: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(outs[1], "10.70.0.1") {
+		t.Errorf("console output = %q", outs[1])
+	}
+	// Config save through the console automation.
+	if _, err := cloud.Client.SaveConfigs("delay-lab"); err != nil {
+		t.Fatal(err)
+	}
+	// And plain connectivity.
+	if ok, rtt := h1.Ping(h2.IP(), 10*time.Second); !ok {
+		t.Fatal("ping failed under WAN delay")
+	} else if rtt < 50*time.Millisecond {
+		t.Errorf("rtt %v suspiciously low for 2×25ms injected delay", rtt)
+	}
+}
+
+// TestMeasuredConvergence records the numbers EXPERIMENTS.md reports:
+// failover takeover time and the dual-active storm magnitude, using the
+// fast (100×) timer profile.
+func TestMeasuredConvergence(t *testing.T) {
+	cloud, err := lab.NewCloud(lab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloud.Close()
+	f, err := cloud.BuildFig5(lab.Fig5Options{FailoverVLANOnTrunk: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.FW1.State().String() != "Active" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ok, _ := f.S2.Ping(f.S1.IP(), 8*time.Second); !ok {
+		t.Fatal("baseline connectivity failed")
+	}
+	start := time.Now()
+	f.FW1.Port("inside").SetAdminUp(false)
+	for f.FW2.State().String() != "Active" {
+		if time.Now().After(start.Add(5 * time.Second)) {
+			t.Fatal("failover never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	takeover := time.Since(start)
+	ok, recovery := f.S2.Ping(f.S1.IP(), 8*time.Second)
+	if !ok {
+		t.Fatal("connectivity never recovered")
+	}
+	t.Logf("failover takeover: %v (fast timers, hold=35ms)", takeover.Round(time.Millisecond))
+	t.Logf("end-to-end recovery (incl. MAC re-learning): %v", recovery.Round(time.Millisecond))
+	if takeover > 2*time.Second {
+		t.Errorf("takeover %v too slow for 35ms hold time", takeover)
+	}
+}
+
+// TestMeasuredSTPConvergence records spanning tree convergence time on the
+// fast (100×) timer profile, for EXPERIMENTS.md.
+func TestMeasuredSTPConvergence(t *testing.T) {
+	s1 := device.NewSwitch("mc-a", []string{"p1", "p2"}, device.FastTimers())
+	s2 := device.NewSwitch("mc-b", []string{"p1", "p2"}, device.FastTimers())
+	defer s1.Close()
+	defer s2.Close()
+	start := time.Now()
+	w1 := netsim.Connect(s1.Port("p1"), s2.Port("p1"), nil)
+	w2 := netsim.Connect(s1.Port("p2"), s2.Port("p2"), nil)
+	defer w1.Disconnect()
+	defer w2.Disconnect()
+
+	blocked := func() bool {
+		for _, sw := range []*device.Switch{s1, s2} {
+			for _, pn := range []string{"p1", "p2"} {
+				_, st, _ := sw.PortSTP(pn)
+				if st == "BLK" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !blocked() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !blocked() {
+		t.Fatal("STP never blocked the redundant link")
+	}
+	t.Logf("STP loop detection (fast timers, hello=20ms): %v", time.Since(start).Round(time.Millisecond))
+	// Full forwarding state on the surviving path takes 2× forward delay.
+	forwarding := func() bool {
+		for _, sw := range []*device.Switch{s1, s2} {
+			fwd := 0
+			for _, pn := range []string{"p1", "p2"} {
+				_, st, _ := sw.PortSTP(pn)
+				if st == "FWD" {
+					fwd++
+				}
+			}
+			if fwd == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for !forwarding() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !forwarding() {
+		t.Fatal("no port reached forwarding")
+	}
+	t.Logf("surviving path forwarding after: %v (forward delay 60ms × 2)", time.Since(start).Round(time.Millisecond))
+}

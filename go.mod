@@ -1,0 +1,3 @@
+module rnl
+
+go 1.24

@@ -1,0 +1,119 @@
+package rnl
+
+// Shared harness for the benchmark suite and the experiment measurements:
+// a minimal RNL deployment — two bare ports, each behind its own RIS
+// agent, wired together through a route server — plus counters to drive
+// frames through the Fig. 4 packet flow.
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rnl/internal/netsim"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// tunnelPair is two "router ports" joined through a route server: frames
+// transmitted on A come out at B and vice versa.
+type tunnelPair struct {
+	Server *routeserver.Server
+	A, B   *netsim.Iface // device-side port interfaces
+	PKA    routeserver.PortKey
+	PKB    routeserver.PortKey
+
+	received atomic.Uint64
+	onRecvB  atomic.Pointer[func([]byte)]
+
+	closers []func()
+}
+
+// newTunnelPair builds the deployment. compress turns on tunnel
+// compression end to end.
+func newTunnelPair(tb testing.TB, compress bool, cond netsim.Conditioner) *tunnelPair {
+	tb.Helper()
+	tp := &tunnelPair{}
+	s := routeserver.New(routeserver.Options{AllowCompression: compress, Logger: quietLogger()})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tp.Server = s
+	tp.closers = append(tp.closers, s.Close)
+
+	join := func(name string) (*netsim.Iface, *ris.Agent, routeserver.PortKey) {
+		dev := netsim.NewIface(name + "-dev")
+		nic := netsim.NewIface(name + "-nic")
+		w := netsim.Connect(dev, nic, cond)
+		tp.closers = append(tp.closers, w.Disconnect)
+		a, err := ris.New(ris.Config{
+			ServerAddr: addr,
+			PCName:     "pc-" + name,
+			Compress:   compress,
+			Routers: []ris.RouterDef{{
+				Name:  name,
+				Ports: []ris.PortMap{{Name: "p0", NIC: nic}},
+			}},
+		}, quietLogger())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := a.Start(); err != nil {
+			tb.Fatal(err)
+		}
+		tp.closers = append(tp.closers, a.Close)
+		rid, pid, ok := a.PortID(name, "p0")
+		if !ok {
+			tb.Fatal("no port ID")
+		}
+		return dev, a, routeserver.PortKey{Router: rid, Port: pid}
+	}
+	var agentA, agentB *ris.Agent
+	tp.A, agentA, tp.PKA = join("bench-a")
+	tp.B, agentB, tp.PKB = join("bench-b")
+	_, _ = agentA, agentB
+
+	tp.B.SetReceiver(func(f []byte) {
+		tp.received.Add(1)
+		if cb := tp.onRecvB.Load(); cb != nil {
+			(*cb)(f)
+		}
+	})
+	if err := s.Deploy("bench", []routeserver.Link{{A: tp.PKA, B: tp.PKB}}); err != nil {
+		tb.Fatal(err)
+	}
+	return tp
+}
+
+// Close tears the pair down.
+func (tp *tunnelPair) Close() {
+	for i := len(tp.closers) - 1; i >= 0; i-- {
+		tp.closers[i]()
+	}
+}
+
+// Received reports frames delivered at B.
+func (tp *tunnelPair) Received() uint64 { return tp.received.Load() }
+
+// SetOnReceiveB installs an extra callback at B.
+func (tp *tunnelPair) SetOnReceiveB(cb func([]byte)) { tp.onRecvB.Store(&cb) }
+
+// waitReceived blocks until at least n frames arrived at B (or the
+// deadline passes).
+func (tp *tunnelPair) waitReceived(tb testing.TB, n uint64, timeout time.Duration) {
+	tb.Helper()
+	deadline := time.Now().Add(timeout)
+	for tp.received.Load() < n {
+		if time.Now().After(deadline) {
+			tb.Fatalf("received %d/%d frames before timeout", tp.received.Load(), n)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

@@ -1,0 +1,287 @@
+package api_test
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/lab"
+	"rnl/internal/packet"
+	"rnl/internal/topology"
+)
+
+// newTestCloud builds a cloud with two hosts joined.
+func newTestCloud(t *testing.T, opts lab.Options) *lab.Cloud {
+	t.Helper()
+	c, err := lab.NewCloud(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestWebUIWorkflow(t *testing.T) {
+	// The full Fig. 2 workflow through the web-services API: inventory →
+	// design → reserve → deploy → test → teardown.
+	c := newTestCloud(t, lab.Options{})
+	h1, _, err := c.AddHost("web-h1", "10.0.0.1/24", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := c.AddHost("web-h2", "10.0.0.2/24", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Inventory shows both hosts.
+	inv, err := c.Client.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv) != 2 {
+		t.Fatalf("inventory = %d routers, want 2", len(inv))
+	}
+
+	// 2. Draw and save a design.
+	d := &topology.Design{Name: "web-lab", Owner: "alice", Routers: []string{"web-h1", "web-h2"}}
+	if err := d.Connect("web-h1", "eth0", "web-h2", "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.SaveDesign(d); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.Client.Designs()
+	if err != nil || len(names) != 1 || names[0] != "web-lab" {
+		t.Fatalf("designs = %v, %v", names, err)
+	}
+
+	// 3. Reserve both routers for the next hour.
+	now := time.Now()
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "alice", Routers: d.Routers, Start: now.Add(-time.Minute), End: now.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Deploy; the virtual wire comes up and traffic flows.
+	if err := c.Client.Deploy(api.DeployRequest{Design: "web-lab", User: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h1.Ping(h2.IP(), 3*time.Second); !ok {
+		t.Fatal("ping across deployed design failed")
+	}
+	deps, err := c.Client.Deployments()
+	if err != nil || len(deps) != 1 || deps[0].Name != "web-lab" {
+		t.Fatalf("deployments = %v, %v", deps, err)
+	}
+
+	// 5. Teardown severs it.
+	if err := c.Client.Teardown("web-lab"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h1.Ping(h2.IP(), 150*time.Millisecond); ok {
+		t.Fatal("ping should fail after teardown")
+	}
+}
+
+func TestDeployRequiresReservation(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	if _, _, err := c.AddHost("res-h1", "10.0.0.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AddHost("res-h2", "10.0.0.2/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	d := &topology.Design{Name: "res-lab", Routers: []string{"res-h1", "res-h2"}}
+	d.Connect("res-h1", "eth0", "res-h2", "eth0")
+	if err := c.Client.SaveDesign(d); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Client.Deploy(api.DeployRequest{Design: "res-lab", User: "bob"})
+	if err == nil {
+		t.Fatal("deploy without reservation should fail")
+	}
+	if !strings.Contains(err.Error(), "reservation") {
+		t.Errorf("error should mention reservation: %v", err)
+	}
+}
+
+func TestReservationConflictOverAPI(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	now := time.Now()
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "alice", Routers: []string{"rX"}, Start: now, End: now.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Client.Reserve(api.ReserveRequest{
+		User: "bob", Routers: []string{"rX"}, Start: now.Add(30 * time.Minute), End: now.Add(90 * time.Minute),
+	})
+	if err == nil {
+		t.Fatal("conflicting reservation should fail")
+	}
+	// Next-free skips past alice's slot.
+	start, err := c.Client.NextFree(api.NextFreeRequest{
+		Routers: []string{"rX"}, Duration: 30 * time.Minute, Horizon: 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start.Before(now.Add(59 * time.Minute)) {
+		t.Errorf("NextFree = %v, want after alice's booking ends", start)
+	}
+	// Schedule endpoint shows the booking.
+	sched, err := c.Client.Schedule("rX")
+	if err != nil || len(sched) != 1 || sched[0].User != "alice" {
+		t.Fatalf("schedule = %v, %v", sched, err)
+	}
+	if err := c.Client.CancelReservation(sched[0].ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateAndCaptureAPI(t *testing.T) {
+	// Fig. 6 machinery: inject at one port, capture at another.
+	c := newTestCloud(t, lab.Options{})
+	h1, _, _ := c.AddHost("gc-h1", "10.0.0.1/24", "")
+	h2, _, _ := c.AddHost("gc-h2", "10.0.0.2/24", "")
+	d := &topology.Design{Name: "gc-lab", Routers: []string{"gc-h1", "gc-h2"}}
+	d.Connect("gc-h1", "eth0", "gc-h2", "eth0")
+	c.Client.SaveDesign(d)
+	now := time.Now()
+	c.Client.Reserve(api.ReserveRequest{User: "u", Routers: d.Routers, Start: now.Add(-time.Minute), End: now.Add(time.Hour)})
+	if err := c.Client.Deploy(api.DeployRequest{Design: "gc-lab", User: "u"}); err != nil {
+		t.Fatal(err)
+	}
+
+	capID, err := c.Client.OpenCapture(api.CaptureRequest{Router: "gc-h2", Port: "eth0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Client.CloseCapture(capID)
+
+	frame, err := packet.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 5, 4242, []byte("api-generated"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Generate(api.GenerateRequest{Router: "gc-h2", Port: "eth0", Frame: frame, Count: 3}); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := c.Client.ReadCapture(capID, 10, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 3 {
+		t.Fatalf("captured %d frames, want >= 3", len(frames))
+	}
+	p := packet.NewPacket(frames[0].Frame, packet.LayerTypeEthernet, packet.Default)
+	if app := p.ApplicationLayer(); app == nil || string(app.Payload()) != "api-generated" {
+		t.Errorf("captured wrong payload: %v", p)
+	}
+	if frames[0].Dir != "to-port" {
+		t.Errorf("dir = %q, want to-port", frames[0].Dir)
+	}
+}
+
+func TestConsoleExecAPI(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	if _, _, err := c.AddHost("ce-h1", "10.0.9.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	outs, err := c.Client.ConsoleExec(api.ConsoleExecRequest{
+		Router:   "ce-h1",
+		Commands: []string{"enable", "show ip"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 || !strings.Contains(outs[1], "10.0.9.1") {
+		t.Fatalf("console outputs = %q", outs)
+	}
+}
+
+func TestSaveConfigsRoundtrip(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	if _, _, err := c.AddHost("sc-h1", "10.7.0.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	d := &topology.Design{Name: "sc-lab", Routers: []string{"sc-h1"}}
+	if err := c.Client.SaveDesign(d); err != nil {
+		t.Fatal(err)
+	}
+	updated, err := c.Client.SaveConfigs("sc-lab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := updated.Configs["sc-h1"]
+	if !strings.Contains(cfg, "ip address 10.7.0.1 255.255.255.0") {
+		t.Fatalf("saved config = %q", cfg)
+	}
+	// The stored copy was updated too.
+	stored, err := c.Client.GetDesign("sc-lab")
+	if err != nil || !strings.Contains(stored.Configs["sc-h1"], "10.7.0.1") {
+		t.Fatalf("stored design configs = %v, %v", stored, err)
+	}
+}
+
+func TestAPIAuthToken(t *testing.T) {
+	c := newTestCloud(t, lab.Options{Token: "secret"})
+	// Wrong token rejected.
+	bad := api.NewClient("http://"+c.WebAddr, "wrong")
+	if _, err := bad.Inventory(); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("wrong token error = %v", err)
+	}
+	// Correct token accepted.
+	if _, err := c.Client.Inventory(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexPageRenders(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	c.AddHost("ui-h1", "10.0.0.1/24", "")
+	resp, err := http.Get("http://" + c.WebAddr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, want := range []string{"Remote Network Labs", "ui-h1", "Router inventory"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index page missing %q", want)
+		}
+	}
+}
+
+func TestAPIErrorPaths(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	if _, err := c.Client.GetDesign("ghost"); err == nil {
+		t.Error("loading unknown design should fail")
+	}
+	if err := c.Client.DeleteDesign("ghost"); err == nil {
+		t.Error("deleting unknown design should fail")
+	}
+	if err := c.Client.Teardown("ghost"); err == nil {
+		t.Error("tearing down unknown deployment should fail")
+	}
+	if err := c.Client.Generate(api.GenerateRequest{Router: "ghost", Port: "p", Frame: []byte{1}}); err == nil {
+		t.Error("generating to unknown router should fail")
+	}
+	if _, err := c.Client.ReadCapture(12345, 1, 0); err == nil {
+		t.Error("reading unknown capture should fail")
+	}
+	if err := c.Client.CloseCapture(12345); err == nil {
+		t.Error("closing unknown capture should fail")
+	}
+	if _, err := c.Client.ConsoleExec(api.ConsoleExecRequest{Router: "ghost"}); err == nil {
+		t.Error("console to unknown router should fail")
+	}
+}

@@ -1,0 +1,316 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"rnl/internal/topology"
+)
+
+// Client is the Go binding to the web-services API — what rnlctl, the
+// autotest runner and the examples use to drive RNL programmatically.
+type Client struct {
+	base  string
+	token string
+	http  *http.Client
+}
+
+// NewClient targets an RNL web server at base, e.g. "http://127.0.0.1:8080".
+func NewClient(base, token string) *Client {
+	return &Client{
+		base:  base,
+		token: token,
+		http:  &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// do performs one request; out may be nil for status-only calls.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("X-RNL-Token", c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("api: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("api: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("api: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Inventory lists registered routers.
+func (c *Client) Inventory() ([]RouterInfo, error) {
+	var out []RouterInfo
+	err := c.do("GET", "/api/inventory", nil, &out)
+	return out, err
+}
+
+// Stats returns route server counters.
+func (c *Client) Stats() (map[string]uint64, error) {
+	var out map[string]uint64
+	err := c.do("GET", "/api/stats", nil, &out)
+	return out, err
+}
+
+// Designs lists saved design names.
+func (c *Client) Designs() ([]string, error) {
+	var out []string
+	err := c.do("GET", "/api/designs", nil, &out)
+	return out, err
+}
+
+// GetDesign loads a saved design.
+func (c *Client) GetDesign(name string) (*Design, error) {
+	var out topology.Design
+	err := c.do("GET", "/api/designs/"+url.PathEscape(name), nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SaveDesign stores a design.
+func (c *Client) SaveDesign(d *Design) error {
+	return c.do("PUT", "/api/designs/"+url.PathEscape(d.Name), d, nil)
+}
+
+// DeleteDesign removes a saved design.
+func (c *Client) DeleteDesign(name string) error {
+	return c.do("DELETE", "/api/designs/"+url.PathEscape(name), nil, nil)
+}
+
+// SaveConfigs dumps router configurations into a saved design via their
+// consoles and returns the updated design.
+func (c *Client) SaveConfigs(name string) (*Design, error) {
+	var out topology.Design
+	err := c.do("POST", "/api/designs/"+url.PathEscape(name)+"/save-configs", struct{}{}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reserve books routers; the returned reservations carry IDs for Cancel.
+func (c *Client) Reserve(req ReserveRequest) ([]ReservationInfo, error) {
+	var out []ReservationInfo
+	err := c.do("POST", "/api/reservations", req, &out)
+	return out, err
+}
+
+// CancelReservation releases one booking.
+func (c *Client) CancelReservation(id uint64) error {
+	return c.do("DELETE", fmt.Sprintf("/api/reservations/%d", id), nil, nil)
+}
+
+// Schedule returns a router's upcoming bookings.
+func (c *Client) Schedule(router string) ([]ReservationInfo, error) {
+	var out []ReservationInfo
+	err := c.do("GET", "/api/schedule/"+url.PathEscape(router), nil, &out)
+	return out, err
+}
+
+// NextFree finds the next common free slot for a set of routers.
+func (c *Client) NextFree(req NextFreeRequest) (time.Time, error) {
+	var out NextFreeResponse
+	err := c.do("POST", "/api/next-free", req, &out)
+	return out.Start, err
+}
+
+// Deploy wires up a saved design.
+func (c *Client) Deploy(req DeployRequest) error {
+	return c.do("POST", "/api/deployments", req, nil)
+}
+
+// Teardown removes a deployment.
+func (c *Client) Teardown(name string) error {
+	return c.do("DELETE", "/api/deployments/"+url.PathEscape(name), nil, nil)
+}
+
+// Deployments lists active labs.
+func (c *Client) Deployments() ([]DeploymentInfo, error) {
+	var out []DeploymentInfo
+	err := c.do("GET", "/api/deployments", nil, &out)
+	return out, err
+}
+
+// Generate injects frames toward a router port.
+func (c *Client) Generate(req GenerateRequest) error {
+	return c.do("POST", "/api/generate", req, nil)
+}
+
+// OpenCapture starts a software tap and returns its handle.
+func (c *Client) OpenCapture(req CaptureRequest) (uint64, error) {
+	var out CaptureResponse
+	err := c.do("POST", "/api/captures", req, &out)
+	return out.ID, err
+}
+
+// ReadCapture drains up to max frames, waiting up to wait for the first.
+func (c *Client) ReadCapture(id uint64, max int, wait time.Duration) ([]CapturedFrame, error) {
+	var out []CapturedFrame
+	path := fmt.Sprintf("/api/captures/%d?max=%d&wait_ms=%d", id, max, wait.Milliseconds())
+	err := c.do("GET", path, nil, &out)
+	return out, err
+}
+
+// CloseCapture stops a tap.
+func (c *Client) CloseCapture(id uint64) error {
+	return c.do("DELETE", fmt.Sprintf("/api/captures/%d", id), nil, nil)
+}
+
+// DownloadPcap drains a capture into classic pcap bytes.
+func (c *Client) DownloadPcap(id uint64, max int, wait time.Duration) ([]byte, error) {
+	path := fmt.Sprintf("%s/api/captures/%d/pcap?max=%d&wait_ms=%d", c.base, id, max, wait.Milliseconds())
+	req, err := http.NewRequest("GET", path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("X-RNL-Token", c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("api: pcap download: HTTP %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// StartStream begins rate-controlled traffic generation.
+func (c *Client) StartStream(req StreamRequest) (uint64, error) {
+	var out StreamStatus
+	err := c.do("POST", "/api/streams", req, &out)
+	return out.ID, err
+}
+
+// StreamStatus reports a stream's progress.
+func (c *Client) StreamStatus(id uint64) (StreamStatus, error) {
+	var out StreamStatus
+	err := c.do("GET", fmt.Sprintf("/api/streams/%d", id), nil, &out)
+	return out, err
+}
+
+// StopStream halts a stream and returns its final counters.
+func (c *Client) StopStream(id uint64) (StreamStatus, error) {
+	var out StreamStatus
+	err := c.do("DELETE", fmt.Sprintf("/api/streams/%d", id), nil, &out)
+	return out, err
+}
+
+// AttachConsole opens an interactive raw console stream to a router: the
+// returned connection carries keystrokes in and terminal output back (the
+// transport behind the browser VT100 window). The caller must Close it.
+func (c *Client) AttachConsole(router string) (net.Conn, error) {
+	u, err := url.Parse(c.base)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		return nil, err
+	}
+	path := "/api/console/raw/" + url.PathEscape(router)
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: %s\r\nX-RNL-Token: %s\r\nConnection: Upgrade\r\nUpgrade: rnl-console\r\n\r\n",
+		path, u.Host, c.token)
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !strings.Contains(status, "101") {
+		conn.Close()
+		return nil, fmt.Errorf("api: console attach refused: %s", strings.TrimSpace(status))
+	}
+	// Skip headers.
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if line == "\r\n" || line == "\n" {
+			break
+		}
+	}
+	if n := br.Buffered(); n > 0 {
+		buffered := make([]byte, n)
+		io.ReadFull(br, buffered)
+		return &bufferedConn{Conn: conn, pre: buffered}, nil
+	}
+	return conn, nil
+}
+
+// bufferedConn replays bytes the handshake reader over-read.
+type bufferedConn struct {
+	net.Conn
+	pre []byte
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) {
+	if len(b.pre) > 0 {
+		n := copy(p, b.pre)
+		b.pre = b.pre[n:]
+		return n, nil
+	}
+	return b.Conn.Read(p)
+}
+
+// FlashFirmware loads a firmware version onto a router via its console.
+func (c *Client) FlashFirmware(router, version string) error {
+	return c.do("POST", "/api/routers/"+url.PathEscape(router)+"/firmware", FlashRequest{Version: version}, nil)
+}
+
+// ConsoleExec runs commands on a router's console and returns per-command
+// output.
+func (c *Client) ConsoleExec(req ConsoleExecRequest) ([]string, error) {
+	var out ConsoleExecResponse
+	err := c.do("POST", "/api/console/exec", req, &out)
+	return out.Outputs, err
+}
+
+// ReservationInfo mirrors reservation.Reservation on the wire.
+type ReservationInfo struct {
+	ID     uint64    `json:"id"`
+	Router string    `json:"router"`
+	User   string    `json:"user"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}

@@ -1,0 +1,83 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// handleConsoleRaw upgrades the HTTP connection to a raw byte pipe bridged
+// to the router's serial console — what the paper's in-browser VT100
+// terminal sits on. The client sends keystrokes, the device's output
+// streams back, until either side closes.
+//
+// Protocol: plain HTTP GET; on success the server replies
+// "HTTP/1.1 101 Switching Protocols" with "Upgrade: rnl-console" and the
+// connection becomes the console stream.
+func (s *Server) handleConsoleRaw(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ri, ok := s.rs.RouterByName(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("router %q not in inventory", name))
+		return
+	}
+	sess, err := s.rs.OpenConsole(ri.ID)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		sess.Close()
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("connection cannot be hijacked"))
+		return
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		sess.Close()
+		return
+	}
+	defer conn.Close()
+	defer sess.Close()
+	fmt.Fprintf(rw, "HTTP/1.1 101 Switching Protocols\r\nUpgrade: rnl-console\r\nConnection: Upgrade\r\n\r\n")
+	rw.Flush()
+
+	done := make(chan struct{}, 2)
+	// Console output → client.
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := sess.Read(buf)
+			if n > 0 {
+				if _, werr := rw.Write(buf[:n]); werr != nil {
+					break
+				}
+				rw.Flush()
+			}
+			if err != nil {
+				break
+			}
+		}
+		done <- struct{}{}
+	}()
+	// Client keystrokes → console. Any bytes buffered by the hijack are
+	// forwarded first.
+	go func() {
+		io.Copy(sess, onlyBuffered(rw.Reader, conn))
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// onlyBuffered reads first from the bufio reader's buffered bytes, then
+// from the connection directly.
+func onlyBuffered(br *bufio.Reader, conn io.Reader) io.Reader {
+	if n := br.Buffered(); n > 0 {
+		buffered := make([]byte, n)
+		io.ReadFull(br, buffered)
+		return io.MultiReader(bytes.NewReader(buffered), conn)
+	}
+	return conn
+}

@@ -1,0 +1,73 @@
+package api_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/lab"
+)
+
+// TestRawConsoleAttach drives the interactive console stream (the browser
+// VT100 transport): keystrokes in, terminal output back, through the whole
+// stack — HTTP upgrade → route server → tunnel → RIS → serial → device.
+func TestRawConsoleAttach(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	if _, _, err := c.AddHost("raw-h1", "10.60.0.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := c.Client.AttachConsole("raw-h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Write([]byte("enable\nshow ip\n")); err != nil {
+		t.Fatal(err)
+	}
+	var all strings.Builder
+	buf := make([]byte, 4096)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for !strings.Contains(all.String(), "10.60.0.1") {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			all.Write(buf[:n])
+		}
+		if err != nil {
+			break
+		}
+	}
+	out := all.String()
+	if !strings.Contains(out, "10.60.0.1") {
+		t.Fatalf("console stream missing output: %q", out)
+	}
+	if !strings.Contains(out, "raw-h1#") {
+		t.Errorf("console stream missing enabled prompt: %q", out)
+	}
+}
+
+func TestRawConsoleAttachErrors(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	if _, err := c.Client.AttachConsole("ghost"); err == nil {
+		t.Error("attaching to unknown router should fail")
+	}
+}
+
+func TestRawConsoleAttachAuth(t *testing.T) {
+	c := newTestCloud(t, lab.Options{Token: "sekrit"})
+	if _, _, err := c.AddHost("rawa-h1", "10.61.0.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Correct token works.
+	conn, err := c.Client.AttachConsole("rawa-h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// Wrong token refused at the upgrade.
+	bad := api.NewClient("http://"+c.WebAddr, "wrong")
+	if _, err := bad.AttachConsole("rawa-h1"); err == nil {
+		t.Error("wrong token should be refused")
+	}
+}

@@ -1,0 +1,126 @@
+package api_test
+
+import (
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/lab"
+	"rnl/internal/topology"
+)
+
+// TestExpiredReservationReclaimedOnDeploy is the paper's expiry rule:
+// "when the reservation expires, the router connections could be torn
+// down when the next user deploys her test lab design."
+func TestExpiredReservationReclaimedOnDeploy(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	if _, _, err := c.AddHost("ex-h1", "10.0.0.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AddHost("ex-h2", "10.0.0.2/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	routers := []string{"ex-h1", "ex-h2"}
+	mkDesign := func(name string) *topology.Design {
+		d := &topology.Design{Name: name, Routers: routers}
+		if err := d.Connect("ex-h1", "eth0", "ex-h2", "eth0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Client.SaveDesign(d); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	aliceLab := mkDesign("alice-expiry-lab")
+	bobLab := mkDesign("bob-expiry-lab")
+
+	// Alice books a very short window and deploys.
+	now := time.Now()
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "alice", Routers: routers, Start: now.Add(-time.Minute), End: now.Add(250 * time.Millisecond),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Deploy(api.DeployRequest{Design: aliceLab.Name, User: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// While alice's reservation is live, bob cannot take the routers.
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "bob", Routers: routers, Start: now, End: now.Add(time.Hour),
+	}); err == nil {
+		t.Fatal("bob's overlapping reservation should conflict")
+	}
+
+	// Let alice's reservation lapse. Her deployment is still wired up —
+	// nothing tears it down proactively.
+	time.Sleep(350 * time.Millisecond)
+	if deps, _ := c.Client.Deployments(); len(deps) != 1 || deps[0].Name != aliceLab.Name {
+		t.Fatalf("alice's lab should still be deployed: %v", deps)
+	}
+
+	// Bob books the now-free window and deploys: alice's stale lab is
+	// torn down as part of his deploy.
+	now = time.Now()
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "bob", Routers: routers, Start: now.Add(-10 * time.Millisecond), End: now.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Deploy(api.DeployRequest{Design: bobLab.Name, User: "bob"}); err != nil {
+		t.Fatalf("bob's deploy should reclaim the expired lab: %v", err)
+	}
+	deps, err := c.Client.Deployments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 1 || deps[0].Name != bobLab.Name {
+		t.Fatalf("deployments after reclaim = %v", deps)
+	}
+}
+
+// TestActiveReservationNotReclaimed: a deploy must NOT evict a holder
+// whose reservation is still current.
+func TestActiveReservationNotReclaimed(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	if _, _, err := c.AddHost("ar-h1", "10.0.0.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AddHost("ar-h2", "10.0.0.2/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	routers := []string{"ar-h1", "ar-h2"}
+	d := &topology.Design{Name: "ar-lab", Routers: routers}
+	d.Connect("ar-h1", "eth0", "ar-h2", "eth0")
+	if err := c.Client.SaveDesign(d); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "alice", Routers: routers, Start: now.Add(-time.Minute), End: now.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Deploy(api.DeployRequest{Design: "ar-lab", User: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	// Bob somehow reserves a DIFFERENT future window but tries to deploy
+	// now over the same routers: alice holds a current reservation, so
+	// the deploy must fail and her lab must survive.
+	d2 := &topology.Design{Name: "ar-lab2", Routers: routers}
+	d2.Connect("ar-h1", "eth0", "ar-h2", "eth0")
+	if err := c.Client.SaveDesign(d2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "bob", Routers: routers, Start: now.Add(2 * time.Hour), End: now.Add(3 * time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Deploy(api.DeployRequest{Design: "ar-lab2", User: "bob"}); err == nil {
+		t.Fatal("bob's deploy outside his window should fail")
+	}
+	if deps, _ := c.Client.Deployments(); len(deps) != 1 || deps[0].Name != "ar-lab" {
+		t.Fatalf("alice's lab should survive: %v", deps)
+	}
+}

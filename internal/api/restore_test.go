@@ -1,0 +1,125 @@
+package api_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/lab"
+	"rnl/internal/topology"
+)
+
+// TestDeployWithConfigRestore covers the full config save/restore loop
+// the paper describes (§2.1): configure a router, save the design (which
+// dumps the config through the console), wipe the router by "replacing"
+// it with a fresh one... here simulated by changing its config, then
+// deploy with restore and verify the saved configuration came back.
+func TestDeployWithConfigRestore(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	r, _, err := c.AddRouter("rst-r1", []string{"e0", "e1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AddHost("rst-h1", "10.40.0.2/24", "10.40.0.1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Configure via console, as a user would.
+	if _, err := c.Client.ConsoleExec(api.ConsoleExecRequest{
+		Router: "rst-r1",
+		Commands: []string{
+			"enable", "configure terminal",
+			"interface e0", "ip address 10.40.0.1 255.255.255.0",
+			"ip route 172.31.0.0 255.255.0.0 10.40.0.2",
+			"end",
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	d := &topology.Design{Name: "rst-lab", Routers: []string{"rst-r1", "rst-h1"}}
+	if err := d.Connect("rst-r1", "e0", "rst-h1", "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.SaveDesign(d); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := c.Client.SaveConfigs("rst-lab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(saved.Configs["rst-r1"], "ip route 172.31.0.0 255.255.0.0 10.40.0.2") {
+		t.Fatalf("saved config missing route:\n%s", saved.Configs["rst-r1"])
+	}
+
+	// "The previous user changed everything": wipe the static route.
+	if _, err := c.Client.ConsoleExec(api.ConsoleExecRequest{
+		Router:   "rst-r1",
+		Commands: []string{"enable", "configure terminal", "no ip route 172.31.0.0 255.255.0.0", "end"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if routes := r.Routes(); containsRoute(routes, "172.31.0.0/16") {
+		t.Fatal("route should be gone before restore")
+	}
+
+	// Deploy with restore: the saved configuration is replayed.
+	now := time.Now()
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "u", Routers: d.Routers, Start: now.Add(-time.Minute), End: now.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Deploy(api.DeployRequest{Design: "rst-lab", User: "u", RestoreConfigs: true}); err != nil {
+		t.Fatal(err)
+	}
+	if routes := r.Routes(); !containsRoute(routes, "172.31.0.0/16") {
+		t.Fatalf("restore did not bring the route back:\n%v", routes)
+	}
+}
+
+// TestDeployRestoreFailureRollsBack: a config the device rejects must not
+// leave a half-deployed lab behind.
+func TestDeployRestoreFailureRollsBack(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	if _, _, err := c.AddRouter("rb-r1", []string{"e0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AddHost("rb-h1", "10.41.0.2/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	d := &topology.Design{
+		Name:    "rb-lab",
+		Routers: []string{"rb-r1", "rb-h1"},
+		Configs: map[string]string{"rb-r1": "utterly bogus configuration line"},
+	}
+	if err := d.Connect("rb-r1", "e0", "rb-h1", "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.SaveDesign(d); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "u", Routers: d.Routers, Start: now.Add(-time.Minute), End: now.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Client.Deploy(api.DeployRequest{Design: "rb-lab", User: "u", RestoreConfigs: true})
+	if err == nil {
+		t.Fatal("deploy with a rejected config should fail")
+	}
+	if deps, _ := c.Client.Deployments(); len(deps) != 0 {
+		t.Fatalf("failed restore left deployments behind: %v", deps)
+	}
+}
+
+func containsRoute(routes []string, want string) bool {
+	for _, r := range routes {
+		if strings.Contains(r, want) {
+			return true
+		}
+	}
+	return false
+}

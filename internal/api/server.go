@@ -1,0 +1,667 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rnl/internal/capture"
+	"rnl/internal/console"
+	"rnl/internal/reservation"
+	"rnl/internal/routeserver"
+	"rnl/internal/topology"
+)
+
+// Server is the RNL web server: the browser UI's backend and the
+// web-services API.
+type Server struct {
+	rs    *routeserver.Server
+	store *topology.Store
+	cal   *reservation.Calendar
+	dep   *topology.Deployer
+	log   *slog.Logger
+	token string
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	mu         sync.Mutex
+	captures   map[uint64]*routeserver.Capture
+	nextCap    uint64
+	streams    map[uint64]*routeserver.Stream
+	nextStream uint64
+}
+
+// Config assembles a web server.
+type Config struct {
+	RouteServer *routeserver.Server
+	Store       *topology.Store
+	Calendar    *reservation.Calendar
+	// Token, when non-empty, is required in the X-RNL-Token header of
+	// every API request.
+	Token string
+	// ConsoleTimeout bounds console automation commands.
+	ConsoleTimeout time.Duration
+	Logger         *slog.Logger
+}
+
+// NewServer builds the web server (not yet listening).
+func NewServer(cfg Config) *Server {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Server{
+		rs:    cfg.RouteServer,
+		store: cfg.Store,
+		cal:   cfg.Calendar,
+		log:   logger,
+		token: cfg.Token,
+		dep: &topology.Deployer{
+			Server:         cfg.RouteServer,
+			Cal:            cfg.Calendar,
+			ConsoleTimeout: cfg.ConsoleTimeout,
+		},
+		captures:   make(map[uint64]*routeserver.Capture),
+		nextCap:    1,
+		streams:    make(map[uint64]*routeserver.Stream),
+		nextStream: 1,
+	}
+	return s
+}
+
+// Handler returns the HTTP handler (useful for tests via httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/inventory", s.auth(s.handleInventory))
+	mux.HandleFunc("GET /api/stats", s.auth(s.handleStats))
+
+	mux.HandleFunc("GET /api/designs", s.auth(s.handleDesignList))
+	mux.HandleFunc("GET /api/designs/{name}", s.auth(s.handleDesignGet))
+	mux.HandleFunc("PUT /api/designs/{name}", s.auth(s.handleDesignPut))
+	mux.HandleFunc("DELETE /api/designs/{name}", s.auth(s.handleDesignDelete))
+	mux.HandleFunc("POST /api/designs/{name}/save-configs", s.auth(s.handleSaveConfigs))
+
+	mux.HandleFunc("POST /api/reservations", s.auth(s.handleReserve))
+	mux.HandleFunc("DELETE /api/reservations/{id}", s.auth(s.handleCancelReservation))
+	mux.HandleFunc("GET /api/schedule/{router}", s.auth(s.handleSchedule))
+	mux.HandleFunc("POST /api/next-free", s.auth(s.handleNextFree))
+
+	mux.HandleFunc("GET /api/deployments", s.auth(s.handleDeploymentList))
+	mux.HandleFunc("POST /api/deployments", s.auth(s.handleDeploy))
+	mux.HandleFunc("DELETE /api/deployments/{name}", s.auth(s.handleTeardown))
+
+	mux.HandleFunc("POST /api/generate", s.auth(s.handleGenerate))
+	mux.HandleFunc("POST /api/captures", s.auth(s.handleCaptureOpen))
+	mux.HandleFunc("GET /api/captures/{id}", s.auth(s.handleCaptureRead))
+	mux.HandleFunc("GET /api/captures/{id}/pcap", s.auth(s.handleCapturePcap))
+	mux.HandleFunc("DELETE /api/captures/{id}", s.auth(s.handleCaptureClose))
+
+	mux.HandleFunc("POST /api/streams", s.auth(s.handleStreamStart))
+	mux.HandleFunc("GET /api/streams/{id}", s.auth(s.handleStreamStatus))
+	mux.HandleFunc("DELETE /api/streams/{id}", s.auth(s.handleStreamStop))
+
+	mux.HandleFunc("POST /api/console/exec", s.auth(s.handleConsoleExec))
+	mux.HandleFunc("POST /api/routers/{name}/firmware", s.auth(s.handleFlash))
+	mux.HandleFunc("GET /api/console/raw/{name}", s.auth(s.handleConsoleRaw))
+
+	mux.HandleFunc("GET /", s.handleIndex)
+	return mux
+}
+
+// Listen serves HTTP on addr and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("api: listen %s: %w", addr, err)
+	}
+	s.httpLn = ln
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go s.httpSrv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the HTTP server and open captures.
+func (s *Server) Close() {
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	s.mu.Lock()
+	caps := make([]*routeserver.Capture, 0, len(s.captures))
+	for _, c := range s.captures {
+		caps = append(caps, c)
+	}
+	s.captures = map[uint64]*routeserver.Capture{}
+	s.mu.Unlock()
+	for _, c := range caps {
+		c.Stop()
+	}
+}
+
+// auth enforces the API token when configured.
+func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.token != "" && r.Header.Get("X-RNL-Token") != s.token {
+			writeError(w, http.StatusUnauthorized, fmt.Errorf("missing or wrong X-RNL-Token"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// --- inventory & stats -----------------------------------------------------
+
+func (s *Server) handleInventory(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.rs.Inventory())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.rs.StatsSnapshot())
+}
+
+// --- designs -----------------------------------------------------------------
+
+func (s *Server) handleDesignList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.List())
+}
+
+func (s *Server) handleDesignGet(w http.ResponseWriter, r *http.Request) {
+	d, err := s.store.Load(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) handleDesignPut(w http.ResponseWriter, r *http.Request) {
+	var d topology.Design
+	if !readJSON(w, r, &d) {
+		return
+	}
+	if d.Name == "" {
+		d.Name = r.PathValue("name")
+	}
+	if d.Name != r.PathValue("name") {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("design name %q does not match URL %q", d.Name, r.PathValue("name")))
+		return
+	}
+	if err := s.store.Save(&d); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) handleDesignDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSaveConfigs(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, err := s.store.Load(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if err := s.dep.SaveConfigs(d); err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	if err := s.store.Save(d); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// --- reservations ------------------------------------------------------------
+
+func (s *Server) handleReserve(w http.ResponseWriter, r *http.Request) {
+	var req ReserveRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	res, err := s.cal.Reserve(req.User, req.Routers, req.Start, req.End)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCancelReservation(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad reservation id"))
+		return
+	}
+	if err := s.cal.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cal.Schedule(r.PathValue("router")))
+}
+
+func (s *Server) handleNextFree(w http.ResponseWriter, r *http.Request) {
+	var req NextFreeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	horizon := req.Horizon
+	if horizon == 0 {
+		horizon = 14 * 24 * time.Hour
+	}
+	start, err := s.cal.NextFree(req.Routers, req.Duration, time.Now(), horizon)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, NextFreeResponse{Start: start})
+}
+
+// --- deployments ---------------------------------------------------------------
+
+func (s *Server) handleDeploymentList(w http.ResponseWriter, _ *http.Request) {
+	var out []DeploymentInfo
+	for _, d := range s.rs.Deployments() {
+		out = append(out, DeploymentInfo{Name: d.Name, Links: len(d.Links), Routers: d.Routers})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	var req DeployRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	d, err := s.store.Load(req.Design)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if err := s.dep.Deploy(req.User, d, req.RestoreConfigs); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeploymentInfo{Name: d.Name, Links: len(d.Links)})
+}
+
+func (s *Server) handleTeardown(w http.ResponseWriter, r *http.Request) {
+	if err := s.dep.Teardown(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- traffic generation & capture ---------------------------------------------
+
+// resolvePort maps (router, port) names to a PortKey.
+func (s *Server) resolvePort(router, port string) (routeserver.PortKey, error) {
+	ri, ok := s.rs.RouterByName(router)
+	if !ok {
+		return routeserver.PortKey{}, fmt.Errorf("router %q not in inventory", router)
+	}
+	pi, ok := ri.PortByName(port)
+	if !ok {
+		return routeserver.PortKey{}, fmt.Errorf("router %q has no port %q", router, port)
+	}
+	return routeserver.PortKey{Router: ri.ID, Port: pi.ID}, nil
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Frame) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty frame"))
+		return
+	}
+	pk, err := s.resolvePort(req.Router, req.Port)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	count := req.Count
+	if count <= 0 {
+		count = 1
+	}
+	inject := s.rs.InjectPacket
+	if req.FromPort {
+		inject = s.rs.InjectFromPort
+	}
+	for i := 0; i < count; i++ {
+		if err := inject(pk, req.Frame); err != nil {
+			writeError(w, http.StatusBadGateway, err)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleCaptureOpen(w http.ResponseWriter, r *http.Request) {
+	var req CaptureRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	pk, err := s.resolvePort(req.Router, req.Port)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	cap := s.rs.CapturePort(pk, req.Depth)
+	s.mu.Lock()
+	id := s.nextCap
+	s.nextCap++
+	s.captures[id] = cap
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, CaptureResponse{ID: id})
+}
+
+func (s *Server) capture(id uint64) (*routeserver.Capture, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.captures[id]
+	return c, ok
+}
+
+// handleCaptureRead drains up to max frames, waiting up to wait_ms for the
+// first one — long-poll semantics for the automation API.
+func (s *Server) handleCaptureRead(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad capture id"))
+		return
+	}
+	cap, ok := s.capture(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no capture %d", id))
+		return
+	}
+	max := 100
+	if m := r.URL.Query().Get("max"); m != "" {
+		if v, err := strconv.Atoi(m); err == nil && v > 0 {
+			max = v
+		}
+	}
+	wait := time.Duration(0)
+	if ms := r.URL.Query().Get("wait_ms"); ms != "" {
+		if v, err := strconv.Atoi(ms); err == nil && v > 0 {
+			wait = time.Duration(v) * time.Millisecond
+		}
+	}
+	frames := []CapturedFrame{}
+	deadline := time.After(wait)
+	for len(frames) < max {
+		select {
+		case cp, open := <-cap.Packets():
+			if !open {
+				writeJSON(w, http.StatusOK, frames)
+				return
+			}
+			frames = append(frames, CapturedFrame{When: cp.When, Dir: cp.Dir.String(), Frame: cp.Frame})
+		default:
+			if len(frames) > 0 || wait == 0 {
+				writeJSON(w, http.StatusOK, frames)
+				return
+			}
+			select {
+			case cp, open := <-cap.Packets():
+				if !open {
+					writeJSON(w, http.StatusOK, frames)
+					return
+				}
+				frames = append(frames, CapturedFrame{When: cp.When, Dir: cp.Dir.String(), Frame: cp.Frame})
+			case <-deadline:
+				writeJSON(w, http.StatusOK, frames)
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, frames)
+}
+
+func (s *Server) handleCaptureClose(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad capture id"))
+		return
+	}
+	s.mu.Lock()
+	cap, ok := s.captures[id]
+	delete(s.captures, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no capture %d", id))
+		return
+	}
+	cap.Stop()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCapturePcap drains up to max frames (waiting up to wait_ms total)
+// and returns them as a classic pcap file, openable in standard tools.
+func (s *Server) handleCapturePcap(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad capture id"))
+		return
+	}
+	cap, ok := s.capture(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no capture %d", id))
+		return
+	}
+	max := 1000
+	if m := r.URL.Query().Get("max"); m != "" {
+		if v, err := strconv.Atoi(m); err == nil && v > 0 {
+			max = v
+		}
+	}
+	wait := 200 * time.Millisecond
+	if ms := r.URL.Query().Get("wait_ms"); ms != "" {
+		if v, err := strconv.Atoi(ms); err == nil && v >= 0 {
+			wait = time.Duration(v) * time.Millisecond
+		}
+	}
+	w.Header().Set("Content-Type", "application/vnd.tcpdump.pcap")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=capture-%d.pcap", id))
+	pw := capture.NewWriter(w)
+	deadline := time.After(wait)
+	n := 0
+	for n < max {
+		select {
+		case cp, open := <-cap.Packets():
+			if !open {
+				pw.Flush()
+				return
+			}
+			if pw.WriteFrame(cp.When, cp.Frame) != nil {
+				return
+			}
+			n++
+		case <-deadline:
+			pw.Flush()
+			return
+		}
+	}
+	pw.Flush()
+}
+
+// --- traffic streams ---------------------------------------------------------
+
+func (s *Server) handleStreamStart(w http.ResponseWriter, r *http.Request) {
+	var req StreamRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	pk, err := s.resolvePort(req.Router, req.Port)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	st, err := s.rs.StartStream(pk, req.Frame, req.PPS, req.Count, req.FromPort)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	id := s.nextStream
+	s.nextStream++
+	s.streams[id] = st
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StreamStatus{ID: id, Running: true})
+}
+
+func (s *Server) stream(id uint64) (*routeserver.Stream, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.streams[id]
+	return st, ok
+}
+
+func (s *Server) handleStreamStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad stream id"))
+		return
+	}
+	st, ok := s.stream(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no stream %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, StreamStatus{ID: id, Sent: st.Sent(), Running: st.Running()})
+}
+
+func (s *Server) handleStreamStop(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad stream id"))
+		return
+	}
+	s.mu.Lock()
+	st, ok := s.streams[id]
+	delete(s.streams, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no stream %d", id))
+		return
+	}
+	st.Stop()
+	writeJSON(w, http.StatusOK, StreamStatus{ID: id, Sent: st.Sent(), Running: false})
+}
+
+// handleFlash loads a firmware version onto a router through its console
+// and records the new version in the inventory (paper §2.1 future work).
+func (s *Server) handleFlash(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req FlashRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Version == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty firmware version"))
+		return
+	}
+	ri, ok := s.rs.RouterByName(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("router %q not in inventory", name))
+		return
+	}
+	sess, err := s.rs.OpenConsole(ri.ID)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	defer sess.Close()
+	drv := console.NewDriver(sess, 10*time.Second)
+	drv.Drain(20 * time.Millisecond)
+	if _, err := drv.Command("enable"); err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	out, err := drv.Command("flash " + req.Version)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	if !strings.Contains(out, "flashed") {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("device refused flash: %s", out))
+		return
+	}
+	s.rs.SetRouterFirmware(name, req.Version)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- console ---------------------------------------------------------------------
+
+func (s *Server) handleConsoleExec(w http.ResponseWriter, r *http.Request) {
+	var req ConsoleExecRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	ri, ok := s.rs.RouterByName(req.Router)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("router %q not in inventory", req.Router))
+		return
+	}
+	sess, err := s.rs.OpenConsole(ri.ID)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	defer sess.Close()
+	timeout := 5 * time.Second
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	drv := console.NewDriver(sess, timeout)
+	drv.Drain(20 * time.Millisecond)
+	resp := ConsoleExecResponse{}
+	for _, cmd := range req.Commands {
+		out, err := drv.Command(cmd)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Errorf("command %q: %w", cmd, err))
+			return
+		}
+		resp.Outputs = append(resp.Outputs, out)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,130 @@
+// Package api implements RNL's web server and web-services interface
+// (paper §2.1, §3.2): the JSON API that makes everything the web UI can do
+// scriptable — inventory, design save/load, reservation, deploy/teardown,
+// traffic generation and capture, console automation — so configuration
+// tests can run unattended, nightly.
+package api
+
+import (
+	"time"
+
+	"rnl/internal/routeserver"
+	"rnl/internal/topology"
+)
+
+// ReserveRequest books a set of routers for a window.
+type ReserveRequest struct {
+	User    string    `json:"user"`
+	Routers []string  `json:"routers"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
+}
+
+// NextFreeRequest asks for the next common free slot.
+type NextFreeRequest struct {
+	Routers  []string      `json:"routers"`
+	Duration time.Duration `json:"duration"`
+	Horizon  time.Duration `json:"horizon"`
+}
+
+// NextFreeResponse carries the found slot.
+type NextFreeResponse struct {
+	Start time.Time `json:"start"`
+}
+
+// DeployRequest deploys a saved design.
+type DeployRequest struct {
+	Design         string `json:"design"`
+	User           string `json:"user"`
+	RestoreConfigs bool   `json:"restore_configs"`
+}
+
+// GenerateRequest injects frames at a router port. By default the frame
+// is delivered TO the port (emulating a host attached there); with
+// FromPort it is emitted onto the virtual wire as if the port transmitted
+// it, reaching whatever the design wires to the far end.
+type GenerateRequest struct {
+	Router   string `json:"router"`
+	Port     string `json:"port"`
+	Frame    []byte `json:"frame"` // JSON base64
+	FromPort bool   `json:"from_port,omitempty"`
+	// Count repeats the frame (default 1).
+	Count int `json:"count,omitempty"`
+}
+
+// CaptureRequest opens a software tap.
+type CaptureRequest struct {
+	Router string `json:"router"`
+	Port   string `json:"port"`
+	// Depth is the buffer size (frames); 0 means the default.
+	Depth int `json:"depth,omitempty"`
+}
+
+// CaptureResponse returns the tap handle.
+type CaptureResponse struct {
+	ID uint64 `json:"id"`
+}
+
+// CapturedFrame is one observed frame.
+type CapturedFrame struct {
+	When  time.Time `json:"when"`
+	Dir   string    `json:"dir"` // "from-port" or "to-port"
+	Frame []byte    `json:"frame"`
+}
+
+// StreamRequest starts a traffic-generation stream (the software IXIA).
+type StreamRequest struct {
+	Router   string `json:"router"`
+	Port     string `json:"port"`
+	Frame    []byte `json:"frame"`
+	PPS      int    `json:"pps"`
+	Count    int    `json:"count,omitempty"` // <=0 means until stopped
+	FromPort bool   `json:"from_port,omitempty"`
+}
+
+// StreamStatus reports a stream's progress.
+type StreamStatus struct {
+	ID      uint64 `json:"id"`
+	Sent    uint64 `json:"sent"`
+	Running bool   `json:"running"`
+}
+
+// ConsoleExecRequest runs commands on a router console.
+type ConsoleExecRequest struct {
+	Router   string   `json:"router"`
+	Commands []string `json:"commands"`
+	// TimeoutMS bounds each command (default 5000).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// ConsoleExecResponse carries per-command outputs.
+type ConsoleExecResponse struct {
+	Outputs []string `json:"outputs"`
+}
+
+// FlashRequest loads a firmware version onto a router — the paper's
+// "support router firmware loading from the user interface", done through
+// console automation.
+type FlashRequest struct {
+	Version string `json:"version"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// DeploymentInfo describes one active deployment.
+type DeploymentInfo struct {
+	Name    string   `json:"name"`
+	Links   int      `json:"links"`
+	Routers []uint32 `json:"routers"`
+}
+
+// Aliases re-exported so API consumers need only this package.
+type (
+	// RouterInfo mirrors routeserver.RouterInfo.
+	RouterInfo = routeserver.RouterInfo
+	// Design mirrors topology.Design.
+	Design = topology.Design
+)

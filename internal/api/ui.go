@@ -1,0 +1,68 @@
+package api
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+)
+
+// indexTmpl is the minimal browser UI (paper Fig. 2): the router inventory
+// on the left, active deployments and designs on the right. The real
+// workhorse is the JSON API; this page exists so a human can eyeball the
+// labs.
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html>
+<head><title>Remote Network Labs</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; }
+ table { border-collapse: collapse; margin-bottom: 2em; }
+ td, th { border: 1px solid #999; padding: 4px 10px; text-align: left; }
+ h2 { margin-top: 1.2em; }
+ .off { color: #999; }
+</style></head>
+<body>
+<h1>Remote Network Labs</h1>
+<h2>Router inventory</h2>
+<table>
+<tr><th>ID</th><th>Name</th><th>Model</th><th>Firmware</th><th>PC</th><th>Ports</th><th>Console</th><th>Status</th></tr>
+{{range .Inventory}}
+<tr{{if not .Online}} class="off"{{end}}>
+<td>{{.ID}}</td><td>{{.Name}}</td><td>{{.Model}}</td><td>{{.Firmware}}</td><td>{{.PC}}</td>
+<td>{{len .Ports}}</td><td>{{if .HasConsole}}yes{{else}}no{{end}}</td>
+<td>{{if .Online}}online{{else}}offline{{end}}</td>
+</tr>
+{{end}}
+</table>
+<h2>Active deployments</h2>
+<table>
+<tr><th>Name</th><th>Links</th><th>Routers</th></tr>
+{{range .Deployments}}<tr><td>{{.Name}}</td><td>{{.Links}}</td><td>{{.Routers}}</td></tr>{{end}}
+</table>
+<h2>Saved designs</h2>
+<ul>{{range .Designs}}<li><a href="/api/designs/{{.}}">{{.}}</a></li>{{end}}</ul>
+<p>Web services API under <code>/api/</code>.</p>
+</body></html>`))
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	var deployments []DeploymentInfo
+	for _, d := range s.rs.Deployments() {
+		deployments = append(deployments, DeploymentInfo{Name: d.Name, Links: len(d.Links), Routers: d.Routers})
+	}
+	data := struct {
+		Inventory   []RouterInfo
+		Deployments []DeploymentInfo
+		Designs     []string
+	}{
+		Inventory:   s.rs.Inventory(),
+		Deployments: deployments,
+		Designs:     s.store.List(),
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTmpl.Execute(w, data); err != nil {
+		fmt.Fprintf(w, "<!-- render error: %v -->", err)
+	}
+}

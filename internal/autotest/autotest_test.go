@@ -1,0 +1,212 @@
+package autotest_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/autotest"
+	"rnl/internal/lab"
+	"rnl/internal/packet"
+	"rnl/internal/topology"
+)
+
+// setup builds a cloud with two connected hosts and a saved design.
+func setup(t *testing.T) (*lab.Cloud, *topology.Design, []byte) {
+	t.Helper()
+	c, err := lab.NewCloud(lab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	h1, _, err := c.AddHost("at-h1", "10.0.0.1/24", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := c.AddHost("at-h2", "10.0.0.2/24", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &topology.Design{Name: "at-lab", Routers: []string{"at-h1", "at-h2"}}
+	if err := d.Connect("at-h1", "eth0", "at-h2", "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.SaveDesign(d); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "nightly", Routers: d.Routers,
+		Start: now.Add(-time.Minute), End: now.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := packet.BuildUDP(h1.MAC(), h2.MAC(), h1.IP(), h2.IP(), 7, 8888, []byte("probe-data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d, frame
+}
+
+func TestRunnerConnectivityProbePasses(t *testing.T) {
+	c, d, frame := setup(t)
+	r := &autotest.Runner{Client: c.Client}
+	res := r.Run(autotest.TestCase{
+		Name:   "connectivity",
+		Design: d.Name, User: "nightly",
+		Steps: []autotest.Step{
+			autotest.WireConnectivityPolicy("h1 reaches h2", "at-h1", "eth0", frame,
+				"at-h2", "eth0", autotest.MatchUDPPayload([]byte("probe-data"))),
+		},
+	})
+	if !res.Passed {
+		t.Fatalf("result: %+v", res)
+	}
+	// The lab was torn down afterwards.
+	deps, _ := c.Client.Deployments()
+	if len(deps) != 0 {
+		t.Errorf("deployments after test = %v, want none", deps)
+	}
+}
+
+func TestRunnerIsolationProbeCatchesViolation(t *testing.T) {
+	c, d, frame := setup(t)
+	r := &autotest.Runner{Client: c.Client}
+	// The design wires the hosts together, so an isolation policy
+	// between them MUST fail — this is the Fig. 6 violation detection.
+	res := r.Run(autotest.TestCase{
+		Name:   "isolation-violated",
+		Design: d.Name, User: "nightly",
+		Steps: []autotest.Step{
+			autotest.WireIsolationPolicy("h1 must not reach h2", "at-h1", "eth0", frame,
+				"at-h2", "eth0", autotest.MatchUDPPayload([]byte("probe-data"))),
+		},
+	})
+	if res.Passed {
+		t.Fatal("isolation probe should have caught the violation")
+	}
+	if len(res.Steps) != 1 || res.Steps[0].Err == nil ||
+		!strings.Contains(res.Steps[0].Err.Error(), "POLICY VIOLATION") {
+		t.Fatalf("steps = %+v", res.Steps)
+	}
+}
+
+func TestRunnerIsolationHoldsWithoutLink(t *testing.T) {
+	c, _, frame := setup(t)
+	// A design with both hosts but NO link: isolation holds.
+	d2 := &topology.Design{Name: "at-unlinked", Routers: []string{"at-h1", "at-h2"}}
+	if err := c.Client.SaveDesign(d2); err != nil {
+		t.Fatal(err)
+	}
+	r := &autotest.Runner{Client: c.Client}
+	probe := autotest.WireIsolationPolicy("unlinked", "at-h1", "eth0", frame,
+		"at-h2", "eth0", autotest.MatchAny())
+	probe.Within = 200 * time.Millisecond
+	res := r.Run(autotest.TestCase{
+		Name:   "isolation-holds",
+		Design: d2.Name, User: "nightly",
+		Steps: []autotest.Step{probe},
+	})
+	if !res.Passed {
+		t.Fatalf("isolation should hold with no link: %+v", res.Steps)
+	}
+}
+
+func TestRunnerConsoleStep(t *testing.T) {
+	c, d, _ := setup(t)
+	r := &autotest.Runner{Client: c.Client}
+	res := r.Run(autotest.TestCase{
+		Name:   "console",
+		Design: d.Name, User: "nightly",
+		Steps: []autotest.Step{
+			autotest.Console{Router: "at-h1", Commands: []string{"enable", "show ip"}},
+		},
+	})
+	if !res.Passed {
+		t.Fatalf("console step failed: %+v", res.Steps)
+	}
+	// A rejected command fails the step.
+	res = r.Run(autotest.TestCase{
+		Name:   "console-bad",
+		Design: d.Name, User: "nightly",
+		Steps: []autotest.Step{
+			autotest.Console{Router: "at-h1", Commands: []string{"bogus nonsense"}},
+		},
+	})
+	if res.Passed {
+		t.Fatal("rejected command should fail the test")
+	}
+}
+
+func TestRunnerDeployFailure(t *testing.T) {
+	c, _, _ := setup(t)
+	r := &autotest.Runner{Client: c.Client}
+	res := r.Run(autotest.TestCase{Name: "no-design", Design: "ghost"})
+	if res.Passed || res.Err == nil {
+		t.Fatalf("deploying a missing design should fail: %+v", res)
+	}
+}
+
+func TestSuiteAndReport(t *testing.T) {
+	c, d, frame := setup(t)
+	var log bytes.Buffer
+	r := &autotest.Runner{Client: c.Client, Log: &log}
+	iso := autotest.WireIsolationPolicy("leak", "at-h1", "eth0", frame, "at-h2", "eth0", autotest.MatchAny())
+	iso.Within = 200 * time.Millisecond
+	results := r.RunSuite([]autotest.TestCase{
+		{
+			Name: "pass-case", Design: d.Name, User: "nightly",
+			Steps: []autotest.Step{
+				autotest.WireConnectivityPolicy("ok", "at-h1", "eth0", frame, "at-h2", "eth0", autotest.MatchAny()),
+			},
+		},
+		{
+			Name: "fail-case", Design: d.Name, User: "nightly",
+			Steps: []autotest.Step{iso},
+		},
+	})
+	if len(results) != 2 || !results[0].Passed || results[1].Passed {
+		t.Fatalf("results = %+v", results)
+	}
+	var report bytes.Buffer
+	autotest.WriteReport(&report, results)
+	out := report.String()
+	for _, want := range []string{"PASS  pass-case", "FAIL  fail-case", "1/2 test cases passed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(log.String(), "=== SUITE: 1/2 passed") {
+		t.Errorf("suite log missing summary:\n%s", log.String())
+	}
+}
+
+func TestCustomAndWaitSteps(t *testing.T) {
+	c, d, _ := setup(t)
+	r := &autotest.Runner{Client: c.Client}
+	ran := false
+	res := r.Run(autotest.TestCase{
+		Name:   "custom",
+		Design: d.Name, User: "nightly",
+		Steps: []autotest.Step{
+			autotest.Wait{Duration: 10 * time.Millisecond},
+			autotest.Custom{Name: "check inventory", Fn: func(ctx *autotest.Context) error {
+				ran = true
+				inv, err := ctx.Client.Inventory()
+				if err != nil {
+					return err
+				}
+				if len(inv) != 2 {
+					return fmt.Errorf("wrong inventory size %d", len(inv))
+				}
+				return nil
+			}},
+		},
+	})
+	if !res.Passed || !ran {
+		t.Fatalf("custom step failed: %+v", res)
+	}
+}

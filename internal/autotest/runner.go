@@ -1,0 +1,142 @@
+package autotest
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rnl/internal/api"
+)
+
+// TestCase is one automated network test: deploy a saved design, run the
+// steps, tear down.
+type TestCase struct {
+	Name string
+	// Design names a saved design to deploy before the steps; empty
+	// means the lab is already deployed (or no deployment is needed).
+	Design string
+	User   string
+	// RestoreConfigs replays saved router configurations on deploy.
+	RestoreConfigs bool
+	// KeepDeployed leaves the lab up after the test (for debugging).
+	KeepDeployed bool
+	Steps        []Step
+}
+
+// StepResult records one step's outcome.
+type StepResult struct {
+	Description string
+	Err         error
+	Duration    time.Duration
+}
+
+// Result records one test case's outcome.
+type Result struct {
+	Name     string
+	Passed   bool
+	Err      error // setup/teardown error, if any
+	Steps    []StepResult
+	Duration time.Duration
+}
+
+// Runner executes test cases against an RNL web server.
+type Runner struct {
+	Client *api.Client
+	// Log receives progress lines; nil discards.
+	Log io.Writer
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// Run executes one test case: automated "from topology setup, applying
+// configuration, testing, to topology tear down".
+func (r *Runner) Run(tc TestCase) Result {
+	start := time.Now()
+	res := Result{Name: tc.Name}
+	ctx := &Context{Client: r.Client, Log: r.Log}
+	r.logf("=== TEST %s", tc.Name)
+
+	if tc.Design != "" {
+		if err := r.Client.Deploy(api.DeployRequest{
+			Design: tc.Design, User: tc.User, RestoreConfigs: tc.RestoreConfigs,
+		}); err != nil {
+			res.Err = fmt.Errorf("deploy %q: %w", tc.Design, err)
+			res.Duration = time.Since(start)
+			r.logf("--- FAIL %s (deploy: %v)", tc.Name, err)
+			return res
+		}
+		defer func() {
+			if !tc.KeepDeployed {
+				if err := r.Client.Teardown(tc.Design); err != nil && res.Err == nil {
+					res.Err = fmt.Errorf("teardown: %w", err)
+				}
+			}
+		}()
+	}
+
+	passed := true
+	for _, step := range tc.Steps {
+		st := time.Now()
+		err := step.Run(ctx)
+		sr := StepResult{Description: step.Describe(), Err: err, Duration: time.Since(st)}
+		res.Steps = append(res.Steps, sr)
+		if err != nil {
+			passed = false
+			r.logf("    FAIL %s: %v", sr.Description, err)
+			break // remaining steps likely depend on this one
+		}
+		r.logf("    ok   %s (%v)", sr.Description, sr.Duration.Round(time.Millisecond))
+	}
+	res.Passed = passed && res.Err == nil
+	res.Duration = time.Since(start)
+	if res.Passed {
+		r.logf("--- PASS %s (%v)", tc.Name, res.Duration.Round(time.Millisecond))
+	} else {
+		r.logf("--- FAIL %s (%v)", tc.Name, res.Duration.Round(time.Millisecond))
+	}
+	return res
+}
+
+// RunSuite executes test cases in order and writes the nightly summary.
+func (r *Runner) RunSuite(cases []TestCase) []Result {
+	results := make([]Result, 0, len(cases))
+	for _, tc := range cases {
+		results = append(results, r.Run(tc))
+	}
+	passed := 0
+	for _, res := range results {
+		if res.Passed {
+			passed++
+		}
+	}
+	r.logf("=== SUITE: %d/%d passed", passed, len(results))
+	return results
+}
+
+// WriteReport renders results as the morning-readable log (paper §1:
+// "read the log file in the morning to determine whether the change could
+// be rolled out").
+func WriteReport(w io.Writer, results []Result) {
+	passed := 0
+	for _, res := range results {
+		status := "FAIL"
+		if res.Passed {
+			status = "PASS"
+			passed++
+		}
+		fmt.Fprintf(w, "%s  %-40s %8v\n", status, res.Name, res.Duration.Round(time.Millisecond))
+		if res.Err != nil {
+			fmt.Fprintf(w, "      setup/teardown: %v\n", res.Err)
+		}
+		for _, sr := range res.Steps {
+			if sr.Err != nil {
+				fmt.Fprintf(w, "      step %q: %v\n", sr.Description, sr.Err)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%d/%d test cases passed\n", passed, len(results))
+}

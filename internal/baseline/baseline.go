@@ -1,0 +1,160 @@
+// Package baseline implements the virtual-connection mechanisms RNL is
+// compared against in the paper (§2 "Virtual connection" and §5):
+//
+//   - VLAN links (Emulab-style): the two ports are placed in a VLAN of a
+//     shared switched infrastructure. Data frames pass, but 802.1D
+//     link-local control traffic (BPDUs) is consumed by the
+//     infrastructure bridges, and frames that are already 802.1Q-tagged
+//     cannot be carried (no QinQ) — "a layer 2 virtual connection ...
+//     cannot move packets beyond a single layer 2 domain".
+//
+//   - VPN links (VINI-style layer-3 tunnels): only IP packets cross, and
+//     the original Ethernet header is lost in transit — "a layer 3
+//     virtual connection ... tunnels packets at the IP layer, so layer 2
+//     information is lost".
+//
+// RNL's own wire (internal/wire + routeserver) carries the complete frame;
+// these baselines exist so tests and benchmarks can demonstrate exactly
+// which traffic classes each mechanism loses.
+package baseline
+
+import (
+	"net"
+	"sync"
+
+	"rnl/internal/netsim"
+	"rnl/internal/packet"
+)
+
+// Filter transforms a frame in transit; ok=false drops it.
+type Filter func(frame []byte) (out []byte, ok bool)
+
+// Wire is a filtered virtual link between two interfaces.
+type Wire struct {
+	a, b *netsim.Iface
+
+	mu     sync.Mutex
+	closed bool
+	ab, ba chan []byte
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// DroppedAB/BA count frames the mechanism could not carry, per
+	// direction.
+	DroppedAB, DroppedBA uint64
+}
+
+const queueLen = 512
+
+// connectFiltered wires a↔b through per-direction filters.
+func connectFiltered(a, b *netsim.Iface, f Filter) *Wire {
+	w := &Wire{
+		a: a, b: b,
+		ab:   make(chan []byte, queueLen),
+		ba:   make(chan []byte, queueLen),
+		done: make(chan struct{}),
+	}
+	a.SetOutput(func(fr []byte) { enqueue(w.ab, fr) })
+	b.SetOutput(func(fr []byte) { enqueue(w.ba, fr) })
+	w.wg.Add(2)
+	go w.pump(w.ab, b, f, &w.DroppedAB)
+	go w.pump(w.ba, a, f, &w.DroppedBA)
+	return w
+}
+
+func enqueue(q chan []byte, f []byte) {
+	select {
+	case q <- f:
+	default:
+	}
+}
+
+func (w *Wire) pump(q chan []byte, dst *netsim.Iface, f Filter, dropped *uint64) {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.done:
+			return
+		case fr := <-q:
+			out, ok := f(fr)
+			if !ok {
+				w.mu.Lock()
+				*dropped++
+				w.mu.Unlock()
+				continue
+			}
+			dst.Deliver(out)
+		}
+	}
+}
+
+// Drops reports frames dropped in each direction.
+func (w *Wire) Drops() (ab, ba uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.DroppedAB, w.DroppedBA
+}
+
+// Disconnect unplugs the wire.
+func (w *Wire) Disconnect() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.a.SetOutput(nil)
+	w.b.SetOutput(nil)
+	close(w.done)
+	w.wg.Wait()
+}
+
+// ConnectVLAN builds an Emulab-style VLAN link between two interfaces.
+func ConnectVLAN(a, b *netsim.Iface) *Wire {
+	return connectFiltered(a, b, vlanFilter)
+}
+
+// vlanFilter models what survives a path through 802.1Q infrastructure
+// bridges: link-local control frames are consumed, tagged frames cannot
+// be re-tagged (no QinQ).
+func vlanFilter(frame []byte) ([]byte, bool) {
+	if len(frame) < 14 {
+		return nil, false
+	}
+	dst := net.HardwareAddr(frame[0:6])
+	if packet.IsLinkLocalMulticast(dst) {
+		return nil, false // BPDUs die at the first infrastructure bridge
+	}
+	if _, tagged := packet.VLANID(frame); tagged {
+		return nil, false // no QinQ on the shared infrastructure
+	}
+	return frame, true
+}
+
+// ConnectVPN builds a VINI-style layer-3 tunnel between two interfaces.
+// tunnelMAC is the synthetic address the tunnel endpoint uses when
+// re-emitting packets at the far side.
+func ConnectVPN(a, b *netsim.Iface) *Wire {
+	return connectFiltered(a, b, vpnFilter)
+}
+
+// vpnMAC is the synthetic gateway address a VPN endpoint stamps onto
+// re-emitted packets; the original L2 addressing does not survive.
+var vpnMAC = net.HardwareAddr{0x02, 0x76, 0x70, 0x6e, 0x00, 0x01}
+
+// vpnFilter models an IP tunnel: only IPv4 crosses, with the Ethernet
+// header rebuilt at the far end.
+func vpnFilter(frame []byte) ([]byte, bool) {
+	p := packet.NewPacket(frame, packet.LayerTypeEthernet, packet.NoCopy)
+	eth, ok := p.LinkLayer().(*packet.Ethernet)
+	if !ok || eth.EthernetType != packet.EthernetTypeIPv4 {
+		return nil, false // ARP, BPDUs, everything non-IP is lost
+	}
+	out := make([]byte, 0, len(frame))
+	out = append(out, packet.Broadcast...) // far end delivers to whoever listens
+	out = append(out, vpnMAC...)
+	out = append(out, 0x08, 0x00)
+	out = append(out, eth.LayerPayload()...)
+	return out, true
+}

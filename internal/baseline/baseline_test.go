@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"rnl/internal/device"
+	"rnl/internal/netsim"
+	"rnl/internal/packet"
+)
+
+func recvTyped(i *netsim.Iface, lt packet.LayerType) chan struct{} {
+	ch := make(chan struct{}, 8)
+	i.SetReceiver(func(f []byte) {
+		p := packet.NewPacket(f, packet.LayerTypeEthernet, packet.Default)
+		if p.Layer(lt) != nil {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		}
+	})
+	return ch
+}
+
+var (
+	macA = deviceMACish(1)
+	macB = deviceMACish(2)
+)
+
+func deviceMACish(i byte) []byte { return []byte{0x02, 0, 0, 0, 0, i} }
+
+func sendBPDU(t *testing.T, i *netsim.Iface) {
+	t.Helper()
+	frame, err := packet.BuildBPDU(macA, &packet.STP{
+		BPDUType: packet.BPDUTypeConfig,
+		RootID:   packet.BridgeID{Priority: 1, MAC: macA},
+		BridgeID: packet.BridgeID{Priority: 1, MAC: macA},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i.Transmit(frame)
+}
+
+func sendARP(t *testing.T, i *netsim.Iface) {
+	t.Helper()
+	frame, err := packet.BuildARPRequest(macA, []byte{10, 0, 0, 1}, []byte{10, 0, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i.Transmit(frame)
+}
+
+func sendUDPFrame(t *testing.T, i *netsim.Iface) {
+	t.Helper()
+	frame, err := packet.BuildUDP(macA, macB, []byte{10, 0, 0, 1}, []byte{10, 0, 0, 2}, 1, 2, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i.Transmit(frame)
+}
+
+func arrived(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	case <-time.After(150 * time.Millisecond):
+		return false
+	}
+}
+
+func TestVLANWireEatsBPDUs(t *testing.T) {
+	a, b := netsim.NewIface("a"), netsim.NewIface("b")
+	w := ConnectVLAN(a, b)
+	defer w.Disconnect()
+
+	gotSTP := recvTyped(b, packet.LayerTypeSTP)
+	sendBPDU(t, a)
+	if arrived(gotSTP) {
+		t.Fatal("VLAN link must not carry BPDUs")
+	}
+	if ab, _ := w.Drops(); ab != 1 {
+		t.Errorf("drop counter = %d, want 1", ab)
+	}
+	gotARP := recvTyped(b, packet.LayerTypeARP)
+	sendARP(t, a)
+	if !arrived(gotARP) {
+		t.Fatal("VLAN link should carry ARP")
+	}
+	gotUDP := recvTyped(b, packet.LayerTypeUDP)
+	sendUDPFrame(t, a)
+	if !arrived(gotUDP) {
+		t.Fatal("VLAN link should carry IP traffic")
+	}
+}
+
+func TestVLANWireRejectsNestedTags(t *testing.T) {
+	a, b := netsim.NewIface("a"), netsim.NewIface("b")
+	w := ConnectVLAN(a, b)
+	defer w.Disconnect()
+	got := recvTyped(b, packet.LayerTypeDot1Q)
+	frame, _ := packet.BuildUDP(macA, macB, []byte{10, 0, 0, 1}, []byte{10, 0, 0, 2}, 1, 2, nil)
+	tagged, _ := packet.WithVLANTag(frame, 100, 0)
+	a.Transmit(tagged)
+	if arrived(got) {
+		t.Fatal("VLAN link must not carry already-tagged frames (no QinQ)")
+	}
+}
+
+func TestVPNWireOnlyCarriesIP(t *testing.T) {
+	a, b := netsim.NewIface("a"), netsim.NewIface("b")
+	w := ConnectVPN(a, b)
+	defer w.Disconnect()
+
+	gotSTP := recvTyped(b, packet.LayerTypeSTP)
+	sendBPDU(t, a)
+	if arrived(gotSTP) {
+		t.Fatal("VPN link must not carry BPDUs")
+	}
+	gotARP := recvTyped(b, packet.LayerTypeARP)
+	sendARP(t, a)
+	if arrived(gotARP) {
+		t.Fatal("VPN link must not carry ARP")
+	}
+	gotUDP := recvTyped(b, packet.LayerTypeUDP)
+	sendUDPFrame(t, a)
+	if !arrived(gotUDP) {
+		t.Fatal("VPN link should carry IP")
+	}
+}
+
+func TestVPNWireLosesL2Header(t *testing.T) {
+	a, b := netsim.NewIface("a"), netsim.NewIface("b")
+	w := ConnectVPN(a, b)
+	defer w.Disconnect()
+	got := make(chan []byte, 1)
+	b.SetReceiver(func(f []byte) {
+		select {
+		case got <- f:
+		default:
+		}
+	})
+	sendUDPFrame(t, a)
+	select {
+	case f := <-got:
+		p := packet.NewPacket(f, packet.LayerTypeEthernet, packet.Default)
+		eth := p.LinkLayer().(*packet.Ethernet)
+		if eth.SrcMAC.String() == netMAC(macA) {
+			t.Error("original source MAC survived the VPN — it must not")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("IP frame never crossed the VPN")
+	}
+}
+
+func netMAC(b []byte) string {
+	p := packet.MACEndpoint(b)
+	return p.String()
+}
+
+// TestFidelityComparison is the §5 experiment in miniature: the same STP
+// workload over three wire mechanisms. Only a direct (RNL-fidelity) wire
+// lets the two switches see each other.
+func TestFidelityComparison(t *testing.T) {
+	type connectFn func(a, b *netsim.Iface) func()
+	mechanisms := []struct {
+		name      string
+		connect   connectFn
+		wantMerge bool // should the switches agree on one root?
+	}{
+		{"direct", func(a, b *netsim.Iface) func() {
+			w := netsim.Connect(a, b, nil)
+			return w.Disconnect
+		}, true},
+		{"vlan", func(a, b *netsim.Iface) func() {
+			w := ConnectVLAN(a, b)
+			return w.Disconnect
+		}, false},
+		{"vpn", func(a, b *netsim.Iface) func() {
+			w := ConnectVPN(a, b)
+			return w.Disconnect
+		}, false},
+	}
+	for _, m := range mechanisms {
+		t.Run(m.name, func(t *testing.T) {
+			s1 := device.NewSwitch("f-"+m.name+"-1", []string{"p1"}, device.FastTimers())
+			s2 := device.NewSwitch("f-"+m.name+"-2", []string{"p1"}, device.FastTimers())
+			t.Cleanup(s1.Close)
+			t.Cleanup(s2.Close)
+			disconnect := m.connect(s1.Port("p1"), s2.Port("p1"))
+			t.Cleanup(disconnect)
+
+			merged := false
+			deadline := time.Now().Add(time.Second)
+			for time.Now().Before(deadline) {
+				if s1.IsRoot() != s2.IsRoot() {
+					merged = true
+					break
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if merged != m.wantMerge {
+				t.Errorf("%s: STP merge = %v, want %v", m.name, merged, m.wantMerge)
+			}
+		})
+	}
+}

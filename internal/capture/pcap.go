@@ -1,0 +1,145 @@
+// Package capture provides the classic libpcap file format for RNL's
+// software taps, so captures taken on any virtual wire (paper §3.2) can
+// be opened in standard analysis tools.
+package capture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// pcap global header constants (classic little-endian pcap, LINKTYPE_ETHERNET).
+const (
+	pcapMagic        = 0xa1b2c3d4
+	pcapVersionMajor = 2
+	pcapVersionMinor = 4
+	pcapLinkEthernet = 1
+	// SnapLen is the maximum frame size recorded.
+	SnapLen = 65535
+)
+
+// Writer emits a pcap stream: one global header, then one record per
+// frame. Writer is not safe for concurrent use; callers serialize.
+type Writer struct {
+	w       io.Writer
+	started bool
+	count   int
+}
+
+// NewWriter wraps an io.Writer. The global header is written lazily on
+// the first frame (or by Flush for an empty capture).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+func (pw *Writer) writeHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMinor)
+	// thiszone, sigfigs: 0
+	binary.LittleEndian.PutUint32(hdr[16:20], SnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], pcapLinkEthernet)
+	_, err := pw.w.Write(hdr[:])
+	pw.started = true
+	return err
+}
+
+// WriteFrame appends one captured frame with its timestamp.
+func (pw *Writer) WriteFrame(when time.Time, frame []byte) error {
+	if !pw.started {
+		if err := pw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	capLen := len(frame)
+	if capLen > SnapLen {
+		capLen = SnapLen
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(when.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(when.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(capLen))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	if _, err := pw.w.Write(rec[:]); err != nil {
+		return err
+	}
+	if _, err := pw.w.Write(frame[:capLen]); err != nil {
+		return err
+	}
+	pw.count++
+	return nil
+}
+
+// Flush ensures the header exists even for empty captures.
+func (pw *Writer) Flush() error {
+	if !pw.started {
+		return pw.writeHeader()
+	}
+	return nil
+}
+
+// Count reports frames written.
+func (pw *Writer) Count() int { return pw.count }
+
+// Record is one frame read back from a pcap stream.
+type Record struct {
+	When  time.Time
+	Frame []byte
+	// OrigLen is the original frame length (≥ len(Frame) if truncated).
+	OrigLen int
+}
+
+// Reader parses the classic pcap format (both byte orders).
+type Reader struct {
+	r     io.Reader
+	order binary.ByteOrder
+}
+
+// NewReader validates the global header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("capture: reading pcap header: %w", err)
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(hdr[0:4]) {
+	case pcapMagic:
+		order = binary.LittleEndian
+	case 0xd4c3b2a1:
+		order = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("capture: not a pcap stream (magic %#x)", binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	if lt := order.Uint32(hdr[20:24]); lt != pcapLinkEthernet {
+		return nil, fmt.Errorf("capture: link type %d unsupported (want Ethernet)", lt)
+	}
+	return &Reader{r: r, order: order}, nil
+}
+
+// Next returns the next record, or io.EOF at the end.
+func (pr *Reader) Next() (Record, error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(pr.r, rec[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return Record{}, err
+	}
+	sec := pr.order.Uint32(rec[0:4])
+	usec := pr.order.Uint32(rec[4:8])
+	capLen := pr.order.Uint32(rec[8:12])
+	origLen := pr.order.Uint32(rec[12:16])
+	if capLen > SnapLen {
+		return Record{}, fmt.Errorf("capture: record length %d exceeds snap length", capLen)
+	}
+	frame := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, frame); err != nil {
+		return Record{}, fmt.Errorf("capture: truncated record: %w", err)
+	}
+	return Record{
+		When:    time.Unix(int64(sec), int64(usec)*1000),
+		Frame:   frame,
+		OrigLen: int(origLen),
+	}, nil
+}

@@ -1,0 +1,131 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	t0 := time.Unix(1700000000, 123456000)
+	frames := [][]byte{
+		{0xde, 0xad, 0xbe, 0xef},
+		bytes.Repeat([]byte{0x55}, 1500),
+		{},
+	}
+	for i, f := range frames {
+		if err := w.WriteFrame(t0.Add(time.Duration(i)*time.Second), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range frames {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(rec.Frame, want) {
+			t.Errorf("record %d frame mismatch", i)
+		}
+		if !rec.When.Equal(t0.Add(time.Duration(i) * time.Second)) {
+			t.Errorf("record %d time = %v", i, rec.When)
+		}
+		if rec.OrigLen != len(want) {
+			t.Errorf("record %d origlen = %d", i, rec.OrigLen)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF at end, got %v", err)
+	}
+}
+
+func TestEmptyCaptureStillValid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty capture should EOF, got %v", err)
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	huge := make([]byte, SnapLen+100)
+	for i := range huge {
+		huge[i] = byte(i)
+	}
+	if err := w.WriteFrame(time.Unix(0, 0), huge); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Frame) != SnapLen || rec.OrigLen != len(huge) {
+		t.Errorf("caplen=%d origlen=%d", len(rec.Frame), rec.OrigLen)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a pcap file at all......"))); err == nil {
+		t.Error("garbage magic should fail")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail")
+	}
+}
+
+func TestQuickRoundtripProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, p := range payloads {
+			if len(p) > 2000 {
+				p = p[:2000]
+			}
+			if err := w.WriteFrame(time.Unix(1, 0), p); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, p := range payloads {
+			if len(p) > 2000 {
+				p = p[:2000]
+			}
+			rec, err := r.Next()
+			if err != nil || !bytes.Equal(rec.Frame, p) {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

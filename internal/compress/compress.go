@@ -1,0 +1,222 @@
+// Package compress implements RNL's template-based packet compression
+// (paper §4): performance-testing packets are usually generated from one
+// template and differ only in small markings (sequence numbers, IDs,
+// checksums), so encoding each packet as an XOR-delta against a recently
+// seen packet of the same length yields high compression ratios.
+//
+// Compressor and Decompressor form a synchronized pair: both maintain an
+// identical ring of recent packets, so only the ring slot of the template
+// travels on the (ordered, reliable) tunnel alongside the delta.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Method identifies how a packet was encoded.
+const (
+	methodRaw   byte = 0
+	methodDelta byte = 1
+)
+
+// RingSize is how many recent packets each side remembers. A byte-sized
+// ring keeps the template reference to a single byte on the wire.
+const RingSize = 64
+
+// ring is the shared template memory.
+type ring struct {
+	slots [RingSize][]byte
+	next  int
+	// byLen maps packet length to the most recent slot of that length;
+	// template matching is length-exact, which is both fast and the
+	// common case for generated traffic.
+	byLen map[int]int
+}
+
+func newRing() *ring {
+	return &ring{byLen: make(map[int]int)}
+}
+
+// add stores a packet (copied) and returns its slot.
+func (r *ring) add(pkt []byte) int {
+	slot := r.next
+	r.slots[slot] = append(r.slots[slot][:0], pkt...)
+	r.byLen[len(pkt)] = slot
+	r.next = (r.next + 1) % RingSize
+	return slot
+}
+
+// candidate returns the most recent slot holding a packet of length n.
+func (r *ring) candidate(n int) (int, bool) {
+	slot, ok := r.byLen[n]
+	if !ok || len(r.slots[slot]) != n {
+		// Stale index: the slot was overwritten by a different length.
+		return 0, false
+	}
+	return slot, true
+}
+
+// Compressor encodes packets as deltas against its ring.
+type Compressor struct {
+	ring *ring
+	// scratch reused across calls to avoid per-packet allocation.
+	scratch []byte
+
+	// Stats.
+	In, Out    uint64 // bytes before and after encoding
+	RawCount   uint64
+	DeltaCount uint64
+}
+
+// NewCompressor returns an empty-state compressor.
+func NewCompressor() *Compressor { return &Compressor{ring: newRing()} }
+
+// Ratio reports the cumulative compression ratio (input/output); 1.0 when
+// nothing has been saved.
+func (c *Compressor) Ratio() float64 {
+	if c.Out == 0 {
+		return 1
+	}
+	return float64(c.In) / float64(c.Out)
+}
+
+// Compress encodes pkt. The returned slice is only valid until the next
+// call; callers that keep it must copy.
+func (c *Compressor) Compress(pkt []byte) []byte {
+	c.In += uint64(len(pkt))
+	slot, ok := c.ring.candidate(len(pkt))
+	var enc []byte
+	if ok {
+		enc = encodeDelta(c.scratch[:0], byte(slot), c.ring.slots[slot], pkt)
+	}
+	if enc == nil || len(enc) >= len(pkt)+1 {
+		// Delta did not pay off (or no template): send raw.
+		c.scratch = append(c.scratch[:0], methodRaw)
+		c.scratch = append(c.scratch, pkt...)
+		enc = c.scratch
+		c.RawCount++
+	} else {
+		c.scratch = enc
+		c.DeltaCount++
+	}
+	c.ring.add(pkt)
+	c.Out += uint64(len(enc))
+	return enc
+}
+
+// Decompressor reverses Compressor; the two must see the same packet
+// sequence.
+type Decompressor struct {
+	ring *ring
+}
+
+// NewDecompressor returns an empty-state decompressor.
+func NewDecompressor() *Decompressor { return &Decompressor{ring: newRing()} }
+
+// Decompress decodes one encoded packet and returns a fresh slice.
+func (d *Decompressor) Decompress(enc []byte) ([]byte, error) {
+	if len(enc) < 1 {
+		return nil, fmt.Errorf("compress: empty encoding")
+	}
+	switch enc[0] {
+	case methodRaw:
+		pkt := append([]byte(nil), enc[1:]...)
+		d.ring.add(pkt)
+		return pkt, nil
+	case methodDelta:
+		pkt, err := decodeDelta(enc[1:], d.ring)
+		if err != nil {
+			return nil, err
+		}
+		d.ring.add(pkt)
+		return pkt, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown method %d", enc[0])
+	}
+}
+
+// encodeDelta emits: methodDelta, slot byte, then a sequence of
+// (skip uvarint, litLen uvarint, literal bytes) runs covering every byte
+// where pkt differs from the template. Returns nil if it cannot beat raw.
+func encodeDelta(dst []byte, slot byte, tmpl, pkt []byte) []byte {
+	dst = append(dst, methodDelta, slot)
+	var varbuf [binary.MaxVarintLen64]byte
+	i := 0
+	n := len(pkt)
+	budget := n // stop early if we exceed the raw size
+	for i < n {
+		runStart := i
+		for i < n && pkt[i] == tmpl[i] {
+			i++
+		}
+		skip := i - runStart
+		litStart := i
+		for i < n && pkt[i] != tmpl[i] {
+			i++
+		}
+		// Short matching gaps inside a literal aren't worth a run
+		// header; extend the literal across them.
+		for i < n {
+			j := i
+			for j < n && pkt[j] == tmpl[j] {
+				j++
+			}
+			if j-i > 3 || j == n {
+				break
+			}
+			i = j
+			for i < n && pkt[i] != tmpl[i] {
+				i++
+			}
+		}
+		lit := pkt[litStart:i]
+		if len(lit) == 0 && i >= n {
+			break
+		}
+		k := binary.PutUvarint(varbuf[:], uint64(skip))
+		dst = append(dst, varbuf[:k]...)
+		k = binary.PutUvarint(varbuf[:], uint64(len(lit)))
+		dst = append(dst, varbuf[:k]...)
+		dst = append(dst, lit...)
+		if len(dst) > budget {
+			return nil
+		}
+	}
+	return dst
+}
+
+// decodeDelta reconstructs a packet from runs applied over the template.
+func decodeDelta(payload []byte, r *ring) ([]byte, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("compress: delta missing slot")
+	}
+	slot := int(payload[0])
+	if slot >= RingSize || r.slots[slot] == nil {
+		return nil, fmt.Errorf("compress: delta references empty slot %d", slot)
+	}
+	tmpl := r.slots[slot]
+	pkt := append([]byte(nil), tmpl...)
+	rest := payload[1:]
+	pos := 0
+	for len(rest) > 0 {
+		skip, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return nil, fmt.Errorf("compress: bad skip varint")
+		}
+		rest = rest[k:]
+		litLen, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return nil, fmt.Errorf("compress: bad literal varint")
+		}
+		rest = rest[k:]
+		pos += int(skip)
+		if uint64(len(rest)) < litLen || pos+int(litLen) > len(pkt) {
+			return nil, fmt.Errorf("compress: delta overruns packet (pos %d, lit %d, pkt %d)", pos, litLen, len(pkt))
+		}
+		copy(pkt[pos:], rest[:litLen])
+		pos += int(litLen)
+		rest = rest[litLen:]
+	}
+	return pkt, nil
+}

@@ -1,0 +1,213 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pair returns a synchronized compressor/decompressor.
+func pair() (*Compressor, *Decompressor) {
+	return NewCompressor(), NewDecompressor()
+}
+
+// roundtrip pushes packets through a pair, failing on any mismatch.
+func roundtrip(t *testing.T, pkts [][]byte) *Compressor {
+	t.Helper()
+	c, d := pair()
+	for i, p := range pkts {
+		enc := c.Compress(p)
+		got, err := d.Decompress(enc)
+		if err != nil {
+			t.Fatalf("packet %d: decompress: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("packet %d: roundtrip mismatch (%d vs %d bytes)", i, len(got), len(p))
+		}
+	}
+	return c
+}
+
+// templatePackets builds n packets from one template, varying only a
+// 4-byte sequence field — the paper's performance-testing workload.
+func templatePackets(n, size int) [][]byte {
+	base := make([]byte, size)
+	r := rand.New(rand.NewSource(42))
+	r.Read(base)
+	out := make([][]byte, n)
+	for i := range out {
+		p := append([]byte(nil), base...)
+		binary.BigEndian.PutUint32(p[40:44], uint32(i)) // a "sequence number"
+		binary.BigEndian.PutUint16(p[24:26], uint16(i)) // an "IP ID"
+		out[i] = p
+	}
+	return out
+}
+
+func TestRoundtripTemplateStream(t *testing.T) {
+	c := roundtrip(t, templatePackets(500, 1000))
+	if c.DeltaCount < 490 {
+		t.Errorf("expected nearly all packets delta-encoded, got %d/500", c.DeltaCount)
+	}
+	if r := c.Ratio(); r < 20 {
+		t.Errorf("template stream ratio = %.1f, want > 20x", r)
+	}
+}
+
+func TestRoundtripRandomPackets(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pkts := make([][]byte, 200)
+	for i := range pkts {
+		p := make([]byte, 60+r.Intn(1200))
+		r.Read(p)
+		pkts[i] = p
+	}
+	c := roundtrip(t, pkts)
+	// Random data must not blow up: overhead bounded to 1 byte/packet.
+	if c.Out > c.In+uint64(len(pkts)) {
+		t.Errorf("random stream grew: in=%d out=%d", c.In, c.Out)
+	}
+}
+
+func TestRoundtripMixedSizes(t *testing.T) {
+	var pkts [][]byte
+	for i := 0; i < 50; i++ {
+		pkts = append(pkts, templatePackets(1, 64)[0], templatePackets(1, 512)[0], templatePackets(1, 1500)[0])
+	}
+	roundtrip(t, pkts)
+}
+
+func TestIdenticalPacketsCompressToAlmostNothing(t *testing.T) {
+	p := bytes.Repeat([]byte{0xAB}, 1400)
+	pkts := make([][]byte, 100)
+	for i := range pkts {
+		pkts[i] = p
+	}
+	c := roundtrip(t, pkts)
+	if r := c.Ratio(); r < 80 {
+		t.Errorf("identical packets ratio = %.1f, want > 80x", r)
+	}
+}
+
+func TestEmptyAndTinyPackets(t *testing.T) {
+	roundtrip(t, [][]byte{{}, {1}, {1}, {2, 3}, {2, 4}, {}})
+}
+
+func TestDecompressErrors(t *testing.T) {
+	d := NewDecompressor()
+	if _, err := d.Decompress(nil); err == nil {
+		t.Error("empty encoding should fail")
+	}
+	if _, err := d.Decompress([]byte{99, 1, 2}); err == nil {
+		t.Error("unknown method should fail")
+	}
+	if _, err := d.Decompress([]byte{methodDelta}); err == nil {
+		t.Error("delta without slot should fail")
+	}
+	if _, err := d.Decompress([]byte{methodDelta, 5, 0x01, 0x01, 0xFF}); err == nil {
+		t.Error("delta referencing an empty slot should fail")
+	}
+}
+
+func TestDeltaOverrunRejected(t *testing.T) {
+	c, d := pair()
+	base := make([]byte, 100)
+	d.Decompress(c.Compress(base)) // prime slot 0 on both sides
+	// Handcraft a delta claiming a literal past the end of the template.
+	evil := []byte{methodDelta, 0}
+	var varbuf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(varbuf[:], 90)
+	evil = append(evil, varbuf[:k]...)
+	k = binary.PutUvarint(varbuf[:], 50) // 90+50 > 100
+	evil = append(evil, varbuf[:k]...)
+	evil = append(evil, bytes.Repeat([]byte{1}, 50)...)
+	if _, err := d.Decompress(evil); err == nil {
+		t.Error("overrunning delta should be rejected")
+	}
+}
+
+func TestRingWrapKeepsSync(t *testing.T) {
+	// Push far more packets than RingSize with varying lengths to force
+	// slot reuse and stale byLen entries.
+	r := rand.New(rand.NewSource(3))
+	var pkts [][]byte
+	for i := 0; i < RingSize*5; i++ {
+		size := 100 + (i%7)*33
+		p := make([]byte, size)
+		r.Read(p)
+		pkts = append(pkts, p)
+		// Repeat some packets to exercise delta paths mid-wrap.
+		if i%3 == 0 {
+			q := append([]byte(nil), p...)
+			q[size/2]++
+			pkts = append(pkts, q)
+		}
+	}
+	roundtrip(t, pkts)
+}
+
+func TestQuickRoundtripProperty(t *testing.T) {
+	f := func(seed int64, sizes []uint16) bool {
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		r := rand.New(rand.NewSource(seed))
+		c, d := pair()
+		var prev []byte
+		for _, sz := range sizes {
+			n := int(sz % 1600)
+			var p []byte
+			if prev != nil && len(prev) == n && r.Intn(2) == 0 {
+				// Mutated repeat of the previous packet.
+				p = append([]byte(nil), prev...)
+				if n > 0 {
+					p[r.Intn(n)] ^= byte(r.Intn(255) + 1)
+				}
+			} else {
+				p = make([]byte, n)
+				r.Read(p)
+			}
+			got, err := d.Decompress(c.Compress(p))
+			if err != nil || !bytes.Equal(got, p) {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompressTemplateStream(b *testing.B) {
+	pkts := templatePackets(1000, 1000)
+	b.SetBytes(1000)
+	b.ReportAllocs()
+	c := NewCompressor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Compress(pkts[i%len(pkts)])
+	}
+	b.ReportMetric(c.Ratio(), "ratio")
+}
+
+func BenchmarkDecompressTemplateStream(b *testing.B) {
+	pkts := templatePackets(1000, 1000)
+	c := NewCompressor()
+	encs := make([][]byte, len(pkts))
+	for i, p := range pkts {
+		encs[i] = append([]byte(nil), c.Compress(p)...)
+	}
+	d := NewDecompressor()
+	b.SetBytes(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decompress(encs[i%len(encs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package console drives device consoles programmatically: an
+// expect-style driver over any io.ReadWriter (a routeserver.ConsoleSession,
+// a serial port, …). It implements the web server's "built-in knowledge
+// about how to dump the configuration" for Cisco-style devices (paper
+// §2.1): saving a design also saves each router's running configuration by
+// driving its console, and deploying restores it the same way.
+package console
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Driver executes commands on a console and collects output up to the
+// next prompt. RNL's emulated devices (and real Cisco gear) end prompts
+// with '>' or '#'.
+type Driver struct {
+	rw      io.ReadWriter
+	timeout time.Duration
+
+	mu   sync.Mutex
+	buf  strings.Builder
+	errs chan error
+	data chan []byte
+	once sync.Once
+}
+
+// NewDriver wraps a console stream. timeout bounds each Command call.
+func NewDriver(rw io.ReadWriter, timeout time.Duration) *Driver {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	d := &Driver{rw: rw, timeout: timeout, errs: make(chan error, 1), data: make(chan []byte, 64)}
+	go d.readLoop()
+	return d
+}
+
+func (d *Driver) readLoop() {
+	buf := make([]byte, 4096)
+	for {
+		n, err := d.rw.Read(buf)
+		if n > 0 {
+			b := append([]byte(nil), buf[:n]...)
+			select {
+			case d.data <- b:
+			default:
+				// Consumer absent: drop rather than stall the console.
+			}
+		}
+		if err != nil {
+			select {
+			case d.errs <- err:
+			default:
+			}
+			return
+		}
+	}
+}
+
+// promptAtEnd reports whether the accumulated output ends with a prompt.
+func promptAtEnd(s string) bool {
+	s = strings.TrimRight(s, " ")
+	if s == "" {
+		return false
+	}
+	switch s[len(s)-1] {
+	case '>', '#':
+		// Make sure it's the end of a line, not mid-output.
+		return true
+	default:
+		return false
+	}
+}
+
+// Command sends one line and returns everything printed before the next
+// prompt (the echoed prompt itself is stripped).
+func (d *Driver) Command(cmd string) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := io.WriteString(d.rw, cmd+"\n"); err != nil {
+		return "", fmt.Errorf("console: writing %q: %w", cmd, err)
+	}
+	var out strings.Builder
+	deadline := time.After(d.timeout)
+	for {
+		select {
+		case b := <-d.data:
+			out.Write(b)
+			if promptAtEnd(out.String()) {
+				return cleanOutput(out.String()), nil
+			}
+		case err := <-d.errs:
+			return cleanOutput(out.String()), fmt.Errorf("console: stream ended: %w", err)
+		case <-deadline:
+			return cleanOutput(out.String()), fmt.Errorf("console: timeout waiting for prompt after %q", cmd)
+		}
+	}
+}
+
+// Drain consumes any pending output (banners, previous prompts) for up to
+// the given duration. Call it once after opening a console.
+func (d *Driver) Drain(dur time.Duration) {
+	deadline := time.After(dur)
+	for {
+		select {
+		case <-d.data:
+		case <-deadline:
+			return
+		case err := <-d.errs:
+			// Put the error back for the next Command to see.
+			select {
+			case d.errs <- err:
+			default:
+			}
+			return
+		}
+	}
+}
+
+// cleanOutput strips carriage returns and the trailing prompt line.
+func cleanOutput(s string) string {
+	s = strings.ReplaceAll(s, "\r", "")
+	lines := strings.Split(s, "\n")
+	// Drop the trailing prompt line.
+	if n := len(lines); n > 0 && promptAtEnd(lines[n-1]) {
+		lines = lines[:n-1]
+	}
+	return strings.TrimRight(strings.Join(lines, "\n"), "\n")
+}
+
+// DumpConfig retrieves a device's running configuration via its console —
+// the Cisco-style automation the web UI performs when saving a design.
+func DumpConfig(d *Driver) (string, error) {
+	if _, err := d.Command("enable"); err != nil {
+		return "", err
+	}
+	out, err := d.Command("show running-config")
+	if err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// RestoreConfig replays a previously dumped configuration.
+func RestoreConfig(d *Driver, cfg string) error {
+	if _, err := d.Command("enable"); err != nil {
+		return err
+	}
+	if _, err := d.Command("configure terminal"); err != nil {
+		return err
+	}
+	for _, line := range strings.Split(cfg, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if out, err := d.Command(line); err != nil {
+			return fmt.Errorf("console: restoring line %q: %w", line, err)
+		} else if strings.HasPrefix(strings.TrimSpace(out), "%") {
+			return fmt.Errorf("console: device rejected line %q: %s", line, strings.TrimSpace(out))
+		}
+	}
+	if _, err := d.Command("end"); err != nil {
+		return err
+	}
+	return nil
+}

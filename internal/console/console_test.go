@@ -1,0 +1,108 @@
+package console
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/device"
+	"rnl/internal/netsim"
+)
+
+// newConsoledHost wires a host's console to a serial port and returns a
+// driver on the PC end.
+func newConsoledHost(t *testing.T, name string) (*device.Host, *Driver) {
+	t.Helper()
+	h := device.NewHost(name, device.FastTimers())
+	t.Cleanup(h.Close)
+	sp := netsim.NewSerialPort()
+	t.Cleanup(sp.Close)
+	go device.AttachConsole(h, sp.DeviceEnd)
+	d := NewDriver(sp.PCEnd, 2*time.Second)
+	d.Drain(20 * time.Millisecond)
+	return h, d
+}
+
+func TestDriverCommand(t *testing.T) {
+	_, d := newConsoledHost(t, "drv")
+	out, err := d.Command("show version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "firmware version") {
+		t.Errorf("output = %q", out)
+	}
+	if strings.Contains(out, "drv>") {
+		t.Errorf("prompt leaked into output: %q", out)
+	}
+}
+
+func TestDumpAndRestoreConfig(t *testing.T) {
+	h1, d1 := newConsoledHost(t, "src")
+	if err := h1.Configure(mustIP(t, "10.8.0.1"), mask24(), mustIP(t, "10.8.0.254")); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := DumpConfig(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cfg, "ip address 10.8.0.1 255.255.255.0") {
+		t.Fatalf("dumped config missing address: %q", cfg)
+	}
+
+	h2, d2 := newConsoledHost(t, "dst")
+	if err := RestoreConfig(d2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.IP().String(); got != "10.8.0.1" {
+		t.Errorf("restored IP = %s", got)
+	}
+}
+
+func TestRestoreRejectsBadLine(t *testing.T) {
+	_, d := newConsoledHost(t, "bad")
+	err := RestoreConfig(d, "utterly bogus command here")
+	if err == nil {
+		t.Fatal("restore of a rejected line should fail")
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDriverTimeout(t *testing.T) {
+	// A console that never answers must time out, not hang.
+	sp := netsim.NewSerialPort()
+	t.Cleanup(sp.Close)
+	go func() { // swallow input, never reply
+		buf := make([]byte, 256)
+		for {
+			if _, err := sp.DeviceEnd.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	d := NewDriver(sp.PCEnd, 50*time.Millisecond)
+	if _, err := d.Command("hello?"); err == nil {
+		t.Fatal("want timeout error")
+	}
+}
+
+func mustIP(t *testing.T, s string) []byte {
+	t.Helper()
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		t.Fatalf("bad ip %q", s)
+	}
+	out := make([]byte, 4)
+	for i, p := range parts {
+		var v int
+		for _, c := range p {
+			v = v*10 + int(c-'0')
+		}
+		out[i] = byte(v)
+	}
+	return out
+}
+
+func mask24() []byte { return []byte{255, 255, 255, 0} }

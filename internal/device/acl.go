@@ -1,0 +1,240 @@
+package device
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"rnl/internal/packet"
+)
+
+// ACLProto selects the protocols an ACL rule matches.
+type ACLProto int
+
+// ACL protocol selectors.
+const (
+	ACLAnyProto ACLProto = iota
+	ACLICMP
+	ACLTCP
+	ACLUDP
+)
+
+func (p ACLProto) String() string {
+	switch p {
+	case ACLICMP:
+		return "icmp"
+	case ACLTCP:
+		return "tcp"
+	case ACLUDP:
+		return "udp"
+	default:
+		return "ip"
+	}
+}
+
+// ACLRule is one entry of a Cisco-style numbered access list. Wildcards
+// follow IOS semantics: a set bit in Wild means "don't care".
+type ACLRule struct {
+	Permit     bool
+	Proto      ACLProto
+	Src        ip4
+	SrcWild    ip4
+	Dst        ip4
+	DstWild    ip4
+	DstPort    uint16 // 0 = any
+	HasDstPort bool
+}
+
+func (r ACLRule) String() string {
+	action := "deny"
+	if r.Permit {
+		action = "permit"
+	}
+	s := fmt.Sprintf("%s %s %s %s", action, r.Proto,
+		formatACLAddr(r.Src, r.SrcWild), formatACLAddr(r.Dst, r.DstWild))
+	if r.HasDstPort {
+		s += fmt.Sprintf(" eq %d", r.DstPort)
+	}
+	return s
+}
+
+// formatACLAddr renders an address/wildcard pair in IOS shorthand.
+func formatACLAddr(addr, wild ip4) string {
+	switch wild {
+	case ip4{255, 255, 255, 255}:
+		return "any"
+	case ip4{}:
+		return "host " + addr.String()
+	default:
+		return addr.String() + " " + wild.String()
+	}
+}
+
+// matchAddr applies IOS wildcard matching.
+func matchAddr(addr, rule, wild ip4) bool {
+	for i := range addr {
+		if (addr[i]^rule[i]) & ^wild[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether a decoded packet matches the rule.
+func (r ACLRule) Matches(p *packet.Packet) bool {
+	ipl, ok := p.NetworkLayer().(*packet.IPv4)
+	if !ok {
+		return false
+	}
+	src, ok1 := toIP4(ipl.SrcIP)
+	dst, ok2 := toIP4(ipl.DstIP)
+	if !ok1 || !ok2 {
+		return false
+	}
+	if !matchAddr(src, r.Src, r.SrcWild) || !matchAddr(dst, r.Dst, r.DstWild) {
+		return false
+	}
+	switch r.Proto {
+	case ACLICMP:
+		if ipl.Protocol != packet.IPProtocolICMPv4 {
+			return false
+		}
+	case ACLTCP:
+		if ipl.Protocol != packet.IPProtocolTCP {
+			return false
+		}
+	case ACLUDP:
+		if ipl.Protocol != packet.IPProtocolUDP {
+			return false
+		}
+	}
+	if r.HasDstPort {
+		switch t := p.TransportLayer().(type) {
+		case *packet.TCP:
+			if t.DstPort != r.DstPort {
+				return false
+			}
+		case *packet.UDP:
+			if t.DstPort != r.DstPort {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// aclPermits evaluates a named list against a packet: first match wins,
+// implicit deny at the end (IOS semantics). An unknown list name permits,
+// matching IOS's behaviour for an access-group referencing an undefined
+// list.
+func (r *Router) aclPermits(name string, p *packet.Packet) bool {
+	rules, ok := r.acls[name]
+	if !ok || len(rules) == 0 {
+		return true
+	}
+	for _, rule := range rules {
+		if rule.Matches(p) {
+			return rule.Permit
+		}
+	}
+	return false
+}
+
+// ParseACLRule parses the IOS-like rule grammar:
+//
+//	permit|deny [ip|icmp|tcp|udp] <src> <wild>|any|host <ip> <dst> <wild>|any|host <ip> [eq <port>]
+//
+// Examples:
+//
+//	permit ip any any
+//	deny ip 10.1.0.0 0.0.255.255 10.2.0.0 0.0.255.255
+//	permit tcp any host 10.0.0.5 eq 80
+func ParseACLRule(s string) (ACLRule, error) {
+	f := strings.Fields(s)
+	var r ACLRule
+	if len(f) == 0 {
+		return r, fmt.Errorf("empty ACL rule")
+	}
+	switch {
+	case matchWord(f[0], "permit"):
+		r.Permit = true
+	case matchWord(f[0], "deny"):
+	default:
+		return r, fmt.Errorf("ACL rule must start with permit or deny")
+	}
+	f = f[1:]
+	// Optional protocol.
+	if len(f) > 0 {
+		switch strings.ToLower(f[0]) {
+		case "ip":
+			r.Proto = ACLAnyProto
+			f = f[1:]
+		case "icmp":
+			r.Proto = ACLICMP
+			f = f[1:]
+		case "tcp":
+			r.Proto = ACLTCP
+			f = f[1:]
+		case "udp":
+			r.Proto = ACLUDP
+			f = f[1:]
+		}
+	}
+	var err error
+	r.Src, r.SrcWild, f, err = parseACLAddr(f)
+	if err != nil {
+		return r, fmt.Errorf("source: %w", err)
+	}
+	r.Dst, r.DstWild, f, err = parseACLAddr(f)
+	if err != nil {
+		return r, fmt.Errorf("destination: %w", err)
+	}
+	if len(f) >= 2 && strings.EqualFold(f[0], "eq") {
+		port, err := strconv.Atoi(f[1])
+		if err != nil || port < 0 || port > 65535 {
+			return r, fmt.Errorf("invalid port %q", f[1])
+		}
+		r.DstPort = uint16(port)
+		r.HasDstPort = true
+		f = f[2:]
+	}
+	if len(f) != 0 {
+		return r, fmt.Errorf("trailing tokens %v", f)
+	}
+	return r, nil
+}
+
+// parseACLAddr consumes one address specification from the token stream.
+func parseACLAddr(f []string) (addr, wild ip4, rest []string, err error) {
+	if len(f) == 0 {
+		return addr, wild, nil, fmt.Errorf("missing address")
+	}
+	switch strings.ToLower(f[0]) {
+	case "any":
+		return ip4{}, ip4{255, 255, 255, 255}, f[1:], nil
+	case "host":
+		if len(f) < 2 {
+			return addr, wild, nil, fmt.Errorf("host needs an address")
+		}
+		ip := net.ParseIP(f[1])
+		a, ok := toIP4(ip)
+		if ip == nil || !ok {
+			return addr, wild, nil, fmt.Errorf("bad host address %q", f[1])
+		}
+		return a, ip4{}, f[2:], nil
+	default:
+		if len(f) < 2 {
+			return addr, wild, nil, fmt.Errorf("address needs a wildcard")
+		}
+		ip, w := net.ParseIP(f[0]), net.ParseIP(f[1])
+		a, ok1 := toIP4(ip)
+		wl, ok2 := toIP4(w)
+		if ip == nil || w == nil || !ok1 || !ok2 {
+			return addr, wild, nil, fmt.Errorf("bad address/wildcard %q %q", f[0], f[1])
+		}
+		return a, wl, f[2:], nil
+	}
+}

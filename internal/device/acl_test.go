@@ -1,0 +1,143 @@
+package device
+
+import (
+	"net"
+	"testing"
+	"testing/quick"
+
+	"rnl/internal/packet"
+)
+
+func mustParse(t *testing.T, s string) ACLRule {
+	t.Helper()
+	r, err := ParseACLRule(s)
+	if err != nil {
+		t.Fatalf("ParseACLRule(%q): %v", s, err)
+	}
+	return r
+}
+
+func udpPacket(t *testing.T, src, dst string, dstPort uint16) *packet.Packet {
+	t.Helper()
+	frame, err := packet.BuildUDP(deviceMAC("a"), deviceMAC("b"),
+		net.ParseIP(src), net.ParseIP(dst), 1111, dstPort, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return packet.NewPacket(frame, packet.LayerTypeEthernet, packet.Default)
+}
+
+func icmpPacket(t *testing.T, src, dst string) *packet.Packet {
+	t.Helper()
+	frame, err := packet.BuildICMPEcho(deviceMAC("a"), deviceMAC("b"),
+		net.ParseIP(src), net.ParseIP(dst), packet.ICMPv4TypeEchoRequest, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return packet.NewPacket(frame, packet.LayerTypeEthernet, packet.Default)
+}
+
+func TestACLAnyAny(t *testing.T) {
+	r := mustParse(t, "permit ip any any")
+	if !r.Matches(udpPacket(t, "1.2.3.4", "5.6.7.8", 53)) {
+		t.Error("permit ip any any should match everything")
+	}
+}
+
+func TestACLSubnetWildcard(t *testing.T) {
+	r := mustParse(t, "deny ip 10.1.0.0 0.0.255.255 10.2.0.0 0.0.255.255")
+	if !r.Matches(udpPacket(t, "10.1.5.5", "10.2.9.9", 1)) {
+		t.Error("in-range packet should match")
+	}
+	if r.Matches(udpPacket(t, "10.3.5.5", "10.2.9.9", 1)) {
+		t.Error("source outside range should not match")
+	}
+	if r.Matches(udpPacket(t, "10.1.5.5", "10.9.9.9", 1)) {
+		t.Error("destination outside range should not match")
+	}
+}
+
+func TestACLHostAndPort(t *testing.T) {
+	r := mustParse(t, "permit udp any host 10.0.0.5 eq 53")
+	if !r.Matches(udpPacket(t, "9.9.9.9", "10.0.0.5", 53)) {
+		t.Error("matching host+port should match")
+	}
+	if r.Matches(udpPacket(t, "9.9.9.9", "10.0.0.5", 80)) {
+		t.Error("wrong port should not match")
+	}
+	if r.Matches(udpPacket(t, "9.9.9.9", "10.0.0.6", 53)) {
+		t.Error("wrong host should not match")
+	}
+	if r.Matches(icmpPacket(t, "9.9.9.9", "10.0.0.5")) {
+		t.Error("udp rule must not match icmp")
+	}
+}
+
+func TestACLProtocolSelectors(t *testing.T) {
+	icmpRule := mustParse(t, "deny icmp any any")
+	if !icmpRule.Matches(icmpPacket(t, "1.1.1.1", "2.2.2.2")) {
+		t.Error("icmp rule should match icmp")
+	}
+	if icmpRule.Matches(udpPacket(t, "1.1.1.1", "2.2.2.2", 1)) {
+		t.Error("icmp rule must not match udp")
+	}
+}
+
+func TestACLRuleStringRoundtrip(t *testing.T) {
+	cases := []string{
+		"permit ip any any",
+		"deny icmp any any",
+		"permit udp any host 10.0.0.5 eq 53",
+		"deny ip 10.1.0.0 0.0.255.255 10.2.0.0 0.0.255.255",
+		"permit tcp host 1.2.3.4 any eq 443",
+	}
+	for _, s := range cases {
+		r := mustParse(t, s)
+		if got := r.String(); got != s {
+			t.Errorf("String() = %q, want %q", got, s)
+		}
+		// Reparsing the rendered form yields the same rule.
+		r2 := mustParse(t, r.String())
+		if r2 != r {
+			t.Errorf("reparse(%q) = %+v, want %+v", r.String(), r2, r)
+		}
+	}
+}
+
+func TestACLParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"frobnicate ip any any",
+		"permit ip any",
+		"permit ip host any",
+		"permit ip 1.2.3.4 any any",   // missing wildcard
+		"permit udp any any eq 99999", // port range
+		"permit ip any any trailing",
+	}
+	for _, s := range bad {
+		if _, err := ParseACLRule(s); err == nil {
+			t.Errorf("ParseACLRule(%q) should fail", s)
+		}
+	}
+}
+
+func TestACLQuickWildcardProperty(t *testing.T) {
+	// Property: a rule with wildcard W matches src S iff (S^base)&^W == 0.
+	f := func(base, s [4]byte, wildRaw [4]byte) bool {
+		rule := ACLRule{
+			Permit: true,
+			Src:    ip4(base), SrcWild: ip4(wildRaw),
+			Dst: ip4{}, DstWild: ip4{255, 255, 255, 255},
+		}
+		want := true
+		for i := 0; i < 4; i++ {
+			if (s[i]^base[i]) & ^wildRaw[i] != 0 {
+				want = false
+			}
+		}
+		return matchAddr(ip4(s), rule.Src, rule.SrcWild) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

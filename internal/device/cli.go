@@ -1,0 +1,302 @@
+package device
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Mode is a console session's position in the IOS-like mode hierarchy.
+type Mode int
+
+// Console modes.
+const (
+	ModeExec   Mode = iota // "router>"
+	ModeEnable             // "router#"
+	ModeConfig             // "router(config)#"
+	ModeConfigIf
+	// "router(config-if)#"
+)
+
+// invalidInput mirrors the IOS error users know.
+const invalidInput = "% Invalid input detected"
+
+// CLISession is one console session's state.
+type CLISession struct {
+	Mode  Mode
+	IfRef string // selected interface in ModeConfigIf
+}
+
+// cliDevice is implemented by each concrete device to supply its
+// device-specific command handling on top of the shared engine.
+type cliDevice interface {
+	base() *Base
+	// execShow handles "show <args>" beyond the shared ones. Called on
+	// the device goroutine.
+	execShow(args []string) (string, bool)
+	// execConfig handles one global-config line. Called on the device
+	// goroutine.
+	execConfig(sess *CLISession, line string) (string, bool)
+	// execConfigIf handles one interface-config line for sess.IfRef.
+	// Called on the device goroutine.
+	execConfigIf(sess *CLISession, line string) (string, bool)
+	// execExec handles privileged-exec commands (ping, clear, …).
+	// Called on the device goroutine.
+	execExec(sess *CLISession, line string) (string, bool)
+	// runningConfig renders the full configuration. Called on the
+	// device goroutine.
+	runningConfig() string
+}
+
+// matchWord reports whether the typed token is a valid abbreviation of the
+// full command word ("conf" matches "configure").
+func matchWord(token, word string) bool {
+	return token != "" && strings.HasPrefix(word, strings.ToLower(token))
+}
+
+// fields splits a command line, tolerating repeated spaces.
+func fields(line string) []string { return strings.Fields(line) }
+
+// Prompt renders the session prompt for a device.
+func Prompt(d cliDevice, sess *CLISession) string {
+	h := d.base().Hostname()
+	switch sess.Mode {
+	case ModeExec:
+		return h + ">"
+	case ModeEnable:
+		return h + "#"
+	case ModeConfig:
+		return h + "(config)#"
+	case ModeConfigIf:
+		return h + "(config-if)#"
+	}
+	return h + ">"
+}
+
+// ExecuteLine runs one console line against a device, updating the session
+// mode. It must be called on the device goroutine (use Base.Do, or
+// Console/AttachConsole which do so internally).
+func ExecuteLine(d cliDevice, sess *CLISession, line string) string {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "!") {
+		return ""
+	}
+	f := fields(line)
+	b := d.base()
+
+	// Mode navigation available everywhere.
+	switch {
+	case matchWord(f[0], "end"):
+		if sess.Mode >= ModeConfig {
+			sess.Mode = ModeEnable
+			return ""
+		}
+	case matchWord(f[0], "exit"):
+		switch sess.Mode {
+		case ModeConfigIf:
+			sess.Mode = ModeConfig
+			return ""
+		case ModeConfig:
+			sess.Mode = ModeEnable
+			return ""
+		case ModeEnable:
+			sess.Mode = ModeExec
+			return ""
+		}
+		return "" // exiting ModeExec ends the session at a higher layer
+	}
+
+	switch sess.Mode {
+	case ModeExec:
+		switch {
+		case matchWord(f[0], "enable"):
+			sess.Mode = ModeEnable
+			return ""
+		case matchWord(f[0], "show"):
+			return execSharedShow(d, f[1:])
+		}
+		if out, ok := d.execExec(sess, line); ok {
+			return out
+		}
+		return invalidInput
+
+	case ModeEnable:
+		switch {
+		case matchWord(f[0], "disable"):
+			sess.Mode = ModeExec
+			return ""
+		case matchWord(f[0], "configure"):
+			sess.Mode = ModeConfig
+			return ""
+		case matchWord(f[0], "show"):
+			return execSharedShow(d, f[1:])
+		case matchWord(f[0], "write"),
+			matchWord(f[0], "copy") && len(f) >= 3:
+			b.mu.Lock()
+			b.savedStart = d.runningConfig()
+			b.mu.Unlock()
+			return "Building configuration...\n[OK]"
+		case matchWord(f[0], "reload"):
+			return "Proceed with reload? [confirm]"
+		case matchWord(f[0], "flash") && len(f) == 2:
+			// Firmware flashing (paper §2.1): behaviour quirks keyed on
+			// the version take effect immediately.
+			b.Flash(f[1])
+			return fmt.Sprintf("Firmware %s flashed", f[1])
+		}
+		if out, ok := d.execExec(sess, line); ok {
+			return out
+		}
+		return invalidInput
+
+	case ModeConfig:
+		switch {
+		case matchWord(f[0], "hostname") && len(f) == 2:
+			b.mu.Lock()
+			b.hostname = f[1]
+			b.mu.Unlock()
+			return ""
+		case matchWord(f[0], "interface") && len(f) >= 2:
+			name := strings.Join(f[1:], "")
+			if b.PortIndex(name) < 0 {
+				// Allow device-specific logical interfaces.
+				if out, ok := d.execConfig(sess, line); ok {
+					return out
+				}
+				return fmt.Sprintf("%% Interface %s not found", name)
+			}
+			sess.Mode = ModeConfigIf
+			sess.IfRef = name
+			return ""
+		}
+		if out, ok := d.execConfig(sess, line); ok {
+			return out
+		}
+		return invalidInput
+
+	case ModeConfigIf:
+		switch {
+		case matchWord(f[0], "shutdown"):
+			if p := b.Port(sess.IfRef); p != nil {
+				p.SetAdminUp(false)
+				return ""
+			}
+		case matchWord(f[0], "no") && len(f) >= 2 && matchWord(f[1], "shutdown"):
+			if p := b.Port(sess.IfRef); p != nil {
+				p.SetAdminUp(true)
+				return ""
+			}
+		}
+		if out, ok := d.execConfigIf(sess, line); ok {
+			return out
+		}
+		// IOS implicitly leaves interface mode when a global-config
+		// command appears (that's how dumped configs replay).
+		sess.Mode = ModeConfig
+		sess.IfRef = ""
+		return ExecuteLine(d, sess, line)
+	}
+	return invalidInput
+}
+
+// execSharedShow handles the show commands every device supports.
+func execSharedShow(d cliDevice, args []string) string {
+	b := d.base()
+	if len(args) == 0 {
+		return invalidInput
+	}
+	switch {
+	case matchWord(args[0], "version"):
+		return fmt.Sprintf("%s (%s) firmware version %s", b.Name(), b.Model(), b.Firmware())
+	case matchWord(args[0], "running-config") || (matchWord(args[0], "run") && len(args[0]) >= 3):
+		return d.runningConfig()
+	case matchWord(args[0], "startup-config"):
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.savedStart == "" {
+			return "startup-config is not present"
+		}
+		return b.savedStart
+	case matchWord(args[0], "interfaces"):
+		var sb strings.Builder
+		for i, name := range b.PortNames() {
+			p := b.Ports()[i]
+			state := "down"
+			if p.Up() {
+				state = "up"
+			}
+			st := p.Stats()
+			fmt.Fprintf(&sb, "%s is %s\n  %d packets input, %d bytes\n  %d packets output, %d bytes\n",
+				name, state, st.RxFrames.Load(), st.RxBytes.Load(), st.TxFrames.Load(), st.TxBytes.Load())
+		}
+		return strings.TrimRight(sb.String(), "\n")
+	}
+	if out, ok := d.execShow(args); ok {
+		return out
+	}
+	return invalidInput
+}
+
+// Console executes one command line on the device goroutine and returns the
+// output plus the next prompt. It is the programmatic console entry point
+// used by RIS, the web terminal, and tests.
+func Console(d cliDevice, sess *CLISession, line string) (output, prompt string) {
+	d.base().Do(func() {
+		output = ExecuteLine(d, sess, line)
+		prompt = Prompt(d, sess)
+	})
+	return output, prompt
+}
+
+// AttachConsole serves an interactive console session over rw (typically
+// the device end of a netsim.SerialPort) until EOF. Each line of input
+// yields its output followed by a fresh prompt, terminal-style.
+func AttachConsole(d cliDevice, rw io.ReadWriter) {
+	sess := &CLISession{}
+	w := bufio.NewWriter(rw)
+	writePrompt := func() {
+		var p string
+		d.base().Do(func() { p = Prompt(d, sess) })
+		w.WriteString(p)
+		w.Flush()
+	}
+	fmt.Fprintf(w, "%s line console\r\n", d.base().Name())
+	writePrompt()
+	sc := bufio.NewScanner(rw)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		out, prompt := Console(d, sess, line)
+		if out != "" {
+			for _, l := range strings.Split(out, "\n") {
+				w.WriteString(l)
+				w.WriteString("\r\n")
+			}
+		}
+		w.WriteString(prompt)
+		w.Flush()
+	}
+}
+
+// DumpRunningConfig returns the device's running configuration, the
+// operation the web server's config-save feature performs through the
+// console for "routers it has built-in knowledge about" (paper §2.1).
+func DumpRunningConfig(d cliDevice) string {
+	var cfg string
+	d.base().Do(func() { cfg = d.runningConfig() })
+	return cfg
+}
+
+// RestoreConfig replays configuration lines (one command per line, as in a
+// dumped running-config) into the device in config mode.
+func RestoreConfig(d cliDevice, cfg string) {
+	sess := &CLISession{Mode: ModeEnable}
+	d.base().Do(func() {
+		ExecuteLine(d, sess, "configure terminal")
+		for _, line := range strings.Split(cfg, "\n") {
+			ExecuteLine(d, sess, line)
+		}
+		ExecuteLine(d, sess, "end")
+	})
+}

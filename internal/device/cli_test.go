@@ -1,0 +1,167 @@
+package device
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rnl/internal/netsim"
+)
+
+func TestCLIModeNavigation(t *testing.T) {
+	h := NewHost("nav", FastTimers())
+	t.Cleanup(h.Close)
+	sess := &CLISession{}
+
+	cases := []struct {
+		cmd        string
+		wantPrompt string
+	}{
+		{"", "nav>"},
+		{"enable", "nav#"},
+		{"configure terminal", "nav(config)#"},
+		{"end", "nav#"},
+		{"conf t", "nav(config)#"},
+		{"exit", "nav#"},
+		{"disable", "nav>"},
+	}
+	for _, c := range cases {
+		_, prompt := Console(h, sess, c.cmd)
+		if prompt != c.wantPrompt {
+			t.Errorf("after %q prompt = %q, want %q", c.cmd, prompt, c.wantPrompt)
+		}
+	}
+}
+
+func TestCLIAbbreviations(t *testing.T) {
+	h := NewHost("abbr", FastTimers())
+	t.Cleanup(h.Close)
+	sess := &CLISession{}
+	if _, prompt := Console(h, sess, "en"); prompt != "abbr#" {
+		t.Errorf("'en' should enable, prompt = %q", prompt)
+	}
+	out, _ := Console(h, sess, "sh ver")
+	if !strings.Contains(out, "firmware version") {
+		t.Errorf("'sh ver' = %q", out)
+	}
+}
+
+func TestCLIHostnameChangesPrompt(t *testing.T) {
+	h := NewHost("old-name", FastTimers())
+	t.Cleanup(h.Close)
+	sess := &CLISession{}
+	Console(h, sess, "enable")
+	Console(h, sess, "configure terminal")
+	_, prompt := Console(h, sess, "hostname newname")
+	if prompt != "newname(config)#" {
+		t.Errorf("prompt = %q", prompt)
+	}
+}
+
+func TestCLIInvalidCommand(t *testing.T) {
+	h := NewHost("inv", FastTimers())
+	t.Cleanup(h.Close)
+	sess := &CLISession{}
+	out, _ := Console(h, sess, "frobnicate the widgets")
+	if out != invalidInput {
+		t.Errorf("out = %q, want %q", out, invalidInput)
+	}
+}
+
+func TestCLIWriteMemorySavesStartup(t *testing.T) {
+	h := NewHost("wr", FastTimers())
+	t.Cleanup(h.Close)
+	RestoreConfig(h, "ip address 10.3.3.3 255.255.255.0")
+	sess := &CLISession{Mode: ModeEnable}
+	out, _ := Console(h, sess, "show startup-config")
+	if !strings.Contains(out, "not present") {
+		t.Errorf("startup before write = %q", out)
+	}
+	out, _ = Console(h, sess, "write memory")
+	if !strings.Contains(out, "[OK]") {
+		t.Errorf("write memory = %q", out)
+	}
+	out, _ = Console(h, sess, "show startup-config")
+	if !strings.Contains(out, "ip address 10.3.3.3 255.255.255.0") {
+		t.Errorf("startup after write = %q", out)
+	}
+}
+
+func TestCLIShutdownNoShutdown(t *testing.T) {
+	r := NewRouter("shut", []string{"e0"}, FastTimers())
+	t.Cleanup(r.Close)
+	dummy := netsim.NewIface("peer")
+	connect(t, r.Port("e0"), dummy)
+	sess := &CLISession{}
+	Console(r, sess, "enable")
+	Console(r, sess, "configure terminal")
+	Console(r, sess, "interface e0")
+	Console(r, sess, "shutdown")
+	if r.Port("e0").Up() {
+		t.Error("port should be down after shutdown")
+	}
+	Console(r, sess, "no shutdown")
+	if !r.Port("e0").Up() {
+		t.Error("port should be up after no shutdown")
+	}
+}
+
+func TestAttachConsoleOverSerial(t *testing.T) {
+	h := NewHost("serial-host", FastTimers())
+	t.Cleanup(h.Close)
+	sp := netsim.NewSerialPort()
+	t.Cleanup(sp.Close)
+	go AttachConsole(h, sp.DeviceEnd)
+
+	// net.Pipe is synchronous, so read continuously in the background
+	// while driving commands, as a real terminal program would.
+	var mu sync.Mutex
+	var all strings.Builder
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := sp.PCEnd.Read(buf)
+			if n > 0 {
+				mu.Lock()
+				all.Write(buf[:n])
+				mu.Unlock()
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	sp.PCEnd.Write([]byte("enable\n"))
+	sp.PCEnd.Write([]byte("show version\n"))
+
+	output := func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return all.String()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(output(), "firmware version") && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(output(), "firmware version") {
+		t.Fatalf("console output missing version info: %q", output())
+	}
+	if !strings.Contains(output(), "serial-host#") {
+		t.Errorf("console output missing enabled prompt: %q", output())
+	}
+}
+
+func TestShowInterfacesCounters(t *testing.T) {
+	a, b := newHostPair(t, "10.0.0.1", "10.0.0.2")
+	connect(t, a.Ports()[0], b.Ports()[0])
+	a.Ping(b.IP(), time.Second)
+	sess := &CLISession{Mode: ModeEnable}
+	out, _ := Console(a, sess, "show interfaces")
+	if !strings.Contains(out, "eth0 is up") {
+		t.Errorf("show interfaces = %q", out)
+	}
+	if !strings.Contains(out, "packets output") {
+		t.Errorf("missing counters: %q", out)
+	}
+}

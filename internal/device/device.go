@@ -1,0 +1,310 @@
+// Package device implements the emulated network equipment fleet that
+// stands in for RNL's real routers: VLAN/STP Ethernet switches, IPv4
+// routers with static routes, RIP and ACLs, FWSM-style firewall modules
+// with active/standby failover, and simple IP hosts.
+//
+// Every device presents exactly the two surfaces RNL consumes from real
+// equipment: raw Ethernet frames on its ports (netsim.Iface) and a
+// Cisco-like command-line console on a serial port. Each device runs a
+// single event-loop goroutine; all protocol state is touched only on that
+// goroutine, so handlers need no locking.
+package device
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rnl/internal/netsim"
+)
+
+// Timers groups the protocol timing knobs. Production values match the
+// IEEE/RFC defaults; tests use FastTimers so experiments converge in
+// milliseconds instead of tens of seconds.
+type Timers struct {
+	STPHello        time.Duration
+	STPMaxAge       time.Duration
+	STPForwardDelay time.Duration
+	FailoverHello   time.Duration
+	FailoverHold    time.Duration
+	RIPUpdate       time.Duration
+	RIPExpire       time.Duration
+	ARPExpire       time.Duration
+	MACAge          time.Duration
+	FlowIdle        time.Duration
+}
+
+// DefaultTimers returns standards-grade timer values.
+func DefaultTimers() Timers {
+	return Timers{
+		STPHello:        2 * time.Second,
+		STPMaxAge:       20 * time.Second,
+		STPForwardDelay: 15 * time.Second,
+		FailoverHello:   time.Second,
+		FailoverHold:    3 * time.Second,
+		RIPUpdate:       30 * time.Second,
+		RIPExpire:       180 * time.Second,
+		ARPExpire:       4 * time.Hour,
+		MACAge:          300 * time.Second,
+		FlowIdle:        time.Hour,
+	}
+}
+
+// FastTimers returns proportionally scaled-down timers for tests and
+// examples (about 100× faster than the defaults).
+func FastTimers() Timers {
+	return Timers{
+		STPHello:        20 * time.Millisecond,
+		STPMaxAge:       200 * time.Millisecond,
+		STPForwardDelay: 60 * time.Millisecond,
+		FailoverHello:   10 * time.Millisecond,
+		FailoverHold:    35 * time.Millisecond,
+		RIPUpdate:       50 * time.Millisecond,
+		RIPExpire:       300 * time.Millisecond,
+		ARPExpire:       time.Minute,
+		MACAge:          250 * time.Millisecond,
+		FlowIdle:        500 * time.Millisecond,
+	}
+}
+
+// event is one unit of work for a device's event loop.
+type event struct {
+	port  int    // valid when frame != nil
+	frame []byte // inbound frame, or nil
+	fn    func() // arbitrary work on the device goroutine, or nil
+}
+
+// deviceQueueLen bounds the per-device event queue; overload tail-drops
+// frames, as a real forwarding ASIC's input queue would.
+const deviceQueueLen = 2048
+
+// Base carries the machinery common to all emulated devices: named ports,
+// the event loop, console plumbing and firmware identity. Concrete devices
+// embed it and provide a frame handler.
+type Base struct {
+	name   string
+	model  string
+	timers Timers
+
+	mu         sync.Mutex
+	portNames  []string
+	ports      []*netsim.Iface
+	firmware   string
+	hostname   string
+	closed     bool
+	savedStart string // startup-config contents ("write memory")
+
+	events chan event
+	quit   chan struct{}
+	wg     sync.WaitGroup
+
+	// handleFrame is set by the concrete device before Start.
+	handleFrame func(port int, frame []byte)
+}
+
+func newBase(name, model string, timers Timers) *Base {
+	return &Base{
+		name:     name,
+		model:    model,
+		timers:   timers,
+		firmware: "1.0.0",
+		hostname: name,
+		events:   make(chan event, deviceQueueLen),
+		quit:     make(chan struct{}),
+	}
+}
+
+// Name returns the device's inventory name.
+func (b *Base) Name() string { return b.name }
+
+// Model returns the device's hardware model string.
+func (b *Base) Model() string { return b.model }
+
+// Timers returns the device's protocol timing profile.
+func (b *Base) Timers() Timers { return b.timers }
+
+// Hostname returns the configured hostname.
+func (b *Base) Hostname() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hostname
+}
+
+// Firmware returns the currently flashed firmware version.
+func (b *Base) Firmware() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.firmware
+}
+
+// Flash installs a different firmware version; behaviour quirks keyed on
+// the version take effect immediately (paper §2.1: users flash the version
+// they need to test).
+func (b *Base) Flash(version string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.firmware = version
+}
+
+// addPort registers a new port and wires its receiver into the event loop.
+func (b *Base) addPort(name string) *netsim.Iface {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx := len(b.ports)
+	ifc := netsim.NewIface(b.name + ":" + name)
+	b.portNames = append(b.portNames, name)
+	b.ports = append(b.ports, ifc)
+	ifc.SetReceiver(func(f []byte) {
+		select {
+		case b.events <- event{port: idx, frame: f}:
+		case <-b.quit:
+		default:
+			// Queue full: tail-drop, like hardware under overload.
+		}
+	})
+	return ifc
+}
+
+// Port returns the named port interface, or nil.
+func (b *Base) Port(name string) *netsim.Iface {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, n := range b.portNames {
+		if n == name {
+			return b.ports[i]
+		}
+	}
+	return nil
+}
+
+// PortIndex returns a port's index, or -1.
+func (b *Base) PortIndex(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, n := range b.portNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Ports returns the port interfaces in creation order.
+func (b *Base) Ports() []*netsim.Iface {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*netsim.Iface(nil), b.ports...)
+}
+
+// PortNames returns the port names in creation order.
+func (b *Base) PortNames() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.portNames...)
+}
+
+// portName returns the name for a port index (event-loop use).
+func (b *Base) portName(i int) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if i < 0 || i >= len(b.portNames) {
+		return fmt.Sprintf("port%d", i)
+	}
+	return b.portNames[i]
+}
+
+// start launches the event loop; concrete devices call it from their
+// constructors after setting handleFrame.
+func (b *Base) start() {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for {
+			select {
+			case <-b.quit:
+				return
+			case ev := <-b.events:
+				if ev.fn != nil {
+					ev.fn()
+				} else if b.handleFrame != nil {
+					b.handleFrame(ev.port, ev.frame)
+				}
+			}
+		}
+	}()
+}
+
+// Do runs fn on the device goroutine and waits for it. It is how console
+// commands, tests and management operations touch device state safely.
+func (b *Base) Do(fn func()) {
+	done := make(chan struct{})
+	select {
+	case b.events <- event{fn: func() { fn(); close(done) }}:
+	case <-b.quit:
+		return
+	}
+	select {
+	case <-done:
+	case <-b.quit:
+	}
+}
+
+// every runs fn on the device goroutine every d until the device closes.
+func (b *Base) every(d time.Duration, fn func()) {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-b.quit:
+				return
+			case <-t.C:
+				select {
+				case b.events <- event{fn: fn}:
+				case <-b.quit:
+					return
+				}
+			}
+		}
+	}()
+}
+
+// after schedules fn to run on the device goroutine after d. The returned
+// stop function cancels it (best effort).
+func (b *Base) after(d time.Duration, fn func()) (stop func()) {
+	t := time.AfterFunc(d, func() {
+		select {
+		case b.events <- event{fn: fn}:
+		case <-b.quit:
+		}
+	})
+	return func() { t.Stop() }
+}
+
+// Close stops the event loop. Concrete devices may wrap it to stop their
+// timers first. Close is idempotent.
+func (b *Base) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.quit)
+	b.wg.Wait()
+}
+
+// sortedKeys returns map keys in sorted order, for deterministic
+// "show running-config" output.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,377 @@
+package device
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"rnl/internal/packet"
+)
+
+// FailoverState is an FWSM unit's failover role.
+type FailoverState int
+
+// Failover states.
+const (
+	FailoverInit FailoverState = iota
+	FailoverActive
+	FailoverStandby
+)
+
+func (s FailoverState) String() string {
+	switch s {
+	case FailoverActive:
+		return "Active"
+	case FailoverStandby:
+		return "Standby"
+	default:
+		return "Init"
+	}
+}
+
+// FWSM is the Firewall Services Module of the paper's Fig. 5: a
+// transparent (layer-2) stateful firewall bridging an inside and an
+// outside port, with an active/standby failover pair mechanism running
+// health-check hellos over a dedicated failover port.
+//
+// The module reproduces the configuration subtleties the paper calls out:
+//   - BPDUs cross the module only when "firewall bpdu forward" is
+//     configured AND the flashed firmware supports it (versions >= 4);
+//     otherwise spanning tree cannot see through the module and a dual
+//     active pair forms a forwarding loop.
+//   - Both units start Init; if failover hellos cannot reach the peer
+//     (e.g. the failover VLAN is missing from the inter-switch trunk),
+//     both promote to Active — the paper's transient loop.
+type FWSM struct {
+	*Base
+
+	unit        uint32 // 1 = primary, 2 = secondary
+	priority    uint8
+	mac         net.HardwareAddr
+	state       FailoverState
+	bpduForward bool
+	preempt     bool
+
+	bootAt     time.Time
+	peerSeen   time.Time
+	peerState  FailoverState
+	peerHealth uint8 // raw hello state, distinguishes Failed from Standby
+	peerUnit   uint32
+	helloSeq   uint32
+
+	flows map[uint64]time.Time // L3/L4 flows first seen from inside
+
+	// Counters observable by tests and "show failover".
+	Bridged        uint64
+	DroppedStandby uint64
+	DroppedBPDU    uint64
+	DroppedPolicy  uint64
+}
+
+// FWSM port indexes, fixed at construction: inside, outside, fail.
+const (
+	fwsmInside  = 0
+	fwsmOutside = 1
+	fwsmFail    = 2
+)
+
+// NewFWSM creates a firewall module. unit 1 is the primary (wins Active on
+// ties), unit 2 the secondary.
+func NewFWSM(name string, unit uint32, timers Timers) *FWSM {
+	f := &FWSM{
+		Base:     newBase(name, "FWSM", timers),
+		unit:     unit,
+		priority: 100,
+		mac:      deviceMAC(name),
+		state:    FailoverInit,
+		flows:    make(map[uint64]time.Time),
+	}
+	f.Flash("4.0.1") // default firmware supports BPDU forwarding
+	f.addPort("inside")
+	f.addPort("outside")
+	f.addPort("fail")
+	f.handleFrame = f.onFrame
+	f.start()
+	f.every(timers.FailoverHello, f.failoverTick)
+	f.every(timers.FlowIdle/2, f.expireFlows)
+	return f
+}
+
+// expireFlows drops connection-table entries idle longer than FlowIdle,
+// bounding the table like a real firewall's session timeout.
+func (f *FWSM) expireFlows() {
+	cutoff := time.Now().Add(-f.timers.FlowIdle)
+	for k, seen := range f.flows {
+		if seen.Before(cutoff) {
+			delete(f.flows, k)
+		}
+	}
+}
+
+// State returns the current failover state.
+func (f *FWSM) State() FailoverState {
+	var s FailoverState
+	f.Do(func() { s = f.state })
+	return s
+}
+
+// SetBPDUForward configures whether spanning-tree BPDUs may cross the
+// module ("firewall bpdu forward" in the configuration guide).
+func (f *FWSM) SetBPDUForward(on bool) {
+	f.Do(func() { f.bpduForward = on })
+}
+
+// firmwareSupportsBPDUForward reports whether the flashed firmware honours
+// the BPDU forwarding configuration — the paper's "a switch software that
+// supports BPDU forwarding should be used".
+func (f *FWSM) firmwareSupportsBPDUForward() bool {
+	fw := f.Firmware()
+	return fw != "" && fw[0] >= '4'
+}
+
+// healthy reports whether both traffic ports have link.
+func (f *FWSM) healthy() bool {
+	ports := f.Ports()
+	return ports[fwsmInside].Up() && ports[fwsmOutside].Up()
+}
+
+// failoverTick runs the failover state machine and emits a hello.
+//
+// The machine is deterministic under simultaneous boot: units discover
+// each other during an Init window and elect by unit number; a unit that
+// never hears a peer (silent failover VLAN — the paper's misconfiguration)
+// promotes itself after the hold time, which is what produces the
+// dual-active transient. An Active unit is never preempted while healthy.
+func (f *FWSM) failoverTick() {
+	now := time.Now()
+	if f.bootAt.IsZero() {
+		f.bootAt = now
+	}
+	peerFresh := !f.peerSeen.IsZero() && now.Sub(f.peerSeen) < f.timers.FailoverHold
+
+	switch {
+	case !f.healthy():
+		// A unit with a failed interface gives up Active and tells
+		// the peer so in its hellos.
+		f.state = FailoverStandby
+	case f.state == FailoverInit:
+		switch {
+		case peerFresh && f.peerState == FailoverActive:
+			f.state = FailoverStandby
+		case peerFresh:
+			// Both discovering: primary (lower unit) wins.
+			if f.unit < f.peerUnit {
+				f.state = FailoverActive
+			} else {
+				f.state = FailoverStandby
+			}
+		case now.Sub(f.bootAt) > f.timers.FailoverHold:
+			// Nobody out there: serve alone.
+			f.state = FailoverActive
+		}
+	case !peerFresh:
+		// Peer went silent: take over.
+		f.state = FailoverActive
+	case f.peerState == FailoverActive && f.state == FailoverActive:
+		// Dual active with connectivity restored: deterministic
+		// tie-break by unit number.
+		if f.unit > f.peerUnit {
+			f.state = FailoverStandby
+		}
+	case f.state == FailoverStandby:
+		// Promote if the peer cannot serve, or if neither unit is
+		// active and we are the primary.
+		if f.peerHealth == packet.FailoverStateFailed {
+			f.state = FailoverActive
+		} else if f.peerState != FailoverActive && f.unit < f.peerUnit {
+			f.state = FailoverActive
+		} else if f.preempt && f.unit < f.peerUnit {
+			// "failover preempt": a healthy primary reclaims Active.
+			f.state = FailoverActive
+		}
+	}
+	f.sendHello()
+}
+
+// sendHello emits one failover health-check frame on the fail port.
+func (f *FWSM) sendHello() {
+	f.helloSeq++
+	st := packet.FailoverStateStandby
+	switch {
+	case !f.healthy():
+		st = packet.FailoverStateFailed
+	case f.state == FailoverActive:
+		st = packet.FailoverStateActive
+	}
+	frame, err := packet.BuildFailoverHello(f.mac, packet.Broadcast, &packet.FailoverHello{
+		UnitID: f.unit, State: st, Priority: f.priority, Seq: f.helloSeq,
+	})
+	if err == nil {
+		f.Ports()[fwsmFail].Transmit(frame)
+	}
+}
+
+// onFrame is the FWSM datapath.
+func (f *FWSM) onFrame(idx int, frame []byte) {
+	switch idx {
+	case fwsmFail:
+		f.onFailFrame(frame)
+	case fwsmInside, fwsmOutside:
+		f.onTransit(idx, frame)
+	}
+}
+
+// onFailFrame ingests peer hellos.
+func (f *FWSM) onFailFrame(frame []byte) {
+	p := packet.NewPacket(frame, packet.LayerTypeEthernet, packet.NoCopy)
+	h, ok := p.Layer(packet.LayerTypeFailoverHello).(*packet.FailoverHello)
+	if !ok || h.UnitID == f.unit {
+		return
+	}
+	f.peerSeen = time.Now()
+	f.peerUnit = h.UnitID
+	f.peerHealth = h.State
+	if h.State == packet.FailoverStateActive {
+		f.peerState = FailoverActive
+	} else {
+		f.peerState = FailoverStandby
+	}
+}
+
+// onTransit bridges inside↔outside through the firewall policy.
+func (f *FWSM) onTransit(idx int, frame []byte) {
+	if len(frame) < 14 {
+		return
+	}
+	dst := net.HardwareAddr(frame[0:6])
+	if packet.IsLinkLocalMulticast(dst) {
+		if !f.bpduForward || !f.firmwareSupportsBPDUForward() {
+			f.DroppedBPDU++
+			return
+		}
+		f.bridge(idx, frame)
+		return
+	}
+	if f.state != FailoverActive {
+		f.DroppedStandby++
+		return
+	}
+	etype := packet.EthernetType(uint16(frame[12])<<8 | uint16(frame[13]))
+	// ARP passes both ways: transparent firewalls must let hosts resolve.
+	if etype == packet.EthernetTypeARP {
+		f.bridge(idx, frame)
+		return
+	}
+	if etype != packet.EthernetTypeIPv4 {
+		f.DroppedPolicy++
+		return
+	}
+	p := packet.NewPacket(frame, packet.LayerTypeEthernet, packet.NoCopy)
+	nl := p.NetworkLayer()
+	if nl == nil {
+		f.DroppedPolicy++
+		return
+	}
+	key := nl.NetworkFlow().FastHash()
+	if t := p.TransportLayer(); t != nil {
+		key ^= t.TransportFlow().FastHash() * 0x9e3779b97f4a7c15
+	}
+	if idx == fwsmInside {
+		// Inside is trusted: record the flow and pass.
+		f.flows[key] = time.Now()
+		f.bridge(idx, frame)
+		return
+	}
+	// Outside→inside: only return traffic of known flows.
+	if _, ok := f.flows[key]; ok {
+		f.flows[key] = time.Now() // keep active sessions alive
+		f.bridge(idx, frame)
+		return
+	}
+	f.DroppedPolicy++
+}
+
+// bridge retransmits a frame out the opposite traffic port.
+func (f *FWSM) bridge(fromIdx int, frame []byte) {
+	to := fwsmOutside
+	if fromIdx == fwsmOutside {
+		to = fwsmInside
+	}
+	f.Bridged++
+	f.Ports()[to].Transmit(frame)
+}
+
+// BridgedCount returns how many frames the module has forwarded.
+func (f *FWSM) BridgedCount() uint64 {
+	var n uint64
+	f.Do(func() { n = f.Bridged })
+	return n
+}
+
+// --- CLI integration -----------------------------------------------------
+
+func (f *FWSM) base() *Base { return f.Base }
+
+func (f *FWSM) execExec(_ *CLISession, _ string) (string, bool) { return "", false }
+
+func (f *FWSM) execShow(args []string) (string, bool) {
+	if matchWord(args[0], "failover") {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "Failover unit %d state %s\n", f.unit, f.state)
+		fmt.Fprintf(&sb, "Peer unit %d state %s\n", f.peerUnit, f.peerState)
+		fmt.Fprintf(&sb, "bridged %d dropped-standby %d dropped-bpdu %d dropped-policy %d",
+			f.Bridged, f.DroppedStandby, f.DroppedBPDU, f.DroppedPolicy)
+		return sb.String(), true
+	}
+	return "", false
+}
+
+func (f *FWSM) execConfig(_ *CLISession, line string) (string, bool) {
+	fl := fields(line)
+	switch {
+	case matchWord(fl[0], "firewall") && len(fl) >= 3 && matchWord(fl[1], "bpdu") && matchWord(fl[2], "forward"):
+		f.bpduForward = true
+		return "", true
+	case matchWord(fl[0], "no") && len(fl) >= 4 && matchWord(fl[1], "firewall") && matchWord(fl[2], "bpdu"):
+		f.bpduForward = false
+		return "", true
+	case matchWord(fl[0], "failover") && len(fl) >= 2 && matchWord(fl[1], "preempt"):
+		f.preempt = true
+		return "", true
+	case matchWord(fl[0], "no") && len(fl) >= 3 && matchWord(fl[1], "failover") && matchWord(fl[2], "preempt"):
+		f.preempt = false
+		return "", true
+	case matchWord(fl[0], "failover") && len(fl) >= 3 && matchWord(fl[1], "lan") && matchWord(fl[2], "unit"):
+		if len(fl) >= 4 && matchWord(fl[3], "primary") {
+			f.unit = 1
+		} else {
+			f.unit = 2
+		}
+		return "", true
+	case matchWord(fl[0], "failover"):
+		return "", true // enabled by default; accept for replay
+	}
+	return "", false
+}
+
+func (f *FWSM) execConfigIf(_ *CLISession, _ string) (string, bool) { return "", false }
+
+func (f *FWSM) runningConfig() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hostname %s\n", f.hostname)
+	unitName := "secondary"
+	if f.unit == 1 {
+		unitName = "primary"
+	}
+	fmt.Fprintf(&sb, "failover lan unit %s\n", unitName)
+	if f.preempt {
+		sb.WriteString("failover preempt\n")
+	}
+	if f.bpduForward {
+		sb.WriteString("firewall bpdu forward\n")
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+var _ cliDevice = (*FWSM)(nil)

@@ -1,0 +1,277 @@
+package device
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/netsim"
+	"rnl/internal/packet"
+)
+
+// newFWSMPair wires two FWSMs' fail ports together (when failLink is true)
+// and gives every traffic port carrier via dummy interfaces.
+func newFWSMPair(t *testing.T, failLink bool) (*FWSM, *FWSM) {
+	t.Helper()
+	f1 := NewFWSM("fw1", 1, FastTimers())
+	f2 := NewFWSM("fw2", 2, FastTimers())
+	t.Cleanup(f1.Close)
+	t.Cleanup(f2.Close)
+	for _, f := range []*FWSM{f1, f2} {
+		for _, pn := range []string{"inside", "outside"} {
+			dummy := netsim.NewIface("dummy-" + f.Name() + "-" + pn)
+			connect(t, f.Port(pn), dummy)
+		}
+	}
+	if failLink {
+		connect(t, f1.Port("fail"), f2.Port("fail"))
+	}
+	return f1, f2
+}
+
+func TestFWSMElectsPrimaryActive(t *testing.T) {
+	f1, f2 := newFWSMPair(t, true)
+	eventually(t, 2*time.Second, func() bool {
+		return f1.State() == FailoverActive && f2.State() == FailoverStandby
+	}, "primary should become active, secondary standby")
+}
+
+func TestFWSMDualActiveWithoutFailoverLink(t *testing.T) {
+	// The paper's misconfiguration: failover VLAN not carried between
+	// the switches → both units promote to Active.
+	f1, f2 := newFWSMPair(t, false)
+	eventually(t, 2*time.Second, func() bool {
+		return f1.State() == FailoverActive && f2.State() == FailoverActive
+	}, "isolated units should both go active (dual-active transient)")
+}
+
+func TestFWSMFailoverOnLinkLoss(t *testing.T) {
+	f1, f2 := newFWSMPair(t, true)
+	eventually(t, 2*time.Second, func() bool {
+		return f1.State() == FailoverActive && f2.State() == FailoverStandby
+	}, "initial election")
+
+	// Simulate switch/interface failure on the active unit: drop its
+	// inside link (the paper's "shutdown one switch or disable its
+	// links" experiment).
+	f1.Port("inside").SetAdminUp(false)
+	eventually(t, 2*time.Second, func() bool {
+		return f1.State() == FailoverStandby && f2.State() == FailoverActive
+	}, "standby should take over after active loses a traffic link")
+
+	// Recovery: f1 healthy again, but f2 stays active (no preemption).
+	f1.Port("inside").SetAdminUp(true)
+	time.Sleep(100 * time.Millisecond)
+	if f2.State() != FailoverActive {
+		t.Error("recovered unit must not preempt the new active")
+	}
+}
+
+func TestFWSMBridgesTrafficWhenActive(t *testing.T) {
+	f := NewFWSM("solo", 1, FastTimers())
+	t.Cleanup(f.Close)
+	inside := netsim.NewIface("in-side")
+	outside := netsim.NewIface("out-side")
+	connect(t, f.Port("inside"), inside)
+	connect(t, f.Port("outside"), outside)
+
+	eventually(t, 2*time.Second, func() bool { return f.State() == FailoverActive },
+		"lone unit should become active")
+
+	got := make(chan []byte, 4)
+	outside.SetReceiver(func(fr []byte) { got <- fr })
+
+	frame, _ := packet.BuildUDP(deviceMAC("x"), deviceMAC("y"),
+		mustIP(t, "10.0.0.1"), mustIP(t, "10.0.0.2"), 1, 2, []byte("inside-out"))
+	inside.Transmit(frame)
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("active FWSM did not bridge inside→outside")
+	}
+
+	// Return traffic of the same flow passes outside→inside.
+	gotIn := make(chan []byte, 4)
+	inside.SetReceiver(func(fr []byte) { gotIn <- fr })
+	back, _ := packet.BuildUDP(deviceMAC("y"), deviceMAC("x"),
+		mustIP(t, "10.0.0.2"), mustIP(t, "10.0.0.1"), 2, 1, []byte("reply"))
+	outside.Transmit(back)
+	select {
+	case <-gotIn:
+	case <-time.After(2 * time.Second):
+		t.Fatal("return traffic of a known flow should pass")
+	}
+
+	// Unsolicited outside→inside traffic is dropped by policy.
+	evil, _ := packet.BuildUDP(deviceMAC("z"), deviceMAC("x"),
+		mustIP(t, "10.0.0.66"), mustIP(t, "10.0.0.1"), 9, 9, []byte("unsolicited"))
+	outside.Transmit(evil)
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case fr := <-gotIn:
+		p := packet.NewPacket(fr, packet.LayerTypeEthernet, packet.Default)
+		if app := p.ApplicationLayer(); app != nil && string(app.Payload()) == "unsolicited" {
+			t.Fatal("unsolicited outside traffic leaked inside")
+		}
+	default:
+	}
+}
+
+func TestFWSMStandbyDropsTraffic(t *testing.T) {
+	f1, f2 := newFWSMPair(t, true)
+	eventually(t, 2*time.Second, func() bool { return f2.State() == FailoverStandby },
+		"secondary standby")
+	_ = f1
+
+	gotOut := make(chan []byte, 1)
+	outside := netsim.NewIface("observer")
+	// Rewire f2's outside to our observer.
+	connect(t, f2.Port("outside"), outside)
+	outside.SetReceiver(func(fr []byte) { gotOut <- fr })
+
+	frame, _ := packet.BuildUDP(deviceMAC("x"), deviceMAC("y"),
+		mustIP(t, "10.0.0.1"), mustIP(t, "10.0.0.2"), 1, 2, []byte("via-standby"))
+	// Inject into f2's inside port directly.
+	f2.Port("inside").Deliver(frame)
+	time.Sleep(60 * time.Millisecond)
+	select {
+	case <-gotOut:
+		t.Fatal("standby FWSM must not bridge traffic")
+	default:
+	}
+}
+
+// injectBPDU sends a config BPDU into a port and reports whether it came
+// out the other side.
+func injectBPDU(t *testing.T, f *FWSM, inIface, outIface *netsim.Iface) bool {
+	t.Helper()
+	got := make(chan struct{}, 1)
+	outIface.SetReceiver(func(fr []byte) {
+		p := packet.NewPacket(fr, packet.LayerTypeEthernet, packet.Default)
+		if p.Layer(packet.LayerTypeSTP) != nil {
+			select {
+			case got <- struct{}{}:
+			default:
+			}
+		}
+	})
+	bpdu, err := packet.BuildBPDU(deviceMAC("stp-src"), &packet.STP{
+		BPDUType: packet.BPDUTypeConfig,
+		RootID:   packet.BridgeID{Priority: 4096, MAC: deviceMAC("root")},
+		BridgeID: packet.BridgeID{Priority: 8192, MAC: deviceMAC("stp-src")},
+		PortID:   0x8001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inIface.Transmit(bpdu)
+	select {
+	case <-got:
+		return true
+	case <-time.After(200 * time.Millisecond):
+		return false
+	}
+}
+
+func TestFWSMBPDUForwardingRequiresConfigAndFirmware(t *testing.T) {
+	f := NewFWSM("bpdu-fw", 1, FastTimers())
+	t.Cleanup(f.Close)
+	inside := netsim.NewIface("bp-in")
+	outside := netsim.NewIface("bp-out")
+	connect(t, f.Port("inside"), inside)
+	connect(t, f.Port("outside"), outside)
+	eventually(t, 2*time.Second, func() bool { return f.State() == FailoverActive }, "active")
+
+	// Default: BPDU forwarding not configured → dropped.
+	if injectBPDU(t, f, inside, outside) {
+		t.Fatal("BPDU must be dropped without 'firewall bpdu forward'")
+	}
+	// Configured on supporting firmware (default 4.0.1) → forwarded.
+	f.SetBPDUForward(true)
+	if !injectBPDU(t, f, inside, outside) {
+		t.Fatal("BPDU should pass once configured on firmware >= 4")
+	}
+	// Old firmware ignores the configuration (the paper's "use switch
+	// software that supports BPDU forwarding").
+	f.Flash("3.1.9")
+	if injectBPDU(t, f, inside, outside) {
+		t.Fatal("firmware 3.x must not forward BPDUs even when configured")
+	}
+	f.Flash("4.2.0")
+	if !injectBPDU(t, f, inside, outside) {
+		t.Fatal("flashing firmware 4.x should restore BPDU forwarding")
+	}
+}
+
+func TestFWSMConsole(t *testing.T) {
+	f := NewFWSM("cons-fw", 2, FastTimers())
+	t.Cleanup(f.Close)
+	sess := &CLISession{}
+	Console(f, sess, "enable")
+	Console(f, sess, "configure terminal")
+	if out, _ := Console(f, sess, "firewall bpdu forward"); out != "" {
+		t.Fatalf("bpdu forward config failed: %s", out)
+	}
+	if out, _ := Console(f, sess, "failover lan unit primary"); out != "" {
+		t.Fatalf("unit config failed: %s", out)
+	}
+	Console(f, sess, "end")
+	cfg := DumpRunningConfig(f)
+	for _, want := range []string{"failover lan unit primary", "firewall bpdu forward"} {
+		if !strings.Contains(cfg, want) {
+			t.Errorf("running-config missing %q:\n%s", want, cfg)
+		}
+	}
+	out, _ := Console(f, sess, "show failover")
+	if !strings.Contains(out, "Failover unit 1") {
+		t.Errorf("show failover = %q", out)
+	}
+}
+
+func TestFWSMFlowExpiry(t *testing.T) {
+	f := NewFWSM("flow-exp", 1, FastTimers())
+	t.Cleanup(f.Close)
+	inside := netsim.NewIface("fe-in")
+	outside := netsim.NewIface("fe-out")
+	connect(t, f.Port("inside"), inside)
+	connect(t, f.Port("outside"), outside)
+	eventually(t, 2*time.Second, func() bool { return f.State() == FailoverActive }, "active")
+
+	gotIn := make(chan []byte, 4)
+	inside.SetReceiver(func(fr []byte) { gotIn <- fr })
+
+	// Open a flow from inside, then let it idle past FlowIdle: return
+	// traffic must be refused afterwards.
+	gotOut := make(chan []byte, 4)
+	outside.SetReceiver(func(fr []byte) { gotOut <- fr })
+	out, _ := packet.BuildUDP(deviceMAC("x"), deviceMAC("y"),
+		mustIP(t, "10.0.0.1"), mustIP(t, "10.0.0.2"), 1, 2, []byte("open"))
+	inside.Transmit(out)
+	select {
+	case <-gotOut: // flow is now recorded
+	case <-time.After(2 * time.Second):
+		t.Fatal("opening packet never bridged")
+	}
+	back, _ := packet.BuildUDP(deviceMAC("y"), deviceMAC("x"),
+		mustIP(t, "10.0.0.2"), mustIP(t, "10.0.0.1"), 2, 1, []byte("reply"))
+	outside.Transmit(back)
+	select {
+	case <-gotIn:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fresh flow's return traffic should pass")
+	}
+	// FastTimers FlowIdle = 500ms; wait past it plus a sweep period.
+	time.Sleep(1100 * time.Millisecond)
+	outside.Transmit(back)
+	select {
+	case fr := <-gotIn:
+		t.Fatalf("expired flow's return traffic leaked inside: %d bytes", len(fr))
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Flow table should be empty again.
+	var n int
+	f.Do(func() { n = len(f.flows) })
+	if n != 0 {
+		t.Errorf("flow table has %d entries after expiry", n)
+	}
+}

@@ -1,0 +1,542 @@
+package device
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rnl/internal/packet"
+)
+
+// UDPHandler consumes a datagram delivered to a host port.
+type UDPHandler func(srcIP net.IP, srcPort uint16, payload []byte)
+
+// Host is a simple IP endpoint — the servers (S1, S2) of the paper's
+// use cases: it ARPs, answers pings, originates pings, and sends/receives
+// UDP datagrams.
+type Host struct {
+	*Base
+
+	ip      ip4
+	mask    ip4
+	gw      ip4
+	hasIP   bool
+	hasGW   bool
+	mac     net.HardwareAddr
+	arp     map[ip4]arpEntry
+	pending []pendingPacket
+
+	pingSeq  uint16
+	pingID   uint16
+	pingMu   sync.Mutex
+	pingWait map[uint32]chan struct{}
+	hopWait  map[uint16]chan hopInfo
+
+	udpMu       sync.Mutex
+	udpHandlers map[uint16]UDPHandler
+
+	// RxIPPackets counts IPv4 packets delivered to this host.
+	RxIPPackets atomic.Uint64
+}
+
+// NewHost creates a single-port host ("eth0").
+func NewHost(name string, timers Timers) *Host {
+	h := &Host{
+		Base:        newBase(name, "Linux Server", timers),
+		mac:         deviceMAC(name),
+		arp:         make(map[ip4]arpEntry),
+		pingWait:    make(map[uint32]chan struct{}),
+		hopWait:     make(map[uint16]chan hopInfo),
+		udpHandlers: make(map[uint16]UDPHandler),
+		pingID:      uint16(len(name)*131 + 7),
+	}
+	h.addPort("eth0")
+	h.handleFrame = h.onFrame
+	h.start()
+	return h
+}
+
+// MAC returns the host's MAC address.
+func (h *Host) MAC() net.HardwareAddr { return h.mac }
+
+// IP returns the host's address (zero if unset).
+func (h *Host) IP() net.IP {
+	var a ip4
+	h.Do(func() { a = h.ip })
+	return a.IP()
+}
+
+// Configure assigns the address, mask and optional default gateway.
+func (h *Host) Configure(ip net.IP, mask net.IPMask, gw net.IP) error {
+	a, ok := toIP4(ip)
+	if !ok || len(mask) != 4 {
+		return fmt.Errorf("device: host needs IPv4 address and mask")
+	}
+	var m ip4
+	copy(m[:], mask)
+	var g ip4
+	hasGW := false
+	if gw != nil {
+		g, ok = toIP4(gw)
+		if !ok {
+			return fmt.Errorf("device: gateway %v is not IPv4", gw)
+		}
+		hasGW = true
+	}
+	h.Do(func() {
+		h.ip, h.mask, h.gw, h.hasIP, h.hasGW = a, m, g, true, hasGW
+	})
+	return nil
+}
+
+// HandleUDP registers a handler for datagrams to a local UDP port.
+func (h *Host) HandleUDP(port uint16, fn UDPHandler) {
+	h.udpMu.Lock()
+	defer h.udpMu.Unlock()
+	h.udpHandlers[port] = fn
+}
+
+// onFrame is the host's receive path.
+func (h *Host) onFrame(_ int, frame []byte) {
+	p := packet.NewPacket(frame, packet.LayerTypeEthernet, packet.NoCopy)
+	eth, ok := p.LinkLayer().(*packet.Ethernet)
+	if !ok {
+		return
+	}
+	switch eth.EthernetType {
+	case packet.EthernetTypeARP:
+		h.onARP(p)
+	case packet.EthernetTypeIPv4:
+		if !macEqual(eth.DstMAC, h.mac) && !macEqual(eth.DstMAC, packet.Broadcast) {
+			return
+		}
+		h.onIPv4(p)
+	}
+}
+
+func (h *Host) onARP(p *packet.Packet) {
+	a, ok := p.Layer(packet.LayerTypeARP).(*packet.ARP)
+	if !ok || !h.hasIP {
+		return
+	}
+	sender, ok := toIP4(a.SenderProtAddr)
+	if !ok {
+		return
+	}
+	h.arp[sender] = arpEntry{mac: append(net.HardwareAddr(nil), a.SenderHWAddr...), when: time.Now()}
+	h.flushPending()
+	if a.Operation == packet.ARPRequest {
+		if target, ok := toIP4(a.TargetProtAddr); ok && target == h.ip {
+			reply, err := packet.BuildARPReply(h.mac, h.ip.IP(), a.SenderHWAddr, a.SenderProtAddr)
+			if err == nil {
+				h.Ports()[0].Transmit(reply)
+			}
+		}
+	}
+}
+
+func (h *Host) flushPending() {
+	still := h.pending[:0]
+	for _, pp := range h.pending {
+		if e, ok := h.arp[pp.nextHop]; ok {
+			copy(pp.frame[0:6], e.mac)
+			h.Ports()[0].Transmit(pp.frame)
+		} else {
+			still = append(still, pp)
+		}
+	}
+	h.pending = still
+}
+
+func (h *Host) onIPv4(p *packet.Packet) {
+	ipl, ok := p.NetworkLayer().(*packet.IPv4)
+	if !ok || !h.hasIP {
+		return
+	}
+	dst, ok := toIP4(ipl.DstIP)
+	if !ok || (dst != h.ip && dst != ip4{255, 255, 255, 255}) {
+		return
+	}
+	h.RxIPPackets.Add(1)
+	switch ipl.Protocol {
+	case packet.IPProtocolICMPv4:
+		ic, ok := p.Layer(packet.LayerTypeICMPv4).(*packet.ICMPv4)
+		if !ok {
+			return
+		}
+		switch ic.Type {
+		case packet.ICMPv4TypeEchoRequest:
+			src, _ := toIP4(ipl.SrcIP)
+			mac := h.lookupMAC(src)
+			if mac == nil {
+				eth := p.LinkLayer().(*packet.Ethernet)
+				mac = eth.SrcMAC
+			}
+			reply, err := packet.BuildICMPEcho(h.mac, mac, h.ip.IP(), ipl.SrcIP,
+				packet.ICMPv4TypeEchoReply, ic.ID, ic.Seq, ic.LayerPayload())
+			if err == nil {
+				h.Ports()[0].Transmit(reply)
+			}
+		case packet.ICMPv4TypeEchoReply:
+			if ic.ID != h.pingID {
+				return
+			}
+			key := uint32(ic.ID)<<16 | uint32(ic.Seq)
+			h.pingMu.Lock()
+			if ch, ok := h.pingWait[key]; ok {
+				close(ch)
+				delete(h.pingWait, key)
+			}
+			if ch, ok := h.hopWait[ic.Seq]; ok {
+				select {
+				case ch <- hopInfo{ip: append(net.IP(nil), ipl.SrcIP...), final: true}:
+				default:
+				}
+			}
+			h.pingMu.Unlock()
+		case packet.ICMPv4TypeTimeExceeded, packet.ICMPv4TypeDestUnreachable:
+			// The error quotes the original IP header + 8 bytes; dig
+			// the echo sequence number out to match our probe.
+			seq, ok := quotedEchoSeq(ic.LayerPayload(), h.pingID)
+			if !ok {
+				return
+			}
+			h.pingMu.Lock()
+			if ch, ok := h.hopWait[seq]; ok {
+				select {
+				case ch <- hopInfo{ip: append(net.IP(nil), ipl.SrcIP...), final: false}:
+				default:
+				}
+			}
+			h.pingMu.Unlock()
+		}
+	case packet.IPProtocolUDP:
+		udp, ok := p.TransportLayer().(*packet.UDP)
+		if !ok {
+			return
+		}
+		h.udpMu.Lock()
+		fn := h.udpHandlers[udp.DstPort]
+		h.udpMu.Unlock()
+		if fn != nil {
+			// Dispatch off the device goroutine so handlers may call
+			// back into the host (SendUDP, Ping) without deadlocking.
+			srcIP := append(net.IP(nil), ipl.SrcIP...)
+			srcPort := udp.SrcPort
+			payload := append([]byte(nil), udp.LayerPayload()...)
+			go fn(srcIP, srcPort, payload)
+		}
+	}
+}
+
+func (h *Host) lookupMAC(a ip4) net.HardwareAddr {
+	if e, ok := h.arp[a]; ok {
+		return e.mac
+	}
+	return nil
+}
+
+// nextHopFor picks the L2 next hop for a destination: on-link hosts
+// directly, everything else via the default gateway.
+func (h *Host) nextHopFor(dst ip4) (ip4, bool) {
+	if dst.masked(h.mask) == h.ip.masked(h.mask) {
+		return dst, true
+	}
+	if h.hasGW {
+		return h.gw, true
+	}
+	return ip4{}, false
+}
+
+// sendIP transmits a built Ethernet frame whose destination MAC needs
+// resolving for nextHop; unresolved frames are queued behind an ARP.
+func (h *Host) sendIP(frame []byte, nextHop ip4) {
+	if mac := h.lookupMAC(nextHop); mac != nil {
+		copy(frame[0:6], mac)
+		h.Ports()[0].Transmit(frame)
+		return
+	}
+	h.pending = append(h.pending, pendingPacket{frame: frame, nextHop: nextHop})
+	if len(h.pending) > 128 {
+		h.pending = h.pending[1:]
+	}
+	req, err := packet.BuildARPRequest(h.mac, h.ip.IP(), nextHop.IP())
+	if err == nil {
+		h.Ports()[0].Transmit(req)
+	}
+}
+
+// Ping sends ICMP echo requests to dst until one is answered or the
+// timeout elapses, retransmitting every interval. It reports success and
+// the elapsed time.
+func (h *Host) Ping(dst net.IP, timeout time.Duration) (bool, time.Duration) {
+	d, ok := toIP4(dst)
+	if !ok {
+		return false, 0
+	}
+	start := time.Now()
+	deadline := start.Add(timeout)
+	interval := timeout / 8
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	for {
+		var (
+			ch  = make(chan struct{})
+			seq uint16
+		)
+		h.Do(func() {
+			h.pingSeq++
+			seq = h.pingSeq
+			key := uint32(h.pingID)<<16 | uint32(seq)
+			h.pingMu.Lock()
+			h.pingWait[key] = ch
+			h.pingMu.Unlock()
+			nh, routable := h.nextHopFor(d)
+			if !routable {
+				return
+			}
+			frame, err := packet.BuildICMPEcho(h.mac, packet.Broadcast, h.ip.IP(), dst,
+				packet.ICMPv4TypeEchoRequest, h.pingID, seq, []byte("rnl-ping"))
+			if err != nil {
+				return
+			}
+			h.sendIP(frame, nh)
+		})
+		wait := time.Until(deadline)
+		if wait > interval {
+			wait = interval
+		}
+		if wait <= 0 {
+			return false, time.Since(start)
+		}
+		select {
+		case <-ch:
+			return true, time.Since(start)
+		case <-time.After(wait):
+			h.pingMu.Lock()
+			delete(h.pingWait, uint32(h.pingID)<<16|uint32(seq))
+			h.pingMu.Unlock()
+			if time.Now().After(deadline) {
+				return false, time.Since(start)
+			}
+		}
+	}
+}
+
+// SendUDP transmits one datagram from srcPort to dst:dstPort.
+func (h *Host) SendUDP(dst net.IP, srcPort, dstPort uint16, payload []byte) error {
+	d, ok := toIP4(dst)
+	if !ok {
+		return fmt.Errorf("device: %v is not IPv4", dst)
+	}
+	var sendErr error
+	h.Do(func() {
+		if !h.hasIP {
+			sendErr = fmt.Errorf("device: host %s has no IP", h.Name())
+			return
+		}
+		nh, routable := h.nextHopFor(d)
+		if !routable {
+			sendErr = fmt.Errorf("device: host %s has no route to %v", h.Name(), dst)
+			return
+		}
+		frame, err := packet.BuildUDP(h.mac, packet.Broadcast, h.ip.IP(), dst, srcPort, dstPort, payload)
+		if err != nil {
+			sendErr = err
+			return
+		}
+		h.sendIP(frame, nh)
+	})
+	return sendErr
+}
+
+// hopInfo is one traceroute answer: which address replied, and whether it
+// was the destination itself.
+type hopInfo struct {
+	ip    net.IP
+	final bool
+}
+
+// quotedEchoSeq extracts the echo sequence number from the quoted packet
+// inside an ICMP error, when the quote is one of our probes.
+func quotedEchoSeq(quote []byte, wantID uint16) (uint16, bool) {
+	if len(quote) < 20 {
+		return 0, false
+	}
+	ihl := int(quote[0]&0x0f) * 4
+	if ihl < 20 || len(quote) < ihl+8 {
+		return 0, false
+	}
+	if packet.IPProtocol(quote[9]) != packet.IPProtocolICMPv4 {
+		return 0, false
+	}
+	icmp := quote[ihl:]
+	if icmp[0] != packet.ICMPv4TypeEchoRequest {
+		return 0, false
+	}
+	id := uint16(icmp[4])<<8 | uint16(icmp[5])
+	if id != wantID {
+		return 0, false
+	}
+	return uint16(icmp[6])<<8 | uint16(icmp[7]), true
+}
+
+// Hop is one traceroute result row.
+type Hop struct {
+	TTL   int
+	IP    net.IP // nil when the hop timed out
+	Final bool   // the destination answered
+}
+
+// Traceroute probes the path to dst with TTL-limited echo requests,
+// collecting the routers' ICMP time-exceeded answers hop by hop — possible
+// because the emulated routers originate and route ICMP errors like real
+// ones.
+func (h *Host) Traceroute(dst net.IP, maxHops int, perHop time.Duration) []Hop {
+	d, ok := toIP4(dst)
+	if !ok {
+		return nil
+	}
+	var hops []Hop
+	for ttl := 1; ttl <= maxHops; ttl++ {
+		var (
+			ch  = make(chan hopInfo, 1)
+			seq uint16
+		)
+		h.Do(func() {
+			h.pingSeq++
+			seq = h.pingSeq
+			h.pingMu.Lock()
+			h.hopWait[seq] = ch
+			h.pingMu.Unlock()
+			nh, routable := h.nextHopFor(d)
+			if !routable {
+				return
+			}
+			ip := &packet.IPv4{TTL: uint8(ttl), Protocol: packet.IPProtocolICMPv4, SrcIP: h.ip.IP(), DstIP: dst}
+			buf := packet.NewSerializeBuffer()
+			err := packet.SerializeLayers(buf, packet.FixAll,
+				&packet.Ethernet{SrcMAC: h.mac, DstMAC: packet.Broadcast, EthernetType: packet.EthernetTypeIPv4},
+				ip,
+				&packet.ICMPv4{Type: packet.ICMPv4TypeEchoRequest, ID: h.pingID, Seq: seq},
+				packet.Payload([]byte("rnl-traceroute")))
+			if err != nil {
+				return
+			}
+			frame := append([]byte(nil), buf.Bytes()...)
+			h.sendIP(frame, nh)
+		})
+		hop := Hop{TTL: ttl}
+		select {
+		case info := <-ch:
+			hop.IP, hop.Final = info.ip, info.final
+		case <-time.After(perHop):
+		}
+		h.pingMu.Lock()
+		delete(h.hopWait, seq)
+		h.pingMu.Unlock()
+		hops = append(hops, hop)
+		if hop.Final {
+			break
+		}
+	}
+	return hops
+}
+
+// --- CLI integration -----------------------------------------------------
+
+func (h *Host) base() *Base { return h.Base }
+
+func (h *Host) execExec(_ *CLISession, line string) (string, bool) {
+	f := fields(line)
+	if matchWord(f[0], "ping") && len(f) == 2 {
+		ip := net.ParseIP(f[1])
+		if ip == nil {
+			return "% Invalid address", true
+		}
+		// Console runs on the device goroutine, so fire one echo
+		// asynchronously; programmatic Ping gives the blocking form.
+		d, ok := toIP4(ip)
+		if !ok || !h.hasIP {
+			return "% No IP configured", true
+		}
+		nh, routable := h.nextHopFor(d)
+		if !routable {
+			return "% No route to host", true
+		}
+		h.pingSeq++
+		frame, err := packet.BuildICMPEcho(h.mac, packet.Broadcast, h.ip.IP(), ip,
+			packet.ICMPv4TypeEchoRequest, h.pingID, h.pingSeq, []byte("rnl-ping"))
+		if err == nil {
+			h.sendIP(frame, nh)
+		}
+		return "echo request sent", true
+	}
+	return "", false
+}
+
+func (h *Host) execShow(args []string) (string, bool) {
+	if matchWord(args[0], "ip") {
+		if !h.hasIP {
+			return "no address configured", true
+		}
+		out := fmt.Sprintf("inet %s netmask %s", h.ip, h.mask.IP())
+		if h.hasGW {
+			out += fmt.Sprintf("\ndefault via %s", h.gw)
+		}
+		return out, true
+	}
+	if matchWord(args[0], "arp") {
+		var rows []string
+		for a, e := range h.arp {
+			rows = append(rows, fmt.Sprintf("%s at %s", a, e.mac))
+		}
+		return strings.Join(rows, "\n"), true
+	}
+	return "", false
+}
+
+func (h *Host) execConfig(_ *CLISession, line string) (string, bool) {
+	f := fields(line)
+	switch {
+	case matchWord(f[0], "ip") && len(f) >= 4 && matchWord(f[1], "address"):
+		ip, mask := net.ParseIP(f[2]), parseMask(f[3])
+		if ip == nil || mask == nil {
+			return "% Invalid address", true
+		}
+		a, _ := toIP4(ip)
+		var m ip4
+		copy(m[:], mask)
+		h.ip, h.mask, h.hasIP = a, m, true
+		return "", true
+	case matchWord(f[0], "ip") && len(f) >= 3 && matchWord(f[1], "gateway"):
+		gw := net.ParseIP(f[2])
+		if gw == nil {
+			return "% Invalid gateway", true
+		}
+		g, _ := toIP4(gw)
+		h.gw, h.hasGW = g, true
+		return "", true
+	}
+	return "", false
+}
+
+func (h *Host) execConfigIf(_ *CLISession, _ string) (string, bool) { return "", false }
+
+func (h *Host) runningConfig() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hostname %s\n", h.hostname)
+	if h.hasIP {
+		fmt.Fprintf(&sb, "ip address %s %s\n", h.ip, h.mask.IP())
+	}
+	if h.hasGW {
+		fmt.Fprintf(&sb, "ip gateway %s\n", h.gw)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+var _ cliDevice = (*Host)(nil)

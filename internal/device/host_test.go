@@ -1,0 +1,93 @@
+package device
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestHostPingDirect(t *testing.T) {
+	a, b := newHostPair(t, "10.0.0.1", "10.0.0.2")
+	connect(t, a.Ports()[0], b.Ports()[0])
+
+	ok, rtt := a.Ping(b.IP(), time.Second)
+	if !ok {
+		t.Fatal("ping a→b failed on a direct wire")
+	}
+	if rtt <= 0 {
+		t.Error("rtt should be positive")
+	}
+	// And the reverse direction, exercising b's ARP learning of a.
+	if ok, _ := b.Ping(a.IP(), time.Second); !ok {
+		t.Fatal("ping b→a failed")
+	}
+}
+
+func TestHostPingUnreachable(t *testing.T) {
+	a, b := newHostPair(t, "10.0.0.1", "10.0.0.2")
+	connect(t, a.Ports()[0], b.Ports()[0])
+	if ok, _ := a.Ping(mustIP(t, "10.0.0.99"), 60*time.Millisecond); ok {
+		t.Error("ping to a nonexistent host should fail")
+	}
+}
+
+func TestHostPingOffSubnetWithoutGateway(t *testing.T) {
+	a, b := newHostPair(t, "10.0.0.1", "10.0.0.2")
+	connect(t, a.Ports()[0], b.Ports()[0])
+	if ok, _ := a.Ping(mustIP(t, "172.16.0.1"), 60*time.Millisecond); ok {
+		t.Error("off-subnet ping without gateway should fail")
+	}
+}
+
+func TestHostUDPDelivery(t *testing.T) {
+	a, b := newHostPair(t, "10.0.0.1", "10.0.0.2")
+	connect(t, a.Ports()[0], b.Ports()[0])
+
+	got := make(chan string, 1)
+	b.HandleUDP(7777, func(srcIP net.IP, srcPort uint16, payload []byte) {
+		_ = srcPort
+		got <- srcIP.String() + ":" + string(payload)
+	})
+	if err := a.SendUDP(b.IP(), 5555, 7777, []byte("hello-rnl")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "10.0.0.1:hello-rnl" {
+			t.Errorf("udp delivery = %q", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("udp datagram never delivered")
+	}
+}
+
+func TestHostConsole(t *testing.T) {
+	a, _ := newHostPair(t, "10.0.0.1", "10.0.0.2")
+	sess := &CLISession{}
+	out, prompt := Console(a, sess, "enable")
+	if out != "" || prompt != "host-10.0.0.1#" {
+		t.Errorf("enable: out=%q prompt=%q", out, prompt)
+	}
+	out, _ = Console(a, sess, "show ip")
+	if out != "inet 10.0.0.1 netmask 255.255.255.0" {
+		t.Errorf("show ip = %q", out)
+	}
+	out, _ = Console(a, sess, "show version")
+	if out == "" || out == invalidInput {
+		t.Errorf("show version = %q", out)
+	}
+}
+
+func TestHostConfigRestore(t *testing.T) {
+	a := NewHost("restoreme", FastTimers())
+	t.Cleanup(a.Close)
+	RestoreConfig(a, "ip address 192.168.5.5 255.255.255.0\nip gateway 192.168.5.1")
+	if got := a.IP().String(); got != "192.168.5.5" {
+		t.Errorf("IP after restore = %s", got)
+	}
+	cfg := DumpRunningConfig(a)
+	want := "hostname restoreme\nip address 192.168.5.5 255.255.255.0\nip gateway 192.168.5.1"
+	if cfg != want {
+		t.Errorf("running-config = %q, want %q", cfg, want)
+	}
+}

@@ -1,0 +1,116 @@
+package device
+
+// Logical routers (paper §4): commercial routers support carving one
+// physical router into independent logical routers; RNL plans to let a
+// user "reserve a slice of the router, in addition to being able to
+// reserve the whole physical router". The emulated router supports it
+// natively: every interface belongs to a logical router (default "main"),
+// and routing state — connected, static and RIP routes — is isolated per
+// logical router. The RIS layer then announces each slice as its own
+// inventory entry (see ris.RouterDef.Slice / lab.AddSlicedRouter).
+
+import (
+	"fmt"
+	"net"
+)
+
+// DefaultLR is the logical router interfaces start in.
+const DefaultLR = "main"
+
+// AssignLogicalRouter moves an interface into a logical router, re-homing
+// its connected route. Creating a logical router is implicit.
+func (r *Router) AssignLogicalRouter(portName, lr string) error {
+	idx := r.PortIndex(portName)
+	if idx < 0 {
+		return fmt.Errorf("device: router %s has no port %s", r.Name(), portName)
+	}
+	if lr == "" {
+		lr = DefaultLR
+	}
+	r.Do(func() {
+		rif := r.ifs[idx]
+		rif.lr = lr
+		for i := range r.routes {
+			if r.routes[i].source == routeConnected && r.routes[i].ifIndex == idx {
+				r.routes[i].lr = lr
+			}
+		}
+		// Routes previously learned/installed through this interface in
+		// another logical router are stale: drop them.
+		r.removeRoutesLocked(func(rt route) bool {
+			return rt.ifIndex == idx && rt.source != routeConnected && rt.lr != lr
+		})
+	})
+	return nil
+}
+
+// LogicalRouterOf reports an interface's logical router.
+func (r *Router) LogicalRouterOf(portName string) (string, error) {
+	idx := r.PortIndex(portName)
+	if idx < 0 {
+		return "", fmt.Errorf("device: router %s has no port %s", r.Name(), portName)
+	}
+	var lr string
+	r.Do(func() { lr = r.ifs[idx].lrName() })
+	return lr, nil
+}
+
+// AddStaticRouteLR installs a static route in a specific logical router.
+func (r *Router) AddStaticRouteLR(lr string, dst net.IP, mask net.IPMask, nextHop net.IP) error {
+	if lr == "" {
+		lr = DefaultLR
+	}
+	d, ok1 := toIP4(dst)
+	nh, ok2 := toIP4(nextHop)
+	if !ok1 || !ok2 || len(mask) != 4 {
+		return fmt.Errorf("device: static route needs IPv4 dst/mask/nexthop")
+	}
+	var m ip4
+	copy(m[:], mask)
+	r.Do(func() {
+		idx, _ := r.lookupLR(lr, nh)
+		r.routes = append(r.routes, route{
+			dst: d.masked(m), mask: m, nextHop: nh, ifIndex: idx,
+			source: routeStatic, metric: 1, lr: lr,
+		})
+	})
+	return nil
+}
+
+// lrName returns an interface's logical router, defaulting old state.
+func (rif *routerIf) lrName() string {
+	if rif.lr == "" {
+		return DefaultLR
+	}
+	return rif.lr
+}
+
+// lookupLR is longest-prefix match within one logical router. Device
+// goroutine only.
+func (r *Router) lookupLR(lr string, dst ip4) (ifIndex int, rt *route) {
+	bestLen := -1
+	var best *route
+	for i := range r.routes {
+		cand := &r.routes[i]
+		if cand.lrName() != lr || dst.masked(cand.mask) != cand.dst {
+			continue
+		}
+		l := maskOnes(cand.mask)
+		if l > bestLen || (l == bestLen && best != nil && cand.source < best.source) {
+			bestLen = l
+			best = cand
+		}
+	}
+	if best == nil {
+		return -1, nil
+	}
+	return best.ifIndex, best
+}
+
+// lrName returns a route's logical router, defaulting old state.
+func (rt *route) lrName() string {
+	if rt.lr == "" {
+		return DefaultLR
+	}
+	return rt.lr
+}

@@ -1,0 +1,154 @@
+package device
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// slicedTopo builds one physical router carved into two logical routers,
+// each serving one host pair on its own ports:
+//
+//	lrA: e0 (10.1.0.0/24 with hostA1)  e1 (10.2.0.0/24 with hostA2)
+//	lrB: e2 (10.1.0.0/24 with hostB1)  e3 (10.2.0.0/24 with hostB2)
+//
+// The two slices reuse the SAME subnets — only isolation makes that work.
+func slicedTopo(t *testing.T) (*Router, [4]*Host) {
+	t.Helper()
+	r := NewRouter("bigiron", []string{"e0", "e1", "e2", "e3"}, FastTimers())
+	t.Cleanup(r.Close)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(r.AssignLogicalRouter("e0", "lrA"))
+	must(r.AssignLogicalRouter("e1", "lrA"))
+	must(r.AssignLogicalRouter("e2", "lrB"))
+	must(r.AssignLogicalRouter("e3", "lrB"))
+	must(r.SetIP("e0", mustIP(t, "10.1.0.1"), mask24))
+	must(r.SetIP("e1", mustIP(t, "10.2.0.1"), mask24))
+	must(r.SetIP("e2", mustIP(t, "10.1.0.1"), mask24))
+	must(r.SetIP("e3", mustIP(t, "10.2.0.1"), mask24))
+
+	var hosts [4]*Host
+	specs := []struct {
+		name, ip, gw, port string
+	}{
+		{"hostA1", "10.1.0.2", "10.1.0.1", "e0"},
+		{"hostA2", "10.2.0.2", "10.2.0.1", "e1"},
+		{"hostB1", "10.1.0.2", "10.1.0.1", "e2"},
+		{"hostB2", "10.2.0.2", "10.2.0.1", "e3"},
+	}
+	for i, sp := range specs {
+		h := NewHost(sp.name, FastTimers())
+		t.Cleanup(h.Close)
+		must(h.Configure(mustIP(t, sp.ip), mask24, mustIP(t, sp.gw)))
+		connect(t, h.Ports()[0], r.Port(sp.port))
+		hosts[i] = h
+	}
+	return r, hosts
+}
+
+func TestLogicalRoutersForwardWithinSlice(t *testing.T) {
+	_, hosts := slicedTopo(t)
+	if ok, _ := hosts[0].Ping(mustIP(t, "10.2.0.2"), 3*time.Second); !ok {
+		t.Fatal("slice A: hostA1 cannot reach hostA2 through its logical router")
+	}
+	if ok, _ := hosts[2].Ping(mustIP(t, "10.2.0.2"), 3*time.Second); !ok {
+		t.Fatal("slice B: hostB1 cannot reach hostB2 through its logical router")
+	}
+}
+
+func TestLogicalRoutersDoNotLeakRoutes(t *testing.T) {
+	r, _ := slicedTopo(t)
+	// Overlapping 10.1.0.0/24 must appear once per slice, tagged.
+	var lrA, lrB int
+	for _, line := range r.Routes() {
+		if !strings.Contains(line, "10.1.0.0/24") {
+			continue
+		}
+		if strings.Contains(line, "[lr lrB]") {
+			lrB++
+		} else if strings.Contains(line, "[lr lrA]") {
+			lrA++
+		}
+	}
+	if lrA != 1 || lrB != 1 {
+		t.Errorf("10.1.0.0/24 appears lrA=%d lrB=%d times, want 1/1:\n%s",
+			lrA, lrB, strings.Join(r.Routes(), "\n"))
+	}
+}
+
+func TestLogicalRouterStaticRouteScoped(t *testing.T) {
+	r, _ := slicedTopo(t)
+	// A static route installed in lrA must not affect lrB's table.
+	if err := r.AddStaticRouteLR("lrA", mustIP(t, "172.16.0.0"), net16(), mustIP(t, "10.2.0.2")); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, line := range r.Routes() {
+		if strings.Contains(line, "172.16.0.0/16") {
+			found = true
+			if !strings.Contains(line, "[lr lrA]") {
+				t.Errorf("static route in wrong slice: %s", line)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("static route missing")
+	}
+}
+
+func TestLogicalRouterCLI(t *testing.T) {
+	r := NewRouter("lr-cli", []string{"e0", "e1"}, FastTimers())
+	t.Cleanup(r.Close)
+	sess := &CLISession{}
+	for _, cmd := range []string{
+		"enable", "configure terminal",
+		"interface e0",
+		"ip address 10.4.0.1 255.255.255.0",
+		"logical-router customer1",
+		"end",
+	} {
+		if out, _ := Console(r, sess, cmd); strings.HasPrefix(out, "%") {
+			t.Fatalf("command %q failed: %s", cmd, out)
+		}
+	}
+	lr, err := r.LogicalRouterOf("e0")
+	if err != nil || lr != "customer1" {
+		t.Fatalf("LogicalRouterOf = %q, %v", lr, err)
+	}
+	cfg := DumpRunningConfig(r)
+	if !strings.Contains(cfg, " logical-router customer1") {
+		t.Errorf("running-config missing logical-router line:\n%s", cfg)
+	}
+	// Restore onto a fresh router preserves the assignment.
+	r2 := NewRouter("lr-cli2", []string{"e0", "e1"}, FastTimers())
+	t.Cleanup(r2.Close)
+	RestoreConfig(r2, cfg)
+	if lr, _ := r2.LogicalRouterOf("e0"); lr != "customer1" {
+		t.Errorf("restored logical router = %q", lr)
+	}
+}
+
+func TestAssignLogicalRouterErrors(t *testing.T) {
+	r := NewRouter("lr-err", []string{"e0"}, FastTimers())
+	t.Cleanup(r.Close)
+	if err := r.AssignLogicalRouter("ghost", "x"); err == nil {
+		t.Error("unknown port should fail")
+	}
+	if _, err := r.LogicalRouterOf("ghost"); err == nil {
+		t.Error("unknown port should fail")
+	}
+	// Empty name maps to the default LR.
+	if err := r.AssignLogicalRouter("e0", ""); err != nil {
+		t.Fatal(err)
+	}
+	if lr, _ := r.LogicalRouterOf("e0"); lr != DefaultLR {
+		t.Errorf("lr = %q, want %q", lr, DefaultLR)
+	}
+}
+
+func net16() []byte { return []byte{255, 255, 0, 0} }

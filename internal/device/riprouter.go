@@ -1,0 +1,129 @@
+package device
+
+import (
+	"net"
+	"time"
+
+	"rnl/internal/packet"
+)
+
+// ripTick sends periodic RIP responses on RIP-enabled interfaces (with
+// split horizon) and expires stale learned routes.
+func (r *Router) ripTick() {
+	if !r.ripOn {
+		return
+	}
+	now := time.Now()
+	r.removeRoutesLocked(func(rt route) bool {
+		return rt.source == routeRIP && now.Sub(rt.learned) > r.timers.RIPExpire
+	})
+	ifaces := r.Ports()
+	for i, rif := range r.ifs {
+		if !rif.ripOn || !rif.hasIP || !ifaces[i].Up() {
+			continue
+		}
+		lr := rif.lrName()
+		entries := make([]packet.RIPEntry, 0, len(r.routes))
+		for _, rt := range r.routes {
+			if rt.ifIndex == i {
+				continue // split horizon
+			}
+			if rt.lrName() != lr {
+				continue // logical routers are isolated
+			}
+			metric := rt.metric + 1
+			if metric > packet.RIPInfinity {
+				metric = packet.RIPInfinity
+			}
+			entries = append(entries, packet.RIPEntry{
+				AddressFamily: 2,
+				IP:            rt.dst.IP(),
+				Mask:          net.IPMask(rt.mask[:]),
+				Metric:        metric,
+			})
+			if len(entries) == packet.RIPMaxEntries {
+				r.ripSend(i, entries)
+				entries = entries[:0]
+			}
+		}
+		if len(entries) > 0 {
+			r.ripSend(i, entries)
+		}
+	}
+}
+
+// ripSend broadcasts one RIP response on an interface.
+func (r *Router) ripSend(idx int, entries []packet.RIPEntry) {
+	rif := r.ifs[idx]
+	msg := &packet.RIP{Command: packet.RIPResponse, Version: 2, Entries: entries}
+	buf := packet.NewSerializeBuffer()
+	if err := packet.SerializeLayers(buf, packet.FixAll, msg); err != nil {
+		return
+	}
+	frame, err := packet.BuildUDP(rif.mac, packet.Broadcast,
+		rif.ip.IP(), net.IPv4bcast, packet.UDPPortRIP, packet.UDPPortRIP, buf.Bytes())
+	if err != nil {
+		return
+	}
+	r.Ports()[idx].Transmit(frame)
+}
+
+// ripReceive ingests a RIP response heard on an interface.
+func (r *Router) ripReceive(idx int, ipl *packet.IPv4, msg *packet.RIP) {
+	rif := r.ifs[idx]
+	if !rif.ripOn || msg.Command != packet.RIPResponse {
+		return
+	}
+	gw, ok := toIP4(ipl.SrcIP)
+	if !ok {
+		return
+	}
+	lr := rif.lrName()
+	now := time.Now()
+	for _, e := range msg.Entries {
+		dst, ok := toIP4(e.IP)
+		if !ok || len(e.Mask) != 4 {
+			continue
+		}
+		var mask ip4
+		copy(mask[:], e.Mask)
+		metric := e.Metric
+		if metric >= packet.RIPInfinity {
+			// Poisoned: drop any matching RIP route via this gateway.
+			r.removeRoutesLocked(func(rt route) bool {
+				return rt.source == routeRIP && rt.dst == dst && rt.mask == mask &&
+					rt.nextHop == gw && rt.lrName() == lr
+			})
+			continue
+		}
+		// Ignore nets we already reach better (connected/static or a
+		// cheaper RIP route via someone else).
+		replace := true
+		for _, rt := range r.routes {
+			if rt.dst != dst || rt.mask != mask || rt.lrName() != lr {
+				continue
+			}
+			if rt.source != routeRIP {
+				replace = false
+				break
+			}
+			if rt.nextHop == gw {
+				continue // ours; will refresh below
+			}
+			if rt.metric <= metric {
+				replace = false
+				break
+			}
+		}
+		if !replace {
+			continue
+		}
+		r.removeRoutesLocked(func(rt route) bool {
+			return rt.source == routeRIP && rt.dst == dst && rt.mask == mask && rt.lrName() == lr
+		})
+		r.routes = append(r.routes, route{
+			dst: dst, mask: mask, nextHop: gw, ifIndex: idx,
+			source: routeRIP, metric: metric, learned: now, lr: lr,
+		})
+	}
+}

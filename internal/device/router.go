@@ -1,0 +1,755 @@
+package device
+
+import (
+	"fmt"
+	"net"
+	"sort"
+
+	"strings"
+	"time"
+
+	"rnl/internal/packet"
+)
+
+// ip4 is a 4-byte IPv4 address usable as a map key.
+type ip4 [4]byte
+
+func toIP4(ip net.IP) (ip4, bool) {
+	v4 := ip.To4()
+	if v4 == nil {
+		return ip4{}, false
+	}
+	var a ip4
+	copy(a[:], v4)
+	return a, true
+}
+
+func (a ip4) IP() net.IP { return net.IP(a[:]) }
+
+func (a ip4) String() string { return a.IP().String() }
+
+// masked applies a mask.
+func (a ip4) masked(m ip4) ip4 {
+	var out ip4
+	for i := range a {
+		out[i] = a[i] & m[i]
+	}
+	return out
+}
+
+func maskOnes(m ip4) int {
+	ones, _ := net.IPMask(m[:]).Size()
+	return ones
+}
+
+// routeSource identifies how a route was learned.
+type routeSource int
+
+// Route sources, in administrative-distance order.
+const (
+	routeConnected routeSource = iota
+	routeStatic
+	routeRIP
+)
+
+func (s routeSource) String() string {
+	switch s {
+	case routeConnected:
+		return "C"
+	case routeStatic:
+		return "S"
+	case routeRIP:
+		return "R"
+	}
+	return "?"
+}
+
+// route is one routing table entry.
+type route struct {
+	dst     ip4
+	mask    ip4
+	nextHop ip4 // zero for directly connected
+	ifIndex int
+	source  routeSource
+	metric  uint32
+	learned time.Time
+	lr      string // owning logical router ("" = main)
+}
+
+// arpEntry is one resolved neighbour.
+type arpEntry struct {
+	mac  net.HardwareAddr
+	when time.Time
+}
+
+// pendingPacket waits for ARP resolution.
+type pendingPacket struct {
+	frame   []byte // fully built except dst MAC
+	nextHop ip4
+}
+
+// routerIf is per-interface L3 state.
+type routerIf struct {
+	ip       ip4
+	mask     ip4
+	hasIP    bool
+	mac      net.HardwareAddr
+	aclIn    string
+	aclOut   string
+	ripOn    bool
+	lr       string // logical router ("" = main)
+	arpTable map[ip4]arpEntry
+	pending  []pendingPacket
+}
+
+// Router is the emulated IPv4 router: ARP, longest-prefix forwarding,
+// static routes, a RIP-like IGP and numbered ACL packet filters.
+type Router struct {
+	*Base
+
+	ifs    []*routerIf
+	routes []route
+	acls   map[string][]ACLRule
+	ripOn  bool
+
+	// Drops counts packets dropped by ACLs, for tests and "show" output.
+	aclDrops uint64
+}
+
+// NewRouter creates a router with the given port names and no IP
+// configuration.
+func NewRouter(name string, portNames []string, timers Timers) *Router {
+	r := &Router{
+		Base: newBase(name, "7200 Series", timers),
+		acls: make(map[string][]ACLRule),
+	}
+	for _, pn := range portNames {
+		r.addPort(pn)
+		r.ifs = append(r.ifs, &routerIf{
+			mac:      deviceMAC(name + "/" + pn),
+			arpTable: make(map[ip4]arpEntry),
+		})
+	}
+	r.handleFrame = r.onFrame
+	r.start()
+	r.every(timers.RIPUpdate, r.ripTick)
+	return r
+}
+
+// PortMAC returns a port's MAC address.
+func (r *Router) PortMAC(portName string) net.HardwareAddr {
+	idx := r.PortIndex(portName)
+	if idx < 0 {
+		return nil
+	}
+	return r.ifs[idx].mac
+}
+
+// SetIP assigns an interface address programmatically (the CLI offers
+// "ip address").
+func (r *Router) SetIP(portName string, ip net.IP, mask net.IPMask) error {
+	idx := r.PortIndex(portName)
+	if idx < 0 {
+		return fmt.Errorf("device: router %s has no port %s", r.Name(), portName)
+	}
+	a, ok := toIP4(ip)
+	if !ok {
+		return fmt.Errorf("device: %v is not IPv4", ip)
+	}
+	var m ip4
+	if len(mask) != 4 {
+		return fmt.Errorf("device: mask %v is not IPv4", mask)
+	}
+	copy(m[:], mask)
+	r.Do(func() {
+		rif := r.ifs[idx]
+		rif.ip, rif.mask, rif.hasIP = a, m, true
+		r.removeRoutesLocked(func(rt route) bool {
+			return rt.source == routeConnected && rt.ifIndex == idx
+		})
+		r.routes = append(r.routes, route{
+			dst: a.masked(m), mask: m, ifIndex: idx, source: routeConnected,
+			lr: rif.lrName(),
+		})
+	})
+	return nil
+}
+
+// AddStaticRoute installs a static route via a next hop.
+func (r *Router) AddStaticRoute(dst net.IP, mask net.IPMask, nextHop net.IP) error {
+	d, ok1 := toIP4(dst)
+	nh, ok2 := toIP4(nextHop)
+	if !ok1 || !ok2 || len(mask) != 4 {
+		return fmt.Errorf("device: static route needs IPv4 dst/mask/nexthop")
+	}
+	var m ip4
+	copy(m[:], mask)
+	r.Do(func() {
+		idx, _ := r.lookupLocked(nh)
+		r.routes = append(r.routes, route{
+			dst: d.masked(m), mask: m, nextHop: nh, ifIndex: idx, source: routeStatic, metric: 1,
+		})
+	})
+	return nil
+}
+
+// RemoveStaticRoute deletes a matching static route.
+func (r *Router) RemoveStaticRoute(dst net.IP, mask net.IPMask) {
+	d, ok := toIP4(dst)
+	if !ok || len(mask) != 4 {
+		return
+	}
+	var m ip4
+	copy(m[:], mask)
+	r.Do(func() {
+		r.removeRoutesLocked(func(rt route) bool {
+			return rt.source == routeStatic && rt.dst == d.masked(m) && rt.mask == m
+		})
+	})
+}
+
+// EnableRIP turns the RIP process on for the named interfaces.
+func (r *Router) EnableRIP(portNames ...string) error {
+	idxs := make([]int, 0, len(portNames))
+	for _, pn := range portNames {
+		i := r.PortIndex(pn)
+		if i < 0 {
+			return fmt.Errorf("device: router %s has no port %s", r.Name(), pn)
+		}
+		idxs = append(idxs, i)
+	}
+	r.Do(func() {
+		r.ripOn = true
+		for _, i := range idxs {
+			r.ifs[i].ripOn = true
+		}
+	})
+	return nil
+}
+
+// SetACL installs a named/numbered access list, replacing any previous
+// rules under that name.
+func (r *Router) SetACL(name string, rules []ACLRule) {
+	r.Do(func() { r.acls[name] = append([]ACLRule(nil), rules...) })
+}
+
+// BindACL attaches an access list to an interface direction ("in"/"out").
+// An empty name detaches.
+func (r *Router) BindACL(portName, name, dir string) error {
+	idx := r.PortIndex(portName)
+	if idx < 0 {
+		return fmt.Errorf("device: router %s has no port %s", r.Name(), portName)
+	}
+	if dir != "in" && dir != "out" {
+		return fmt.Errorf("device: ACL direction must be in or out, got %q", dir)
+	}
+	r.Do(func() {
+		if dir == "in" {
+			r.ifs[idx].aclIn = name
+		} else {
+			r.ifs[idx].aclOut = name
+		}
+	})
+	return nil
+}
+
+// ACLDrops reports how many packets access lists have discarded.
+func (r *Router) ACLDrops() uint64 {
+	var n uint64
+	r.Do(func() { n = r.aclDrops })
+	return n
+}
+
+// removeRoutesLocked deletes routes matching pred. Device goroutine only.
+func (r *Router) removeRoutesLocked(pred func(route) bool) {
+	keep := r.routes[:0]
+	for _, rt := range r.routes {
+		if !pred(rt) {
+			keep = append(keep, rt)
+		}
+	}
+	r.routes = keep
+}
+
+// lookupLocked performs longest-prefix-match routing in the main logical
+// router. Device goroutine only.
+func (r *Router) lookupLocked(dst ip4) (ifIndex int, rt *route) {
+	return r.lookupLR(DefaultLR, dst)
+}
+
+// onFrame is the router datapath.
+func (r *Router) onFrame(idx int, frame []byte) {
+	if idx >= len(r.ifs) || len(frame) < 14 {
+		return
+	}
+	rif := r.ifs[idx]
+	p := packet.NewPacket(frame, packet.LayerTypeEthernet, packet.NoCopy)
+	eth, ok := p.LinkLayer().(*packet.Ethernet)
+	if !ok {
+		return
+	}
+	switch eth.EthernetType {
+	case packet.EthernetTypeARP:
+		r.onARP(idx, p)
+	case packet.EthernetTypeIPv4:
+		// Accept frames addressed to us or broadcast.
+		toUs := macEqual(eth.DstMAC, rif.mac) || macEqual(eth.DstMAC, packet.Broadcast)
+		if !toUs {
+			return
+		}
+		r.onIPv4(idx, p)
+	}
+}
+
+func macEqual(a, b net.HardwareAddr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// onARP handles ARP requests for our addresses and replies feeding the
+// neighbour table.
+func (r *Router) onARP(idx int, p *packet.Packet) {
+	a, ok := p.Layer(packet.LayerTypeARP).(*packet.ARP)
+	if !ok {
+		return
+	}
+	rif := r.ifs[idx]
+	sender, ok := toIP4(a.SenderProtAddr)
+	if !ok {
+		return
+	}
+	// Learn the sender either way.
+	if rif.hasIP && sender.masked(rif.mask) == rif.ip.masked(rif.mask) {
+		rif.arpTable[sender] = arpEntry{mac: append(net.HardwareAddr(nil), a.SenderHWAddr...), when: time.Now()}
+		r.flushPending(idx)
+	}
+	if a.Operation == packet.ARPRequest && rif.hasIP {
+		target, ok := toIP4(a.TargetProtAddr)
+		if ok && target == rif.ip {
+			reply, err := packet.BuildARPReply(rif.mac, rif.ip.IP(), a.SenderHWAddr, a.SenderProtAddr)
+			if err == nil {
+				r.Ports()[idx].Transmit(reply)
+			}
+		}
+	}
+}
+
+// flushPending retransmits packets that were waiting for ARP on idx.
+func (r *Router) flushPending(idx int) {
+	rif := r.ifs[idx]
+	still := rif.pending[:0]
+	for _, pp := range rif.pending {
+		if e, ok := rif.arpTable[pp.nextHop]; ok {
+			copy(pp.frame[0:6], e.mac)
+			r.Ports()[idx].Transmit(pp.frame)
+		} else {
+			still = append(still, pp)
+		}
+	}
+	rif.pending = still
+}
+
+// onIPv4 handles IP packets addressed to the router at L2: local delivery
+// or forwarding.
+func (r *Router) onIPv4(idx int, p *packet.Packet) {
+	ipl, ok := p.NetworkLayer().(*packet.IPv4)
+	if !ok {
+		return
+	}
+	rif := r.ifs[idx]
+	dst, ok := toIP4(ipl.DstIP)
+	if !ok {
+		return
+	}
+	// Inbound ACL applies to everything arriving on the interface.
+	if rif.aclIn != "" && !r.aclPermits(rif.aclIn, p) {
+		r.aclDrops++
+		return
+	}
+	// Local delivery?
+	if r.ownsIP(dst) || dst == (ip4{255, 255, 255, 255}) {
+		r.deliverLocal(idx, p, ipl)
+		return
+	}
+	r.forward(idx, p, ipl, dst)
+}
+
+// ownsIP reports whether any interface has this address.
+func (r *Router) ownsIP(a ip4) bool {
+	for _, rif := range r.ifs {
+		if rif.hasIP && rif.ip == a {
+			return true
+		}
+	}
+	return false
+}
+
+// deliverLocal handles packets destined to the router itself.
+func (r *Router) deliverLocal(idx int, p *packet.Packet, ipl *packet.IPv4) {
+	switch ipl.Protocol {
+	case packet.IPProtocolICMPv4:
+		ic, ok := p.Layer(packet.LayerTypeICMPv4).(*packet.ICMPv4)
+		if !ok || ic.Type != packet.ICMPv4TypeEchoRequest {
+			return
+		}
+		rif := r.ifs[idx]
+		src, _ := toIP4(ipl.SrcIP)
+		dstMAC := r.resolveMAC(idx, src)
+		if dstMAC == nil {
+			eth := p.LinkLayer().(*packet.Ethernet)
+			dstMAC = eth.SrcMAC // reply straight back at L2
+		}
+		reply, err := packet.BuildICMPEcho(rif.mac, dstMAC, ipl.DstIP, ipl.SrcIP,
+			packet.ICMPv4TypeEchoReply, ic.ID, ic.Seq, ic.LayerPayload())
+		if err == nil {
+			r.Ports()[idx].Transmit(reply)
+		}
+	case packet.IPProtocolUDP:
+		if rl, ok := p.Layer(packet.LayerTypeRIP).(*packet.RIP); ok {
+			r.ripReceive(idx, ipl, rl)
+		}
+	}
+}
+
+// resolveMAC returns a cached neighbour MAC, or nil.
+func (r *Router) resolveMAC(idx int, a ip4) net.HardwareAddr {
+	if e, ok := r.ifs[idx].arpTable[a]; ok {
+		return e.mac
+	}
+	return nil
+}
+
+// forward routes a transit packet.
+func (r *Router) forward(inIdx int, p *packet.Packet, ipl *packet.IPv4, dst ip4) {
+	if ipl.TTL <= 1 {
+		r.sendICMPError(inIdx, ipl, packet.ICMPv4TypeTimeExceeded, 0)
+		return
+	}
+	outIdx, rt := r.lookupLR(r.ifs[inIdx].lrName(), dst)
+	if rt == nil || outIdx < 0 {
+		r.sendICMPError(inIdx, ipl, packet.ICMPv4TypeDestUnreachable, packet.ICMPv4CodeNetUnreachable)
+		return
+	}
+	outIf := r.ifs[outIdx]
+	if outIf.aclOut != "" && !r.aclPermits(outIf.aclOut, p) {
+		r.aclDrops++
+		r.sendICMPError(inIdx, ipl, packet.ICMPv4TypeDestUnreachable, packet.ICMPv4CodeAdminProhibited)
+		return
+	}
+	// Rebuild the IP packet with decremented TTL and fresh checksum.
+	newIP := &packet.IPv4{
+		TOS: ipl.TOS, ID: ipl.ID, Flags: ipl.Flags, FragOffset: ipl.FragOffset,
+		TTL: ipl.TTL - 1, Protocol: ipl.Protocol, SrcIP: ipl.SrcIP, DstIP: ipl.DstIP,
+		Options: ipl.Options,
+	}
+	buf := packet.NewSerializeBuffer()
+	err := packet.SerializeLayers(buf, packet.SerializeOptions{FixLengths: true, ComputeChecksums: true},
+		newIP, packet.Payload(ipl.LayerPayload()))
+	if err != nil {
+		return
+	}
+	r.sendRouted(outIdx, rt, dst, buf.Bytes())
+}
+
+// sendRouted frames an IP packet for the chosen route and transmits it,
+// resolving the next hop with ARP (queueing behind the request if needed).
+func (r *Router) sendRouted(outIdx int, rt *route, dst ip4, ipPacket []byte) {
+	outIf := r.ifs[outIdx]
+	nextHop := rt.nextHop
+	if nextHop == (ip4{}) {
+		nextHop = dst // directly connected
+	}
+	frame := make([]byte, 0, 14+len(ipPacket))
+	frame = append(frame, make([]byte, 6)...) // dst MAC filled below
+	frame = append(frame, outIf.mac...)
+	frame = append(frame, 0x08, 0x00)
+	frame = append(frame, ipPacket...)
+
+	if mac := r.resolveMAC(outIdx, nextHop); mac != nil {
+		copy(frame[0:6], mac)
+		r.Ports()[outIdx].Transmit(frame)
+		return
+	}
+	// Queue and ARP for the next hop.
+	outIf.pending = append(outIf.pending, pendingPacket{frame: frame, nextHop: nextHop})
+	if len(outIf.pending) > 128 {
+		outIf.pending = outIf.pending[1:]
+	}
+	if outIf.hasIP {
+		req, err := packet.BuildARPRequest(outIf.mac, outIf.ip.IP(), nextHop.IP())
+		if err == nil {
+			r.Ports()[outIdx].Transmit(req)
+		}
+	}
+}
+
+// sendICMPError originates an ICMP error toward a packet's source,
+// routing it like any locally generated packet (so traceroute works across
+// multiple hops).
+func (r *Router) sendICMPError(inIdx int, orig *packet.IPv4, icmpType, code uint8) {
+	rif := r.ifs[inIdx]
+	if !rif.hasIP {
+		return
+	}
+	src, ok := toIP4(orig.SrcIP)
+	if !ok {
+		return
+	}
+	outIdx, rt := r.lookupLR(rif.lrName(), src)
+	if rt == nil || outIdx < 0 {
+		return // no route back to the source
+	}
+	// ICMP errors carry the original IP header + 8 payload bytes.
+	quote := append(append([]byte(nil), orig.LayerContents()...), firstN(orig.LayerPayload(), 8)...)
+	ip := &packet.IPv4{TTL: 64, Protocol: packet.IPProtocolICMPv4, SrcIP: rif.ip.IP(), DstIP: orig.SrcIP}
+	buf := packet.NewSerializeBuffer()
+	err := packet.SerializeLayers(buf, packet.FixAll,
+		ip,
+		&packet.ICMPv4{Type: icmpType, Code: code},
+		packet.Payload(quote))
+	if err != nil {
+		return
+	}
+	r.sendRouted(outIdx, rt, src, buf.Bytes())
+}
+
+func firstN(b []byte, n int) []byte {
+	if len(b) > n {
+		return b[:n]
+	}
+	return b
+}
+
+// Routes returns a copy of the routing table formatted as
+// "source dst/len via nexthop ifname".
+func (r *Router) Routes() []string {
+	var out []string
+	r.Do(func() {
+		for _, rt := range r.routes {
+			line := fmt.Sprintf("%s %s/%d", rt.source, rt.dst, maskOnes(rt.mask))
+			if rt.nextHop != (ip4{}) {
+				line += " via " + rt.nextHop.String()
+			}
+			if rt.ifIndex >= 0 {
+				line += " " + r.portName(rt.ifIndex)
+			}
+			if lr := rt.lrName(); lr != DefaultLR {
+				line += " [lr " + lr + "]"
+			}
+			out = append(out, line)
+		}
+	})
+	sort.Strings(out)
+	return out
+}
+
+// --- CLI integration -----------------------------------------------------
+
+func (r *Router) base() *Base { return r.Base }
+
+func (r *Router) execExec(_ *CLISession, _ string) (string, bool) { return "", false }
+
+func (r *Router) execShow(args []string) (string, bool) {
+	switch {
+	case matchWord(args[0], "ip") && len(args) >= 2:
+		switch {
+		case matchWord(args[1], "route"):
+			var sb strings.Builder
+			for _, rt := range r.routes {
+				fmt.Fprintf(&sb, "%s    %s/%d", rt.source, rt.dst, maskOnes(rt.mask))
+				if rt.nextHop != (ip4{}) {
+					fmt.Fprintf(&sb, " via %s", rt.nextHop)
+				}
+				if rt.ifIndex >= 0 {
+					fmt.Fprintf(&sb, ", %s", r.portName(rt.ifIndex))
+				}
+				sb.WriteString("\n")
+			}
+			return strings.TrimRight(sb.String(), "\n"), true
+		case matchWord(args[1], "arp"):
+			var rows []string
+			for i, rif := range r.ifs {
+				for a, e := range rif.arpTable {
+					rows = append(rows, fmt.Sprintf("%-15s %s %s", a, e.mac, r.portName(i)))
+				}
+			}
+			sort.Strings(rows)
+			return strings.Join(rows, "\n"), true
+		}
+	case matchWord(args[0], "access-lists"):
+		var sb strings.Builder
+		for _, name := range sortedKeys(r.acls) {
+			fmt.Fprintf(&sb, "access-list %s\n", name)
+			for _, rule := range r.acls[name] {
+				fmt.Fprintf(&sb, "  %s\n", rule)
+			}
+		}
+		return strings.TrimRight(sb.String(), "\n"), true
+	}
+	return "", false
+}
+
+func (r *Router) execConfig(sess *CLISession, line string) (string, bool) {
+	f := fields(line)
+	switch {
+	case matchWord(f[0], "ip") && len(f) >= 5 && matchWord(f[1], "route"):
+		dst, mask, nh := net.ParseIP(f[2]), parseMask(f[3]), net.ParseIP(f[4])
+		if dst == nil || mask == nil || nh == nil {
+			return "% Invalid route", true
+		}
+		d, _ := toIP4(dst)
+		nh4, _ := toIP4(nh)
+		var m ip4
+		copy(m[:], mask)
+		idx, _ := r.lookupLocked(nh4)
+		r.routes = append(r.routes, route{dst: d.masked(m), mask: m, nextHop: nh4, ifIndex: idx, source: routeStatic, metric: 1})
+		return "", true
+	case matchWord(f[0], "no") && len(f) >= 5 && matchWord(f[1], "ip") && matchWord(f[2], "route"):
+		dst, mask := net.ParseIP(f[3]), parseMask(f[4])
+		if dst == nil || mask == nil {
+			return "% Invalid route", true
+		}
+		d, _ := toIP4(dst)
+		var m ip4
+		copy(m[:], mask)
+		r.removeRoutesLocked(func(rt route) bool {
+			return rt.source == routeStatic && rt.dst == d.masked(m) && rt.mask == m
+		})
+		return "", true
+	case matchWord(f[0], "access-list") && len(f) >= 3:
+		rule, err := ParseACLRule(strings.Join(f[2:], " "))
+		if err != nil {
+			return "% " + err.Error(), true
+		}
+		r.acls[f[1]] = append(r.acls[f[1]], rule)
+		return "", true
+	case matchWord(f[0], "no") && len(f) >= 3 && matchWord(f[1], "access-list"):
+		delete(r.acls, f[2])
+		return "", true
+	case matchWord(f[0], "router") && len(f) >= 2 && matchWord(f[1], "rip"):
+		r.ripOn = true
+		return "", true
+	case matchWord(f[0], "network") && len(f) == 2 && r.ripOn:
+		// Enable RIP on interfaces whose network contains the address.
+		a := net.ParseIP(f[1])
+		if a == nil {
+			return "% Invalid network", true
+		}
+		a4, _ := toIP4(a)
+		for _, rif := range r.ifs {
+			if rif.hasIP && a4.masked(rif.mask) == rif.ip.masked(rif.mask) {
+				rif.ripOn = true
+			}
+		}
+		return "", true
+	}
+	return "", false
+}
+
+func (r *Router) execConfigIf(sess *CLISession, line string) (string, bool) {
+	idx := r.PortIndex(sess.IfRef)
+	if idx < 0 {
+		return "% No such interface", true
+	}
+	f := fields(line)
+	rif := r.ifs[idx]
+	switch {
+	case matchWord(f[0], "ip") && len(f) >= 4 && matchWord(f[1], "address"):
+		ip, mask := net.ParseIP(f[2]), parseMask(f[3])
+		if ip == nil || mask == nil {
+			return "% Invalid address", true
+		}
+		a, _ := toIP4(ip)
+		var m ip4
+		copy(m[:], mask)
+		rif.ip, rif.mask, rif.hasIP = a, m, true
+		r.removeRoutesLocked(func(rt route) bool {
+			return rt.source == routeConnected && rt.ifIndex == idx
+		})
+		r.routes = append(r.routes, route{dst: a.masked(m), mask: m, ifIndex: idx, source: routeConnected, lr: rif.lrName()})
+		return "", true
+	case matchWord(f[0], "ip") && len(f) >= 4 && matchWord(f[1], "access-group"):
+		dir := f[3]
+		if dir != "in" && dir != "out" {
+			return "% Direction must be in or out", true
+		}
+		if dir == "in" {
+			rif.aclIn = f[2]
+		} else {
+			rif.aclOut = f[2]
+		}
+		return "", true
+	case matchWord(f[0], "no") && len(f) >= 3 && matchWord(f[1], "ip") && matchWord(f[2], "access-group"):
+		rif.aclIn, rif.aclOut = "", ""
+		return "", true
+	case matchWord(f[0], "logical-router") && len(f) == 2:
+		rif.lr = f[1]
+		for i := range r.routes {
+			if r.routes[i].source == routeConnected && r.routes[i].ifIndex == idx {
+				r.routes[i].lr = f[1]
+			}
+		}
+		return "", true
+	}
+	return "", false
+}
+
+func parseMask(s string) net.IPMask {
+	ip := net.ParseIP(s)
+	if ip == nil {
+		return nil
+	}
+	v4 := ip.To4()
+	if v4 == nil {
+		return nil
+	}
+	return net.IPMask(v4)
+}
+
+func (r *Router) runningConfig() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hostname %s\n", r.hostname)
+	for _, name := range sortedKeys(r.acls) {
+		for _, rule := range r.acls[name] {
+			fmt.Fprintf(&sb, "access-list %s %s\n", name, rule)
+		}
+	}
+	for i, rif := range r.ifs {
+		fmt.Fprintf(&sb, "interface %s\n", r.portName(i))
+		if rif.hasIP {
+			fmt.Fprintf(&sb, " ip address %s %s\n", rif.ip, rif.mask.IP())
+		}
+		if rif.aclIn != "" {
+			fmt.Fprintf(&sb, " ip access-group %s in\n", rif.aclIn)
+		}
+		if rif.aclOut != "" {
+			fmt.Fprintf(&sb, " ip access-group %s out\n", rif.aclOut)
+		}
+		if lr := rif.lrName(); lr != DefaultLR {
+			fmt.Fprintf(&sb, " logical-router %s\n", lr)
+		}
+	}
+	for _, rt := range r.routes {
+		if rt.source == routeStatic {
+			fmt.Fprintf(&sb, "ip route %s %s %s\n", rt.dst, rt.mask.IP(), rt.nextHop)
+		}
+	}
+	if r.ripOn {
+		sb.WriteString("router rip\n")
+		for _, rif := range r.ifs {
+			if rif.ripOn && rif.hasIP {
+				fmt.Fprintf(&sb, " network %s\n", rif.ip.masked(rif.mask))
+			}
+		}
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+var _ cliDevice = (*Router)(nil)

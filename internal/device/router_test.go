@@ -1,0 +1,309 @@
+package device
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// twoSubnetTopo builds h1 -- R -- h2 across 10.0.0.0/24 and 10.1.0.0/24.
+func twoSubnetTopo(t *testing.T) (*Host, *Router, *Host) {
+	t.Helper()
+	r := NewRouter("R", []string{"e0", "e1"}, FastTimers())
+	t.Cleanup(r.Close)
+	h1 := NewHost("h1", FastTimers())
+	h2 := NewHost("h2", FastTimers())
+	t.Cleanup(h1.Close)
+	t.Cleanup(h2.Close)
+
+	if err := r.SetIP("e0", mustIP(t, "10.0.0.254"), mask24); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetIP("e1", mustIP(t, "10.1.0.254"), mask24); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Configure(mustIP(t, "10.0.0.1"), mask24, mustIP(t, "10.0.0.254")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Configure(mustIP(t, "10.1.0.1"), mask24, mustIP(t, "10.1.0.254")); err != nil {
+		t.Fatal(err)
+	}
+	connect(t, h1.Ports()[0], r.Port("e0"))
+	connect(t, h2.Ports()[0], r.Port("e1"))
+	return h1, r, h2
+}
+
+func TestRouterForwardsBetweenSubnets(t *testing.T) {
+	h1, _, h2 := twoSubnetTopo(t)
+	if ok, _ := h1.Ping(h2.IP(), 2*time.Second); !ok {
+		t.Fatal("ping across router failed")
+	}
+	if ok, _ := h2.Ping(h1.IP(), 2*time.Second); !ok {
+		t.Fatal("reverse ping across router failed")
+	}
+}
+
+func TestRouterAnswersPingItself(t *testing.T) {
+	h1, _, _ := twoSubnetTopo(t)
+	// Near interface.
+	if ok, _ := h1.Ping(mustIP(t, "10.0.0.254"), 2*time.Second); !ok {
+		t.Fatal("ping to router's near interface failed")
+	}
+}
+
+func TestRouterACLBlocksICMP(t *testing.T) {
+	h1, r, h2 := twoSubnetTopo(t)
+	// Warm the path first so ARP entries exist.
+	if ok, _ := h1.Ping(h2.IP(), 2*time.Second); !ok {
+		t.Fatal("baseline ping failed")
+	}
+	rule, err := ParseACLRule("deny icmp any any")
+	if err != nil {
+		t.Fatal(err)
+	}
+	permit, _ := ParseACLRule("permit ip any any")
+	r.SetACL("101", []ACLRule{rule, permit})
+	if err := r.BindACL("e0", "101", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h1.Ping(h2.IP(), 200*time.Millisecond); ok {
+		t.Fatal("ping should be blocked by inbound ACL")
+	}
+	if r.ACLDrops() == 0 {
+		t.Error("ACL drop counter did not move")
+	}
+	// UDP still passes (permit ip any any).
+	got := make(chan struct{}, 1)
+	h2.HandleUDP(9000, func(_ net.IP, _ uint16, _ []byte) { got <- struct{}{} })
+	_ = h1.SendUDP(h2.IP(), 1, 9000, []byte("x"))
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("UDP should pass the ACL")
+	}
+	// Unbind restores ICMP.
+	if err := r.BindACL("e0", "", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h1.Ping(h2.IP(), 2*time.Second); !ok {
+		t.Fatal("ping should work after unbinding ACL")
+	}
+}
+
+func TestRouterOutboundACL(t *testing.T) {
+	h1, r, h2 := twoSubnetTopo(t)
+	if ok, _ := h1.Ping(h2.IP(), 2*time.Second); !ok {
+		t.Fatal("baseline ping failed")
+	}
+	deny, _ := ParseACLRule("deny icmp any host 10.1.0.1")
+	permit, _ := ParseACLRule("permit ip any any")
+	r.SetACL("102", []ACLRule{deny, permit})
+	if err := r.BindACL("e1", "102", "out"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h1.Ping(h2.IP(), 200*time.Millisecond); ok {
+		t.Fatal("ping should be blocked by outbound ACL")
+	}
+}
+
+func TestRouterNoRouteDropped(t *testing.T) {
+	h1, _, _ := twoSubnetTopo(t)
+	if ok, _ := h1.Ping(mustIP(t, "172.30.0.1"), 150*time.Millisecond); ok {
+		t.Fatal("ping to unrouted destination should fail")
+	}
+}
+
+func TestRouterStaticRouteChain(t *testing.T) {
+	// h1 -- R1 -- R2 -- h2 with static routes on both routers.
+	r1 := NewRouter("R1", []string{"e0", "e1"}, FastTimers())
+	r2 := NewRouter("R2", []string{"e0", "e1"}, FastTimers())
+	h1 := NewHost("sh1", FastTimers())
+	h2 := NewHost("sh2", FastTimers())
+	for _, c := range []interface{ Close() }{r1, r2, h1, h2} {
+		t.Cleanup(c.Close)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(r1.SetIP("e0", mustIP(t, "10.0.0.254"), mask24))
+	must(r1.SetIP("e1", mustIP(t, "192.168.0.1"), mask24))
+	must(r2.SetIP("e0", mustIP(t, "192.168.0.2"), mask24))
+	must(r2.SetIP("e1", mustIP(t, "10.1.0.254"), mask24))
+	must(r1.AddStaticRoute(mustIP(t, "10.1.0.0"), mask24, mustIP(t, "192.168.0.2")))
+	must(r2.AddStaticRoute(mustIP(t, "10.0.0.0"), mask24, mustIP(t, "192.168.0.1")))
+	must(h1.Configure(mustIP(t, "10.0.0.1"), mask24, mustIP(t, "10.0.0.254")))
+	must(h2.Configure(mustIP(t, "10.1.0.1"), mask24, mustIP(t, "10.1.0.254")))
+	connect(t, h1.Ports()[0], r1.Port("e0"))
+	connect(t, r1.Port("e1"), r2.Port("e0"))
+	connect(t, r2.Port("e1"), h2.Ports()[0])
+
+	if ok, _ := h1.Ping(h2.IP(), 3*time.Second); !ok {
+		t.Fatal("ping across two routers with static routes failed")
+	}
+}
+
+func TestRouterRIPLearnsAndExpires(t *testing.T) {
+	r1 := NewRouter("RA", []string{"e0", "e1"}, FastTimers())
+	r2 := NewRouter("RB", []string{"e0", "e1"}, FastTimers())
+	t.Cleanup(r1.Close)
+	t.Cleanup(r2.Close)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(r1.SetIP("e0", mustIP(t, "10.10.0.1"), mask24))
+	must(r1.SetIP("e1", mustIP(t, "192.168.9.1"), mask24))
+	must(r2.SetIP("e0", mustIP(t, "10.20.0.1"), mask24))
+	must(r2.SetIP("e1", mustIP(t, "192.168.9.2"), mask24))
+	must(r1.EnableRIP("e1"))
+	must(r2.EnableRIP("e1"))
+	w := connect(t, r1.Port("e1"), r2.Port("e1"))
+
+	hasRIPRoute := func(r *Router, prefix string) bool {
+		for _, line := range r.Routes() {
+			if strings.HasPrefix(line, "R ") && strings.Contains(line, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+	eventually(t, 2*time.Second, func() bool { return hasRIPRoute(r2, "10.10.0.0/24") },
+		"R2 should learn 10.10.0.0/24 via RIP")
+	eventually(t, 2*time.Second, func() bool { return hasRIPRoute(r1, "10.20.0.0/24") },
+		"R1 should learn 10.20.0.0/24 via RIP")
+
+	// Cut the link: routes must age out.
+	w.Disconnect()
+	eventually(t, 3*time.Second, func() bool { return !hasRIPRoute(r2, "10.10.0.0/24") },
+		"RIP route should expire after the link is cut")
+}
+
+func TestRouterCLIConfiguration(t *testing.T) {
+	r := NewRouter("cli-r", []string{"e0", "e1"}, FastTimers())
+	t.Cleanup(r.Close)
+	sess := &CLISession{}
+	steps := []string{
+		"enable",
+		"configure terminal",
+		"interface e0",
+		"ip address 10.5.0.1 255.255.255.0",
+		"exit",
+		"ip route 172.16.0.0 255.255.0.0 10.5.0.99",
+		"access-list 10 deny ip any any",
+		"end",
+	}
+	for _, s := range steps {
+		if out, _ := Console(r, sess, s); strings.HasPrefix(out, "%") {
+			t.Fatalf("command %q failed: %s", s, out)
+		}
+	}
+	out, _ := Console(r, sess, "show ip route")
+	if !strings.Contains(out, "10.5.0.0/24") {
+		t.Errorf("connected route missing: %q", out)
+	}
+	if !strings.Contains(out, "172.16.0.0/16 via 10.5.0.99") {
+		t.Errorf("static route missing: %q", out)
+	}
+	cfg := DumpRunningConfig(r)
+	for _, want := range []string{"ip address 10.5.0.1 255.255.255.0", "ip route 172.16.0.0 255.255.0.0 10.5.0.99", "access-list 10 deny ip any any"} {
+		if !strings.Contains(cfg, want) {
+			t.Errorf("running-config missing %q:\n%s", want, cfg)
+		}
+	}
+
+	// The dumped config must restore onto a fresh router.
+	r2 := NewRouter("cli-r2", []string{"e0", "e1"}, FastTimers())
+	t.Cleanup(r2.Close)
+	RestoreConfig(r2, cfg)
+	cfg2 := DumpRunningConfig(r2)
+	if !strings.Contains(cfg2, "ip route 172.16.0.0 255.255.0.0 10.5.0.99") {
+		t.Errorf("restored config missing static route:\n%s", cfg2)
+	}
+}
+
+func TestRouterTTLExpiry(t *testing.T) {
+	// Build a 2-router loop for 172.16/16: R1 routes via R2 and R2 via R1.
+	r1 := NewRouter("L1", []string{"e0", "e1"}, FastTimers())
+	r2 := NewRouter("L2", []string{"e0", "e1"}, FastTimers())
+	h1 := NewHost("lh1", FastTimers())
+	for _, c := range []interface{ Close() }{r1, r2, h1} {
+		t.Cleanup(c.Close)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(r1.SetIP("e0", mustIP(t, "10.0.0.254"), mask24))
+	must(r1.SetIP("e1", mustIP(t, "192.168.0.1"), mask24))
+	must(r2.SetIP("e0", mustIP(t, "192.168.0.2"), mask24))
+	must(r1.AddStaticRoute(mustIP(t, "172.16.0.0"), net.CIDRMask(16, 32), mustIP(t, "192.168.0.2")))
+	must(r2.AddStaticRoute(mustIP(t, "172.16.0.0"), net.CIDRMask(16, 32), mustIP(t, "192.168.0.1")))
+	must(h1.Configure(mustIP(t, "10.0.0.1"), mask24, mustIP(t, "10.0.0.254")))
+	connect(t, h1.Ports()[0], r1.Port("e0"))
+	connect(t, r1.Port("e1"), r2.Port("e0"))
+
+	// The packet ping-pongs until TTL dies; ping must fail, and both
+	// routers must stay alive (no unbounded loop).
+	if ok, _ := h1.Ping(mustIP(t, "172.16.1.1"), 300*time.Millisecond); ok {
+		t.Fatal("ping into a routing loop should fail")
+	}
+	// Routers still answer pings afterwards.
+	if ok, _ := h1.Ping(mustIP(t, "10.0.0.254"), 2*time.Second); !ok {
+		t.Fatal("router wedged after TTL loop")
+	}
+}
+
+func TestTraceroute(t *testing.T) {
+	// h1 -- R1 -- R2 -- h2: traceroute from h1 must list R1, R2, then h2.
+	r1 := NewRouter("TR1", []string{"e0", "e1"}, FastTimers())
+	r2 := NewRouter("TR2", []string{"e0", "e1"}, FastTimers())
+	h1 := NewHost("th1", FastTimers())
+	h2 := NewHost("th2", FastTimers())
+	for _, c := range []interface{ Close() }{r1, r2, h1, h2} {
+		t.Cleanup(c.Close)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(r1.SetIP("e0", mustIP(t, "10.0.0.254"), mask24))
+	must(r1.SetIP("e1", mustIP(t, "192.168.0.1"), mask24))
+	must(r2.SetIP("e0", mustIP(t, "192.168.0.2"), mask24))
+	must(r2.SetIP("e1", mustIP(t, "10.1.0.254"), mask24))
+	must(r1.AddStaticRoute(mustIP(t, "10.1.0.0"), mask24, mustIP(t, "192.168.0.2")))
+	must(r2.AddStaticRoute(mustIP(t, "10.0.0.0"), mask24, mustIP(t, "192.168.0.1")))
+	must(h1.Configure(mustIP(t, "10.0.0.1"), mask24, mustIP(t, "10.0.0.254")))
+	must(h2.Configure(mustIP(t, "10.1.0.1"), mask24, mustIP(t, "10.1.0.254")))
+	connect(t, h1.Ports()[0], r1.Port("e0"))
+	connect(t, r1.Port("e1"), r2.Port("e0"))
+	connect(t, r2.Port("e1"), h2.Ports()[0])
+
+	// Warm the path (ARP everywhere) so traceroute answers are prompt.
+	if ok, _ := h1.Ping(h2.IP(), 3*time.Second); !ok {
+		t.Fatal("baseline ping failed")
+	}
+
+	hops := h1.Traceroute(h2.IP(), 8, time.Second)
+	if len(hops) != 3 {
+		t.Fatalf("hops = %+v, want 3", hops)
+	}
+	wantIPs := []string{"10.0.0.254", "192.168.0.2", "10.1.0.1"}
+	for i, want := range wantIPs {
+		if hops[i].IP == nil || hops[i].IP.String() != want {
+			t.Errorf("hop %d = %+v, want %s", i+1, hops[i], want)
+		}
+	}
+	if hops[0].Final || hops[1].Final || !hops[2].Final {
+		t.Errorf("final flags wrong: %+v", hops)
+	}
+}

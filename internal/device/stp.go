@@ -1,0 +1,308 @@
+package device
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rnl/internal/packet"
+)
+
+// stpState is a port's 802.1D state.
+type stpState int
+
+// STP port states.
+const (
+	stpBlocking stpState = iota
+	stpListening
+	stpLearning
+	stpForwarding
+)
+
+func (s stpState) String() string {
+	switch s {
+	case stpBlocking:
+		return "BLK"
+	case stpListening:
+		return "LIS"
+	case stpLearning:
+		return "LRN"
+	case stpForwarding:
+		return "FWD"
+	}
+	return "?"
+}
+
+// stpRole is a port's role in the spanning tree.
+type stpRole int
+
+// STP port roles.
+const (
+	roleDesignated stpRole = iota
+	roleRoot
+	roleBlocked
+)
+
+func (r stpRole) String() string {
+	switch r {
+	case roleDesignated:
+		return "Desg"
+	case roleRoot:
+		return "Root"
+	case roleBlocked:
+		return "Altn"
+	}
+	return "?"
+}
+
+// bpduInfo is the priority vector carried in a configuration BPDU.
+type bpduInfo struct {
+	root   packet.BridgeID
+	cost   uint32
+	bridge packet.BridgeID
+	port   uint16
+}
+
+// better reports whether a is a superior priority vector to b (lower wins
+// at each tier, per 802.1D).
+func (a bpduInfo) better(b bpduInfo) bool {
+	if !a.root.Equal(b.root) {
+		return a.root.Less(b.root)
+	}
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	if !a.bridge.Equal(b.bridge) {
+		return a.bridge.Less(b.bridge)
+	}
+	return a.port < b.port
+}
+
+// stpPort is the per-port spanning tree state.
+type stpPort struct {
+	state     stpState
+	role      stpRole
+	heard     *bpduInfo // best BPDU received on this port
+	heardAt   time.Time
+	stopTrans func() // pending state-transition timer
+}
+
+// stpBridge is the bridge-wide spanning tree state.
+type stpBridge struct {
+	root     packet.BridgeID
+	rootCost uint32
+	rootPort int // -1 when this bridge is root
+}
+
+// stpInit resets the spanning tree: every port blocking, self as root.
+// Called on the device goroutine (or before start).
+func (s *Switch) stpInit() {
+	s.stpState = stpBridge{root: s.BridgeID(), rootPort: -1}
+	for _, p := range s.ports {
+		p.stopTrans()
+		p.stp = stpPort{state: stpBlocking, role: roleDesignated}
+	}
+	s.stpRecompute()
+}
+
+// stopTrans cancels a pending transition timer.
+func (p *switchPort) stopTrans() {
+	if p.stp.stopTrans != nil {
+		p.stp.stopTrans()
+		p.stp.stopTrans = nil
+	}
+}
+
+// portID returns a port's 802.1D port identifier.
+func (s *Switch) portID(idx int) uint16 { return 0x8000 | uint16(idx+1) }
+
+// stpReceive processes a BPDU arriving on a port.
+func (s *Switch) stpReceive(idx int, frame []byte) {
+	p := packet.NewPacket(frame, packet.LayerTypeEthernet, packet.NoCopy)
+	l, ok := p.Layer(packet.LayerTypeSTP).(*packet.STP)
+	if !ok || l.BPDUType != packet.BPDUTypeConfig {
+		return
+	}
+	info := bpduInfo{root: l.RootID, cost: l.RootCost, bridge: l.BridgeID, port: l.PortID}
+	sp := s.ports[idx]
+	// Accept if superior to what we have, or a refresh from the same
+	// designated bridge/port (which may carry worse news, e.g. root lost).
+	if sp.stp.heard == nil || info.better(*sp.stp.heard) ||
+		(info.bridge.Equal(sp.stp.heard.bridge) && info.port == sp.stp.heard.port) {
+		cp := info
+		sp.stp.heard = &cp
+		sp.stp.heardAt = time.Now()
+		s.stpRecompute()
+	}
+}
+
+// helloTick runs every hello interval on the device goroutine: age out
+// stale BPDUs, recompute roles, originate BPDUs on designated ports.
+func (s *Switch) helloTick() {
+	if !s.stpOn {
+		return
+	}
+	now := time.Now()
+	changed := false
+	ifaces := s.Ports()
+	for i, p := range s.ports {
+		if !ifaces[i].Up() {
+			if p.stp.heard != nil || p.stp.state != stpBlocking {
+				p.stopTrans()
+				p.stp.heard = nil
+				p.stp.state = stpBlocking
+				changed = true
+			}
+			continue
+		}
+		if p.stp.heard != nil && now.Sub(p.stp.heardAt) > s.timers.STPMaxAge {
+			p.stp.heard = nil
+			changed = true
+		}
+	}
+	if changed {
+		s.stpRecompute()
+	}
+	s.stpSendBPDUs()
+}
+
+// stpSendBPDUs originates configuration BPDUs on designated ports.
+func (s *Switch) stpSendBPDUs() {
+	ifaces := s.Ports()
+	for i, p := range s.ports {
+		if p.stp.role != roleDesignated || !ifaces[i].Up() {
+			continue
+		}
+		bpdu := &packet.STP{
+			BPDUType:     packet.BPDUTypeConfig,
+			RootID:       s.stpState.root,
+			RootCost:     s.stpState.rootCost,
+			BridgeID:     s.BridgeID(),
+			PortID:       s.portID(i),
+			MaxAge:       uint16(s.timers.STPMaxAge / (time.Second / 256)),
+			HelloTime:    uint16(s.timers.STPHello / (time.Second / 256)),
+			ForwardDelay: uint16(s.timers.STPForwardDelay / (time.Second / 256)),
+		}
+		frame, err := packet.BuildBPDU(s.mac, bpdu)
+		if err != nil {
+			continue
+		}
+		ifaces[i].Transmit(frame)
+	}
+}
+
+// stpRecompute re-derives root, port roles and target states from the
+// best BPDUs heard. Runs on the device goroutine.
+func (s *Switch) stpRecompute() {
+	self := bpduInfo{root: s.BridgeID(), cost: 0, bridge: s.BridgeID(), port: 0}
+	best := self
+	rootPort := -1
+	ifaces := s.Ports()
+	for i, p := range s.ports {
+		if p.stp.heard == nil || !ifaces[i].Up() {
+			continue
+		}
+		cand := bpduInfo{
+			root:   p.stp.heard.root,
+			cost:   p.stp.heard.cost + p.cost,
+			bridge: p.stp.heard.bridge,
+			port:   p.stp.heard.port,
+		}
+		if cand.better(best) {
+			best = cand
+			rootPort = i
+		}
+	}
+	s.stpState.root = best.root
+	s.stpState.rootCost = best.cost
+	s.stpState.rootPort = rootPort
+
+	for i, p := range s.ports {
+		var role stpRole
+		switch {
+		case i == rootPort:
+			role = roleRoot
+		case p.stp.heard == nil:
+			role = roleDesignated
+		default:
+			ours := bpduInfo{root: s.stpState.root, cost: s.stpState.rootCost, bridge: s.BridgeID(), port: s.portID(i)}
+			if ours.better(*p.stp.heard) {
+				role = roleDesignated
+			} else {
+				role = roleBlocked
+			}
+		}
+		p.stp.role = role
+		if role == roleBlocked {
+			p.stopTrans()
+			p.stp.state = stpBlocking
+		} else {
+			s.stpStartForwardingTransition(i)
+		}
+	}
+}
+
+// stpStartForwardingTransition walks a port toward forwarding through
+// listening and learning, honouring forward delay.
+func (s *Switch) stpStartForwardingTransition(idx int) {
+	p := s.ports[idx]
+	switch p.stp.state {
+	case stpForwarding, stpListening, stpLearning:
+		return // already there or in progress
+	}
+	p.stopTrans()
+	p.stp.state = stpListening
+	p.stp.stopTrans = s.after(s.timers.STPForwardDelay, func() {
+		p := s.ports[idx]
+		if p.stp.role == roleBlocked || p.stp.state != stpListening {
+			return
+		}
+		p.stp.state = stpLearning
+		p.stp.stopTrans = s.after(s.timers.STPForwardDelay, func() {
+			p := s.ports[idx]
+			if p.stp.role == roleBlocked || p.stp.state != stpLearning {
+				return
+			}
+			p.stp.state = stpForwarding
+		})
+	})
+}
+
+// PortSTP reports a port's spanning tree role and state.
+func (s *Switch) PortSTP(portName string) (role, state string, err error) {
+	idx := s.PortIndex(portName)
+	if idx < 0 {
+		return "", "", fmt.Errorf("device: switch %s has no port %s", s.Name(), portName)
+	}
+	s.Do(func() {
+		role = s.ports[idx].stp.role.String()
+		state = s.ports[idx].stp.state.String()
+	})
+	return role, state, nil
+}
+
+// IsRoot reports whether this switch currently believes it is the STP root.
+func (s *Switch) IsRoot() bool {
+	var r bool
+	s.Do(func() { r = s.stpState.root.Equal(s.BridgeID()) })
+	return r
+}
+
+// showSpanningTree renders "show spanning-tree". Device-goroutine only.
+func (s *Switch) showSpanningTree() string {
+	var sb strings.Builder
+	if !s.stpOn {
+		return "Spanning tree is disabled"
+	}
+	fmt.Fprintf(&sb, "Root ID %s cost %d\n", s.stpState.root, s.stpState.rootCost)
+	fmt.Fprintf(&sb, "Bridge ID %s\n", s.BridgeID())
+	ifaces := s.Ports()
+	for i, p := range s.ports {
+		up := "down"
+		if ifaces[i].Up() {
+			up = "up"
+		}
+		fmt.Fprintf(&sb, "%-16s %s %s link %s\n", s.portName(i), p.stp.role, p.stp.state, up)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,453 @@
+package device
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"rnl/internal/packet"
+)
+
+// PortMode is a switch port's VLAN mode.
+type PortMode int
+
+// Switch port modes.
+const (
+	PortAccess PortMode = iota
+	PortTrunk
+)
+
+// defaultVLAN is the native/default VLAN.
+const defaultVLAN uint16 = 1
+
+// switchPort is the per-port switching state.
+type switchPort struct {
+	mode       PortMode
+	accessVLAN uint16
+	trunkAll   bool
+	trunkVLANs map[uint16]bool
+	stp        stpPort
+	cost       uint32
+}
+
+// macEntry is one learned MAC table row.
+type macEntry struct {
+	port    int
+	learned time.Time
+}
+
+type macKey struct {
+	vlan uint16
+	mac  [6]byte
+}
+
+// Switch is a VLAN-aware learning Ethernet switch with IEEE 802.1D
+// spanning tree — the emulated Catalyst. It floods, learns, tags and runs
+// STP exactly as far as RNL's experiments need: BPDUs really travel on the
+// wire, loops really storm when STP is off.
+type Switch struct {
+	*Base
+
+	mac      net.HardwareAddr
+	priority uint16
+	stpOn    bool
+	ports    []*switchPort
+	macTable map[macKey]macEntry
+	stpState stpBridge
+
+	// FloodCount counts flooded frames; the Fig. 5 loop experiment reads
+	// it to observe the broadcast storm.
+	FloodCount uint64
+}
+
+// deviceMAC derives a stable locally-administered MAC from a name.
+func deviceMAC(name string) net.HardwareAddr {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	s := h.Sum32()
+	return net.HardwareAddr{0x02, 0x42, byte(s >> 24), byte(s >> 16), byte(s >> 8), byte(s)}
+}
+
+// NewSwitch creates a switch with the given port names, STP enabled, all
+// ports access VLAN 1.
+func NewSwitch(name string, portNames []string, timers Timers) *Switch {
+	s := &Switch{
+		Base:     newBase(name, "Catalyst 6500", timers),
+		mac:      deviceMAC(name),
+		priority: 32768,
+		stpOn:    true,
+		macTable: make(map[macKey]macEntry),
+	}
+	for _, pn := range portNames {
+		s.addPort(pn)
+		s.ports = append(s.ports, &switchPort{
+			mode:       PortAccess,
+			accessVLAN: defaultVLAN,
+			trunkVLANs: map[uint16]bool{},
+			cost:       19, // 100 Mb/s default path cost
+		})
+	}
+	s.handleFrame = s.onFrame
+	s.stpInit()
+	s.start()
+	s.every(timers.STPHello, s.helloTick)
+	s.every(timers.MACAge/2, s.ageMACTable)
+	return s
+}
+
+// MAC returns the switch's bridge MAC address.
+func (s *Switch) MAC() net.HardwareAddr { return s.mac }
+
+// BridgeID returns the switch's STP bridge identifier.
+func (s *Switch) BridgeID() packet.BridgeID {
+	return packet.BridgeID{Priority: s.priority, MAC: s.mac}
+}
+
+// SetPortMode configures a port's VLAN behaviour programmatically (the CLI
+// offers the same through "switchport …").
+func (s *Switch) SetPortMode(portName string, mode PortMode, accessVLAN uint16, trunkVLANs []uint16) error {
+	idx := s.PortIndex(portName)
+	if idx < 0 {
+		return fmt.Errorf("device: switch %s has no port %s", s.Name(), portName)
+	}
+	s.Do(func() {
+		p := s.ports[idx]
+		p.mode = mode
+		if accessVLAN != 0 {
+			p.accessVLAN = accessVLAN
+		}
+		p.trunkVLANs = map[uint16]bool{}
+		p.trunkAll = len(trunkVLANs) == 0
+		for _, v := range trunkVLANs {
+			p.trunkVLANs[v] = true
+		}
+	})
+	return nil
+}
+
+// SetSTPEnabled turns spanning tree on or off; off means every port
+// forwards immediately (the Fig. 5 misconfiguration).
+func (s *Switch) SetSTPEnabled(on bool) {
+	s.Do(func() { s.setSTPEnabledLocked(on) })
+}
+
+func (s *Switch) setSTPEnabledLocked(on bool) {
+	s.stpOn = on
+	if on {
+		s.stpInit()
+	} else {
+		for _, p := range s.ports {
+			p.stp.state = stpForwarding
+		}
+	}
+}
+
+// STPEnabled reports whether spanning tree is running.
+func (s *Switch) STPEnabled() bool {
+	var on bool
+	s.Do(func() { on = s.stpOn })
+	return on
+}
+
+// vlanOfIngress classifies an arriving frame: its VLAN and the frame with
+// any tag stripped. ok=false means the port/VLAN combination drops it.
+func (s *Switch) vlanOfIngress(idx int, frame []byte) (vlan uint16, inner []byte, ok bool) {
+	p := s.ports[idx]
+	tagVLAN, tagged := packet.VLANID(frame)
+	switch p.mode {
+	case PortAccess:
+		if tagged {
+			return 0, nil, false // access ports drop tagged frames
+		}
+		return p.accessVLAN, frame, true
+	default: // trunk
+		if !tagged {
+			return defaultVLAN, frame, true // native VLAN
+		}
+		if !p.trunkAll && !p.trunkVLANs[tagVLAN] {
+			return 0, nil, false
+		}
+		inner, _, err := packet.StripVLANTag(frame)
+		if err != nil {
+			return 0, nil, false
+		}
+		return tagVLAN, inner, true
+	}
+}
+
+// egress sends an untagged frame out a port, applying the port's VLAN
+// encapsulation. Frames never leave on ports whose VLAN set excludes them.
+func (s *Switch) egress(idx int, vlan uint16, inner []byte) {
+	p := s.ports[idx]
+	ifc := s.Ports()[idx]
+	switch p.mode {
+	case PortAccess:
+		if p.accessVLAN != vlan {
+			return
+		}
+		ifc.Transmit(inner)
+	default: // trunk
+		if !p.trunkAll && !p.trunkVLANs[vlan] {
+			return
+		}
+		if vlan == defaultVLAN {
+			ifc.Transmit(inner)
+			return
+		}
+		tagged, err := packet.WithVLANTag(inner, vlan, 0)
+		if err != nil {
+			return
+		}
+		ifc.Transmit(tagged)
+	}
+}
+
+// onFrame is the switching datapath, run on the device goroutine.
+func (s *Switch) onFrame(idx int, frame []byte) {
+	if idx >= len(s.ports) {
+		return
+	}
+	if len(frame) < 14 {
+		return
+	}
+	dst := net.HardwareAddr(frame[0:6])
+	src := net.HardwareAddr(frame[6:12])
+
+	// Link-local control traffic terminates at the bridge.
+	if packet.IsLinkLocalMulticast(dst) {
+		if s.stpOn {
+			s.stpReceive(idx, frame)
+		}
+		return
+	}
+
+	vlan, inner, ok := s.vlanOfIngress(idx, frame)
+	if !ok {
+		return
+	}
+	st := s.ports[idx].stp.state
+	if st != stpForwarding && st != stpLearning {
+		return
+	}
+	// Learn the source.
+	var key macKey
+	key.vlan = vlan
+	copy(key.mac[:], src)
+	s.macTable[key] = macEntry{port: idx, learned: time.Now()}
+	if st != stpForwarding {
+		return
+	}
+	// Forward.
+	var dkey macKey
+	dkey.vlan = vlan
+	copy(dkey.mac[:], dst)
+	if dst[0]&0x01 == 0 { // unicast
+		if e, found := s.macTable[dkey]; found {
+			if e.port != idx && s.ports[e.port].stp.state == stpForwarding {
+				s.egress(e.port, vlan, inner)
+			}
+			return
+		}
+	}
+	// Broadcast, multicast or unknown unicast: flood the VLAN.
+	s.FloodCount++
+	for i := range s.ports {
+		if i == idx || s.ports[i].stp.state != stpForwarding {
+			continue
+		}
+		s.egress(i, vlan, inner)
+	}
+}
+
+// ageMACTable expires learned entries older than MACAge — what lets
+// traffic re-converge after a failover moves a station's path.
+func (s *Switch) ageMACTable() {
+	cutoff := time.Now().Add(-s.timers.MACAge)
+	for k, e := range s.macTable {
+		if e.learned.Before(cutoff) {
+			delete(s.macTable, k)
+		}
+	}
+}
+
+// MACTable returns a copy of the learned table as "vlan/mac" → port name.
+func (s *Switch) MACTable() map[string]string {
+	out := make(map[string]string)
+	s.Do(func() {
+		for k, e := range s.macTable {
+			key := fmt.Sprintf("%d/%s", k.vlan, net.HardwareAddr(k.mac[:]))
+			out[key] = s.portName(e.port)
+		}
+	})
+	return out
+}
+
+// Floods returns the flooded-frame counter.
+func (s *Switch) Floods() uint64 {
+	var n uint64
+	s.Do(func() { n = s.FloodCount })
+	return n
+}
+
+// --- CLI integration -----------------------------------------------------
+
+func (s *Switch) base() *Base { return s.Base }
+
+func (s *Switch) execExec(_ *CLISession, _ string) (string, bool) { return "", false }
+
+func (s *Switch) execShow(args []string) (string, bool) {
+	switch {
+	case matchWord(args[0], "mac") || matchWord(args[0], "mac-address-table"):
+		rows := make([]string, 0, len(s.macTable))
+		for k, e := range s.macTable {
+			rows = append(rows, fmt.Sprintf("%4d  %s  dynamic  %s", k.vlan, net.HardwareAddr(k.mac[:]), s.portName(e.port)))
+		}
+		sort.Strings(rows)
+		return "Vlan  Mac Address        Type     Ports\n" + strings.Join(rows, "\n"), true
+	case matchWord(args[0], "spanning-tree"):
+		return s.showSpanningTree(), true
+	case matchWord(args[0], "vlan"):
+		vlans := map[uint16][]string{}
+		for i, p := range s.ports {
+			if p.mode == PortAccess {
+				vlans[p.accessVLAN] = append(vlans[p.accessVLAN], s.portName(i))
+			}
+		}
+		ids := make([]int, 0, len(vlans))
+		for v := range vlans {
+			ids = append(ids, int(v))
+		}
+		sort.Ints(ids)
+		var sb strings.Builder
+		for _, v := range ids {
+			fmt.Fprintf(&sb, "VLAN%04d active %s\n", v, strings.Join(vlans[uint16(v)], ", "))
+		}
+		return strings.TrimRight(sb.String(), "\n"), true
+	}
+	return "", false
+}
+
+func (s *Switch) execConfig(_ *CLISession, line string) (string, bool) {
+	f := fields(line)
+	switch {
+	case matchWord(f[0], "no") && len(f) >= 2 && matchWord(f[1], "spanning-tree"):
+		s.setSTPEnabledLocked(false)
+		return "", true
+	case matchWord(f[0], "spanning-tree"):
+		if len(f) >= 3 && matchWord(f[1], "priority") {
+			n, err := strconv.Atoi(f[2])
+			if err != nil || n < 0 || n > 65535 {
+				return "% Invalid priority", true
+			}
+			s.priority = uint16(n)
+			s.stpInit()
+			return "", true
+		}
+		s.setSTPEnabledLocked(true)
+		return "", true
+	case matchWord(f[0], "vlan") && len(f) == 2:
+		return "", true // VLANs are implicit; accept for config replay
+	}
+	return "", false
+}
+
+func (s *Switch) execConfigIf(sess *CLISession, line string) (string, bool) {
+	idx := s.PortIndex(sess.IfRef)
+	if idx < 0 {
+		return "% No such interface", true
+	}
+	p := s.ports[idx]
+	f := fields(line)
+	switch {
+	case matchWord(f[0], "switchport") && len(f) >= 3 && matchWord(f[1], "mode"):
+		switch {
+		case matchWord(f[2], "access"):
+			p.mode = PortAccess
+		case matchWord(f[2], "trunk"):
+			p.mode = PortTrunk
+		default:
+			return invalidInput, true
+		}
+		return "", true
+	case matchWord(f[0], "switchport") && len(f) >= 4 && matchWord(f[1], "access") && matchWord(f[2], "vlan"):
+		v, err := strconv.Atoi(f[3])
+		if err != nil || v < 1 || v > 4094 {
+			return "% Invalid VLAN", true
+		}
+		p.accessVLAN = uint16(v)
+		return "", true
+	case matchWord(f[0], "switchport") && len(f) >= 5 && matchWord(f[1], "trunk") && matchWord(f[2], "allowed") && matchWord(f[3], "vlan"):
+		p.trunkVLANs = map[uint16]bool{}
+		p.trunkAll = false
+		for _, part := range strings.Split(f[4], ",") {
+			if part == "all" {
+				p.trunkAll = true
+				continue
+			}
+			v, err := strconv.Atoi(part)
+			if err != nil || v < 1 || v > 4094 {
+				return "% Invalid VLAN list", true
+			}
+			p.trunkVLANs[uint16(v)] = true
+		}
+		return "", true
+	case matchWord(f[0], "spanning-tree") && len(f) >= 3 && matchWord(f[1], "cost"):
+		c, err := strconv.Atoi(f[2])
+		if err != nil || c < 1 {
+			return "% Invalid cost", true
+		}
+		p.cost = uint32(c)
+		return "", true
+	}
+	return "", false
+}
+
+func (s *Switch) runningConfig() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hostname %s\n", s.hostname)
+	if !s.stpOn {
+		sb.WriteString("no spanning-tree\n")
+	} else if s.priority != 32768 {
+		fmt.Fprintf(&sb, "spanning-tree priority %d\n", s.priority)
+	}
+	for i, p := range s.ports {
+		fmt.Fprintf(&sb, "interface %s\n", s.portName(i))
+		if p.mode == PortTrunk {
+			sb.WriteString(" switchport mode trunk\n")
+			if !p.trunkAll && len(p.trunkVLANs) > 0 {
+				vl := make([]int, 0, len(p.trunkVLANs))
+				for v := range p.trunkVLANs {
+					vl = append(vl, int(v))
+				}
+				sort.Ints(vl)
+				parts := make([]string, len(vl))
+				for j, v := range vl {
+					parts[j] = strconv.Itoa(v)
+				}
+				fmt.Fprintf(&sb, " switchport trunk allowed vlan %s\n", strings.Join(parts, ","))
+			}
+		} else {
+			sb.WriteString(" switchport mode access\n")
+			fmt.Fprintf(&sb, " switchport access vlan %d\n", p.accessVLAN)
+		}
+		if p.cost != 19 {
+			fmt.Fprintf(&sb, " spanning-tree cost %d\n", p.cost)
+		}
+		if !s.portAdminUp(i) {
+			sb.WriteString(" shutdown\n")
+		}
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// portAdminUp reports a port's administrative state (Up() also requires
+// carrier, which doesn't belong in a config dump).
+func (s *Switch) portAdminUp(i int) bool {
+	return s.Ports()[i].AdminUp()
+}
+
+var _ cliDevice = (*Switch)(nil)

@@ -1,0 +1,59 @@
+package device
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"rnl/internal/netsim"
+)
+
+// connect wires two device ports together and registers cleanup.
+func connect(t *testing.T, a, b *netsim.Iface) *netsim.Wire {
+	t.Helper()
+	w := netsim.Connect(a, b, nil)
+	t.Cleanup(w.Disconnect)
+	return w
+}
+
+// eventually polls cond until true or the deadline passes.
+func eventually(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition never became true: %s", msg)
+}
+
+// mustIP parses an IPv4 address or fails the test.
+func mustIP(t *testing.T, s string) net.IP {
+	t.Helper()
+	ip := net.ParseIP(s)
+	if ip == nil {
+		t.Fatalf("bad IP %q", s)
+	}
+	return ip
+}
+
+// mask24 is 255.255.255.0.
+var mask24 = net.CIDRMask(24, 32)
+
+// newHostPair returns two configured hosts on the same subnet, not wired.
+func newHostPair(t *testing.T, ipA, ipB string) (*Host, *Host) {
+	t.Helper()
+	a := NewHost("host-"+ipA, FastTimers())
+	b := NewHost("host-"+ipB, FastTimers())
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	if err := a.Configure(mustIP(t, ipA), mask24, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Configure(mustIP(t, ipB), mask24, nil); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}

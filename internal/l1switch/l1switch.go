@@ -1,0 +1,111 @@
+// Package l1switch emulates a programmable layer-1 cross connect (paper
+// §4, Fig. 7 — MRV Media Cross Connect): a patch panel whose port-to-port
+// mapping is set by software. During performance testing RNL programs the
+// cross connect to bridge two co-located router ports directly at full
+// link bandwidth; otherwise it connects the router port through to the RIS
+// PC and the Internet tunnel.
+package l1switch
+
+import (
+	"fmt"
+	"sync"
+
+	"rnl/internal/netsim"
+)
+
+// CrossConnect is a layer-1 switch: N ports, each optionally bridged to
+// exactly one other port. Bridging is pure bit-pipe: every frame entering
+// one port leaves the other unmodified (no MAC learning, no STP — layer 1).
+type CrossConnect struct {
+	name string
+
+	mu    sync.Mutex
+	ports map[string]*netsim.Iface
+	// bridge maps port name → peer port name (symmetric).
+	bridge map[string]string
+}
+
+// New creates a cross connect with the given port names.
+func New(name string, portNames []string) *CrossConnect {
+	x := &CrossConnect{
+		name:   name,
+		ports:  make(map[string]*netsim.Iface, len(portNames)),
+		bridge: make(map[string]string),
+	}
+	for _, pn := range portNames {
+		pn := pn
+		ifc := netsim.NewIface(name + ":" + pn)
+		ifc.SetReceiver(func(f []byte) { x.forward(pn, f) })
+		x.ports[pn] = ifc
+	}
+	return x
+}
+
+// Name returns the switch name.
+func (x *CrossConnect) Name() string { return x.name }
+
+// Port returns the named port interface, or nil.
+func (x *CrossConnect) Port(name string) *netsim.Iface {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.ports[name]
+}
+
+// forward relays a frame to the bridged peer, if any.
+func (x *CrossConnect) forward(from string, frame []byte) {
+	x.mu.Lock()
+	peerName, ok := x.bridge[from]
+	peer := x.ports[peerName]
+	x.mu.Unlock()
+	if !ok || peer == nil {
+		return // unprogrammed port: bits fall on the floor, as on a patch panel
+	}
+	peer.Transmit(frame)
+}
+
+// Bridge programs a bidirectional connection between two ports, replacing
+// any previous mapping either port had.
+func (x *CrossConnect) Bridge(a, b string) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, ok := x.ports[a]; !ok {
+		return fmt.Errorf("l1switch: %s has no port %s", x.name, a)
+	}
+	if _, ok := x.ports[b]; !ok {
+		return fmt.Errorf("l1switch: %s has no port %s", x.name, b)
+	}
+	if a == b {
+		return fmt.Errorf("l1switch: cannot bridge %s to itself", a)
+	}
+	// Tear down stale mappings of both endpoints.
+	for _, p := range []string{a, b} {
+		if old, ok := x.bridge[p]; ok {
+			delete(x.bridge, old)
+			delete(x.bridge, p)
+		}
+	}
+	x.bridge[a] = b
+	x.bridge[b] = a
+	return nil
+}
+
+// Unbridge removes a port's mapping (and its peer's).
+func (x *CrossConnect) Unbridge(a string) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if peer, ok := x.bridge[a]; ok {
+		delete(x.bridge, peer)
+		delete(x.bridge, a)
+	}
+}
+
+// Mapping returns a copy of the current bridge table.
+func (x *CrossConnect) Mapping() map[string]string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make(map[string]string, len(x.bridge))
+	for k, v := range x.bridge {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package l1switch
+
+import (
+	"testing"
+	"time"
+
+	"rnl/internal/netsim"
+)
+
+// attach wires an external interface to a cross-connect port and returns
+// it with a receive channel.
+func attach(t *testing.T, x *CrossConnect, port string) (*netsim.Iface, chan []byte) {
+	t.Helper()
+	ext := netsim.NewIface("ext-" + port)
+	w := netsim.Connect(ext, x.Port(port), nil)
+	t.Cleanup(w.Disconnect)
+	ch := make(chan []byte, 16)
+	ext.SetReceiver(func(f []byte) {
+		select {
+		case ch <- f:
+		default:
+		}
+	})
+	return ext, ch
+}
+
+func expectFrame(t *testing.T, ch chan []byte, want string) {
+	t.Helper()
+	select {
+	case f := <-ch:
+		if string(f) != want {
+			t.Fatalf("got %q, want %q", f, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("frame %q never arrived", want)
+	}
+}
+
+func expectSilence(t *testing.T, ch chan []byte) {
+	t.Helper()
+	select {
+	case f := <-ch:
+		t.Fatalf("unexpected frame %q", f)
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+func TestBridgePassesBothWays(t *testing.T) {
+	x := New("mcc", []string{"p1", "p2", "p3"})
+	a, cha := attach(t, x, "p1")
+	b, chb := attach(t, x, "p2")
+	if err := x.Bridge("p1", "p2"); err != nil {
+		t.Fatal(err)
+	}
+	a.Transmit([]byte("a-to-b"))
+	expectFrame(t, chb, "a-to-b")
+	b.Transmit([]byte("b-to-a"))
+	expectFrame(t, cha, "b-to-a")
+}
+
+func TestUnprogrammedPortDrops(t *testing.T) {
+	x := New("mcc", []string{"p1", "p2"})
+	a, _ := attach(t, x, "p1")
+	_, chb := attach(t, x, "p2")
+	a.Transmit([]byte("nowhere"))
+	expectSilence(t, chb)
+}
+
+func TestRebridgeReplacesMapping(t *testing.T) {
+	x := New("mcc", []string{"p1", "p2", "p3"})
+	a, _ := attach(t, x, "p1")
+	_, chb := attach(t, x, "p2")
+	_, chc := attach(t, x, "p3")
+	if err := x.Bridge("p1", "p2"); err != nil {
+		t.Fatal(err)
+	}
+	a.Transmit([]byte("first"))
+	expectFrame(t, chb, "first")
+	// Re-program p1 to p3: p2 must stop receiving.
+	if err := x.Bridge("p1", "p3"); err != nil {
+		t.Fatal(err)
+	}
+	a.Transmit([]byte("second"))
+	expectFrame(t, chc, "second")
+	expectSilence(t, chb)
+	m := x.Mapping()
+	if m["p1"] != "p3" || m["p3"] != "p1" {
+		t.Errorf("mapping = %v", m)
+	}
+	if _, ok := m["p2"]; ok {
+		t.Errorf("p2 should be unmapped: %v", m)
+	}
+}
+
+func TestUnbridgeStopsTraffic(t *testing.T) {
+	x := New("mcc", []string{"p1", "p2"})
+	a, _ := attach(t, x, "p1")
+	_, chb := attach(t, x, "p2")
+	x.Bridge("p1", "p2")
+	a.Transmit([]byte("one"))
+	expectFrame(t, chb, "one")
+	x.Unbridge("p2")
+	a.Transmit([]byte("two"))
+	expectSilence(t, chb)
+}
+
+func TestBridgeErrors(t *testing.T) {
+	x := New("mcc", []string{"p1", "p2"})
+	if err := x.Bridge("p1", "nope"); err == nil {
+		t.Error("unknown port should fail")
+	}
+	if err := x.Bridge("nope", "p1"); err == nil {
+		t.Error("unknown port should fail")
+	}
+	if err := x.Bridge("p1", "p1"); err == nil {
+		t.Error("self-bridge should fail")
+	}
+	if x.Port("ghost") != nil {
+		t.Error("ghost port lookup should be nil")
+	}
+}
+
+func TestL1PreservesArbitraryBits(t *testing.T) {
+	// Layer 1 means no interpretation: garbage frames pass unmodified.
+	x := New("mcc", []string{"p1", "p2"})
+	a, _ := attach(t, x, "p1")
+	_, chb := attach(t, x, "p2")
+	x.Bridge("p1", "p2")
+	junk := []byte{0x00, 0x01, 0xFF}
+	a.Transmit(junk)
+	expectFrame(t, chb, string(junk))
+}

@@ -1,0 +1,128 @@
+package lab
+
+import (
+	"fmt"
+
+	"rnl/internal/device"
+	"rnl/internal/topology"
+)
+
+// Fig5 is the paper's failover experiment (Fig. 5): two Catalyst switches,
+// each with an FWSM transparently bridging the inside VLAN (100) to the
+// outside VLAN (200), interconnected by a trunk; the FWSMs monitor each
+// other over the failover VLAN (10). Server S2 sits inside (on sw2),
+// server S1 outside (on sw1) — traffic between them must pass exactly one
+// active firewall.
+type Fig5 struct {
+	SW1, SW2 *device.Switch
+	FW1, FW2 *device.FWSM
+	S1, S2   *device.Host
+	Design   *topology.Design
+}
+
+// Fig5Options selects the configuration variants the paper discusses.
+type Fig5Options struct {
+	// FailoverVLANOnTrunk carries VLAN 10 between the switches. Leaving
+	// it false is the misconfiguration that yields the dual-active
+	// transient loop.
+	FailoverVLANOnTrunk bool
+	// BPDUForward configures "firewall bpdu forward" on both FWSMs so
+	// spanning tree can see through them and block the loop.
+	BPDUForward bool
+}
+
+// Fig5 VLAN numbers, matching the paper's figure.
+const (
+	fig5FailVLAN    = 10
+	fig5InsideVLAN  = 100
+	fig5OutsideVLAN = 200
+)
+
+// BuildFig5 stands up the Fig. 5 lab on the cloud and deploys it. The
+// returned design is already saved in the store under "fig5".
+func (c *Cloud) BuildFig5(opts Fig5Options) (*Fig5, error) {
+	f := &Fig5{}
+	var err error
+
+	swPorts := []string{"fw-in", "fw-out", "fw-fail", "trunk", "server"}
+	if f.SW1, _, err = c.AddSwitch("fig5-sw1", swPorts); err != nil {
+		return nil, err
+	}
+	if f.SW2, _, err = c.AddSwitch("fig5-sw2", swPorts); err != nil {
+		return nil, err
+	}
+	if f.FW1, _, err = c.AddFWSM("fig5-fw1", 1); err != nil {
+		return nil, err
+	}
+	if f.FW2, _, err = c.AddFWSM("fig5-fw2", 2); err != nil {
+		return nil, err
+	}
+	// S1 outside, S2 inside — same subnet, transparently firewalled.
+	if f.S1, _, err = c.AddHost("fig5-s1", "10.100.0.1/24", ""); err != nil {
+		return nil, err
+	}
+	if f.S2, _, err = c.AddHost("fig5-s2", "10.100.0.2/24", ""); err != nil {
+		return nil, err
+	}
+
+	trunkVLANs := []uint16{fig5InsideVLAN, fig5OutsideVLAN}
+	if opts.FailoverVLANOnTrunk {
+		trunkVLANs = append(trunkVLANs, fig5FailVLAN)
+	}
+	for _, sw := range []*device.Switch{f.SW1, f.SW2} {
+		if err := sw.SetPortMode("fw-in", device.PortAccess, fig5InsideVLAN, nil); err != nil {
+			return nil, err
+		}
+		if err := sw.SetPortMode("fw-out", device.PortAccess, fig5OutsideVLAN, nil); err != nil {
+			return nil, err
+		}
+		if err := sw.SetPortMode("fw-fail", device.PortAccess, fig5FailVLAN, nil); err != nil {
+			return nil, err
+		}
+		if err := sw.SetPortMode("trunk", device.PortTrunk, 0, trunkVLANs); err != nil {
+			return nil, err
+		}
+	}
+	// S1 lives on the outside VLAN, S2 on the inside VLAN.
+	if err := f.SW1.SetPortMode("server", device.PortAccess, fig5OutsideVLAN, nil); err != nil {
+		return nil, err
+	}
+	if err := f.SW2.SetPortMode("server", device.PortAccess, fig5InsideVLAN, nil); err != nil {
+		return nil, err
+	}
+	f.FW1.SetBPDUForward(opts.BPDUForward)
+	f.FW2.SetBPDUForward(opts.BPDUForward)
+
+	d := &topology.Design{
+		Name:  "fig5",
+		Owner: "paper",
+		Routers: []string{
+			"fig5-sw1", "fig5-sw2", "fig5-fw1", "fig5-fw2", "fig5-s1", "fig5-s2",
+		},
+	}
+	connect := func(ar, ap, br, bp string) {
+		if err == nil {
+			err = d.Connect(ar, ap, br, bp)
+		}
+	}
+	connect("fig5-sw1", "fw-in", "fig5-fw1", "inside")
+	connect("fig5-sw1", "fw-out", "fig5-fw1", "outside")
+	connect("fig5-sw1", "fw-fail", "fig5-fw1", "fail")
+	connect("fig5-sw2", "fw-in", "fig5-fw2", "inside")
+	connect("fig5-sw2", "fw-out", "fig5-fw2", "outside")
+	connect("fig5-sw2", "fw-fail", "fig5-fw2", "fail")
+	connect("fig5-sw1", "trunk", "fig5-sw2", "trunk")
+	connect("fig5-sw1", "server", "fig5-s1", "eth0")
+	connect("fig5-sw2", "server", "fig5-s2", "eth0")
+	if err != nil {
+		return nil, fmt.Errorf("lab: building fig5 design: %w", err)
+	}
+	if err := c.Store.Save(d); err != nil {
+		return nil, err
+	}
+	f.Design = d
+	if err := c.DeployDesign(d); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,154 @@
+package lab
+
+import (
+	"fmt"
+
+	"rnl/internal/device"
+	"rnl/internal/topology"
+)
+
+// Fig6 is the paper's automated policy test (Fig. 6): four routers where
+// subnet A (behind R3) must never reach subnet B (behind R4). The policy
+// is enforced by packet filters on the R1–R2 path; all routers run RIP, so
+// when a new R3–R4 link is added later, routing converges onto the
+// unfiltered shortcut and silently violates the policy — exactly what the
+// nightly test exists to catch.
+type Fig6 struct {
+	R1, R2, R3, R4 *device.Router
+	HostA, HostB   *device.Host
+	// Design is the initial chain topology; DesignWithShortcut adds the
+	// future R3–R4 link.
+	Design             *topology.Design
+	DesignWithShortcut *topology.Design
+}
+
+// Fig6 addressing.
+const (
+	Fig6SubnetA = "10.1.0.0"
+	Fig6SubnetB = "10.2.0.0"
+)
+
+// BuildFig6 stands up the routers, hosts, addressing, RIP and the policy
+// filters, saves both designs ("fig6" and "fig6-shortcut") and deploys the
+// initial one.
+func (c *Cloud) BuildFig6() (*Fig6, error) {
+	f := &Fig6{}
+	var err error
+	if f.R1, _, err = c.AddRouter("fig6-r1", []string{"e1", "e2"}); err != nil {
+		return nil, err
+	}
+	if f.R2, _, err = c.AddRouter("fig6-r2", []string{"e1", "e2"}); err != nil {
+		return nil, err
+	}
+	if f.R3, _, err = c.AddRouter("fig6-r3", []string{"e1", "e2", "e3"}); err != nil {
+		return nil, err
+	}
+	if f.R4, _, err = c.AddRouter("fig6-r4", []string{"e1", "e2", "e3"}); err != nil {
+		return nil, err
+	}
+	if f.HostA, _, err = c.AddHost("fig6-hostA", "10.1.0.2/24", "10.1.0.1"); err != nil {
+		return nil, err
+	}
+	if f.HostB, _, err = c.AddHost("fig6-hostB", "10.2.0.2/24", "10.2.0.1"); err != nil {
+		return nil, err
+	}
+
+	type ipAssign struct {
+		r        *device.Router
+		port, ip string
+	}
+	for _, a := range []ipAssign{
+		{f.R3, "e2", "10.1.0.1"},     // subnet A gateway
+		{f.R3, "e1", "192.168.31.3"}, // R3–R1
+		{f.R1, "e1", "192.168.31.1"},
+		{f.R1, "e2", "192.168.12.1"}, // R1–R2
+		{f.R2, "e2", "192.168.12.2"},
+		{f.R2, "e1", "192.168.24.2"}, // R2–R4
+		{f.R4, "e1", "192.168.24.4"},
+		{f.R4, "e2", "10.2.0.1"},     // subnet B gateway
+		{f.R3, "e3", "192.168.34.3"}, // future R3–R4 link
+		{f.R4, "e3", "192.168.34.4"},
+	} {
+		if err := a.r.SetIP(a.port, mustParseIP(a.ip), []byte{255, 255, 255, 0}); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range []*device.Router{f.R1, f.R2} {
+		if err := r.EnableRIP("e1", "e2"); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range []*device.Router{f.R3, f.R4} {
+		if err := r.EnableRIP("e1", "e2", "e3"); err != nil {
+			return nil, err
+		}
+	}
+
+	// The security policy: subnet A cannot talk to subnet B, enforced on
+	// the R1–R2 path (interfaces R1.2 and R2.2 in the paper).
+	deny, err := device.ParseACLRule(fmt.Sprintf("deny ip %s 0.0.0.255 %s 0.0.0.255", Fig6SubnetA, Fig6SubnetB))
+	if err != nil {
+		return nil, err
+	}
+	denyBack, err := device.ParseACLRule(fmt.Sprintf("deny ip %s 0.0.0.255 %s 0.0.0.255", Fig6SubnetB, Fig6SubnetA))
+	if err != nil {
+		return nil, err
+	}
+	permit, err := device.ParseACLRule("permit ip any any")
+	if err != nil {
+		return nil, err
+	}
+	rules := []device.ACLRule{deny, denyBack, permit}
+	f.R1.SetACL("101", rules)
+	f.R2.SetACL("101", rules)
+	if err := f.R1.BindACL("e2", "101", "out"); err != nil {
+		return nil, err
+	}
+	if err := f.R2.BindACL("e2", "101", "out"); err != nil {
+		return nil, err
+	}
+
+	routers := []string{"fig6-r1", "fig6-r2", "fig6-r3", "fig6-r4", "fig6-hostA", "fig6-hostB"}
+	d := &topology.Design{Name: "fig6", Owner: "paper", Routers: routers}
+	connect := func(dd *topology.Design, ar, ap, br, bp string) {
+		if err == nil {
+			err = dd.Connect(ar, ap, br, bp)
+		}
+	}
+	connect(d, "fig6-r3", "e1", "fig6-r1", "e1")
+	connect(d, "fig6-r1", "e2", "fig6-r2", "e2")
+	connect(d, "fig6-r2", "e1", "fig6-r4", "e1")
+	connect(d, "fig6-r3", "e2", "fig6-hostA", "eth0")
+	connect(d, "fig6-r4", "e2", "fig6-hostB", "eth0")
+	if err != nil {
+		return nil, fmt.Errorf("lab: building fig6 design: %w", err)
+	}
+	// The "future" topology with the extra R3–R4 link.
+	d2 := d.Clone()
+	d2.Name = "fig6-shortcut"
+	connect(d2, "fig6-r3", "e3", "fig6-r4", "e3")
+	if err != nil {
+		return nil, fmt.Errorf("lab: building fig6-shortcut design: %w", err)
+	}
+	if err := c.Store.Save(d); err != nil {
+		return nil, err
+	}
+	if err := c.Store.Save(d2); err != nil {
+		return nil, err
+	}
+	f.Design, f.DesignWithShortcut = d, d2
+	if err := c.DeployDesign(d); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// mustParseIP converts dotted quad to 4 bytes; inputs are compile-time
+// constants above.
+func mustParseIP(s string) []byte {
+	ip, _, err := splitCIDR(s + "/32")
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}

@@ -1,0 +1,249 @@
+// Package lab assembles a complete in-process Remote Network Labs cloud:
+// a route server, a web server with the web-services API, a reservation
+// calendar, a design store, and helpers that stand up emulated equipment
+// (hosts, routers, switches, firewall modules) each fronted by its own RIS
+// agent — the paper's Fig. 1 in one process. Examples, integration tests
+// and the benchmark harness all build on it.
+package lab
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/device"
+	"rnl/internal/netsim"
+	"rnl/internal/reservation"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+	"rnl/internal/sim"
+	"rnl/internal/topology"
+)
+
+// Options tunes a Cloud.
+type Options struct {
+	// Compress enables tunnel compression end to end.
+	Compress bool
+	// Token protects the web API.
+	Token string
+	// Timers is the device timing profile; zero means FastTimers.
+	Timers device.Timers
+	// Logger for all components; nil discards.
+	Logger *slog.Logger
+}
+
+// Cloud is a running in-process RNL instance.
+type Cloud struct {
+	RS     *routeserver.Server
+	Web    *api.Server
+	Cal    *reservation.Calendar
+	Store  *topology.Store
+	Client *api.Client
+
+	WebAddr    string
+	TunnelAddr string
+
+	opts   Options
+	log    *slog.Logger
+	closer []func()
+}
+
+// NewCloud starts the route server and web server on loopback ports.
+func NewCloud(opts Options) (*Cloud, error) {
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if opts.Timers == (device.Timers{}) {
+		opts.Timers = device.FastTimers()
+	}
+	rs := routeserver.New(routeserver.Options{AllowCompression: opts.Compress, Logger: logger})
+	tunnelAddr, err := rs.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	store, err := topology.NewStore("")
+	if err != nil {
+		rs.Close()
+		return nil, err
+	}
+	cal := reservation.New(sim.Real{})
+	web := api.NewServer(api.Config{
+		RouteServer:    rs,
+		Store:          store,
+		Calendar:       cal,
+		Token:          opts.Token,
+		ConsoleTimeout: 5 * time.Second,
+		Logger:         logger,
+	})
+	webAddr, err := web.Listen("127.0.0.1:0")
+	if err != nil {
+		rs.Close()
+		return nil, err
+	}
+	c := &Cloud{
+		RS: rs, Web: web, Cal: cal, Store: store,
+		Client:     api.NewClient("http://"+webAddr, opts.Token),
+		WebAddr:    webAddr,
+		TunnelAddr: tunnelAddr,
+		opts:       opts,
+		log:        logger,
+	}
+	return c, nil
+}
+
+// DeployDesign wires a design directly, without reservation enforcement —
+// the programmatic path experiments and benchmarks use. The API path
+// (Client.Deploy) enforces reservations.
+func (c *Cloud) DeployDesign(d *topology.Design) error {
+	dep := &topology.Deployer{Server: c.RS, ConsoleTimeout: 5 * time.Second}
+	return dep.Deploy("", d, false)
+}
+
+// Close shuts everything down, equipment first.
+func (c *Cloud) Close() {
+	for i := len(c.closer) - 1; i >= 0; i-- {
+		c.closer[i]()
+	}
+	c.Web.Close()
+	c.RS.Close()
+}
+
+// onClose registers cleanup.
+func (c *Cloud) onClose(fn func()) { c.closer = append(c.closer, fn) }
+
+// Equipment is a device joined to the cloud through its own RIS.
+type Equipment struct {
+	Name  string
+	Agent *ris.Agent
+	// NICs are the RIS-side interface adapters, by port name.
+	NICs map[string]*netsim.Iface
+}
+
+// joinDevice wires every port of a device to fresh RIS NICs and joins the
+// labs. The device keeps running locally; RNL sees its ports and console.
+// cond, when non-nil, conditions the wires between device and lab PC —
+// the §3.5 WAN emulation hook.
+func (c *Cloud) joinDevice(name, model, description string, ports []string, getPort func(string) *netsim.Iface, consoleAttach func(io.ReadWriter), cond netsim.Conditioner) (*Equipment, error) {
+	eq := &Equipment{Name: name, NICs: make(map[string]*netsim.Iface)}
+	def := ris.RouterDef{Name: name, Model: model, Description: description}
+	for _, pn := range ports {
+		nic := netsim.NewIface("pc-" + name + "/" + pn)
+		w := netsim.Connect(getPort(pn), nic, cond)
+		c.onClose(w.Disconnect)
+		eq.NICs[pn] = nic
+		def.Ports = append(def.Ports, ris.PortMap{Name: pn, NIC: nic, Description: pn + " on " + name})
+	}
+	if consoleAttach != nil {
+		sp := netsim.NewSerialPort()
+		c.onClose(sp.Close)
+		go consoleAttach(sp.DeviceEnd)
+		def.Console = sp.PCEnd
+	}
+	agent, err := ris.New(ris.Config{
+		ServerAddr: c.TunnelAddr,
+		PCName:     "pc-" + name,
+		Compress:   c.opts.Compress,
+		Routers:    []ris.RouterDef{def},
+	}, c.log)
+	if err != nil {
+		return nil, err
+	}
+	if err := agent.Start(); err != nil {
+		return nil, err
+	}
+	c.onClose(agent.Close)
+	eq.Agent = agent
+	return eq, nil
+}
+
+// AddHost creates an emulated server, configures its address, and joins it
+// to the labs.
+func (c *Cloud) AddHost(name, cidrIP string, gw string) (*device.Host, *Equipment, error) {
+	return c.AddHostVia(name, cidrIP, gw, nil)
+}
+
+// AddHostVia is AddHost with a link conditioner on the host's wire — the
+// paper's §3.5 application-testing hook ("inject delay and jitter to
+// simulate any wide area link").
+func (c *Cloud) AddHostVia(name, cidrIP string, gw string, cond netsim.Conditioner) (*device.Host, *Equipment, error) {
+	h := device.NewHost(name, c.opts.Timers)
+	c.onClose(h.Close)
+	ip, mask, err := splitCIDR(cidrIP)
+	if err != nil {
+		return nil, nil, err
+	}
+	var gwIP []byte
+	if gw != "" {
+		gwIP, _, err = splitCIDR(gw + "/32")
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := h.Configure(ip, mask, gwIP); err != nil {
+		return nil, nil, err
+	}
+	eq, err := c.joinDevice(name, "Linux Server", "server "+cidrIP, []string{"eth0"}, h.Port,
+		func(rw io.ReadWriter) { device.AttachConsole(h, rw) }, cond)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, eq, nil
+}
+
+// AddRouter creates an emulated router with the given port names and joins
+// it to the labs (unconfigured; use the console or the device handle).
+func (c *Cloud) AddRouter(name string, ports []string) (*device.Router, *Equipment, error) {
+	r := device.NewRouter(name, ports, c.opts.Timers)
+	c.onClose(r.Close)
+	eq, err := c.joinDevice(name, "7200 Series", "IP router", ports, r.Port,
+		func(rw io.ReadWriter) { device.AttachConsole(r, rw) }, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, eq, nil
+}
+
+// AddSwitch creates an emulated Catalyst switch and joins it to the labs.
+func (c *Cloud) AddSwitch(name string, ports []string) (*device.Switch, *Equipment, error) {
+	s := device.NewSwitch(name, ports, c.opts.Timers)
+	c.onClose(s.Close)
+	eq, err := c.joinDevice(name, "Catalyst 6500", "Ethernet switch", ports, s.Port,
+		func(rw io.ReadWriter) { device.AttachConsole(s, rw) }, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, eq, nil
+}
+
+// AddFWSM creates an emulated firewall module (ports inside, outside,
+// fail) and joins it to the labs.
+func (c *Cloud) AddFWSM(name string, unit uint32) (*device.FWSM, *Equipment, error) {
+	f := device.NewFWSM(name, unit, c.opts.Timers)
+	c.onClose(f.Close)
+	eq, err := c.joinDevice(name, "FWSM", "firewall services module", []string{"inside", "outside", "fail"}, f.Port,
+		func(rw io.ReadWriter) { device.AttachConsole(f, rw) }, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, eq, nil
+}
+
+// splitCIDR parses "10.0.0.1/24" into address and mask.
+func splitCIDR(s string) ([]byte, []byte, error) {
+	var a, b, cc, d, bits int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d/%d", &a, &b, &cc, &d, &bits); err != nil {
+		return nil, nil, fmt.Errorf("lab: bad CIDR %q: %w", s, err)
+	}
+	if bits < 0 || bits > 32 {
+		return nil, nil, fmt.Errorf("lab: bad prefix length in %q", s)
+	}
+	ip := []byte{byte(a), byte(b), byte(cc), byte(d)}
+	mask := make([]byte, 4)
+	for i := 0; i < bits; i++ {
+		mask[i/8] |= 1 << (7 - i%8)
+	}
+	return ip, mask, nil
+}

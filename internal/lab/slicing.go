@@ -1,0 +1,106 @@
+package lab
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rnl/internal/device"
+	"rnl/internal/netsim"
+	"rnl/internal/ris"
+)
+
+// AddSlicedRouter joins ONE physical router to the labs as multiple
+// inventory entries — one per logical-router slice (paper §4: "a user
+// could reserve a slice of the router, in addition to being able to
+// reserve the whole physical router"). The RIS multiplexes: every slice's
+// ports map to their own NICs, but all hang off the same physical device
+// and the same lab PC.
+//
+// slices maps slice name → the physical ports assigned to it; slice names
+// become inventory entries "<name>/<slice>". Ports may appear in at most
+// one slice.
+func (c *Cloud) AddSlicedRouter(name string, slices map[string][]string) (*device.Router, map[string]*Equipment, error) {
+	var allPorts []string
+	seen := map[string]bool{}
+	for slice, ports := range slices {
+		if len(ports) == 0 {
+			return nil, nil, fmt.Errorf("lab: slice %q has no ports", slice)
+		}
+		for _, p := range ports {
+			if seen[p] {
+				return nil, nil, fmt.Errorf("lab: port %q assigned to two slices", p)
+			}
+			seen[p] = true
+			allPorts = append(allPorts, p)
+		}
+	}
+	if len(allPorts) == 0 {
+		return nil, nil, fmt.Errorf("lab: sliced router needs at least one slice")
+	}
+	r := device.NewRouter(name, allPorts, c.opts.Timers)
+	c.onClose(r.Close)
+
+	cfg := ris.Config{
+		ServerAddr: c.TunnelAddr,
+		PCName:     "pc-" + name,
+		Compress:   c.opts.Compress,
+	}
+	type slicePorts struct {
+		inv  string
+		nics map[string]*netsim.Iface
+	}
+	bySlice := map[string]*slicePorts{}
+	sliceNames := make([]string, 0, len(slices))
+	for slice := range slices {
+		sliceNames = append(sliceNames, slice)
+	}
+	sort.Strings(sliceNames)
+	consoleGiven := false
+	for _, slice := range sliceNames {
+		ports := slices[slice]
+		invName := name + "/" + slice
+		sp := &slicePorts{inv: invName, nics: map[string]*netsim.Iface{}}
+		bySlice[slice] = sp
+		def := ris.RouterDef{
+			Name:        invName,
+			Model:       "7200 Series (logical router)",
+			Description: fmt.Sprintf("slice %s of physical router %s", slice, name),
+		}
+		for _, pn := range ports {
+			if err := r.AssignLogicalRouter(pn, slice); err != nil {
+				return nil, nil, err
+			}
+			nic := netsim.NewIface("pc-" + name + "/" + slice + "/" + pn)
+			w := netsim.Connect(r.Port(pn), nic, nil)
+			c.onClose(w.Disconnect)
+			sp.nics[pn] = nic
+			def.Ports = append(def.Ports, ris.PortMap{Name: pn, NIC: nic, Description: pn + " (slice " + slice + ")"})
+		}
+		// The physical console belongs to the lab manager; attach it to
+		// the first slice (alphabetically) so exactly one inventory
+		// entry offers it, deterministically.
+		if !consoleGiven {
+			serial := netsim.NewSerialPort()
+			c.onClose(serial.Close)
+			go func(rw io.ReadWriter) { device.AttachConsole(r, rw) }(serial.DeviceEnd)
+			def.Console = serial.PCEnd
+			consoleGiven = true
+		}
+		cfg.Routers = append(cfg.Routers, def)
+	}
+	agent, err := ris.New(cfg, c.log)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := agent.Start(); err != nil {
+		return nil, nil, err
+	}
+	c.onClose(agent.Close)
+
+	out := map[string]*Equipment{}
+	for slice, sp := range bySlice {
+		out[slice] = &Equipment{Name: sp.inv, Agent: agent, NICs: sp.nics}
+	}
+	return r, out, nil
+}

@@ -1,0 +1,141 @@
+package lab_test
+
+import (
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/lab"
+	"rnl/internal/topology"
+)
+
+// TestSlicedRouterTwoUsers is the §4 logical-router scenario: two users
+// simultaneously reserve different slices of the same physical router and
+// run isolated labs over them.
+func TestSlicedRouterTwoUsers(t *testing.T) {
+	c := newCloud(t, lab.Options{})
+	_, slices, err := c.AddSlicedRouter("bigiron", map[string][]string{
+		"lr1": {"e0", "e1"},
+		"lr2": {"e2", "e3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) != 2 {
+		t.Fatalf("slices = %v", slices)
+	}
+
+	// The inventory shows two independent entries for one physical box.
+	inv, err := c.Client.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	for _, r := range inv {
+		names[r.Name] = len(r.Ports)
+	}
+	if names["bigiron/lr1"] != 2 || names["bigiron/lr2"] != 2 {
+		t.Fatalf("inventory = %v", names)
+	}
+
+	// Configure the slices through their consoles: identical addressing,
+	// isolated tables. (Only lr1 carries the physical console; configure
+	// both through it, as a lab manager would.)
+	cmds := []string{
+		"enable", "configure terminal",
+		"interface e0", "ip address 10.1.0.1 255.255.255.0",
+		"interface e1", "ip address 10.2.0.1 255.255.255.0",
+		"interface e2", "ip address 10.1.0.1 255.255.255.0",
+		"interface e3", "ip address 10.2.0.1 255.255.255.0",
+		"end",
+	}
+	if _, err := c.Client.ConsoleExec(api.ConsoleExecRequest{Router: "bigiron/lr1", Commands: cmds}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alice's lab on slice 1, Bob's on slice 2 — same subnets, no clash.
+	aliceH1, _, err := c.AddHost("alice-h1", "10.1.0.2/24", "10.1.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err = c.AddHost("alice-h2", "10.2.0.2/24", "10.2.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	bobH1, _, err := c.AddHost("bob-h1", "10.1.0.2/24", "10.1.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err = c.AddHost("bob-h2", "10.2.0.2/24", "10.2.0.1"); err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Now()
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "alice", Routers: []string{"bigiron/lr1", "alice-h1", "alice-h2"},
+		Start: now.Add(-time.Minute), End: now.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "bob", Routers: []string{"bigiron/lr2", "bob-h1", "bob-h2"},
+		Start: now.Add(-time.Minute), End: now.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A third user cannot grab an already-sliced entry.
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "carol", Routers: []string{"bigiron/lr1"},
+		Start: now.Add(-time.Minute), End: now.Add(time.Hour),
+	}); err == nil {
+		t.Fatal("overlapping slice reservation should conflict")
+	}
+
+	dAlice := &topology.Design{Name: "alice-lab", Owner: "alice",
+		Routers: []string{"bigiron/lr1", "alice-h1", "alice-h2"}}
+	if err := dAlice.Connect("bigiron/lr1", "e0", "alice-h1", "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dAlice.Connect("bigiron/lr1", "e1", "alice-h2", "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	dBob := &topology.Design{Name: "bob-lab", Owner: "bob",
+		Routers: []string{"bigiron/lr2", "bob-h1", "bob-h2"}}
+	if err := dBob.Connect("bigiron/lr2", "e2", "bob-h1", "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dBob.Connect("bigiron/lr2", "e3", "bob-h2", "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*topology.Design{dAlice, dBob} {
+		if err := c.Client.SaveDesign(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Client.Deploy(api.DeployRequest{Design: "alice-lab", User: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	// Both labs deploy concurrently — the whole point of slicing.
+	if err := c.Client.Deploy(api.DeployRequest{Design: "bob-lab", User: "bob"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if ok, _ := aliceH1.Ping(mustIP("10.2.0.2"), 5*time.Second); !ok {
+		t.Fatal("alice's lab has no connectivity through slice lr1")
+	}
+	if ok, _ := bobH1.Ping(mustIP("10.2.0.2"), 5*time.Second); !ok {
+		t.Fatal("bob's lab has no connectivity through slice lr2")
+	}
+}
+
+func TestSlicedRouterValidation(t *testing.T) {
+	c := newCloud(t, lab.Options{})
+	if _, _, err := c.AddSlicedRouter("x", map[string][]string{}); err == nil {
+		t.Error("empty slice map should fail")
+	}
+	if _, _, err := c.AddSlicedRouter("x", map[string][]string{"a": {}}); err == nil {
+		t.Error("empty slice should fail")
+	}
+	if _, _, err := c.AddSlicedRouter("x", map[string][]string{"a": {"e0"}, "b": {"e0"}}); err == nil {
+		t.Error("port in two slices should fail")
+	}
+}

@@ -1,0 +1,189 @@
+// Package netsim is the virtual physical substrate standing in for the
+// paper's lab hardware: network interface adapters (the many PCI/USB NICs
+// in each lab PC), physical wires between them, promiscuous capture taps
+// (the libpcap substitute), serial console ports, and the lab PCs
+// themselves.
+//
+// Frames are []byte Ethernet frames and are treated as immutable once
+// transmitted: every receiver — the far-end device and every capture tap —
+// may observe the same slice concurrently.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler consumes one received Ethernet frame.
+type Handler func(frame []byte)
+
+// Direction distinguishes transmitted from received frames on a tap.
+type Direction int
+
+// Tap directions.
+const (
+	DirTx Direction = iota
+	DirRx
+)
+
+func (d Direction) String() string {
+	if d == DirTx {
+		return "tx"
+	}
+	return "rx"
+}
+
+// Tap observes frames crossing an interface in either direction.
+type Tap func(dir Direction, frame []byte)
+
+// Stats counts interface traffic. All fields are updated atomically.
+type Stats struct {
+	TxFrames, TxBytes    atomic.Uint64
+	RxFrames, RxBytes    atomic.Uint64
+	TxDropped, RxDropped atomic.Uint64
+}
+
+// Iface is a virtual network interface adapter. A device transmits frames
+// out of it; a Wire (or any component that calls SetOutput) carries them to
+// the far end, which delivers them with Deliver.
+type Iface struct {
+	name string
+
+	mu      sync.Mutex
+	adminUp bool
+	carrier bool
+	recv    Handler
+	out     Handler
+	taps    map[int]Tap
+	nextTap int
+
+	stats Stats
+}
+
+// NewIface creates an administratively-up interface with no carrier.
+func NewIface(name string) *Iface {
+	return &Iface{name: name, adminUp: true, taps: make(map[int]Tap)}
+}
+
+// Name returns the interface name.
+func (i *Iface) Name() string { return i.name }
+
+// Stats exposes the interface counters.
+func (i *Iface) Stats() *Stats { return &i.stats }
+
+// SetReceiver installs the device-side handler for frames arriving from
+// the wire. The handler must not block; long work belongs on the device's
+// own queue.
+func (i *Iface) SetReceiver(h Handler) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.recv = h
+}
+
+// SetOutput installs the wire-side sink for transmitted frames and flips
+// carrier accordingly (nil output means unplugged).
+func (i *Iface) SetOutput(h Handler) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.out = h
+	i.carrier = h != nil
+}
+
+// SetAdminUp raises or lowers the interface administratively; a downed
+// interface neither transmits nor receives.
+func (i *Iface) SetAdminUp(up bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.adminUp = up
+}
+
+// AdminUp reports the administrative state alone, ignoring carrier.
+func (i *Iface) AdminUp() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.adminUp
+}
+
+// Up reports whether the interface can pass traffic (admin up + carrier).
+func (i *Iface) Up() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.adminUp && i.carrier
+}
+
+// AddTap installs a promiscuous capture tap and returns a removal handle.
+// Taps see both directions, after admin-state filtering — exactly what
+// RIS's libpcap capture on the lab PC would see.
+func (i *Iface) AddTap(t Tap) (remove func()) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	id := i.nextTap
+	i.nextTap++
+	i.taps[id] = t
+	return func() {
+		i.mu.Lock()
+		defer i.mu.Unlock()
+		delete(i.taps, id)
+	}
+}
+
+// snapshotTaps returns the current taps without holding the lock during
+// delivery.
+func (i *Iface) snapshotTaps() []Tap {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if len(i.taps) == 0 {
+		return nil
+	}
+	out := make([]Tap, 0, len(i.taps))
+	for _, t := range i.taps {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Transmit sends a frame out of the interface. The frame is copied, so the
+// caller may reuse its buffer. Transmit never blocks the caller beyond the
+// wire's queue admission.
+func (i *Iface) Transmit(frame []byte) {
+	i.mu.Lock()
+	up := i.adminUp && i.carrier
+	out := i.out
+	i.mu.Unlock()
+	if !up || out == nil {
+		i.stats.TxDropped.Add(1)
+		return
+	}
+	c := make([]byte, len(frame))
+	copy(c, frame)
+	i.stats.TxFrames.Add(1)
+	i.stats.TxBytes.Add(uint64(len(c)))
+	for _, t := range i.snapshotTaps() {
+		t(DirTx, c)
+	}
+	out(c)
+}
+
+// Deliver hands a frame arriving from the wire to the device. It is called
+// by Wire; devices never call it directly.
+func (i *Iface) Deliver(frame []byte) {
+	i.mu.Lock()
+	up := i.adminUp
+	recv := i.recv
+	i.mu.Unlock()
+	if !up {
+		i.stats.RxDropped.Add(1)
+		return
+	}
+	i.stats.RxFrames.Add(1)
+	i.stats.RxBytes.Add(uint64(len(frame)))
+	for _, t := range i.snapshotTaps() {
+		t(DirRx, frame)
+	}
+	if recv != nil {
+		recv(frame)
+	}
+}
+
+func (i *Iface) String() string { return fmt.Sprintf("iface(%s)", i.name) }

@@ -1,0 +1,286 @@
+package netsim
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recvChan installs a channel-backed receiver on an interface.
+func recvChan(i *Iface, cap int) chan []byte {
+	ch := make(chan []byte, cap)
+	i.SetReceiver(func(f []byte) {
+		select {
+		case ch <- f:
+		default:
+		}
+	})
+	return ch
+}
+
+func waitFrame(t *testing.T, ch chan []byte) []byte {
+	t.Helper()
+	select {
+	case f := <-ch:
+		return f
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for frame")
+		return nil
+	}
+}
+
+func TestWireCarriesBothDirections(t *testing.T) {
+	a, b := NewIface("a"), NewIface("b")
+	cha, chb := recvChan(a, 1), recvChan(b, 1)
+	w := Connect(a, b, nil)
+	defer w.Disconnect()
+
+	a.Transmit([]byte("to-b"))
+	if got := waitFrame(t, chb); string(got) != "to-b" {
+		t.Errorf("b received %q", got)
+	}
+	b.Transmit([]byte("to-a"))
+	if got := waitFrame(t, cha); string(got) != "to-a" {
+		t.Errorf("a received %q", got)
+	}
+}
+
+func TestTransmitCopiesFrame(t *testing.T) {
+	a, b := NewIface("a"), NewIface("b")
+	chb := recvChan(b, 1)
+	w := Connect(a, b, nil)
+	defer w.Disconnect()
+
+	buf := []byte("original")
+	a.Transmit(buf)
+	copy(buf, "mutated!")
+	if got := waitFrame(t, chb); string(got) != "original" {
+		t.Errorf("receiver saw caller mutation: %q", got)
+	}
+}
+
+func TestNoCarrierDropsFrames(t *testing.T) {
+	a := NewIface("a")
+	a.Transmit([]byte("x"))
+	if a.Stats().TxDropped.Load() != 1 {
+		t.Error("unplugged transmit should count as TxDropped")
+	}
+	if a.Up() {
+		t.Error("interface with no carrier should not be Up")
+	}
+}
+
+func TestAdminDownBlocksTraffic(t *testing.T) {
+	a, b := NewIface("a"), NewIface("b")
+	chb := recvChan(b, 4)
+	w := Connect(a, b, nil)
+	defer w.Disconnect()
+
+	b.SetAdminUp(false)
+	a.Transmit([]byte("x"))
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case f := <-chb:
+		t.Errorf("admin-down interface received %q", f)
+	default:
+	}
+	if b.Stats().RxDropped.Load() == 0 {
+		t.Error("admin-down receive should count as RxDropped")
+	}
+	b.SetAdminUp(true)
+	a.Transmit([]byte("y"))
+	if got := waitFrame(t, chb); string(got) != "y" {
+		t.Errorf("after re-enable, received %q", got)
+	}
+}
+
+func TestDisconnectDropsCarrier(t *testing.T) {
+	a, b := NewIface("a"), NewIface("b")
+	w := Connect(a, b, nil)
+	if !a.Up() || !b.Up() {
+		t.Fatal("both ends should be up after Connect")
+	}
+	w.Disconnect()
+	if a.Up() || b.Up() {
+		t.Error("both ends should lose carrier after Disconnect")
+	}
+	w.Disconnect() // idempotent
+}
+
+func TestTapSeesBothDirections(t *testing.T) {
+	a, b := NewIface("a"), NewIface("b")
+	recvChan(b, 4)
+	w := Connect(a, b, nil)
+	defer w.Disconnect()
+
+	var mu sync.Mutex
+	var events []string
+	remove := a.AddTap(func(dir Direction, f []byte) {
+		mu.Lock()
+		events = append(events, dir.String()+":"+string(f))
+		mu.Unlock()
+	})
+
+	a.Transmit([]byte("out"))
+	b.Transmit([]byte("in"))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(events)
+		mu.Unlock()
+		if n >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	if len(events) != 2 {
+		evs := append([]string(nil), events...)
+		mu.Unlock()
+		t.Fatalf("tap saw %d events: %v", len(evs), evs)
+	}
+	seen := map[string]bool{}
+	for _, e := range events {
+		seen[e] = true
+	}
+	mu.Unlock()
+	if !seen["tx:out"] || !seen["rx:in"] {
+		t.Errorf("tap events missing tx:out/rx:in")
+	}
+	remove()
+	a.Transmit([]byte("after"))
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	if len(events) != 2 {
+		t.Error("removed tap still firing")
+	}
+	mu.Unlock()
+}
+
+type fixedDelay struct {
+	d    time.Duration
+	drop atomic.Bool
+}
+
+func (c *fixedDelay) Condition(int) (time.Duration, bool) {
+	return c.d, c.drop.Load()
+}
+
+func TestConditionerDelaysDelivery(t *testing.T) {
+	a, b := NewIface("a"), NewIface("b")
+	chb := recvChan(b, 1)
+	cond := &fixedDelay{d: 50 * time.Millisecond}
+	w := Connect(a, b, cond)
+	defer w.Disconnect()
+
+	start := time.Now()
+	a.Transmit([]byte("slow"))
+	waitFrame(t, chb)
+	if el := time.Since(start); el < 45*time.Millisecond {
+		t.Errorf("frame arrived after %v, want >=50ms", el)
+	}
+}
+
+func TestConditionerDropsFrames(t *testing.T) {
+	a, b := NewIface("a"), NewIface("b")
+	chb := recvChan(b, 1)
+	cond := &fixedDelay{}
+	cond.drop.Store(true)
+	w := Connect(a, b, cond)
+	defer w.Disconnect()
+
+	a.Transmit([]byte("lost"))
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case f := <-chb:
+		t.Errorf("dropped frame delivered: %q", f)
+	default:
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	a, b := NewIface("a"), NewIface("b")
+	chb := recvChan(b, 16)
+	w := Connect(a, b, nil)
+	defer w.Disconnect()
+	for i := 0; i < 10; i++ {
+		a.Transmit(bytes.Repeat([]byte{1}, 100))
+	}
+	for i := 0; i < 10; i++ {
+		waitFrame(t, chb)
+	}
+	if got := a.Stats().TxFrames.Load(); got != 10 {
+		t.Errorf("TxFrames = %d, want 10", got)
+	}
+	if got := a.Stats().TxBytes.Load(); got != 1000 {
+		t.Errorf("TxBytes = %d, want 1000", got)
+	}
+	if got := b.Stats().RxFrames.Load(); got != 10 {
+		t.Errorf("RxFrames = %d, want 10", got)
+	}
+}
+
+func TestPCInventory(t *testing.T) {
+	pc := NewPC("pc1")
+	if _, err := pc.AddIface("eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.AddIface("eth0"); err == nil {
+		t.Error("duplicate interface name should fail")
+	}
+	if pc.Iface("eth0") == nil {
+		t.Error("eth0 lookup failed")
+	}
+	if pc.Iface("eth9") != nil {
+		t.Error("missing interface lookup should be nil")
+	}
+	if _, err := pc.AddSerial("COM1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.AddSerial("COM1"); err == nil {
+		t.Error("duplicate serial name should fail")
+	}
+	names := pc.IfaceNames()
+	if len(names) != 1 || names[0] != "eth0" {
+		t.Errorf("IfaceNames = %v", names)
+	}
+	pc.Close()
+}
+
+func TestSerialPortCarriesBytes(t *testing.T) {
+	s := NewSerialPort()
+	defer s.Close()
+	go s.DeviceEnd.Write([]byte("router>"))
+	buf := make([]byte, 16)
+	n, err := s.PCEnd.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "router>" {
+		t.Errorf("read %q", buf[:n])
+	}
+}
+
+func TestWireQueueOverflowDropsNotBlocks(t *testing.T) {
+	a, b := NewIface("a"), NewIface("b")
+	// Receiver blocks forever: frames pile up in the wire queue.
+	blocked := make(chan struct{})
+	b.SetReceiver(func([]byte) { <-blocked })
+	w := Connect(a, b, nil)
+	defer func() { close(blocked); w.Disconnect() }()
+
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < wireQueueLen*3; i++ {
+			a.Transmit([]byte{byte(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Transmit blocked on full wire queue")
+	}
+}

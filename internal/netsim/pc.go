@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PC is a lab computer sitting in front of one or more routers: a box of
+// network interface adapters and COM ports that RIS runs on (paper Fig. 1).
+type PC struct {
+	name string
+
+	mu      sync.Mutex
+	ifaces  map[string]*Iface
+	serials map[string]*SerialPort
+}
+
+// NewPC creates a PC with no interfaces; add them with AddIface.
+func NewPC(name string) *PC {
+	return &PC{
+		name:    name,
+		ifaces:  make(map[string]*Iface),
+		serials: make(map[string]*SerialPort),
+	}
+}
+
+// Name returns the PC's name.
+func (p *PC) Name() string { return p.name }
+
+// AddIface installs a new network interface adapter (e.g. "eth3").
+func (p *PC) AddIface(name string) (*Iface, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.ifaces[name]; dup {
+		return nil, fmt.Errorf("netsim: PC %s already has interface %s", p.name, name)
+	}
+	i := NewIface(p.name + "/" + name)
+	p.ifaces[name] = i
+	return i, nil
+}
+
+// Iface returns the named interface, or nil.
+func (p *PC) Iface(name string) *Iface {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ifaces[name]
+}
+
+// IfaceNames lists the installed interfaces.
+func (p *PC) IfaceNames() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.ifaces))
+	for n := range p.ifaces {
+		names = append(names, n)
+	}
+	return names
+}
+
+// AddSerial installs a COM port (e.g. "COM1") and returns the cable.
+func (p *PC) AddSerial(name string) (*SerialPort, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.serials[name]; dup {
+		return nil, fmt.Errorf("netsim: PC %s already has serial %s", p.name, name)
+	}
+	s := NewSerialPort()
+	p.serials[name] = s
+	return s, nil
+}
+
+// Serial returns the named COM port, or nil.
+func (p *PC) Serial(name string) *SerialPort {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.serials[name]
+}
+
+// Close disconnects every serial port. Interfaces are left to their wires.
+func (p *PC) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.serials {
+		s.Close()
+	}
+}

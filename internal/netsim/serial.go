@@ -1,0 +1,28 @@
+package netsim
+
+import (
+	"io"
+	"net"
+)
+
+// SerialPort is a virtual RS-232 cable: two byte-stream ends. The lab
+// manager plugs one end into the router's console and the other into a COM
+// port on the lab PC (paper §2.2).
+type SerialPort struct {
+	// DeviceEnd is attached to the emulated device's console.
+	DeviceEnd io.ReadWriteCloser
+	// PCEnd is the COM port RIS reads and writes.
+	PCEnd io.ReadWriteCloser
+}
+
+// NewSerialPort creates a connected serial cable.
+func NewSerialPort() *SerialPort {
+	a, b := net.Pipe()
+	return &SerialPort{DeviceEnd: a, PCEnd: b}
+}
+
+// Close shuts both ends.
+func (s *SerialPort) Close() {
+	s.DeviceEnd.Close()
+	s.PCEnd.Close()
+}

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Conditioner shapes traffic on a wire: per-frame delay and drop decisions.
+// It is how RNL injects WAN delay/jitter/loss (paper §3.5).
+type Conditioner interface {
+	// Condition is consulted once per frame with its size; it returns
+	// how long delivery should be delayed and whether to drop the frame.
+	Condition(size int) (delay time.Duration, drop bool)
+}
+
+// wireQueueLen bounds each direction of a wire, like a NIC ring: frames
+// beyond it are tail-dropped. This is what keeps an L2 forwarding loop
+// (paper Fig. 5's misconfiguration transient) from consuming unbounded
+// memory, just as a real loop saturates real links instead.
+const wireQueueLen = 512
+
+// Wire is a full-duplex physical link between two interfaces. Each
+// direction runs its own delivery goroutine so a slow consumer or a
+// conditioner delay in one direction never stalls the other.
+type Wire struct {
+	a, b *Iface
+
+	mu     sync.Mutex
+	closed bool
+
+	ab, ba chan []byte
+	cond   Conditioner
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Connect plugs two interfaces together with an optional conditioner
+// (nil means an ideal wire) and starts carrying frames.
+func Connect(a, b *Iface, cond Conditioner) *Wire {
+	w := &Wire{
+		a: a, b: b,
+		ab:   make(chan []byte, wireQueueLen),
+		ba:   make(chan []byte, wireQueueLen),
+		cond: cond,
+		done: make(chan struct{}),
+	}
+	a.SetOutput(func(f []byte) { w.enqueue(w.ab, f, &a.stats) })
+	b.SetOutput(func(f []byte) { w.enqueue(w.ba, f, &b.stats) })
+	w.wg.Add(2)
+	go w.pump(w.ab, b)
+	go w.pump(w.ba, a)
+	return w
+}
+
+func (w *Wire) enqueue(q chan []byte, f []byte, st *Stats) {
+	select {
+	case q <- f:
+	default:
+		st.TxDropped.Add(1)
+	}
+}
+
+func (w *Wire) pump(q chan []byte, dst *Iface) {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.done:
+			return
+		case f := <-q:
+			if w.cond != nil {
+				delay, drop := w.cond.Condition(len(f))
+				if drop {
+					continue
+				}
+				if delay > 0 {
+					select {
+					case <-time.After(delay):
+					case <-w.done:
+						return
+					}
+				}
+			}
+			dst.Deliver(f)
+		}
+	}
+}
+
+// Disconnect unplugs the wire: both interfaces lose carrier and the pump
+// goroutines exit. Disconnect is idempotent.
+func (w *Wire) Disconnect() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.a.SetOutput(nil)
+	w.b.SetOutput(nil)
+	close(w.done)
+	w.wg.Wait()
+}
+
+// Ends returns the two interfaces the wire connects.
+func (w *Wire) Ends() (*Iface, *Iface) { return w.a, w.b }

@@ -1,0 +1,88 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an Ethernet/IPv4 ARP packet.
+type ARP struct {
+	Operation                      uint16
+	SenderHWAddr, TargetHWAddr     net.HardwareAddr
+	SenderProtAddr, TargetProtAddr net.IP
+
+	contents, payload []byte
+}
+
+const arpLen = 28
+
+func (a *ARP) LayerType() LayerType  { return LayerTypeARP }
+func (a *ARP) LayerContents() []byte { return a.contents }
+func (a *ARP) LayerPayload() []byte  { return a.payload }
+
+// NetworkFlow returns sender→target protocol addresses.
+func (a *ARP) NetworkFlow() Flow {
+	return NewFlow(IPv4Endpoint(a.SenderProtAddr), IPv4Endpoint(a.TargetProtAddr))
+}
+
+func (a *ARP) String() string {
+	if a.Operation == ARPRequest {
+		return fmt.Sprintf("ARP who-has %s tell %s", a.TargetProtAddr, a.SenderProtAddr)
+	}
+	return fmt.Sprintf("ARP %s is-at %s", a.SenderProtAddr, a.SenderHWAddr)
+}
+
+func decodeARP(data []byte, b Builder) error {
+	if len(data) < arpLen {
+		return errTruncated(LayerTypeARP, arpLen, len(data))
+	}
+	if ht := binary.BigEndian.Uint16(data[0:2]); ht != 1 {
+		return fmt.Errorf("packet: ARP hardware type %d unsupported", ht)
+	}
+	if pt := binary.BigEndian.Uint16(data[2:4]); pt != uint16(EthernetTypeIPv4) {
+		return fmt.Errorf("packet: ARP protocol type %#04x unsupported", pt)
+	}
+	if data[4] != 6 || data[5] != 4 {
+		return fmt.Errorf("packet: ARP address lengths %d/%d unsupported", data[4], data[5])
+	}
+	a := &ARP{
+		Operation:      binary.BigEndian.Uint16(data[6:8]),
+		SenderHWAddr:   net.HardwareAddr(data[8:14]),
+		SenderProtAddr: net.IP(data[14:18]),
+		TargetHWAddr:   net.HardwareAddr(data[18:24]),
+		TargetProtAddr: net.IP(data[24:28]),
+		contents:       data[:arpLen],
+		payload:        data[arpLen:],
+	}
+	b.AddLayer(a)
+	b.SetNetworkLayer(a)
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (a *ARP) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	if len(a.SenderHWAddr) != 6 || len(a.TargetHWAddr) != 6 {
+		return fmt.Errorf("packet: ARP needs 6-byte MACs")
+	}
+	sp, tp := a.SenderProtAddr.To4(), a.TargetProtAddr.To4()
+	if sp == nil || tp == nil {
+		return fmt.Errorf("packet: ARP needs IPv4 protocol addresses")
+	}
+	buf := b.PrependBytes(arpLen)
+	binary.BigEndian.PutUint16(buf[0:2], 1) // Ethernet
+	binary.BigEndian.PutUint16(buf[2:4], uint16(EthernetTypeIPv4))
+	buf[4], buf[5] = 6, 4
+	binary.BigEndian.PutUint16(buf[6:8], a.Operation)
+	copy(buf[8:14], a.SenderHWAddr)
+	copy(buf[14:18], sp)
+	copy(buf[18:24], a.TargetHWAddr)
+	copy(buf[24:28], tp)
+	return nil
+}

@@ -1,0 +1,78 @@
+package packet
+
+import (
+	"testing"
+)
+
+// Decode-path benchmarks backing the DecodingLayerParser-style fast path:
+// the preallocated Parser should beat NewPacket by a wide margin on known
+// stacks (the gopacket design rationale).
+
+func benchFrame(b *testing.B) []byte {
+	b.Helper()
+	frame, err := BuildUDP(mac1, mac2, ip1, ip2, 5353, 5353, make([]byte, 512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return frame
+}
+
+func BenchmarkDecodeNewPacket(b *testing.B) {
+	frame := benchFrame(b)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := NewPacket(frame, LayerTypeEthernet, NoCopy)
+		if p.TransportLayer() == nil {
+			b.Fatal("no transport layer")
+		}
+	}
+}
+
+func BenchmarkDecodeParser(b *testing.B) {
+	frame := benchFrame(b)
+	var (
+		eth Ethernet
+		ip  IPv4
+		udp UDP
+	)
+	p := NewParser(LayerTypeEthernet, &eth, &ip, &udp)
+	var decoded []LayerType
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.DecodeLayers(frame, &decoded)
+		if udp.DstPort != 5353 {
+			b.Fatal("bad decode")
+		}
+	}
+}
+
+func BenchmarkSerializeUDP(b *testing.B) {
+	payload := make([]byte, 512)
+	buf := NewSerializeBuffer()
+	b.SetBytes(512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: ip1, DstIP: ip2}
+		udp := &UDP{SrcPort: 1, DstPort: 2}
+		udp.SetNetworkLayerForChecksum(ip)
+		err := SerializeLayers(buf, FixAll,
+			&Ethernet{SrcMAC: mac1, DstMAC: mac2, EthernetType: EthernetTypeIPv4},
+			ip, udp, Payload(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksum1500(b *testing.B) {
+	data := make([]byte, 1500)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		_ = ipChecksum(data)
+	}
+}

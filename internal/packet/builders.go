@@ -1,0 +1,193 @@
+package packet
+
+import (
+	"fmt"
+	"net"
+)
+
+// This file provides frame construction helpers shared by the emulated
+// devices, traffic generators and tests. All of them return a freshly
+// allocated wire-format frame.
+
+// BuildEthernet wraps payload in an Ethernet II frame.
+func BuildEthernet(src, dst net.HardwareAddr, etype EthernetType, payload []byte) ([]byte, error) {
+	buf := NewSerializeBuffer()
+	err := SerializeLayers(buf, FixAll,
+		&Ethernet{SrcMAC: src, DstMAC: dst, EthernetType: etype},
+		Payload(payload))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// BuildARPRequest builds a who-has broadcast.
+func BuildARPRequest(srcMAC net.HardwareAddr, srcIP, targetIP net.IP) ([]byte, error) {
+	buf := NewSerializeBuffer()
+	err := SerializeLayers(buf, FixAll,
+		&Ethernet{SrcMAC: srcMAC, DstMAC: Broadcast, EthernetType: EthernetTypeARP},
+		&ARP{
+			Operation:      ARPRequest,
+			SenderHWAddr:   srcMAC,
+			SenderProtAddr: srcIP,
+			TargetHWAddr:   net.HardwareAddr{0, 0, 0, 0, 0, 0},
+			TargetProtAddr: targetIP,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// BuildARPReply builds a unicast is-at reply.
+func BuildARPReply(srcMAC net.HardwareAddr, srcIP net.IP, dstMAC net.HardwareAddr, dstIP net.IP) ([]byte, error) {
+	buf := NewSerializeBuffer()
+	err := SerializeLayers(buf, FixAll,
+		&Ethernet{SrcMAC: srcMAC, DstMAC: dstMAC, EthernetType: EthernetTypeARP},
+		&ARP{
+			Operation:      ARPReply,
+			SenderHWAddr:   srcMAC,
+			SenderProtAddr: srcIP,
+			TargetHWAddr:   dstMAC,
+			TargetProtAddr: dstIP,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// BuildICMPEcho builds an ICMP echo request or reply inside Ethernet/IPv4.
+func BuildICMPEcho(srcMAC, dstMAC net.HardwareAddr, srcIP, dstIP net.IP, icmpType uint8, id, seq uint16, data []byte) ([]byte, error) {
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolICMPv4, SrcIP: srcIP, DstIP: dstIP}
+	buf := NewSerializeBuffer()
+	err := SerializeLayers(buf, FixAll,
+		&Ethernet{SrcMAC: srcMAC, DstMAC: dstMAC, EthernetType: EthernetTypeIPv4},
+		ip,
+		&ICMPv4{Type: icmpType, ID: id, Seq: seq},
+		Payload(data))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// BuildUDP builds a UDP datagram inside Ethernet/IPv4.
+func BuildUDP(srcMAC, dstMAC net.HardwareAddr, srcIP, dstIP net.IP, srcPort, dstPort uint16, data []byte) ([]byte, error) {
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: srcIP, DstIP: dstIP}
+	udp := &UDP{SrcPort: srcPort, DstPort: dstPort}
+	udp.SetNetworkLayerForChecksum(ip)
+	buf := NewSerializeBuffer()
+	err := SerializeLayers(buf, FixAll,
+		&Ethernet{SrcMAC: srcMAC, DstMAC: dstMAC, EthernetType: EthernetTypeIPv4},
+		ip,
+		udp,
+		Payload(data))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// BuildTCP builds a TCP segment inside Ethernet/IPv4. The flags string uses
+// one letter per flag, e.g. "S", "SA", "F", "R", "PA".
+func BuildTCP(srcMAC, dstMAC net.HardwareAddr, srcIP, dstIP net.IP, srcPort, dstPort uint16, flags string, seq, ack uint32, data []byte) ([]byte, error) {
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolTCP, SrcIP: srcIP, DstIP: dstIP}
+	tcp := &TCP{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack, Window: 65535}
+	for _, f := range flags {
+		switch f {
+		case 'F':
+			tcp.FIN = true
+		case 'S':
+			tcp.SYN = true
+		case 'R':
+			tcp.RST = true
+		case 'P':
+			tcp.PSH = true
+		case 'A':
+			tcp.ACK = true
+		case 'U':
+			tcp.URG = true
+		default:
+			return nil, fmt.Errorf("packet: unknown TCP flag %q", string(f))
+		}
+	}
+	tcp.SetNetworkLayerForChecksum(ip)
+	buf := NewSerializeBuffer()
+	err := SerializeLayers(buf, FixAll,
+		&Ethernet{SrcMAC: srcMAC, DstMAC: dstMAC, EthernetType: EthernetTypeIPv4},
+		ip,
+		tcp,
+		Payload(data))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// BuildBPDU builds an 802.3/LLC spanning-tree configuration BPDU.
+func BuildBPDU(srcMAC net.HardwareAddr, s *STP) ([]byte, error) {
+	buf := NewSerializeBuffer()
+	err := SerializeLayers(buf, FixAll,
+		&Ethernet{SrcMAC: srcMAC, DstMAC: STPMulticast, EthernetType: EthernetTypeLLC},
+		&LLC{DSAP: LLCSAPSTP, SSAP: LLCSAPSTP, Control: 0x03},
+		s)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// BuildFailoverHello builds a failover health-check frame.
+func BuildFailoverHello(srcMAC, dstMAC net.HardwareAddr, h *FailoverHello) ([]byte, error) {
+	buf := NewSerializeBuffer()
+	err := SerializeLayers(buf, FixAll,
+		&Ethernet{SrcMAC: srcMAC, DstMAC: dstMAC, EthernetType: EthernetTypeFailoverHello},
+		h)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// WithVLANTag inserts an 802.1Q tag into an existing Ethernet frame,
+// returning a new frame. It fails on 802.3 frames (tagging those is not
+// needed in RNL and real switches tag EtherType frames the same way).
+func WithVLANTag(frame []byte, vlan uint16, prio uint8) ([]byte, error) {
+	if len(frame) < ethernetHeaderLen {
+		return nil, errTruncated(LayerTypeEthernet, ethernetHeaderLen, len(frame))
+	}
+	out := make([]byte, 0, len(frame)+dot1qHeaderLen)
+	out = append(out, frame[:12]...)
+	tci := uint16(prio)<<13 | vlan&0x0fff
+	out = append(out, 0x81, 0x00, byte(tci>>8), byte(tci))
+	out = append(out, frame[12:]...)
+	return out, nil
+}
+
+// StripVLANTag removes the outermost 802.1Q tag, returning the inner frame
+// and the VLAN ID. It fails if the frame is untagged.
+func StripVLANTag(frame []byte) ([]byte, uint16, error) {
+	if len(frame) < ethernetHeaderLen+dot1qHeaderLen {
+		return nil, 0, errTruncated(LayerTypeDot1Q, ethernetHeaderLen+dot1qHeaderLen, len(frame))
+	}
+	if EthernetType(uint16(frame[12])<<8|uint16(frame[13])) != EthernetTypeDot1Q {
+		return nil, 0, fmt.Errorf("packet: frame is not 802.1Q tagged")
+	}
+	vlan := (uint16(frame[14])<<8 | uint16(frame[15])) & 0x0fff
+	out := make([]byte, 0, len(frame)-dot1qHeaderLen)
+	out = append(out, frame[:12]...)
+	out = append(out, frame[16:]...)
+	return out, vlan, nil
+}
+
+// VLANID returns the VLAN ID of a tagged frame, or ok=false if untagged.
+func VLANID(frame []byte) (vlan uint16, ok bool) {
+	if len(frame) < ethernetHeaderLen+dot1qHeaderLen {
+		return 0, false
+	}
+	if EthernetType(uint16(frame[12])<<8|uint16(frame[13])) != EthernetTypeDot1Q {
+		return 0, false
+	}
+	return (uint16(frame[14])<<8 | uint16(frame[15])) & 0x0fff, true
+}

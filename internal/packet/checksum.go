@@ -1,0 +1,43 @@
+package packet
+
+import "encoding/binary"
+
+// onesComplementSum computes the ones-complement sum of data folded to 16
+// bits, the building block of the Internet checksum family.
+func onesComplementSum(data []byte) uint32 {
+	var sum uint32
+	n := len(data) &^ 1
+	for i := 0; i < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)&1 != 0 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	return sum
+}
+
+func foldChecksum(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// ipChecksum computes the Internet checksum over data.
+func ipChecksum(data []byte) uint16 {
+	return foldChecksum(onesComplementSum(data))
+}
+
+// pseudoHeaderChecksum computes the transport checksum with the IPv4
+// pseudo-header (src, dst, zero, protocol, transport length) prepended.
+func pseudoHeaderChecksum(src, dst [4]byte, proto uint8, transport []byte) uint16 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(len(transport))
+	sum += onesComplementSum(transport)
+	return foldChecksum(sum)
+}

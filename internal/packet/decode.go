@@ -1,0 +1,52 @@
+package packet
+
+import "fmt"
+
+// Builder is the interface decoders use to attach decoded layers to the
+// packet under construction and to hand off the remaining bytes to the next
+// protocol's decoder.
+type Builder interface {
+	// AddLayer appends a decoded layer to the packet.
+	AddLayer(l Layer)
+	// SetLinkLayer records the packet's link layer (first one wins).
+	SetLinkLayer(l LinkLayer)
+	// SetNetworkLayer records the packet's network layer (first one wins).
+	SetNetworkLayer(l NetworkLayer)
+	// SetTransportLayer records the packet's transport layer (first one wins).
+	SetTransportLayer(l TransportLayer)
+	// SetApplicationLayer records the packet's application layer (first one wins).
+	SetApplicationLayer(l ApplicationLayer)
+	// NextDecoder decodes the remaining bytes as the given layer type.
+	NextDecoder(next LayerType, data []byte) error
+}
+
+// Decoder decodes bytes into layers attached through the Builder.
+type Decoder interface {
+	Decode(data []byte, b Builder) error
+}
+
+// DecodeFunc adapts a function to the Decoder interface.
+type DecodeFunc func(data []byte, b Builder) error
+
+// Decode implements Decoder.
+func (f DecodeFunc) Decode(data []byte, b Builder) error { return f(data, b) }
+
+// decodeNext is the shared NextDecoder implementation: it looks up the
+// registered decoder for the next layer type and invokes it. Zero-length
+// remainders terminate decoding cleanly; an unknown next type becomes a
+// Payload layer so the bytes stay reachable.
+func decodeNext(b Builder, next LayerType, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	d, ok := decoderFor(next)
+	if !ok {
+		return decodePayload(data, b)
+	}
+	return d.Decode(data, b)
+}
+
+// errTruncated builds the uniform error for short inputs.
+func errTruncated(layer LayerType, need, have int) error {
+	return fmt.Errorf("packet: truncated %v: need %d bytes, have %d", layer, need, have)
+}

@@ -1,0 +1,58 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Dot1Q is an IEEE 802.1Q VLAN tag.
+type Dot1Q struct {
+	Priority     uint8 // 3-bit PCP
+	DropEligible bool  // DEI
+	VLANID       uint16
+	Type         EthernetType
+
+	contents, payload []byte
+}
+
+const dot1qHeaderLen = 4
+
+func (d *Dot1Q) LayerType() LayerType  { return LayerTypeDot1Q }
+func (d *Dot1Q) LayerContents() []byte { return d.contents }
+func (d *Dot1Q) LayerPayload() []byte  { return d.payload }
+
+func (d *Dot1Q) String() string {
+	return fmt.Sprintf("Dot1Q vlan %d prio %d", d.VLANID, d.Priority)
+}
+
+func decodeDot1Q(data []byte, b Builder) error {
+	if len(data) < dot1qHeaderLen {
+		return errTruncated(LayerTypeDot1Q, dot1qHeaderLen, len(data))
+	}
+	tci := binary.BigEndian.Uint16(data[0:2])
+	d := &Dot1Q{
+		Priority:     uint8(tci >> 13),
+		DropEligible: tci&0x1000 != 0,
+		VLANID:       tci & 0x0fff,
+		Type:         EthernetType(binary.BigEndian.Uint16(data[2:4])),
+		contents:     data[:dot1qHeaderLen],
+		payload:      data[dot1qHeaderLen:],
+	}
+	b.AddLayer(d)
+	return b.NextDecoder(d.Type.layerType(), d.payload)
+}
+
+// SerializeTo implements SerializableLayer.
+func (d *Dot1Q) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	if d.VLANID > 4094 {
+		return fmt.Errorf("packet: VLAN ID %d out of range", d.VLANID)
+	}
+	buf := b.PrependBytes(dot1qHeaderLen)
+	tci := uint16(d.Priority)<<13 | d.VLANID
+	if d.DropEligible {
+		tci |= 0x1000
+	}
+	binary.BigEndian.PutUint16(buf[0:2], tci)
+	binary.BigEndian.PutUint16(buf[2:4], uint16(d.Type))
+	return nil
+}

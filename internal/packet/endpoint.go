@@ -1,0 +1,114 @@
+package packet
+
+import (
+	"encoding/hex"
+	"fmt"
+	"net"
+)
+
+// EndpointType identifies the kind of address held in an Endpoint.
+type EndpointType int
+
+// Endpoint address kinds.
+const (
+	EndpointMAC EndpointType = iota + 1
+	EndpointIPv4
+	EndpointUDPPort
+	EndpointTCPPort
+)
+
+// Endpoint is a hashable representation of a source or destination address
+// at one layer. Endpoints are comparable and usable as map keys.
+type Endpoint struct {
+	typ EndpointType
+	len int
+	raw [8]byte
+}
+
+// NewEndpoint builds an endpoint from raw address bytes. Addresses longer
+// than 8 bytes are rejected (RNL carries MAC, IPv4 and port endpoints only).
+func NewEndpoint(typ EndpointType, addr []byte) Endpoint {
+	var e Endpoint
+	if len(addr) > len(e.raw) {
+		panic(fmt.Sprintf("packet: endpoint address too long: %d bytes", len(addr)))
+	}
+	e.typ = typ
+	e.len = copy(e.raw[:], addr)
+	return e
+}
+
+// MACEndpoint builds an endpoint from a hardware address.
+func MACEndpoint(a net.HardwareAddr) Endpoint { return NewEndpoint(EndpointMAC, a) }
+
+// IPv4Endpoint builds an endpoint from a 4-byte IP address.
+func IPv4Endpoint(ip net.IP) Endpoint { return NewEndpoint(EndpointIPv4, ip.To4()) }
+
+// UDPPortEndpoint builds an endpoint from a UDP port number.
+func UDPPortEndpoint(port uint16) Endpoint {
+	return NewEndpoint(EndpointUDPPort, []byte{byte(port >> 8), byte(port)})
+}
+
+// TCPPortEndpoint builds an endpoint from a TCP port number.
+func TCPPortEndpoint(port uint16) Endpoint {
+	return NewEndpoint(EndpointTCPPort, []byte{byte(port >> 8), byte(port)})
+}
+
+// Type reports the endpoint's address kind.
+func (e Endpoint) Type() EndpointType { return e.typ }
+
+// Raw returns the endpoint's address bytes.
+func (e Endpoint) Raw() []byte { return e.raw[:e.len] }
+
+// FastHash is a quick non-cryptographic hash of the endpoint (FNV-1a).
+func (e Endpoint) FastHash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	h = (h ^ uint64(e.typ)) * prime
+	for i := 0; i < e.len; i++ {
+		h = (h ^ uint64(e.raw[i])) * prime
+	}
+	return h
+}
+
+func (e Endpoint) String() string {
+	switch e.typ {
+	case EndpointMAC:
+		return net.HardwareAddr(e.raw[:e.len]).String()
+	case EndpointIPv4:
+		return net.IP(e.raw[:e.len]).String()
+	case EndpointUDPPort, EndpointTCPPort:
+		return fmt.Sprintf("%d", uint16(e.raw[0])<<8|uint16(e.raw[1]))
+	default:
+		return hex.EncodeToString(e.raw[:e.len])
+	}
+}
+
+// Flow is a directed pair of endpoints: a packet travelling from Src to Dst
+// at one layer. Flows are comparable and usable as map keys.
+type Flow struct {
+	src, dst Endpoint
+}
+
+// NewFlow builds a flow between two endpoints of the same type.
+func NewFlow(src, dst Endpoint) Flow { return Flow{src: src, dst: dst} }
+
+// Endpoints returns the flow's source and destination.
+func (f Flow) Endpoints() (src, dst Endpoint) { return f.src, f.dst }
+
+// Src returns the flow's source endpoint.
+func (f Flow) Src() Endpoint { return f.src }
+
+// Dst returns the flow's destination endpoint.
+func (f Flow) Dst() Endpoint { return f.dst }
+
+// Reverse returns the flow with source and destination swapped.
+func (f Flow) Reverse() Flow { return Flow{src: f.dst, dst: f.src} }
+
+// FastHash is a symmetric hash: a flow and its reverse hash identically, so
+// both directions of a conversation land in the same bucket.
+func (f Flow) FastHash() uint64 { return f.src.FastHash() + f.dst.FastHash() }
+
+func (f Flow) String() string { return f.src.String() + "->" + f.dst.String() }

@@ -1,0 +1,82 @@
+package packet
+
+import (
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlowSymmetricHash(t *testing.T) {
+	f := func(a, b [4]byte) bool {
+		e1 := IPv4Endpoint(net.IP(a[:]))
+		e2 := IPv4Endpoint(net.IP(b[:]))
+		fl := NewFlow(e1, e2)
+		return fl.FastHash() == fl.Reverse().FastHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEndpointEqualityAsMapKey(t *testing.T) {
+	m := map[Endpoint]int{}
+	m[IPv4Endpoint(net.IPv4(1, 2, 3, 4))] = 1
+	m[IPv4Endpoint(net.IPv4(1, 2, 3, 4))] = 2
+	if len(m) != 1 {
+		t.Errorf("identical endpoints produced %d map keys", len(m))
+	}
+	m[UDPPortEndpoint(0x0102)] = 3
+	// A UDP port must not collide with an IP whose bytes overlap.
+	if len(m) != 2 {
+		t.Errorf("distinct endpoint types collided: %d keys", len(m))
+	}
+}
+
+func TestEndpointTypesDistinguishUDPTCP(t *testing.T) {
+	if UDPPortEndpoint(80) == TCPPortEndpoint(80) {
+		t.Error("UDP and TCP port 80 endpoints must differ")
+	}
+}
+
+func TestFlowEndpointsRoundtrip(t *testing.T) {
+	src := MACEndpoint(mac1)
+	dst := MACEndpoint(mac2)
+	f := NewFlow(src, dst)
+	s, d := f.Endpoints()
+	if s != src || d != dst {
+		t.Error("Endpoints() did not return constructor arguments")
+	}
+	if f.Src() != src || f.Dst() != dst {
+		t.Error("Src/Dst accessors wrong")
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	cases := []struct {
+		e    Endpoint
+		want string
+	}{
+		{MACEndpoint(mac1), "00:11:22:33:44:55"},
+		{IPv4Endpoint(net.IPv4(10, 0, 0, 1)), "10.0.0.1"},
+		{UDPPortEndpoint(8080), "8080"},
+		{TCPPortEndpoint(443), "443"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFlowHashDistributes(t *testing.T) {
+	// Sanity: different flows shouldn't all collide.
+	seen := map[uint64]bool{}
+	for i := 0; i < 256; i++ {
+		ip := net.IPv4(10, 0, byte(i/256), byte(i)).To4()
+		f := NewFlow(IPv4Endpoint(ip), IPv4Endpoint(ip2))
+		seen[f.FastHash()] = true
+	}
+	if len(seen) < 200 {
+		t.Errorf("only %d distinct hashes for 256 flows", len(seen))
+	}
+}

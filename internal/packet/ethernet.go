@@ -1,0 +1,125 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// EthernetType identifies the protocol carried in an Ethernet II frame.
+type EthernetType uint16
+
+// EtherTypes RNL decodes. Values below 0x0600 are 802.3 lengths, not
+// EtherTypes; those frames carry LLC.
+const (
+	EthernetTypeLLC           EthernetType = 0 // synthetic: 802.3 framing
+	EthernetTypeIPv4          EthernetType = 0x0800
+	EthernetTypeARP           EthernetType = 0x0806
+	EthernetTypeDot1Q         EthernetType = 0x8100
+	EthernetTypeFailoverHello EthernetType = 0x88b0 // RNL-local: FWSM failover hellos
+)
+
+// Broadcast is the Ethernet broadcast address.
+var Broadcast = net.HardwareAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// STPMulticast is the 802.1D bridge group address BPDUs are sent to.
+var STPMulticast = net.HardwareAddr{0x01, 0x80, 0xc2, 0x00, 0x00, 0x00}
+
+// IsLinkLocalMulticast reports whether a destination MAC is in the
+// 01:80:c2:00:00:0X range that 802.1D-conformant bridges must not forward —
+// the traffic class ordinary VLAN-based virtual links eat, and which RNL's
+// full-frame tunnel is designed to preserve.
+func IsLinkLocalMulticast(a net.HardwareAddr) bool {
+	return len(a) == 6 && a[0] == 0x01 && a[1] == 0x80 && a[2] == 0xc2 &&
+		a[3] == 0x00 && a[4] == 0x00 && a[5]&0xf0 == 0x00
+}
+
+// Ethernet is an Ethernet frame header. Frames with a type/length field
+// below 0x0600 are treated as 802.3 and decode into LLC.
+type Ethernet struct {
+	SrcMAC, DstMAC net.HardwareAddr
+	EthernetType   EthernetType
+	// Length is the 802.3 length field when EthernetType is
+	// EthernetTypeLLC; unused otherwise.
+	Length uint16
+
+	contents, payload []byte
+}
+
+const ethernetHeaderLen = 14
+
+func (e *Ethernet) LayerType() LayerType  { return LayerTypeEthernet }
+func (e *Ethernet) LayerContents() []byte { return e.contents }
+func (e *Ethernet) LayerPayload() []byte  { return e.payload }
+
+// LinkFlow returns the src→dst MAC flow.
+func (e *Ethernet) LinkFlow() Flow {
+	return NewFlow(MACEndpoint(e.SrcMAC), MACEndpoint(e.DstMAC))
+}
+
+func (e *Ethernet) String() string {
+	return fmt.Sprintf("Ethernet %s > %s type %#04x", e.SrcMAC, e.DstMAC, uint16(e.EthernetType))
+}
+
+func decodeEthernet(data []byte, b Builder) error {
+	if len(data) < ethernetHeaderLen {
+		return errTruncated(LayerTypeEthernet, ethernetHeaderLen, len(data))
+	}
+	eth := &Ethernet{
+		DstMAC:   net.HardwareAddr(data[0:6]),
+		SrcMAC:   net.HardwareAddr(data[6:12]),
+		contents: data[:ethernetHeaderLen],
+		payload:  data[ethernetHeaderLen:],
+	}
+	tl := binary.BigEndian.Uint16(data[12:14])
+	b.AddLayer(eth)
+	b.SetLinkLayer(eth)
+	if tl < 0x0600 {
+		eth.EthernetType = EthernetTypeLLC
+		eth.Length = tl
+		if int(tl) < len(eth.payload) {
+			eth.payload = eth.payload[:tl] // strip 802.3 padding
+		}
+		return b.NextDecoder(LayerTypeLLC, eth.payload)
+	}
+	eth.EthernetType = EthernetType(tl)
+	return b.NextDecoder(eth.EthernetType.layerType(), eth.payload)
+}
+
+// layerType maps an EtherType to the layer that decodes its payload.
+func (t EthernetType) layerType() LayerType {
+	switch t {
+	case EthernetTypeIPv4:
+		return LayerTypeIPv4
+	case EthernetTypeARP:
+		return LayerTypeARP
+	case EthernetTypeDot1Q:
+		return LayerTypeDot1Q
+	case EthernetTypeFailoverHello:
+		return LayerTypeFailoverHello
+	default:
+		return LayerTypePayload
+	}
+}
+
+// SerializeTo implements SerializableLayer. With FixLengths, 802.3 frames
+// get their length field computed from the payload.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	if len(e.DstMAC) != 6 || len(e.SrcMAC) != 6 {
+		return fmt.Errorf("packet: Ethernet needs 6-byte MACs, got dst=%d src=%d", len(e.DstMAC), len(e.SrcMAC))
+	}
+	payloadLen := len(b.Bytes())
+	buf := b.PrependBytes(ethernetHeaderLen)
+	copy(buf[0:6], e.DstMAC)
+	copy(buf[6:12], e.SrcMAC)
+	if e.EthernetType == EthernetTypeLLC {
+		l := e.Length
+		if opts.FixLengths {
+			l = uint16(payloadLen)
+		}
+		binary.BigEndian.PutUint16(buf[12:14], l)
+	} else {
+		binary.BigEndian.PutUint16(buf[12:14], uint16(e.EthernetType))
+	}
+	return nil
+}

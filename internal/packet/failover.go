@@ -1,0 +1,64 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Failover hello states, mirroring the FWSM active/standby machine.
+// Failed means the unit has lost one of its traffic interfaces and cannot
+// serve; the peer should promote.
+const (
+	FailoverStateStandby uint8 = 1
+	FailoverStateActive  uint8 = 2
+	FailoverStateFailed  uint8 = 3
+)
+
+// FailoverHello is the health-check message an FWSM-style firewall module
+// exchanges with its peer over the dedicated failover VLANs (VLAN 10/11 in
+// the paper's Fig. 5 setup). It rides directly on Ethernet with an
+// RNL-local EtherType.
+type FailoverHello struct {
+	UnitID   uint32 // sender's unit identifier
+	State    uint8  // FailoverState*
+	Priority uint8  // higher wins active election on ties
+	Seq      uint32
+
+	contents, payload []byte
+}
+
+const failoverHelloLen = 10
+
+func (f *FailoverHello) LayerType() LayerType  { return LayerTypeFailoverHello }
+func (f *FailoverHello) LayerContents() []byte { return f.contents }
+func (f *FailoverHello) LayerPayload() []byte  { return f.payload }
+
+func (f *FailoverHello) String() string {
+	return fmt.Sprintf("FailoverHello unit %d state %d seq %d", f.UnitID, f.State, f.Seq)
+}
+
+func decodeFailoverHello(data []byte, b Builder) error {
+	if len(data) < failoverHelloLen {
+		return errTruncated(LayerTypeFailoverHello, failoverHelloLen, len(data))
+	}
+	f := &FailoverHello{
+		UnitID:   binary.BigEndian.Uint32(data[0:4]),
+		State:    data[4],
+		Priority: data[5],
+		Seq:      binary.BigEndian.Uint32(data[6:10]),
+		contents: data[:failoverHelloLen],
+		payload:  data[failoverHelloLen:],
+	}
+	b.AddLayer(f)
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (f *FailoverHello) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	buf := b.PrependBytes(failoverHelloLen)
+	binary.BigEndian.PutUint32(buf[0:4], f.UnitID)
+	buf[4] = f.State
+	buf[5] = f.Priority
+	binary.BigEndian.PutUint32(buf[6:10], f.Seq)
+	return nil
+}

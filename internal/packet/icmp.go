@@ -1,0 +1,87 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMPv4 message types.
+const (
+	ICMPv4TypeEchoReply       uint8 = 0
+	ICMPv4TypeDestUnreachable uint8 = 3
+	ICMPv4TypeEchoRequest     uint8 = 8
+	ICMPv4TypeTimeExceeded    uint8 = 11
+)
+
+// ICMPv4 destination-unreachable codes.
+const (
+	ICMPv4CodeNetUnreachable  uint8 = 0
+	ICMPv4CodeHostUnreachable uint8 = 1
+	ICMPv4CodeAdminProhibited uint8 = 13
+)
+
+// ICMPv4 is an ICMP message. For echo messages, ID and Seq are meaningful;
+// other types carry their bytes in the payload.
+type ICMPv4 struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	ID, Seq  uint16
+
+	contents, payload []byte
+}
+
+const icmpv4HeaderLen = 8
+
+func (i *ICMPv4) LayerType() LayerType  { return LayerTypeICMPv4 }
+func (i *ICMPv4) LayerContents() []byte { return i.contents }
+func (i *ICMPv4) LayerPayload() []byte  { return i.payload }
+
+func (i *ICMPv4) String() string {
+	return fmt.Sprintf("ICMPv4 type %d code %d id %d seq %d", i.Type, i.Code, i.ID, i.Seq)
+}
+
+func decodeICMPv4(data []byte, b Builder) error {
+	if len(data) < icmpv4HeaderLen {
+		return errTruncated(LayerTypeICMPv4, icmpv4HeaderLen, len(data))
+	}
+	i := &ICMPv4{
+		Type:     data[0],
+		Code:     data[1],
+		Checksum: binary.BigEndian.Uint16(data[2:4]),
+		ID:       binary.BigEndian.Uint16(data[4:6]),
+		Seq:      binary.BigEndian.Uint16(data[6:8]),
+		contents: data[:icmpv4HeaderLen],
+		payload:  data[icmpv4HeaderLen:],
+	}
+	b.AddLayer(i)
+	return b.NextDecoder(LayerTypePayload, i.payload)
+}
+
+// ChecksumValid recomputes and verifies the message checksum over the
+// header plus payload.
+func (i *ICMPv4) ChecksumValid() bool {
+	full := make([]byte, 0, len(i.contents)+len(i.payload))
+	full = append(full, i.contents...)
+	full = append(full, i.payload...)
+	return ipChecksum(full) == 0
+}
+
+// SerializeTo implements SerializableLayer.
+func (i *ICMPv4) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	payload := b.Bytes()
+	buf := b.PrependBytes(icmpv4HeaderLen)
+	buf[0] = i.Type
+	buf[1] = i.Code
+	buf[2], buf[3] = 0, 0
+	binary.BigEndian.PutUint16(buf[4:6], i.ID)
+	binary.BigEndian.PutUint16(buf[6:8], i.Seq)
+	if opts.ComputeChecksums {
+		var sum uint32
+		sum += onesComplementSum(buf[:icmpv4HeaderLen])
+		sum += onesComplementSum(payload)
+		i.Checksum = foldChecksum(sum)
+	}
+	binary.BigEndian.PutUint16(buf[2:4], i.Checksum)
+	return nil
+}

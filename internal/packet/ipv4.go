@@ -1,0 +1,170 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// IPProtocol identifies the transport protocol inside IPv4.
+type IPProtocol uint8
+
+// IP protocol numbers RNL decodes.
+const (
+	IPProtocolICMPv4 IPProtocol = 1
+	IPProtocolTCP    IPProtocol = 6
+	IPProtocolUDP    IPProtocol = 17
+)
+
+// IPv4 is an IPv4 header. Options are carried opaquely.
+type IPv4 struct {
+	Version    uint8 // always 4
+	IHL        uint8 // header length in 32-bit words
+	TOS        uint8
+	Length     uint16 // total length
+	ID         uint16
+	Flags      uint8 // 3 bits: reserved, DF, MF
+	FragOffset uint16
+	TTL        uint8
+	Protocol   IPProtocol
+	Checksum   uint16
+	SrcIP      net.IP
+	DstIP      net.IP
+	Options    []byte
+
+	contents, payload []byte
+}
+
+// IPv4 flag bits.
+const (
+	IPv4DontFragment  = 0x2
+	IPv4MoreFragments = 0x1
+)
+
+const ipv4MinLen = 20
+
+func (ip *IPv4) LayerType() LayerType  { return LayerTypeIPv4 }
+func (ip *IPv4) LayerContents() []byte { return ip.contents }
+func (ip *IPv4) LayerPayload() []byte  { return ip.payload }
+
+// NetworkFlow returns the src→dst IP flow.
+func (ip *IPv4) NetworkFlow() Flow {
+	return NewFlow(IPv4Endpoint(ip.SrcIP), IPv4Endpoint(ip.DstIP))
+}
+
+func (ip *IPv4) String() string {
+	return fmt.Sprintf("IPv4 %s > %s proto %d ttl %d", ip.SrcIP, ip.DstIP, ip.Protocol, ip.TTL)
+}
+
+func decodeIPv4(data []byte, b Builder) error {
+	if len(data) < ipv4MinLen {
+		return errTruncated(LayerTypeIPv4, ipv4MinLen, len(data))
+	}
+	version := data[0] >> 4
+	if version != 4 {
+		return fmt.Errorf("packet: IPv4 version field is %d", version)
+	}
+	ihl := data[0] & 0x0f
+	hlen := int(ihl) * 4
+	if hlen < ipv4MinLen || hlen > len(data) {
+		return fmt.Errorf("packet: IPv4 header length %d invalid for %d bytes", hlen, len(data))
+	}
+	total := int(binary.BigEndian.Uint16(data[2:4]))
+	if total < hlen {
+		return fmt.Errorf("packet: IPv4 total length %d shorter than header %d", total, hlen)
+	}
+	if total > len(data) {
+		total = len(data) // tolerate capture truncation
+	}
+	ip := &IPv4{
+		Version:    version,
+		IHL:        ihl,
+		TOS:        data[1],
+		Length:     binary.BigEndian.Uint16(data[2:4]),
+		ID:         binary.BigEndian.Uint16(data[4:6]),
+		Flags:      data[6] >> 5,
+		FragOffset: binary.BigEndian.Uint16(data[6:8]) & 0x1fff,
+		TTL:        data[8],
+		Protocol:   IPProtocol(data[9]),
+		Checksum:   binary.BigEndian.Uint16(data[10:12]),
+		SrcIP:      net.IP(data[12:16]),
+		DstIP:      net.IP(data[16:20]),
+		contents:   data[:hlen],
+		payload:    data[hlen:total],
+	}
+	if hlen > ipv4MinLen {
+		ip.Options = data[ipv4MinLen:hlen]
+	}
+	b.AddLayer(ip)
+	b.SetNetworkLayer(ip)
+	if ip.FragOffset != 0 || ip.Flags&IPv4MoreFragments != 0 {
+		// Non-first fragments have no transport header to decode.
+		return b.NextDecoder(LayerTypePayload, ip.payload)
+	}
+	switch ip.Protocol {
+	case IPProtocolICMPv4:
+		return b.NextDecoder(LayerTypeICMPv4, ip.payload)
+	case IPProtocolUDP:
+		return b.NextDecoder(LayerTypeUDP, ip.payload)
+	case IPProtocolTCP:
+		return b.NextDecoder(LayerTypeTCP, ip.payload)
+	default:
+		return b.NextDecoder(LayerTypePayload, ip.payload)
+	}
+}
+
+// HeaderChecksumValid recomputes and verifies the header checksum.
+func (ip *IPv4) HeaderChecksumValid() bool {
+	return ipChecksum(ip.contents) == 0
+}
+
+// addrs4 extracts 4-byte src/dst arrays for pseudo-header checksums.
+func (ip *IPv4) addrs4() (src, dst [4]byte, err error) {
+	s, d := ip.SrcIP.To4(), ip.DstIP.To4()
+	if s == nil || d == nil {
+		return src, dst, fmt.Errorf("packet: IPv4 layer with non-IPv4 addresses %v/%v", ip.SrcIP, ip.DstIP)
+	}
+	copy(src[:], s)
+	copy(dst[:], d)
+	return src, dst, nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (ip *IPv4) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	src, dst, err := ip.addrs4()
+	if err != nil {
+		return err
+	}
+	if len(ip.Options)%4 != 0 {
+		return fmt.Errorf("packet: IPv4 options length %d not a multiple of 4", len(ip.Options))
+	}
+	hlen := ipv4MinLen + len(ip.Options)
+	payloadLen := len(b.Bytes())
+	buf := b.PrependBytes(hlen)
+	ihl := ip.IHL
+	if opts.FixLengths || ihl == 0 {
+		ihl = uint8(hlen / 4)
+		ip.IHL = ihl
+	}
+	buf[0] = 4<<4 | ihl
+	buf[1] = ip.TOS
+	length := ip.Length
+	if opts.FixLengths {
+		length = uint16(hlen + payloadLen)
+		ip.Length = length
+	}
+	binary.BigEndian.PutUint16(buf[2:4], length)
+	binary.BigEndian.PutUint16(buf[4:6], ip.ID)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(ip.Flags)<<13|ip.FragOffset&0x1fff)
+	buf[8] = ip.TTL
+	buf[9] = uint8(ip.Protocol)
+	buf[10], buf[11] = 0, 0
+	copy(buf[12:16], src[:])
+	copy(buf[16:20], dst[:])
+	copy(buf[ipv4MinLen:], ip.Options)
+	if opts.ComputeChecksums {
+		ip.Checksum = ipChecksum(buf[:hlen])
+	}
+	binary.BigEndian.PutUint16(buf[10:12], ip.Checksum)
+	return nil
+}

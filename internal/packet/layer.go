@@ -1,0 +1,73 @@
+package packet
+
+// Layer is one decoded protocol layer of a packet.
+type Layer interface {
+	// LayerType identifies the protocol this layer represents.
+	LayerType() LayerType
+	// LayerContents returns the bytes that make up this layer's header
+	// (and, for leaf layers, its data).
+	LayerContents() []byte
+	// LayerPayload returns the bytes this layer carries for the layers
+	// above it.
+	LayerPayload() []byte
+}
+
+// LinkLayer is a layer-2 layer (Ethernet).
+type LinkLayer interface {
+	Layer
+	LinkFlow() Flow
+}
+
+// NetworkLayer is a layer-3 layer (IPv4, ARP).
+type NetworkLayer interface {
+	Layer
+	NetworkFlow() Flow
+}
+
+// TransportLayer is a layer-4 layer (UDP, TCP).
+type TransportLayer interface {
+	Layer
+	TransportFlow() Flow
+}
+
+// ApplicationLayer holds the payload above transport.
+type ApplicationLayer interface {
+	Layer
+	Payload() []byte
+}
+
+// Payload is a raw application payload layer: the bytes left over once all
+// recognized headers are decoded.
+type Payload []byte
+
+func (p Payload) LayerType() LayerType  { return LayerTypePayload }
+func (p Payload) LayerContents() []byte { return p }
+func (p Payload) LayerPayload() []byte  { return nil }
+func (p Payload) Payload() []byte       { return p }
+func (p Payload) String() string        { return "Payload" }
+
+func decodePayload(data []byte, b Builder) error {
+	b.AddLayer(Payload(data))
+	b.SetApplicationLayer(Payload(data))
+	return nil
+}
+
+// SerializeTo appends the payload bytes.
+func (p Payload) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	buf := b.PrependBytes(len(p))
+	copy(buf, p)
+	return nil
+}
+
+// DecodeFailure records a decoding error: the undecodable bytes and the
+// error encountered. It is stored as the final layer so earlier,
+// successfully decoded layers remain usable.
+type DecodeFailure struct {
+	Data []byte
+	Err  error
+}
+
+func (d *DecodeFailure) LayerType() LayerType  { return LayerTypeDecodeFailure }
+func (d *DecodeFailure) LayerContents() []byte { return d.Data }
+func (d *DecodeFailure) LayerPayload() []byte  { return nil }
+func (d *DecodeFailure) Error() error          { return d.Err }

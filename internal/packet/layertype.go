@@ -1,0 +1,112 @@
+// Package packet implements decoding and serialization of the network
+// protocols RNL must carry with full layer-2 fidelity: Ethernet (both
+// Ethernet II and 802.3/LLC framing), 802.1Q VLAN tags, ARP, IPv4, ICMPv4,
+// UDP, TCP, IEEE 802.1D spanning-tree BPDUs, RIPv2, and the FWSM-style
+// failover hello protocol.
+//
+// The API follows the gopacket idiom: a Packet is decoded from raw bytes
+// into a stack of Layers, individual layers are retrieved by LayerType, and
+// SerializableLayers are written back to bytes through a SerializeBuffer
+// that prepends headers in reverse order.
+package packet
+
+import "fmt"
+
+// LayerType identifies one protocol layer within a packet.
+type LayerType int
+
+// Known layer types. LayerTypeZero is never assigned to a real layer.
+const (
+	LayerTypeZero LayerType = iota
+	LayerTypePayload
+	LayerTypeEthernet
+	LayerTypeLLC
+	LayerTypeDot1Q
+	LayerTypeARP
+	LayerTypeIPv4
+	LayerTypeICMPv4
+	LayerTypeUDP
+	LayerTypeTCP
+	LayerTypeSTP
+	LayerTypeRIP
+	LayerTypeFailoverHello
+	LayerTypeDecodeFailure
+
+	// layerTypeUserBase is the first LayerType available to
+	// RegisterLayerType callers.
+	layerTypeUserBase LayerType = 1000
+)
+
+var layerTypeNames = map[LayerType]string{
+	LayerTypeZero:          "Zero",
+	LayerTypePayload:       "Payload",
+	LayerTypeEthernet:      "Ethernet",
+	LayerTypeLLC:           "LLC",
+	LayerTypeDot1Q:         "Dot1Q",
+	LayerTypeARP:           "ARP",
+	LayerTypeIPv4:          "IPv4",
+	LayerTypeICMPv4:        "ICMPv4",
+	LayerTypeUDP:           "UDP",
+	LayerTypeTCP:           "TCP",
+	LayerTypeSTP:           "STP",
+	LayerTypeRIP:           "RIP",
+	LayerTypeFailoverHello: "FailoverHello",
+	LayerTypeDecodeFailure: "DecodeFailure",
+}
+
+var layerTypeDecoders = map[LayerType]Decoder{}
+
+func (t LayerType) String() string {
+	if n, ok := layerTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("LayerType(%d)", int(t))
+}
+
+// RegisterLayerType registers a user-defined layer type with a display name
+// and the decoder invoked when another layer hands off to it. Registering a
+// built-in type or registering the same type twice panics: layer type
+// registration is program initialization, not a runtime operation.
+func RegisterLayerType(t LayerType, name string, dec Decoder) LayerType {
+	if t < layerTypeUserBase {
+		panic(fmt.Sprintf("packet: layer type %d collides with built-in range", int(t)))
+	}
+	if _, ok := layerTypeNames[t]; ok {
+		panic(fmt.Sprintf("packet: layer type %d already registered", int(t)))
+	}
+	layerTypeNames[t] = name
+	layerTypeDecoders[t] = dec
+	return t
+}
+
+// decoderFor returns the decoder responsible for a layer type.
+func decoderFor(t LayerType) (Decoder, bool) {
+	switch t {
+	case LayerTypePayload:
+		return DecodeFunc(decodePayload), true
+	case LayerTypeEthernet:
+		return DecodeFunc(decodeEthernet), true
+	case LayerTypeLLC:
+		return DecodeFunc(decodeLLC), true
+	case LayerTypeDot1Q:
+		return DecodeFunc(decodeDot1Q), true
+	case LayerTypeARP:
+		return DecodeFunc(decodeARP), true
+	case LayerTypeIPv4:
+		return DecodeFunc(decodeIPv4), true
+	case LayerTypeICMPv4:
+		return DecodeFunc(decodeICMPv4), true
+	case LayerTypeUDP:
+		return DecodeFunc(decodeUDP), true
+	case LayerTypeTCP:
+		return DecodeFunc(decodeTCP), true
+	case LayerTypeSTP:
+		return DecodeFunc(decodeSTP), true
+	case LayerTypeRIP:
+		return DecodeFunc(decodeRIP), true
+	case LayerTypeFailoverHello:
+		return DecodeFunc(decodeFailoverHello), true
+	}
+	d, ok := layerTypeDecoders[t]
+	return d, ok
+}

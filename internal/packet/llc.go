@@ -1,0 +1,52 @@
+package packet
+
+import "fmt"
+
+// LLC is an IEEE 802.2 logical link control header, used by 802.3 frames.
+// Spanning-tree BPDUs ride on DSAP/SSAP 0x42.
+type LLC struct {
+	DSAP, SSAP uint8
+	Control    uint8
+
+	contents, payload []byte
+}
+
+const llcHeaderLen = 3
+
+// LLCSAPSTP is the spanning tree protocol SAP.
+const LLCSAPSTP = 0x42
+
+func (l *LLC) LayerType() LayerType  { return LayerTypeLLC }
+func (l *LLC) LayerContents() []byte { return l.contents }
+func (l *LLC) LayerPayload() []byte  { return l.payload }
+
+func (l *LLC) String() string {
+	return fmt.Sprintf("LLC dsap %#02x ssap %#02x", l.DSAP, l.SSAP)
+}
+
+func decodeLLC(data []byte, b Builder) error {
+	if len(data) < llcHeaderLen {
+		return errTruncated(LayerTypeLLC, llcHeaderLen, len(data))
+	}
+	l := &LLC{
+		DSAP:     data[0],
+		SSAP:     data[1],
+		Control:  data[2],
+		contents: data[:llcHeaderLen],
+		payload:  data[llcHeaderLen:],
+	}
+	b.AddLayer(l)
+	if l.DSAP == LLCSAPSTP && l.SSAP == LLCSAPSTP {
+		return b.NextDecoder(LayerTypeSTP, l.payload)
+	}
+	return b.NextDecoder(LayerTypePayload, l.payload)
+}
+
+// SerializeTo implements SerializableLayer.
+func (l *LLC) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	buf := b.PrependBytes(llcHeaderLen)
+	buf[0] = l.DSAP
+	buf[1] = l.SSAP
+	buf[2] = l.Control
+	return nil
+}

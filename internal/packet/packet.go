@@ -1,0 +1,126 @@
+package packet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Packet is a decoded network packet: the raw bytes plus the stack of
+// protocol layers found in them. Packets are immutable once built and safe
+// for concurrent use (decoding is eager, not lazy — RNL fans packets out to
+// capture taps and forwarding simultaneously).
+type Packet struct {
+	data      []byte
+	layers    []Layer
+	link      LinkLayer
+	network   NetworkLayer
+	transport TransportLayer
+	app       ApplicationLayer
+	failure   *DecodeFailure
+}
+
+// DecodeOptions controls NewPacket behaviour.
+type DecodeOptions struct {
+	// NoCopy uses the caller's slice directly instead of copying it. The
+	// caller must guarantee the bytes are never mutated afterwards.
+	NoCopy bool
+}
+
+// Default copies input data; safest for long-lived packets.
+var Default = DecodeOptions{}
+
+// NoCopy trusts the caller's slice to be immutable.
+var NoCopy = DecodeOptions{NoCopy: true}
+
+// NewPacket decodes data starting at the given first layer. It never
+// returns an error: decode problems are recorded as an ErrorLayer so the
+// layers decoded before the failure remain usable.
+func NewPacket(data []byte, first LayerType, opts DecodeOptions) *Packet {
+	if !opts.NoCopy {
+		c := make([]byte, len(data))
+		copy(c, data)
+		data = c
+	}
+	p := &Packet{data: data, layers: make([]Layer, 0, 4)}
+	if err := decodeNext(p, first, data); err != nil {
+		p.failure = &DecodeFailure{Data: data, Err: err}
+		p.layers = append(p.layers, p.failure)
+	}
+	return p
+}
+
+// AddLayer implements Builder.
+func (p *Packet) AddLayer(l Layer) { p.layers = append(p.layers, l) }
+
+// SetLinkLayer implements Builder.
+func (p *Packet) SetLinkLayer(l LinkLayer) {
+	if p.link == nil {
+		p.link = l
+	}
+}
+
+// SetNetworkLayer implements Builder.
+func (p *Packet) SetNetworkLayer(l NetworkLayer) {
+	if p.network == nil {
+		p.network = l
+	}
+}
+
+// SetTransportLayer implements Builder.
+func (p *Packet) SetTransportLayer(l TransportLayer) {
+	if p.transport == nil {
+		p.transport = l
+	}
+}
+
+// SetApplicationLayer implements Builder.
+func (p *Packet) SetApplicationLayer(l ApplicationLayer) {
+	if p.app == nil {
+		p.app = l
+	}
+}
+
+// NextDecoder implements Builder.
+func (p *Packet) NextDecoder(next LayerType, data []byte) error {
+	return decodeNext(p, next, data)
+}
+
+// Data returns the packet's raw bytes.
+func (p *Packet) Data() []byte { return p.data }
+
+// Layers returns all decoded layers, outermost first.
+func (p *Packet) Layers() []Layer { return p.layers }
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// LinkLayer returns the packet's link layer, or nil.
+func (p *Packet) LinkLayer() LinkLayer { return p.link }
+
+// NetworkLayer returns the packet's network layer, or nil.
+func (p *Packet) NetworkLayer() NetworkLayer { return p.network }
+
+// TransportLayer returns the packet's transport layer, or nil.
+func (p *Packet) TransportLayer() TransportLayer { return p.transport }
+
+// ApplicationLayer returns the packet's application payload layer, or nil.
+func (p *Packet) ApplicationLayer() ApplicationLayer { return p.app }
+
+// ErrorLayer returns the decode failure, if decoding stopped early.
+func (p *Packet) ErrorLayer() *DecodeFailure { return p.failure }
+
+// String summarizes the layer stack, e.g. "Ethernet/IPv4/UDP/Payload".
+func (p *Packet) String() string {
+	names := make([]string, len(p.layers))
+	for i, l := range p.layers {
+		names[i] = l.LayerType().String()
+	}
+	return fmt.Sprintf("Packet(%d bytes): %s", len(p.data), strings.Join(names, "/"))
+}

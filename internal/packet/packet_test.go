@@ -1,0 +1,335 @@
+package packet
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+var (
+	mac1 = net.HardwareAddr{0x00, 0x11, 0x22, 0x33, 0x44, 0x55}
+	mac2 = net.HardwareAddr{0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb}
+	ip1  = net.IPv4(10, 0, 0, 1).To4()
+	ip2  = net.IPv4(10, 0, 0, 2).To4()
+)
+
+func TestNewPacketEthernetIPv4UDP(t *testing.T) {
+	frame, err := BuildUDP(mac1, mac2, ip1, ip2, 1234, 5678, []byte("hello"))
+	if err != nil {
+		t.Fatalf("BuildUDP: %v", err)
+	}
+	p := NewPacket(frame, LayerTypeEthernet, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Err)
+	}
+	want := []LayerType{LayerTypeEthernet, LayerTypeIPv4, LayerTypeUDP, LayerTypePayload}
+	got := p.Layers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d layers (%v), want %d", len(got), p, len(want))
+	}
+	for i, l := range got {
+		if l.LayerType() != want[i] {
+			t.Errorf("layer %d = %v, want %v", i, l.LayerType(), want[i])
+		}
+	}
+	eth := p.Layer(LayerTypeEthernet).(*Ethernet)
+	if !bytes.Equal(eth.SrcMAC, mac1) || !bytes.Equal(eth.DstMAC, mac2) {
+		t.Errorf("ethernet addresses wrong: %v", eth)
+	}
+	ip := p.NetworkLayer().(*IPv4)
+	if !ip.SrcIP.Equal(ip1) || !ip.DstIP.Equal(ip2) {
+		t.Errorf("ip addresses wrong: %v", ip)
+	}
+	if !ip.HeaderChecksumValid() {
+		t.Error("IPv4 header checksum invalid after FixAll serialization")
+	}
+	udp := p.TransportLayer().(*UDP)
+	if udp.SrcPort != 1234 || udp.DstPort != 5678 {
+		t.Errorf("udp ports wrong: %v", udp)
+	}
+	if app := p.ApplicationLayer(); app == nil || string(app.Payload()) != "hello" {
+		t.Errorf("application payload = %v, want hello", app)
+	}
+}
+
+func TestNewPacketCopiesByDefault(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 1, 2, []byte("x"))
+	p := NewPacket(frame, LayerTypeEthernet, Default)
+	frame[0] = 0xde // mutate caller's slice
+	if p.Data()[0] == 0xde {
+		t.Error("Default decode did not copy input data")
+	}
+	p2 := NewPacket(frame, LayerTypeEthernet, NoCopy)
+	frame[1] = 0xad
+	if p2.Data()[1] != 0xad {
+		t.Error("NoCopy decode copied input data")
+	}
+}
+
+func TestDecodeTruncatedReportsErrorLayer(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 1, 2, []byte("payload"))
+	// Cut inside the IPv4 header.
+	p := NewPacket(frame[:20], LayerTypeEthernet, Default)
+	if p.ErrorLayer() == nil {
+		t.Fatal("want decode failure for truncated IPv4")
+	}
+	if p.Layer(LayerTypeEthernet) == nil {
+		t.Error("ethernet layer should survive downstream decode failure")
+	}
+}
+
+func TestDecodeARPRoundtrip(t *testing.T) {
+	frame, err := BuildARPRequest(mac1, ip1, ip2)
+	if err != nil {
+		t.Fatalf("BuildARPRequest: %v", err)
+	}
+	p := NewPacket(frame, LayerTypeEthernet, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Err)
+	}
+	a, ok := p.Layer(LayerTypeARP).(*ARP)
+	if !ok {
+		t.Fatalf("no ARP layer in %v", p)
+	}
+	if a.Operation != ARPRequest {
+		t.Errorf("operation = %d, want request", a.Operation)
+	}
+	if !a.SenderProtAddr.Equal(ip1) || !a.TargetProtAddr.Equal(ip2) {
+		t.Errorf("addresses wrong: %v", a)
+	}
+	if p.NetworkLayer() == nil {
+		t.Error("ARP should register as network layer")
+	}
+}
+
+func TestDecodeBPDURoundtrip(t *testing.T) {
+	in := &STP{
+		BPDUType: BPDUTypeConfig,
+		RootID:   BridgeID{Priority: 4096, MAC: mac1},
+		RootCost: 19,
+		BridgeID: BridgeID{Priority: 8192, MAC: mac2},
+		PortID:   0x8001,
+		MaxAge:   20 * 256, HelloTime: 2 * 256, ForwardDelay: 15 * 256,
+	}
+	frame, err := BuildBPDU(mac2, in)
+	if err != nil {
+		t.Fatalf("BuildBPDU: %v", err)
+	}
+	p := NewPacket(frame, LayerTypeEthernet, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Err)
+	}
+	eth := p.LinkLayer().(*Ethernet)
+	if eth.EthernetType != EthernetTypeLLC {
+		t.Errorf("BPDU should use 802.3 framing, got type %#04x", uint16(eth.EthernetType))
+	}
+	if !IsLinkLocalMulticast(eth.DstMAC) {
+		t.Errorf("BPDU destination %s should be link-local multicast", eth.DstMAC)
+	}
+	s, ok := p.Layer(LayerTypeSTP).(*STP)
+	if !ok {
+		t.Fatalf("no STP layer in %v", p)
+	}
+	if !s.RootID.Equal(in.RootID) || s.RootCost != in.RootCost || s.PortID != in.PortID {
+		t.Errorf("decoded %v != sent %v", s, in)
+	}
+}
+
+func TestDecodeTCNBPDU(t *testing.T) {
+	frame, err := BuildBPDU(mac1, &STP{BPDUType: BPDUTypeTCN})
+	if err != nil {
+		t.Fatalf("BuildBPDU: %v", err)
+	}
+	p := NewPacket(frame, LayerTypeEthernet, Default)
+	s, ok := p.Layer(LayerTypeSTP).(*STP)
+	if !ok {
+		t.Fatalf("no STP layer in %v", p)
+	}
+	if s.BPDUType != BPDUTypeTCN {
+		t.Errorf("BPDUType = %#02x, want TCN", s.BPDUType)
+	}
+}
+
+func TestDecodeICMPEcho(t *testing.T) {
+	frame, err := BuildICMPEcho(mac1, mac2, ip1, ip2, ICMPv4TypeEchoRequest, 7, 3, []byte("abcd"))
+	if err != nil {
+		t.Fatalf("BuildICMPEcho: %v", err)
+	}
+	p := NewPacket(frame, LayerTypeEthernet, Default)
+	ic, ok := p.Layer(LayerTypeICMPv4).(*ICMPv4)
+	if !ok {
+		t.Fatalf("no ICMP layer in %v", p)
+	}
+	if ic.Type != ICMPv4TypeEchoRequest || ic.ID != 7 || ic.Seq != 3 {
+		t.Errorf("icmp fields wrong: %v", ic)
+	}
+	if !ic.ChecksumValid() {
+		t.Error("ICMP checksum invalid after FixAll serialization")
+	}
+}
+
+func TestDecodeTCPFlags(t *testing.T) {
+	frame, err := BuildTCP(mac1, mac2, ip1, ip2, 80, 12345, "SA", 100, 200, nil)
+	if err != nil {
+		t.Fatalf("BuildTCP: %v", err)
+	}
+	p := NewPacket(frame, LayerTypeEthernet, Default)
+	tc, ok := p.TransportLayer().(*TCP)
+	if !ok {
+		t.Fatalf("no TCP layer in %v", p)
+	}
+	if !tc.SYN || !tc.ACK || tc.FIN || tc.RST {
+		t.Errorf("flags wrong: %+v", tc)
+	}
+	if tc.Seq != 100 || tc.Ack != 200 {
+		t.Errorf("seq/ack wrong: %v", tc)
+	}
+}
+
+func TestBuildTCPRejectsUnknownFlag(t *testing.T) {
+	if _, err := BuildTCP(mac1, mac2, ip1, ip2, 1, 2, "SX", 0, 0, nil); err == nil {
+		t.Error("want error for unknown flag letter")
+	}
+}
+
+func TestVLANTagInsertStrip(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 9, 10, []byte("v"))
+	tagged, err := WithVLANTag(frame, 42, 5)
+	if err != nil {
+		t.Fatalf("WithVLANTag: %v", err)
+	}
+	if v, ok := VLANID(tagged); !ok || v != 42 {
+		t.Fatalf("VLANID = %d,%v want 42,true", v, ok)
+	}
+	p := NewPacket(tagged, LayerTypeEthernet, Default)
+	d, ok := p.Layer(LayerTypeDot1Q).(*Dot1Q)
+	if !ok {
+		t.Fatalf("no Dot1Q layer in %v", p)
+	}
+	if d.VLANID != 42 || d.Priority != 5 {
+		t.Errorf("tag fields wrong: %v", d)
+	}
+	if p.Layer(LayerTypeUDP) == nil {
+		t.Error("UDP should decode through the VLAN tag")
+	}
+	inner, vlan, err := StripVLANTag(tagged)
+	if err != nil || vlan != 42 {
+		t.Fatalf("StripVLANTag: %v vlan=%d", err, vlan)
+	}
+	if !bytes.Equal(inner, frame) {
+		t.Error("strip(insert(frame)) != frame")
+	}
+	if _, _, err := StripVLANTag(frame); err == nil {
+		t.Error("stripping untagged frame should fail")
+	}
+	if _, ok := VLANID(frame); ok {
+		t.Error("untagged frame reported a VLAN ID")
+	}
+}
+
+func TestDecodeFailoverHello(t *testing.T) {
+	frame, err := BuildFailoverHello(mac1, mac2, &FailoverHello{UnitID: 9, State: FailoverStateActive, Priority: 100, Seq: 77})
+	if err != nil {
+		t.Fatalf("BuildFailoverHello: %v", err)
+	}
+	p := NewPacket(frame, LayerTypeEthernet, Default)
+	h, ok := p.Layer(LayerTypeFailoverHello).(*FailoverHello)
+	if !ok {
+		t.Fatalf("no FailoverHello layer in %v", p)
+	}
+	if h.UnitID != 9 || h.State != FailoverStateActive || h.Seq != 77 {
+		t.Errorf("hello fields wrong: %v", h)
+	}
+}
+
+func TestDecodeRIPThroughUDP(t *testing.T) {
+	rip := &RIP{Command: RIPResponse, Version: 2, Entries: []RIPEntry{
+		{AddressFamily: 2, IP: net.IPv4(192, 168, 1, 0).To4(), Mask: net.CIDRMask(24, 32), Metric: 3},
+		{AddressFamily: 2, IP: net.IPv4(10, 9, 0, 0).To4(), Mask: net.CIDRMask(16, 32), Metric: 1},
+	}}
+	buf := NewSerializeBuffer()
+	if err := SerializeLayers(buf, FixAll, rip); err != nil {
+		t.Fatalf("serialize RIP: %v", err)
+	}
+	frame, err := BuildUDP(mac1, mac2, ip1, ip2, UDPPortRIP, UDPPortRIP, buf.Bytes())
+	if err != nil {
+		t.Fatalf("BuildUDP: %v", err)
+	}
+	p := NewPacket(frame, LayerTypeEthernet, Default)
+	r, ok := p.Layer(LayerTypeRIP).(*RIP)
+	if !ok {
+		t.Fatalf("no RIP layer in %v", p)
+	}
+	if len(r.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(r.Entries))
+	}
+	if !r.Entries[0].IP.Equal(net.IPv4(192, 168, 1, 0)) || r.Entries[0].Metric != 3 {
+		t.Errorf("entry 0 wrong: %+v", r.Entries[0])
+	}
+}
+
+func TestRIPRejectsTooManyEntries(t *testing.T) {
+	r := &RIP{Command: RIPResponse, Version: 2}
+	for i := 0; i < RIPMaxEntries+1; i++ {
+		r.Entries = append(r.Entries, RIPEntry{AddressFamily: 2, IP: ip1, Mask: net.CIDRMask(24, 32), Metric: 1})
+	}
+	buf := NewSerializeBuffer()
+	if err := SerializeLayers(buf, FixAll, r); err == nil {
+		t.Error("want error for >25 RIP entries")
+	}
+}
+
+func TestEthernet8023PaddingStripped(t *testing.T) {
+	// An 802.3 frame whose length field is smaller than the data on the
+	// wire (minimum frame padding) must have its payload trimmed.
+	llc := []byte{LLCSAPSTP, LLCSAPSTP, 0x03}
+	frame := make([]byte, 0, 64)
+	frame = append(frame, mac2...)
+	frame = append(frame, mac1...)
+	frame = append(frame, 0x00, 0x03) // 802.3 length = 3
+	frame = append(frame, llc...)
+	frame = append(frame, make([]byte, 40)...) // padding
+	p := NewPacket(frame, LayerTypeEthernet, Default)
+	eth := p.LinkLayer().(*Ethernet)
+	if len(eth.LayerPayload()) != 3 {
+		t.Errorf("payload = %d bytes, want 3 (padding stripped)", len(eth.LayerPayload()))
+	}
+}
+
+func TestIPv4FragmentStopsTransportDecode(t *testing.T) {
+	ip := &IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: ip1, DstIP: ip2, FragOffset: 100}
+	buf := NewSerializeBuffer()
+	err := SerializeLayers(buf, FixAll,
+		&Ethernet{SrcMAC: mac1, DstMAC: mac2, EthernetType: EthernetTypeIPv4},
+		ip, Payload([]byte("frag data")))
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	p := NewPacket(buf.Bytes(), LayerTypeEthernet, Default)
+	if p.Layer(LayerTypeUDP) != nil {
+		t.Error("non-first fragment must not decode a UDP header")
+	}
+	if p.ApplicationLayer() == nil {
+		t.Error("fragment payload should be exposed")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 1, 2, []byte("s"))
+	p := NewPacket(frame, LayerTypeEthernet, Default)
+	s := p.String()
+	for _, want := range []string{"Ethernet", "IPv4", "UDP"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRegisterLayerTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a built-in layer type should panic")
+		}
+	}()
+	RegisterLayerType(LayerTypeEthernet, "bad", nil)
+}

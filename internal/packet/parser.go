@@ -1,0 +1,241 @@
+package packet
+
+import "fmt"
+
+// DecodingLayer is a layer that can decode in place, for the allocation-free
+// fast path used on the RNL forwarding plane.
+type DecodingLayer interface {
+	Layer
+	// DecodeFromBytes overwrites the receiver with the layer parsed from
+	// data.
+	DecodeFromBytes(data []byte) error
+	// NextLayerType reports which layer follows, based on the decoded
+	// fields. LayerTypeZero means "nothing follows".
+	NextLayerType() LayerType
+}
+
+// Parser decodes a known protocol stack into caller-owned, preallocated
+// layer values, avoiding per-packet allocation — the DecodingLayerParser
+// idiom. Only the layer types registered with AddLayer are decoded; an
+// unregistered next layer stops the parse with ErrUnsupportedLayer
+// recording the type.
+type Parser struct {
+	first  LayerType
+	layers map[LayerType]DecodingLayer
+}
+
+// ErrUnsupportedLayer reports a parse that stopped at a layer the Parser has
+// no registered DecodingLayer for. The layers decoded before it are valid.
+type ErrUnsupportedLayer struct{ Type LayerType }
+
+func (e ErrUnsupportedLayer) Error() string {
+	return fmt.Sprintf("packet: no decoding layer registered for %v", e.Type)
+}
+
+// NewParser builds a parser starting at first with the given layers.
+func NewParser(first LayerType, layers ...DecodingLayer) *Parser {
+	p := &Parser{first: first, layers: make(map[LayerType]DecodingLayer, len(layers))}
+	for _, l := range layers {
+		p.layers[l.LayerType()] = l
+	}
+	return p
+}
+
+// DecodeLayers parses data, appending each decoded layer's type to decoded
+// (which is reset first). The registered layer values are overwritten in
+// place.
+func (p *Parser) DecodeLayers(data []byte, decoded *[]LayerType) error {
+	*decoded = (*decoded)[:0]
+	t := p.first
+	for len(data) > 0 && t != LayerTypeZero {
+		l, ok := p.layers[t]
+		if !ok {
+			return ErrUnsupportedLayer{Type: t}
+		}
+		if err := l.DecodeFromBytes(data); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, t)
+		data = l.LayerPayload()
+		t = l.NextLayerType()
+	}
+	return nil
+}
+
+// DecodeFromBytes implements DecodingLayer for Ethernet.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < ethernetHeaderLen {
+		return errTruncated(LayerTypeEthernet, ethernetHeaderLen, len(data))
+	}
+	*e = Ethernet{
+		DstMAC:   data[0:6],
+		SrcMAC:   data[6:12],
+		contents: data[:ethernetHeaderLen],
+		payload:  data[ethernetHeaderLen:],
+	}
+	tl := uint16(data[12])<<8 | uint16(data[13])
+	if tl < 0x0600 {
+		e.EthernetType = EthernetTypeLLC
+		e.Length = tl
+		if int(tl) < len(e.payload) {
+			e.payload = e.payload[:tl]
+		}
+	} else {
+		e.EthernetType = EthernetType(tl)
+	}
+	return nil
+}
+
+// NextLayerType implements DecodingLayer for Ethernet.
+func (e *Ethernet) NextLayerType() LayerType {
+	if e.EthernetType == EthernetTypeLLC {
+		return LayerTypeLLC
+	}
+	return e.EthernetType.layerType()
+}
+
+// DecodeFromBytes implements DecodingLayer for IPv4, in place and without
+// allocation.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < ipv4MinLen {
+		return errTruncated(LayerTypeIPv4, ipv4MinLen, len(data))
+	}
+	version := data[0] >> 4
+	if version != 4 {
+		return fmt.Errorf("packet: IPv4 version field is %d", version)
+	}
+	ihl := data[0] & 0x0f
+	hlen := int(ihl) * 4
+	if hlen < ipv4MinLen || hlen > len(data) {
+		return fmt.Errorf("packet: IPv4 header length %d invalid for %d bytes", hlen, len(data))
+	}
+	total := int(uint16(data[2])<<8 | uint16(data[3]))
+	if total < hlen {
+		return fmt.Errorf("packet: IPv4 total length %d shorter than header %d", total, hlen)
+	}
+	if total > len(data) {
+		total = len(data)
+	}
+	*ip = IPv4{
+		Version:    version,
+		IHL:        ihl,
+		TOS:        data[1],
+		Length:     uint16(data[2])<<8 | uint16(data[3]),
+		ID:         uint16(data[4])<<8 | uint16(data[5]),
+		Flags:      data[6] >> 5,
+		FragOffset: (uint16(data[6])<<8 | uint16(data[7])) & 0x1fff,
+		TTL:        data[8],
+		Protocol:   IPProtocol(data[9]),
+		Checksum:   uint16(data[10])<<8 | uint16(data[11]),
+		SrcIP:      data[12:16],
+		DstIP:      data[16:20],
+		contents:   data[:hlen],
+		payload:    data[hlen:total],
+	}
+	if hlen > ipv4MinLen {
+		ip.Options = data[ipv4MinLen:hlen]
+	}
+	return nil
+}
+
+// NextLayerType implements DecodingLayer for IPv4.
+func (ip *IPv4) NextLayerType() LayerType {
+	if ip.FragOffset != 0 || ip.Flags&IPv4MoreFragments != 0 {
+		return LayerTypePayload
+	}
+	switch ip.Protocol {
+	case IPProtocolICMPv4:
+		return LayerTypeICMPv4
+	case IPProtocolUDP:
+		return LayerTypeUDP
+	case IPProtocolTCP:
+		return LayerTypeTCP
+	default:
+		return LayerTypePayload
+	}
+}
+
+// DecodeFromBytes implements DecodingLayer for UDP, in place.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < udpHeaderLen {
+		return errTruncated(LayerTypeUDP, udpHeaderLen, len(data))
+	}
+	*u = UDP{
+		SrcPort:  uint16(data[0])<<8 | uint16(data[1]),
+		DstPort:  uint16(data[2])<<8 | uint16(data[3]),
+		Length:   uint16(data[4])<<8 | uint16(data[5]),
+		Checksum: uint16(data[6])<<8 | uint16(data[7]),
+		contents: data[:udpHeaderLen],
+		payload:  data[udpHeaderLen:],
+	}
+	if int(u.Length) >= udpHeaderLen && int(u.Length) <= len(data) {
+		u.payload = data[udpHeaderLen:u.Length]
+	}
+	return nil
+}
+
+// NextLayerType implements DecodingLayer for UDP.
+func (u *UDP) NextLayerType() LayerType {
+	if u.SrcPort == UDPPortRIP || u.DstPort == UDPPortRIP {
+		return LayerTypeRIP
+	}
+	return LayerTypePayload
+}
+
+// DecodeFromBytes implements DecodingLayer for TCP, in place.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < tcpMinLen {
+		return errTruncated(LayerTypeTCP, tcpMinLen, len(data))
+	}
+	offset := data[12] >> 4
+	hlen := int(offset) * 4
+	if hlen < tcpMinLen || hlen > len(data) {
+		return fmt.Errorf("packet: TCP data offset %d invalid for %d bytes", hlen, len(data))
+	}
+	flags := data[13]
+	*t = TCP{
+		SrcPort:    uint16(data[0])<<8 | uint16(data[1]),
+		DstPort:    uint16(data[2])<<8 | uint16(data[3]),
+		Seq:        uint32(data[4])<<24 | uint32(data[5])<<16 | uint32(data[6])<<8 | uint32(data[7]),
+		Ack:        uint32(data[8])<<24 | uint32(data[9])<<16 | uint32(data[10])<<8 | uint32(data[11]),
+		DataOffset: offset,
+		FIN:        flags&0x01 != 0,
+		SYN:        flags&0x02 != 0,
+		RST:        flags&0x04 != 0,
+		PSH:        flags&0x08 != 0,
+		ACK:        flags&0x10 != 0,
+		URG:        flags&0x20 != 0,
+		Window:     uint16(data[14])<<8 | uint16(data[15]),
+		Checksum:   uint16(data[16])<<8 | uint16(data[17]),
+		Urgent:     uint16(data[18])<<8 | uint16(data[19]),
+		contents:   data[:hlen],
+		payload:    data[hlen:],
+	}
+	if hlen > tcpMinLen {
+		t.Options = data[tcpMinLen:hlen]
+	}
+	return nil
+}
+
+// NextLayerType implements DecodingLayer for TCP.
+func (t *TCP) NextLayerType() LayerType { return LayerTypePayload }
+
+// DecodeFromBytes implements DecodingLayer for Dot1Q, in place.
+func (d *Dot1Q) DecodeFromBytes(data []byte) error {
+	if len(data) < dot1qHeaderLen {
+		return errTruncated(LayerTypeDot1Q, dot1qHeaderLen, len(data))
+	}
+	tci := uint16(data[0])<<8 | uint16(data[1])
+	*d = Dot1Q{
+		Priority:     uint8(tci >> 13),
+		DropEligible: tci&0x1000 != 0,
+		VLANID:       tci & 0x0fff,
+		Type:         EthernetType(uint16(data[2])<<8 | uint16(data[3])),
+		contents:     data[:dot1qHeaderLen],
+		payload:      data[dot1qHeaderLen:],
+	}
+	return nil
+}
+
+// NextLayerType implements DecodingLayer for Dot1Q.
+func (d *Dot1Q) NextLayerType() LayerType { return d.Type.layerType() }

@@ -1,0 +1,104 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParserDecodesKnownStack(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 999, 1000, []byte("fast"))
+	var (
+		eth Ethernet
+		ip  IPv4
+		udp UDP
+	)
+	p := NewParser(LayerTypeEthernet, &eth, &ip, &udp)
+	var decoded []LayerType
+	if err := p.DecodeLayers(frame, &decoded); err != nil {
+		// Payload layer is unregistered; parser stops there with
+		// ErrUnsupportedLayer, which is expected and non-fatal.
+		var unsup ErrUnsupportedLayer
+		if !errors.As(err, &unsup) || unsup.Type != LayerTypePayload {
+			t.Fatalf("DecodeLayers: %v", err)
+		}
+	}
+	want := []LayerType{LayerTypeEthernet, LayerTypeIPv4, LayerTypeUDP}
+	if len(decoded) != len(want) {
+		t.Fatalf("decoded %v, want %v", decoded, want)
+	}
+	for i := range want {
+		if decoded[i] != want[i] {
+			t.Errorf("decoded[%d] = %v, want %v", i, decoded[i], want[i])
+		}
+	}
+	if udp.SrcPort != 999 || udp.DstPort != 1000 {
+		t.Errorf("udp = %v", &udp)
+	}
+	if !ip.SrcIP.Equal(ip1) {
+		t.Errorf("ip = %v", &ip)
+	}
+}
+
+func TestParserReusesLayers(t *testing.T) {
+	var (
+		eth Ethernet
+		ip  IPv4
+		udp UDP
+	)
+	p := NewParser(LayerTypeEthernet, &eth, &ip, &udp)
+	var decoded []LayerType
+	for i := uint16(1); i <= 100; i++ {
+		frame, _ := BuildUDP(mac1, mac2, ip1, ip2, i, i+1, nil)
+		_ = p.DecodeLayers(frame, &decoded)
+		if udp.SrcPort != i || udp.DstPort != i+1 {
+			t.Fatalf("iteration %d: udp = %v", i, &udp)
+		}
+	}
+}
+
+func TestParserVLANBranch(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 10, 20, nil)
+	tagged, _ := WithVLANTag(frame, 7, 0)
+	var (
+		eth Ethernet
+		dq  Dot1Q
+		ip  IPv4
+		udp UDP
+	)
+	p := NewParser(LayerTypeEthernet, &eth, &dq, &ip, &udp)
+	var decoded []LayerType
+	_ = p.DecodeLayers(tagged, &decoded)
+	if len(decoded) != 4 {
+		t.Fatalf("decoded %v, want 4 layers", decoded)
+	}
+	if dq.VLANID != 7 {
+		t.Errorf("vlan = %d, want 7", dq.VLANID)
+	}
+	// The same parser must also handle the untagged variant.
+	_ = p.DecodeLayers(frame, &decoded)
+	if len(decoded) != 3 {
+		t.Fatalf("untagged decoded %v, want 3 layers", decoded)
+	}
+}
+
+func TestParserTruncatedReturnsError(t *testing.T) {
+	frame, _ := BuildUDP(mac1, mac2, ip1, ip2, 10, 20, nil)
+	var (
+		eth Ethernet
+		ip  IPv4
+		udp UDP
+	)
+	p := NewParser(LayerTypeEthernet, &eth, &ip, &udp)
+	var decoded []LayerType
+	err := p.DecodeLayers(frame[:16], &decoded)
+	if err == nil {
+		t.Fatal("want error for truncated frame")
+	}
+	var unsup ErrUnsupportedLayer
+	if errors.As(err, &unsup) {
+		t.Fatalf("want truncation error, got %v", err)
+	}
+	if len(decoded) != 1 || decoded[0] != LayerTypeEthernet {
+		t.Errorf("decoded = %v, want [Ethernet]", decoded)
+	}
+}

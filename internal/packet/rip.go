@@ -1,0 +1,110 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// RIP commands.
+const (
+	RIPRequest  uint8 = 1
+	RIPResponse uint8 = 2
+)
+
+// RIPInfinity is the metric meaning "unreachable".
+const RIPInfinity = 16
+
+// RIPEntry is one route in a RIP message.
+type RIPEntry struct {
+	AddressFamily uint16
+	RouteTag      uint16
+	IP            net.IP
+	Mask          net.IPMask
+	NextHop       net.IP
+	Metric        uint32
+}
+
+// RIP is a RIPv2 message (RFC 2453).
+type RIP struct {
+	Command uint8
+	Version uint8
+	Entries []RIPEntry
+
+	contents, payload []byte
+}
+
+const (
+	ripHeaderLen = 4
+	ripEntryLen  = 20
+	// RIPMaxEntries is the per-message entry limit from RFC 2453.
+	RIPMaxEntries = 25
+)
+
+func (r *RIP) LayerType() LayerType  { return LayerTypeRIP }
+func (r *RIP) LayerContents() []byte { return r.contents }
+func (r *RIP) LayerPayload() []byte  { return r.payload }
+
+func (r *RIP) String() string {
+	return fmt.Sprintf("RIP cmd %d v%d entries %d", r.Command, r.Version, len(r.Entries))
+}
+
+func decodeRIP(data []byte, b Builder) error {
+	if len(data) < ripHeaderLen {
+		return errTruncated(LayerTypeRIP, ripHeaderLen, len(data))
+	}
+	r := &RIP{
+		Command:  data[0],
+		Version:  data[1],
+		contents: data,
+	}
+	rest := data[ripHeaderLen:]
+	for len(rest) >= ripEntryLen {
+		e := RIPEntry{
+			AddressFamily: binary.BigEndian.Uint16(rest[0:2]),
+			RouteTag:      binary.BigEndian.Uint16(rest[2:4]),
+			IP:            net.IP(append([]byte(nil), rest[4:8]...)),
+			Mask:          net.IPMask(append([]byte(nil), rest[8:12]...)),
+			NextHop:       net.IP(append([]byte(nil), rest[12:16]...)),
+			Metric:        binary.BigEndian.Uint32(rest[16:20]),
+		}
+		r.Entries = append(r.Entries, e)
+		rest = rest[ripEntryLen:]
+	}
+	r.payload = rest
+	b.AddLayer(r)
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (r *RIP) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	if len(r.Entries) > RIPMaxEntries {
+		return fmt.Errorf("packet: RIP message with %d entries exceeds limit %d", len(r.Entries), RIPMaxEntries)
+	}
+	buf := b.PrependBytes(ripHeaderLen + ripEntryLen*len(r.Entries))
+	buf[0] = r.Command
+	buf[1] = r.Version
+	buf[2], buf[3] = 0, 0
+	off := ripHeaderLen
+	for _, e := range r.Entries {
+		ip, nh := e.IP.To4(), e.NextHop.To4()
+		if ip == nil {
+			return fmt.Errorf("packet: RIP entry with non-IPv4 address %v", e.IP)
+		}
+		if nh == nil {
+			nh = net.IPv4zero.To4()
+		}
+		mask := e.Mask
+		if len(mask) != 4 {
+			mask = net.IPMask(net.IPv4zero.To4())
+		}
+		binary.BigEndian.PutUint16(buf[off:off+2], e.AddressFamily)
+		binary.BigEndian.PutUint16(buf[off+2:off+4], e.RouteTag)
+		copy(buf[off+4:off+8], ip)
+		copy(buf[off+8:off+12], mask)
+		copy(buf[off+12:off+16], nh)
+		binary.BigEndian.PutUint32(buf[off+16:off+20], e.Metric)
+		off += ripEntryLen
+	}
+	return nil
+}

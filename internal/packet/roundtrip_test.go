@@ -1,0 +1,192 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based roundtrip tests: serialize(decode(x)) and decode(serialize(x))
+// must preserve every field for each layer type.
+
+func randMAC(r *rand.Rand) net.HardwareAddr {
+	m := make(net.HardwareAddr, 6)
+	r.Read(m)
+	m[0] &^= 0x01 // unicast
+	return m
+}
+
+func randIP(r *rand.Rand) net.IP {
+	ip := make(net.IP, 4)
+	r.Read(ip)
+	return ip
+}
+
+func TestQuickUDPRoundtrip(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		frame, err := BuildUDP(mac1, mac2, ip1, ip2, sp, dp, payload)
+		if err != nil {
+			return false
+		}
+		p := NewPacket(frame, LayerTypeEthernet, Default)
+		if p.ErrorLayer() != nil {
+			return false
+		}
+		u, ok := p.TransportLayer().(*UDP)
+		if !ok || u.SrcPort != sp || u.DstPort != dp {
+			return false
+		}
+		return bytes.Equal(u.LayerPayload(), payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIPv4HeaderRoundtrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(tos, ttl uint8, id uint16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src, dst := randIP(r), randIP(r)
+		in := &IPv4{TOS: tos, ID: id, TTL: ttl, Protocol: IPProtocol(200), SrcIP: src, DstIP: dst}
+		buf := NewSerializeBuffer()
+		if err := SerializeLayers(buf, FixAll, in, Payload([]byte("xyz"))); err != nil {
+			return false
+		}
+		p := NewPacket(buf.Bytes(), LayerTypeIPv4, Default)
+		out, ok := p.Layer(LayerTypeIPv4).(*IPv4)
+		if !ok {
+			return false
+		}
+		return out.TOS == tos && out.TTL == ttl && out.ID == id &&
+			out.SrcIP.Equal(src) && out.DstIP.Equal(dst) &&
+			out.HeaderChecksumValid()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTCPRoundtrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(sp, dp uint16, seq, ack uint32, win uint16, fin, syn, rst, psh, ackf bool) bool {
+		ipl := &IPv4{TTL: 64, Protocol: IPProtocolTCP, SrcIP: ip1, DstIP: ip2}
+		in := &TCP{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Window: win,
+			FIN: fin, SYN: syn, RST: rst, PSH: psh, ACK: ackf}
+		in.SetNetworkLayerForChecksum(ipl)
+		buf := NewSerializeBuffer()
+		if err := SerializeLayers(buf, FixAll, ipl, in, Payload([]byte("q"))); err != nil {
+			return false
+		}
+		p := NewPacket(buf.Bytes(), LayerTypeIPv4, Default)
+		out, ok := p.TransportLayer().(*TCP)
+		if !ok {
+			return false
+		}
+		return out.SrcPort == sp && out.DstPort == dp && out.Seq == seq &&
+			out.Ack == ack && out.Window == win && out.FIN == fin &&
+			out.SYN == syn && out.RST == rst && out.PSH == psh && out.ACK == ackf
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSTPRoundtrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(rp, bp uint16, cost uint32, port, age, maxAge, hello, fwd uint16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := &STP{
+			BPDUType: BPDUTypeConfig,
+			RootID:   BridgeID{Priority: rp, MAC: randMAC(r)},
+			RootCost: cost,
+			BridgeID: BridgeID{Priority: bp, MAC: randMAC(r)},
+			PortID:   port, MessageAge: age, MaxAge: maxAge, HelloTime: hello, ForwardDelay: fwd,
+		}
+		frame, err := BuildBPDU(in.BridgeID.MAC, in)
+		if err != nil {
+			return false
+		}
+		p := NewPacket(frame, LayerTypeEthernet, Default)
+		out, ok := p.Layer(LayerTypeSTP).(*STP)
+		if !ok {
+			return false
+		}
+		return out.RootID.Equal(in.RootID) && out.BridgeID.Equal(in.BridgeID) &&
+			out.RootCost == cost && out.PortID == port && out.MessageAge == age &&
+			out.MaxAge == maxAge && out.HelloTime == hello && out.ForwardDelay == fwd
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVLANRoundtrip(t *testing.T) {
+	f := func(vlanRaw uint16, prioRaw uint8, payload []byte) bool {
+		vlan := vlanRaw % 4095
+		prio := prioRaw % 8
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		frame, err := BuildEthernet(mac1, mac2, EthernetType(0x0999), payload)
+		if err != nil {
+			return false
+		}
+		tagged, err := WithVLANTag(frame, vlan, prio)
+		if err != nil {
+			return false
+		}
+		inner, gotVLAN, err := StripVLANTag(tagged)
+		return err == nil && gotVLAN == vlan && bytes.Equal(inner, frame)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickChecksumVerifies(t *testing.T) {
+	// Any UDP packet built with FixAll must pass pseudo-header verification.
+	f := func(payload []byte) bool {
+		if len(payload) > 512 {
+			payload = payload[:512]
+		}
+		frame, err := BuildUDP(mac1, mac2, ip1, ip2, 5, 6, payload)
+		if err != nil {
+			return false
+		}
+		p := NewPacket(frame, LayerTypeEthernet, Default)
+		ipL, ok1 := p.NetworkLayer().(*IPv4)
+		u, ok2 := p.TransportLayer().(*UDP)
+		if !ok1 || !ok2 {
+			return false
+		}
+		var src, dst [4]byte
+		copy(src[:], ipL.SrcIP.To4())
+		copy(dst[:], ipL.DstIP.To4())
+		// Recomputing over the received bytes must give 0 (valid).
+		seg := append(append([]byte(nil), u.LayerContents()...), u.LayerPayload()...)
+		return pseudoHeaderChecksum(src, dst, uint8(IPProtocolUDP), seg) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	// Fuzz-ish property: arbitrary bytes never panic the decoder; they
+	// either decode or produce an ErrorLayer.
+	f := func(data []byte) bool {
+		p := NewPacket(data, LayerTypeEthernet, Default)
+		_ = p.Layers()
+		_ = p.String()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package packet
+
+// SerializableLayer is a layer that can be written back to wire format.
+type SerializableLayer interface {
+	// SerializeTo prepends this layer's wire representation onto the
+	// buffer, treating the buffer's current contents as its payload.
+	SerializeTo(b *SerializeBuffer, opts SerializeOptions) error
+	LayerType() LayerType
+}
+
+// SerializeOptions controls how layers are written.
+type SerializeOptions struct {
+	// FixLengths recomputes length fields (IPv4 total length, UDP
+	// length, …) from the actual payload sizes.
+	FixLengths bool
+	// ComputeChecksums recomputes checksum fields (IPv4 header checksum,
+	// UDP/TCP/ICMP checksums).
+	ComputeChecksums bool
+}
+
+// FixAll recomputes both lengths and checksums; what callers almost always
+// want when building packets from scratch.
+var FixAll = SerializeOptions{FixLengths: true, ComputeChecksums: true}
+
+// SerializeBuffer accumulates a packet back-to-front: each layer prepends
+// its header in front of what is already there. The zero value is ready to
+// use.
+type SerializeBuffer struct {
+	buf   []byte // storage; live data occupies buf[start:]
+	start int
+}
+
+// NewSerializeBuffer returns an empty buffer with a small amount of
+// preallocated headroom.
+func NewSerializeBuffer() *SerializeBuffer {
+	const headroom = 256
+	return &SerializeBuffer{buf: make([]byte, headroom), start: headroom}
+}
+
+// Bytes returns the serialized packet so far.
+func (b *SerializeBuffer) Bytes() []byte { return b.buf[b.start:] }
+
+// Clear empties the buffer for reuse, keeping its storage.
+func (b *SerializeBuffer) Clear() { b.start = len(b.buf) }
+
+// PrependBytes makes room for n bytes in front of the current contents and
+// returns that region for the caller to fill.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	if b.start < n {
+		grow := n - b.start
+		if grow < len(b.buf)+64 {
+			grow = len(b.buf) + 64 // at least double, plus slack
+		}
+		nb := make([]byte, grow+len(b.buf))
+		copy(nb[grow:], b.buf)
+		b.buf = nb
+		b.start += grow
+	}
+	b.start -= n
+	return b.buf[b.start : b.start+n]
+}
+
+// AppendBytes makes room for n bytes after the current contents and returns
+// that region for the caller to fill. Used by trailers (rare).
+func (b *SerializeBuffer) AppendBytes(n int) []byte {
+	old := len(b.buf)
+	b.buf = append(b.buf, make([]byte, n)...)
+	return b.buf[old:]
+}
+
+// SerializeLayers clears the buffer and serializes the given layers onto it
+// in reverse order, so the first argument ends up outermost — mirroring how
+// the packet reads on the wire: SerializeLayers(buf, opts, &eth, &ip, &udp,
+// Payload(data)).
+func SerializeLayers(b *SerializeBuffer, opts SerializeOptions, layers ...SerializableLayer) error {
+	b.Clear()
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// BPDU types (IEEE 802.1D).
+const (
+	BPDUTypeConfig uint8 = 0x00
+	BPDUTypeTCN    uint8 = 0x80
+)
+
+// Configuration BPDU flag bits.
+const (
+	STPFlagTopologyChange    uint8 = 0x01
+	STPFlagTopologyChangeAck uint8 = 0x80
+)
+
+// BridgeID is an 802.1D bridge identifier: a 2-byte priority followed by
+// the bridge MAC address. Lower values win root elections.
+type BridgeID struct {
+	Priority uint16
+	MAC      net.HardwareAddr
+}
+
+// Less reports whether b beats o in a root bridge election.
+func (b BridgeID) Less(o BridgeID) bool {
+	if b.Priority != o.Priority {
+		return b.Priority < o.Priority
+	}
+	for i := 0; i < 6 && i < len(b.MAC) && i < len(o.MAC); i++ {
+		if b.MAC[i] != o.MAC[i] {
+			return b.MAC[i] < o.MAC[i]
+		}
+	}
+	return false
+}
+
+// Equal reports bridge ID equality.
+func (b BridgeID) Equal(o BridgeID) bool {
+	return b.Priority == o.Priority && b.MAC.String() == o.MAC.String()
+}
+
+func (b BridgeID) String() string {
+	return fmt.Sprintf("%d/%s", b.Priority, b.MAC)
+}
+
+// STP is an 802.1D spanning-tree BPDU. Timer fields are carried in units
+// of 1/256 s as on the wire; accessors convert where useful.
+type STP struct {
+	ProtocolID   uint16 // always 0
+	Version      uint8  // 0 for 802.1D
+	BPDUType     uint8
+	Flags        uint8
+	RootID       BridgeID
+	RootCost     uint32
+	BridgeID     BridgeID
+	PortID       uint16
+	MessageAge   uint16
+	MaxAge       uint16
+	HelloTime    uint16
+	ForwardDelay uint16
+
+	contents, payload []byte
+}
+
+const (
+	stpConfigLen = 35
+	stpTCNLen    = 4
+)
+
+func (s *STP) LayerType() LayerType  { return LayerTypeSTP }
+func (s *STP) LayerContents() []byte { return s.contents }
+func (s *STP) LayerPayload() []byte  { return s.payload }
+
+func (s *STP) String() string {
+	if s.BPDUType == BPDUTypeTCN {
+		return "STP TCN"
+	}
+	return fmt.Sprintf("STP config root %s cost %d bridge %s port %#04x",
+		s.RootID, s.RootCost, s.BridgeID, s.PortID)
+}
+
+func putBridgeID(buf []byte, id BridgeID) {
+	binary.BigEndian.PutUint16(buf[0:2], id.Priority)
+	copy(buf[2:8], id.MAC)
+}
+
+func getBridgeID(buf []byte) BridgeID {
+	return BridgeID{
+		Priority: binary.BigEndian.Uint16(buf[0:2]),
+		MAC:      net.HardwareAddr(append([]byte(nil), buf[2:8]...)),
+	}
+}
+
+func decodeSTP(data []byte, b Builder) error {
+	if len(data) < stpTCNLen {
+		return errTruncated(LayerTypeSTP, stpTCNLen, len(data))
+	}
+	s := &STP{
+		ProtocolID: binary.BigEndian.Uint16(data[0:2]),
+		Version:    data[2],
+		BPDUType:   data[3],
+	}
+	if s.ProtocolID != 0 {
+		return fmt.Errorf("packet: STP protocol ID %#04x unsupported", s.ProtocolID)
+	}
+	switch s.BPDUType {
+	case BPDUTypeTCN:
+		s.contents = data[:stpTCNLen]
+		s.payload = data[stpTCNLen:]
+	case BPDUTypeConfig:
+		if len(data) < stpConfigLen {
+			return errTruncated(LayerTypeSTP, stpConfigLen, len(data))
+		}
+		s.Flags = data[4]
+		s.RootID = getBridgeID(data[5:13])
+		s.RootCost = binary.BigEndian.Uint32(data[13:17])
+		s.BridgeID = getBridgeID(data[17:25])
+		s.PortID = binary.BigEndian.Uint16(data[25:27])
+		s.MessageAge = binary.BigEndian.Uint16(data[27:29])
+		s.MaxAge = binary.BigEndian.Uint16(data[29:31])
+		s.HelloTime = binary.BigEndian.Uint16(data[31:33])
+		s.ForwardDelay = binary.BigEndian.Uint16(data[33:35])
+		s.contents = data[:stpConfigLen]
+		s.payload = data[stpConfigLen:]
+	default:
+		return fmt.Errorf("packet: BPDU type %#02x unsupported", s.BPDUType)
+	}
+	b.AddLayer(s)
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (s *STP) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	if s.BPDUType == BPDUTypeTCN {
+		buf := b.PrependBytes(stpTCNLen)
+		binary.BigEndian.PutUint16(buf[0:2], s.ProtocolID)
+		buf[2] = s.Version
+		buf[3] = s.BPDUType
+		return nil
+	}
+	if len(s.RootID.MAC) != 6 || len(s.BridgeID.MAC) != 6 {
+		return fmt.Errorf("packet: STP bridge IDs need 6-byte MACs")
+	}
+	buf := b.PrependBytes(stpConfigLen)
+	binary.BigEndian.PutUint16(buf[0:2], s.ProtocolID)
+	buf[2] = s.Version
+	buf[3] = s.BPDUType
+	buf[4] = s.Flags
+	putBridgeID(buf[5:13], s.RootID)
+	binary.BigEndian.PutUint32(buf[13:17], s.RootCost)
+	putBridgeID(buf[17:25], s.BridgeID)
+	binary.BigEndian.PutUint16(buf[25:27], s.PortID)
+	binary.BigEndian.PutUint16(buf[27:29], s.MessageAge)
+	binary.BigEndian.PutUint16(buf[29:31], s.MaxAge)
+	binary.BigEndian.PutUint16(buf[31:33], s.HelloTime)
+	binary.BigEndian.PutUint16(buf[33:35], s.ForwardDelay)
+	return nil
+}

@@ -1,0 +1,136 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCP is a TCP header. Options are carried opaquely.
+type TCP struct {
+	SrcPort, DstPort             uint16
+	Seq, Ack                     uint32
+	DataOffset                   uint8 // header length in 32-bit words
+	FIN, SYN, RST, PSH, ACK, URG bool
+	Window                       uint16
+	Checksum                     uint16
+	Urgent                       uint16
+	Options                      []byte
+
+	ip *IPv4
+
+	contents, payload []byte
+}
+
+const tcpMinLen = 20
+
+func (t *TCP) LayerType() LayerType  { return LayerTypeTCP }
+func (t *TCP) LayerContents() []byte { return t.contents }
+func (t *TCP) LayerPayload() []byte  { return t.payload }
+
+// TransportFlow returns the src→dst port flow.
+func (t *TCP) TransportFlow() Flow {
+	return NewFlow(TCPPortEndpoint(t.SrcPort), TCPPortEndpoint(t.DstPort))
+}
+
+func (t *TCP) String() string {
+	return fmt.Sprintf("TCP %d > %d seq %d ack %d", t.SrcPort, t.DstPort, t.Seq, t.Ack)
+}
+
+// SetNetworkLayerForChecksum provides the IPv4 header whose addresses feed
+// the pseudo-header checksum during serialization.
+func (t *TCP) SetNetworkLayerForChecksum(ip *IPv4) { t.ip = ip }
+
+func decodeTCP(data []byte, b Builder) error {
+	if len(data) < tcpMinLen {
+		return errTruncated(LayerTypeTCP, tcpMinLen, len(data))
+	}
+	offset := data[12] >> 4
+	hlen := int(offset) * 4
+	if hlen < tcpMinLen || hlen > len(data) {
+		return fmt.Errorf("packet: TCP data offset %d invalid for %d bytes", hlen, len(data))
+	}
+	flags := data[13]
+	t := &TCP{
+		SrcPort:    binary.BigEndian.Uint16(data[0:2]),
+		DstPort:    binary.BigEndian.Uint16(data[2:4]),
+		Seq:        binary.BigEndian.Uint32(data[4:8]),
+		Ack:        binary.BigEndian.Uint32(data[8:12]),
+		DataOffset: offset,
+		FIN:        flags&0x01 != 0,
+		SYN:        flags&0x02 != 0,
+		RST:        flags&0x04 != 0,
+		PSH:        flags&0x08 != 0,
+		ACK:        flags&0x10 != 0,
+		URG:        flags&0x20 != 0,
+		Window:     binary.BigEndian.Uint16(data[14:16]),
+		Checksum:   binary.BigEndian.Uint16(data[16:18]),
+		Urgent:     binary.BigEndian.Uint16(data[18:20]),
+		contents:   data[:hlen],
+		payload:    data[hlen:],
+	}
+	if hlen > tcpMinLen {
+		t.Options = data[tcpMinLen:hlen]
+	}
+	b.AddLayer(t)
+	b.SetTransportLayer(t)
+	return b.NextDecoder(LayerTypePayload, t.payload)
+}
+
+func (t *TCP) flagByte() uint8 {
+	var f uint8
+	if t.FIN {
+		f |= 0x01
+	}
+	if t.SYN {
+		f |= 0x02
+	}
+	if t.RST {
+		f |= 0x04
+	}
+	if t.PSH {
+		f |= 0x08
+	}
+	if t.ACK {
+		f |= 0x10
+	}
+	if t.URG {
+		f |= 0x20
+	}
+	return f
+}
+
+// SerializeTo implements SerializableLayer.
+func (t *TCP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	if len(t.Options)%4 != 0 {
+		return fmt.Errorf("packet: TCP options length %d not a multiple of 4", len(t.Options))
+	}
+	hlen := tcpMinLen + len(t.Options)
+	buf := b.PrependBytes(hlen)
+	binary.BigEndian.PutUint16(buf[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(buf[4:8], t.Seq)
+	binary.BigEndian.PutUint32(buf[8:12], t.Ack)
+	offset := t.DataOffset
+	if opts.FixLengths || offset == 0 {
+		offset = uint8(hlen / 4)
+		t.DataOffset = offset
+	}
+	buf[12] = offset << 4
+	buf[13] = t.flagByte()
+	binary.BigEndian.PutUint16(buf[14:16], t.Window)
+	buf[16], buf[17] = 0, 0
+	binary.BigEndian.PutUint16(buf[18:20], t.Urgent)
+	copy(buf[tcpMinLen:], t.Options)
+	if opts.ComputeChecksums {
+		if t.ip == nil {
+			return fmt.Errorf("packet: TCP checksum requested without network layer; call SetNetworkLayerForChecksum")
+		}
+		src, dst, err := t.ip.addrs4()
+		if err != nil {
+			return err
+		}
+		t.Checksum = pseudoHeaderChecksum(src, dst, uint8(IPProtocolTCP), b.Bytes())
+	}
+	binary.BigEndian.PutUint16(buf[16:18], t.Checksum)
+	return nil
+}

@@ -1,0 +1,96 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Well-known UDP ports RNL's device protocols use.
+const (
+	UDPPortRIP uint16 = 520
+)
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+
+	// ip is the enclosing IPv4 layer, captured during decode or set via
+	// SetNetworkLayerForChecksum during serialization.
+	ip *IPv4
+
+	contents, payload []byte
+}
+
+const udpHeaderLen = 8
+
+func (u *UDP) LayerType() LayerType  { return LayerTypeUDP }
+func (u *UDP) LayerContents() []byte { return u.contents }
+func (u *UDP) LayerPayload() []byte  { return u.payload }
+
+// TransportFlow returns the src→dst port flow.
+func (u *UDP) TransportFlow() Flow {
+	return NewFlow(UDPPortEndpoint(u.SrcPort), UDPPortEndpoint(u.DstPort))
+}
+
+func (u *UDP) String() string {
+	return fmt.Sprintf("UDP %d > %d len %d", u.SrcPort, u.DstPort, u.Length)
+}
+
+// SetNetworkLayerForChecksum provides the IPv4 header whose addresses feed
+// the pseudo-header checksum during serialization.
+func (u *UDP) SetNetworkLayerForChecksum(ip *IPv4) { u.ip = ip }
+
+func decodeUDP(data []byte, b Builder) error {
+	if len(data) < udpHeaderLen {
+		return errTruncated(LayerTypeUDP, udpHeaderLen, len(data))
+	}
+	u := &UDP{
+		SrcPort:  binary.BigEndian.Uint16(data[0:2]),
+		DstPort:  binary.BigEndian.Uint16(data[2:4]),
+		Length:   binary.BigEndian.Uint16(data[4:6]),
+		Checksum: binary.BigEndian.Uint16(data[6:8]),
+		contents: data[:udpHeaderLen],
+		payload:  data[udpHeaderLen:],
+	}
+	if int(u.Length) >= udpHeaderLen && int(u.Length) <= len(data) {
+		u.payload = data[udpHeaderLen:u.Length]
+	}
+	b.AddLayer(u)
+	b.SetTransportLayer(u)
+	if u.SrcPort == UDPPortRIP || u.DstPort == UDPPortRIP {
+		return b.NextDecoder(LayerTypeRIP, u.payload)
+	}
+	return b.NextDecoder(LayerTypePayload, u.payload)
+}
+
+// SerializeTo implements SerializableLayer.
+func (u *UDP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	payloadLen := len(b.Bytes())
+	buf := b.PrependBytes(udpHeaderLen)
+	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
+	length := u.Length
+	if opts.FixLengths {
+		length = uint16(udpHeaderLen + payloadLen)
+		u.Length = length
+	}
+	binary.BigEndian.PutUint16(buf[4:6], length)
+	buf[6], buf[7] = 0, 0
+	if opts.ComputeChecksums {
+		if u.ip == nil {
+			return fmt.Errorf("packet: UDP checksum requested without network layer; call SetNetworkLayerForChecksum")
+		}
+		src, dst, err := u.ip.addrs4()
+		if err != nil {
+			return err
+		}
+		u.Checksum = pseudoHeaderChecksum(src, dst, uint8(IPProtocolUDP), b.Bytes())
+		if u.Checksum == 0 {
+			u.Checksum = 0xffff // 0 means "no checksum" in UDP
+		}
+	}
+	binary.BigEndian.PutUint16(buf[6:8], u.Checksum)
+	return nil
+}

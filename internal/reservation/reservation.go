@@ -1,0 +1,215 @@
+// Package reservation implements RNL's shared-equipment calendar (paper
+// §2.1): every router has a schedule, users reserve a set of routers for a
+// time window before deploying, and the system can search for the next
+// period where every router in a design is simultaneously free — the
+// Outlook-style view the web UI renders.
+package reservation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rnl/internal/sim"
+)
+
+// Reservation is one booking of one router.
+type Reservation struct {
+	ID     uint64    `json:"id"`
+	Router string    `json:"router"` // inventory name
+	User   string    `json:"user"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}
+
+// overlaps reports whether two half-open intervals [Start, End) intersect.
+func (r Reservation) overlaps(start, end time.Time) bool {
+	return r.Start.Before(end) && start.Before(r.End)
+}
+
+// Calendar is the reservation book. It is safe for concurrent use.
+type Calendar struct {
+	clock sim.Clock
+
+	mu     sync.Mutex
+	nextID uint64
+	// byRouter holds each router's bookings sorted by start time.
+	byRouter map[string][]Reservation
+}
+
+// New creates an empty calendar on the given clock (sim.Real{} in
+// production, sim.Fake in tests).
+func New(clock sim.Clock) *Calendar {
+	if clock == nil {
+		clock = sim.Real{}
+	}
+	return &Calendar{clock: clock, nextID: 1, byRouter: make(map[string][]Reservation)}
+}
+
+// ErrConflict is returned when a requested window overlaps an existing
+// booking.
+type ErrConflict struct {
+	Router string
+	With   Reservation
+}
+
+func (e ErrConflict) Error() string {
+	return fmt.Sprintf("reservation: router %q already reserved by %q from %s to %s",
+		e.Router, e.With.User, e.With.Start.Format(time.RFC3339), e.With.End.Format(time.RFC3339))
+}
+
+// Reserve books every listed router for [start, end). It is atomic: if any
+// router conflicts, nothing is booked.
+func (c *Calendar) Reserve(user string, routers []string, start, end time.Time) ([]Reservation, error) {
+	if !start.Before(end) {
+		return nil, fmt.Errorf("reservation: start %v is not before end %v", start, end)
+	}
+	if len(routers) == 0 {
+		return nil, fmt.Errorf("reservation: no routers requested")
+	}
+	seen := map[string]bool{}
+	for _, r := range routers {
+		if seen[r] {
+			return nil, fmt.Errorf("reservation: router %q listed twice", r)
+		}
+		seen[r] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, router := range routers {
+		for _, existing := range c.byRouter[router] {
+			if existing.overlaps(start, end) {
+				return nil, ErrConflict{Router: router, With: existing}
+			}
+		}
+	}
+	out := make([]Reservation, 0, len(routers))
+	for _, router := range routers {
+		res := Reservation{ID: c.nextID, Router: router, User: user, Start: start, End: end}
+		c.nextID++
+		c.byRouter[router] = insertSorted(c.byRouter[router], res)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func insertSorted(list []Reservation, r Reservation) []Reservation {
+	i := sort.Search(len(list), func(i int) bool { return list[i].Start.After(r.Start) })
+	list = append(list, Reservation{})
+	copy(list[i+1:], list[i:])
+	list[i] = r
+	return list
+}
+
+// Cancel removes a booking by ID.
+func (c *Calendar) Cancel(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for router, list := range c.byRouter {
+		for i, r := range list {
+			if r.ID == id {
+				c.byRouter[router] = append(list[:i], list[i+1:]...)
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("reservation: no reservation %d", id)
+}
+
+// Schedule returns a router's bookings from now on, sorted by start.
+func (c *Calendar) Schedule(router string) []Reservation {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Reservation
+	for _, r := range c.byRouter[router] {
+		if r.End.After(now) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// HeldBy reports whether user currently holds every listed router — the
+// check Deploy performs before wiring a design.
+func (c *Calendar) HeldBy(user string, routers []string) bool {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, router := range routers {
+		held := false
+		for _, r := range c.byRouter[router] {
+			if r.User == user && !r.Start.After(now) && r.End.After(now) {
+				held = true
+				break
+			}
+		}
+		if !held {
+			return false
+		}
+	}
+	return true
+}
+
+// NextFree finds the earliest start ≥ earliest when every listed router is
+// simultaneously free for the given duration, scanning up to horizon. This
+// is the "select the next free period for all routers" button.
+func (c *Calendar) NextFree(routers []string, d time.Duration, earliest time.Time, horizon time.Duration) (time.Time, error) {
+	if d <= 0 {
+		return time.Time{}, fmt.Errorf("reservation: non-positive duration")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	limit := earliest.Add(horizon)
+	t := earliest
+	for !t.After(limit) {
+		conflictEnd, ok := c.earliestConflictLocked(routers, t, t.Add(d))
+		if !ok {
+			return t, nil
+		}
+		// Jump past the conflicting booking and retry.
+		t = conflictEnd
+	}
+	return time.Time{}, fmt.Errorf("reservation: no common free slot of %v within %v", d, horizon)
+}
+
+// earliestConflictLocked finds any booking overlapping [start, end) for the
+// routers; it returns the conflicting booking's end.
+func (c *Calendar) earliestConflictLocked(routers []string, start, end time.Time) (time.Time, bool) {
+	var worst time.Time
+	found := false
+	for _, router := range routers {
+		for _, r := range c.byRouter[router] {
+			if r.overlaps(start, end) && r.End.After(worst) {
+				worst = r.End
+				found = true
+			}
+		}
+	}
+	return worst, found
+}
+
+// ExpireBefore drops bookings that ended before t, bounding memory in
+// long-lived servers. It returns how many were removed.
+func (c *Calendar) ExpireBefore(t time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for router, list := range c.byRouter {
+		keep := list[:0]
+		for _, r := range list {
+			if r.End.After(t) {
+				keep = append(keep, r)
+			} else {
+				n++
+			}
+		}
+		if len(keep) == 0 {
+			delete(c.byRouter, router)
+		} else {
+			c.byRouter[router] = keep
+		}
+	}
+	return n
+}

@@ -1,0 +1,213 @@
+package reservation
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rnl/internal/sim"
+)
+
+var t0 = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+func newCal() (*Calendar, *sim.Fake) {
+	clk := sim.NewFake(t0)
+	return New(clk), clk
+}
+
+func TestReserveAndConflict(t *testing.T) {
+	c, _ := newCal()
+	_, err := c.Reserve("alice", []string{"r1", "r2"}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping booking of r2 must fail entirely (atomicity).
+	_, err = c.Reserve("bob", []string{"r3", "r2"}, t0.Add(30*time.Minute), t0.Add(90*time.Minute))
+	var conflict ErrConflict
+	if !errors.As(err, &conflict) {
+		t.Fatalf("want ErrConflict, got %v", err)
+	}
+	if conflict.Router != "r2" || conflict.With.User != "alice" {
+		t.Errorf("conflict detail wrong: %+v", conflict)
+	}
+	// r3 must not have been partially booked.
+	if sched := c.Schedule("r3"); len(sched) != 0 {
+		t.Errorf("r3 schedule = %v, want empty", sched)
+	}
+	// Adjacent (non-overlapping) booking succeeds: [start, end) semantics.
+	if _, err := c.Reserve("bob", []string{"r2"}, t0.Add(time.Hour), t0.Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	c, _ := newCal()
+	if _, err := c.Reserve("u", []string{"r"}, t0.Add(time.Hour), t0); err == nil {
+		t.Error("end before start should fail")
+	}
+	if _, err := c.Reserve("u", nil, t0, t0.Add(time.Hour)); err == nil {
+		t.Error("empty router list should fail")
+	}
+	if _, err := c.Reserve("u", []string{"r", "r"}, t0, t0.Add(time.Hour)); err == nil {
+		t.Error("duplicate router should fail")
+	}
+}
+
+func TestCancelFreesSlot(t *testing.T) {
+	c, _ := newCal()
+	res, err := c.Reserve("alice", []string{"r1"}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(res[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reserve("bob", []string{"r1"}, t0, t0.Add(time.Hour)); err != nil {
+		t.Fatalf("slot should be free after cancel: %v", err)
+	}
+	if err := c.Cancel(9999); err == nil {
+		t.Error("cancelling unknown ID should fail")
+	}
+}
+
+func TestHeldBy(t *testing.T) {
+	c, clk := newCal()
+	c.Reserve("alice", []string{"r1", "r2"}, t0, t0.Add(time.Hour))
+	if !c.HeldBy("alice", []string{"r1", "r2"}) {
+		t.Error("alice should hold both routers now")
+	}
+	if c.HeldBy("bob", []string{"r1"}) {
+		t.Error("bob holds nothing")
+	}
+	if c.HeldBy("alice", []string{"r1", "r3"}) {
+		t.Error("r3 is not reserved")
+	}
+	// After expiry the hold lapses.
+	clk.Advance(2 * time.Hour)
+	if c.HeldBy("alice", []string{"r1"}) {
+		t.Error("reservation expired; hold should lapse")
+	}
+}
+
+func TestNextFreeFindsGap(t *testing.T) {
+	c, _ := newCal()
+	// r1 busy 9-10 and 11-12; r2 busy 10-10:30.
+	c.Reserve("a", []string{"r1"}, t0, t0.Add(time.Hour))
+	c.Reserve("b", []string{"r1"}, t0.Add(2*time.Hour), t0.Add(3*time.Hour))
+	c.Reserve("c", []string{"r2"}, t0.Add(time.Hour), t0.Add(90*time.Minute))
+
+	// First 30-minute window where both are free: 10:30.
+	got, err := c.NextFree([]string{"r1", "r2"}, 30*time.Minute, t0, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := t0.Add(90 * time.Minute)
+	if !got.Equal(want) {
+		t.Errorf("NextFree = %v, want %v", got, want)
+	}
+	// A 2-hour window must skip past the 11-12 booking: 12:00.
+	got, err = c.NextFree([]string{"r1", "r2"}, 2*time.Hour, t0, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(t0.Add(3 * time.Hour)) {
+		t.Errorf("NextFree(2h) = %v, want %v", got, t0.Add(3*time.Hour))
+	}
+}
+
+func TestNextFreeImmediateWhenEmpty(t *testing.T) {
+	c, _ := newCal()
+	got, err := c.NextFree([]string{"r9"}, time.Hour, t0, time.Hour)
+	if err != nil || !got.Equal(t0) {
+		t.Errorf("empty calendar NextFree = %v, %v", got, err)
+	}
+}
+
+func TestNextFreeHorizonExceeded(t *testing.T) {
+	c, _ := newCal()
+	// Solid booking for 10 hours.
+	c.Reserve("a", []string{"r1"}, t0, t0.Add(10*time.Hour))
+	if _, err := c.NextFree([]string{"r1"}, time.Hour, t0, 5*time.Hour); err == nil {
+		t.Error("NextFree should fail within a fully booked horizon")
+	}
+	if _, err := c.NextFree([]string{"r1"}, 0, t0, time.Hour); err == nil {
+		t.Error("zero duration should fail")
+	}
+}
+
+func TestScheduleHidesPast(t *testing.T) {
+	c, clk := newCal()
+	c.Reserve("a", []string{"r1"}, t0, t0.Add(time.Hour))
+	c.Reserve("b", []string{"r1"}, t0.Add(2*time.Hour), t0.Add(3*time.Hour))
+	if got := len(c.Schedule("r1")); got != 2 {
+		t.Fatalf("schedule has %d entries, want 2", got)
+	}
+	clk.Advance(90 * time.Minute)
+	sched := c.Schedule("r1")
+	if len(sched) != 1 || sched[0].User != "b" {
+		t.Errorf("after expiry schedule = %v", sched)
+	}
+}
+
+func TestExpireBefore(t *testing.T) {
+	c, _ := newCal()
+	c.Reserve("a", []string{"r1"}, t0, t0.Add(time.Hour))
+	c.Reserve("b", []string{"r1"}, t0.Add(2*time.Hour), t0.Add(3*time.Hour))
+	if n := c.ExpireBefore(t0.Add(90 * time.Minute)); n != 1 {
+		t.Errorf("expired %d, want 1", n)
+	}
+	if n := c.ExpireBefore(t0.Add(10 * time.Hour)); n != 1 {
+		t.Errorf("second expire removed %d, want 1", n)
+	}
+}
+
+func TestReservationsAreSortedPerRouter(t *testing.T) {
+	c, _ := newCal()
+	c.Reserve("a", []string{"r1"}, t0.Add(4*time.Hour), t0.Add(5*time.Hour))
+	c.Reserve("b", []string{"r1"}, t0, t0.Add(time.Hour))
+	c.Reserve("c", []string{"r1"}, t0.Add(2*time.Hour), t0.Add(3*time.Hour))
+	sched := c.Schedule("r1")
+	if len(sched) != 3 {
+		t.Fatalf("len = %d", len(sched))
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i].Start.Before(sched[i-1].Start) {
+			t.Errorf("schedule not sorted: %v", sched)
+		}
+	}
+}
+
+func TestQuickNoOverlappingBookings(t *testing.T) {
+	// Property: whatever sequence of reservation attempts happens, the
+	// calendar never holds two overlapping bookings for one router.
+	type attempt struct {
+		User     uint8
+		Router   uint8
+		StartMin uint8
+		LenMin   uint8
+	}
+	f := func(attempts []attempt) bool {
+		c, _ := newCal()
+		for _, a := range attempts {
+			start := t0.Add(time.Duration(a.StartMin) * time.Minute)
+			end := start.Add(time.Duration(a.LenMin%90+1) * time.Minute)
+			router := fmt.Sprintf("r%d", a.Router%5)
+			c.Reserve(fmt.Sprintf("u%d", a.User%3), []string{router}, start, end)
+		}
+		// Verify the invariant per router.
+		for i := 0; i < 5; i++ {
+			sched := c.Schedule(fmt.Sprintf("r%d", i))
+			for j := 1; j < len(sched); j++ {
+				if sched[j].Start.Before(sched[j-1].End) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

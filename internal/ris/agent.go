@@ -1,0 +1,474 @@
+package ris
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rnl/internal/compress"
+	"rnl/internal/netsim"
+	"rnl/internal/wire"
+)
+
+// Stats counts agent activity.
+type Stats struct {
+	FramesToServer   atomic.Uint64
+	FramesFromServer atomic.Uint64
+	BytesToServer    atomic.Uint64
+	BytesFromServer  atomic.Uint64
+	Reconnects       atomic.Uint64
+}
+
+// Agent is one running RIS instance.
+type Agent struct {
+	cfg Config
+	log *slog.Logger
+
+	mu      sync.Mutex
+	conn    net.Conn
+	comp    *compress.Compressor
+	decomp  *compress.Decompressor
+	writeMu sync.Mutex
+
+	// ids filled from JoinAck: (router, port) name pair → wire IDs, and
+	// the reverse for delivery.
+	portIDs map[[2]string]portID
+	nics    map[portID]*netsim.Iface
+
+	// consoles: router wire ID → console relay state.
+	consoles map[uint32]*consoleRelay
+
+	stats     Stats
+	started   bool
+	wg        sync.WaitGroup // per-connection loops (read, keepalive)
+	consoleWg sync.WaitGroup // console readers live until the serial closes
+}
+
+type portID struct {
+	router uint32
+	port   uint32
+}
+
+// consoleRelay relays one router's serial console to at most one active
+// tunnel session at a time.
+type consoleRelay struct {
+	rw io.ReadWriter
+
+	mu      sync.Mutex
+	session uint32 // 0 when idle
+}
+
+// New builds an agent from a validated config.
+func New(cfg Config, logger *slog.Logger) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Agent{
+		cfg:      cfg,
+		log:      logger,
+		portIDs:  make(map[[2]string]portID),
+		nics:     make(map[portID]*netsim.Iface),
+		consoles: make(map[uint32]*consoleRelay),
+	}, nil
+}
+
+// Stats exposes the agent counters.
+func (a *Agent) Stats() *Stats { return &a.stats }
+
+// RouterID returns the wire ID assigned to a router name (0 if unknown —
+// valid IDs start at 1).
+func (a *Agent) RouterID(name string) uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for key, id := range a.portIDs {
+		if key[0] == name {
+			return id.router
+		}
+	}
+	return 0
+}
+
+// PortID returns the wire IDs assigned to a (router, port) name pair.
+func (a *Agent) PortID(router, port string) (routerID, portIDv uint32, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id, ok := a.portIDs[[2]string{router, port}]
+	return id.router, id.port, ok
+}
+
+// Start connects to the route server, joins the labs and begins
+// forwarding. It returns once the join completes.
+func (a *Agent) Start() error {
+	conn, err := net.Dial("tcp", a.cfg.ServerAddr)
+	if err != nil {
+		return fmt.Errorf("ris: dialing route server: %w", err)
+	}
+	if err := a.handshake(conn); err != nil {
+		conn.Close()
+		return err
+	}
+	a.mu.Lock()
+	a.conn = conn
+	a.started = true
+	a.mu.Unlock()
+	a.attachNICs()
+	a.startConsoleReaders()
+	connClosed := make(chan struct{})
+	a.wg.Add(2)
+	go func() {
+		defer a.wg.Done()
+		a.readLoop(conn)
+		close(connClosed)
+	}()
+	go a.keepaliveLoop(connClosed)
+	return nil
+}
+
+// Run keeps the agent connected until ctx ends, redialing with backoff —
+// the long-lived mode cmd/ris uses.
+func (a *Agent) Run(ctx context.Context) error {
+	backoff := time.Second
+	for {
+		err := a.Start()
+		if err == nil {
+			backoff = time.Second
+			select {
+			case <-ctx.Done():
+				a.Close()
+				return ctx.Err()
+			case <-a.connDone():
+				a.stats.Reconnects.Add(1)
+				a.log.Warn("tunnel lost; reconnecting")
+			}
+		} else {
+			a.log.Warn("connect failed", "err", err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 30*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// connDone returns a channel closed when the current connection dies.
+func (a *Agent) connDone() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		a.wg.Wait()
+		close(done)
+	}()
+	return done
+}
+
+// Close leaves the labs and stops the agent.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	if conn != nil {
+		a.writeFrame(wire.Frame{Type: wire.MsgLeave})
+		conn.Close()
+	}
+	a.wg.Wait()
+}
+
+// handshake performs Hello + Join and records assigned IDs.
+func (a *Agent) handshake(conn net.Conn) error {
+	hello, err := wire.EncodeJSON(wire.MsgHello, wire.HelloMsg{
+		Version: wire.ProtocolVersion, PCName: a.cfg.PCName, Compress: a.cfg.Compress,
+	})
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(conn, hello); err != nil {
+		return err
+	}
+	f, err := wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	var ack wire.HelloAckMsg
+	if err := wire.DecodeJSON(f, wire.MsgHelloAck, &ack); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	if ack.Compress {
+		a.comp = compress.NewCompressor()
+		a.decomp = compress.NewDecompressor()
+	} else {
+		a.comp, a.decomp = nil, nil
+	}
+	a.mu.Unlock()
+
+	join := wire.JoinMsg{}
+	for _, r := range a.cfg.Routers {
+		ra := wire.RouterAnnounce{
+			Name: r.Name, Description: r.Description, Model: r.Model,
+			Image: r.Image, Firmware: r.Firmware, HasConsole: r.Console != nil,
+		}
+		for _, p := range r.Ports {
+			ra.Ports = append(ra.Ports, wire.PortAnnounce{
+				Name: p.Name, Description: p.Description, NIC: p.NIC.Name(), Rect: p.Rect,
+			})
+		}
+		join.Routers = append(join.Routers, ra)
+	}
+	jf, err := wire.EncodeJSON(wire.MsgJoin, join)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(conn, jf); err != nil {
+		return err
+	}
+	f, err = wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	var jack wire.JoinAckMsg
+	if err := wire.DecodeJSON(f, wire.MsgJoinAck, &jack); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, assign := range jack.Routers {
+		for portName, pid := range assign.Ports {
+			key := [2]string{assign.Name, portName}
+			id := portID{router: assign.ID, port: pid}
+			a.portIDs[key] = id
+		}
+	}
+	// Build the reverse map against the config's NICs.
+	for _, r := range a.cfg.Routers {
+		for _, p := range r.Ports {
+			if id, ok := a.portIDs[[2]string{r.Name, p.Name}]; ok {
+				a.nics[id] = p.NIC
+			}
+		}
+	}
+	return nil
+}
+
+// attachNICs installs the packet-forwarding-mode receivers: every frame a
+// router port emits goes into the tunnel.
+func (a *Agent) attachNICs() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for id, nic := range a.nics {
+		id := id
+		nic.SetReceiver(func(frame []byte) {
+			a.sendPacket(id, frame)
+		})
+	}
+}
+
+// sendPacket wraps a captured frame and ships it to the route server.
+func (a *Agent) sendPacket(id portID, frame []byte) {
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	m := wire.PacketMsg{RouterID: id.router, PortID: id.port, Data: frame}
+	a.writeMu.Lock()
+	if a.comp != nil {
+		m.Data = a.comp.Compress(m.Data)
+		m.Flags |= wire.FlagCompressed
+	}
+	err := wire.WriteFrame(conn, wire.Frame{Type: wire.MsgPacket, Payload: wire.EncodePacket(m)})
+	a.writeMu.Unlock()
+	if err == nil {
+		a.stats.FramesToServer.Add(1)
+		a.stats.BytesToServer.Add(uint64(len(frame)))
+	}
+}
+
+// writeFrame serializes control-frame writes with packet writes.
+func (a *Agent) writeFrame(f wire.Frame) error {
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("ris: not connected")
+	}
+	a.writeMu.Lock()
+	defer a.writeMu.Unlock()
+	return wire.WriteFrame(conn, f)
+}
+
+// readLoop dispatches frames arriving from the route server.
+func (a *Agent) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.MsgPacket:
+			a.deliverPacket(f.Payload)
+		case wire.MsgConsoleOpen:
+			var m wire.ConsoleOpenMsg
+			if wire.DecodeJSON(f, wire.MsgConsoleOpen, &m) == nil {
+				a.consoleOpen(m)
+			}
+		case wire.MsgConsoleData:
+			if m, err := wire.DecodeConsoleData(f.Payload); err == nil {
+				a.consoleInput(m)
+			}
+		case wire.MsgConsoleClose:
+			var m wire.ConsoleCloseMsg
+			if wire.DecodeJSON(f, wire.MsgConsoleClose, &m) == nil {
+				a.consoleClose(m)
+			}
+		case wire.MsgKeepalive:
+		case wire.MsgError:
+			a.log.Warn("server error", "msg", string(f.Payload))
+		}
+	}
+}
+
+// deliverPacket unwraps a tunnel packet and transmits it on the mapped NIC.
+func (a *Agent) deliverPacket(payload []byte) {
+	m, err := wire.DecodePacket(payload)
+	if err != nil {
+		return
+	}
+	data := m.Data
+	if m.Flags&wire.FlagCompressed != 0 {
+		a.mu.Lock()
+		d := a.decomp
+		a.mu.Unlock()
+		if d == nil {
+			return
+		}
+		data, err = d.Decompress(data)
+		if err != nil {
+			return
+		}
+	}
+	a.mu.Lock()
+	nic := a.nics[portID{router: m.RouterID, port: m.PortID}]
+	a.mu.Unlock()
+	if nic == nil {
+		return
+	}
+	a.stats.FramesFromServer.Add(1)
+	a.stats.BytesFromServer.Add(uint64(len(data)))
+	nic.Transmit(data)
+}
+
+// keepaliveLoop emits periodic liveness frames until the connection dies.
+func (a *Agent) keepaliveLoop(connClosed <-chan struct{}) {
+	defer a.wg.Done()
+	t := time.NewTicker(10 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if a.writeFrame(wire.Frame{Type: wire.MsgKeepalive}) != nil {
+				return
+			}
+		case <-connClosed:
+			return
+		}
+	}
+}
+
+// --- console relaying ------------------------------------------------------
+
+// startConsoleReaders launches one reader per consoled router: device
+// output is forwarded to the server while a session is active, discarded
+// otherwise.
+func (a *Agent) startConsoleReaders() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range a.cfg.Routers {
+		if r.Console == nil {
+			continue
+		}
+		id, ok := a.portIDs[[2]string{r.Name, r.Ports[0].Name}]
+		if !ok {
+			continue
+		}
+		if _, dup := a.consoles[id.router]; dup {
+			continue
+		}
+		relay := &consoleRelay{rw: r.Console}
+		a.consoles[id.router] = relay
+		routerID := id.router
+		a.consoleWg.Add(1)
+		go func() {
+			defer a.consoleWg.Done()
+			buf := make([]byte, 4096)
+			for {
+				n, err := relay.rw.Read(buf)
+				if n > 0 {
+					relay.mu.Lock()
+					sess := relay.session
+					relay.mu.Unlock()
+					if sess != 0 {
+						a.writeFrame(wire.Frame{
+							Type: wire.MsgConsoleData,
+							Payload: wire.EncodeConsoleData(wire.ConsoleDataMsg{
+								RouterID: routerID, SessionID: sess, Data: buf[:n],
+							}),
+						})
+					}
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (a *Agent) relayFor(routerID uint32) *consoleRelay {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.consoles[routerID]
+}
+
+func (a *Agent) consoleOpen(m wire.ConsoleOpenMsg) {
+	if relay := a.relayFor(m.RouterID); relay != nil {
+		relay.mu.Lock()
+		relay.session = m.SessionID
+		relay.mu.Unlock()
+	}
+}
+
+func (a *Agent) consoleInput(m wire.ConsoleDataMsg) {
+	relay := a.relayFor(m.RouterID)
+	if relay == nil {
+		return
+	}
+	relay.mu.Lock()
+	active := relay.session == m.SessionID
+	relay.mu.Unlock()
+	if active {
+		relay.rw.Write(m.Data)
+	}
+}
+
+func (a *Agent) consoleClose(m wire.ConsoleCloseMsg) {
+	if relay := a.relayFor(m.RouterID); relay != nil {
+		relay.mu.Lock()
+		if relay.session == m.SessionID {
+			relay.session = 0
+		}
+		relay.mu.Unlock()
+	}
+}

@@ -1,0 +1,66 @@
+package ris_test
+
+import (
+	"testing"
+	"time"
+
+	"rnl/internal/netsim"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+)
+
+// TestCompressionDeclinedByServer: an agent offering compression against a
+// server with compression disabled must fall back to raw frames and still
+// pass traffic.
+func TestCompressionDeclinedByServer(t *testing.T) {
+	s := routeserver.New(routeserver.Options{AllowCompression: false, Logger: quiet()})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	mk := func(name string) (*netsim.Iface, *ris.Agent, routeserver.PortKey) {
+		dev := netsim.NewIface(name + "-dev")
+		nic := netsim.NewIface(name + "-nic")
+		w := netsim.Connect(dev, nic, nil)
+		t.Cleanup(w.Disconnect)
+		cfg := validConfig(addr)
+		cfg.PCName = "pc-" + name
+		cfg.Compress = true // offered, but the server will decline
+		cfg.Routers[0].Name = name
+		cfg.Routers[0].Ports[0].NIC = nic
+		a, err := ris.New(cfg, quiet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(a.Close)
+		rid, pid, _ := a.PortID(name, "p1")
+		return dev, a, routeserver.PortKey{Router: rid, Port: pid}
+	}
+	devA, _, pkA := mk("nca")
+	devB, _, pkB := mk("ncb")
+	got := make(chan []byte, 4)
+	devB.SetReceiver(func(f []byte) {
+		select {
+		case got <- append([]byte(nil), f...):
+		default:
+		}
+	})
+	if err := s.Deploy("nc", []routeserver.Link{{A: pkA, B: pkB}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 0x08, 0x00, 42}
+	devA.Transmit(want)
+	select {
+	case f := <-got:
+		if string(f) != string(want) {
+			t.Fatalf("frame corrupted: %x", f)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("frame never crossed the (uncompressed) tunnel")
+	}
+}

@@ -1,0 +1,99 @@
+// Package ris implements the Router Interface Software (paper §2.2): the
+// agent running on the lab PC in front of each router. It captures every
+// frame a router port emits, wraps it with the port's unique ID and ships
+// it to the route server over an outbound TCP tunnel (so equipment behind
+// corporate firewalls can still join the labs), delivers frames arriving
+// from the server to the right port, and relays serial console sessions.
+package ris
+
+import (
+	"fmt"
+	"io"
+
+	"rnl/internal/netsim"
+)
+
+// PortMap binds one router port to the PC network interface adapter it is
+// physically wired to (the mapping the lab manager defines in Fig. 3).
+type PortMap struct {
+	// Name is the router port's name as shown in the inventory.
+	Name string
+	// Description pops up when users hover the port on the web UI.
+	Description string
+	// NIC is the PC interface adapter wired to the port.
+	NIC *netsim.Iface
+	// Rect is the clickable region on the router image (x, y, w, h).
+	Rect [4]int
+}
+
+// RouterDef describes one piece of equipment the RIS fronts.
+type RouterDef struct {
+	// Name is the inventory name; it must be unique across the labs.
+	Name string
+	// Description tells users what kind of equipment this is.
+	Description string
+	// Model is the hardware model string.
+	Model string
+	// Image is the back-panel picture file name shown on the web UI.
+	Image string
+	// Firmware is the currently flashed firmware version.
+	Firmware string
+	// Console is the PC end of the serial cable to the router's console
+	// port (nil when no console is wired).
+	Console io.ReadWriter
+	// Ports maps the router's ports to NICs.
+	Ports []PortMap
+}
+
+// Config is the RIS configuration the lab manager saves before clicking
+// "Join Labs".
+type Config struct {
+	// ServerAddr is the route server address; the paper's default is
+	// netlabs.accenture.com, overridable for other deployments.
+	ServerAddr string
+	// PCName identifies this lab PC.
+	PCName string
+	// Compress offers tunnel packet compression to the server (§4).
+	Compress bool
+	// Routers is the equipment behind this PC.
+	Routers []RouterDef
+}
+
+// Validate checks the configuration for the mistakes the Fig. 3 dialog
+// prevents: duplicate router names, duplicate port names, ports without
+// NICs.
+func (c *Config) Validate() error {
+	if c.ServerAddr == "" {
+		return fmt.Errorf("ris: config needs a route server address")
+	}
+	if len(c.Routers) == 0 {
+		return fmt.Errorf("ris: config defines no routers")
+	}
+	seenRouter := map[string]bool{}
+	for _, r := range c.Routers {
+		if r.Name == "" {
+			return fmt.Errorf("ris: router with empty name")
+		}
+		if seenRouter[r.Name] {
+			return fmt.Errorf("ris: duplicate router name %q", r.Name)
+		}
+		seenRouter[r.Name] = true
+		if len(r.Ports) == 0 {
+			return fmt.Errorf("ris: router %q has no ports mapped", r.Name)
+		}
+		seenPort := map[string]bool{}
+		for _, p := range r.Ports {
+			if p.Name == "" {
+				return fmt.Errorf("ris: router %q has a port with empty name", r.Name)
+			}
+			if seenPort[p.Name] {
+				return fmt.Errorf("ris: router %q maps port %q twice", r.Name, p.Name)
+			}
+			seenPort[p.Name] = true
+			if p.NIC == nil {
+				return fmt.Errorf("ris: router %q port %q has no NIC selected", r.Name, p.Name)
+			}
+		}
+	}
+	return nil
+}

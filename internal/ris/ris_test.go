@@ -1,0 +1,159 @@
+package ris_test
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"testing"
+	"time"
+
+	"rnl/internal/netsim"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+)
+
+func quiet() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+
+func validConfig(addr string) ris.Config {
+	return ris.Config{
+		ServerAddr: addr,
+		PCName:     "pc-test",
+		Routers: []ris.RouterDef{{
+			Name:  "r1",
+			Ports: []ris.PortMap{{Name: "p1", NIC: netsim.NewIface("n1")}},
+		}},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := validConfig("127.0.0.1:1")
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		edit func(*ris.Config)
+	}{
+		{"no server", func(c *ris.Config) { c.ServerAddr = "" }},
+		{"no routers", func(c *ris.Config) { c.Routers = nil }},
+		{"empty router name", func(c *ris.Config) { c.Routers[0].Name = "" }},
+		{"dup router", func(c *ris.Config) { c.Routers = append(c.Routers, c.Routers[0]) }},
+		{"no ports", func(c *ris.Config) { c.Routers[0].Ports = nil }},
+		{"empty port name", func(c *ris.Config) { c.Routers[0].Ports[0].Name = "" }},
+		{"dup port", func(c *ris.Config) {
+			c.Routers[0].Ports = append(c.Routers[0].Ports, c.Routers[0].Ports[0])
+		}},
+		{"nil NIC", func(c *ris.Config) { c.Routers[0].Ports[0].NIC = nil }},
+	}
+	for _, c := range cases {
+		cfg := validConfig("127.0.0.1:1")
+		c.edit(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: validation should fail", c.name)
+		}
+		if _, err := ris.New(cfg, quiet()); err == nil {
+			t.Errorf("%s: New should fail", c.name)
+		}
+	}
+}
+
+func TestStartFailsWithoutServer(t *testing.T) {
+	a, err := ris.New(validConfig("127.0.0.1:1"), quiet()) // nothing listens on port 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err == nil {
+		t.Fatal("Start should fail when the route server is unreachable")
+	}
+}
+
+func TestJoinAssignsIDs(t *testing.T) {
+	s := routeserver.New(routeserver.Options{Logger: quiet()})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	a, err := ris.New(validConfig(addr), quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+
+	if id := a.RouterID("r1"); id == 0 {
+		t.Error("router ID not assigned")
+	}
+	if _, _, ok := a.PortID("r1", "p1"); !ok {
+		t.Error("port ID not assigned")
+	}
+	if _, _, ok := a.PortID("r1", "ghost"); ok {
+		t.Error("unknown port should have no ID")
+	}
+	if id := a.RouterID("ghost"); id != 0 {
+		t.Error("unknown router should have ID 0")
+	}
+	// The server sees the inventory.
+	inv := s.Inventory()
+	if len(inv) != 1 || inv[0].Name != "r1" || inv[0].PC != "pc-test" {
+		t.Errorf("inventory = %+v", inv)
+	}
+}
+
+func TestRunReconnects(t *testing.T) {
+	s := routeserver.New(routeserver.Options{Logger: quiet()})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := ris.New(validConfig(addr), quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		a.Run(ctx)
+		close(done)
+	}()
+
+	// Wait for the first join.
+	deadline := time.Now().Add(3 * time.Second)
+	for len(s.Inventory()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(s.Inventory()) != 1 {
+		t.Fatal("agent never joined")
+	}
+
+	// Kill the server side: the agent must notice and eventually rejoin
+	// once a new server appears on the same port.
+	s.Close()
+	s2 := routeserver.New(routeserver.Options{Logger: quiet()})
+	if _, err := s2.Listen(addr); err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	defer s2.Close()
+
+	deadline = time.Now().Add(10 * time.Second)
+	for len(s2.Inventory()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(s2.Inventory()) != 1 {
+		t.Fatal("agent never rejoined the restarted server")
+	}
+	if a.Stats().Reconnects.Load() == 0 {
+		t.Error("reconnect counter did not move")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after context cancel")
+	}
+}

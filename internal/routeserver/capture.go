@@ -1,0 +1,141 @@
+package routeserver
+
+import (
+	"sync"
+	"time"
+)
+
+// CaptureDir is the direction of a captured frame relative to the port.
+type CaptureDir int
+
+// Capture directions.
+const (
+	DirFromPort CaptureDir = iota // frame transmitted by the router port
+	DirToPort                     // frame delivered to the router port
+)
+
+func (d CaptureDir) String() string {
+	if d == DirFromPort {
+		return "from-port"
+	}
+	return "to-port"
+}
+
+// CapturedPacket is one frame observed at a capture point.
+type CapturedPacket struct {
+	When  time.Time
+	Dir   CaptureDir
+	Port  PortKey
+	Frame []byte
+}
+
+// Capture is a software tap on a router port (paper §3.2: "RNL gives the
+// users the full visibility on every wire in the test... all traffic
+// capture is done in software, we are not constrained by the number of
+// observation points").
+type Capture struct {
+	hub  *captureHub
+	id   int
+	port PortKey
+	ch   chan CapturedPacket
+
+	mu      sync.Mutex
+	stopped bool
+	dropped uint64
+}
+
+// Packets streams captured frames. The channel is closed by Stop.
+func (c *Capture) Packets() <-chan CapturedPacket { return c.ch }
+
+// Dropped reports frames lost to a slow consumer.
+func (c *Capture) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Stop detaches the tap and closes the channel.
+func (c *Capture) Stop() {
+	c.hub.remove(c)
+	c.mu.Lock()
+	if !c.stopped {
+		c.stopped = true
+		close(c.ch)
+	}
+	c.mu.Unlock()
+}
+
+// captureHub fans captured frames out to taps.
+type captureHub struct {
+	mu     sync.RWMutex
+	taps   map[PortKey][]*Capture
+	nextID int
+}
+
+func newCaptureHub() *captureHub {
+	return &captureHub{taps: make(map[PortKey][]*Capture)}
+}
+
+// add installs a tap with the given channel depth.
+func (h *captureHub) add(port PortKey, depth int) *Capture {
+	if depth <= 0 {
+		depth = 256
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := &Capture{hub: h, id: h.nextID, port: port, ch: make(chan CapturedPacket, depth)}
+	h.nextID++
+	h.taps[port] = append(h.taps[port], c)
+	return c
+}
+
+func (h *captureHub) remove(c *Capture) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	taps := h.taps[c.port]
+	for i, t := range taps {
+		if t.id == c.id {
+			h.taps[c.port] = append(taps[:i], taps[i+1:]...)
+			break
+		}
+	}
+	if len(h.taps[c.port]) == 0 {
+		delete(h.taps, c.port)
+	}
+}
+
+// deliver copies a frame to every tap on the port. Non-blocking: slow
+// consumers lose frames (counted), the forwarding plane never stalls.
+func (h *captureHub) deliver(port PortKey, dir CaptureDir, frame []byte, stats *Stats) {
+	h.mu.RLock()
+	taps := h.taps[port]
+	if len(taps) == 0 {
+		h.mu.RUnlock()
+		return
+	}
+	cp := CapturedPacket{
+		When: time.Now(), Dir: dir, Port: port,
+		Frame: append([]byte(nil), frame...),
+	}
+	tapsCopy := append([]*Capture(nil), taps...)
+	h.mu.RUnlock()
+	for _, t := range tapsCopy {
+		t.mu.Lock()
+		if t.stopped {
+			t.mu.Unlock()
+			continue
+		}
+		select {
+		case t.ch <- cp:
+			stats.PacketsCaptured.Add(1)
+		default:
+			t.dropped++
+		}
+		t.mu.Unlock()
+	}
+}
+
+// CapturePort opens a software tap on a router port.
+func (s *Server) CapturePort(port PortKey, depth int) *Capture {
+	return s.captures.add(port, depth)
+}

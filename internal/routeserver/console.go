@@ -1,0 +1,196 @@
+package routeserver
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"rnl/internal/wire"
+)
+
+// ConsoleSession is a live relay to a router's serial console through its
+// RIS (paper §2.1: "the users could directly login to the console port of
+// the router from the browser"). It implements io.ReadWriteCloser.
+type ConsoleSession struct {
+	ID       uint32
+	RouterID uint32
+
+	hub     *consoleHub
+	send    func([]byte) error
+	notify  func()
+	readCh  chan []byte
+	readBuf []byte
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Read returns console output from the device.
+func (c *ConsoleSession) Read(p []byte) (int, error) {
+	if len(c.readBuf) == 0 {
+		select {
+		case b, ok := <-c.readCh:
+			if !ok {
+				return 0, io.EOF
+			}
+			c.readBuf = b
+		case <-c.closed:
+			// Drain anything already queued before reporting EOF.
+			select {
+			case b, ok := <-c.readCh:
+				if ok {
+					c.readBuf = b
+				}
+			default:
+			}
+			if len(c.readBuf) == 0 {
+				return 0, io.EOF
+			}
+		}
+	}
+	n := copy(p, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	return n, nil
+}
+
+// Write sends keystrokes to the device console.
+func (c *ConsoleSession) Write(p []byte) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, io.ErrClosedPipe
+	default:
+	}
+	if err := c.send(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close ends the session and tells the RIS to stop relaying.
+func (c *ConsoleSession) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.hub.detach(c.ID)
+		if c.notify != nil {
+			c.notify()
+		}
+	})
+	return nil
+}
+
+// consoleHub tracks active console sessions by ID.
+type consoleHub struct {
+	mu       sync.Mutex
+	sessions map[uint32]*ConsoleSession
+	nextID   uint32
+}
+
+func newConsoleHub() *consoleHub {
+	return &consoleHub{sessions: make(map[uint32]*ConsoleSession), nextID: 1}
+}
+
+func (h *consoleHub) attach(c *ConsoleSession) uint32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c.ID = h.nextID
+	h.nextID++
+	h.sessions[c.ID] = c
+	return c.ID
+}
+
+func (h *consoleHub) detach(id uint32) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.sessions, id)
+}
+
+// fromRIS routes console output to its session's reader.
+func (h *consoleHub) fromRIS(payload []byte) {
+	m, err := wire.DecodeConsoleData(payload)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	c := h.sessions[m.SessionID]
+	h.mu.Unlock()
+	if c == nil {
+		return
+	}
+	data := append([]byte(nil), m.Data...)
+	select {
+	case c.readCh <- data:
+	case <-c.closed:
+	}
+}
+
+// closeSession closes one session (RIS-initiated).
+func (h *consoleHub) closeSession(id uint32) {
+	h.mu.Lock()
+	c := h.sessions[id]
+	h.mu.Unlock()
+	if c != nil {
+		c.closeOnce.Do(func() {
+			close(c.closed)
+			h.detach(id)
+		})
+	}
+}
+
+// dropRouter closes every session attached to a vanished router.
+func (h *consoleHub) dropRouter(routerID uint32) {
+	h.mu.Lock()
+	var victims []*ConsoleSession
+	for _, c := range h.sessions {
+		if c.RouterID == routerID {
+			victims = append(victims, c)
+		}
+	}
+	h.mu.Unlock()
+	for _, c := range victims {
+		h.closeSession(c.ID)
+	}
+}
+
+// OpenConsole starts a console relay to a router.
+func (s *Server) OpenConsole(routerID uint32) (*ConsoleSession, error) {
+	r, ok := s.reg.get(routerID)
+	if !ok {
+		return nil, fmt.Errorf("routeserver: router %d not registered", routerID)
+	}
+	if !r.HasConsole {
+		return nil, fmt.Errorf("routeserver: router %q has no console connection", r.Name)
+	}
+	sess, ok := s.sessionFor(routerID)
+	if !ok {
+		return nil, fmt.Errorf("routeserver: router %q is offline", r.Name)
+	}
+	c := &ConsoleSession{
+		RouterID: routerID,
+		hub:      s.consoles,
+		readCh:   make(chan []byte, 1024),
+		closed:   make(chan struct{}),
+	}
+	id := s.consoles.attach(c)
+	c.send = func(data []byte) error {
+		return sess.writeFrame(wire.Frame{
+			Type:    wire.MsgConsoleData,
+			Payload: wire.EncodeConsoleData(wire.ConsoleDataMsg{RouterID: routerID, SessionID: id, Data: data}),
+		})
+	}
+	c.notify = func() {
+		f, err := wire.EncodeJSON(wire.MsgConsoleClose, wire.ConsoleCloseMsg{RouterID: routerID, SessionID: id})
+		if err == nil {
+			sess.writeFrame(f)
+		}
+	}
+	open, err := wire.EncodeJSON(wire.MsgConsoleOpen, wire.ConsoleOpenMsg{RouterID: routerID, SessionID: id})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := sess.writeFrame(open); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}

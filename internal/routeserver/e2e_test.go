@@ -1,0 +1,365 @@
+package routeserver_test
+
+import (
+	"io"
+	"log/slog"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/device"
+	"rnl/internal/netsim"
+	"rnl/internal/packet"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// labHost is one host fronted by its own RIS agent.
+type labHost struct {
+	host  *device.Host
+	agent *ris.Agent
+}
+
+// startServer runs a route server on a loopback port.
+func startServer(t *testing.T, opts routeserver.Options) *routeserver.Server {
+	t.Helper()
+	if opts.Logger == nil {
+		opts.Logger = quietLogger()
+	}
+	s := routeserver.New(opts)
+	if _, err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// addLabHost creates a host, wires it to a RIS NIC, and joins the labs.
+func addLabHost(t *testing.T, s *routeserver.Server, name, ip string, compress bool) *labHost {
+	t.Helper()
+	h := device.NewHost(name, device.FastTimers())
+	t.Cleanup(h.Close)
+	if err := h.Configure(mustIP(t, ip), mask24(), nil); err != nil {
+		t.Fatal(err)
+	}
+	nic := netsim.NewIface("pc-" + name + "/eth0")
+	w := netsim.Connect(h.Ports()[0], nic, nil)
+	t.Cleanup(w.Disconnect)
+
+	sp := netsim.NewSerialPort()
+	t.Cleanup(sp.Close)
+	go device.AttachConsole(h, sp.DeviceEnd)
+
+	agent, err := ris.New(ris.Config{
+		ServerAddr: s.Addr(),
+		PCName:     "pc-" + name,
+		Compress:   compress,
+		Routers: []ris.RouterDef{{
+			Name:        name,
+			Description: "test host " + ip,
+			Model:       "Linux Server",
+			Console:     sp.PCEnd,
+			Ports:       []ris.PortMap{{Name: "eth0", NIC: nic, Description: "only port"}},
+		}},
+	}, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+	return &labHost{host: h, agent: agent}
+}
+
+// portKeyOf resolves a (router, port) name to the server-side key.
+func portKeyOf(t *testing.T, a *ris.Agent, router, port string) routeserver.PortKey {
+	t.Helper()
+	rid, pid, ok := a.PortID(router, port)
+	if !ok {
+		t.Fatalf("no ID assignment for %s.%s", router, port)
+	}
+	return routeserver.PortKey{Router: rid, Port: pid}
+}
+
+func mustIP(t *testing.T, s string) net.IP {
+	t.Helper()
+	ip := net.ParseIP(s)
+	if ip == nil {
+		t.Fatalf("bad ip %q", s)
+	}
+	return ip
+}
+
+func mask24() net.IPMask { return net.CIDRMask(24, 32) }
+
+func TestTunnelEndToEndPing(t *testing.T) {
+	s := startServer(t, routeserver.Options{})
+	h1 := addLabHost(t, s, "hostA", "10.0.0.1", false)
+	h2 := addLabHost(t, s, "hostB", "10.0.0.2", false)
+
+	link := routeserver.Link{
+		A: portKeyOf(t, h1.agent, "hostA", "eth0"),
+		B: portKeyOf(t, h2.agent, "hostB", "eth0"),
+	}
+	if err := s.Deploy("lab1", []routeserver.Link{link}); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := h1.host.Ping(h2.host.IP(), 3*time.Second)
+	if !ok {
+		t.Fatal("ping through the RNL tunnel failed")
+	}
+	stats := s.StatsSnapshot()
+	if stats["packets_forwarded"] == 0 {
+		t.Error("route server forwarded nothing")
+	}
+	// Teardown severs the virtual wire.
+	if err := s.Teardown("lab1"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h1.host.Ping(h2.host.IP(), 200*time.Millisecond); ok {
+		t.Fatal("ping should fail after teardown")
+	}
+}
+
+func TestTunnelEndToEndPingCompressed(t *testing.T) {
+	s := startServer(t, routeserver.Options{AllowCompression: true})
+	h1 := addLabHost(t, s, "hostC", "10.0.1.1", true)
+	h2 := addLabHost(t, s, "hostD", "10.0.1.2", true)
+	link := routeserver.Link{
+		A: portKeyOf(t, h1.agent, "hostC", "eth0"),
+		B: portKeyOf(t, h2.agent, "hostD", "eth0"),
+	}
+	if err := s.Deploy("lab-comp", []routeserver.Link{link}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if ok, _ := h1.host.Ping(h2.host.IP(), 3*time.Second); !ok {
+			t.Fatalf("compressed-tunnel ping %d failed", i)
+		}
+	}
+}
+
+func TestTunnelPreservesLayer2(t *testing.T) {
+	// The paper's key fidelity claim: the tunnel carries complete L2
+	// frames, including BPDUs, "as if the two switches are directly
+	// connected". Put two STP switches behind two RIS agents and check
+	// they elect a single root through the tunnel.
+	s := startServer(t, routeserver.Options{})
+
+	mkSwitch := func(name string) (*device.Switch, *ris.Agent) {
+		sw := device.NewSwitch(name, []string{"Gi0/1"}, device.FastTimers())
+		t.Cleanup(sw.Close)
+		nic := netsim.NewIface("pc-" + name + "/eth0")
+		w := netsim.Connect(sw.Port("Gi0/1"), nic, nil)
+		t.Cleanup(w.Disconnect)
+		a, err := ris.New(ris.Config{
+			ServerAddr: s.Addr(),
+			PCName:     "pc-" + name,
+			Routers: []ris.RouterDef{{
+				Name:  name,
+				Ports: []ris.PortMap{{Name: "Gi0/1", NIC: nic}},
+			}},
+		}, quietLogger())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(a.Close)
+		return sw, a
+	}
+	sw1, a1 := mkSwitch("cat1")
+	sw2, a2 := mkSwitch("cat2")
+	link := routeserver.Link{
+		A: portKeyOf(t, a1, "cat1", "Gi0/1"),
+		B: portKeyOf(t, a2, "cat2", "Gi0/1"),
+	}
+	if err := s.Deploy("stp-lab", []routeserver.Link{link}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		r1, r2 := sw1.IsRoot(), sw2.IsRoot()
+		if r1 != r2 { // exactly one root: they heard each other's BPDUs
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("switches never agreed on an STP root through the tunnel — BPDUs lost")
+}
+
+func TestCaptureModule(t *testing.T) {
+	s := startServer(t, routeserver.Options{})
+	h1 := addLabHost(t, s, "capA", "10.0.2.1", false)
+	h2 := addLabHost(t, s, "capB", "10.0.2.2", false)
+	pkA := portKeyOf(t, h1.agent, "capA", "eth0")
+	pkB := portKeyOf(t, h2.agent, "capB", "eth0")
+	if err := s.Deploy("cap-lab", []routeserver.Link{{A: pkA, B: pkB}}); err != nil {
+		t.Fatal(err)
+	}
+	cap := s.CapturePort(pkB, 64)
+	defer cap.Stop()
+
+	if ok, _ := h1.host.Ping(h2.host.IP(), 3*time.Second); !ok {
+		t.Fatal("ping failed")
+	}
+	// The capture must contain traffic both to and from capB's port.
+	var sawTo, sawFrom bool
+	timeout := time.After(2 * time.Second)
+	for !(sawTo && sawFrom) {
+		select {
+		case cp := <-cap.Packets():
+			switch cp.Dir {
+			case routeserver.DirToPort:
+				sawTo = true
+			case routeserver.DirFromPort:
+				sawFrom = true
+			}
+		case <-timeout:
+			t.Fatalf("capture incomplete: to=%v from=%v", sawTo, sawFrom)
+		}
+	}
+}
+
+func TestInjectPacketOneDirection(t *testing.T) {
+	// Traffic generation (paper §3.2): generated traffic appears at one
+	// port only, even though the ports are wired together.
+	s := startServer(t, routeserver.Options{})
+	h1 := addLabHost(t, s, "genA", "10.0.3.1", false)
+	h2 := addLabHost(t, s, "genB", "10.0.3.2", false)
+	pkA := portKeyOf(t, h1.agent, "genA", "eth0")
+	pkB := portKeyOf(t, h2.agent, "genB", "eth0")
+	if err := s.Deploy("gen-lab", []routeserver.Link{{A: pkA, B: pkB}}); err != nil {
+		t.Fatal(err)
+	}
+	before1 := h1.host.RxIPPackets.Load()
+	before2 := h2.host.RxIPPackets.Load()
+
+	frame, err := packet.BuildUDP(h1.host.MAC(), h2.host.MAC(),
+		h1.host.IP(), h2.host.IP(), 7, 9999, []byte("generated"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InjectPacket(pkB, frame); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for h2.host.RxIPPackets.Load() == before2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h2.host.RxIPPackets.Load() == before2 {
+		t.Fatal("injected packet never reached genB")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if h1.host.RxIPPackets.Load() != before1 {
+		t.Error("one-direction injection leaked to the far port")
+	}
+}
+
+func TestConsoleThroughTunnel(t *testing.T) {
+	s := startServer(t, routeserver.Options{})
+	h1 := addLabHost(t, s, "consA", "10.0.4.1", false)
+	rid := h1.agent.RouterID("consA")
+	if rid == 0 {
+		t.Fatal("router ID not assigned")
+	}
+	cons, err := s.OpenConsole(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+
+	if _, err := cons.Write([]byte("enable\nshow version\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	var all strings.Builder
+	deadline := time.Now().Add(3 * time.Second)
+	for !strings.Contains(all.String(), "firmware version") && time.Now().Before(deadline) {
+		n, err := cons.Read(buf)
+		if n > 0 {
+			all.Write(buf[:n])
+		}
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(all.String(), "firmware version") {
+		t.Fatalf("console output missing version: %q", all.String())
+	}
+}
+
+func TestInventoryAndOfflineCleanup(t *testing.T) {
+	s := startServer(t, routeserver.Options{})
+	h1 := addLabHost(t, s, "invA", "10.0.5.1", false)
+	_ = addLabHost(t, s, "invB", "10.0.5.2", false)
+
+	inv := s.Inventory()
+	if len(inv) != 2 {
+		t.Fatalf("inventory has %d routers, want 2", len(inv))
+	}
+	r, ok := s.RouterByName("invA")
+	if !ok || len(r.Ports) != 1 || !r.HasConsole {
+		t.Fatalf("invA lookup wrong: %+v", r)
+	}
+	// Kill invA's RIS: it must vanish from the inventory and its wires
+	// must be dropped.
+	pkA := routeserver.PortKey{Router: r.ID, Port: r.Ports[0].ID}
+	rB, _ := s.RouterByName("invB")
+	if err := s.Deploy("inv-lab", []routeserver.Link{{A: pkA, B: routeserver.PortKey{Router: rB.ID, Port: rB.Ports[0].ID}}}); err != nil {
+		t.Fatal(err)
+	}
+	h1.agent.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for len(s.Inventory()) != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := len(s.Inventory()); got != 1 {
+		t.Fatalf("inventory has %d routers after RIS left, want 1", got)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	s := startServer(t, routeserver.Options{})
+	hA := addLabHost(t, s, "valA", "10.0.6.1", false)
+	hB := addLabHost(t, s, "valB", "10.0.6.2", false)
+	pkA := portKeyOf(t, hA.agent, "valA", "eth0")
+	pkB := portKeyOf(t, hB.agent, "valB", "eth0")
+
+	if err := s.Deploy("", []routeserver.Link{{A: pkA, B: pkB}}); err == nil {
+		t.Error("empty deployment name should fail")
+	}
+	if err := s.Deploy("v", []routeserver.Link{{A: pkA, B: pkA}}); err == nil {
+		t.Error("self-link should fail")
+	}
+	ghost := routeserver.PortKey{Router: 999, Port: 999}
+	if err := s.Deploy("v", []routeserver.Link{{A: pkA, B: ghost}}); err == nil {
+		t.Error("unregistered port should fail")
+	}
+	if err := s.Deploy("v", []routeserver.Link{{A: pkA, B: pkB}}); err != nil {
+		t.Fatalf("valid deploy failed: %v", err)
+	}
+	// Router-level mutual exclusion across deployments.
+	if err := s.Deploy("v2", []routeserver.Link{{A: pkA, B: pkB}}); err == nil {
+		t.Error("reusing deployed routers should fail")
+	}
+	if err := s.Deploy("v", nil); err == nil {
+		t.Error("duplicate deployment name should fail")
+	}
+	if err := s.Teardown("nope"); err == nil {
+		t.Error("tearing down unknown deployment should fail")
+	}
+	if err := s.Teardown("v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deploy("v2", []routeserver.Link{{A: pkA, B: pkB}}); err != nil {
+		t.Fatalf("deploy after teardown failed: %v", err)
+	}
+}

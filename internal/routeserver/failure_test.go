@@ -1,0 +1,101 @@
+package routeserver_test
+
+import (
+	"testing"
+	"time"
+
+	"rnl/internal/routeserver"
+)
+
+// TestRISDeathDuringDeployment: when a site's RIS drops mid-experiment,
+// its routers leave the inventory, its wires stop carrying traffic, and
+// its console sessions end — the behaviours a shared cloud needs to stay
+// sane when "specialized equipment could come and go at any time".
+func TestRISDeathDuringDeployment(t *testing.T) {
+	s := startServer(t, routeserver.Options{})
+	h1 := addLabHost(t, s, "die-h1", "10.0.7.1", false)
+	h2 := addLabHost(t, s, "die-h2", "10.0.7.2", false)
+	pk1 := portKeyOf(t, h1.agent, "die-h1", "eth0")
+	pk2 := portKeyOf(t, h2.agent, "die-h2", "eth0")
+	if err := s.Deploy("die-lab", []routeserver.Link{{A: pk1, B: pk2}}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h1.host.Ping(h2.host.IP(), 3*time.Second); !ok {
+		t.Fatal("baseline ping failed")
+	}
+
+	// Open a console session to the victim before killing its agent.
+	r1, _ := s.RouterByName("die-h1")
+	cons, err := s.OpenConsole(r1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+
+	// Kill the RIS.
+	h1.agent.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for len(s.Inventory()) != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := len(s.Inventory()); got != 1 {
+		t.Fatalf("inventory = %d routers after RIS death, want 1", got)
+	}
+
+	// The console session reports EOF rather than hanging.
+	cons.Write([]byte("enable\n")) // may or may not error; the read must end
+	buf := make([]byte, 256)
+	readDone := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := cons.Read(buf); err != nil {
+				readDone <- err
+				return
+			}
+		}
+	}()
+	select {
+	case <-readDone:
+	case <-time.After(3 * time.Second):
+		t.Fatal("console read never ended after RIS death")
+	}
+
+	// The virtual wire is gone: traffic from the survivor goes nowhere.
+	before := s.StatsSnapshot()["packets_no_route"]
+	h2.host.Ping(h1.host.IP(), 200*time.Millisecond)
+	if after := s.StatsSnapshot()["packets_no_route"]; after <= before {
+		t.Errorf("no-route counter did not move (before=%d after=%d)", before, after)
+	}
+
+	// Injection toward the dead port is now rejected.
+	if err := s.InjectPacket(pk1, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 0, 0}); err == nil {
+		t.Error("injecting to a vanished port should fail")
+	}
+}
+
+// TestStreamStopsWhenRISLeaves: a traffic stream aimed at a vanished port
+// terminates instead of spinning forever.
+func TestStreamStopsWhenRISLeaves(t *testing.T) {
+	s := startServer(t, routeserver.Options{})
+	h1 := addLabHost(t, s, "sd-h1", "10.0.8.1", false)
+	pk1 := portKeyOf(t, h1.agent, "sd-h1", "eth0")
+	frame := make([]byte, 64)
+	st, err := s.StartStream(pk1, frame, 200, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	deadline := time.Now().Add(3 * time.Second)
+	for st.Sent() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Sent() == 0 {
+		t.Fatal("stream never started")
+	}
+	h1.agent.Close()
+	select {
+	case <-st.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream kept running after its port vanished")
+	}
+}

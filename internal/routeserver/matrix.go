@@ -1,0 +1,172 @@
+package routeserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Link is one virtual wire between two router ports.
+type Link struct {
+	A, B PortKey
+}
+
+// Deployment is a deployed test lab: a named set of virtual wires whose
+// routers are exclusively owned while deployed (paper §2.3: "the routers
+// used in each deployed test lab have to be mutually exclusive").
+type Deployment struct {
+	Name    string
+	Owner   string // deploying user; "" for programmatic deployments
+	Links   []Link
+	Routers []uint32
+}
+
+// matrix is the routing matrix: the symmetric port-to-port map packets
+// follow, plus deployment bookkeeping.
+type matrix struct {
+	mu          sync.RWMutex
+	routes      map[PortKey]PortKey
+	deployments map[string]*Deployment
+	routerOwner map[uint32]string // router ID → deployment name
+}
+
+func newMatrix() *matrix {
+	return &matrix{
+		routes:      make(map[PortKey]PortKey),
+		deployments: make(map[string]*Deployment),
+		routerOwner: make(map[uint32]string),
+	}
+}
+
+// lookup returns the far end of a port's virtual wire.
+func (m *matrix) lookup(src PortKey) (PortKey, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	dst, ok := m.routes[src]
+	return dst, ok
+}
+
+// deploy installs a deployment after validation.
+func (m *matrix) deploy(name, owner string, links []Link, portExists func(PortKey) bool) error {
+	if name == "" {
+		return fmt.Errorf("routeserver: deployment needs a name")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.deployments[name]; dup {
+		return fmt.Errorf("routeserver: deployment %q already active", name)
+	}
+	routerSet := map[uint32]bool{}
+	portSeen := map[PortKey]bool{}
+	for _, l := range links {
+		if l.A == l.B {
+			return fmt.Errorf("routeserver: link connects port %s to itself", l.A)
+		}
+		for _, k := range []PortKey{l.A, l.B} {
+			if !portExists(k) {
+				return fmt.Errorf("routeserver: port %s not registered", k)
+			}
+			if portSeen[k] {
+				return fmt.Errorf("routeserver: port %s used twice in design", k)
+			}
+			if _, busy := m.routes[k]; busy {
+				return fmt.Errorf("routeserver: port %s already wired in another deployment", k)
+			}
+			portSeen[k] = true
+			routerSet[k.Router] = true
+		}
+	}
+	for rid := range routerSet {
+		if owner, busy := m.routerOwner[rid]; busy {
+			return fmt.Errorf("routeserver: router %d already reserved by deployment %q", rid, owner)
+		}
+	}
+	d := &Deployment{Name: name, Owner: owner, Links: append([]Link(nil), links...)}
+	for rid := range routerSet {
+		m.routerOwner[rid] = name
+		d.Routers = append(d.Routers, rid)
+	}
+	sort.Slice(d.Routers, func(i, j int) bool { return d.Routers[i] < d.Routers[j] })
+	for _, l := range links {
+		m.routes[l.A] = l.B
+		m.routes[l.B] = l.A
+	}
+	m.deployments[name] = d
+	return nil
+}
+
+// teardown removes a deployment's wires and frees its routers.
+func (m *matrix) teardown(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.deployments[name]
+	if !ok {
+		return fmt.Errorf("routeserver: no deployment %q", name)
+	}
+	for _, l := range d.Links {
+		delete(m.routes, l.A)
+		delete(m.routes, l.B)
+	}
+	for _, rid := range d.Routers {
+		delete(m.routerOwner, rid)
+	}
+	delete(m.deployments, name)
+	return nil
+}
+
+// dropRouter removes every wire touching a router (its RIS vanished) and
+// releases the router from its deployment.
+func (m *matrix) dropRouter(id uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for src, dst := range m.routes {
+		if src.Router == id || dst.Router == id {
+			delete(m.routes, src)
+		}
+	}
+	delete(m.routerOwner, id)
+}
+
+// list returns deployment snapshots sorted by name.
+func (m *matrix) list() []Deployment {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Deployment, 0, len(m.deployments))
+	for _, d := range m.deployments {
+		cp := *d
+		cp.Links = append([]Link(nil), d.Links...)
+		cp.Routers = append([]uint32(nil), d.Routers...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Deploy wires up a test lab on the server.
+func (s *Server) Deploy(name string, links []Link) error {
+	return s.DeployOwned(name, "", links)
+}
+
+// DeployOwned wires up a test lab, recording the deploying user so an
+// expired reservation can be reclaimed by the next user (paper §2.1:
+// "when the reservation expires, the router connections could be torn
+// down when the next user deploys her test lab design").
+func (s *Server) DeployOwned(name, owner string, links []Link) error {
+	err := s.matrix.deploy(name, owner, links, s.reg.portExists)
+	if err == nil {
+		s.log.Info("deployed", "name", name, "owner", owner, "links", len(links))
+	}
+	return err
+}
+
+// Teardown removes a deployed lab.
+func (s *Server) Teardown(name string) error {
+	err := s.matrix.teardown(name)
+	if err == nil {
+		s.log.Info("torn down", "name", name)
+	}
+	return err
+}
+
+// Deployments lists active labs.
+func (s *Server) Deployments() []Deployment { return s.matrix.list() }

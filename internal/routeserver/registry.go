@@ -1,0 +1,174 @@
+// Package routeserver implements RNL's central back-end (paper §2.3): it
+// accepts tunnel connections from RIS agents, keeps the registry of
+// available routers and ports, holds the routing matrix built from
+// deployed designs, forwards captured frames between router ports, and
+// hosts the traffic capture and generation modules.
+package routeserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PortKey uniquely identifies a router port in the labs.
+type PortKey struct {
+	Router uint32
+	Port   uint32
+}
+
+func (k PortKey) String() string { return fmt.Sprintf("%d.%d", k.Router, k.Port) }
+
+// PortInfo is a registered router port.
+type PortInfo struct {
+	ID          uint32 `json:"id"`
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	NIC         string `json:"nic,omitempty"`
+	Rect        [4]int `json:"rect,omitempty"`
+}
+
+// RouterInfo is a registered piece of equipment.
+type RouterInfo struct {
+	ID          uint32     `json:"id"`
+	Name        string     `json:"name"`
+	Description string     `json:"description,omitempty"`
+	Model       string     `json:"model,omitempty"`
+	Image       string     `json:"image,omitempty"`
+	Firmware    string     `json:"firmware,omitempty"`
+	HasConsole  bool       `json:"has_console"`
+	Online      bool       `json:"online"`
+	PC          string     `json:"pc,omitempty"`
+	Ports       []PortInfo `json:"ports"`
+
+	sessionID uint64 // owning RIS connection
+}
+
+// PortByName finds a port by name.
+func (r *RouterInfo) PortByName(name string) (PortInfo, bool) {
+	for _, p := range r.Ports {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PortInfo{}, false
+}
+
+// registry tracks every router RNL knows about. Routers vanish when their
+// RIS disconnects ("those specialized equipment defined by users could
+// come and go at any time").
+type registry struct {
+	mu         sync.RWMutex
+	routers    map[uint32]*RouterInfo
+	nextRouter uint32
+	nextPort   uint32
+}
+
+func newRegistry() *registry {
+	return &registry{routers: make(map[uint32]*RouterInfo), nextRouter: 1, nextPort: 1}
+}
+
+// add registers a router owned by a session and assigns unique IDs.
+func (g *registry) add(sessionID uint64, info RouterInfo) *RouterInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	info.ID = g.nextRouter
+	g.nextRouter++
+	for i := range info.Ports {
+		info.Ports[i].ID = g.nextPort
+		g.nextPort++
+	}
+	info.Online = true
+	info.sessionID = sessionID
+	r := &info
+	g.routers[info.ID] = r
+	return r
+}
+
+// dropSession removes every router owned by a session and returns their IDs.
+func (g *registry) dropSession(sessionID uint64) []uint32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var gone []uint32
+	for id, r := range g.routers {
+		if r.sessionID == sessionID {
+			delete(g.routers, id)
+			gone = append(gone, id)
+		}
+	}
+	return gone
+}
+
+// get returns a router by ID.
+func (g *registry) get(id uint32) (*RouterInfo, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r, ok := g.routers[id]
+	return r, ok
+}
+
+// byName returns a router by inventory name.
+func (g *registry) byName(name string) (*RouterInfo, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, r := range g.routers {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// list returns a stable snapshot of the inventory.
+func (g *registry) list() []RouterInfo {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]RouterInfo, 0, len(g.routers))
+	for _, r := range g.routers {
+		cp := *r
+		cp.Ports = append([]PortInfo(nil), r.Ports...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RouterName resolves a router ID to its inventory name.
+func (g *registry) routerName(id uint32) (string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r, ok := g.routers[id]
+	if !ok {
+		return "", false
+	}
+	return r.Name, true
+}
+
+// setFirmware updates a router's recorded firmware version.
+func (g *registry) setFirmware(name, version string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range g.routers {
+		if r.Name == name {
+			r.Firmware = version
+			return true
+		}
+	}
+	return false
+}
+
+// portExists verifies a (router, port) pair is registered.
+func (g *registry) portExists(k PortKey) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r, ok := g.routers[k.Router]
+	if !ok {
+		return false
+	}
+	for _, p := range r.Ports {
+		if p.ID == k.Port {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,439 @@
+package routeserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"rnl/internal/compress"
+	"rnl/internal/wire"
+)
+
+// Options configures a route server.
+type Options struct {
+	// AllowCompression accepts RIS compression offers (paper §4).
+	AllowCompression bool
+	// Logger receives operational events; nil means slog.Default.
+	Logger *slog.Logger
+}
+
+// Stats are the server's forwarding-plane counters.
+type Stats struct {
+	PacketsForwarded atomic.Uint64
+	BytesForwarded   atomic.Uint64
+	PacketsNoRoute   atomic.Uint64
+	PacketsInjected  atomic.Uint64
+	PacketsCaptured  atomic.Uint64
+	SessionsTotal    atomic.Uint64
+}
+
+// Server is the route server: the rendezvous point of every RIS tunnel.
+type Server struct {
+	opts Options
+	log  *slog.Logger
+
+	ln       net.Listener
+	reg      *registry
+	matrix   *matrix
+	captures *captureHub
+	consoles *consoleHub
+	stats    Stats
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextSess uint64
+	closed   bool
+	wg       sync.WaitGroup
+	onChange []func() // registry-change notifications (web UI refresh)
+}
+
+// session is one RIS tunnel connection.
+type session struct {
+	id   uint64
+	conn net.Conn
+
+	writeMu sync.Mutex
+	comp    *compress.Compressor   // outbound, nil if not negotiated
+	decomp  *compress.Decompressor // inbound, nil if not negotiated
+
+	pcName  string
+	routers []uint32
+}
+
+// writeFrame serializes writes (and outbound compression state).
+func (s *session) writeFrame(f wire.Frame) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return wire.WriteFrame(s.conn, f)
+}
+
+// writePacket encodes and sends one packet message, compressing if the
+// session negotiated it.
+func (s *session) writePacket(m wire.PacketMsg) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.comp != nil {
+		m.Data = s.comp.Compress(m.Data)
+		m.Flags |= wire.FlagCompressed
+	}
+	return wire.WriteFrame(s.conn, wire.Frame{Type: wire.MsgPacket, Payload: wire.EncodePacket(m)})
+}
+
+// New creates an unstarted server.
+func New(opts Options) *Server {
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Server{
+		opts:     opts,
+		log:      logger,
+		reg:      newRegistry(),
+		matrix:   newMatrix(),
+		captures: newCaptureHub(),
+		consoles: newConsoleHub(),
+		sessions: make(map[uint64]*session),
+		nextSess: 1,
+	}
+}
+
+// Listen starts accepting RIS tunnels on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("routeserver: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listener address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and all sessions.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.conn.Close()
+	}
+	s.wg.Wait()
+}
+
+// OnChange registers a callback fired whenever the inventory changes.
+func (s *Server) OnChange(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onChange = append(s.onChange, fn)
+}
+
+func (s *Server) fireChange() {
+	s.mu.Lock()
+	cbs := append([]func(){}, s.onChange...)
+	s.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// Inventory returns the current router registry.
+func (s *Server) Inventory() []RouterInfo { return s.reg.list() }
+
+// RouterByName finds a router by inventory name.
+func (s *Server) RouterByName(name string) (RouterInfo, bool) {
+	r, ok := s.reg.byName(name)
+	if !ok {
+		return RouterInfo{}, false
+	}
+	cp := *r
+	cp.Ports = append([]PortInfo(nil), r.Ports...)
+	return cp, true
+}
+
+// RouterName resolves a router ID to its inventory name.
+func (s *Server) RouterName(id uint32) (string, bool) { return s.reg.routerName(id) }
+
+// SetRouterFirmware records a router's flashed firmware version in the
+// inventory (called by the web server's firmware-loading feature).
+func (s *Server) SetRouterFirmware(name, version string) bool {
+	ok := s.reg.setFirmware(name, version)
+	if ok {
+		s.fireChange()
+	}
+	return ok
+}
+
+// StatsSnapshot returns a copy of the counters.
+func (s *Server) StatsSnapshot() map[string]uint64 {
+	return map[string]uint64{
+		"packets_forwarded": s.stats.PacketsForwarded.Load(),
+		"bytes_forwarded":   s.stats.BytesForwarded.Load(),
+		"packets_no_route":  s.stats.PacketsNoRoute.Load(),
+		"packets_injected":  s.stats.PacketsInjected.Load(),
+		"packets_captured":  s.stats.PacketsCaptured.Load(),
+		"sessions_total":    s.stats.SessionsTotal.Load(),
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		id := s.nextSess
+		s.nextSess++
+		sess := &session{id: id, conn: conn}
+		s.sessions[id] = sess
+		s.mu.Unlock()
+		s.stats.SessionsTotal.Add(1)
+		s.wg.Add(1)
+		go s.serveSession(sess)
+	}
+}
+
+// serveSession handshakes and runs one RIS tunnel until it drops.
+func (s *Server) serveSession(sess *session) {
+	defer s.wg.Done()
+	defer s.dropSession(sess)
+
+	if err := s.handshake(sess); err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.log.Warn("handshake failed", "session", sess.id, "err", err)
+		}
+		return
+	}
+	for {
+		f, err := wire.ReadFrame(sess.conn)
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.MsgPacket:
+			s.handlePacket(sess, f.Payload)
+		case wire.MsgConsoleData:
+			s.consoles.fromRIS(f.Payload)
+		case wire.MsgConsoleClose:
+			var m wire.ConsoleCloseMsg
+			if wire.DecodeJSON(f, wire.MsgConsoleClose, &m) == nil {
+				s.consoles.closeSession(m.SessionID)
+			}
+		case wire.MsgKeepalive:
+			// Liveness only; TCP does the rest.
+		case wire.MsgLeave:
+			return
+		default:
+			s.log.Warn("unexpected message", "session", sess.id, "type", f.Type)
+		}
+	}
+}
+
+// handshake performs Hello + Join.
+func (s *Server) handshake(sess *session) error {
+	f, err := wire.ReadFrame(sess.conn)
+	if err != nil {
+		return err
+	}
+	var hello wire.HelloMsg
+	if err := wire.DecodeJSON(f, wire.MsgHello, &hello); err != nil {
+		return err
+	}
+	if hello.Version != wire.ProtocolVersion {
+		return fmt.Errorf("protocol version %d unsupported", hello.Version)
+	}
+	sess.pcName = hello.PCName
+	useCompress := hello.Compress && s.opts.AllowCompression
+	ack, err := wire.EncodeJSON(wire.MsgHelloAck, wire.HelloAckMsg{
+		Version: wire.ProtocolVersion, Compress: useCompress,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sess.writeFrame(ack); err != nil {
+		return err
+	}
+	if useCompress {
+		sess.comp = compress.NewCompressor()
+		sess.decomp = compress.NewDecompressor()
+	}
+
+	f, err = wire.ReadFrame(sess.conn)
+	if err != nil {
+		return err
+	}
+	var join wire.JoinMsg
+	if err := wire.DecodeJSON(f, wire.MsgJoin, &join); err != nil {
+		return err
+	}
+	ackMsg := wire.JoinAckMsg{}
+	for _, ra := range join.Routers {
+		info := RouterInfo{
+			Name:        ra.Name,
+			Description: ra.Description,
+			Model:       ra.Model,
+			Image:       ra.Image,
+			Firmware:    ra.Firmware,
+			HasConsole:  ra.HasConsole,
+			PC:          hello.PCName,
+		}
+		for _, pa := range ra.Ports {
+			info.Ports = append(info.Ports, PortInfo{
+				Name: pa.Name, Description: pa.Description, NIC: pa.NIC, Rect: pa.Rect,
+			})
+		}
+		reg := s.reg.add(sess.id, info)
+		assign := wire.RouterAssignment{Name: reg.Name, ID: reg.ID, Ports: map[string]uint32{}}
+		for _, p := range reg.Ports {
+			assign.Ports[p.Name] = p.ID
+		}
+		ackMsg.Routers = append(ackMsg.Routers, assign)
+		sess.routers = append(sess.routers, reg.ID)
+	}
+	joinAck, err := wire.EncodeJSON(wire.MsgJoinAck, ackMsg)
+	if err != nil {
+		return err
+	}
+	if err := sess.writeFrame(joinAck); err != nil {
+		return err
+	}
+	s.log.Info("RIS joined", "session", sess.id, "pc", sess.pcName, "routers", len(sess.routers))
+	s.fireChange()
+	return nil
+}
+
+// dropSession removes a dead session and everything it owned.
+func (s *Server) dropSession(sess *session) {
+	sess.conn.Close()
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	gone := s.reg.dropSession(sess.id)
+	for _, id := range gone {
+		s.matrix.dropRouter(id)
+		s.consoles.dropRouter(id)
+	}
+	if len(gone) > 0 {
+		s.log.Info("RIS left", "session", sess.id, "routers", len(gone))
+		s.fireChange()
+	}
+}
+
+// sessionFor finds the session owning a router.
+func (s *Server) sessionFor(routerID uint32) (*session, bool) {
+	r, ok := s.reg.get(routerID)
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[r.sessionID]
+	return sess, ok
+}
+
+// handlePacket is the forwarding fast path (paper Fig. 4): unwrap, look up
+// the routing matrix, wrap, send to the destination RIS.
+func (s *Server) handlePacket(sess *session, payload []byte) {
+	m, err := wire.DecodePacket(payload)
+	if err != nil {
+		return
+	}
+	data := m.Data
+	if m.Flags&wire.FlagCompressed != 0 {
+		if sess.decomp == nil {
+			return
+		}
+		// Inbound decompression must follow stream order; frames of one
+		// session arrive on one goroutine, so no extra locking needed.
+		data, err = sess.decomp.Decompress(data)
+		if err != nil {
+			s.log.Warn("decompress failed", "session", sess.id, "err", err)
+			return
+		}
+	}
+	src := PortKey{Router: m.RouterID, Port: m.PortID}
+	s.captures.deliver(src, DirFromPort, data, &s.stats)
+
+	dst, ok := s.matrix.lookup(src)
+	if !ok {
+		s.stats.PacketsNoRoute.Add(1)
+		return
+	}
+	s.deliverToPort(dst, data)
+}
+
+// deliverToPort sends a frame toward a router port via its RIS.
+func (s *Server) deliverToPort(dst PortKey, data []byte) {
+	s.captures.deliver(dst, DirToPort, data, &s.stats)
+	dstSess, ok := s.sessionFor(dst.Router)
+	if !ok {
+		s.stats.PacketsNoRoute.Add(1)
+		return
+	}
+	err := dstSess.writePacket(wire.PacketMsg{RouterID: dst.Router, PortID: dst.Port, Data: data})
+	if err == nil {
+		s.stats.PacketsForwarded.Add(1)
+		s.stats.BytesForwarded.Add(uint64(len(data)))
+	}
+}
+
+// InjectPacket sends an arbitrary frame to a router port — the traffic
+// generation module (paper §2.3): "the users can generate arbitrary
+// packets and send them to any router port", in one direction only.
+func (s *Server) InjectPacket(dst PortKey, frame []byte) error {
+	if !s.reg.portExists(dst) {
+		return fmt.Errorf("routeserver: port %s not registered", dst)
+	}
+	s.stats.PacketsInjected.Add(1)
+	s.deliverToPort(dst, frame)
+	return nil
+}
+
+// InjectFromPort emits a frame onto the virtual wire as if the given
+// router port had transmitted it: it traverses the routing matrix to the
+// far end. The generation module's other direction — traffic "on any
+// wire", visible only to the far side.
+func (s *Server) InjectFromPort(src PortKey, frame []byte) error {
+	if !s.reg.portExists(src) {
+		return fmt.Errorf("routeserver: port %s not registered", src)
+	}
+	s.stats.PacketsInjected.Add(1)
+	s.captures.deliver(src, DirFromPort, frame, &s.stats)
+	dst, ok := s.matrix.lookup(src)
+	if !ok {
+		s.stats.PacketsNoRoute.Add(1)
+		return nil // unwired port: the frame falls off the open wire end
+	}
+	s.deliverToPort(dst, frame)
+	return nil
+}

@@ -1,0 +1,90 @@
+package routeserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stream is a running traffic-generation stream: the software IXIA the
+// paper's web-services API replaces ("RNL can generate traffic on any
+// wire and it can generate traffic in only one direction").
+type Stream struct {
+	port     PortKey
+	fromPort bool
+
+	sent    atomic.Uint64
+	stopped atomic.Bool
+	done    chan struct{}
+	once    sync.Once
+}
+
+// Sent reports frames injected so far.
+func (st *Stream) Sent() uint64 { return st.sent.Load() }
+
+// Done is closed when the stream finishes or is stopped.
+func (st *Stream) Done() <-chan struct{} { return st.done }
+
+// Running reports whether the stream is still injecting.
+func (st *Stream) Running() bool {
+	select {
+	case <-st.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Stop halts the stream; idempotent.
+func (st *Stream) Stop() {
+	st.stopped.Store(true)
+	// done is closed by the generator goroutine when it notices; for
+	// prompt Stop-before-start edge cases the goroutine also checks
+	// stopped before every frame.
+}
+
+// StartStream injects count copies of frame at the given rate
+// (packets/second). count <= 0 means run until stopped. fromPort selects
+// wire-side injection (see InjectFromPort); otherwise frames are
+// delivered to the port.
+func (s *Server) StartStream(port PortKey, frame []byte, pps, count int, fromPort bool) (*Stream, error) {
+	if !s.reg.portExists(port) {
+		return nil, fmt.Errorf("routeserver: port %s not registered", port)
+	}
+	if pps <= 0 {
+		return nil, fmt.Errorf("routeserver: stream rate must be positive, got %d", pps)
+	}
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("routeserver: stream needs a frame")
+	}
+	frameCopy := append([]byte(nil), frame...)
+	st := &Stream{port: port, fromPort: fromPort, done: make(chan struct{})}
+	inject := s.InjectPacket
+	if fromPort {
+		inject = s.InjectFromPort
+	}
+	interval := time.Second / time.Duration(pps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	go func() {
+		defer st.once.Do(func() { close(st.done) })
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for count <= 0 || st.sent.Load() < uint64(count) {
+			if st.stopped.Load() {
+				return
+			}
+			<-ticker.C
+			if st.stopped.Load() {
+				return
+			}
+			if err := inject(port, frameCopy); err != nil {
+				return // port vanished (RIS left)
+			}
+			st.sent.Add(1)
+		}
+	}()
+	return st, nil
+}

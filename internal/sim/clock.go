@@ -1,0 +1,141 @@
+// Package sim provides time abstractions for RNL: protocol machinery and
+// the reservation calendar run against a Clock interface so tests can use a
+// deterministic fake clock while production uses real time.
+package sim
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for components that schedule work.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// AfterFunc schedules f to run after d and returns a cancelable timer.
+	AfterFunc(d time.Duration, f func()) Timer
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+}
+
+// Timer is a cancelable scheduled callback.
+type Timer interface {
+	// Stop cancels the timer; it reports whether the call prevented the
+	// callback from firing.
+	Stop() bool
+}
+
+// Real is the wall-clock implementation of Clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Fake is a manually advanced clock for deterministic tests. The zero value
+// is not usable; call NewFake.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	nextID int
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	clock *Fake
+	id    int
+	when  time.Time
+	f     func()
+	fired bool
+}
+
+// NewFake returns a fake clock starting at the given time.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (c *Fake) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc implements Clock.
+func (c *Fake) AfterFunc(d time.Duration, f func()) Timer {
+	c.mu.Lock()
+	t := &fakeTimer{clock: c, id: c.nextID, when: c.now.Add(d), f: f}
+	c.nextID++
+	c.timers = append(c.timers, t)
+	c.mu.Unlock()
+	if d <= 0 {
+		c.Advance(0)
+	}
+	return t
+}
+
+// Sleep implements Clock. On the fake clock Sleep returns immediately:
+// deterministic tests drive time with Advance, and a blocking Sleep would
+// deadlock single-goroutine tests.
+func (c *Fake) Sleep(time.Duration) {}
+
+// Advance moves the clock forward, firing due timers in order. Callbacks
+// run without the clock lock held, so they may schedule more timers; timers
+// scheduled inside callbacks fire too if they land within the window.
+func (c *Fake) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		var next *fakeTimer
+		for _, t := range c.timers {
+			if t.fired || t.when.After(target) {
+				continue
+			}
+			if next == nil || t.when.Before(next.when) ||
+				(t.when.Equal(next.when) && t.id < next.id) {
+				next = t
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.fired = true
+		if next.when.After(c.now) {
+			c.now = next.when
+		}
+		f := next.f
+		c.mu.Unlock()
+		f()
+		c.mu.Lock()
+	}
+	c.now = target
+	c.compactLocked()
+	c.mu.Unlock()
+}
+
+// compactLocked drops fired timers to bound memory in long tests.
+func (c *Fake) compactLocked() {
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.fired {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+	sort.Slice(c.timers, func(i, j int) bool { return c.timers[i].when.Before(c.timers[j].when) })
+}
+
+// Stop implements Timer.
+func (t *fakeTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	was := t.fired
+	t.fired = true
+	return !was
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFakeAdvanceFiresDueTimers(t *testing.T) {
+	c := NewFake(time.Unix(0, 0))
+	var fired atomic.Int32
+	c.AfterFunc(10*time.Millisecond, func() { fired.Add(1) })
+	c.AfterFunc(20*time.Millisecond, func() { fired.Add(1) })
+	c.AfterFunc(time.Hour, func() { fired.Add(100) })
+
+	c.Advance(15 * time.Millisecond)
+	if got := fired.Load(); got != 1 {
+		t.Errorf("after 15ms: fired = %d, want 1", got)
+	}
+	c.Advance(10 * time.Millisecond)
+	if got := fired.Load(); got != 2 {
+		t.Errorf("after 25ms: fired = %d, want 2", got)
+	}
+	if !c.Now().Equal(time.Unix(0, 0).Add(25 * time.Millisecond)) {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	c := NewFake(time.Unix(0, 0))
+	var fired atomic.Int32
+	timer := c.AfterFunc(time.Second, func() { fired.Add(1) })
+	if !timer.Stop() {
+		t.Error("first Stop should report true")
+	}
+	if timer.Stop() {
+		t.Error("second Stop should report false")
+	}
+	c.Advance(2 * time.Second)
+	if fired.Load() != 0 {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestFakeTimersFireInOrder(t *testing.T) {
+	c := NewFake(time.Unix(0, 0))
+	var order []int
+	c.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	c.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	c.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	c.Advance(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("fire order = %v", order)
+	}
+}
+
+func TestFakeRescheduleInsideCallback(t *testing.T) {
+	c := NewFake(time.Unix(0, 0))
+	var ticks int
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 5 {
+			c.AfterFunc(10*time.Millisecond, tick)
+		}
+	}
+	c.AfterFunc(10*time.Millisecond, tick)
+	c.Advance(100 * time.Millisecond)
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5 (self-rescheduling timer chain)", ticks)
+	}
+}
+
+func TestFakeZeroDelayFiresImmediately(t *testing.T) {
+	c := NewFake(time.Unix(0, 0))
+	var fired atomic.Int32
+	c.AfterFunc(0, func() { fired.Add(1) })
+	if fired.Load() != 1 {
+		t.Error("zero-delay timer did not fire on schedule")
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = Real{}
+	before := c.Now()
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+	if !c.Now().After(before.Add(-time.Second)) {
+		t.Error("real Now went backwards")
+	}
+}

@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"rnl/internal/console"
+	"rnl/internal/reservation"
+	"rnl/internal/routeserver"
+)
+
+// Deployer turns saved designs into live labs: it checks the user's
+// reservation, resolves inventory names to wire IDs, programs the route
+// server's routing matrix, and restores saved configurations through the
+// routers' consoles (paper §2.1).
+type Deployer struct {
+	Server *routeserver.Server
+	// Cal, when non-nil, enforces that the deploying user currently
+	// holds a reservation on every router in the design.
+	Cal *reservation.Calendar
+	// ConsoleTimeout bounds each console automation command.
+	ConsoleTimeout time.Duration
+}
+
+// resolve maps a design's links onto registered port keys.
+func (dep *Deployer) resolve(d *Design) ([]routeserver.Link, error) {
+	links := make([]routeserver.Link, 0, len(d.Links))
+	for _, l := range d.Links {
+		a, err := dep.portKey(l.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := dep.portKey(l.B)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, routeserver.Link{A: a, B: b})
+	}
+	return links, nil
+}
+
+func (dep *Deployer) portKey(p PortRef) (routeserver.PortKey, error) {
+	r, ok := dep.Server.RouterByName(p.Router)
+	if !ok {
+		return routeserver.PortKey{}, fmt.Errorf("topology: router %q not in inventory (offline?)", p.Router)
+	}
+	port, ok := r.PortByName(p.Port)
+	if !ok {
+		return routeserver.PortKey{}, fmt.Errorf("topology: router %q has no port %q", p.Router, p.Port)
+	}
+	return routeserver.PortKey{Router: r.ID, Port: port.ID}, nil
+}
+
+// Deploy wires a design up. With restoreConfigs, each router with a saved
+// configuration and a console gets it replayed automatically.
+func (dep *Deployer) Deploy(user string, d *Design, restoreConfigs bool) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if dep.Cal != nil && !dep.Cal.HeldBy(user, d.Routers) {
+		return fmt.Errorf("topology: user %q does not hold a current reservation for all routers in %q", user, d.Name)
+	}
+	links, err := dep.resolve(d)
+	if err != nil {
+		return err
+	}
+	if err := dep.Server.DeployOwned(d.Name, user, links); err != nil {
+		// The blocking deployment may belong to a user whose reservation
+		// has lapsed; if so, tear it down and take over — the paper's
+		// expiry semantics.
+		if !dep.reclaimExpired(d) {
+			return err
+		}
+		if err := dep.Server.DeployOwned(d.Name, user, links); err != nil {
+			return err
+		}
+	}
+	if !restoreConfigs {
+		return nil
+	}
+	for router, cfg := range d.Configs {
+		if cfg == "" {
+			continue
+		}
+		if err := dep.restoreOne(router, cfg); err != nil {
+			// Roll back the half-deployed lab: partial restores leave
+			// the lab in an unknown state, the one thing RNL exists to
+			// prevent.
+			dep.Server.Teardown(d.Name)
+			return fmt.Errorf("topology: restoring %q: %w", router, err)
+		}
+	}
+	return nil
+}
+
+// restoreOne replays one router's saved configuration over its console.
+func (dep *Deployer) restoreOne(router, cfg string) error {
+	r, ok := dep.Server.RouterByName(router)
+	if !ok {
+		return fmt.Errorf("router offline")
+	}
+	if !r.HasConsole {
+		// Paper §2.1: unsupported routers require manual restore.
+		return fmt.Errorf("router has no console; restore manually")
+	}
+	sess, err := dep.Server.OpenConsole(r.ID)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	drv := console.NewDriver(sess, dep.consoleTimeout())
+	drv.Drain(20 * time.Millisecond)
+	return console.RestoreConfig(drv, cfg)
+}
+
+// SaveConfigs dumps the running configuration of every consoled router in
+// the design into d.Configs — what the web UI does when a user with a
+// valid reservation saves a design.
+func (dep *Deployer) SaveConfigs(d *Design) error {
+	if d.Configs == nil {
+		d.Configs = make(map[string]string)
+	}
+	for _, router := range d.Routers {
+		r, ok := dep.Server.RouterByName(router)
+		if !ok || !r.HasConsole {
+			continue // unsupported: users save these manually
+		}
+		sess, err := dep.Server.OpenConsole(r.ID)
+		if err != nil {
+			return fmt.Errorf("topology: console to %q: %w", router, err)
+		}
+		drv := console.NewDriver(sess, dep.consoleTimeout())
+		drv.Drain(20 * time.Millisecond)
+		cfg, err := console.DumpConfig(drv)
+		sess.Close()
+		if err != nil {
+			return fmt.Errorf("topology: dumping %q: %w", router, err)
+		}
+		d.Configs[router] = cfg
+	}
+	return nil
+}
+
+// reclaimExpired tears down deployments that hold routers this design
+// needs but whose owners no longer hold a current reservation. It reports
+// whether anything was reclaimed.
+func (dep *Deployer) reclaimExpired(d *Design) bool {
+	if dep.Cal == nil {
+		return false
+	}
+	need := map[string]bool{}
+	for _, r := range d.Routers {
+		need[r] = true
+	}
+	reclaimed := false
+	for _, existing := range dep.Server.Deployments() {
+		blocking := false
+		var names []string
+		for _, rid := range existing.Routers {
+			name, ok := dep.Server.RouterName(rid)
+			if !ok {
+				continue
+			}
+			names = append(names, name)
+			if need[name] {
+				blocking = true
+			}
+		}
+		if !blocking {
+			continue
+		}
+		if existing.Owner != "" && dep.Cal.HeldBy(existing.Owner, names) {
+			continue // the current holder is still entitled
+		}
+		if dep.Server.Teardown(existing.Name) == nil {
+			reclaimed = true
+		}
+	}
+	return reclaimed
+}
+
+// Teardown removes a deployed design's wires.
+func (dep *Deployer) Teardown(name string) error {
+	return dep.Server.Teardown(name)
+}
+
+func (dep *Deployer) consoleTimeout() time.Duration {
+	if dep.ConsoleTimeout > 0 {
+		return dep.ConsoleTimeout
+	}
+	return 5 * time.Second
+}

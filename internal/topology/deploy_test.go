@@ -1,0 +1,162 @@
+package topology_test
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/device"
+	"rnl/internal/netsim"
+	"rnl/internal/reservation"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+	"rnl/internal/sim"
+	"rnl/internal/topology"
+)
+
+func quiet() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+
+// deployRig is a route server plus two consoled hosts behind RIS agents.
+type deployRig struct {
+	server *routeserver.Server
+	dep    *topology.Deployer
+	cal    *reservation.Calendar
+	clk    *sim.Fake
+	hosts  map[string]*device.Host
+}
+
+func newDeployRig(t *testing.T, names ...string) *deployRig {
+	t.Helper()
+	s := routeserver.New(routeserver.Options{Logger: quiet()})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	clk := sim.NewFake(time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC))
+	rig := &deployRig{
+		server: s,
+		cal:    reservation.New(clk),
+		clk:    clk,
+		hosts:  map[string]*device.Host{},
+	}
+	rig.dep = &topology.Deployer{Server: s, Cal: rig.cal, ConsoleTimeout: 2 * time.Second}
+	for i, name := range names {
+		h := device.NewHost(name, device.FastTimers())
+		t.Cleanup(h.Close)
+		_ = h.Configure([]byte{10, 0, 0, byte(i + 1)}, []byte{255, 255, 255, 0}, nil)
+		rig.hosts[name] = h
+		nic := netsim.NewIface("pc-" + name + "/eth0")
+		w := netsim.Connect(h.Ports()[0], nic, nil)
+		t.Cleanup(w.Disconnect)
+		sp := netsim.NewSerialPort()
+		t.Cleanup(sp.Close)
+		go device.AttachConsole(h, sp.DeviceEnd)
+		a, err := ris.New(ris.Config{
+			ServerAddr: addr, PCName: "pc-" + name,
+			Routers: []ris.RouterDef{{
+				Name: name, Console: sp.PCEnd,
+				Ports: []ris.PortMap{{Name: "eth0", NIC: nic}},
+			}},
+		}, quiet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(a.Close)
+	}
+	return rig
+}
+
+func linkedDesign(name string, routers ...string) *topology.Design {
+	d := &topology.Design{Name: name, Routers: routers}
+	d.Connect(routers[0], "eth0", routers[1], "eth0")
+	return d
+}
+
+func TestDeployerReservationGateAndFakeClock(t *testing.T) {
+	rig := newDeployRig(t, "dh1", "dh2")
+	d := linkedDesign("dlab", "dh1", "dh2")
+
+	// No reservation: refused.
+	if err := rig.dep.Deploy("alice", d, false); err == nil {
+		t.Fatal("deploy without reservation should fail")
+	}
+	now := rig.clk.Now()
+	if _, err := rig.cal.Reserve("alice", d.Routers, now, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.dep.Deploy("alice", d, false); err != nil {
+		t.Fatal(err)
+	}
+	// Reservation lapses on the fake clock: bob reclaims on deploy.
+	rig.clk.Advance(2 * time.Hour)
+	now = rig.clk.Now()
+	if _, err := rig.cal.Reserve("bob", d.Routers, now, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	d2 := linkedDesign("dlab2", "dh1", "dh2")
+	if err := rig.dep.Deploy("bob", d2, false); err != nil {
+		t.Fatalf("bob should reclaim the expired lab: %v", err)
+	}
+	deps := rig.server.Deployments()
+	if len(deps) != 1 || deps[0].Name != "dlab2" || deps[0].Owner != "bob" {
+		t.Fatalf("deployments = %+v", deps)
+	}
+}
+
+func TestDeployerResolveErrors(t *testing.T) {
+	rig := newDeployRig(t, "eh1", "eh2")
+	now := rig.clk.Now()
+	if _, err := rig.cal.Reserve("u", []string{"eh1", "eh2", "ghost"}, now, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Router not in inventory.
+	d := &topology.Design{Name: "bad1", Routers: []string{"eh1", "ghost"}}
+	d.Links = []topology.Link{{A: topology.PortRef{Router: "eh1", Port: "eth0"}, B: topology.PortRef{Router: "ghost", Port: "eth0"}}}
+	if err := rig.dep.Deploy("u", d, false); err == nil || !strings.Contains(err.Error(), "not in inventory") {
+		t.Fatalf("err = %v", err)
+	}
+	// Unknown port.
+	d2 := &topology.Design{Name: "bad2", Routers: []string{"eh1", "eh2"}}
+	d2.Links = []topology.Link{{A: topology.PortRef{Router: "eh1", Port: "nope"}, B: topology.PortRef{Router: "eh2", Port: "eth0"}}}
+	if err := rig.dep.Deploy("u", d2, false); err == nil || !strings.Contains(err.Error(), "no port") {
+		t.Fatalf("err = %v", err)
+	}
+	// Invalid design caught before anything else.
+	if err := rig.dep.Deploy("u", &topology.Design{}, false); err == nil {
+		t.Fatal("invalid design should fail")
+	}
+}
+
+func TestDeployerSaveAndRestoreConfigs(t *testing.T) {
+	rig := newDeployRig(t, "ch1", "ch2")
+	d := linkedDesign("clab", "ch1", "ch2")
+
+	// Put distinctive state on ch1, then save configs.
+	device.RestoreConfig(rig.hosts["ch1"], "ip gateway 10.0.0.200")
+	if err := rig.dep.SaveConfigs(d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.Configs["ch1"], "ip gateway 10.0.0.200") {
+		t.Fatalf("saved config = %q", d.Configs["ch1"])
+	}
+	// Change the device, then deploy-with-restore brings it back.
+	device.RestoreConfig(rig.hosts["ch1"], "ip gateway 10.0.0.99")
+	now := rig.clk.Now()
+	rig.cal.Reserve("u", d.Routers, now, now.Add(time.Hour))
+	if err := rig.dep.Deploy("u", d, true); err != nil {
+		t.Fatal(err)
+	}
+	cfg := device.DumpRunningConfig(rig.hosts["ch1"])
+	if !strings.Contains(cfg, "ip gateway 10.0.0.200") {
+		t.Fatalf("config after restore:\n%s", cfg)
+	}
+	if err := rig.dep.Teardown("clab"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package topology implements RNL's design model (paper §2.1): the virtual
+// test lab a user draws on the design plane — which routers are placed,
+// which ports are wired together, and each router's saved configuration.
+// Designs serialize to JSON for the web server's design store and for the
+// "export to local drive" feature.
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// PortRef names one router port within a design.
+type PortRef struct {
+	Router string `json:"router"`
+	Port   string `json:"port"`
+}
+
+func (p PortRef) String() string { return p.Router + "." + p.Port }
+
+// Link is one virtual wire drawn between two ports.
+type Link struct {
+	A PortRef `json:"a"`
+	B PortRef `json:"b"`
+}
+
+// Design is a saved test lab layout.
+type Design struct {
+	Name    string            `json:"name"`
+	Owner   string            `json:"owner,omitempty"`
+	Routers []string          `json:"routers"` // inventory names on the design plane
+	Links   []Link            `json:"links"`
+	Configs map[string]string `json:"configs,omitempty"` // router → saved running-config
+	Notes   string            `json:"notes,omitempty"`
+	SavedAt time.Time         `json:"saved_at,omitempty"`
+}
+
+// Validate checks the structural rules the design plane enforces:
+// routers placed once, links only between placed routers, each port wired
+// at most once.
+func (d *Design) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("topology: design needs a name")
+	}
+	placed := map[string]bool{}
+	for _, r := range d.Routers {
+		if r == "" {
+			return fmt.Errorf("topology: empty router name in design %q", d.Name)
+		}
+		if placed[r] {
+			return fmt.Errorf("topology: router %q placed twice", r)
+		}
+		placed[r] = true
+	}
+	used := map[PortRef]bool{}
+	for _, l := range d.Links {
+		if l.A == l.B {
+			return fmt.Errorf("topology: link connects %s to itself", l.A)
+		}
+		for _, p := range []PortRef{l.A, l.B} {
+			if p.Router == "" || p.Port == "" {
+				return fmt.Errorf("topology: link references incomplete port %q", p)
+			}
+			if !placed[p.Router] {
+				return fmt.Errorf("topology: link references router %q not on the design plane", p.Router)
+			}
+			if used[p] {
+				return fmt.Errorf("topology: port %s wired twice", p)
+			}
+			used[p] = true
+		}
+	}
+	for r := range d.Configs {
+		if !placed[r] {
+			return fmt.Errorf("topology: saved config for router %q not in design", r)
+		}
+	}
+	return nil
+}
+
+// AddRouter places a router on the design plane.
+func (d *Design) AddRouter(name string) error {
+	for _, r := range d.Routers {
+		if r == name {
+			return fmt.Errorf("topology: router %q already placed", name)
+		}
+	}
+	d.Routers = append(d.Routers, name)
+	return nil
+}
+
+// Connect draws a wire between two ports.
+func (d *Design) Connect(aRouter, aPort, bRouter, bPort string) error {
+	l := Link{A: PortRef{aRouter, aPort}, B: PortRef{bRouter, bPort}}
+	d.Links = append(d.Links, l)
+	if err := d.Validate(); err != nil {
+		d.Links = d.Links[:len(d.Links)-1]
+		return err
+	}
+	return nil
+}
+
+// Export writes the design as indented JSON (the "export to local drive"
+// feature).
+func (d *Design) Export(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Import reads a design from JSON and validates it.
+func Import(r io.Reader) (*Design, error) {
+	var d Design
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("topology: decoding design: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Clone deep-copies a design.
+func (d *Design) Clone() *Design {
+	cp := *d
+	cp.Routers = append([]string(nil), d.Routers...)
+	cp.Links = append([]Link(nil), d.Links...)
+	if d.Configs != nil {
+		cp.Configs = make(map[string]string, len(d.Configs))
+		for k, v := range d.Configs {
+			cp.Configs[k] = v
+		}
+	}
+	return &cp
+}

@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store keeps saved designs ("The design data is stored in the web
+// server"). With a directory it persists each design as a JSON file;
+// without one it is memory-only.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	designs map[string]*Design
+}
+
+// NewStore creates a store, loading any designs already in dir.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{dir: dir, designs: make(map[string]*Design)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("topology: creating store dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("topology: reading store dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var d Design
+		if json.Unmarshal(b, &d) != nil || d.Validate() != nil {
+			continue
+		}
+		s.designs[d.Name] = &d
+	}
+	return s, nil
+}
+
+// fileFor maps a design name to a file path, rejecting path tricks.
+func (s *Store) fileFor(name string) (string, error) {
+	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return "", fmt.Errorf("topology: invalid design name %q", name)
+	}
+	return filepath.Join(s.dir, name+".json"), nil
+}
+
+// Save validates and stores a design (overwriting any previous version).
+func (s *Store) Save(d *Design) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cp := d.Clone()
+	cp.SavedAt = time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.designs[cp.Name] = cp
+	if s.dir == "" {
+		return nil
+	}
+	path, err := s.fileFor(cp.Name)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load returns a copy of a saved design.
+func (s *Store) Load(name string) (*Design, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.designs[name]
+	if !ok {
+		return nil, fmt.Errorf("topology: no design %q", name)
+	}
+	return d.Clone(), nil
+}
+
+// List returns saved design names, sorted.
+func (s *Store) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.designs))
+	for n := range s.designs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Delete removes a saved design.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.designs[name]; !ok {
+		return fmt.Errorf("topology: no design %q", name)
+	}
+	delete(s.designs, name)
+	if s.dir == "" {
+		return nil
+	}
+	path, err := s.fileFor(name)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

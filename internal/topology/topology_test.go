@@ -1,0 +1,177 @@
+package topology
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validDesign() *Design {
+	return &Design{
+		Name:    "lab1",
+		Owner:   "alice",
+		Routers: []string{"r1", "r2"},
+		Links:   []Link{{A: PortRef{"r1", "e0"}, B: PortRef{"r2", "e0"}}},
+	}
+}
+
+func TestDesignValidate(t *testing.T) {
+	if err := validDesign().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		edit func(*Design)
+	}{
+		{"empty name", func(d *Design) { d.Name = "" }},
+		{"router twice", func(d *Design) { d.Routers = append(d.Routers, "r1") }},
+		{"self link", func(d *Design) { d.Links[0].B = d.Links[0].A }},
+		{"unplaced router", func(d *Design) { d.Links[0].B.Router = "ghost" }},
+		{"port reuse", func(d *Design) {
+			d.Routers = append(d.Routers, "r3")
+			d.Links = append(d.Links, Link{A: PortRef{"r1", "e0"}, B: PortRef{"r3", "e0"}})
+		}},
+		{"config for unplaced router", func(d *Design) { d.Configs = map[string]string{"ghost": "x"} }},
+		{"incomplete port", func(d *Design) { d.Links[0].A.Port = "" }},
+	}
+	for _, c := range cases {
+		d := validDesign()
+		c.edit(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: validation should fail", c.name)
+		}
+	}
+}
+
+func TestDesignConnectRollsBackOnError(t *testing.T) {
+	d := validDesign()
+	// Connecting an already-used port must not leave a broken link.
+	if err := d.Connect("r1", "e0", "r2", "e1"); err == nil {
+		t.Fatal("reusing r1.e0 should fail")
+	}
+	if len(d.Links) != 1 {
+		t.Errorf("failed Connect left %d links", len(d.Links))
+	}
+	if err := d.Connect("r1", "e1", "r2", "e1"); err != nil {
+		t.Fatalf("valid Connect failed: %v", err)
+	}
+}
+
+func TestDesignExportImport(t *testing.T) {
+	d := validDesign()
+	d.Configs = map[string]string{"r1": "hostname r1"}
+	var buf bytes.Buffer
+	if err := d.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || len(got.Links) != 1 || got.Configs["r1"] != "hostname r1" {
+		t.Errorf("import mismatch: %+v", got)
+	}
+	// Corrupt/invalid JSON fails cleanly.
+	if _, err := Import(strings.NewReader("{nope")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if _, err := Import(strings.NewReader(`{"name":""}`)); err == nil {
+		t.Error("invalid design should fail import validation")
+	}
+}
+
+func TestDesignClone(t *testing.T) {
+	d := validDesign()
+	d.Configs = map[string]string{"r1": "a"}
+	cp := d.Clone()
+	cp.Routers[0] = "mutated"
+	cp.Configs["r1"] = "b"
+	if d.Routers[0] != "r1" || d.Configs["r1"] != "a" {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestStoreMemory(t *testing.T) {
+	s, err := NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(validDesign()); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Load("lab1")
+	if err != nil || d.Name != "lab1" {
+		t.Fatalf("Load: %v %v", d, err)
+	}
+	if got := s.List(); len(got) != 1 || got[0] != "lab1" {
+		t.Errorf("List = %v", got)
+	}
+	// Loaded copies are isolated.
+	d.Routers[0] = "mutated"
+	d2, _ := s.Load("lab1")
+	if d2.Routers[0] != "r1" {
+		t.Error("store returned a shared pointer")
+	}
+	if err := s.Delete("lab1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("lab1"); err == nil {
+		t.Error("Load after Delete should fail")
+	}
+	if err := s.Delete("lab1"); err == nil {
+		t.Error("double Delete should fail")
+	}
+}
+
+func TestStorePersistsToDisk(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := validDesign()
+	d.Notes = "persisted"
+	if err := s1.Save(d); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store over the same directory sees the design.
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Load("lab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Notes != "persisted" {
+		t.Errorf("Notes = %q", got.Notes)
+	}
+	if got.SavedAt.IsZero() {
+		t.Error("SavedAt not stamped")
+	}
+}
+
+func TestStoreRejectsPathTricks(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := validDesign()
+	d.Name = "../escape"
+	if err := s.Save(d); err == nil {
+		// Ensure nothing landed outside the store dir.
+		if _, statErr := filepath.Glob(filepath.Join(dir, "..", "escape.json")); statErr == nil {
+			t.Error("path-escaping design name was accepted")
+		}
+		t.Error("path-escaping name should fail")
+	}
+}
+
+func TestStoreSaveInvalidDesign(t *testing.T) {
+	s, _ := NewStore("")
+	if err := s.Save(&Design{}); err == nil {
+		t.Error("invalid design should not save")
+	}
+}

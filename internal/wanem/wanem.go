@@ -1,0 +1,99 @@
+// Package wanem is RNL's WAN emulator (paper §3.5): a link conditioner
+// injecting configurable delay, jitter, loss and bandwidth limits into a
+// virtual wire, so applications can be tested under real-life wide-area
+// conditions.
+package wanem
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Profile describes a WAN link's impairments.
+type Profile struct {
+	// Delay is the base one-way latency added to every frame.
+	Delay time.Duration
+	// Jitter is the maximum random extra latency (uniform in [0, Jitter]).
+	Jitter time.Duration
+	// Loss is the independent drop probability per frame, in [0, 1].
+	Loss float64
+	// RateBps caps throughput in bytes per second; 0 means unlimited.
+	// The cap is modelled as serialization delay per frame.
+	RateBps int64
+}
+
+// Common profiles for examples and tests.
+var (
+	// LAN is an ideal local link.
+	LAN = Profile{}
+	// Metro approximates a metro-area link.
+	Metro = Profile{Delay: 5 * time.Millisecond, Jitter: time.Millisecond}
+	// Transcontinental approximates a cross-country path.
+	Transcontinental = Profile{Delay: 40 * time.Millisecond, Jitter: 5 * time.Millisecond, Loss: 0.001}
+	// Intercontinental approximates a trans-oceanic path.
+	Intercontinental = Profile{Delay: 100 * time.Millisecond, Jitter: 15 * time.Millisecond, Loss: 0.005}
+)
+
+// Conditioner implements netsim.Conditioner with a mutable Profile. It is
+// safe to reconfigure while traffic flows — the web-services API exposes
+// exactly that ("inject delay and jitter to simulate any wide area link").
+type Conditioner struct {
+	mu      sync.Mutex
+	profile Profile
+	rng     *rand.Rand
+	// debt tracks accumulated serialization time for rate limiting.
+	debt     time.Duration
+	lastSend time.Time
+}
+
+// New returns a conditioner with the given profile. Randomness is seeded
+// deterministically per conditioner so tests can rely on stable loss
+// sequences by fixing the seed.
+func New(p Profile, seed int64) *Conditioner {
+	return &Conditioner{profile: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Set replaces the profile.
+func (c *Conditioner) Set(p Profile) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.profile = p
+}
+
+// Profile returns the current profile.
+func (c *Conditioner) Profile() Profile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.profile
+}
+
+// Condition implements netsim.Conditioner.
+func (c *Conditioner) Condition(size int) (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.profile
+	if p.Loss > 0 && c.rng.Float64() < p.Loss {
+		return 0, true
+	}
+	d := p.Delay
+	if p.Jitter > 0 {
+		d += time.Duration(c.rng.Int63n(int64(p.Jitter) + 1))
+	}
+	if p.RateBps > 0 {
+		now := time.Now()
+		// Credit back idle time, then charge this frame's
+		// serialization delay.
+		if !c.lastSend.IsZero() {
+			c.debt -= now.Sub(c.lastSend)
+			if c.debt < 0 {
+				c.debt = 0
+			}
+		}
+		c.lastSend = now
+		ser := time.Duration(int64(size) * int64(time.Second) / p.RateBps)
+		c.debt += ser
+		d += c.debt
+	}
+	return d, false
+}

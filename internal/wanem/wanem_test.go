@@ -1,0 +1,85 @@
+package wanem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayApplied(t *testing.T) {
+	c := New(Profile{Delay: 10 * time.Millisecond}, 1)
+	d, drop := c.Condition(100)
+	if drop {
+		t.Fatal("no loss configured, frame dropped")
+	}
+	if d != 10*time.Millisecond {
+		t.Errorf("delay = %v, want 10ms", d)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	c := New(Profile{Delay: 5 * time.Millisecond, Jitter: 3 * time.Millisecond}, 2)
+	sawJitter := false
+	for i := 0; i < 200; i++ {
+		d, _ := c.Condition(100)
+		if d < 5*time.Millisecond || d > 8*time.Millisecond {
+			t.Fatalf("delay %v outside [5ms, 8ms]", d)
+		}
+		if d != 5*time.Millisecond {
+			sawJitter = true
+		}
+	}
+	if !sawJitter {
+		t.Error("jitter never materialized in 200 samples")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	c := New(Profile{Loss: 0.25}, 3)
+	dropped := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if _, drop := c.Condition(100); drop {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / n
+	if rate < 0.20 || rate > 0.30 {
+		t.Errorf("observed loss %.3f, want ≈0.25", rate)
+	}
+}
+
+func TestNoLossWhenZero(t *testing.T) {
+	c := New(LAN, 4)
+	for i := 0; i < 1000; i++ {
+		if _, drop := c.Condition(100); drop {
+			t.Fatal("ideal profile dropped a frame")
+		}
+	}
+}
+
+func TestRateLimitAccumulatesDelay(t *testing.T) {
+	// 10 KB/s: a 1000-byte frame costs 100ms of serialization.
+	c := New(Profile{RateBps: 10_000}, 5)
+	d1, _ := c.Condition(1000)
+	d2, _ := c.Condition(1000)
+	if d1 < 90*time.Millisecond {
+		t.Errorf("first frame delay %v, want ≈100ms", d1)
+	}
+	if d2 <= d1 {
+		t.Errorf("back-to-back frames should accumulate debt: d1=%v d2=%v", d1, d2)
+	}
+}
+
+func TestSetReconfiguresLive(t *testing.T) {
+	c := New(LAN, 6)
+	if d, _ := c.Condition(100); d != 0 {
+		t.Errorf("LAN delay = %v", d)
+	}
+	c.Set(Transcontinental)
+	if d, _ := c.Condition(100); d < 40*time.Millisecond {
+		t.Errorf("after Set, delay = %v, want >= 40ms", d)
+	}
+	if got := c.Profile(); got.Delay != Transcontinental.Delay {
+		t.Errorf("Profile() = %+v", got)
+	}
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// HelloMsg opens a tunnel: protocol version check plus feature
+// negotiation (packet compression).
+type HelloMsg struct {
+	Version  int    `json:"version"`
+	PCName   string `json:"pc_name"`
+	Compress bool   `json:"compress"`
+}
+
+// HelloAckMsg confirms the tunnel; Compress is the negotiated result
+// (true only if both sides offered it).
+type HelloAckMsg struct {
+	Version  int  `json:"version"`
+	Compress bool `json:"compress"`
+}
+
+// PortAnnounce describes one router port the RIS manages (paper Fig. 3):
+// which NIC it is wired to, the hover description, and the clickable
+// rectangle on the router image.
+type PortAnnounce struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	NIC         string `json:"nic"`
+	Rect        [4]int `json:"rect,omitempty"` // x, y, w, h on the image
+}
+
+// RouterAnnounce describes one piece of equipment behind a RIS.
+type RouterAnnounce struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description,omitempty"`
+	Model       string         `json:"model,omitempty"`
+	Image       string         `json:"image,omitempty"`
+	Firmware    string         `json:"firmware,omitempty"`
+	HasConsole  bool           `json:"has_console"`
+	Ports       []PortAnnounce `json:"ports"`
+}
+
+// JoinMsg is the RIS inventory announcement ("Join Labs").
+type JoinMsg struct {
+	Routers []RouterAnnounce `json:"routers"`
+}
+
+// RouterAssignment carries the unique IDs the route server assigned.
+type RouterAssignment struct {
+	Name  string            `json:"name"`
+	ID    uint32            `json:"id"`
+	Ports map[string]uint32 `json:"ports"` // port name → port ID
+}
+
+// JoinAckMsg answers a JoinMsg.
+type JoinAckMsg struct {
+	Routers []RouterAssignment `json:"routers"`
+}
+
+// ConsoleOpenMsg asks the RIS to begin relaying a router's console.
+type ConsoleOpenMsg struct {
+	RouterID  uint32 `json:"router_id"`
+	SessionID uint32 `json:"session_id"`
+}
+
+// ConsoleCloseMsg ends a console relay.
+type ConsoleCloseMsg struct {
+	RouterID  uint32 `json:"router_id"`
+	SessionID uint32 `json:"session_id"`
+}
+
+// EncodeJSON builds a frame whose payload is the JSON encoding of v.
+func EncodeJSON(t MsgType, v any) (Frame, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return Frame{}, fmt.Errorf("wire: encoding %T: %w", v, err)
+	}
+	return Frame{Type: t, Payload: b}, nil
+}
+
+// DecodeJSON parses a frame payload into v, with type checking.
+func DecodeJSON(f Frame, want MsgType, v any) error {
+	if f.Type != want {
+		return fmt.Errorf("wire: got message type %d, want %d", f.Type, want)
+	}
+	if err := json.Unmarshal(f.Payload, v); err != nil {
+		return fmt.Errorf("wire: decoding %T: %w", v, err)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"testing"
+)
+
+func TestJSONRoundtripHello(t *testing.T) {
+	in := HelloMsg{Version: ProtocolVersion, PCName: "pc-7", Compress: true}
+	f, err := EncodeJSON(MsgHello, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out HelloMsg
+	if err := DecodeJSON(f, MsgHello, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("roundtrip: %+v != %+v", out, in)
+	}
+}
+
+func TestJSONTypeMismatch(t *testing.T) {
+	f, _ := EncodeJSON(MsgHello, HelloMsg{})
+	var out HelloAckMsg
+	if err := DecodeJSON(f, MsgHelloAck, &out); err == nil {
+		t.Error("decoding with wrong expected type should fail")
+	}
+}
+
+func TestJSONRoundtripJoin(t *testing.T) {
+	in := JoinMsg{Routers: []RouterAnnounce{{
+		Name:        "cat1",
+		Description: "a switch",
+		Model:       "Catalyst 6500",
+		Image:       "cat.png",
+		Firmware:    "12.2",
+		HasConsole:  true,
+		Ports: []PortAnnounce{
+			{Name: "Gi1/1", Description: "uplink", NIC: "eth3", Rect: [4]int{1, 2, 3, 4}},
+		},
+	}}}
+	f, err := EncodeJSON(MsgJoin, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out JoinMsg
+	if err := DecodeJSON(f, MsgJoin, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Routers) != 1 || out.Routers[0].Name != "cat1" ||
+		len(out.Routers[0].Ports) != 1 || out.Routers[0].Ports[0].Rect != [4]int{1, 2, 3, 4} {
+		t.Errorf("roundtrip: %+v", out)
+	}
+}
+
+func TestJSONCorruptPayload(t *testing.T) {
+	f := Frame{Type: MsgJoinAck, Payload: []byte("{broken")}
+	var out JoinAckMsg
+	if err := DecodeJSON(f, MsgJoinAck, &out); err == nil {
+		t.Error("corrupt payload should fail")
+	}
+}
+
+func TestJSONRoundtripAssignments(t *testing.T) {
+	in := JoinAckMsg{Routers: []RouterAssignment{{
+		Name: "r1", ID: 42, Ports: map[string]uint32{"e0": 7, "e1": 8},
+	}}}
+	f, err := EncodeJSON(MsgJoinAck, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out JoinAckMsg
+	if err := DecodeJSON(f, MsgJoinAck, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Routers[0].ID != 42 || out.Routers[0].Ports["e1"] != 8 {
+		t.Errorf("roundtrip: %+v", out)
+	}
+}

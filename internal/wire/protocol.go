@@ -1,0 +1,166 @@
+// Package wire defines RNL's Internet tunnel protocol: the framing RIS
+// agents and the route server speak over their long-lived TCP connections
+// (paper §2.2–2.3).
+//
+// Every message is a length-prefixed frame:
+//
+//	uint32  payload length (big endian, excluding this header)
+//	uint8   message type
+//	...     payload
+//
+// Control messages (join, announce, console) carry JSON payloads; the hot
+// PACKET message carries a fixed binary header — router ID, port ID,
+// flags — followed by the raw captured Ethernet frame, exactly as the
+// paper describes: "wrap the complete packet in an IP packet which
+// includes the port's and router's unique id".
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies a tunnel message.
+type MsgType uint8
+
+// Tunnel message types.
+const (
+	MsgHello        MsgType = 1  // RIS → server: protocol version check
+	MsgHelloAck     MsgType = 2  // server → RIS
+	MsgJoin         MsgType = 3  // RIS → server: inventory announcement (JSON)
+	MsgJoinAck      MsgType = 4  // server → RIS: assigned unique IDs (JSON)
+	MsgPacket       MsgType = 5  // both ways: captured frame (binary)
+	MsgConsoleOpen  MsgType = 6  // server → RIS: open console session (JSON)
+	MsgConsoleData  MsgType = 7  // both ways: console bytes (binary)
+	MsgConsoleClose MsgType = 8  // both ways (JSON)
+	MsgKeepalive    MsgType = 9  // both ways, empty
+	MsgError        MsgType = 10 // both ways: text
+	MsgLeave        MsgType = 11 // RIS → server: orderly shutdown
+)
+
+// ProtocolVersion is bumped on incompatible changes.
+const ProtocolVersion = 1
+
+// MaxFrameLen bounds a tunnel frame; anything larger indicates a corrupt
+// stream (jumbo Ethernet frames plus headers fit far below this).
+const MaxFrameLen = 1 << 20
+
+// Packet flag bits.
+const (
+	// FlagCompressed marks a payload compressed with internal/compress.
+	FlagCompressed uint16 = 1 << 0
+)
+
+// Frame is one raw tunnel message.
+type Frame struct {
+	Type    MsgType
+	Payload []byte
+}
+
+// WriteFrame writes one frame to w. Callers serialize writes themselves
+// (see Conn).
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload)+1 > MaxFrameLen {
+		return fmt.Errorf("wire: frame payload %d bytes exceeds maximum", len(f.Payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(f.Payload)+1))
+	hdr[4] = byte(f.Type)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n < 1 || n > MaxFrameLen {
+		return Frame{}, fmt.Errorf("wire: invalid frame length %d", n)
+	}
+	f := Frame{Type: MsgType(hdr[4])}
+	if n > 1 {
+		f.Payload = make([]byte, n-1)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// packetHeaderLen is the binary header inside a MsgPacket payload.
+const packetHeaderLen = 10
+
+// PacketMsg is the decoded form of a MsgPacket payload.
+type PacketMsg struct {
+	RouterID uint32
+	PortID   uint32
+	Flags    uint16
+	Data     []byte // raw Ethernet frame (possibly compressed, see Flags)
+}
+
+// EncodePacket builds a MsgPacket payload. The data bytes are referenced,
+// not copied; build the frame and write it before reusing the buffer.
+func EncodePacket(m PacketMsg) []byte {
+	out := make([]byte, packetHeaderLen+len(m.Data))
+	binary.BigEndian.PutUint32(out[0:4], m.RouterID)
+	binary.BigEndian.PutUint32(out[4:8], m.PortID)
+	binary.BigEndian.PutUint16(out[8:10], m.Flags)
+	copy(out[packetHeaderLen:], m.Data)
+	return out
+}
+
+// DecodePacket parses a MsgPacket payload. The returned Data aliases the
+// input.
+func DecodePacket(payload []byte) (PacketMsg, error) {
+	if len(payload) < packetHeaderLen {
+		return PacketMsg{}, fmt.Errorf("wire: packet message %d bytes, need %d", len(payload), packetHeaderLen)
+	}
+	return PacketMsg{
+		RouterID: binary.BigEndian.Uint32(payload[0:4]),
+		PortID:   binary.BigEndian.Uint32(payload[4:8]),
+		Flags:    binary.BigEndian.Uint16(payload[8:10]),
+		Data:     payload[packetHeaderLen:],
+	}, nil
+}
+
+// ConsoleDataMsg is the decoded form of a MsgConsoleData payload:
+// a router ID, a session ID and the terminal bytes.
+type ConsoleDataMsg struct {
+	RouterID  uint32
+	SessionID uint32
+	Data      []byte
+}
+
+const consoleHeaderLen = 8
+
+// EncodeConsoleData builds a MsgConsoleData payload.
+func EncodeConsoleData(m ConsoleDataMsg) []byte {
+	out := make([]byte, consoleHeaderLen+len(m.Data))
+	binary.BigEndian.PutUint32(out[0:4], m.RouterID)
+	binary.BigEndian.PutUint32(out[4:8], m.SessionID)
+	copy(out[consoleHeaderLen:], m.Data)
+	return out
+}
+
+// DecodeConsoleData parses a MsgConsoleData payload.
+func DecodeConsoleData(payload []byte) (ConsoleDataMsg, error) {
+	if len(payload) < consoleHeaderLen {
+		return ConsoleDataMsg{}, fmt.Errorf("wire: console message %d bytes, need %d", len(payload), consoleHeaderLen)
+	}
+	return ConsoleDataMsg{
+		RouterID:  binary.BigEndian.Uint32(payload[0:4]),
+		SessionID: binary.BigEndian.Uint32(payload[4:8]),
+		Data:      payload[consoleHeaderLen:],
+	}, nil
+}

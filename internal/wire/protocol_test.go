@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Type: MsgJoin, Payload: []byte(`{"routers":[]}`)}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || !bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("roundtrip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgKeepalive}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MsgKeepalive || len(out.Payload) != 0 {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgPacket, Payload: make([]byte, MaxFrameLen)}); err == nil {
+		t.Error("oversize write should fail")
+	}
+	// A corrupt length prefix must be rejected on read.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, byte(MsgPacket)})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversize read should fail")
+	}
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0, 0})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("zero-length frame should fail")
+	}
+}
+
+func TestFrameShortRead(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, Frame{Type: MsgPacket, Payload: []byte("abcdef")})
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated frame should fail")
+	}
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream should return EOF, got %v", err)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		WriteFrame(&buf, Frame{Type: MsgType(i%5 + 1), Payload: bytes.Repeat([]byte{byte(i)}, i)})
+	}
+	for i := 0; i < 10; i++ {
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != MsgType(i%5+1) || len(f.Payload) != i {
+			t.Errorf("frame %d = %+v", i, f)
+		}
+	}
+}
+
+func TestPacketMsgRoundtrip(t *testing.T) {
+	f := func(router, port uint32, flags uint16, data []byte) bool {
+		if len(data) > 2000 {
+			data = data[:2000]
+		}
+		enc := EncodePacket(PacketMsg{RouterID: router, PortID: port, Flags: flags, Data: data})
+		dec, err := DecodePacket(enc)
+		if err != nil {
+			return false
+		}
+		return dec.RouterID == router && dec.PortID == port &&
+			dec.Flags == flags && bytes.Equal(dec.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketMsgTooShort(t *testing.T) {
+	if _, err := DecodePacket([]byte{1, 2, 3}); err == nil {
+		t.Error("short packet payload should fail")
+	}
+}
+
+func TestConsoleDataRoundtrip(t *testing.T) {
+	enc := EncodeConsoleData(ConsoleDataMsg{RouterID: 7, SessionID: 42, Data: []byte("show run\n")})
+	dec, err := DecodeConsoleData(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.RouterID != 7 || dec.SessionID != 42 || string(dec.Data) != "show run\n" {
+		t.Errorf("got %+v", dec)
+	}
+	if _, err := DecodeConsoleData([]byte{1}); err == nil {
+		t.Error("short console payload should fail")
+	}
+}
