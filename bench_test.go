@@ -7,7 +7,10 @@ package rnl
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -19,6 +22,7 @@ import (
 	"rnl/internal/ris"
 	"rnl/internal/routeserver"
 	"rnl/internal/wanem"
+	"rnl/internal/wire"
 )
 
 // templateFrames builds n Ethernet-sized frames from one template, varying
@@ -71,6 +75,90 @@ func pumpWindowed(b *testing.B, frames [][]byte, window int, send func([]byte), 
 			b.Fatalf("only %d/%d frames arrived", recvCount()-start, b.N)
 		}
 		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// BenchmarkTunnelWriter isolates the tunnel send path: the seed's
+// synchronous style (EncodePacket allocation + locked WriteFrame, one
+// syscall per frame) versus the asynchronous batched wire.Conn writer
+// (bounded queue, frames coalesced into one buffered write + flush).
+// The peer is a discard sink so only the writer is measured.
+func BenchmarkTunnelWriter(b *testing.B) {
+	newSink := func(b *testing.B) net.Conn {
+		b.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { ln.Close() })
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, conn)
+			conn.Close()
+		}()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { conn.Close() })
+		return conn
+	}
+
+	for _, size := range []int{64, 512, 1500} {
+		frame := templateFrames(1, size)[0]
+
+		b.Run(fmt.Sprintf("sync/frame=%dB", size), func(b *testing.B) {
+			conn := newSink(b)
+			var mu sync.Mutex
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mu.Lock()
+				err := wire.WriteFrame(conn, wire.Frame{
+					Type:    wire.MsgPacket,
+					Payload: wire.EncodePacket(wire.PacketMsg{RouterID: 1, PortID: 1, Data: frame}),
+				})
+				mu.Unlock()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("batched/frame=%dB", size), func(b *testing.B) {
+			conn := newSink(b)
+			wc := wire.NewConn(conn, wire.ConnConfig{})
+			defer wc.Close()
+			st := wc.Stats()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Keep the producer from racing the writer into the
+				// drop-oldest policy: measure queue+write, not drops.
+				for st.FramesEnqueued.Load()-st.FramesWritten.Load() > 3000 {
+					time.Sleep(10 * time.Microsecond)
+				}
+				if err := wc.SendPacket(wire.PacketMsg{RouterID: 1, PortID: 1, Data: frame}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Charge the drain to the measured interval too.
+			deadline := time.Now().Add(30 * time.Second)
+			for st.FramesWritten.Load()+st.PacketsDropped.Load() < uint64(b.N) {
+				if time.Now().After(deadline) {
+					b.Fatalf("only %d/%d frames written", st.FramesWritten.Load(), b.N)
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			b.StopTimer()
+			if d := st.PacketsDropped.Load(); d > 0 {
+				b.Fatalf("%d frames dropped during benchmark", d)
+			}
+			b.ReportMetric(float64(st.FramesWritten.Load())/float64(st.Flushes.Load()), "frames/flush")
+		})
 	}
 }
 

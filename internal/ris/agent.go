@@ -22,6 +22,9 @@ type Stats struct {
 	BytesToServer    atomic.Uint64
 	BytesFromServer  atomic.Uint64
 	Reconnects       atomic.Uint64
+	// FramesDropped counts captured frames shed by the tunnel send
+	// queue's drop-oldest backpressure policy (slow/stalled server).
+	FramesDropped atomic.Uint64
 }
 
 // Agent is one running RIS instance.
@@ -29,16 +32,17 @@ type Agent struct {
 	cfg Config
 	log *slog.Logger
 
-	mu      sync.Mutex
-	conn    net.Conn
-	comp    *compress.Compressor
-	decomp  *compress.Decompressor
-	writeMu sync.Mutex
+	mu     sync.Mutex
+	conn   net.Conn
+	wc     *wire.Conn // asynchronous batched tunnel writer
+	comp   *compress.Compressor
+	decomp *compress.Decompressor
 
-	// ids filled from JoinAck: (router, port) name pair → wire IDs, and
-	// the reverse for delivery.
-	portIDs map[[2]string]portID
-	nics    map[portID]*netsim.Iface
+	// ids filled from JoinAck: (router, port) name pair → wire IDs, the
+	// reverse for delivery, and router name → wire ID for consoles.
+	portIDs   map[[2]string]portID
+	routerIDs map[string]uint32
+	nics      map[portID]*netsim.Iface
 
 	// consoles: router wire ID → console relay state.
 	consoles map[uint32]*consoleRelay
@@ -72,11 +76,12 @@ func New(cfg Config, logger *slog.Logger) (*Agent, error) {
 		logger = slog.Default()
 	}
 	return &Agent{
-		cfg:      cfg,
-		log:      logger,
-		portIDs:  make(map[[2]string]portID),
-		nics:     make(map[portID]*netsim.Iface),
-		consoles: make(map[uint32]*consoleRelay),
+		cfg:       cfg,
+		log:       logger,
+		portIDs:   make(map[[2]string]portID),
+		routerIDs: make(map[string]uint32),
+		nics:      make(map[portID]*netsim.Iface),
+		consoles:  make(map[uint32]*consoleRelay),
 	}, nil
 }
 
@@ -88,12 +93,7 @@ func (a *Agent) Stats() *Stats { return &a.stats }
 func (a *Agent) RouterID(name string) uint32 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	for key, id := range a.portIDs {
-		if key[0] == name {
-			return id.router
-		}
-	}
-	return 0
+	return a.routerIDs[name]
 }
 
 // PortID returns the wire IDs assigned to a (router, port) name pair.
@@ -111,12 +111,37 @@ func (a *Agent) Start() error {
 	if err != nil {
 		return fmt.Errorf("ris: dialing route server: %w", err)
 	}
+	conn.SetDeadline(time.Now().Add(a.cfg.peerTimeout()))
 	if err := a.handshake(conn); err != nil {
 		conn.Close()
 		return err
 	}
+	conn.SetDeadline(time.Time{})
+
+	// Wrap the connection in the asynchronous batched writer. The
+	// compressor (stateful) is driven by the writer goroutine in exact
+	// wire order, after drop decisions, keeping it in sync with the
+	// server's decompressor.
+	a.mu.Lock()
+	comp := a.comp
+	a.mu.Unlock()
+	var enc func([]byte) ([]byte, uint16)
+	if comp != nil {
+		enc = func(data []byte) ([]byte, uint16) {
+			return comp.Compress(data), wire.FlagCompressed
+		}
+	}
+	wc := wire.NewConn(conn, wire.ConnConfig{
+		QueueLen: a.cfg.SendQueueLen,
+		Encoder:  enc,
+		OnDropPacket: func(n int) {
+			a.stats.FramesDropped.Add(uint64(n))
+		},
+	})
+
 	a.mu.Lock()
 	a.conn = conn
+	a.wc = wc
 	a.started = true
 	a.mu.Unlock()
 	a.attachNICs()
@@ -126,6 +151,7 @@ func (a *Agent) Start() error {
 	go func() {
 		defer a.wg.Done()
 		a.readLoop(conn)
+		wc.Close()
 		close(connClosed)
 	}()
 	go a.keepaliveLoop(connClosed)
@@ -133,20 +159,31 @@ func (a *Agent) Start() error {
 }
 
 // Run keeps the agent connected until ctx ends, redialing with backoff —
-// the long-lived mode cmd/ris uses.
+// the long-lived mode cmd/ris uses. The backoff only resets once a
+// connection has stayed up for ReconnectResetAfter: a server that
+// accepts the dial but drops the connection right away keeps backing
+// off instead of being redialed at the floor rate forever.
 func (a *Agent) Run(ctx context.Context) error {
-	backoff := time.Second
+	base := a.cfg.reconnectBackoff()
+	maxBackoff := 30 * time.Second
+	if base > maxBackoff {
+		maxBackoff = base
+	}
+	backoff := base
 	for {
 		err := a.Start()
 		if err == nil {
-			backoff = time.Second
+			connectedAt := time.Now()
 			select {
 			case <-ctx.Done():
 				a.Close()
 				return ctx.Err()
 			case <-a.connDone():
 				a.stats.Reconnects.Add(1)
-				a.log.Warn("tunnel lost; reconnecting")
+				if time.Since(connectedAt) >= a.cfg.reconnectResetAfter() {
+					backoff = base
+				}
+				a.log.Warn("tunnel lost; reconnecting", "backoff", backoff)
 			}
 		} else {
 			a.log.Warn("connect failed", "err", err)
@@ -156,7 +193,7 @@ func (a *Agent) Run(ctx context.Context) error {
 			return ctx.Err()
 		case <-time.After(backoff):
 		}
-		if backoff < 30*time.Second {
+		if backoff < maxBackoff {
 			backoff *= 2
 		}
 	}
@@ -175,11 +212,11 @@ func (a *Agent) connDone() <-chan struct{} {
 // Close leaves the labs and stops the agent.
 func (a *Agent) Close() {
 	a.mu.Lock()
-	conn := a.conn
+	wc := a.wc
 	a.mu.Unlock()
-	if conn != nil {
-		a.writeFrame(wire.Frame{Type: wire.MsgLeave})
-		conn.Close()
+	if wc != nil {
+		wc.SendFrame(wire.Frame{Type: wire.MsgLeave})
+		wc.Close() // drains the queue (bounded), then closes the conn
 	}
 	a.wg.Wait()
 }
@@ -243,6 +280,7 @@ func (a *Agent) handshake(conn net.Conn) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for _, assign := range jack.Routers {
+		a.routerIDs[assign.Name] = assign.ID
 		for portName, pid := range assign.Ports {
 			key := [2]string{assign.Name, portName}
 			id := portID{router: assign.ID, port: pid}
@@ -273,47 +311,50 @@ func (a *Agent) attachNICs() {
 	}
 }
 
-// sendPacket wraps a captured frame and ships it to the route server.
+// sendPacket wraps a captured frame and queues it for the route server.
+// It runs inside the NIC receive callback and never blocks: a stalled
+// peer costs dropped packets (counted), not stalled device emulation.
 func (a *Agent) sendPacket(id portID, frame []byte) {
 	a.mu.Lock()
-	conn := a.conn
+	wc := a.wc
 	a.mu.Unlock()
-	if conn == nil {
+	if wc == nil {
 		return
 	}
-	m := wire.PacketMsg{RouterID: id.router, PortID: id.port, Data: frame}
-	a.writeMu.Lock()
-	if a.comp != nil {
-		m.Data = a.comp.Compress(m.Data)
-		m.Flags |= wire.FlagCompressed
-	}
-	err := wire.WriteFrame(conn, wire.Frame{Type: wire.MsgPacket, Payload: wire.EncodePacket(m)})
-	a.writeMu.Unlock()
+	err := wc.SendPacket(wire.PacketMsg{RouterID: id.router, PortID: id.port, Data: frame})
 	if err == nil {
 		a.stats.FramesToServer.Add(1)
 		a.stats.BytesToServer.Add(uint64(len(frame)))
 	}
 }
 
-// writeFrame serializes control-frame writes with packet writes.
+// writeFrame queues a control frame; the tunnel writer never drops these.
 func (a *Agent) writeFrame(f wire.Frame) error {
 	a.mu.Lock()
-	conn := a.conn
+	wc := a.wc
 	a.mu.Unlock()
-	if conn == nil {
+	if wc == nil {
 		return fmt.Errorf("ris: not connected")
 	}
-	a.writeMu.Lock()
-	defer a.writeMu.Unlock()
-	return wire.WriteFrame(conn, f)
+	return wc.SendFrame(f)
 }
 
-// readLoop dispatches frames arriving from the route server.
+// readLoop dispatches frames arriving from the route server. A read
+// deadline of PeerTimeout (3 missed keepalives by default) tears down a
+// half-open connection that TCP alone would let hang forever; the
+// server echoes our keepalives, so a healthy idle link always has
+// inbound traffic inside the window.
 func (a *Agent) readLoop(conn net.Conn) {
 	defer conn.Close()
+	fr := wire.NewFrameReader(conn)
+	timeout := a.cfg.peerTimeout()
 	for {
-		f, err := wire.ReadFrame(conn)
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		f, err := fr.Next()
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				a.log.Warn("tunnel peer silent past timeout; closing", "timeout", timeout)
+			}
 			return
 		}
 		switch f.Type {
@@ -373,7 +414,7 @@ func (a *Agent) deliverPacket(payload []byte) {
 // keepaliveLoop emits periodic liveness frames until the connection dies.
 func (a *Agent) keepaliveLoop(connClosed <-chan struct{}) {
 	defer a.wg.Done()
-	t := time.NewTicker(10 * time.Second)
+	t := time.NewTicker(a.cfg.keepaliveInterval())
 	defer t.Stop()
 	for {
 		select {
@@ -399,16 +440,18 @@ func (a *Agent) startConsoleReaders() {
 		if r.Console == nil {
 			continue
 		}
-		id, ok := a.portIDs[[2]string{r.Name, r.Ports[0].Name}]
+		// Key by the router's own assigned ID, not its first port's —
+		// console-only equipment has no ports at all.
+		routerID, ok := a.routerIDs[r.Name]
 		if !ok {
+			a.log.Warn("consoled router has no assigned ID; skipping console relay", "router", r.Name)
 			continue
 		}
-		if _, dup := a.consoles[id.router]; dup {
+		if _, dup := a.consoles[routerID]; dup {
 			continue
 		}
 		relay := &consoleRelay{rw: r.Console}
-		a.consoles[id.router] = relay
-		routerID := id.router
+		a.consoles[routerID] = relay
 		a.consoleWg.Add(1)
 		go func() {
 			defer a.consoleWg.Done()

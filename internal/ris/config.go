@@ -9,8 +9,18 @@ package ris
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"rnl/internal/netsim"
+)
+
+// Tunnel timing defaults. The keepalive interval matches the seed's
+// hard-coded 10s; the peer timeout is three missed keepalives, after
+// which a half-open connection is torn down and redialed.
+const (
+	DefaultKeepaliveInterval   = 10 * time.Second
+	DefaultReconnectBackoff    = time.Second
+	DefaultReconnectResetAfter = 30 * time.Second
 )
 
 // PortMap binds one router port to the PC network interface adapter it is
@@ -57,6 +67,52 @@ type Config struct {
 	Compress bool
 	// Routers is the equipment behind this PC.
 	Routers []RouterDef
+
+	// KeepaliveInterval is how often liveness frames are sent; zero
+	// means DefaultKeepaliveInterval.
+	KeepaliveInterval time.Duration
+	// PeerTimeout tears down a connection that has received nothing for
+	// this long (a half-open TCP peer); zero means 3×KeepaliveInterval.
+	PeerTimeout time.Duration
+	// ReconnectBackoff is the initial redial delay; zero means
+	// DefaultReconnectBackoff. It doubles per failed attempt (capped).
+	ReconnectBackoff time.Duration
+	// ReconnectResetAfter is how long a connection must stay up before
+	// the redial backoff resets to its initial value — a server that
+	// accepts and immediately drops keeps backing off instead of being
+	// hammered. Zero means DefaultReconnectResetAfter.
+	ReconnectResetAfter time.Duration
+	// SendQueueLen bounds the tunnel send queue (drop-oldest under
+	// backpressure); zero means wire.DefaultSendQueueLen.
+	SendQueueLen int
+}
+
+func (c *Config) keepaliveInterval() time.Duration {
+	if c.KeepaliveInterval > 0 {
+		return c.KeepaliveInterval
+	}
+	return DefaultKeepaliveInterval
+}
+
+func (c *Config) peerTimeout() time.Duration {
+	if c.PeerTimeout > 0 {
+		return c.PeerTimeout
+	}
+	return 3 * c.keepaliveInterval()
+}
+
+func (c *Config) reconnectBackoff() time.Duration {
+	if c.ReconnectBackoff > 0 {
+		return c.ReconnectBackoff
+	}
+	return DefaultReconnectBackoff
+}
+
+func (c *Config) reconnectResetAfter() time.Duration {
+	if c.ReconnectResetAfter > 0 {
+		return c.ReconnectResetAfter
+	}
+	return DefaultReconnectResetAfter
 }
 
 // Validate checks the configuration for the mistakes the Fig. 3 dialog
@@ -78,7 +134,9 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("ris: duplicate router name %q", r.Name)
 		}
 		seenRouter[r.Name] = true
-		if len(r.Ports) == 0 {
+		if len(r.Ports) == 0 && r.Console == nil {
+			// Console-only equipment (a terminal server, a power unit)
+			// is legal; a router with neither ports nor console is not.
 			return fmt.Errorf("ris: router %q has no ports mapped", r.Name)
 		}
 		seenPort := map[string]bool{}

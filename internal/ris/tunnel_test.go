@@ -1,0 +1,404 @@
+package ris_test
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rnl/internal/netsim"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+	"rnl/internal/wire"
+)
+
+// fakeServer is a scriptable route-server stand-in: it performs the real
+// wire handshake on every accepted connection, then hands the connection
+// to a per-connection behavior function. It lets the tests simulate
+// failure modes a healthy routeserver.Server never produces — immediate
+// drops, half-open silence, stalled readers.
+type fakeServer struct {
+	t       *testing.T
+	ln      net.Listener
+	addr    string
+	accepts chan time.Time
+}
+
+// startFakeServer listens on loopback and runs handle(i, conn) for the
+// i-th accepted connection (0-based) after completing the handshake.
+// handle owns the connection and must close it.
+func startFakeServer(t *testing.T, handle func(i int, conn net.Conn)) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{t: t, ln: ln, addr: ln.Addr().String(), accepts: make(chan time.Time, 64)}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			fs.accepts <- time.Now()
+			i := i
+			go func() {
+				if err := fakeHandshake(conn); err != nil {
+					conn.Close()
+					return
+				}
+				handle(i, conn)
+			}()
+		}
+	}()
+	return fs
+}
+
+// waitAccept blocks until the fake server accepts another connection.
+func (fs *fakeServer) waitAccept(timeout time.Duration) time.Time {
+	fs.t.Helper()
+	select {
+	case at := <-fs.accepts:
+		return at
+	case <-time.After(timeout):
+		fs.t.Fatalf("no connection accepted within %v", timeout)
+		return time.Time{}
+	}
+}
+
+// fakeHandshake speaks the server side of Hello + Join, assigning router
+// IDs 1..n and port IDs 1..m per router.
+func fakeHandshake(conn net.Conn) error {
+	f, err := wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	var hello wire.HelloMsg
+	if err := wire.DecodeJSON(f, wire.MsgHello, &hello); err != nil {
+		return err
+	}
+	ack, err := wire.EncodeJSON(wire.MsgHelloAck, wire.HelloAckMsg{Version: wire.ProtocolVersion})
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(conn, ack); err != nil {
+		return err
+	}
+	f, err = wire.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	var join wire.JoinMsg
+	if err := wire.DecodeJSON(f, wire.MsgJoin, &join); err != nil {
+		return err
+	}
+	jack := wire.JoinAckMsg{}
+	for ri, r := range join.Routers {
+		assign := wire.RouterAssignment{Name: r.Name, ID: uint32(ri + 1), Ports: map[string]uint32{}}
+		for pi, p := range r.Ports {
+			assign.Ports[p.Name] = uint32(pi + 1)
+		}
+		jack.Routers = append(jack.Routers, assign)
+	}
+	jf, err := wire.EncodeJSON(wire.MsgJoinAck, jack)
+	if err != nil {
+		return err
+	}
+	return wire.WriteFrame(conn, jf)
+}
+
+// TestReconnectBackoffAfterEarlyDrop: a server that accepts the dial and
+// handshake but drops the connection immediately must see exponentially
+// spaced redials, not a floor-rate reconnect storm. (The old bug reset
+// the backoff on every Start success, so an accept-then-drop server was
+// hammered at the base interval forever.)
+func TestReconnectBackoffAfterEarlyDrop(t *testing.T) {
+	fs := startFakeServer(t, func(i int, conn net.Conn) {
+		conn.Close() // drop right after handshake
+	})
+
+	cfg := validConfig(fs.addr)
+	cfg.ReconnectBackoff = 50 * time.Millisecond
+	cfg.ReconnectResetAfter = time.Hour // never consider these stable
+	a, err := ris.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.Run(ctx)
+
+	first := fs.waitAccept(5 * time.Second)
+	var last time.Time
+	for i := 0; i < 4; i++ {
+		last = fs.waitAccept(10 * time.Second)
+	}
+	// Redial gaps should be ~50+100+200+400ms = 750ms. Without the fix
+	// every gap is ~50ms (total ~200ms). Allow generous scheduling slack.
+	if elapsed := last.Sub(first); elapsed < 500*time.Millisecond {
+		t.Errorf("5 accepts within %v: backoff is resetting on accept-then-drop connections", elapsed)
+	}
+}
+
+// TestBackoffResetsAfterStableConnection: the backoff must still return
+// to its base once a connection survives ReconnectResetAfter, so a
+// recovered server is redialed promptly after the next (unrelated) drop.
+func TestBackoffResetsAfterStableConnection(t *testing.T) {
+	closed4 := make(chan time.Time, 1)
+	fs := startFakeServer(t, func(i int, conn net.Conn) {
+		if i < 3 {
+			conn.Close() // three early drops grow the backoff to 400ms
+			return
+		}
+		if i == 3 {
+			time.Sleep(600 * time.Millisecond) // stable past ReconnectResetAfter
+			closed4 <- time.Now()
+		}
+		conn.Close()
+	})
+
+	cfg := validConfig(fs.addr)
+	cfg.ReconnectBackoff = 50 * time.Millisecond
+	cfg.ReconnectResetAfter = 200 * time.Millisecond
+	cfg.PeerTimeout = time.Minute // only the server ends connections here
+	a, err := ris.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.Run(ctx)
+
+	for i := 0; i < 4; i++ {
+		fs.waitAccept(10 * time.Second)
+	}
+	var droppedAt time.Time
+	select {
+	case droppedAt = <-closed4:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stable connection never closed")
+	}
+	fifth := fs.waitAccept(10 * time.Second)
+	// Backoff reset to 50ms after the stable connection; without the
+	// reset the next redial would wait the grown 400ms.
+	if gap := fifth.Sub(droppedAt); gap > 250*time.Millisecond {
+		t.Errorf("redial after stable connection took %v; backoff did not reset", gap)
+	}
+}
+
+// TestHalfOpenPeerTimeout: a peer that stays connected but goes
+// completely silent (half-open TCP) must be torn down after PeerTimeout
+// and redialed — without the read deadline the agent hung forever.
+func TestHalfOpenPeerTimeout(t *testing.T) {
+	hold := make(chan struct{})
+	t.Cleanup(func() { close(hold) })
+	fs := startFakeServer(t, func(i int, conn net.Conn) {
+		<-hold // never read, never write: silent but open
+		conn.Close()
+	})
+
+	cfg := validConfig(fs.addr)
+	cfg.KeepaliveInterval = 50 * time.Millisecond
+	cfg.PeerTimeout = 150 * time.Millisecond
+	cfg.ReconnectBackoff = 20 * time.Millisecond
+	a, err := ris.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.Run(ctx)
+
+	fs.waitAccept(5 * time.Second)
+	// The agent should give up on the silent peer within ~PeerTimeout and
+	// dial again.
+	fs.waitAccept(5 * time.Second)
+	if a.Stats().Reconnects.Load() == 0 {
+		t.Error("reconnect counter did not move after half-open teardown")
+	}
+}
+
+// TestKeepaliveEchoKeepsIdleLinkAlive: against a real route server, an
+// idle but healthy connection must NOT trip the read deadline — the
+// server echoes keepalives, giving the agent inbound traffic inside
+// every timeout window.
+func TestKeepaliveEchoKeepsIdleLinkAlive(t *testing.T) {
+	s := routeserver.New(routeserver.Options{Logger: quiet()})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	cfg := validConfig(addr)
+	cfg.KeepaliveInterval = 50 * time.Millisecond
+	cfg.PeerTimeout = 200 * time.Millisecond
+	a, err := ris.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.Run(ctx)
+
+	deadline := time.Now().Add(3 * time.Second)
+	for len(s.Inventory()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(s.Inventory()) != 1 {
+		t.Fatal("agent never joined")
+	}
+	time.Sleep(time.Second) // five timeout windows of pure idleness
+	if n := a.Stats().Reconnects.Load(); n != 0 {
+		t.Errorf("healthy idle link reconnected %d times; keepalive echo is broken", n)
+	}
+}
+
+// TestZeroPortConsoleRouter: console-only equipment (no ports mapped)
+// must join and relay its console instead of panicking on Ports[0].
+func TestZeroPortConsoleRouter(t *testing.T) {
+	s := routeserver.New(routeserver.Options{Logger: quiet()})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	serial := netsim.NewSerialPort()
+	cfg := ris.Config{
+		ServerAddr: addr,
+		PCName:     "pc-console",
+		Routers: []ris.RouterDef{{
+			Name:    "termsrv",
+			Console: serial.PCEnd, // zero ports: console-only equipment
+		}},
+	}
+	a, err := ris.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+
+	id := a.RouterID("termsrv")
+	if id == 0 {
+		t.Fatal("console-only router got no ID")
+	}
+	cs, err := s.OpenConsole(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+
+	// Device output reaches the session. The ConsoleOpen notification
+	// races the first device write (pre-session output is discarded by
+	// design), so the device repeats its prompt like real firmware would.
+	promptDone := make(chan struct{})
+	defer close(promptDone)
+	go func() {
+		for {
+			select {
+			case <-promptDone:
+				return
+			case <-time.After(20 * time.Millisecond):
+				serial.DeviceEnd.Write([]byte("login:"))
+			}
+		}
+	}()
+	buf := make([]byte, 64)
+	type readRes struct {
+		n   int
+		err error
+	}
+	ch := make(chan readRes, 1)
+	go func() {
+		n, err := cs.Read(buf)
+		ch <- readRes{n, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil || !bytes.Contains(buf[:r.n], []byte("login")) {
+			t.Fatalf("console read: %q, %v", buf[:r.n], r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("console output never arrived")
+	}
+	// ...and keystrokes reach the device.
+	if _, err := cs.Write([]byte("admin\n")); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		n, err := serial.DeviceEnd.Read(buf)
+		ch <- readRes{n, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil || !bytes.Contains(buf[:r.n], []byte("admin")) {
+			t.Fatalf("device read: %q, %v", buf[:r.n], r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("console input never arrived at the device")
+	}
+}
+
+// TestStalledPeerDoesNotBlockCapture: when the route server stops
+// reading, captured frames must keep flowing into the (bounded) send
+// queue without ever blocking the device side — excess frames are shed
+// and counted, not backpressured into the emulation.
+func TestStalledPeerDoesNotBlockCapture(t *testing.T) {
+	var stalled atomic.Bool
+	hold := make(chan struct{})
+	t.Cleanup(func() { close(hold) })
+	fs := startFakeServer(t, func(i int, conn net.Conn) {
+		stalled.Store(true) // never read another byte
+		<-hold
+		conn.Close()
+	})
+
+	nic := netsim.NewIface("n1")
+	cfg := ris.Config{
+		ServerAddr: fs.addr,
+		PCName:     "pc-flood",
+		Routers: []ris.RouterDef{{
+			Name:  "r1",
+			Ports: []ris.PortMap{{Name: "p1", NIC: nic}},
+		}},
+		SendQueueLen: 256,
+		PeerTimeout:  time.Minute, // the stall must surface as drops, not teardown
+	}
+	a, err := ris.New(cfg, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	for !stalled.Load() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Flood ~75 MB at the stalled peer: far beyond socket buffers plus a
+	// 256-frame queue, so drops are guaranteed; each Deliver must return
+	// promptly (enqueue or shed — never block on the dead TCP window).
+	frame := make([]byte, 1500)
+	const n = 50000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		nic.Deliver(frame)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Errorf("flooding a stalled peer took %v; capture path is blocking", elapsed)
+	}
+	if d := a.Stats().FramesDropped.Load(); d == 0 {
+		t.Error("no frames dropped despite a stalled peer and a 256-frame queue")
+	} else {
+		t.Logf("flood of %d frames took %v, dropped %d", n, elapsed, d)
+	}
+}

@@ -8,10 +8,17 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rnl/internal/compress"
 	"rnl/internal/wire"
 )
+
+// DefaultPeerTimeout tears down a session that has received nothing for
+// this long — three missed keepalives at the RIS default interval. A
+// half-open TCP peer otherwise holds its routers in the inventory
+// forever.
+const DefaultPeerTimeout = 30 * time.Second
 
 // Options configures a route server.
 type Options struct {
@@ -19,6 +26,12 @@ type Options struct {
 	AllowCompression bool
 	// Logger receives operational events; nil means slog.Default.
 	Logger *slog.Logger
+	// PeerTimeout drops a session with no inbound traffic for this
+	// long; zero means DefaultPeerTimeout.
+	PeerTimeout time.Duration
+	// SendQueueLen bounds each session's tunnel send queue (drop-oldest
+	// under backpressure); zero means wire.DefaultSendQueueLen.
+	SendQueueLen int
 }
 
 // Stats are the server's forwarding-plane counters.
@@ -29,6 +42,9 @@ type Stats struct {
 	PacketsInjected  atomic.Uint64
 	PacketsCaptured  atomic.Uint64
 	SessionsTotal    atomic.Uint64
+	// PacketsDropped counts frames shed by per-session send queues when
+	// a RIS tunnel cannot keep up (slow or stalled Internet peer).
+	PacketsDropped atomic.Uint64
 }
 
 // Server is the route server: the rendezvous point of every RIS tunnel.
@@ -56,7 +72,8 @@ type session struct {
 	id   uint64
 	conn net.Conn
 
-	writeMu sync.Mutex
+	writeMu sync.Mutex             // serializes raw writes until wc exists
+	wc      *wire.Conn             // asynchronous batched writer, set after join
 	comp    *compress.Compressor   // outbound, nil if not negotiated
 	decomp  *compress.Decompressor // inbound, nil if not negotiated
 
@@ -64,23 +81,38 @@ type session struct {
 	routers []uint32
 }
 
-// writeFrame serializes writes (and outbound compression state).
+// writeFrame sends one control frame. During the handshake (before the
+// batched writer exists) it writes synchronously; afterwards control
+// frames ride the send queue, where they are never dropped.
 func (s *session) writeFrame(f wire.Frame) error {
 	s.writeMu.Lock()
+	if wc := s.wc; wc != nil {
+		s.writeMu.Unlock()
+		return wc.SendFrame(f)
+	}
 	defer s.writeMu.Unlock()
 	return wire.WriteFrame(s.conn, f)
 }
 
-// writePacket encodes and sends one packet message, compressing if the
-// session negotiated it.
+// setConn installs the batched writer after the handshake; the writeMu
+// handoff orders it after any in-flight raw write.
+func (s *session) setConn(wc *wire.Conn) {
+	s.writeMu.Lock()
+	s.wc = wc
+	s.writeMu.Unlock()
+}
+
+// writePacket queues one packet message on the forwarding fast path.
+// Compression (when negotiated) happens on the writer goroutine in wire
+// order, after drop decisions.
 func (s *session) writePacket(m wire.PacketMsg) error {
 	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	if s.comp != nil {
-		m.Data = s.comp.Compress(m.Data)
-		m.Flags |= wire.FlagCompressed
+	wc := s.wc
+	s.writeMu.Unlock()
+	if wc == nil {
+		return fmt.Errorf("routeserver: session %d not ready", s.id)
 	}
-	return wire.WriteFrame(s.conn, wire.Frame{Type: wire.MsgPacket, Payload: wire.EncodePacket(m)})
+	return wc.SendPacket(m)
 }
 
 // New creates an unstarted server.
@@ -195,6 +227,7 @@ func (s *Server) StatsSnapshot() map[string]uint64 {
 		"packets_no_route":  s.stats.PacketsNoRoute.Load(),
 		"packets_injected":  s.stats.PacketsInjected.Load(),
 		"packets_captured":  s.stats.PacketsCaptured.Load(),
+		"packets_dropped":   s.stats.PacketsDropped.Load(),
 		"sessions_total":    s.stats.SessionsTotal.Load(),
 	}
 }
@@ -223,20 +256,57 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// peerTimeout resolves the configured silent-peer window.
+func (s *Server) peerTimeout() time.Duration {
+	if s.opts.PeerTimeout > 0 {
+		return s.opts.PeerTimeout
+	}
+	return DefaultPeerTimeout
+}
+
 // serveSession handshakes and runs one RIS tunnel until it drops.
 func (s *Server) serveSession(sess *session) {
 	defer s.wg.Done()
 	defer s.dropSession(sess)
 
+	timeout := s.peerTimeout()
+	sess.conn.SetDeadline(time.Now().Add(timeout))
 	if err := s.handshake(sess); err != nil {
 		if !errors.Is(err, io.EOF) {
 			s.log.Warn("handshake failed", "session", sess.id, "err", err)
 		}
 		return
 	}
+	sess.conn.SetDeadline(time.Time{})
+
+	// Switch outbound traffic to the asynchronous batched writer.
+	var enc func([]byte) ([]byte, uint16)
+	if comp := sess.comp; comp != nil {
+		enc = func(data []byte) ([]byte, uint16) {
+			return comp.Compress(data), wire.FlagCompressed
+		}
+	}
+	wc := wire.NewConn(sess.conn, wire.ConnConfig{
+		QueueLen: s.opts.SendQueueLen,
+		Encoder:  enc,
+		OnDropPacket: func(n int) {
+			s.stats.PacketsDropped.Add(uint64(n))
+		},
+	})
+	sess.setConn(wc)
+	defer wc.Close()
+
+	// The read deadline (3 missed keepalives at the defaults) tears down
+	// half-open peers that TCP alone never notices; the RIS sends a
+	// keepalive every interval, so a healthy session always refreshes.
+	fr := wire.NewFrameReader(sess.conn)
 	for {
-		f, err := wire.ReadFrame(sess.conn)
+		sess.conn.SetReadDeadline(time.Now().Add(timeout))
+		f, err := fr.Next()
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.log.Warn("session silent past timeout; dropping", "session", sess.id, "timeout", timeout)
+			}
 			return
 		}
 		switch f.Type {
@@ -250,7 +320,9 @@ func (s *Server) serveSession(sess *session) {
 				s.consoles.closeSession(m.SessionID)
 			}
 		case wire.MsgKeepalive:
-			// Liveness only; TCP does the rest.
+			// Echo so the RIS sees inbound traffic on an otherwise idle
+			// tunnel and its own dead-peer timer stays quiet.
+			sess.writeFrame(wire.Frame{Type: wire.MsgKeepalive})
 		case wire.MsgLeave:
 			return
 		default:

@@ -1,0 +1,94 @@
+package routeserver_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"rnl/internal/routeserver"
+	"rnl/internal/wire"
+)
+
+// rawJoin speaks the client side of Hello + Join over a raw TCP
+// connection, registering one router with one port.
+func rawJoin(t *testing.T, addr, pcName string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	hello, err := wire.EncodeJSON(wire.MsgHello, wire.HelloMsg{Version: wire.ProtocolVersion, PCName: pcName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadFrame(conn); err != nil {
+		t.Fatal(err)
+	}
+	join, err := wire.EncodeJSON(wire.MsgJoin, wire.JoinMsg{Routers: []wire.RouterAnnounce{{
+		Name:  "raw-r1",
+		Ports: []wire.PortAnnounce{{Name: "p1", NIC: "eth0"}},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, join); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadFrame(conn); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// TestServerDropsSilentPeer: a session that stops sending anything —
+// including keepalives — must be torn down after PeerTimeout and its
+// inventory withdrawn, instead of lingering half-open forever.
+func TestServerDropsSilentPeer(t *testing.T) {
+	s := startServer(t, routeserver.Options{PeerTimeout: 200 * time.Millisecond})
+
+	conn := rawJoin(t, s.Addr(), "pc-silent")
+	if got := len(s.Inventory()); got != 1 {
+		t.Fatalf("inventory after join = %d routers, want 1", got)
+	}
+
+	// Go silent: keep the TCP connection open but never write again.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.Inventory()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never dropped the silent session")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = conn // held open the whole time; only silence triggered the drop
+}
+
+// TestServerKeepsTalkativePeer: keepalives alone must be enough to stay
+// registered — the timeout fires on silence, not on missing data frames.
+func TestServerKeepsTalkativePeer(t *testing.T) {
+	s := startServer(t, routeserver.Options{PeerTimeout: 200 * time.Millisecond})
+
+	conn := rawJoin(t, s.Addr(), "pc-alive")
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(50 * time.Millisecond):
+				if wire.WriteFrame(conn, wire.Frame{Type: wire.MsgKeepalive}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	time.Sleep(time.Second) // five timeout windows
+	if got := len(s.Inventory()); got != 1 {
+		t.Errorf("inventory after 1s of keepalives = %d routers, want 1", got)
+	}
+}

@@ -1,0 +1,388 @@
+package wire
+
+// The asynchronous batched tunnel writer (the data-plane half of this
+// package). A raw net.Conn gives the tunnel exactly the paper's failure
+// mode: a slow or stalled Internet peer backpressures through Write into
+// whatever captured the frame. Conn decouples capture from transmission
+// with a bounded per-connection send queue drained by one writer
+// goroutine that coalesces every queued frame into a single buffered
+// write + flush — one syscall for N frames instead of two per frame.
+//
+// Backpressure policy: when the queue is full the OLDEST queued packet
+// is dropped (counted in ConnStats.PacketsDropped), which is what a
+// congested real link would do to tunneled L2 traffic; control frames
+// (join, console, keepalive, leave) are never dropped — the queue
+// stretches to hold them. Frame order is preserved for everything that
+// is not dropped, so the stateful template compressor stays in sync with
+// the far-end decompressor: packets are encoded by the writer goroutine
+// at drain time, after drop decisions, in exact wire order.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tuning defaults for Conn.
+const (
+	// DefaultSendQueueLen bounds queued droppable packets per connection.
+	DefaultSendQueueLen = 4096
+	// DefaultWriteTimeout bounds one batch write; a peer stalled longer
+	// than this errors the connection instead of wedging the writer.
+	DefaultWriteTimeout = 30 * time.Second
+	// DefaultWriteBufSize is the coalescing buffer handed to bufio.
+	DefaultWriteBufSize = 64 << 10
+	// closeGrace bounds the final drain once Close is called.
+	closeGrace = time.Second
+)
+
+// ErrConnClosed is returned by sends on a closed Conn.
+var ErrConnClosed = errors.New("wire: connection closed")
+
+// ConnConfig tunes a Conn. Zero values select the defaults above.
+type ConnConfig struct {
+	// QueueLen bounds queued packets (control frames are exempt).
+	QueueLen int
+	// WriteTimeout bounds a single batch write to the peer.
+	WriteTimeout time.Duration
+	// WriteBufSize sizes the coalescing write buffer.
+	WriteBufSize int
+	// Encoder, when set, transforms each packet payload just before it
+	// goes on the wire (template compression). It runs on the writer
+	// goroutine in exact wire order — required for stateful encoders —
+	// and returns the encoded bytes plus flag bits to OR into the
+	// packet header. The returned slice may alias encoder-internal
+	// scratch; it is consumed before the next call.
+	Encoder func(data []byte) ([]byte, uint16)
+	// OnDropPacket is called (outside the queue lock) with the number of
+	// packets just dropped by the backpressure policy.
+	OnDropPacket func(n int)
+}
+
+// ConnStats counts Conn activity. FramesEnqueued-FramesWritten-
+// PacketsDropped is the current queue depth.
+type ConnStats struct {
+	FramesEnqueued atomic.Uint64
+	FramesWritten  atomic.Uint64
+	BytesWritten   atomic.Uint64 // after encoding, including frame headers
+	Flushes        atomic.Uint64 // batches, i.e. write syscall groups
+	PacketsDropped atomic.Uint64
+}
+
+// sendEntry is one queued frame. Packets keep their header fields
+// unserialized so the writer can encode straight into the wire buffer
+// without an intermediate EncodePacket allocation.
+type sendEntry struct {
+	typ     MsgType
+	payload *[]byte // pooled; packet: raw frame data, control: full payload
+	packet  bool
+	router  uint32
+	port    uint32
+	flags   uint16
+}
+
+// bufPool recycles payload buffers between SendFrame/SendPacket and the
+// writer goroutine.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+func getBuf(data []byte) *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = append((*b)[:0], data...)
+	return b
+}
+
+func putBuf(b *[]byte) {
+	if b != nil {
+		bufPool.Put(b)
+	}
+}
+
+// Conn wraps a net.Conn with the asynchronous batched writer. All Send
+// methods are safe for concurrent use and never block on the network;
+// reads still happen directly on the underlying conn (see FrameReader).
+type Conn struct {
+	nc  net.Conn
+	cfg ConnConfig
+	bw  *bufio.Writer
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []sendEntry
+	npkt   int // packet entries currently queued
+	closed bool
+	err    error
+
+	stats ConnStats
+	done  chan struct{}
+}
+
+// NewConn wraps nc and starts the writer goroutine. The caller must not
+// write to nc directly afterwards; Close tears both down.
+func NewConn(nc net.Conn, cfg ConnConfig) *Conn {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultSendQueueLen
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.WriteBufSize <= 0 {
+		cfg.WriteBufSize = DefaultWriteBufSize
+	}
+	c := &Conn{nc: nc, cfg: cfg, done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	c.bw = bufio.NewWriterSize(nc, cfg.WriteBufSize)
+	go c.writeLoop()
+	return c
+}
+
+// Stats exposes the connection counters.
+func (c *Conn) Stats() *ConnStats { return &c.stats }
+
+// Err reports the first write error, if any.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// SendFrame queues one control frame. Control frames are never dropped:
+// the queue stretches beyond QueueLen to hold them. The payload is
+// copied, so the caller may reuse it.
+func (c *Conn) SendFrame(f Frame) error {
+	if len(f.Payload)+1 > MaxFrameLen {
+		return fmt.Errorf("wire: frame payload %d bytes exceeds maximum", len(f.Payload))
+	}
+	buf := getBuf(f.Payload)
+	c.mu.Lock()
+	if err := c.sendErrLocked(); err != nil {
+		c.mu.Unlock()
+		putBuf(buf)
+		return err
+	}
+	c.queue = append(c.queue, sendEntry{typ: f.Type, payload: buf})
+	c.stats.FramesEnqueued.Add(1)
+	c.cond.Signal()
+	c.mu.Unlock()
+	return nil
+}
+
+// SendPacket queues one packet frame; m.Data is copied. When QueueLen
+// packets are already waiting, the oldest queued packet is dropped to
+// make room. Enqueued packets may still be dropped later, so a nil
+// return means "accepted", not "delivered".
+func (c *Conn) SendPacket(m PacketMsg) error {
+	if packetHeaderLen+len(m.Data)+2 > MaxFrameLen {
+		return fmt.Errorf("wire: packet data %d bytes exceeds maximum", len(m.Data))
+	}
+	buf := getBuf(m.Data)
+	dropped := 0
+	c.mu.Lock()
+	if err := c.sendErrLocked(); err != nil {
+		c.mu.Unlock()
+		putBuf(buf)
+		return err
+	}
+	if c.npkt >= c.cfg.QueueLen {
+		for i := range c.queue {
+			if c.queue[i].packet {
+				putBuf(c.queue[i].payload)
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				c.npkt--
+				dropped++
+				break
+			}
+		}
+	}
+	c.queue = append(c.queue, sendEntry{
+		typ: MsgPacket, payload: buf, packet: true,
+		router: m.RouterID, port: m.PortID, flags: m.Flags,
+	})
+	c.npkt++
+	c.stats.FramesEnqueued.Add(1)
+	if dropped > 0 {
+		c.stats.PacketsDropped.Add(uint64(dropped))
+	}
+	c.cond.Signal()
+	c.mu.Unlock()
+	if dropped > 0 && c.cfg.OnDropPacket != nil {
+		c.cfg.OnDropPacket(dropped)
+	}
+	return nil
+}
+
+func (c *Conn) sendErrLocked() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.closed {
+		return ErrConnClosed
+	}
+	return nil
+}
+
+// Close drains what is queued (bounded by a short grace deadline so a
+// dead peer cannot wedge shutdown), stops the writer and closes the
+// underlying connection. Safe to call more than once and concurrently
+// with sends.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	first := !c.closed
+	c.closed = true
+	c.cond.Signal()
+	c.mu.Unlock()
+	if first {
+		// Unblock a writer mid-Write to a stalled peer.
+		c.nc.SetWriteDeadline(time.Now().Add(closeGrace))
+	}
+	<-c.done
+	return nil
+}
+
+// writeLoop drains the queue in batches: every entry present when the
+// writer wakes is serialized into one buffered write and flushed with a
+// single syscall (modulo buffer size).
+func (c *Conn) writeLoop() {
+	defer close(c.done)
+	var batch []sendEntry
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed && c.err == nil {
+			c.cond.Wait()
+		}
+		if len(c.queue) == 0 || c.err != nil {
+			c.mu.Unlock()
+			c.nc.Close()
+			return
+		}
+		batch, c.queue = c.queue, batch[:0]
+		c.npkt = 0
+		closing := c.closed
+		c.mu.Unlock()
+
+		timeout := c.cfg.WriteTimeout
+		if closing && timeout > closeGrace {
+			timeout = closeGrace
+		}
+		if timeout > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(timeout))
+		}
+		var err error
+		for i := range batch {
+			if err == nil {
+				err = c.writeEntry(batch[i])
+			}
+			putBuf(batch[i].payload)
+			batch[i].payload = nil
+		}
+		if err == nil {
+			if err = c.bw.Flush(); err == nil {
+				c.stats.Flushes.Add(1)
+			}
+		}
+		if err != nil {
+			c.fail(err)
+			return
+		}
+	}
+}
+
+// writeEntry serializes one frame into the coalescing buffer.
+func (c *Conn) writeEntry(e sendEntry) error {
+	payload := *e.payload
+	if e.packet {
+		data, flags := payload, e.flags
+		if c.cfg.Encoder != nil {
+			enc, f := c.cfg.Encoder(data)
+			data, flags = enc, e.flags|f
+		}
+		var hdr [5 + packetHeaderLen]byte
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(packetHeaderLen+len(data)+1))
+		hdr[4] = byte(MsgPacket)
+		binary.BigEndian.PutUint32(hdr[5:9], e.router)
+		binary.BigEndian.PutUint32(hdr[9:13], e.port)
+		binary.BigEndian.PutUint16(hdr[13:15], flags)
+		if _, err := c.bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := c.bw.Write(data); err != nil {
+			return err
+		}
+		c.stats.FramesWritten.Add(1)
+		c.stats.BytesWritten.Add(uint64(len(hdr) + len(data)))
+		return nil
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)+1))
+	hdr[4] = byte(e.typ)
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	c.stats.FramesWritten.Add(1)
+	c.stats.BytesWritten.Add(uint64(len(hdr) + len(payload)))
+	return nil
+}
+
+// fail records the first error, recycles the queue and closes the
+// connection so the peer's read loop notices.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for i := range c.queue {
+		putBuf(c.queue[i].payload)
+		c.queue[i].payload = nil
+	}
+	c.queue = nil
+	c.npkt = 0
+	c.mu.Unlock()
+	c.nc.Close()
+}
+
+// FrameReader reads frames with a reused payload buffer, eliminating the
+// per-frame allocation of ReadFrame on the hot receive path. The
+// returned Frame's payload is only valid until the next call to Next;
+// consumers that retain it must copy (every consumer in this repo either
+// copies or finishes with the payload synchronously).
+type FrameReader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r (typically a net.Conn).
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReaderSize(r, DefaultWriteBufSize)}
+}
+
+// Next reads one frame. The payload aliases the reader's internal buffer.
+func (fr *FrameReader) Next() (Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n < 1 || n > MaxFrameLen {
+		return Frame{}, fmt.Errorf("wire: invalid frame length %d", n)
+	}
+	f := Frame{Type: MsgType(hdr[4])}
+	if n > 1 {
+		need := int(n - 1)
+		if cap(fr.buf) < need {
+			fr.buf = make([]byte, need)
+		}
+		f.Payload = fr.buf[:need]
+		if _, err := io.ReadFull(fr.br, f.Payload); err != nil {
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,440 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a loopback TCP connection.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+// patternFrame builds a recognizable payload: 4-byte writer id, 4-byte
+// seq, then bytes derived from both — torn or corrupted frames fail the
+// check below.
+func patternFrame(writer, seq uint32, size int) []byte {
+	f := make([]byte, size)
+	binary.BigEndian.PutUint32(f[0:4], writer)
+	binary.BigEndian.PutUint32(f[4:8], seq)
+	for i := 8; i < size; i++ {
+		f[i] = byte(uint32(i) * (writer + 3) * (seq + 7))
+	}
+	return f
+}
+
+func checkPattern(t *testing.T, data []byte) (writer, seq uint32) {
+	t.Helper()
+	if len(data) < 8 {
+		t.Fatalf("frame too short: %d bytes", len(data))
+	}
+	writer = binary.BigEndian.Uint32(data[0:4])
+	seq = binary.BigEndian.Uint32(data[4:8])
+	want := patternFrame(writer, seq, len(data))
+	if !bytes.Equal(data, want) {
+		t.Fatalf("frame corrupted (writer %d seq %d)", writer, seq)
+	}
+	return writer, seq
+}
+
+// TestConnConcurrentIntegrity hammers one Conn from many goroutines
+// (packets and control frames interleaved) and verifies every frame
+// arrives whole, with per-sender ordering intact.
+func TestConnConcurrentIntegrity(t *testing.T) {
+	client, server := tcpPair(t)
+	wc := NewConn(client, ConnConfig{QueueLen: 1 << 16})
+	defer wc.Close()
+
+	const writers, perWriter = 4, 500
+	const controlWriters, perControl = 2, 100
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := 0; seq < perWriter; seq++ {
+				m := PacketMsg{RouterID: uint32(w), PortID: 9, Data: patternFrame(uint32(w), uint32(seq), 200)}
+				if err := wc.SendPacket(m); err != nil {
+					t.Errorf("SendPacket: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < controlWriters; w++ {
+		w := w + 100
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := 0; seq < perControl; seq++ {
+				f := Frame{Type: MsgConsoleData, Payload: patternFrame(uint32(w), uint32(seq), 64)}
+				if err := wc.SendFrame(f); err != nil {
+					t.Errorf("SendFrame: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	total := writers*perWriter + controlWriters*perControl
+	lastSeq := map[uint32]int{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fr := NewFrameReader(server)
+		for i := 0; i < total; i++ {
+			f, err := fr.Next()
+			if err != nil {
+				t.Errorf("frame %d: %v", i, err)
+				return
+			}
+			var w, seq uint32
+			switch f.Type {
+			case MsgPacket:
+				m, err := DecodePacket(f.Payload)
+				if err != nil {
+					t.Errorf("frame %d: %v", i, err)
+					return
+				}
+				w, seq = checkPattern(t, m.Data)
+				if m.RouterID != w {
+					t.Errorf("router ID %d does not match payload writer %d", m.RouterID, w)
+				}
+			case MsgConsoleData:
+				w, seq = checkPattern(t, f.Payload)
+			default:
+				t.Errorf("frame %d: unexpected type %d", i, f.Type)
+				return
+			}
+			if last, ok := lastSeq[w]; ok && int(seq) != last+1 {
+				t.Errorf("writer %d: seq %d after %d", w, seq, last)
+			}
+			lastSeq[w] = int(seq)
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("frames never all arrived")
+	}
+	if d := wc.Stats().PacketsDropped.Load(); d != 0 {
+		t.Errorf("dropped %d packets with an oversized queue", d)
+	}
+	if fl, fw := wc.Stats().Flushes.Load(), wc.Stats().FramesWritten.Load(); fl >= fw {
+		t.Logf("no batching observed (%d flushes for %d frames) — scheduling dependent, not fatal", fl, fw)
+	}
+}
+
+// TestConnDropsOldestKeepsControl saturates a Conn whose peer is stalled
+// and verifies the backpressure policy: oldest packets are shed and
+// counted, control frames always survive.
+func TestConnDropsOldestKeepsControl(t *testing.T) {
+	a, b := net.Pipe() // unbuffered: the writer blocks until b reads
+	defer b.Close()
+
+	var dropCb int
+	var dropMu sync.Mutex
+	wc := NewConn(a, ConnConfig{
+		QueueLen:     8,
+		WriteTimeout: time.Minute,
+		OnDropPacket: func(n int) {
+			dropMu.Lock()
+			dropCb += n
+			dropMu.Unlock()
+		},
+	})
+	defer wc.Close()
+
+	// First packet: the writer dequeues it and blocks flushing to the
+	// unread pipe. Everything sent afterwards stays queued.
+	if err := wc.SendPacket(PacketMsg{RouterID: 1, PortID: 1, Data: patternFrame(0, 0, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for wc.Stats().FramesWritten.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never picked up the first packet")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const flood = 50
+	for seq := 1; seq <= flood; seq++ {
+		if err := wc.SendPacket(PacketMsg{RouterID: 1, PortID: 1, Data: patternFrame(0, uint32(seq), 64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const controls = 3
+	for i := 0; i < controls; i++ {
+		if err := wc.SendFrame(Frame{Type: MsgKeepalive}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wantDropped := uint64(flood - 8) // queue holds 8 packets, the newest ones
+	if d := wc.Stats().PacketsDropped.Load(); d != wantDropped {
+		t.Fatalf("PacketsDropped = %d, want %d", d, wantDropped)
+	}
+	dropMu.Lock()
+	if dropCb != int(wantDropped) {
+		t.Fatalf("OnDropPacket total = %d, want %d", dropCb, wantDropped)
+	}
+	dropMu.Unlock()
+
+	// Unblock the pipe and account for everything that reaches the wire.
+	var gotControl int
+	var seqs []uint32
+	fr := NewFrameReader(b)
+	wantFrames := 1 + 8 + controls
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		for i := 0; i < wantFrames; i++ {
+			f, err := fr.Next()
+			if err != nil {
+				t.Errorf("frame %d: %v", i, err)
+				return
+			}
+			switch f.Type {
+			case MsgKeepalive:
+				gotControl++
+			case MsgPacket:
+				m, err := DecodePacket(f.Payload)
+				if err != nil {
+					t.Errorf("frame %d: %v", i, err)
+					return
+				}
+				_, seq := checkPattern(t, m.Data)
+				seqs = append(seqs, seq)
+			}
+		}
+	}()
+	select {
+	case <-readDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued frames never drained")
+	}
+
+	if gotControl != controls {
+		t.Errorf("control frames delivered = %d, want %d (control must never be dropped)", gotControl, controls)
+	}
+	// Drop-oldest: the survivors are the first packet (already in
+	// flight) plus the NEWEST 8 of the flood.
+	want := []uint32{0}
+	for seq := flood - 7; seq <= flood; seq++ {
+		want = append(want, uint32(seq))
+	}
+	if fmt.Sprint(seqs) != fmt.Sprint(want) {
+		t.Errorf("surviving packet seqs = %v, want %v", seqs, want)
+	}
+}
+
+// TestConnCloseFlushesQueue: frames queued before Close must reach the
+// peer — Close drains, it does not discard.
+func TestConnCloseFlushesQueue(t *testing.T) {
+	client, server := tcpPair(t)
+	wc := NewConn(client, ConnConfig{})
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := wc.SendPacket(PacketMsg{RouterID: 2, PortID: 3, Data: patternFrame(1, uint32(i), 128)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wc.SendFrame(Frame{Type: MsgLeave}); err != nil {
+		t.Fatal(err)
+	}
+	wc.Close()
+
+	fr := NewFrameReader(server)
+	var packets, leaves int
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			break // EOF once the closed conn drains
+		}
+		switch f.Type {
+		case MsgPacket:
+			packets++
+		case MsgLeave:
+			leaves++
+		}
+	}
+	if packets != n || leaves != 1 {
+		t.Errorf("after Close: %d packets, %d leaves; want %d and 1", packets, leaves, n)
+	}
+}
+
+// TestConnSendAfterCloseFails: sends on a closed Conn return an error
+// instead of queueing into the void.
+func TestConnSendAfterCloseFails(t *testing.T) {
+	client, _ := tcpPair(t)
+	wc := NewConn(client, ConnConfig{})
+	wc.Close()
+	if err := wc.SendFrame(Frame{Type: MsgKeepalive}); err == nil {
+		t.Error("SendFrame after Close should fail")
+	}
+	if err := wc.SendPacket(PacketMsg{Data: []byte{1}}); err == nil {
+		t.Error("SendPacket after Close should fail")
+	}
+}
+
+// countingWriter records how many Write calls it sees.
+type countingWriter struct {
+	writes int
+	buf    bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+// TestWriteFrameSingleWrite: header and payload must leave in ONE Write
+// call so concurrent writers on a net.Conn cannot tear frames apart.
+func TestWriteFrameSingleWrite(t *testing.T) {
+	var w countingWriter
+	if err := WriteFrame(&w, Frame{Type: MsgPacket, Payload: []byte("payload bytes")}); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Fatalf("WriteFrame issued %d Write calls, want 1", w.writes)
+	}
+	f, err := ReadFrame(&w.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != MsgPacket || string(f.Payload) != "payload bytes" {
+		t.Errorf("roundtrip got %+v", f)
+	}
+}
+
+// TestWriteFrameConcurrentNoTearing: two goroutines writing frames to
+// the same TCP conn WITHOUT any shared mutex must not interleave bytes
+// (each frame is a single conn.Write, and net.Conn Writes are atomic
+// with respect to each other).
+func TestWriteFrameConcurrentNoTearing(t *testing.T) {
+	client, server := tcpPair(t)
+	const writers, perWriter = 4, 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := 0; seq < perWriter; seq++ {
+				f := Frame{Type: MsgConsoleData, Payload: patternFrame(uint32(w), uint32(seq), 300)}
+				if err := WriteFrame(client, f); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+
+	fr := NewFrameReader(server)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < writers*perWriter; i++ {
+			f, err := fr.Next()
+			if err != nil {
+				t.Errorf("frame %d: %v", i, err)
+				return
+			}
+			checkPattern(t, f.Payload)
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("frames never all arrived intact")
+	}
+}
+
+// TestFrameReaderMatchesReadFrame: the pooled reader and the allocating
+// reader must agree on the same byte stream.
+func TestFrameReaderMatchesReadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	var want []Frame
+	for i := 0; i < 20; i++ {
+		f := Frame{Type: MsgType(i%5 + 1), Payload: bytes.Repeat([]byte{byte(i)}, i*7)}
+		want = append(want, Frame{Type: f.Type, Payload: append([]byte(nil), f.Payload...)})
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+	for i, w := range want {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != w.Type || !bytes.Equal(got.Payload, w.Payload) {
+			t.Errorf("frame %d mismatch", i)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Errorf("want EOF at end, got %v", err)
+	}
+}
+
+// TestConnWriterFailurePropagates: once the peer is gone, sends start
+// returning the write error so callers can tear down.
+func TestConnWriterFailurePropagates(t *testing.T) {
+	client, server := tcpPair(t)
+	wc := NewConn(client, ConnConfig{WriteTimeout: 100 * time.Millisecond})
+	defer wc.Close()
+	server.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := wc.SendFrame(Frame{Type: MsgKeepalive})
+		if err != nil && err != ErrConnClosed {
+			break // writer error surfaced
+		}
+		if err == ErrConnClosed {
+			t.Fatal("conn reported closed instead of the write error")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write error never surfaced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if wc.Err() == nil {
+		t.Error("Err() should report the writer failure")
+	}
+}

@@ -13,12 +13,18 @@
 // flags — followed by the raw captured Ethernet frame, exactly as the
 // paper describes: "wrap the complete packet in an IP packet which
 // includes the port's and router's unique id".
+//
+// The data plane runs through Conn (asynchronous batched writer with a
+// bounded drop-oldest send queue; see conn.go) and FrameReader (pooled
+// frame reads); WriteFrame/ReadFrame are the synchronous building blocks
+// used for handshakes and tests.
 package wire
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MsgType identifies a tunnel message.
@@ -58,24 +64,30 @@ type Frame struct {
 	Payload []byte
 }
 
-// WriteFrame writes one frame to w. Callers serialize writes themselves
-// (see Conn).
+// writeBufPool recycles the coalescing buffer WriteFrame uses to emit
+// header + payload as one Write call.
+var writeBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+// WriteFrame writes one frame to w as a single Write call, so two
+// concurrent writers on a net.Conn cannot interleave header and payload
+// (each conn.Write is atomic with respect to other Writes on the same
+// connection). The hot path should prefer Conn, which batches many
+// frames per syscall.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload)+1 > MaxFrameLen {
 		return fmt.Errorf("wire: frame payload %d bytes exceeds maximum", len(f.Payload))
 	}
+	bp := writeBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(f.Payload)+1))
 	hdr[4] = byte(f.Type)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(f.Payload) > 0 {
-		if _, err := w.Write(f.Payload); err != nil {
-			return err
-		}
-	}
-	return nil
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, f.Payload...)
+	_, err := w.Write(buf)
+	*bp = buf
+	writeBufPool.Put(bp)
+	return err
 }
 
 // ReadFrame reads one frame from r.
