@@ -36,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only when -pprof is set
 	"os"
 	"time"
 
@@ -146,11 +148,15 @@ type suiteSpec struct {
 
 func main() {
 	var (
-		server = flag.String("server", "http://127.0.0.1:8080", "RNL web server URL")
-		token  = flag.String("token", "", "API token")
-		suite  = flag.String("suite", "nightly.json", "suite file")
+		server    = flag.String("server", "http://127.0.0.1:8080", "RNL web server URL")
+		token     = flag.String("token", "", "API token")
+		suite     = flag.String("suite", "nightly.json", "suite file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go http.ListenAndServe(*pprofAddr, nil)
+	}
 
 	raw, err := os.ReadFile(*suite)
 	if err != nil {

@@ -29,6 +29,8 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
@@ -153,9 +155,18 @@ func main() {
 	var (
 		configPath = flag.String("config", "ris.json", "path to the RIS configuration")
 		fast       = flag.Bool("fast", false, "use fast protocol timers (demos)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *pprofAddr != "" {
+		go func() {
+			log.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Warn("pprof server stopped", "err", err)
+			}
+		}()
+	}
 
 	raw, err := os.ReadFile(*configPath)
 	if err != nil {

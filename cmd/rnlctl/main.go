@@ -8,7 +8,7 @@
 // Commands:
 //
 //	inventory                          list registered routers and ports
-//	stats                              route server counters
+//	stats                              observability snapshot (route server + rnl_* metrics, JSON)
 //	designs                            list saved designs
 //	design-get <name>                  print a design as JSON
 //	design-save <file.json>            save a design from a JSON file

@@ -10,6 +10,8 @@ package main
 import (
 	"flag"
 	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,9 +31,18 @@ func main() {
 		compress   = flag.Bool("compress", false, "accept tunnel packet compression")
 		token      = flag.String("token", "", "API token (empty disables auth)")
 		storeDir   = flag.String("store", "", "directory for persisted designs (empty = memory only)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *pprofAddr != "" {
+		go func() {
+			log.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Warn("pprof server stopped", "err", err)
+			}
+		}()
+	}
 
 	rs := routeserver.New(routeserver.Options{AllowCompression: *compress, Logger: log})
 	boundTunnel, err := rs.Listen(*tunnelAddr)

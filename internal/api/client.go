@@ -79,7 +79,8 @@ func (c *Client) Inventory() ([]RouterInfo, error) {
 	return out, err
 }
 
-// Stats returns route server counters.
+// Stats returns the flat JSON counter snapshot: route server counters
+// plus every rnl_* metric from the observability registry.
 func (c *Client) Stats() (map[string]uint64, error) {
 	var out map[string]uint64
 	err := c.do("GET", "/api/stats", nil, &out)

@@ -1,0 +1,202 @@
+package api_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rnl/internal/lab"
+	"rnl/internal/routeserver"
+)
+
+// TestMetricsEndpoint checks that GET /metrics serves Prometheus text
+// covering every instrumented subsystem. The in-process lab links the
+// wire, ris and routeserver packages into one binary, so all their
+// series land in the shared default registry.
+func TestMetricsEndpoint(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	if _, _, err := c.AddHost("obs-h1", "10.9.0.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AddHost("obs-h2", "10.9.0.2/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Drive a little traffic so the hot-path counters move.
+	inv, err := c.Client.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := routeserver.Link{
+		A: routeserver.PortKey{Router: inv[0].ID, Port: inv[0].Ports[0].ID},
+		B: routeserver.PortKey{Router: inv[1].ID, Port: inv[1].Ports[0].ID},
+	}
+	if err := c.RS.Deploy("obs-lab", []routeserver.Link{link}); err != nil {
+		t.Fatal(err)
+	}
+	defer c.RS.Teardown("obs-lab")
+
+	resp, err := http.Get("http://" + c.WebAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition format", ct)
+	}
+
+	series := map[string]bool{}
+	helpFor := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 {
+				helpFor[fields[2]] = true
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample line: "<name>[{labels}] <value>". Collapse histogram
+		// _bucket/_sum/_count samples onto their parent series name.
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && helpFor[base] {
+				name = base
+				break
+			}
+		}
+		if !strings.HasPrefix(name, "rnl_") {
+			t.Errorf("metric %q does not follow the rnl_<subsystem>_<metric> scheme", name)
+		}
+		series[name] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(series) < 15 {
+		t.Errorf("/metrics exposes %d distinct rnl_ series, want >= 15: %v", len(series), keys(series))
+	}
+	for _, subsystem := range []string{"rnl_wire_", "rnl_ris_", "rnl_routeserver_"} {
+		found := false
+		for name := range series {
+			if strings.HasPrefix(name, subsystem) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s* series on /metrics", subsystem)
+		}
+	}
+	// Registration alone would expose series; the session/registration
+	// gauges must also reflect the two live lab hosts.
+	if !series["rnl_routeserver_routers_registered"] {
+		t.Error("rnl_routeserver_routers_registered series missing")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestHealthzEndpoint checks liveness reporting with a running tunnel
+// accept loop and registered equipment.
+func TestHealthzEndpoint(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	if _, _, err := c.AddHost("hz-h1", "10.9.1.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + c.WebAddr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", resp.StatusCode)
+	}
+	var h struct {
+		Listening   bool `json:"listening"`
+		Sessions    int  `json:"sessions"`
+		Routers     int  `json:"routers"`
+		Deployments int  `json:"deployments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Listening {
+		t.Error("healthz reports not listening while the tunnel accept loop is up")
+	}
+	if h.Sessions < 1 || h.Routers < 1 {
+		t.Errorf("healthz = %+v, want at least 1 session and 1 router", h)
+	}
+}
+
+// TestStatsIncludesObsMetrics checks that /api/stats keeps its legacy
+// flat shape while also carrying the rnl_* registry counters.
+func TestStatsIncludesObsMetrics(t *testing.T) {
+	c := newTestCloud(t, lab.Options{})
+	st, err := c.Client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legacy route-server counters must survive for old clients.
+	for _, legacy := range []string{"packets_forwarded", "packets_injected"} {
+		if _, ok := st[legacy]; !ok {
+			t.Errorf("legacy stats key %q missing: %v", legacy, st)
+		}
+	}
+	found := 0
+	for k := range st {
+		if strings.HasPrefix(k, "rnl_") {
+			found++
+		}
+	}
+	if found < 15 {
+		t.Errorf("stats carries %d rnl_* keys, want >= 15", found)
+	}
+}
+
+// TestMetricsUnauthenticated checks the probe endpoints stay reachable
+// without a token even when API auth is on.
+func TestMetricsUnauthenticated(t *testing.T) {
+	c := newTestCloud(t, lab.Options{Token: "secret"})
+	for _, path := range []string{"/metrics", "/healthz"} {
+		resp, err := http.Get("http://" + c.WebAddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s without token = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// The authenticated API must still demand the token.
+	resp, err := http.Get("http://" + c.WebAddr + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("GET /api/stats without token = %d, want 401", resp.StatusCode)
+	}
+}

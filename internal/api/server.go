@@ -13,6 +13,7 @@ import (
 
 	"rnl/internal/capture"
 	"rnl/internal/console"
+	"rnl/internal/obs"
 	"rnl/internal/reservation"
 	"rnl/internal/routeserver"
 	"rnl/internal/topology"
@@ -81,6 +82,12 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/inventory", s.auth(s.handleInventory))
 	mux.HandleFunc("GET /api/stats", s.auth(s.handleStats))
+
+	// Observability endpoints are unauthenticated by design: liveness
+	// probes and metric scrapers don't carry API tokens, and neither
+	// endpoint exposes user data.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 
 	mux.HandleFunc("GET /api/designs", s.auth(s.handleDesignList))
 	mux.HandleFunc("GET /api/designs/{name}", s.auth(s.handleDesignGet))
@@ -181,8 +188,33 @@ func (s *Server) handleInventory(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.rs.Inventory())
 }
 
+// handleStats serves the flat JSON counter snapshot: the route server's
+// legacy per-instance counters plus every rnl_* metric in the process
+// observability registry (histograms as <name>_count).
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.rs.StatsSnapshot())
+	out := s.rs.StatsSnapshot()
+	for k, v := range obs.Default().Snapshot().Flatten() {
+		out[k] = v
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics serves the Prometheus text exposition of the process
+// observability registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default().WritePrometheus(w)
+}
+
+// handleHealthz is the liveness probe: 200 while the RIS tunnel accept
+// loop is up, 503 once it has died, with the health details as JSON.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.rs.Health()
+	status := http.StatusOK
+	if !h.Listening {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 // --- designs -----------------------------------------------------------------

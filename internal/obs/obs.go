@@ -1,0 +1,383 @@
+// Package obs is RNL's control-plane observability layer: a small,
+// dependency-free metrics registry shared by every subsystem (wire
+// tunnel writer, RIS agents, route server) plus a Prometheus text
+// encoder. The route server's web API exposes the process registry on
+// GET /metrics (Prometheus exposition), GET /healthz (liveness) and
+// GET /api/stats (JSON snapshot).
+//
+// Naming scheme: rnl_<subsystem>_<metric>[_total]. Counters carry a
+// _total suffix; gauges and histograms do not. All metrics are
+// process-wide aggregates — per-struct Stats fields (wire.ConnStats,
+// ris.Stats, routeserver.Stats) remain the per-instance view and are
+// mirrored into obs, never double-counted.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use, but counters should normally be created through a Registry so
+// they are exported.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depths, active
+// sessions). Concurrent Adds from many instances aggregate correctly.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed, cumulative buckets — the
+// classic Prometheus histogram shape. Observe is lock-free: one atomic
+// add for the bucket, one for the count, a CAS loop for the sum.
+type Histogram struct {
+	bounds []float64       // strictly increasing upper bounds; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (≤ ~16); linear scan beats binary search here.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns how many samples have been observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Default bucket boundaries.
+var (
+	// LatencyBuckets covers 1 µs .. 1 s in decades, for durations in
+	// seconds (write latencies, batch flush times).
+	LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+	// SizeBuckets covers small counts and sizes in powers of two
+	// (batch sizes, queue depths).
+	SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}
+)
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named metrics. Registration is idempotent: asking for
+// an existing name of the same kind returns the same metric, so package
+// init order never matters; a kind clash panics (programmer error).
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default is the process-wide registry every RNL subsystem registers
+// into; the web API serves it on /metrics and /api/stats.
+func Default() *Registry { return defaultRegistry }
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) lookup(name string, kind metricKind) *metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q already registered as %s, requested %s", name, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{name: name, kind: kind}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.lookup(name, kindCounter)
+	if m.counter == nil {
+		m.counter = &Counter{}
+		m.help = help
+	}
+	return m.counter
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.lookup(name, kindGauge)
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+		m.help = help
+	}
+	return m.gauge
+}
+
+// Histogram registers (or returns the existing) histogram under name
+// with the given upper bucket bounds (strictly increasing; +Inf is
+// implicit). Bounds are only used on first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.lookup(name, kindHistogram)
+	if m.hist == nil {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing", name))
+			}
+		}
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+		m.hist = h
+		m.help = help
+	}
+	return m.hist
+}
+
+// sorted returns the metrics in name order — the stable iteration both
+// Snapshot and WritePrometheus use.
+func (r *Registry) sorted() []*metric {
+	r.mu.RLock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	Le    float64 `json:"-"` // upper bound; +Inf for the last bucket
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON encodes the bound as a string ("0.001", "+Inf"), matching
+// the Prometheus label convention — JSON has no infinity literal.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatFloat(b.Le), b.Count)), nil
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    string `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.Le == "+Inf" {
+		b.Le = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(raw.Le, 64)
+		if err != nil {
+			return fmt.Errorf("obs: bad bucket bound %q: %w", raw.Le, err)
+		}
+		b.Le = v
+	}
+	b.Count = raw.Count
+	return nil
+}
+
+// HistogramSnapshot is the frozen view of one histogram.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot is a stable, JSON-marshalable view of a registry. Map keys
+// are metric names; use Flatten for a single flat number map.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes every registered metric. Values are read without
+// stopping writers, so cross-metric totals may be momentarily skewed,
+// but each value is itself consistent.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.name] = m.counter.Value()
+		case kindGauge:
+			s.Gauges[m.name] = m.gauge.Value()
+		case kindHistogram:
+			h := m.hist
+			hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+			cum := uint64(0)
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				le := math.Inf(1)
+				if i < len(h.bounds) {
+					le = h.bounds[i]
+				}
+				hs.Buckets = append(hs.Buckets, BucketCount{Le: le, Count: cum})
+			}
+			s.Histograms[m.name] = hs
+		}
+	}
+	return s
+}
+
+// Flatten folds a snapshot into one flat name → value map: counters and
+// gauges verbatim, histograms as <name>_count. Negative gauge readings
+// (possible transiently during concurrent updates) clamp to zero.
+func (s Snapshot) Flatten() map[string]uint64 {
+	out := make(map[string]uint64, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for k, v := range s.Counters {
+		out[k] = v
+	}
+	for k, v := range s.Gauges {
+		if v < 0 {
+			v = 0
+		}
+		out[k] = uint64(v)
+	}
+	for k, h := range s.Histograms {
+		out[k+"_count"] = h.Count
+	}
+	return out
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus encodes the registry in the Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.gauge.Value())
+		case kindHistogram:
+			h := m.hist
+			cum := uint64(0)
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = formatFloat(h.bounds[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, le, cum)
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_counter_total", "help")
+	g := r.Gauge("test_gauge", "help")
+	const workers, iters = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				c.Add(2)
+				g.Inc()
+				g.Add(-3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), uint64(workers*iters*3); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := g.Value(), int64(-2*workers*iters); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramConcurrency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "help", []float64{1, 10, 100})
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h.Observe(0.5) // bucket le=1
+				h.Observe(5)   // bucket le=10
+				h.Observe(500) // overflow bucket
+			}
+		}()
+	}
+	wg.Wait()
+	n := uint64(workers * iters)
+	if got := h.Count(); got != 3*n {
+		t.Errorf("count = %d, want %d", got, 3*n)
+	}
+	wantSum := float64(n)*0.5 + float64(n)*5 + float64(n)*500
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("sum = %g, want %g", got, wantSum)
+	}
+	hs := r.Snapshot().Histograms["test_hist"]
+	wantCum := []uint64{n, 2 * n, 2 * n, 3 * n} // le=1, le=10, le=100, +Inf
+	if len(hs.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %d, want %d", len(hs.Buckets), len(wantCum))
+	}
+	for i, b := range hs.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket[%d] (le=%g) = %d, want %d", i, b.Le, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(hs.Buckets[3].Le, 1) {
+		t.Errorf("last bucket le = %g, want +Inf", hs.Buckets[3].Le)
+	}
+}
+
+func TestRegistryIdempotentAndKindClash(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "first")
+	b := r.Counter("dup_total", "second help ignored")
+	if a != b {
+		t.Error("re-registering the same counter returned a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering dup_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "clash")
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9leading", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+// TestPrometheusGolden pins the exact text exposition for a small
+// registry: sorted by name, HELP/TYPE headers, cumulative buckets with
+// +Inf, _sum and _count.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rnl_b_frames_total", "Frames.").Add(42)
+	r.Gauge("rnl_a_depth", "Depth.").Set(-7)
+	h := r.Histogram("rnl_c_seconds", "Latency.", []float64{0.001, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP rnl_a_depth Depth.
+# TYPE rnl_a_depth gauge
+rnl_a_depth -7
+# HELP rnl_b_frames_total Frames.
+# TYPE rnl_b_frames_total counter
+rnl_b_frames_total 42
+# HELP rnl_c_seconds Latency.
+# TYPE rnl_c_seconds histogram
+rnl_c_seconds_bucket{le="0.001"} 1
+rnl_c_seconds_bucket{le="0.1"} 3
+rnl_c_seconds_bucket{le="+Inf"} 4
+rnl_c_seconds_sum 3.1005
+rnl_c_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSONAndFlatten(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(5)
+	r.Gauge("g_pos", "").Set(3)
+	r.Gauge("g_neg", "").Set(-2)
+	r.Histogram("h_sizes", "", []float64{1, 2}).Observe(1.5)
+
+	snap := r.Snapshot()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot JSON round-trip: %v", err)
+	}
+	if back.Counters["c_total"] != 5 || back.Gauges["g_pos"] != 3 {
+		t.Errorf("round-trip lost values: %+v", back)
+	}
+
+	flat := snap.Flatten()
+	if flat["c_total"] != 5 || flat["g_pos"] != 3 || flat["h_sizes_count"] != 1 {
+		t.Errorf("flatten = %v", flat)
+	}
+	if flat["g_neg"] != 0 {
+		t.Errorf("negative gauge should clamp to 0, got %d", flat["g_neg"])
+	}
+}
+
+func TestDefaultRegistryShared(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default() is not a singleton")
+	}
+}

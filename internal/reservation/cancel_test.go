@@ -1,0 +1,28 @@
+package reservation
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCancelDeletesEmptyRouterKey pins the byRouter map cleanup: before
+// the fix, cancelling a router's last booking left an empty slice keyed
+// under the router name forever, so a long-lived server leaked one map
+// entry per router name ever booked and cancelled.
+func TestCancelDeletesEmptyRouterKey(t *testing.T) {
+	c, _ := newCal()
+	res, err := c.Reserve("alice", []string{"r1", "r2"}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if err := c.Cancel(r.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for router, list := range c.byRouter {
+		t.Errorf("byRouter[%q] still present after cancelling all bookings: %v", router, list)
+	}
+}

@@ -109,7 +109,13 @@ func (c *Calendar) Cancel(id uint64) error {
 	for router, list := range c.byRouter {
 		for i, r := range list {
 			if r.ID == id {
-				c.byRouter[router] = append(list[:i], list[i+1:]...)
+				if len(list) == 1 {
+					// Last booking: drop the key too, or routers that were
+					// ever cancelled leak map entries forever.
+					delete(c.byRouter, router)
+				} else {
+					c.byRouter[router] = append(list[:i], list[i+1:]...)
+				}
 				return nil
 			}
 		}

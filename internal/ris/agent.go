@@ -180,6 +180,7 @@ func (a *Agent) Run(ctx context.Context) error {
 				return ctx.Err()
 			case <-a.connDone():
 				a.stats.Reconnects.Add(1)
+				mReconnects.Inc()
 				if time.Since(connectedAt) >= a.cfg.reconnectResetAfter() {
 					backoff = base
 				}
@@ -325,6 +326,8 @@ func (a *Agent) sendPacket(id portID, frame []byte) {
 	if err == nil {
 		a.stats.FramesToServer.Add(1)
 		a.stats.BytesToServer.Add(uint64(len(frame)))
+		mCaptureFrames.Inc()
+		mCaptureBytes.Add(uint64(len(frame)))
 	}
 }
 
@@ -408,6 +411,8 @@ func (a *Agent) deliverPacket(payload []byte) {
 	}
 	a.stats.FramesFromServer.Add(1)
 	a.stats.BytesFromServer.Add(uint64(len(data)))
+	mDeliveredFrames.Inc()
+	mDeliveredBytes.Add(uint64(len(data)))
 	nic.Transmit(data)
 }
 
@@ -469,6 +474,7 @@ func (a *Agent) startConsoleReaders() {
 								RouterID: routerID, SessionID: sess, Data: buf[:n],
 							}),
 						})
+						mConsoleBytes.Add(uint64(n))
 					}
 				}
 				if err != nil {
@@ -503,6 +509,7 @@ func (a *Agent) consoleInput(m wire.ConsoleDataMsg) {
 	relay.mu.Unlock()
 	if active {
 		relay.rw.Write(m.Data)
+		mConsoleBytes.Add(uint64(len(m.Data)))
 	}
 }
 

@@ -1,0 +1,21 @@
+package ris
+
+import "rnl/internal/obs"
+
+// Process-wide RIS metrics, aggregated across every Agent in the process
+// (tests and the lab harness run many; cmd/ris runs one). Per-agent
+// numbers stay in Stats; these mirror them for the /metrics endpoint.
+var (
+	mReconnects = obs.Default().Counter("rnl_ris_reconnects_total",
+		"Tunnel reconnect attempts after a lost route-server connection.")
+	mCaptureFrames = obs.Default().Counter("rnl_ris_capture_frames_total",
+		"Frames captured from device NICs and queued for the route server.")
+	mCaptureBytes = obs.Default().Counter("rnl_ris_capture_bytes_total",
+		"Payload bytes captured from device NICs and queued for the route server.")
+	mDeliveredFrames = obs.Default().Counter("rnl_ris_delivered_frames_total",
+		"Frames received from the route server and transmitted on device NICs.")
+	mDeliveredBytes = obs.Default().Counter("rnl_ris_delivered_bytes_total",
+		"Payload bytes received from the route server and transmitted on device NICs.")
+	mConsoleBytes = obs.Default().Counter("rnl_ris_console_bytes_total",
+		"Serial console bytes relayed in either direction (device output and keystrokes).")
+)

@@ -128,6 +128,7 @@ func (h *captureHub) deliver(port PortKey, dir CaptureDir, frame []byte, stats *
 		select {
 		case t.ch <- cp:
 			stats.PacketsCaptured.Add(1)
+			mPacketsCaptured.Inc()
 		default:
 			t.dropped++
 		}

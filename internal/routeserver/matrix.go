@@ -92,10 +92,14 @@ func (m *matrix) deploy(name, owner string, links []Link, portExists func(PortKe
 		m.routes[l.B] = l.A
 	}
 	m.deployments[name] = d
+	mDeploymentsActive.Inc()
 	return nil
 }
 
-// teardown removes a deployment's wires and frees its routers.
+// teardown removes a deployment's wires and frees its routers. It only
+// deletes routes it still owns: a link whose far end has been rewired by
+// a newer deployment (possible if a vanished router's ports ever get
+// reused) must not be torn off the matrix by a stale deployment record.
 func (m *matrix) teardown(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -104,18 +108,28 @@ func (m *matrix) teardown(name string) error {
 		return fmt.Errorf("routeserver: no deployment %q", name)
 	}
 	for _, l := range d.Links {
-		delete(m.routes, l.A)
-		delete(m.routes, l.B)
+		if dst, ok := m.routes[l.A]; ok && dst == l.B {
+			delete(m.routes, l.A)
+		}
+		if dst, ok := m.routes[l.B]; ok && dst == l.A {
+			delete(m.routes, l.B)
+		}
 	}
 	for _, rid := range d.Routers {
-		delete(m.routerOwner, rid)
+		if m.routerOwner[rid] == name {
+			delete(m.routerOwner, rid)
+		}
 	}
 	delete(m.deployments, name)
+	mDeploymentsActive.Dec()
 	return nil
 }
 
 // dropRouter removes every wire touching a router (its RIS vanished) and
-// releases the router from its deployment.
+// releases the router from its deployment. The owning deployment's Links
+// and Routers are pruned at drop time: leaving them stale would make a
+// later teardown delete matrix routes the deployment no longer owns and
+// re-free a router ID another deployment may have since reserved.
 func (m *matrix) dropRouter(id uint32) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -124,7 +138,31 @@ func (m *matrix) dropRouter(id uint32) {
 			delete(m.routes, src)
 		}
 	}
+	if owner, ok := m.routerOwner[id]; ok {
+		if d := m.deployments[owner]; d != nil {
+			keepLinks := d.Links[:0]
+			for _, l := range d.Links {
+				if l.A.Router != id && l.B.Router != id {
+					keepLinks = append(keepLinks, l)
+				}
+			}
+			d.Links = keepLinks
+			for i, rid := range d.Routers {
+				if rid == id {
+					d.Routers = append(d.Routers[:i], d.Routers[i+1:]...)
+					break
+				}
+			}
+		}
+	}
 	delete(m.routerOwner, id)
+}
+
+// count reports how many deployments are active.
+func (m *matrix) count() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.deployments)
 }
 
 // list returns deployment snapshots sorted by name.

@@ -1,0 +1,62 @@
+package routeserver
+
+import "rnl/internal/obs"
+
+// Process-wide route-server metrics, aggregated across every Server in
+// the process (production runs one; tests run many). Per-server numbers
+// stay in Stats / StatsSnapshot; these mirror them for /metrics.
+var (
+	mSessionsActive = obs.Default().Gauge("rnl_routeserver_sessions_active",
+		"RIS tunnel sessions currently connected.")
+	mSessionsTotal = obs.Default().Counter("rnl_routeserver_sessions_total",
+		"RIS tunnel sessions accepted since start.")
+	mRoutersRegistered = obs.Default().Gauge("rnl_routeserver_routers_registered",
+		"Routers currently registered in the inventory.")
+	mPortsRegistered = obs.Default().Gauge("rnl_routeserver_ports_registered",
+		"Router ports currently registered in the inventory.")
+	mDeploymentsActive = obs.Default().Gauge("rnl_routeserver_deployments_active",
+		"Deployed test labs currently wired in the routing matrix.")
+	mPacketsForwarded = obs.Default().Counter("rnl_routeserver_packets_forwarded_total",
+		"Frames forwarded port-to-port through the routing matrix.")
+	mBytesForwarded = obs.Default().Counter("rnl_routeserver_bytes_forwarded_total",
+		"Payload bytes forwarded port-to-port through the routing matrix.")
+	mPacketsNoRoute = obs.Default().Counter("rnl_routeserver_packets_no_route_total",
+		"Frames arriving on ports with no wire in the routing matrix.")
+	mPacketsInjected = obs.Default().Counter("rnl_routeserver_packets_injected_total",
+		"Frames injected by the traffic-generation module.")
+	mPacketsCaptured = obs.Default().Counter("rnl_routeserver_packets_captured_total",
+		"Frames delivered to software capture taps.")
+	mPacketsDropped = obs.Default().Counter("rnl_routeserver_packets_dropped_total",
+		"Frames shed by per-session tunnel send queues under backpressure.")
+	mStreamsActive = obs.Default().Gauge("rnl_routeserver_streams_active",
+		"Traffic-generation streams currently running.")
+	mStreamInjections = obs.Default().Counter("rnl_routeserver_stream_injections_total",
+		"Frames injected by rate-controlled traffic streams.")
+)
+
+// Health is the route server's liveness view, served on /healthz.
+type Health struct {
+	// Listening reports the RIS tunnel accept loop is up.
+	Listening bool `json:"listening"`
+	// Sessions is the number of connected RIS tunnels.
+	Sessions int `json:"sessions"`
+	// Routers is the number of registered routers.
+	Routers int `json:"routers"`
+	// Deployments is the number of active deployed labs.
+	Deployments int `json:"deployments"`
+}
+
+// Health reports whether the accept loop is up and how much the server
+// currently holds. A server that never listened, or whose listener
+// died, reports Listening=false.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	sessions := len(s.sessions)
+	s.mu.Unlock()
+	return Health{
+		Listening:   s.accepting.Load(),
+		Sessions:    sessions,
+		Routers:     s.reg.count(),
+		Deployments: s.matrix.count(),
+	}
+}

@@ -68,8 +68,9 @@ func newRegistry() *registry {
 	return &registry{routers: make(map[uint32]*RouterInfo), nextRouter: 1, nextPort: 1}
 }
 
-// add registers a router owned by a session and assigns unique IDs.
-func (g *registry) add(sessionID uint64, info RouterInfo) *RouterInfo {
+// add registers a router owned by a session and returns a copy of the
+// record with its assigned IDs.
+func (g *registry) add(sessionID uint64, info RouterInfo) RouterInfo {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	info.ID = g.nextRouter
@@ -82,7 +83,9 @@ func (g *registry) add(sessionID uint64, info RouterInfo) *RouterInfo {
 	info.sessionID = sessionID
 	r := &info
 	g.routers[info.ID] = r
-	return r
+	mRoutersRegistered.Inc()
+	mPortsRegistered.Add(int64(len(info.Ports)))
+	return copyInfo(r)
 }
 
 // dropSession removes every router owned by a session and returns their IDs.
@@ -94,29 +97,51 @@ func (g *registry) dropSession(sessionID uint64) []uint32 {
 		if r.sessionID == sessionID {
 			delete(g.routers, id)
 			gone = append(gone, id)
+			mRoutersRegistered.Dec()
+			mPortsRegistered.Add(int64(-len(r.Ports)))
 		}
 	}
 	return gone
 }
 
-// get returns a router by ID.
-func (g *registry) get(id uint32) (*RouterInfo, bool) {
+// copyInfo snapshots a registry record, including the port slice. Must
+// be called with g.mu held (either mode).
+func copyInfo(r *RouterInfo) RouterInfo {
+	cp := *r
+	cp.Ports = append([]PortInfo(nil), r.Ports...)
+	return cp
+}
+
+// get returns a defensive copy of a router's record. Callers read the
+// copy outside the registry lock, so handing out the live pointer would
+// race with setFirmware's locked writes.
+func (g *registry) get(id uint32) (RouterInfo, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	r, ok := g.routers[id]
-	return r, ok
+	if !ok {
+		return RouterInfo{}, false
+	}
+	return copyInfo(r), true
 }
 
-// byName returns a router by inventory name.
-func (g *registry) byName(name string) (*RouterInfo, bool) {
+// byName returns a defensive copy of a router's record by inventory name.
+func (g *registry) byName(name string) (RouterInfo, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	for _, r := range g.routers {
 		if r.Name == name {
-			return r, true
+			return copyInfo(r), true
 		}
 	}
-	return nil, false
+	return RouterInfo{}, false
+}
+
+// count reports how many routers are registered.
+func (g *registry) count() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.routers)
 }
 
 // list returns a stable snapshot of the inventory.
@@ -125,9 +150,7 @@ func (g *registry) list() []RouterInfo {
 	defer g.mu.RUnlock()
 	out := make([]RouterInfo, 0, len(g.routers))
 	for _, r := range g.routers {
-		cp := *r
-		cp.Ports = append([]PortInfo(nil), r.Ports...)
-		out = append(out, cp)
+		out = append(out, copyInfo(r))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

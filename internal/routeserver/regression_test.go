@@ -1,0 +1,172 @@
+package routeserver
+
+// White-box regression tests for the control-plane correctness fixes:
+// registry reads racing firmware updates, matrix state after a router
+// drop, and prompt stream cancellation. They live in the routeserver
+// package (not routeserver_test) because they pin internal invariants —
+// route-map ownership and deployment pruning — that the public API only
+// exposes indirectly.
+
+import (
+	"io"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+)
+
+func quietServer() *Server {
+	return New(Options{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+}
+
+// TestFirmwareUpdateRace runs SetRouterFirmware concurrently with every
+// registry read path. Before registry reads returned defensive copies,
+// RouterByName handed out the live *RouterInfo and callers read
+// r.Firmware outside the lock — a data race the race detector flags.
+func TestFirmwareUpdateRace(t *testing.T) {
+	s := quietServer()
+	s.reg.add(1, RouterInfo{Name: "r1", Ports: []PortInfo{{Name: "e0"}, {Name: "e1"}}})
+
+	const iters = 200
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		versions := []string{"12.0", "12.1", "12.2"}
+		for i := 0; i < iters; i++ {
+			if !s.SetRouterFirmware("r1", versions[i%len(versions)]) {
+				t.Error("SetRouterFirmware lost the router")
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			r, ok := s.RouterByName("r1")
+			if !ok {
+				t.Error("RouterByName lost the router")
+				return
+			}
+			_ = r.Firmware
+			_, _ = r.PortByName("e0")
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			for _, r := range s.Inventory() {
+				_ = r.Firmware
+				_ = r.Ports
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestRouterInfoCopiesAreIndependent checks that mutating a returned
+// record (or its port slice) never leaks back into the registry.
+func TestRouterInfoCopiesAreIndependent(t *testing.T) {
+	s := quietServer()
+	s.reg.add(1, RouterInfo{Name: "r1", Firmware: "12.0", Ports: []PortInfo{{Name: "e0"}}})
+
+	r, ok := s.RouterByName("r1")
+	if !ok {
+		t.Fatal("router missing")
+	}
+	r.Firmware = "hacked"
+	r.Ports[0].Name = "hacked"
+
+	again, _ := s.RouterByName("r1")
+	if again.Firmware != "12.0" || again.Ports[0].Name != "e0" {
+		t.Errorf("registry mutated through returned copy: %+v", again)
+	}
+}
+
+// TestTeardownAfterDropLeavesReusedPortsWired reproduces the stale-
+// deployment bug: router 2 vanishes while deployment D is active, its
+// port key is later rewired by deployment E, and then D is torn down.
+// The stale D record must not delete E's route or re-free E's router.
+func TestTeardownAfterDropLeavesReusedPortsWired(t *testing.T) {
+	m := newMatrix()
+	anyPort := func(PortKey) bool { return true }
+	p1, p2, p3 := PortKey{Router: 1, Port: 10}, PortKey{Router: 2, Port: 20}, PortKey{Router: 3, Port: 30}
+
+	if err := m.deploy("D", "alice", []Link{{A: p1, B: p2}}, anyPort); err != nil {
+		t.Fatal(err)
+	}
+	m.dropRouter(2) // RIS for router 2 vanished
+
+	// The surviving deployment record must already be pruned.
+	for _, d := range m.list() {
+		if d.Name == "D" {
+			if len(d.Links) != 0 {
+				t.Errorf("dropRouter left stale links in D: %+v", d.Links)
+			}
+			if len(d.Routers) != 1 || d.Routers[0] != 1 {
+				t.Errorf("dropRouter left stale routers in D: %v", d.Routers)
+			}
+		}
+	}
+
+	// Port key 2.20 gets reused by a new deployment (the registry hands
+	// out monotonic IDs, but the matrix must not depend on that).
+	if err := m.deploy("E", "bob", []Link{{A: p2, B: p3}}, anyPort); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.teardown("D"); err != nil {
+		t.Fatal(err)
+	}
+
+	// E's wire must have survived D's teardown, in both directions.
+	if dst, ok := m.lookup(p2); !ok || dst != p3 {
+		t.Errorf("lookup(%s) = %v, %v; want %s", p2, dst, ok, p3)
+	}
+	if dst, ok := m.lookup(p3); !ok || dst != p2 {
+		t.Errorf("lookup(%s) = %v, %v; want %s", p3, dst, ok, p2)
+	}
+	// And E must still own routers 2 and 3 — D's teardown must not have
+	// re-freed them for a third deployment to grab.
+	m.mu.RLock()
+	owner2, owner3 := m.routerOwner[2], m.routerOwner[3]
+	m.mu.RUnlock()
+	if owner2 != "E" || owner3 != "E" {
+		t.Errorf("router owners after teardown = %q, %q; want E, E", owner2, owner3)
+	}
+	if err := m.teardown("E"); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.count(); n != 0 {
+		t.Errorf("deployments left after full teardown: %d", n)
+	}
+}
+
+// TestStreamStopPrompt pins the stop latency: at 1 pps the old
+// implementation only noticed a stop flag after the next ticker fire, so
+// Stop could take a full second to close Done. With the stop channel it
+// must be near-immediate.
+func TestStreamStopPrompt(t *testing.T) {
+	s := quietServer()
+	info := s.reg.add(1, RouterInfo{Name: "r1", Ports: []PortInfo{{Name: "e0"}}})
+	pk := PortKey{Router: info.ID, Port: info.Ports[0].ID}
+
+	st, err := s.StartStream(pk, []byte{0xde, 0xad}, 1 /* pps */, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the generator reach its ticker wait
+	start := time.Now()
+	st.Stop()
+	select {
+	case <-st.Done():
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("stream still running 500ms after Stop; stop should not wait for the next tick")
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Errorf("Stop took %v to close Done; want well under the 1s tick interval", d)
+	}
+	if st.Running() {
+		t.Error("Running() true after Done closed")
+	}
+	st.Stop() // idempotent
+}

@@ -65,6 +65,8 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 	onChange []func() // registry-change notifications (web UI refresh)
+
+	accepting atomic.Bool // accept loop liveness, reported by Health
 }
 
 // session is one RIS tunnel connection.
@@ -141,6 +143,7 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", fmt.Errorf("routeserver: listen %s: %w", addr, err)
 	}
 	s.ln = ln
+	s.accepting.Store(true)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return ln.Addr().String(), nil
@@ -197,13 +200,7 @@ func (s *Server) Inventory() []RouterInfo { return s.reg.list() }
 
 // RouterByName finds a router by inventory name.
 func (s *Server) RouterByName(name string) (RouterInfo, bool) {
-	r, ok := s.reg.byName(name)
-	if !ok {
-		return RouterInfo{}, false
-	}
-	cp := *r
-	cp.Ports = append([]PortInfo(nil), r.Ports...)
-	return cp, true
+	return s.reg.byName(name)
 }
 
 // RouterName resolves a router ID to its inventory name.
@@ -234,6 +231,7 @@ func (s *Server) StatsSnapshot() map[string]uint64 {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	defer s.accepting.Store(false)
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -251,6 +249,8 @@ func (s *Server) acceptLoop() {
 		s.sessions[id] = sess
 		s.mu.Unlock()
 		s.stats.SessionsTotal.Add(1)
+		mSessionsTotal.Inc()
+		mSessionsActive.Inc()
 		s.wg.Add(1)
 		go s.serveSession(sess)
 	}
@@ -291,6 +291,7 @@ func (s *Server) serveSession(sess *session) {
 		Encoder:  enc,
 		OnDropPacket: func(n int) {
 			s.stats.PacketsDropped.Add(uint64(n))
+			mPacketsDropped.Add(uint64(n))
 		},
 	})
 	sess.setConn(wc)
@@ -408,7 +409,10 @@ func (s *Server) handshake(sess *session) error {
 func (s *Server) dropSession(sess *session) {
 	sess.conn.Close()
 	s.mu.Lock()
-	delete(s.sessions, sess.id)
+	if _, live := s.sessions[sess.id]; live {
+		delete(s.sessions, sess.id)
+		mSessionsActive.Dec()
+	}
 	s.mu.Unlock()
 	gone := s.reg.dropSession(sess.id)
 	for _, id := range gone {
@@ -459,6 +463,7 @@ func (s *Server) handlePacket(sess *session, payload []byte) {
 	dst, ok := s.matrix.lookup(src)
 	if !ok {
 		s.stats.PacketsNoRoute.Add(1)
+		mPacketsNoRoute.Inc()
 		return
 	}
 	s.deliverToPort(dst, data)
@@ -470,12 +475,15 @@ func (s *Server) deliverToPort(dst PortKey, data []byte) {
 	dstSess, ok := s.sessionFor(dst.Router)
 	if !ok {
 		s.stats.PacketsNoRoute.Add(1)
+		mPacketsNoRoute.Inc()
 		return
 	}
 	err := dstSess.writePacket(wire.PacketMsg{RouterID: dst.Router, PortID: dst.Port, Data: data})
 	if err == nil {
 		s.stats.PacketsForwarded.Add(1)
 		s.stats.BytesForwarded.Add(uint64(len(data)))
+		mPacketsForwarded.Inc()
+		mBytesForwarded.Add(uint64(len(data)))
 	}
 }
 
@@ -487,6 +495,7 @@ func (s *Server) InjectPacket(dst PortKey, frame []byte) error {
 		return fmt.Errorf("routeserver: port %s not registered", dst)
 	}
 	s.stats.PacketsInjected.Add(1)
+	mPacketsInjected.Inc()
 	s.deliverToPort(dst, frame)
 	return nil
 }
@@ -500,10 +509,12 @@ func (s *Server) InjectFromPort(src PortKey, frame []byte) error {
 		return fmt.Errorf("routeserver: port %s not registered", src)
 	}
 	s.stats.PacketsInjected.Add(1)
+	mPacketsInjected.Inc()
 	s.captures.deliver(src, DirFromPort, frame, &s.stats)
 	dst, ok := s.matrix.lookup(src)
 	if !ok {
 		s.stats.PacketsNoRoute.Add(1)
+		mPacketsNoRoute.Inc()
 		return nil // unwired port: the frame falls off the open wire end
 	}
 	s.deliverToPort(dst, frame)

@@ -14,10 +14,11 @@ type Stream struct {
 	port     PortKey
 	fromPort bool
 
-	sent    atomic.Uint64
-	stopped atomic.Bool
-	done    chan struct{}
-	once    sync.Once
+	sent     atomic.Uint64
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	once     sync.Once
 }
 
 // Sent reports frames injected so far.
@@ -36,12 +37,11 @@ func (st *Stream) Running() bool {
 	}
 }
 
-// Stop halts the stream; idempotent.
+// Stop halts the stream; idempotent. The generator selects on the stop
+// channel alongside its ticker, so Done closes promptly instead of after
+// up to a full inter-packet interval (~1 s at 1 pps).
 func (st *Stream) Stop() {
-	st.stopped.Store(true)
-	// done is closed by the generator goroutine when it notices; for
-	// prompt Stop-before-start edge cases the goroutine also checks
-	// stopped before every frame.
+	st.stopOnce.Do(func() { close(st.stop) })
 }
 
 // StartStream injects count copies of frame at the given rate
@@ -59,7 +59,7 @@ func (s *Server) StartStream(port PortKey, frame []byte, pps, count int, fromPor
 		return nil, fmt.Errorf("routeserver: stream needs a frame")
 	}
 	frameCopy := append([]byte(nil), frame...)
-	st := &Stream{port: port, fromPort: fromPort, done: make(chan struct{})}
+	st := &Stream{port: port, fromPort: fromPort, stop: make(chan struct{}), done: make(chan struct{})}
 	inject := s.InjectPacket
 	if fromPort {
 		inject = s.InjectFromPort
@@ -68,22 +68,28 @@ func (s *Server) StartStream(port PortKey, frame []byte, pps, count int, fromPor
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
+	mStreamsActive.Inc()
 	go func() {
+		defer mStreamsActive.Dec()
 		defer st.once.Do(func() { close(st.done) })
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for count <= 0 || st.sent.Load() < uint64(count) {
-			if st.stopped.Load() {
+			select {
+			case <-st.stop:
 				return
+			case <-ticker.C:
 			}
-			<-ticker.C
-			if st.stopped.Load() {
+			select {
+			case <-st.stop:
 				return
+			default:
 			}
 			if err := inject(port, frameCopy); err != nil {
 				return // port vanished (RIS left)
 			}
 			st.sent.Add(1)
+			mStreamInjections.Inc()
 		}
 	}()
 	return st, nil

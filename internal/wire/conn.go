@@ -169,6 +169,7 @@ func (c *Conn) SendFrame(f Frame) error {
 	c.stats.FramesEnqueued.Add(1)
 	c.cond.Signal()
 	c.mu.Unlock()
+	mQueueDepth.Inc()
 	return nil
 }
 
@@ -210,8 +211,12 @@ func (c *Conn) SendPacket(m PacketMsg) error {
 	}
 	c.cond.Signal()
 	c.mu.Unlock()
-	if dropped > 0 && c.cfg.OnDropPacket != nil {
-		c.cfg.OnDropPacket(dropped)
+	mQueueDepth.Add(int64(1 - dropped))
+	if dropped > 0 {
+		mPacketsDropped.Add(uint64(dropped))
+		if c.cfg.OnDropPacket != nil {
+			c.cfg.OnDropPacket(dropped)
+		}
 	}
 	return nil
 }
@@ -264,6 +269,8 @@ func (c *Conn) writeLoop() {
 		c.npkt = 0
 		closing := c.closed
 		c.mu.Unlock()
+		mQueueDepth.Add(int64(-len(batch)))
+		mBatchFrames.Observe(float64(len(batch)))
 
 		timeout := c.cfg.WriteTimeout
 		if closing && timeout > closeGrace {
@@ -272,10 +279,15 @@ func (c *Conn) writeLoop() {
 		if timeout > 0 {
 			c.nc.SetWriteDeadline(time.Now().Add(timeout))
 		}
+		start := time.Now()
+		bytesBefore := c.stats.BytesWritten.Load()
 		var err error
+		written := 0
 		for i := range batch {
 			if err == nil {
-				err = c.writeEntry(batch[i])
+				if err = c.writeEntry(batch[i]); err == nil {
+					written++
+				}
 			}
 			putBuf(batch[i].payload)
 			batch[i].payload = nil
@@ -283,8 +295,12 @@ func (c *Conn) writeLoop() {
 		if err == nil {
 			if err = c.bw.Flush(); err == nil {
 				c.stats.Flushes.Add(1)
+				mFlushes.Inc()
 			}
 		}
+		mWriteSeconds.Observe(time.Since(start).Seconds())
+		mFramesSent.Add(uint64(written))
+		mBytesSent.Add(c.stats.BytesWritten.Load() - bytesBefore)
 		if err != nil {
 			c.fail(err)
 			return
@@ -338,6 +354,7 @@ func (c *Conn) fail(err error) {
 	if c.err == nil {
 		c.err = err
 	}
+	discarded := len(c.queue)
 	for i := range c.queue {
 		putBuf(c.queue[i].payload)
 		c.queue[i].payload = nil
@@ -345,6 +362,7 @@ func (c *Conn) fail(err error) {
 	c.queue = nil
 	c.npkt = 0
 	c.mu.Unlock()
+	mQueueDepth.Add(int64(-discarded))
 	c.nc.Close()
 }
 
@@ -384,5 +402,7 @@ func (fr *FrameReader) Next() (Frame, error) {
 			return Frame{}, err
 		}
 	}
+	mFramesReceived.Inc()
+	mBytesReceived.Add(uint64(len(hdr) + len(f.Payload)))
 	return f, nil
 }

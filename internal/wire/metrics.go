@@ -1,0 +1,28 @@
+package wire
+
+import "rnl/internal/obs"
+
+// Process-wide tunnel metrics, aggregated across every Conn and
+// FrameReader in the process (a route server has one per session, a RIS
+// agent one per tunnel). Per-connection numbers stay in ConnStats; these
+// mirror them for the /metrics endpoint.
+var (
+	mFramesSent = obs.Default().Counter("rnl_wire_frames_sent_total",
+		"Frames written to tunnel peers, after batching.")
+	mBytesSent = obs.Default().Counter("rnl_wire_bytes_sent_total",
+		"Bytes written to tunnel peers, including frame headers, after encoding.")
+	mFramesReceived = obs.Default().Counter("rnl_wire_frames_received_total",
+		"Frames read from tunnel peers.")
+	mBytesReceived = obs.Default().Counter("rnl_wire_bytes_received_total",
+		"Bytes read from tunnel peers, including frame headers.")
+	mPacketsDropped = obs.Default().Counter("rnl_wire_packets_dropped_total",
+		"Packets shed by the drop-oldest send-queue backpressure policy.")
+	mFlushes = obs.Default().Counter("rnl_wire_flushes_total",
+		"Batch flushes (write syscall groups) to tunnel peers.")
+	mQueueDepth = obs.Default().Gauge("rnl_wire_send_queue_depth",
+		"Frames currently queued across all tunnel send queues.")
+	mBatchFrames = obs.Default().Histogram("rnl_wire_batch_frames",
+		"Frames coalesced per batch write.", obs.SizeBuckets)
+	mWriteSeconds = obs.Default().Histogram("rnl_wire_write_seconds",
+		"Wall time of one batch write+flush to a tunnel peer.", obs.LatencyBuckets)
+)
