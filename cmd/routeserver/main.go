@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	routeserver [-tunnel :9000] [-http :8080] [-compress] [-token T] [-store DIR]
+//	routeserver [-tunnel :9000] [-http :8080] [-compress] [-token T] [-state DIR] [-grace 60s]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	_ "net/http/pprof" // registered on DefaultServeMux, served only when -pprof is set
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -30,7 +31,9 @@ func main() {
 		httpAddr   = flag.String("http", ":8080", "address for the web UI and API")
 		compress   = flag.Bool("compress", false, "accept tunnel packet compression")
 		token      = flag.String("token", "", "API token (empty disables auth)")
-		storeDir   = flag.String("store", "", "directory for persisted designs (empty = memory only)")
+		storeDir   = flag.String("store", "", "directory for persisted designs (default <state>/designs when -state is set, else memory only)")
+		stateDir   = flag.String("state", "", "directory for durable control-plane state: deployments, inventory, reservations (empty = volatile)")
+		grace      = flag.Duration("grace", routeserver.DefaultRouterGracePeriod, "how long a disconnected RIS keeps its identity and labs before GC (0 = drop immediately)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
@@ -44,7 +47,27 @@ func main() {
 		}()
 	}
 
-	rs := routeserver.New(routeserver.Options{AllowCompression: *compress, Logger: log})
+	graceOpt := *grace
+	if graceOpt == 0 {
+		graceOpt = routeserver.NoRouterGrace
+	}
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			log.Error("state dir failed", "dir", *stateDir, "err", err)
+			os.Exit(1)
+		}
+		if *storeDir == "" {
+			// Designs ride along in the state dir unless placed explicitly.
+			*storeDir = filepath.Join(*stateDir, "designs")
+		}
+	}
+
+	rs := routeserver.New(routeserver.Options{
+		AllowCompression:  *compress,
+		Logger:            log,
+		RouterGracePeriod: graceOpt,
+		StateDir:          *stateDir,
+	})
 	boundTunnel, err := rs.Listen(*tunnelAddr)
 	if err != nil {
 		log.Error("tunnel listen failed", "err", err)
@@ -55,10 +78,22 @@ func main() {
 		log.Error("design store failed", "err", err)
 		os.Exit(1)
 	}
+	cal := reservation.New(sim.Real{})
+	if *stateDir != "" {
+		calPath := filepath.Join(*stateDir, "reservations.json")
+		if err := cal.LoadFile(calPath); err != nil {
+			log.Warn("reservation reload failed; starting empty", "path", calPath, "err", err)
+		}
+		cal.OnMutate(func() {
+			if err := cal.SaveFile(calPath); err != nil {
+				log.Warn("reservation persist failed", "path", calPath, "err", err)
+			}
+		})
+	}
 	web := api.NewServer(api.Config{
 		RouteServer:    rs,
 		Store:          store,
-		Calendar:       reservation.New(sim.Real{}),
+		Calendar:       cal,
 		Token:          *token,
 		ConsoleTimeout: 10 * time.Second,
 		Logger:         log,
@@ -68,7 +103,7 @@ func main() {
 		log.Error("http listen failed", "err", err)
 		os.Exit(1)
 	}
-	log.Info("route server up", "tunnel", boundTunnel, "http", boundHTTP, "compress", *compress)
+	log.Info("route server up", "tunnel", boundTunnel, "http", boundHTTP, "compress", *compress, "state", *stateDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

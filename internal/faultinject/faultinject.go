@@ -1,0 +1,288 @@
+// Package faultinject wraps net.Conn and net.Listener with controllable
+// faults — kill every connection, stall I/O for a while, blackhole one
+// direction, flap on a schedule — so recovery paths (tunnel redial,
+// grace-period re-join, state reconciliation) can be exercised
+// deterministically in tests instead of waiting for real networks to
+// misbehave. It composes with internal/wanem: attach a Conditioner and
+// every outbound chunk is delayed/dropped per the WAN profile, turning a
+// clean loopback into a lossy long-haul tunnel.
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Direction selects which half of a wrapped connection a fault applies
+// to, from the wrapped side's point of view.
+type Direction int
+
+const (
+	// Inbound is data read from the peer.
+	Inbound Direction = iota
+	// Outbound is data written to the peer.
+	Outbound
+)
+
+// Conditioner matches wanem.Conditioner: given a chunk size it returns a
+// delivery delay and whether to drop the chunk entirely. Note that
+// dropping bytes out of a TCP stream corrupts the peer's framing — which
+// is exactly the point: a dropped chunk forces the protocol's recovery
+// path, not a silent retransmit.
+type Conditioner interface {
+	Condition(size int) (delay time.Duration, drop bool)
+}
+
+// Controller owns a set of wrapped connections and applies faults to all
+// of them. The zero value is not usable; call NewController.
+type Controller struct {
+	mu         sync.Mutex
+	conns      map[*Conn]struct{}
+	stallUntil time.Time
+	dropIn     bool
+	dropOut    bool
+	down       bool // listener refuses (closes) new connections
+	cond       Conditioner
+	kills      int
+}
+
+// NewController returns a controller with no faults active.
+func NewController() *Controller {
+	return &Controller{conns: make(map[*Conn]struct{})}
+}
+
+// Wrap registers a connection with the controller and returns the
+// fault-injecting wrapper.
+func (c *Controller) Wrap(nc net.Conn) *Conn {
+	fc := &Conn{Conn: nc, ctl: c}
+	c.mu.Lock()
+	c.conns[fc] = struct{}{}
+	c.mu.Unlock()
+	return fc
+}
+
+// WrapListener returns a listener whose accepted connections are wrapped
+// by (and controlled through) this controller. While the controller is
+// "down" (see FlapEvery), accepted connections are closed immediately —
+// the dial succeeds and instantly dies, like a host whose service is
+// rebooting.
+func (c *Controller) WrapListener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, ctl: c}
+}
+
+// KillAll closes every live wrapped connection — yanking the cable on
+// all tunnels at once — and returns how many it killed.
+func (c *Controller) KillAll() int {
+	c.mu.Lock()
+	victims := make([]*Conn, 0, len(c.conns))
+	for fc := range c.conns {
+		victims = append(victims, fc)
+	}
+	c.kills += len(victims)
+	c.mu.Unlock()
+	for _, fc := range victims {
+		fc.Close()
+	}
+	return len(victims)
+}
+
+// Kills reports how many connections KillAll has closed in total.
+func (c *Controller) Kills() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.kills
+}
+
+// Active reports how many wrapped connections are currently open.
+func (c *Controller) Active() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.conns)
+}
+
+// StallFor freezes every read and write on wrapped connections for d
+// from now — a routing blackout that heals by itself. Connections stay
+// open; deadlines set by the wrapped code still fire.
+func (c *Controller) StallFor(d time.Duration) {
+	c.mu.Lock()
+	c.stallUntil = time.Now().Add(d)
+	c.mu.Unlock()
+}
+
+// DropDirection turns silent discarding of one direction on or off:
+// inbound drops swallow received data, outbound drops pretend writes
+// succeeded. Both directions dropped is a half-open connection TCP never
+// notices — the case keepalive timeouts exist for.
+func (c *Controller) DropDirection(dir Direction, drop bool) {
+	c.mu.Lock()
+	if dir == Inbound {
+		c.dropIn = drop
+	} else {
+		c.dropOut = drop
+	}
+	c.mu.Unlock()
+}
+
+// SetConditioner attaches a WAN conditioner applied to outbound chunks
+// (nil detaches). Use wanem.New for realistic delay/jitter/loss.
+func (c *Controller) SetConditioner(cond Conditioner) {
+	c.mu.Lock()
+	c.cond = cond
+	c.mu.Unlock()
+}
+
+// FlapEvery kills all connections every up interval and keeps the
+// wrapped listener refusing new connections for the following down
+// interval — a link that cycles on a schedule. The returned stop
+// function ends the flapping (leaving the link up).
+func (c *Controller) FlapEvery(up, down time.Duration) (stop func()) {
+	stopCh := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-time.After(up):
+			}
+			c.mu.Lock()
+			c.down = true
+			c.mu.Unlock()
+			c.KillAll()
+			select {
+			case <-stopCh:
+			case <-time.After(down):
+			}
+			c.mu.Lock()
+			c.down = false
+			c.mu.Unlock()
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopCh)
+			c.mu.Lock()
+			c.down = false
+			c.mu.Unlock()
+		})
+	}
+}
+
+func (c *Controller) forget(fc *Conn) {
+	c.mu.Lock()
+	delete(c.conns, fc)
+	c.mu.Unlock()
+}
+
+// waitStall blocks while a stall window is active.
+func (c *Controller) waitStall() {
+	for {
+		c.mu.Lock()
+		until := c.stallUntil
+		c.mu.Unlock()
+		d := time.Until(until)
+		if d <= 0 {
+			return
+		}
+		time.Sleep(d)
+	}
+}
+
+func (c *Controller) dropping(dir Direction) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dir == Inbound {
+		return c.dropIn
+	}
+	return c.dropOut
+}
+
+func (c *Controller) isDown() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down
+}
+
+// condition applies the attached conditioner to one outbound chunk.
+func (c *Controller) condition(size int) (time.Duration, bool) {
+	c.mu.Lock()
+	cond := c.cond
+	c.mu.Unlock()
+	if cond == nil {
+		return 0, false
+	}
+	return cond.Condition(size)
+}
+
+// Conn is a net.Conn under fault control.
+type Conn struct {
+	net.Conn
+	ctl *Controller
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Read applies stall and inbound-drop faults. Dropped reads are
+// swallowed and the read retried, so a blackholed direction looks like
+// pure silence, not an error.
+func (fc *Conn) Read(p []byte) (int, error) {
+	for {
+		fc.ctl.waitStall()
+		n, err := fc.Conn.Read(p)
+		if err != nil {
+			return n, err
+		}
+		if fc.ctl.dropping(Inbound) {
+			continue
+		}
+		return n, nil
+	}
+}
+
+// Write applies stall, outbound-drop and conditioner faults. Dropped
+// chunks report success — the sender has no idea, exactly like a lossy
+// network.
+func (fc *Conn) Write(p []byte) (int, error) {
+	fc.ctl.waitStall()
+	if fc.ctl.dropping(Outbound) {
+		return len(p), nil
+	}
+	if delay, drop := fc.ctl.condition(len(p)); drop {
+		return len(p), nil
+	} else if delay > 0 {
+		time.Sleep(delay)
+	}
+	return fc.Conn.Write(p)
+}
+
+// Close closes the underlying connection and deregisters from the
+// controller.
+func (fc *Conn) Close() error {
+	fc.closeOnce.Do(func() {
+		fc.ctl.forget(fc)
+		fc.closeErr = fc.Conn.Close()
+	})
+	return fc.closeErr
+}
+
+// listener wraps accepted connections with the controller.
+type listener struct {
+	net.Listener
+	ctl *Controller
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.ctl.isDown() {
+			conn.Close()
+			continue
+		}
+		return l.ctl.Wrap(conn), nil
+	}
+}

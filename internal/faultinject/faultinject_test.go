@@ -1,0 +1,242 @@
+package faultinject
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client half talking to a raw server half.
+func pipePair(t *testing.T, ctl *Controller) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	fc := ctl.Wrap(a)
+	t.Cleanup(func() { fc.Close(); b.Close() })
+	return fc, b
+}
+
+func TestKillAllClosesConnections(t *testing.T) {
+	ctl := NewController()
+	fc, peer := pipePair(t, ctl)
+	if got := ctl.Active(); got != 1 {
+		t.Fatalf("Active = %d, want 1", got)
+	}
+	if n := ctl.KillAll(); n != 1 {
+		t.Fatalf("KillAll = %d, want 1", n)
+	}
+	if got := ctl.Active(); got != 0 {
+		t.Fatalf("Active after kill = %d, want 0", got)
+	}
+	if ctl.Kills() != 1 {
+		t.Fatalf("Kills = %d, want 1", ctl.Kills())
+	}
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write on killed conn succeeded")
+	}
+	buf := make([]byte, 1)
+	if _, err := peer.Read(buf); err != io.EOF && err != io.ErrClosedPipe {
+		t.Fatalf("peer read err = %v, want EOF/closed", err)
+	}
+}
+
+func TestStallDelaysIO(t *testing.T) {
+	ctl := NewController()
+	fc, peer := pipePair(t, ctl)
+	go func() {
+		buf := make([]byte, 8)
+		for {
+			if _, err := peer.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	const stall = 80 * time.Millisecond
+	ctl.StallFor(stall)
+	start := time.Now()
+	if _, err := fc.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Fatalf("write completed in %v, want at least %v", elapsed, stall)
+	}
+}
+
+func TestDropOutboundSwallowsWrites(t *testing.T) {
+	ctl := NewController()
+	fc, peer := pipePair(t, ctl)
+	ctl.DropDirection(Outbound, true)
+	// net.Pipe writes block until read; a dropped write must not touch the
+	// pipe at all, so this returns immediately with claimed success.
+	n, err := fc.Write([]byte("vanish"))
+	if err != nil || n != 6 {
+		t.Fatalf("dropped write = (%d, %v), want (6, nil)", n, err)
+	}
+	ctl.DropDirection(Outbound, false)
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, err := peer.Read(buf)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- buf[:n]
+	}()
+	if _, err := fc.Write([]byte("seen")); err != nil {
+		t.Fatalf("write after undrop: %v", err)
+	}
+	select {
+	case got := <-done:
+		if string(got) != "seen" {
+			t.Fatalf("peer read %q, want %q (and never %q)", got, "seen", "vanish")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("peer never received post-undrop write")
+	}
+}
+
+func TestDropInboundDiscardsReads(t *testing.T) {
+	ctl := NewController()
+	fc, peer := pipePair(t, ctl)
+	ctl.DropDirection(Inbound, true)
+	go peer.Write([]byte("lost"))
+	// The read must swallow "lost" and keep blocking; after undropping,
+	// the next chunk comes through.
+	got := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, err := fc.Read(buf)
+		if err != nil {
+			got <- "ERR:" + err.Error()
+			return
+		}
+		got <- string(buf[:n])
+	}()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case v := <-got:
+		t.Fatalf("read returned %q while inbound dropped", v)
+	default:
+	}
+	ctl.DropDirection(Inbound, false)
+	go peer.Write([]byte("kept"))
+	select {
+	case v := <-got:
+		if v != "kept" {
+			t.Fatalf("read %q, want %q", v, "kept")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("read never returned after undrop")
+	}
+}
+
+type fixedDelay struct{ d time.Duration }
+
+func (f fixedDelay) Condition(size int) (time.Duration, bool) { return f.d, false }
+
+type dropAll struct{}
+
+func (dropAll) Condition(size int) (time.Duration, bool) { return 0, true }
+
+func TestConditionerAppliesToWrites(t *testing.T) {
+	ctl := NewController()
+	fc, peer := pipePair(t, ctl)
+	go func() {
+		buf := make([]byte, 8)
+		for {
+			if _, err := peer.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	const delay = 60 * time.Millisecond
+	ctl.SetConditioner(fixedDelay{delay})
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("conditioned write took %v, want at least %v", elapsed, delay)
+	}
+	ctl.SetConditioner(dropAll{})
+	// With everything dropped, a write on a pipe (which would block until
+	// read) returns immediately.
+	if n, err := fc.Write([]byte("gone")); err != nil || n != 4 {
+		t.Fatalf("dropped write = (%d, %v), want (4, nil)", n, err)
+	}
+}
+
+func TestWrapListenerAndFlap(t *testing.T) {
+	ctl := NewController()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ln := ctl.WrapListener(raw)
+	defer ln.Close()
+
+	var mu sync.Mutex
+	accepted := 0
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			accepted++
+			mu.Unlock()
+			go io.Copy(io.Discard, conn)
+		}
+	}()
+
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+
+	c1 := dial()
+	deadline := time.Now().Add(2 * time.Second)
+	for ctl.Active() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("accepted conn never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stop := ctl.FlapEvery(30*time.Millisecond, 50*time.Millisecond)
+	defer stop()
+
+	// The flap must kill c1: our reads start failing.
+	buf := make([]byte, 1)
+	c1.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c1.Read(buf); err == nil {
+		t.Fatal("read on flapped conn succeeded")
+	}
+	if ctl.Kills() == 0 {
+		t.Fatal("flap recorded no kills")
+	}
+
+	// While down, dials complete but die immediately. Eventually the link
+	// comes back up and a dial survives long enough to register.
+	stop()
+	survived := false
+	for try := 0; try < 50 && !survived; try++ {
+		c := dial()
+		c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		if _, err := c.Read(buf); err != io.EOF {
+			survived = true // timeout, not instant close: connection held
+		}
+		c.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !survived {
+		t.Fatal("no connection survived after flapping stopped")
+	}
+}

@@ -1,0 +1,127 @@
+package reservation
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rnl/internal/sim"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	t0 := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	clk := sim.NewFake(t0)
+	c := New(clk)
+	if _, err := c.Reserve("alice", []string{"r1", "r2"}, t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reserve("bob", []string{"r1"}, t0.Add(2*time.Hour), t0.Add(3*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New(sim.NewFake(t0))
+	if err := c2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c2.Snapshot(), c.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the calendar:\n got %+v\nwant %+v", got, want)
+	}
+	if !c2.HeldBy("alice", []string{"r1", "r2"}) {
+		t.Fatal("restored calendar lost alice's booking")
+	}
+	// ID assignment resumes past the restored bookings: a new reservation
+	// must not collide with a restored ID.
+	res, err := c2.Reserve("carol", []string{"r3"}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range c.Snapshot() {
+		if res[0].ID == old.ID {
+			t.Fatalf("restored calendar re-issued ID %d", old.ID)
+		}
+	}
+}
+
+func TestLoadFileMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	c := New(sim.NewFake(time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)))
+	if err := c.LoadFile(filepath.Join(dir, "nope.json")); err != nil {
+		t.Fatalf("missing file should be fine, got %v", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadFile(bad); err == nil {
+		t.Fatal("corrupt file loaded without error")
+	}
+}
+
+func TestRestoreSkipsMalformed(t *testing.T) {
+	t0 := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	c := New(sim.NewFake(t0))
+	c.Restore([]Reservation{
+		{ID: 7, Router: "r1", User: "alice", Start: t0, End: t0.Add(time.Hour)},
+		{ID: 8, Router: "", User: "ghost", Start: t0, End: t0.Add(time.Hour)},   // no router
+		{ID: 9, Router: "r2", User: "ghost", Start: t0.Add(time.Hour), End: t0}, // inverted window
+	})
+	if got := c.Snapshot(); len(got) != 1 || got[0].ID != 7 {
+		t.Fatalf("restore kept the wrong bookings: %+v", got)
+	}
+	// nextID advances past the highest seen ID even for skipped entries is
+	// not required — but it must at least clear every kept one.
+	res, err := c.Reserve("bob", []string{"r9"}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID <= 7 {
+		t.Fatalf("new ID %d collides with restored ID space", res[0].ID)
+	}
+}
+
+func TestOnMutateFires(t *testing.T) {
+	t0 := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	c := New(sim.NewFake(t0))
+	var fires atomic.Int32
+	c.OnMutate(func() { fires.Add(1) })
+
+	res, err := c.Reserve("alice", []string{"r1"}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fires.Load(); got != 1 {
+		t.Fatalf("fires after reserve = %d, want 1", got)
+	}
+	// Failed mutations stay silent.
+	if _, err := c.Reserve("bob", []string{"r1"}, t0, t0.Add(time.Hour)); err == nil {
+		t.Fatal("conflicting reserve succeeded")
+	}
+	if got := fires.Load(); got != 1 {
+		t.Fatalf("fires after failed reserve = %d, want 1", got)
+	}
+	if err := c.Cancel(res[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := fires.Load(); got != 2 {
+		t.Fatalf("fires after cancel = %d, want 2", got)
+	}
+	if n := c.ExpireBefore(t0.Add(10 * time.Hour)); n != 0 {
+		t.Fatalf("expired %d, want 0", n)
+	}
+	if got := fires.Load(); got != 2 {
+		t.Fatalf("no-op expiry fired the mutation hook (fires=%d)", got)
+	}
+	// The callback must be able to read the calendar without deadlocking —
+	// the persistence hook snapshots on every mutation.
+	c.OnMutate(func() { _ = c.Snapshot() })
+	if _, err := c.Reserve("alice", []string{"r2"}, t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+}

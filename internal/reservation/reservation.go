@@ -6,7 +6,9 @@
 package reservation
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -36,6 +38,9 @@ type Calendar struct {
 	nextID uint64
 	// byRouter holds each router's bookings sorted by start time.
 	byRouter map[string][]Reservation
+	// onMutate callbacks fire (outside the lock) after every successful
+	// mutation — the durability hook.
+	onMutate []func()
 }
 
 // New creates an empty calendar on the given clock (sim.Real{} in
@@ -75,23 +80,29 @@ func (c *Calendar) Reserve(user string, routers []string, start, end time.Time) 
 		}
 		seen[r] = true
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, router := range routers {
-		for _, existing := range c.byRouter[router] {
-			if existing.overlaps(start, end) {
-				return nil, ErrConflict{Router: router, With: existing}
+	out, err := func() ([]Reservation, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for _, router := range routers {
+			for _, existing := range c.byRouter[router] {
+				if existing.overlaps(start, end) {
+					return nil, ErrConflict{Router: router, With: existing}
+				}
 			}
 		}
+		out := make([]Reservation, 0, len(routers))
+		for _, router := range routers {
+			res := Reservation{ID: c.nextID, Router: router, User: user, Start: start, End: end}
+			c.nextID++
+			c.byRouter[router] = insertSorted(c.byRouter[router], res)
+			out = append(out, res)
+		}
+		return out, nil
+	}()
+	if err == nil {
+		c.mutated()
 	}
-	out := make([]Reservation, 0, len(routers))
-	for _, router := range routers {
-		res := Reservation{ID: c.nextID, Router: router, User: user, Start: start, End: end}
-		c.nextID++
-		c.byRouter[router] = insertSorted(c.byRouter[router], res)
-		out = append(out, res)
-	}
-	return out, nil
+	return out, err
 }
 
 func insertSorted(list []Reservation, r Reservation) []Reservation {
@@ -104,23 +115,29 @@ func insertSorted(list []Reservation, r Reservation) []Reservation {
 
 // Cancel removes a booking by ID.
 func (c *Calendar) Cancel(id uint64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for router, list := range c.byRouter {
-		for i, r := range list {
-			if r.ID == id {
-				if len(list) == 1 {
-					// Last booking: drop the key too, or routers that were
-					// ever cancelled leak map entries forever.
-					delete(c.byRouter, router)
-				} else {
-					c.byRouter[router] = append(list[:i], list[i+1:]...)
+	err := func() error {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for router, list := range c.byRouter {
+			for i, r := range list {
+				if r.ID == id {
+					if len(list) == 1 {
+						// Last booking: drop the key too, or routers that were
+						// ever cancelled leak map entries forever.
+						delete(c.byRouter, router)
+					} else {
+						c.byRouter[router] = append(list[:i], list[i+1:]...)
+					}
+					return nil
 				}
-				return nil
 			}
 		}
+		return fmt.Errorf("reservation: no reservation %d", id)
+	}()
+	if err == nil {
+		c.mutated()
 	}
-	return fmt.Errorf("reservation: no reservation %d", id)
+	return err
 }
 
 // Schedule returns a router's bookings from now on, sorted by start.
@@ -200,7 +217,6 @@ func (c *Calendar) earliestConflictLocked(routers []string, start, end time.Time
 // long-lived servers. It returns how many were removed.
 func (c *Calendar) ExpireBefore(t time.Time) int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
 	for router, list := range c.byRouter {
 		keep := list[:0]
@@ -217,5 +233,90 @@ func (c *Calendar) ExpireBefore(t time.Time) int {
 			c.byRouter[router] = keep
 		}
 	}
+	c.mu.Unlock()
+	if n > 0 {
+		c.mutated()
+	}
 	return n
+}
+
+// OnMutate registers a callback invoked after every successful mutation
+// (reserve, cancel, expiry), outside the calendar lock — the hook the
+// route server's durable state uses to persist the calendar.
+func (c *Calendar) OnMutate(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onMutate = append(c.onMutate, fn)
+}
+
+func (c *Calendar) mutated() {
+	c.mu.Lock()
+	cbs := append([]func(){}, c.onMutate...)
+	c.mu.Unlock()
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// Snapshot returns every booking (past ones included), sorted by ID —
+// the persistence image.
+func (c *Calendar) Snapshot() []Reservation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Reservation
+	for _, list := range c.byRouter {
+		out = append(out, list...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Restore replaces the calendar's contents with a snapshot and resumes
+// ID assignment past the highest restored ID. Malformed entries (no
+// router, inverted window) are skipped. It does not fire OnMutate.
+func (c *Calendar) Restore(list []Reservation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byRouter = make(map[string][]Reservation)
+	for _, r := range list {
+		if r.Router == "" || !r.Start.Before(r.End) {
+			continue
+		}
+		c.byRouter[r.Router] = insertSorted(c.byRouter[r.Router], r)
+		if r.ID >= c.nextID {
+			c.nextID = r.ID + 1
+		}
+	}
+}
+
+// SaveFile writes the calendar to path atomically (temp file + rename),
+// crash-safe like the route server's state snapshots.
+func (c *Calendar) SaveFile(path string) error {
+	data, err := json.MarshalIndent(c.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores the calendar from a SaveFile snapshot; a missing
+// file leaves the calendar empty and is not an error.
+func (c *Calendar) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var list []Reservation
+	if err := json.Unmarshal(data, &list); err != nil {
+		return fmt.Errorf("reservation: corrupt calendar file %s: %w", path, err)
+	}
+	c.Restore(list)
+	return nil
 }

@@ -44,12 +44,18 @@ type Agent struct {
 	routerIDs map[string]uint32
 	nics      map[portID]*netsim.Iface
 
-	// consoles: router wire ID → console relay state.
-	consoles map[uint32]*consoleRelay
+	// consoles: router name → console relay state. Keyed by the stable
+	// inventory name, not the wire ID: IDs can change across a redial to
+	// a fresh server, and re-keying would otherwise spawn a duplicate
+	// reader competing for the same serial port.
+	consoles map[string]*consoleRelay
+
+	// connDown is closed when the current connection's loops (read,
+	// keepalive) have both exited; each Start installs a fresh channel.
+	connDown chan struct{}
 
 	stats     Stats
 	started   bool
-	wg        sync.WaitGroup // per-connection loops (read, keepalive)
 	consoleWg sync.WaitGroup // console readers live until the serial closes
 }
 
@@ -81,7 +87,7 @@ func New(cfg Config, logger *slog.Logger) (*Agent, error) {
 		portIDs:   make(map[[2]string]portID),
 		routerIDs: make(map[string]uint32),
 		nics:      make(map[portID]*netsim.Iface),
-		consoles:  make(map[uint32]*consoleRelay),
+		consoles:  make(map[string]*consoleRelay),
 	}, nil
 }
 
@@ -139,22 +145,26 @@ func (a *Agent) Start() error {
 		},
 	})
 
+	readDone := make(chan struct{})
+	down := make(chan struct{})
 	a.mu.Lock()
 	a.conn = conn
 	a.wc = wc
+	a.connDown = down
 	a.started = true
 	a.mu.Unlock()
 	a.attachNICs()
 	a.startConsoleReaders()
-	connClosed := make(chan struct{})
-	a.wg.Add(2)
 	go func() {
-		defer a.wg.Done()
 		a.readLoop(conn)
 		wc.Close()
-		close(connClosed)
+		close(readDone)
 	}()
-	go a.keepaliveLoop(connClosed)
+	go func() {
+		a.keepaliveLoop(readDone)
+		<-readDone
+		close(down)
+	}()
 	return nil
 }
 
@@ -201,25 +211,35 @@ func (a *Agent) Run(ctx context.Context) error {
 }
 
 // connDone returns a channel closed when the current connection dies.
+// Each Start installs a fresh channel, so Run's waiter is bound to
+// exactly the connection it started. (The old implementation spawned a
+// goroutine per call blocking on a shared WaitGroup: across redials each
+// new Start re-Added the group while stale waiters still sat in Wait —
+// a leak and a WaitGroup reuse race.)
 func (a *Agent) connDone() <-chan struct{} {
-	done := make(chan struct{})
-	go func() {
-		a.wg.Wait()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.connDown == nil {
+		done := make(chan struct{})
 		close(done)
-	}()
-	return done
+		return done
+	}
+	return a.connDown
 }
 
 // Close leaves the labs and stops the agent.
 func (a *Agent) Close() {
 	a.mu.Lock()
 	wc := a.wc
+	down := a.connDown
 	a.mu.Unlock()
 	if wc != nil {
 		wc.SendFrame(wire.Frame{Type: wire.MsgLeave})
 		wc.Close() // drains the queue (bounded), then closes the conn
 	}
-	a.wg.Wait()
+	if down != nil {
+		<-down
+	}
 }
 
 // handshake performs Hello + Join and records assigned IDs.
@@ -278,9 +298,18 @@ func (a *Agent) handshake(conn net.Conn) error {
 	if err := wire.DecodeJSON(f, wire.MsgJoinAck, &jack); err != nil {
 		return err
 	}
+	rejoined := 0
 	a.mu.Lock()
-	defer a.mu.Unlock()
+	// Reset the ID maps: a redial may land on a different (or restarted)
+	// server that assigns different IDs, and stale entries would deliver
+	// packets to the wrong NIC.
+	clear(a.portIDs)
+	clear(a.routerIDs)
+	clear(a.nics)
 	for _, assign := range jack.Routers {
+		if assign.Rejoined {
+			rejoined++
+		}
 		a.routerIDs[assign.Name] = assign.ID
 		for portName, pid := range assign.Ports {
 			key := [2]string{assign.Name, portName}
@@ -295,6 +324,10 @@ func (a *Agent) handshake(conn net.Conn) error {
 				a.nics[id] = p.NIC
 			}
 		}
+	}
+	a.mu.Unlock()
+	if rejoined > 0 {
+		a.log.Info("server recognised previous identity; lab state recovered", "routers", rejoined)
 	}
 	return nil
 }
@@ -418,7 +451,6 @@ func (a *Agent) deliverPacket(payload []byte) {
 
 // keepaliveLoop emits periodic liveness frames until the connection dies.
 func (a *Agent) keepaliveLoop(connClosed <-chan struct{}) {
-	defer a.wg.Done()
 	t := time.NewTicker(a.cfg.keepaliveInterval())
 	defer t.Stop()
 	for {
@@ -445,18 +477,16 @@ func (a *Agent) startConsoleReaders() {
 		if r.Console == nil {
 			continue
 		}
-		// Key by the router's own assigned ID, not its first port's —
-		// console-only equipment has no ports at all.
-		routerID, ok := a.routerIDs[r.Name]
-		if !ok {
-			a.log.Warn("consoled router has no assigned ID; skipping console relay", "router", r.Name)
+		name := r.Name
+		if _, ok := a.routerIDs[name]; !ok {
+			a.log.Warn("consoled router has no assigned ID; skipping console relay", "router", name)
 			continue
 		}
-		if _, dup := a.consoles[routerID]; dup {
-			continue
+		if _, dup := a.consoles[name]; dup {
+			continue // reader survives across redials; never start a second
 		}
 		relay := &consoleRelay{rw: r.Console}
-		a.consoles[routerID] = relay
+		a.consoles[name] = relay
 		a.consoleWg.Add(1)
 		go func() {
 			defer a.consoleWg.Done()
@@ -467,11 +497,13 @@ func (a *Agent) startConsoleReaders() {
 					relay.mu.Lock()
 					sess := relay.session
 					relay.mu.Unlock()
-					if sess != 0 {
+					// Resolve the router's current wire ID per read: it can
+					// change when a redial lands on a fresh server.
+					if rid := a.RouterID(name); sess != 0 && rid != 0 {
 						a.writeFrame(wire.Frame{
 							Type: wire.MsgConsoleData,
 							Payload: wire.EncodeConsoleData(wire.ConsoleDataMsg{
-								RouterID: routerID, SessionID: sess, Data: buf[:n],
+								RouterID: rid, SessionID: sess, Data: buf[:n],
 							}),
 						})
 						mConsoleBytes.Add(uint64(n))
@@ -488,7 +520,12 @@ func (a *Agent) startConsoleReaders() {
 func (a *Agent) relayFor(routerID uint32) *consoleRelay {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.consoles[routerID]
+	for name, id := range a.routerIDs {
+		if id == routerID {
+			return a.consoles[name]
+		}
+	}
+	return nil
 }
 
 func (a *Agent) consoleOpen(m wire.ConsoleOpenMsg) {

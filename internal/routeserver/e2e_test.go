@@ -297,7 +297,9 @@ func TestConsoleThroughTunnel(t *testing.T) {
 }
 
 func TestInventoryAndOfflineCleanup(t *testing.T) {
-	s := startServer(t, routeserver.Options{})
+	// This test asserts the pre-grace behaviour: a dead RIS vanishes at
+	// once. Disable the re-join grace period so the drop is immediate.
+	s := startServer(t, routeserver.Options{RouterGracePeriod: routeserver.NoRouterGrace})
 	h1 := addLabHost(t, s, "invA", "10.0.5.1", false)
 	_ = addLabHost(t, s, "invB", "10.0.5.2", false)
 

@@ -12,7 +12,9 @@ import (
 // its console sessions end — the behaviours a shared cloud needs to stay
 // sane when "specialized equipment could come and go at any time".
 func TestRISDeathDuringDeployment(t *testing.T) {
-	s := startServer(t, routeserver.Options{})
+	// Grace disabled: this test is about what happens when a router is
+	// truly gone, not about flap recovery (see recovery_test.go).
+	s := startServer(t, routeserver.Options{RouterGracePeriod: routeserver.NoRouterGrace})
 	h1 := addLabHost(t, s, "die-h1", "10.0.7.1", false)
 	h2 := addLabHost(t, s, "die-h2", "10.0.7.2", false)
 	pk1 := portKeyOf(t, h1.agent, "die-h1", "eth0")
@@ -76,7 +78,7 @@ func TestRISDeathDuringDeployment(t *testing.T) {
 // TestStreamStopsWhenRISLeaves: a traffic stream aimed at a vanished port
 // terminates instead of spinning forever.
 func TestStreamStopsWhenRISLeaves(t *testing.T) {
-	s := startServer(t, routeserver.Options{})
+	s := startServer(t, routeserver.Options{RouterGracePeriod: routeserver.NoRouterGrace})
 	h1 := addLabHost(t, s, "sd-h1", "10.0.8.1", false)
 	pk1 := portKeyOf(t, h1.agent, "sd-h1", "eth0")
 	frame := make([]byte, 64)

@@ -19,6 +19,11 @@ type Deployment struct {
 	Owner   string // deploying user; "" for programmatic deployments
 	Links   []Link
 	Routers []uint32
+
+	// damaged marks a lab that permanently lost a router (grace period
+	// expired), so labs_lost counts each lab once however many routers
+	// it loses afterwards.
+	damaged bool
 }
 
 // matrix is the routing matrix: the symmetric port-to-port map packets
@@ -46,41 +51,83 @@ func (m *matrix) lookup(src PortKey) (PortKey, bool) {
 	return dst, ok
 }
 
-// deploy installs a deployment after validation.
+// deploy installs a deployment after validation; any blocking deployment
+// is an error.
 func (m *matrix) deploy(name, owner string, links []Link, portExists func(PortKey) bool) error {
+	_, err := m.deployReclaiming(name, owner, links, portExists, nil)
+	return err
+}
+
+// deployReclaiming installs a deployment, atomically tearing down
+// blocking deployments the canReclaim callback approves (nil approves
+// nothing — plain deploy). The reclaim decision and the takeover happen
+// under one critical section: two deployers racing for the same expired
+// blocker cannot both observe it active, both tear it down, and clobber
+// each other — the loser sees the winner's fresh deployment as a
+// non-reclaimable blocker and fails cleanly. Takeover is all-or-nothing:
+// if any blocker is not reclaimable, nothing is torn down. Returns the
+// names of the reclaimed deployments.
+func (m *matrix) deployReclaiming(name, owner string, links []Link, portExists func(PortKey) bool, canReclaim func(Deployment) bool) ([]string, error) {
 	if name == "" {
-		return fmt.Errorf("routeserver: deployment needs a name")
+		return nil, fmt.Errorf("routeserver: deployment needs a name")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	blockers := map[string]bool{}
 	if _, dup := m.deployments[name]; dup {
-		return fmt.Errorf("routeserver: deployment %q already active", name)
+		if canReclaim == nil {
+			return nil, fmt.Errorf("routeserver: deployment %q already active", name)
+		}
+		blockers[name] = true
 	}
 	routerSet := map[uint32]bool{}
 	portSeen := map[PortKey]bool{}
 	for _, l := range links {
 		if l.A == l.B {
-			return fmt.Errorf("routeserver: link connects port %s to itself", l.A)
+			return nil, fmt.Errorf("routeserver: link connects port %s to itself", l.A)
 		}
 		for _, k := range []PortKey{l.A, l.B} {
 			if !portExists(k) {
-				return fmt.Errorf("routeserver: port %s not registered", k)
+				return nil, fmt.Errorf("routeserver: port %s not registered", k)
 			}
 			if portSeen[k] {
-				return fmt.Errorf("routeserver: port %s used twice in design", k)
+				return nil, fmt.Errorf("routeserver: port %s used twice in design", k)
 			}
 			if _, busy := m.routes[k]; busy {
-				return fmt.Errorf("routeserver: port %s already wired in another deployment", k)
+				holder := m.portHolderLocked(k)
+				if canReclaim == nil || holder == "" {
+					return nil, fmt.Errorf("routeserver: port %s already wired in another deployment", k)
+				}
+				blockers[holder] = true
 			}
 			portSeen[k] = true
 			routerSet[k.Router] = true
 		}
 	}
 	for rid := range routerSet {
-		if owner, busy := m.routerOwner[rid]; busy {
-			return fmt.Errorf("routeserver: router %d already reserved by deployment %q", rid, owner)
+		if holder, busy := m.routerOwner[rid]; busy {
+			if canReclaim == nil {
+				return nil, fmt.Errorf("routeserver: router %d already reserved by deployment %q", rid, holder)
+			}
+			blockers[holder] = true
 		}
 	}
+
+	// All-or-nothing: every blocker must be reclaimable before any is
+	// torn down, or a failed takeover would half-destroy live labs.
+	for bname := range blockers {
+		d := m.deployments[bname]
+		if d == nil || !canReclaim(snapshotDeployment(d)) {
+			return nil, fmt.Errorf("routeserver: deployment %q blocks %q and cannot be reclaimed", bname, name)
+		}
+	}
+	reclaimed := make([]string, 0, len(blockers))
+	for bname := range blockers {
+		m.teardownLocked(bname)
+		reclaimed = append(reclaimed, bname)
+	}
+	sort.Strings(reclaimed)
+
 	d := &Deployment{Name: name, Owner: owner, Links: append([]Link(nil), links...)}
 	for rid := range routerSet {
 		m.routerOwner[rid] = name
@@ -93,16 +140,41 @@ func (m *matrix) deploy(name, owner string, links []Link, portExists func(PortKe
 	}
 	m.deployments[name] = d
 	mDeploymentsActive.Inc()
-	return nil
+	return reclaimed, nil
 }
 
-// teardown removes a deployment's wires and frees its routers. It only
-// deletes routes it still owns: a link whose far end has been rewired by
-// a newer deployment (possible if a vanished router's ports ever get
-// reused) must not be torn off the matrix by a stale deployment record.
+// portHolderLocked finds the deployment whose links include a port.
+func (m *matrix) portHolderLocked(k PortKey) string {
+	for name, d := range m.deployments {
+		for _, l := range d.Links {
+			if l.A == k || l.B == k {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// snapshotDeployment copies a record for callers outside the lock.
+func snapshotDeployment(d *Deployment) Deployment {
+	cp := *d
+	cp.Links = append([]Link(nil), d.Links...)
+	cp.Routers = append([]uint32(nil), d.Routers...)
+	return cp
+}
+
+// teardown removes a deployment's wires and frees its routers.
 func (m *matrix) teardown(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.teardownLocked(name)
+}
+
+// teardownLocked only deletes routes the deployment still owns: a link
+// whose far end has been rewired by a newer deployment (possible if a
+// vanished router's ports ever get reused) must not be torn off the
+// matrix by a stale deployment record.
+func (m *matrix) teardownLocked(name string) error {
 	d, ok := m.deployments[name]
 	if !ok {
 		return fmt.Errorf("routeserver: no deployment %q", name)
@@ -125,12 +197,63 @@ func (m *matrix) teardown(name string) error {
 	return nil
 }
 
-// dropRouter removes every wire touching a router (its RIS vanished) and
-// releases the router from its deployment. The owning deployment's Links
-// and Routers are pruned at drop time: leaving them stale would make a
-// later teardown delete matrix routes the deployment no longer owns and
-// re-free a router ID another deployment may have since reserved.
-func (m *matrix) dropRouter(id uint32) {
+// suspendRouter removes every wire touching a router whose RIS dropped
+// within the grace period, but keeps the deployment records (links,
+// routers, ownership) intact: a re-join reinstalls the routes from them.
+func (m *matrix) suspendRouter(id uint32) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for src, dst := range m.routes {
+		if src.Router == id || dst.Router == id {
+			delete(m.routes, src)
+			n++
+		}
+	}
+	return n
+}
+
+// reinstallRouter re-installs the surviving deployments' routes touching
+// a re-joined router. Only free (or already-identical) route slots are
+// filled — a wire installed by a newer deployment while the router was
+// away is never clobbered. It returns how many routes were installed.
+func (m *matrix) reinstallRouter(id uint32, portExists func(PortKey) bool) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, d := range m.deployments {
+		for _, l := range d.Links {
+			if l.A.Router != id && l.B.Router != id {
+				continue
+			}
+			if !portExists(l.A) || !portExists(l.B) {
+				continue
+			}
+			if dst, busy := m.routes[l.A]; busy && dst != l.B {
+				continue
+			}
+			if dst, busy := m.routes[l.B]; busy && dst != l.A {
+				continue
+			}
+			if _, had := m.routes[l.A]; !had {
+				n++
+			}
+			m.routes[l.A] = l.B
+			m.routes[l.B] = l.A
+		}
+	}
+	return n
+}
+
+// dropRouter removes every wire touching a router (its RIS vanished for
+// good) and releases the router from its deployment. The owning
+// deployment's Links and Routers are pruned at drop time: leaving them
+// stale would make a later teardown delete matrix routes the deployment
+// no longer owns and re-free a router ID another deployment may have
+// since reserved. It returns the names of deployments newly damaged by
+// this drop (each lab is reported once across successive drops);
+// deployments left with no routers at all are deleted.
+func (m *matrix) dropRouter(id uint32) []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for src, dst := range m.routes {
@@ -138,6 +261,7 @@ func (m *matrix) dropRouter(id uint32) {
 			delete(m.routes, src)
 		}
 	}
+	var lost []string
 	if owner, ok := m.routerOwner[id]; ok {
 		if d := m.deployments[owner]; d != nil {
 			keepLinks := d.Links[:0]
@@ -153,9 +277,18 @@ func (m *matrix) dropRouter(id uint32) {
 					break
 				}
 			}
+			if !d.damaged {
+				d.damaged = true
+				lost = append(lost, d.Name)
+			}
+			if len(d.Routers) == 0 {
+				delete(m.deployments, owner)
+				mDeploymentsActive.Dec()
+			}
 		}
 	}
 	delete(m.routerOwner, id)
+	return lost
 }
 
 // count reports how many deployments are active.
@@ -171,10 +304,7 @@ func (m *matrix) list() []Deployment {
 	defer m.mu.RUnlock()
 	out := make([]Deployment, 0, len(m.deployments))
 	for _, d := range m.deployments {
-		cp := *d
-		cp.Links = append([]Link(nil), d.Links...)
-		cp.Routers = append([]uint32(nil), d.Routers...)
-		out = append(out, cp)
+		out = append(out, snapshotDeployment(d))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -193,8 +323,30 @@ func (s *Server) DeployOwned(name, owner string, links []Link) error {
 	err := s.matrix.deploy(name, owner, links, s.reg.portExists)
 	if err == nil {
 		s.log.Info("deployed", "name", name, "owner", owner, "links", len(links))
+		s.persist()
 	}
 	return err
+}
+
+// DeployReclaiming wires up a test lab, atomically tearing down any
+// blocking deployment the canReclaim callback approves — typically one
+// whose owner no longer holds a current reservation (paper §2.1 expiry).
+// The decision and the takeover share the routing matrix's critical
+// section, so two users racing for the same expired lab cannot both tear
+// it down and overwrite each other's deployment. canReclaim must not
+// call back into matrix operations (Deploy/Teardown/Deployments);
+// registry and reservation reads are safe.
+func (s *Server) DeployReclaiming(name, owner string, links []Link, canReclaim func(Deployment) bool) error {
+	reclaimed, err := s.matrix.deployReclaiming(name, owner, links, s.reg.portExists, canReclaim)
+	if err != nil {
+		return err
+	}
+	for _, n := range reclaimed {
+		s.log.Info("reclaimed expired lab", "name", n, "takenOverBy", name)
+	}
+	s.log.Info("deployed", "name", name, "owner", owner, "links", len(links))
+	s.persist()
+	return nil
 }
 
 // Teardown removes a deployed lab.
@@ -202,6 +354,7 @@ func (s *Server) Teardown(name string) error {
 	err := s.matrix.teardown(name)
 	if err == nil {
 		s.log.Info("torn down", "name", name)
+		s.persist()
 	}
 	return err
 }

@@ -32,6 +32,12 @@ var (
 		"Traffic-generation streams currently running.")
 	mStreamInjections = obs.Default().Counter("rnl_routeserver_stream_injections_total",
 		"Frames injected by rate-controlled traffic streams.")
+	mRoutersOffline = obs.Default().Gauge("rnl_routeserver_routers_offline",
+		"Registered routers currently offline, awaiting RIS re-join within the grace period.")
+	mRecoveries = obs.Default().Counter("rnl_routeserver_recoveries_total",
+		"Routers that re-joined within the grace period and had their lab state reconciled.")
+	mLabsLost = obs.Default().Counter("rnl_routeserver_labs_lost_total",
+		"Deployed labs that permanently lost a router (grace expired or grace disabled).")
 )
 
 // Health is the route server's liveness view, served on /healthz.
@@ -42,6 +48,9 @@ type Health struct {
 	Sessions int `json:"sessions"`
 	// Routers is the number of registered routers.
 	Routers int `json:"routers"`
+	// Offline is how many registered routers are offline, awaiting a
+	// RIS re-join within the grace period.
+	Offline int `json:"offline"`
 	// Deployments is the number of active deployed labs.
 	Deployments int `json:"deployments"`
 }
@@ -57,6 +66,7 @@ func (s *Server) Health() Health {
 		Listening:   s.accepting.Load(),
 		Sessions:    sessions,
 		Routers:     s.reg.count(),
+		Offline:     s.reg.countOffline(),
 		Deployments: s.matrix.count(),
 	}
 }

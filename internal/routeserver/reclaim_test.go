@@ -1,0 +1,129 @@
+package routeserver
+
+// White-box tests for atomic deployment takeover. The old reclaim path
+// (Deployer.reclaimExpired) listed blockers, tore them down, then
+// deployed — three separate matrix critical sections, so two deployers
+// racing for the same expired lab could both tear it down and the loser's
+// deploy would clobber the winner's. deployReclaiming folds decision,
+// teardown and install into one critical section; these tests pin the
+// all-or-nothing semantics and the single-winner guarantee.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func anyPortOK(PortKey) bool { return true }
+
+func TestDeployReclaimingRefusesUnreclaimableBlocker(t *testing.T) {
+	m := newMatrix()
+	p1, p2, p5 := PortKey{Router: 1, Port: 10}, PortKey{Router: 2, Port: 20}, PortKey{Router: 5, Port: 50}
+	if err := m.deploy("A", "alice", []Link{{A: p1, B: p2}}, anyPortOK); err != nil {
+		t.Fatal(err)
+	}
+	reclaimNone := func(Deployment) bool { return false }
+	if _, err := m.deployReclaiming("B", "bob", []Link{{A: p2, B: p5}}, anyPortOK, reclaimNone); err == nil {
+		t.Fatal("takeover of an unreclaimable lab succeeded")
+	}
+	// A must be fully intact.
+	if dst, ok := m.lookup(p1); !ok || dst != p2 {
+		t.Fatalf("blocker lost its route: lookup(%s) = %v, %v", p1, dst, ok)
+	}
+	if n := m.count(); n != 1 {
+		t.Fatalf("deployments = %d, want 1", n)
+	}
+}
+
+func TestDeployReclaimingAtomicTakeover(t *testing.T) {
+	m := newMatrix()
+	p1, p2 := PortKey{Router: 1, Port: 10}, PortKey{Router: 2, Port: 20}
+	p3, p4 := PortKey{Router: 3, Port: 30}, PortKey{Router: 4, Port: 40}
+	p5 := PortKey{Router: 5, Port: 50}
+	if err := m.deploy("A", "alice", []Link{{A: p1, B: p2}}, anyPortOK); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.deploy("C", "carol", []Link{{A: p3, B: p4}}, anyPortOK); err != nil {
+		t.Fatal(err)
+	}
+
+	reclaimA := func(d Deployment) bool { return d.Name == "A" }
+	reclaimed, err := m.deployReclaiming("B", "bob", []Link{{A: p2, B: p5}}, anyPortOK, reclaimA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reclaimed) != 1 || reclaimed[0] != "A" {
+		t.Fatalf("reclaimed = %v, want [A]", reclaimed)
+	}
+	if _, ok := m.lookup(p1); ok {
+		t.Fatal("reclaimed lab's route survived the takeover")
+	}
+	if dst, ok := m.lookup(p2); !ok || dst != p5 {
+		t.Fatalf("takeover route missing: lookup(%s) = %v, %v", p2, dst, ok)
+	}
+	m.mu.RLock()
+	owner2 := m.routerOwner[2]
+	m.mu.RUnlock()
+	if owner2 != "B" {
+		t.Fatalf("router 2 owned by %q after takeover, want B", owner2)
+	}
+	// C, an innocent bystander, is untouched.
+	if dst, ok := m.lookup(p3); !ok || dst != p4 {
+		t.Fatal("unrelated deployment lost its route")
+	}
+
+	// All-or-nothing: E needs both B (reclaimable) and C (not). Nothing
+	// may be torn down.
+	reclaimB := func(d Deployment) bool { return d.Name == "B" }
+	if _, err := m.deployReclaiming("E", "eve", []Link{{A: p2, B: p4}}, anyPortOK, reclaimB); err == nil {
+		t.Fatal("partial takeover succeeded")
+	}
+	if dst, ok := m.lookup(p2); !ok || dst != p5 {
+		t.Fatal("reclaimable-but-spared lab was torn down in a failed takeover")
+	}
+	if dst, ok := m.lookup(p3); !ok || dst != p4 {
+		t.Fatal("unreclaimable lab was torn down in a failed takeover")
+	}
+}
+
+// TestConcurrentReclaimSingleWinner races two deployers for the same
+// expired lab over many iterations (run under -race in tier-1). Exactly
+// one must win; the loser must see the winner's fresh deployment as an
+// unreclaimable blocker and fail without damaging it.
+func TestConcurrentReclaimSingleWinner(t *testing.T) {
+	p1, p2 := PortKey{Router: 1, Port: 10}, PortKey{Router: 2, Port: 20}
+	for i := 0; i < 100; i++ {
+		m := newMatrix()
+		if err := m.deploy("victim", "expired-user", []Link{{A: p1, B: p2}}, anyPortOK); err != nil {
+			t.Fatal(err)
+		}
+		canReclaim := func(d Deployment) bool { return d.Name == "victim" }
+		errs := make([]error, 2)
+		var wg sync.WaitGroup
+		for j := 0; j < 2; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				_, errs[j] = m.deployReclaiming(fmt.Sprintf("taker-%d", j), "user",
+					[]Link{{A: p1, B: p2}}, anyPortOK, canReclaim)
+			}(j)
+		}
+		wg.Wait()
+		wins := 0
+		for _, err := range errs {
+			if err == nil {
+				wins++
+			}
+		}
+		if wins != 1 {
+			t.Fatalf("iteration %d: %d winners (errs=%v), want exactly 1", i, wins, errs)
+		}
+		deps := m.list()
+		if len(deps) != 1 {
+			t.Fatalf("iteration %d: %d deployments left, want 1", i, len(deps))
+		}
+		if dst, ok := m.lookup(p1); !ok || dst != p2 {
+			t.Fatalf("iteration %d: winner's route damaged", i)
+		}
+	}
+}

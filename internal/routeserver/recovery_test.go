@@ -1,0 +1,322 @@
+package routeserver_test
+
+// Recovery E2E tests: the behaviours PR "labs survive tunnel flaps and
+// route-server restarts" exists for. They drive real RIS agents in
+// reconnecting Run mode against a route server whose accept path is
+// wrapped by the fault-injection harness, then assert that a deployed
+// lab's wire IDs, matrix routes and forwarding all come back without any
+// operator action.
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"rnl/internal/device"
+	"rnl/internal/faultinject"
+	"rnl/internal/netsim"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+	"rnl/internal/wanem"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// runLabHost is addLabHost's reconnecting sibling: the agent runs in Run
+// mode with fast keepalive/redial timers, so a killed tunnel is redialed
+// within tens of milliseconds — the loop a production RIS runs for years.
+func runLabHost(t *testing.T, addr, name, ip string) *labHost {
+	t.Helper()
+	h := device.NewHost(name, device.FastTimers())
+	t.Cleanup(h.Close)
+	if err := h.Configure(mustIP(t, ip), mask24(), nil); err != nil {
+		t.Fatal(err)
+	}
+	nic := netsim.NewIface("pc-" + name + "/eth0")
+	w := netsim.Connect(h.Ports()[0], nic, nil)
+	t.Cleanup(w.Disconnect)
+
+	sp := netsim.NewSerialPort()
+	t.Cleanup(sp.Close)
+	go device.AttachConsole(h, sp.DeviceEnd)
+
+	agent, err := ris.New(ris.Config{
+		ServerAddr: addr,
+		PCName:     "pc-" + name,
+		Routers: []ris.RouterDef{{
+			Name:    name,
+			Model:   "Linux Server",
+			Console: sp.PCEnd,
+			Ports:   []ris.PortMap{{Name: "eth0", NIC: nic}},
+		}},
+		KeepaliveInterval: 100 * time.Millisecond, // PeerTimeout 300ms
+		ReconnectBackoff:  20 * time.Millisecond,
+	}, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go agent.Run(ctx)
+	waitFor(t, 5*time.Second, func() bool { return agent.RouterID(name) != 0 },
+		name+" never joined")
+	return &labHost{host: h, agent: agent}
+}
+
+// pingUntil retries a ping until it succeeds, returning when the first
+// reply arrived.
+func pingUntil(t *testing.T, from *device.Host, to net.IP, timeout time.Duration) time.Time {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if ok, _ := from.Ping(to, 250*time.Millisecond); ok {
+			return time.Now()
+		}
+	}
+	t.Fatalf("ping %s never succeeded within %v", to, timeout)
+	return time.Time{}
+}
+
+// TestLabSurvivesTunnelFlap is the PR's acceptance test: kill every RIS
+// tunnel under a deployed lab and assert the agents redial, get their old
+// wire IDs back, the matrix routes are reinstalled with zero edits lost,
+// and forwarding resumes — all within the grace period, with no operator
+// involvement.
+func TestLabSurvivesTunnelFlap(t *testing.T) {
+	ctl := faultinject.NewController()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := routeserver.New(routeserver.Options{
+		Logger:            quietLogger(),
+		RouterGracePeriod: time.Minute,
+	})
+	s.Serve(ctl.WrapListener(ln))
+	t.Cleanup(s.Close)
+
+	h1 := runLabHost(t, s.Addr(), "flap-h1", "10.0.20.1")
+	h2 := runLabHost(t, s.Addr(), "flap-h2", "10.0.20.2")
+	pk1 := portKeyOf(t, h1.agent, "flap-h1", "eth0")
+	pk2 := portKeyOf(t, h2.agent, "flap-h2", "eth0")
+	if err := s.Deploy("flap-lab", []routeserver.Link{{A: pk1, B: pk2}}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h1.host.Ping(h2.host.IP(), 3*time.Second); !ok {
+		t.Fatal("baseline ping failed")
+	}
+	depsBefore := s.Deployments()
+
+	killedAt := time.Now()
+	if n := ctl.KillAll(); n != 2 {
+		t.Fatalf("killed %d tunnels, want 2", n)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return s.StatsSnapshot()["recoveries"] >= 2
+	}, "agents never re-joined after tunnel kill")
+	rejoinedAt := time.Now()
+
+	// Identical wire IDs after the flap: the whole point of keyed identity.
+	if after := portKeyOf(t, h1.agent, "flap-h1", "eth0"); after != pk1 {
+		t.Fatalf("flap-h1 port key changed across flap: %s -> %s", pk1, after)
+	}
+	if after := portKeyOf(t, h2.agent, "flap-h2", "eth0"); after != pk2 {
+		t.Fatalf("flap-h2 port key changed across flap: %s -> %s", pk2, after)
+	}
+	// Zero matrix edits lost: the deployment survived byte-for-byte.
+	depsAfter := s.Deployments()
+	if len(depsAfter) != len(depsBefore) || len(depsAfter) != 1 {
+		t.Fatalf("deployments after flap = %d, want %d", len(depsAfter), len(depsBefore))
+	}
+	d := depsAfter[0]
+	if d.Name != "flap-lab" || len(d.Links) != 1 || d.Links[0] != (routeserver.Link{A: pk1, B: pk2}) {
+		t.Fatalf("deployment mutated across flap: %+v", d)
+	}
+	if s.StatsSnapshot()["labs_lost"] != 0 {
+		t.Fatal("flap within grace period counted as a lost lab")
+	}
+
+	forwardingAt := pingUntil(t, h1.host, h2.host.IP(), 5*time.Second)
+	t.Logf("recovery after tunnel kill: re-join %v, forwarding %v",
+		rejoinedAt.Sub(killedAt), forwardingAt.Sub(killedAt))
+}
+
+// TestRouteServerRestartRestoresState kills the whole route server and
+// brings up a fresh process image on the same state directory: the
+// deployments and router identities must be restored from the snapshot
+// before any agent reconnects, and once the redialing agents find the new
+// listener the lab forwards again with the same wire IDs.
+func TestRouteServerRestartRestoresState(t *testing.T) {
+	dir := t.TempDir()
+	opts := routeserver.Options{
+		Logger:            quietLogger(),
+		RouterGracePeriod: time.Minute,
+		StateDir:          dir,
+	}
+	s1 := routeserver.New(opts)
+	addr, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s1.Close)
+
+	h1 := runLabHost(t, addr, "rst-h1", "10.0.21.1")
+	h2 := runLabHost(t, addr, "rst-h2", "10.0.21.2")
+	pk1 := portKeyOf(t, h1.agent, "rst-h1", "eth0")
+	pk2 := portKeyOf(t, h2.agent, "rst-h2", "eth0")
+	if err := s1.Deploy("rst-lab", []routeserver.Link{{A: pk1, B: pk2}}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h1.host.Ping(h2.host.IP(), 3*time.Second); !ok {
+		t.Fatal("baseline ping failed")
+	}
+	s1.Close() // includes the final state snapshot
+
+	// The replacement server restores the control plane in New, before it
+	// even listens: agents that redial find their labs already in place.
+	s2 := routeserver.New(opts)
+	t.Cleanup(s2.Close)
+	deps := s2.Deployments()
+	if len(deps) != 1 || deps[0].Name != "rst-lab" ||
+		len(deps[0].Links) != 1 || deps[0].Links[0] != (routeserver.Link{A: pk1, B: pk2}) {
+		t.Fatalf("restored deployments wrong: %+v", deps)
+	}
+	inv := s2.Inventory()
+	if len(inv) != 2 {
+		t.Fatalf("restored inventory has %d routers, want 2", len(inv))
+	}
+	for _, r := range inv {
+		if r.Online {
+			t.Fatalf("restored router %q online before any agent reconnected", r.Name)
+		}
+	}
+	r1, ok := s2.RouterByName("rst-h1")
+	if !ok || (routeserver.PortKey{Router: r1.ID, Port: r1.Ports[0].ID}) != pk1 {
+		t.Fatalf("rst-h1 restored with different IDs: %+v want %s", r1, pk1)
+	}
+
+	// Rebind the old address (the port may linger briefly after close).
+	var bindErr error
+	bound := false
+	for i := 0; i < 100 && !bound; i++ {
+		if _, bindErr = s2.Listen(addr); bindErr == nil {
+			bound = true
+		} else {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !bound {
+		t.Fatalf("could not rebind %s: %v", addr, bindErr)
+	}
+
+	waitFor(t, 5*time.Second, func() bool {
+		return s2.StatsSnapshot()["recoveries"] >= 2
+	}, "agents never re-attached to the restarted server")
+	if after := portKeyOf(t, h1.agent, "rst-h1", "eth0"); after != pk1 {
+		t.Fatalf("rst-h1 port key changed across restart: %s -> %s", pk1, after)
+	}
+	pingUntil(t, h1.host, h2.host.IP(), 5*time.Second)
+}
+
+// TestGraceExpiryPrunesLab: a RIS that never comes back must not hold its
+// lab forever. After the grace period the router is pruned from the
+// inventory, its deployment is released, and the loss is counted.
+func TestGraceExpiryPrunesLab(t *testing.T) {
+	s := startServer(t, routeserver.Options{RouterGracePeriod: 250 * time.Millisecond})
+	hA := addLabHost(t, s, "gx-h1", "10.0.22.1", false)
+	hB := addLabHost(t, s, "gx-h2", "10.0.22.2", false)
+	pkA := portKeyOf(t, hA.agent, "gx-h1", "eth0")
+	pkB := portKeyOf(t, hB.agent, "gx-h2", "eth0")
+	if err := s.Deploy("gx-lab", []routeserver.Link{{A: pkA, B: pkB}}); err != nil {
+		t.Fatal(err)
+	}
+
+	hA.agent.Close() // and never reconnects
+
+	// Within the grace period the router lingers offline — the window a
+	// redial would land in — and its deployment is untouched.
+	waitFor(t, 3*time.Second, func() bool {
+		r, ok := s.RouterByName("gx-h1")
+		return ok && !r.Online
+	}, "gx-h1 never went offline")
+	if got := len(s.Inventory()); got != 2 {
+		t.Fatalf("inventory shrank to %d during grace period, want 2", got)
+	}
+	if h := s.Health(); h.Offline != 1 {
+		t.Fatalf("health reports %d offline routers, want 1", h.Offline)
+	}
+	if deps := s.Deployments(); len(deps) != 1 || len(deps[0].Links) != 1 {
+		t.Fatalf("deployment mutated during grace period: %+v", deps)
+	}
+
+	// Grace expires: pruned, released, counted.
+	waitFor(t, 3*time.Second, func() bool { return len(s.Inventory()) == 1 },
+		"gx-h1 never pruned after grace expiry")
+	if got := s.StatsSnapshot()["labs_lost"]; got != 1 {
+		t.Fatalf("labs_lost = %d, want 1", got)
+	}
+	deps := s.Deployments()
+	if len(deps) != 1 || len(deps[0].Links) != 0 {
+		t.Fatalf("lab still holds links to the pruned router: %+v", deps)
+	}
+}
+
+// TestRecoveryTimeUnderWANLoss measures the EXPERIMENTS.md number: with
+// the tunnel conditioned like a lossy WAN (5ms ± 2ms delay, 1% chunk
+// loss), how long from a forced tunnel kill until the lab forwards again.
+// The conditioner stays attached through the recovery, so the redial and
+// re-join themselves run over the impaired path.
+func TestRecoveryTimeUnderWANLoss(t *testing.T) {
+	ctl := faultinject.NewController()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := routeserver.New(routeserver.Options{
+		Logger:            quietLogger(),
+		RouterGracePeriod: time.Minute,
+	})
+	s.Serve(ctl.WrapListener(ln))
+	t.Cleanup(s.Close)
+
+	h1 := runLabHost(t, s.Addr(), "wan-h1", "10.0.23.1")
+	h2 := runLabHost(t, s.Addr(), "wan-h2", "10.0.23.2")
+	pk1 := portKeyOf(t, h1.agent, "wan-h1", "eth0")
+	pk2 := portKeyOf(t, h2.agent, "wan-h2", "eth0")
+	if err := s.Deploy("wan-lab", []routeserver.Link{{A: pk1, B: pk2}}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h1.host.Ping(h2.host.IP(), 3*time.Second); !ok {
+		t.Fatal("baseline ping failed")
+	}
+
+	ctl.SetConditioner(wanem.New(wanem.Profile{
+		Delay:  5 * time.Millisecond,
+		Jitter: 2 * time.Millisecond,
+		Loss:   0.01,
+	}, 42))
+	base := s.StatsSnapshot()["recoveries"]
+	killedAt := time.Now()
+	ctl.KillAll()
+	waitFor(t, 10*time.Second, func() bool {
+		return s.StatsSnapshot()["recoveries"] >= base+2
+	}, "agents never re-joined over the conditioned tunnel")
+	rejoinedAt := time.Now()
+	forwardingAt := pingUntil(t, h1.host, h2.host.IP(), 10*time.Second)
+	t.Logf("recovery under 5ms±2ms delay + 1%% loss: re-join %v, forwarding %v",
+		rejoinedAt.Sub(killedAt), forwardingAt.Sub(killedAt))
+	if fk := forwardingAt.Sub(killedAt); fk > 8*time.Second {
+		t.Errorf("forwarding took %v to recover; want well under the grace period", fk)
+	}
+}

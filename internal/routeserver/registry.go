@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // PortKey uniquely identifies a router port in the labs.
@@ -41,7 +42,9 @@ type RouterInfo struct {
 	PC          string     `json:"pc,omitempty"`
 	Ports       []PortInfo `json:"ports"`
 
-	sessionID uint64 // owning RIS connection
+	sessionID uint64    // owning RIS connection; 0 while offline
+	epoch     uint64    // bumped on every offline transition; guards GC timers
+	offlineAt time.Time // when the owning session dropped
 }
 
 // PortByName finds a port by name.
@@ -54,25 +57,80 @@ func (r *RouterInfo) PortByName(name string) (PortInfo, bool) {
 	return PortInfo{}, false
 }
 
-// registry tracks every router RNL knows about. Routers vanish when their
-// RIS disconnects ("those specialized equipment defined by users could
-// come and go at any time").
+// routerKey is a router's stable identity: the lab PC it lives behind
+// plus its inventory name. A RIS that drops and redials announces the
+// same key, and the registry re-issues the same wire IDs so deployed
+// labs keep forwarding.
+type routerKey struct {
+	pc   string
+	name string
+}
+
+// offlineRouter identifies one offline registry entry and the epoch of
+// its offline transition, so a grace-expiry timer never collects a
+// router that re-joined and went offline again in the meantime.
+type offlineRouter struct {
+	id    uint32
+	epoch uint64
+}
+
+// registry tracks every router RNL knows about. Routers whose RIS
+// disconnects stay registered but offline until the grace period expires
+// ("those specialized equipment defined by users could come and go at
+// any time" — coming back must not destroy a deployed lab).
 type registry struct {
 	mu         sync.RWMutex
 	routers    map[uint32]*RouterInfo
+	byKey      map[routerKey]uint32
 	nextRouter uint32
 	nextPort   uint32
 }
 
 func newRegistry() *registry {
-	return &registry{routers: make(map[uint32]*RouterInfo), nextRouter: 1, nextPort: 1}
+	return &registry{
+		routers:    make(map[uint32]*RouterInfo),
+		byKey:      make(map[routerKey]uint32),
+		nextRouter: 1,
+		nextPort:   1,
+	}
 }
 
 // add registers a router owned by a session and returns a copy of the
-// record with its assigned IDs.
-func (g *registry) add(sessionID uint64, info RouterInfo) RouterInfo {
+// record with its assigned IDs. If the (PC, name) identity is already
+// known — a RIS re-joining within the grace period, or a replacement
+// connection taking over — the router keeps its wire ID and every port
+// matched by name keeps its port ID; rejoined reports that case so the
+// server can reconcile lab state.
+func (g *registry) add(sessionID uint64, info RouterInfo) (reg RouterInfo, rejoined bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	key := routerKey{pc: info.PC, name: info.Name}
+	if id, known := g.byKey[key]; known {
+		old := g.routers[id]
+		oldPorts := make(map[string]uint32, len(old.Ports))
+		for _, p := range old.Ports {
+			oldPorts[p.Name] = p.ID
+		}
+		info.ID = id
+		for i := range info.Ports {
+			if pid, ok := oldPorts[info.Ports[i].Name]; ok {
+				info.Ports[i].ID = pid
+			} else {
+				info.Ports[i].ID = g.nextPort
+				g.nextPort++
+			}
+		}
+		info.Online = true
+		info.sessionID = sessionID
+		info.epoch = old.epoch
+		if !old.Online {
+			mRoutersOffline.Dec()
+		}
+		mPortsRegistered.Add(int64(len(info.Ports) - len(old.Ports)))
+		r := &info
+		g.routers[id] = r
+		return copyInfo(r), true
+	}
 	info.ID = g.nextRouter
 	g.nextRouter++
 	for i := range info.Ports {
@@ -83,25 +141,153 @@ func (g *registry) add(sessionID uint64, info RouterInfo) RouterInfo {
 	info.sessionID = sessionID
 	r := &info
 	g.routers[info.ID] = r
+	g.byKey[key] = info.ID
 	mRoutersRegistered.Inc()
 	mPortsRegistered.Add(int64(len(info.Ports)))
-	return copyInfo(r)
+	return copyInfo(r), false
 }
 
-// dropSession removes every router owned by a session and returns their IDs.
-func (g *registry) dropSession(sessionID uint64) []uint32 {
+// markSessionOffline flips every router owned by a session to offline,
+// keeping the records (and their wire IDs) for a grace-period re-join.
+func (g *registry) markSessionOffline(sessionID uint64) []offlineRouter {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []offlineRouter
+	for id, r := range g.routers {
+		if r.sessionID == sessionID && r.Online {
+			r.Online = false
+			r.sessionID = 0
+			r.offlineAt = time.Now()
+			r.epoch++
+			mRoutersOffline.Inc()
+			out = append(out, offlineRouter{id: id, epoch: r.epoch})
+		}
+	}
+	return out
+}
+
+// removeSession deletes every router owned by a session immediately (no
+// grace period configured) and returns their IDs.
+func (g *registry) removeSession(sessionID uint64) []uint32 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var gone []uint32
 	for id, r := range g.routers {
 		if r.sessionID == sessionID {
 			delete(g.routers, id)
+			delete(g.byKey, routerKey{pc: r.PC, name: r.Name})
 			gone = append(gone, id)
 			mRoutersRegistered.Dec()
 			mPortsRegistered.Add(int64(-len(r.Ports)))
 		}
 	}
 	return gone
+}
+
+// gcExpired deletes an offline router whose grace period ran out. The
+// epoch must match the offline transition that scheduled the collection:
+// a router that re-joined (and possibly went offline again) since then
+// is left alone.
+func (g *registry) gcExpired(id uint32, epoch uint64) (RouterInfo, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.routers[id]
+	if !ok || r.Online || r.epoch != epoch {
+		return RouterInfo{}, false
+	}
+	delete(g.routers, id)
+	delete(g.byKey, routerKey{pc: r.PC, name: r.Name})
+	mRoutersRegistered.Dec()
+	mPortsRegistered.Add(int64(-len(r.Ports)))
+	mRoutersOffline.Dec()
+	return copyInfo(r), true
+}
+
+// offlineRouters lists the currently offline entries — used to schedule
+// grace-expiry collection for routers restored from a state snapshot.
+func (g *registry) offlineRouters() []offlineRouter {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []offlineRouter
+	for id, r := range g.routers {
+		if !r.Online {
+			out = append(out, offlineRouter{id: id, epoch: r.epoch})
+		}
+	}
+	return out
+}
+
+// countOffline reports how many registered routers are offline.
+func (g *registry) countOffline() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, r := range g.routers {
+		if !r.Online {
+			n++
+		}
+	}
+	return n
+}
+
+// exportState snapshots the registry for persistence: all records plus
+// the ID allocators, so a restarted server re-issues identical IDs.
+func (g *registry) exportState() (routers []RouterInfo, nextRouter, nextPort uint32) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	routers = make([]RouterInfo, 0, len(g.routers))
+	for _, r := range g.routers {
+		routers = append(routers, copyInfo(r))
+	}
+	sort.Slice(routers, func(i, j int) bool { return routers[i].ID < routers[j].ID })
+	return routers, g.nextRouter, g.nextPort
+}
+
+// importState restores persisted records. Every restored router starts
+// offline (its RIS must redial) with epoch 1, so the caller can schedule
+// grace-expiry collection against that epoch. Records with clashing IDs
+// or identities are skipped; the allocators are advanced past every
+// restored ID regardless of the persisted values.
+func (g *registry) importState(routers []RouterInfo, nextRouter, nextPort uint32) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, in := range routers {
+		if in.ID == 0 || in.Name == "" {
+			continue
+		}
+		key := routerKey{pc: in.PC, name: in.Name}
+		if _, dup := g.byKey[key]; dup {
+			continue
+		}
+		if _, dup := g.routers[in.ID]; dup {
+			continue
+		}
+		r := in
+		r.Ports = append([]PortInfo(nil), in.Ports...)
+		r.Online = false
+		r.sessionID = 0
+		r.offlineAt = time.Now()
+		r.epoch = 1
+		g.routers[r.ID] = &r
+		g.byKey[key] = r.ID
+		if r.ID >= g.nextRouter {
+			g.nextRouter = r.ID + 1
+		}
+		for _, p := range r.Ports {
+			if p.ID >= g.nextPort {
+				g.nextPort = p.ID + 1
+			}
+		}
+		mRoutersRegistered.Inc()
+		mPortsRegistered.Add(int64(len(r.Ports)))
+		mRoutersOffline.Inc()
+	}
+	if nextRouter > g.nextRouter {
+		g.nextRouter = nextRouter
+	}
+	if nextPort > g.nextPort {
+		g.nextPort = nextPort
+	}
 }
 
 // copyInfo snapshots a registry record, including the port slice. Must

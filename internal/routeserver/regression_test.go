@@ -147,7 +147,7 @@ func TestTeardownAfterDropLeavesReusedPortsWired(t *testing.T) {
 // must be near-immediate.
 func TestStreamStopPrompt(t *testing.T) {
 	s := quietServer()
-	info := s.reg.add(1, RouterInfo{Name: "r1", Ports: []PortInfo{{Name: "e0"}}})
+	info, _ := s.reg.add(1, RouterInfo{Name: "r1", Ports: []PortInfo{{Name: "e0"}}})
 	pk := PortKey{Router: info.ID, Port: info.Ports[0].ID}
 
 	st, err := s.StartStream(pk, []byte{0xde, 0xad}, 1 /* pps */, 0, false)

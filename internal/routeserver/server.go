@@ -20,6 +20,17 @@ import (
 // forever.
 const DefaultPeerTimeout = 30 * time.Second
 
+// DefaultRouterGracePeriod is how long a disconnected RIS's routers stay
+// registered (offline) awaiting a re-join before they are pruned. Long
+// enough to ride out a tunnel flap plus redial backoff over commodity
+// Internet links (paper §3.2 runs hours-long unattended tests over such
+// tunnels), short enough that truly departed equipment frees its labs.
+const DefaultRouterGracePeriod = 60 * time.Second
+
+// NoRouterGrace disables the grace period: a dropped session's routers
+// are deleted from the inventory immediately.
+const NoRouterGrace time.Duration = -1
+
 // Options configures a route server.
 type Options struct {
 	// AllowCompression accepts RIS compression offers (paper §4).
@@ -32,6 +43,20 @@ type Options struct {
 	// SendQueueLen bounds each session's tunnel send queue (drop-oldest
 	// under backpressure); zero means wire.DefaultSendQueueLen.
 	SendQueueLen int
+	// RouterGracePeriod keeps a disconnected RIS's routers registered
+	// (offline) for this long so a re-join gets the same wire IDs and
+	// its deployed labs are reconciled instead of destroyed. Zero means
+	// DefaultRouterGracePeriod; NoRouterGrace (negative) deletes
+	// immediately.
+	RouterGracePeriod time.Duration
+	// StateDir, when set, persists the control plane (router identities
+	// with their wire IDs, deployments) as atomic JSON snapshots —
+	// written on every mutation and periodically — and restores them in
+	// New, so a route-server restart resumes labs as agents redial.
+	StateDir string
+	// SnapshotInterval is the periodic snapshot cadence when StateDir is
+	// set; zero means DefaultSnapshotInterval.
+	SnapshotInterval time.Duration
 }
 
 // Stats are the server's forwarding-plane counters.
@@ -45,6 +70,11 @@ type Stats struct {
 	// PacketsDropped counts frames shed by per-session send queues when
 	// a RIS tunnel cannot keep up (slow or stalled Internet peer).
 	PacketsDropped atomic.Uint64
+	// Recoveries counts routers that re-joined within the grace period
+	// and had their lab state reconciled.
+	Recoveries atomic.Uint64
+	// LabsLost counts deployed labs that permanently lost a router.
+	LabsLost atomic.Uint64
 }
 
 // Server is the route server: the rendezvous point of every RIS tunnel.
@@ -64,7 +94,11 @@ type Server struct {
 	nextSess uint64
 	closed   bool
 	wg       sync.WaitGroup
-	onChange []func() // registry-change notifications (web UI refresh)
+	onChange []func()                // registry-change notifications (web UI refresh)
+	gcTimers map[uint32]*time.Timer // pending grace-expiry collections by router ID
+
+	saveMu        sync.Mutex    // serializes state-snapshot writers
+	stopSnapshots chan struct{} // closed by Close; ends the periodic snapshot loop
 
 	accepting atomic.Bool // accept loop liveness, reported by Health
 }
@@ -117,22 +151,30 @@ func (s *session) writePacket(m wire.PacketMsg) error {
 	return wc.SendPacket(m)
 }
 
-// New creates an unstarted server.
+// New creates an unstarted server. With Options.StateDir set, any
+// persisted control-plane snapshot is restored here — before the server
+// listens — so redialing agents find their labs already in place.
 func New(opts Options) *Server {
 	logger := opts.Logger
 	if logger == nil {
 		logger = slog.Default()
 	}
-	return &Server{
-		opts:     opts,
-		log:      logger,
-		reg:      newRegistry(),
-		matrix:   newMatrix(),
-		captures: newCaptureHub(),
-		consoles: newConsoleHub(),
-		sessions: make(map[uint64]*session),
-		nextSess: 1,
+	s := &Server{
+		opts:          opts,
+		log:           logger,
+		reg:           newRegistry(),
+		matrix:        newMatrix(),
+		captures:      newCaptureHub(),
+		consoles:      newConsoleHub(),
+		sessions:      make(map[uint64]*session),
+		nextSess:      1,
+		gcTimers:      make(map[uint32]*time.Timer),
+		stopSnapshots: make(chan struct{}),
 	}
+	if opts.StateDir != "" {
+		s.loadState()
+	}
+	return s
 }
 
 // Listen starts accepting RIS tunnels on addr (e.g. "127.0.0.1:0") and
@@ -142,11 +184,29 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("routeserver: listen %s: %w", addr, err)
 	}
+	s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Serve begins accepting RIS tunnels on a caller-provided listener —
+// the hook fault-injection tests use to wrap the accept path; Listen is
+// the production entry point.
+func (s *Server) Serve(ln net.Listener) {
 	s.ln = ln
 	s.accepting.Store(true)
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return ln.Addr().String(), nil
+	// Routers restored offline from a snapshot start their grace
+	// countdown now, when agents can actually reach us again.
+	if grace := s.routerGrace(); grace > 0 {
+		for _, ref := range s.reg.offlineRouters() {
+			s.scheduleGC(ref.id, ref.epoch, grace)
+		}
+	}
+	if s.opts.StateDir != "" {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
 }
 
 // Addr returns the listener address ("" before Listen).
@@ -169,7 +229,12 @@ func (s *Server) Close() {
 	for _, sess := range s.sessions {
 		sessions = append(sessions, sess)
 	}
+	for id, t := range s.gcTimers {
+		t.Stop()
+		delete(s.gcTimers, id)
+	}
 	s.mu.Unlock()
+	close(s.stopSnapshots)
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -177,6 +242,9 @@ func (s *Server) Close() {
 		sess.conn.Close()
 	}
 	s.wg.Wait()
+	if s.opts.StateDir != "" {
+		s.persist()
+	}
 }
 
 // OnChange registers a callback fired whenever the inventory changes.
@@ -212,6 +280,7 @@ func (s *Server) SetRouterFirmware(name, version string) bool {
 	ok := s.reg.setFirmware(name, version)
 	if ok {
 		s.fireChange()
+		s.persist()
 	}
 	return ok
 }
@@ -226,6 +295,8 @@ func (s *Server) StatsSnapshot() map[string]uint64 {
 		"packets_captured":  s.stats.PacketsCaptured.Load(),
 		"packets_dropped":   s.stats.PacketsDropped.Load(),
 		"sessions_total":    s.stats.SessionsTotal.Load(),
+		"recoveries":        s.stats.Recoveries.Load(),
+		"labs_lost":         s.stats.LabsLost.Load(),
 	}
 }
 
@@ -262,6 +333,17 @@ func (s *Server) peerTimeout() time.Duration {
 		return s.opts.PeerTimeout
 	}
 	return DefaultPeerTimeout
+}
+
+// routerGrace resolves the configured grace period (0 = disabled).
+func (s *Server) routerGrace() time.Duration {
+	if s.opts.RouterGracePeriod == 0 {
+		return DefaultRouterGracePeriod
+	}
+	if s.opts.RouterGracePeriod < 0 {
+		return 0
+	}
+	return s.opts.RouterGracePeriod
 }
 
 // serveSession handshakes and runs one RIS tunnel until it drops.
@@ -332,7 +414,11 @@ func (s *Server) serveSession(sess *session) {
 	}
 }
 
-// handshake performs Hello + Join.
+// handshake performs Hello + Join. A router whose (PC, name) identity is
+// already registered — a RIS redialing after a tunnel flap or a server
+// restart — gets its previous wire IDs back and its surviving labs'
+// routes reinstalled; capture taps and streams are keyed by those same
+// port IDs, so their bindings come back with the routes.
 func (s *Server) handshake(sess *session) error {
 	f, err := wire.ReadFrame(sess.conn)
 	if err != nil {
@@ -370,6 +456,7 @@ func (s *Server) handshake(sess *session) error {
 		return err
 	}
 	ackMsg := wire.JoinAckMsg{}
+	recovered := 0
 	for _, ra := range join.Routers {
 		info := RouterInfo{
 			Name:        ra.Name,
@@ -385,8 +472,17 @@ func (s *Server) handshake(sess *session) error {
 				Name: pa.Name, Description: pa.Description, NIC: pa.NIC, Rect: pa.Rect,
 			})
 		}
-		reg := s.reg.add(sess.id, info)
-		assign := wire.RouterAssignment{Name: reg.Name, ID: reg.ID, Ports: map[string]uint32{}}
+		reg, rejoined := s.reg.add(sess.id, info)
+		if rejoined {
+			s.cancelGC(reg.ID)
+			routes := s.matrix.reinstallRouter(reg.ID, s.reg.portExists)
+			s.stats.Recoveries.Add(1)
+			mRecoveries.Inc()
+			recovered++
+			s.log.Info("router re-joined; lab state reconciled",
+				"router", reg.Name, "id", reg.ID, "routes", routes)
+		}
+		assign := wire.RouterAssignment{Name: reg.Name, ID: reg.ID, Rejoined: rejoined, Ports: map[string]uint32{}}
 		for _, p := range reg.Ports {
 			assign.Ports[p.Name] = p.ID
 		}
@@ -400,12 +496,17 @@ func (s *Server) handshake(sess *session) error {
 	if err := sess.writeFrame(joinAck); err != nil {
 		return err
 	}
-	s.log.Info("RIS joined", "session", sess.id, "pc", sess.pcName, "routers", len(sess.routers))
+	s.log.Info("RIS joined", "session", sess.id, "pc", sess.pcName,
+		"routers", len(sess.routers), "recovered", recovered)
 	s.fireChange()
+	s.persist()
 	return nil
 }
 
-// dropSession removes a dead session and everything it owned.
+// dropSession removes a dead session. With a grace period configured its
+// routers go offline — routes suspended, records and wire IDs kept — and
+// are only pruned if no re-join happens before the grace expires;
+// without one they are deleted immediately (the seed behavior).
 func (s *Server) dropSession(sess *session) {
 	sess.conn.Close()
 	s.mu.Lock()
@@ -414,14 +515,81 @@ func (s *Server) dropSession(sess *session) {
 		mSessionsActive.Dec()
 	}
 	s.mu.Unlock()
-	gone := s.reg.dropSession(sess.id)
+	if grace := s.routerGrace(); grace > 0 {
+		offline := s.reg.markSessionOffline(sess.id)
+		for _, ref := range offline {
+			s.matrix.suspendRouter(ref.id)
+			s.consoles.dropRouter(ref.id)
+			s.scheduleGC(ref.id, ref.epoch, grace)
+		}
+		if len(offline) > 0 {
+			s.log.Info("RIS left; routers offline awaiting re-join",
+				"session", sess.id, "routers", len(offline), "grace", grace)
+			s.fireChange()
+			s.persist()
+		}
+		return
+	}
+	gone := s.reg.removeSession(sess.id)
 	for _, id := range gone {
-		s.matrix.dropRouter(id)
+		s.countLabsLost(s.matrix.dropRouter(id), id)
 		s.consoles.dropRouter(id)
 	}
 	if len(gone) > 0 {
 		s.log.Info("RIS left", "session", sess.id, "routers", len(gone))
 		s.fireChange()
+		s.persist()
+	}
+}
+
+// scheduleGC arms (or re-arms) the grace-expiry collection for a router.
+func (s *Server) scheduleGC(id uint32, epoch uint64, grace time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if old := s.gcTimers[id]; old != nil {
+		old.Stop()
+	}
+	s.gcTimers[id] = time.AfterFunc(grace, func() { s.gcRouter(id, epoch) })
+}
+
+// cancelGC disarms a pending collection after a re-join.
+func (s *Server) cancelGC(id uint32) {
+	s.mu.Lock()
+	if t := s.gcTimers[id]; t != nil {
+		t.Stop()
+		delete(s.gcTimers, id)
+	}
+	s.mu.Unlock()
+}
+
+// gcRouter prunes a router whose grace period expired without a re-join.
+// The registry's epoch check makes a stale timer (router re-joined, went
+// offline again) a no-op.
+func (s *Server) gcRouter(id uint32, epoch uint64) {
+	info, ok := s.reg.gcExpired(id, epoch)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	delete(s.gcTimers, id)
+	s.mu.Unlock()
+	s.countLabsLost(s.matrix.dropRouter(id), id)
+	s.consoles.dropRouter(id)
+	s.log.Info("router grace expired; pruned", "router", info.Name, "pc", info.PC)
+	s.fireChange()
+	s.persist()
+}
+
+// countLabsLost records deployments newly damaged by a router's
+// permanent removal.
+func (s *Server) countLabsLost(lost []string, routerID uint32) {
+	for _, name := range lost {
+		s.stats.LabsLost.Add(1)
+		mLabsLost.Inc()
+		s.log.Warn("deployed lab lost a router", "deployment", name, "router", routerID)
 	}
 }
 

@@ -1,0 +1,167 @@
+package routeserver
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// DefaultSnapshotInterval is the periodic state-snapshot cadence — a
+// backstop behind the on-mutation snapshots, bounding how stale the
+// on-disk state can get if a mutation path ever misses a persist call.
+const DefaultSnapshotInterval = 30 * time.Second
+
+// stateFile is the snapshot filename inside Options.StateDir.
+const stateFile = "routeserver.json"
+
+// persistedDeployment is a Deployment with its damage marker exported.
+type persistedDeployment struct {
+	Name    string   `json:"name"`
+	Owner   string   `json:"owner,omitempty"`
+	Links   []Link   `json:"links"`
+	Routers []uint32 `json:"routers"`
+	Damaged bool     `json:"damaged,omitempty"`
+}
+
+// persistedState is the on-disk control-plane snapshot. Router records
+// carry their assigned wire IDs and the ID allocators ride along, so
+// agents redialing a restarted server get identical assignments and the
+// restored deployments' routes reinstall unchanged.
+type persistedState struct {
+	SavedAt     time.Time             `json:"saved_at"`
+	NextRouter  uint32                `json:"next_router"`
+	NextPort    uint32                `json:"next_port"`
+	Routers     []RouterInfo          `json:"routers"`
+	Deployments []persistedDeployment `json:"deployments"`
+}
+
+func (s *Server) statePath() string { return filepath.Join(s.opts.StateDir, stateFile) }
+
+// persist writes a state snapshot if a StateDir is configured. Mutation
+// paths call it outside the registry/matrix locks; failures are logged,
+// not fatal — the server keeps serving from memory.
+func (s *Server) persist() {
+	if s.opts.StateDir == "" {
+		return
+	}
+	if err := s.saveState(); err != nil {
+		s.log.Warn("state snapshot failed", "err", err)
+	}
+}
+
+// saveState writes the snapshot atomically — temp file in the same
+// directory, then rename — so a crash mid-write never corrupts the
+// previous snapshot (the same pattern the design store uses).
+func (s *Server) saveState() error {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	st := persistedState{SavedAt: time.Now()}
+	st.Routers, st.NextRouter, st.NextPort = s.reg.exportState()
+	st.Deployments = s.matrix.exportState()
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.statePath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.statePath())
+}
+
+// loadState restores the snapshot at construction time. Missing state is
+// a fresh start; corrupt state is logged and skipped — an empty server
+// is always safe to run.
+func (s *Server) loadState() {
+	if err := os.MkdirAll(s.opts.StateDir, 0o755); err != nil {
+		s.log.Warn("state dir unavailable", "dir", s.opts.StateDir, "err", err)
+		return
+	}
+	data, err := os.ReadFile(s.statePath())
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.log.Warn("state snapshot unreadable", "path", s.statePath(), "err", err)
+		}
+		return
+	}
+	var st persistedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		s.log.Warn("state snapshot corrupt; starting empty", "path", s.statePath(), "err", err)
+		return
+	}
+	s.reg.importState(st.Routers, st.NextRouter, st.NextPort)
+	s.matrix.importState(st.Deployments)
+	s.log.Info("restored control-plane state", "routers", len(st.Routers),
+		"deployments", len(st.Deployments), "saved_at", st.SavedAt)
+}
+
+// snapshotInterval resolves the periodic snapshot cadence.
+func (s *Server) snapshotInterval() time.Duration {
+	if s.opts.SnapshotInterval > 0 {
+		return s.opts.SnapshotInterval
+	}
+	return DefaultSnapshotInterval
+}
+
+// snapshotLoop persists periodically until Close.
+func (s *Server) snapshotLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.snapshotInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.persist()
+		case <-s.stopSnapshots:
+			return
+		}
+	}
+}
+
+// exportState snapshots the deployments for persistence, sorted by name.
+func (m *matrix) exportState() []persistedDeployment {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]persistedDeployment, 0, len(m.deployments))
+	for _, d := range m.deployments {
+		out = append(out, persistedDeployment{
+			Name:    d.Name,
+			Owner:   d.Owner,
+			Links:   append([]Link(nil), d.Links...),
+			Routers: append([]uint32(nil), d.Routers...),
+			Damaged: d.damaged,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// importState restores deployment records without installing any routes:
+// every restored router starts offline, and the routes reinstall through
+// the normal re-join reconciliation as agents redial.
+func (m *matrix) importState(deps []persistedDeployment) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, pd := range deps {
+		if pd.Name == "" {
+			continue
+		}
+		if _, dup := m.deployments[pd.Name]; dup {
+			continue
+		}
+		d := &Deployment{
+			Name:    pd.Name,
+			Owner:   pd.Owner,
+			Links:   append([]Link(nil), pd.Links...),
+			Routers: append([]uint32(nil), pd.Routers...),
+			damaged: pd.Damaged,
+		}
+		m.deployments[pd.Name] = d
+		for _, rid := range d.Routers {
+			m.routerOwner[rid] = pd.Name
+		}
+		mDeploymentsActive.Inc()
+	}
+}

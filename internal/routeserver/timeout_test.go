@@ -48,7 +48,10 @@ func rawJoin(t *testing.T, addr, pcName string) net.Conn {
 // including keepalives — must be torn down after PeerTimeout and its
 // inventory withdrawn, instead of lingering half-open forever.
 func TestServerDropsSilentPeer(t *testing.T) {
-	s := startServer(t, routeserver.Options{PeerTimeout: 200 * time.Millisecond})
+	s := startServer(t, routeserver.Options{
+		PeerTimeout:       200 * time.Millisecond,
+		RouterGracePeriod: routeserver.NoRouterGrace,
+	})
 
 	conn := rawJoin(t, s.Addr(), "pc-silent")
 	if got := len(s.Inventory()); got != 1 {

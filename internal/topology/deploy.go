@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"rnl/internal/console"
@@ -64,33 +65,62 @@ func (dep *Deployer) Deploy(user string, d *Design, restoreConfigs bool) error {
 	if err != nil {
 		return err
 	}
-	if err := dep.Server.DeployOwned(d.Name, user, links); err != nil {
-		// The blocking deployment may belong to a user whose reservation
-		// has lapsed; if so, tear it down and take over — the paper's
-		// expiry semantics.
-		if !dep.reclaimExpired(d) {
-			return err
-		}
+	if dep.Cal == nil {
 		if err := dep.Server.DeployOwned(d.Name, user, links); err != nil {
 			return err
 		}
+	} else if err := dep.Server.DeployReclaiming(d.Name, user, links, dep.reclaimable); err != nil {
+		// A blocking deployment whose owner's reservation lapsed is torn
+		// down and taken over — the paper's expiry semantics. The check
+		// and the takeover are one critical section on the server, so
+		// two deployers racing for the same expired blocker cannot both
+		// tear it down and clobber each other's lab.
+		return err
 	}
 	if !restoreConfigs {
 		return nil
 	}
+	// Restore in sorted router order: map iteration order would make the
+	// partially-configured state after a mid-restore failure differ from
+	// run to run.
+	routers := make([]string, 0, len(d.Configs))
 	for router, cfg := range d.Configs {
-		if cfg == "" {
-			continue
+		if cfg != "" {
+			routers = append(routers, router)
 		}
-		if err := dep.restoreOne(router, cfg); err != nil {
+	}
+	sort.Strings(routers)
+	for _, router := range routers {
+		if err := dep.restoreOne(router, d.Configs[router]); err != nil {
 			// Roll back the half-deployed lab: partial restores leave
 			// the lab in an unknown state, the one thing RNL exists to
 			// prevent.
-			dep.Server.Teardown(d.Name)
+			if terr := dep.Server.Teardown(d.Name); terr != nil {
+				return fmt.Errorf("topology: restoring %q: %w (rollback teardown also failed: %v)", router, err, terr)
+			}
 			return fmt.Errorf("topology: restoring %q: %w", router, err)
 		}
 	}
 	return nil
+}
+
+// reclaimable reports whether a blocking deployment may be torn down for
+// a takeover: programmatic (ownerless) labs, labs whose routers all left
+// the inventory, and labs whose owner no longer holds a current
+// reservation on their routers (paper §2.1). It runs inside the route
+// server's matrix critical section, so it must not call back into
+// deploy/teardown operations; registry and calendar reads are safe.
+func (dep *Deployer) reclaimable(existing routeserver.Deployment) bool {
+	var names []string
+	for _, rid := range existing.Routers {
+		if name, ok := dep.Server.RouterName(rid); ok {
+			names = append(names, name)
+		}
+	}
+	if existing.Owner == "" || len(names) == 0 {
+		return true
+	}
+	return !dep.Cal.HeldBy(existing.Owner, names)
 }
 
 // restoreOne replays one router's saved configuration over its console.
@@ -139,44 +169,6 @@ func (dep *Deployer) SaveConfigs(d *Design) error {
 		d.Configs[router] = cfg
 	}
 	return nil
-}
-
-// reclaimExpired tears down deployments that hold routers this design
-// needs but whose owners no longer hold a current reservation. It reports
-// whether anything was reclaimed.
-func (dep *Deployer) reclaimExpired(d *Design) bool {
-	if dep.Cal == nil {
-		return false
-	}
-	need := map[string]bool{}
-	for _, r := range d.Routers {
-		need[r] = true
-	}
-	reclaimed := false
-	for _, existing := range dep.Server.Deployments() {
-		blocking := false
-		var names []string
-		for _, rid := range existing.Routers {
-			name, ok := dep.Server.RouterName(rid)
-			if !ok {
-				continue
-			}
-			names = append(names, name)
-			if need[name] {
-				blocking = true
-			}
-		}
-		if !blocking {
-			continue
-		}
-		if existing.Owner != "" && dep.Cal.HeldBy(existing.Owner, names) {
-			continue // the current holder is still entitled
-		}
-		if dep.Server.Teardown(existing.Name) == nil {
-			reclaimed = true
-		}
-	}
-	return reclaimed
 }
 
 // Teardown removes a deployed design's wires.

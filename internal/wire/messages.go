@@ -51,6 +51,10 @@ type RouterAssignment struct {
 	Name  string            `json:"name"`
 	ID    uint32            `json:"id"`
 	Ports map[string]uint32 `json:"ports"` // port name → port ID
+	// Rejoined reports the server recognised this router's identity from
+	// a previous session and re-issued its old IDs (recovery, not a
+	// fresh registration).
+	Rejoined bool `json:"rejoined,omitempty"`
 }
 
 // JoinAckMsg answers a JoinMsg.
