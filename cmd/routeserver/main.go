@@ -35,6 +35,12 @@ func main() {
 		stateDir   = flag.String("state", "", "directory for durable control-plane state: deployments, inventory, reservations (empty = volatile)")
 		grace      = flag.Duration("grace", routeserver.DefaultRouterGracePeriod, "how long a disconnected RIS keeps its identity and labs before GC (0 = drop immediately)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
+
+		labPPS         = flag.Float64("lab-pps", 0, "per-lab delivered packet rate cap in packets/sec (0 disables per-lab throttling)")
+		labBurst       = flag.Float64("lab-burst", 0, "per-lab token-bucket burst (0 = one second's worth of -lab-pps)")
+		mutateInFlight = flag.Int("api-mutate-inflight", 0, "max concurrently executing mutating API calls (0 = default)")
+		readInFlight   = flag.Int("api-read-inflight", 0, "max concurrently executing read API calls (0 = default)")
+		noAdmission    = flag.Bool("no-admission", false, "disable web API admission control and idempotency caching")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -67,6 +73,8 @@ func main() {
 		Logger:            log,
 		RouterGracePeriod: graceOpt,
 		StateDir:          *stateDir,
+		LabRateLimit:      *labPPS,
+		LabRateBurst:      *labBurst,
 	})
 	boundTunnel, err := rs.Listen(*tunnelAddr)
 	if err != nil {
@@ -97,6 +105,11 @@ func main() {
 		Token:          *token,
 		ConsoleTimeout: 10 * time.Second,
 		Logger:         log,
+		Admission: api.AdmissionConfig{
+			Disable:        *noAdmission,
+			MutateInFlight: *mutateInFlight,
+			ReadInFlight:   *readInFlight,
+		},
 	})
 	boundHTTP, err := web.Listen(*httpAddr)
 	if err != nil {

@@ -1,0 +1,386 @@
+// Package admission is RNL's overload-protection layer. The cloud is
+// shared: many concurrent labs multiplex the same tunnel servers and the
+// same web-services API, and the paper's fidelity claim — L2 control
+// traffic survives whatever the substrate does to bulk data — only holds
+// if one packet-blasting lab cannot starve every other tenant. This
+// package supplies the policies; the mechanisms live with their planes:
+//
+//   - TokenBucket: per-lab rate limiting on the data plane (the route
+//     server throttles delivery into a lab past its configured rate).
+//   - Shedder: the fair-share shedding policy wire.Conn consults when a
+//     tunnel send queue saturates — the class (lab) with the most queued
+//     packets loses first, so a noisy lab absorbs its own overload
+//     instead of spreading it. Control frames stay exempt upstream.
+//   - Gate: bounded-concurrency admission for the web API, with a short
+//     wait queue and a deadline; overflow is turned into 429 + a
+//     Retry-After hint by the HTTP layer.
+//   - IdempotencyCache: single-flight result caching keyed by client
+//     idempotency keys, so a retried deploy is applied at most once.
+//   - Backoff: the client-side exponential backoff with full jitter that
+//     makes those retries polite.
+//
+// Everything is instrumented through internal/obs as rnl_admission_*
+// series; the accounting invariant (every shed or throttled unit is
+// counted exactly once) is asserted by the chaos soak test.
+package admission
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rnl/internal/obs"
+)
+
+// ErrOverloaded is returned by Gate.Acquire when the gate (including its
+// wait queue) is full or the queue deadline passes. The HTTP layer maps
+// it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("admission: overloaded")
+
+// --- token bucket ----------------------------------------------------------
+
+// TokenBucket is a classic token-bucket rate limiter: rate tokens/second
+// refill up to burst. A rate <= 0 disables limiting (Allow always true).
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a full bucket. burst <= 0 defaults to rate (one
+// second of credit); both <= 0 means unlimited.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// Allow consumes n tokens if available and reports whether it could.
+func (b *TokenBucket) Allow(n float64) bool {
+	if b == nil || b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// --- fair-share shedder ----------------------------------------------------
+
+// Shedder tracks how many droppable units each class (lab, session, "")
+// currently has queued and picks the shed victim: the class with the
+// most queued, ties broken lexicographically for determinism. It is NOT
+// self-locking — the owning queue (wire.Conn) already serializes every
+// call under its own mutex, and a second lock on the packet fast path
+// would be pure overhead.
+type Shedder struct {
+	counts map[string]int
+	shed   map[string]uint64 // cumulative sheds per class, for accounting
+}
+
+// NewShedder returns an empty shedder.
+func NewShedder() *Shedder {
+	return &Shedder{counts: make(map[string]int), shed: make(map[string]uint64)}
+}
+
+// Enqueued records one unit of class entering the queue.
+func (s *Shedder) Enqueued(class string) { s.counts[class]++ }
+
+// Shed records one unit of class dropped by the policy and counts it in
+// the process-wide rnl_admission_shed_total series.
+func (s *Shedder) Shed(class string) {
+	if c := s.counts[class]; c > 1 {
+		s.counts[class] = c - 1
+	} else {
+		delete(s.counts, class)
+	}
+	s.shed[class]++
+	mShedTotal.Inc()
+}
+
+// Reset clears the occupancy counts — called when the owning queue is
+// drained wholesale (the batched writer swaps the entire queue out).
+func (s *Shedder) Reset() {
+	clear(s.counts)
+}
+
+// Victim returns the class that should lose next: the one with the most
+// units queued. With nothing queued it returns "".
+func (s *Shedder) Victim() string {
+	victim, max := "", 0
+	for class, n := range s.counts {
+		if n > max || (n == max && max > 0 && class < victim) {
+			victim, max = class, n
+		}
+	}
+	return victim
+}
+
+// Queued reports the current occupancy of one class.
+func (s *Shedder) Queued(class string) int { return s.counts[class] }
+
+// ShedByClass returns a copy of the cumulative per-class shed counts.
+func (s *Shedder) ShedByClass() map[string]uint64 {
+	out := make(map[string]uint64, len(s.shed))
+	for k, v := range s.shed {
+		out[k] = v
+	}
+	return out
+}
+
+// --- admission gate --------------------------------------------------------
+
+// GateConfig tunes a Gate. Zero values select the defaults.
+type GateConfig struct {
+	// MaxInFlight bounds concurrently admitted callers (default 16).
+	MaxInFlight int
+	// MaxQueue bounds callers waiting for admission beyond MaxInFlight;
+	// 0 means reject immediately once MaxInFlight is reached. Negative
+	// selects the default (4 × MaxInFlight).
+	MaxQueue int
+	// QueueWait bounds how long a queued caller waits before being
+	// rejected (default 2s).
+	QueueWait time.Duration
+	// RetryAfter is the hint handed to rejected callers (default 1s).
+	RetryAfter time.Duration
+}
+
+// Gate is a bounded-concurrency admission controller for one endpoint
+// class: at most MaxInFlight callers run at once, at most MaxQueue wait
+// (each up to QueueWait), and everyone else is rejected with
+// ErrOverloaded plus a RetryAfter hint.
+type Gate struct {
+	cfg    GateConfig
+	tokens chan struct{}
+	queued atomic.Int64
+
+	admitted *obs.Counter
+	rejected *obs.Counter
+	depth    *obs.Gauge
+	inflight *obs.Gauge
+	waitHist *obs.Histogram
+}
+
+// NewGate builds a gate named for its endpoint class ("mutate", "read").
+// The name becomes part of the rnl_admission_<name>_* metric series, so
+// it must be a valid metric fragment (lowercase letters/underscores).
+func NewGate(name string, cfg GateConfig) *Gate {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 16
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 2 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	return &Gate{
+		cfg:      cfg,
+		tokens:   make(chan struct{}, cfg.MaxInFlight),
+		admitted: gateCounter(name, "admitted"),
+		rejected: gateCounter(name, "rejected"),
+		depth:    gateGauge(name, "queue_depth"),
+		inflight: gateGauge(name, "inflight"),
+		waitHist: gateWaitHist(name),
+	}
+}
+
+// Acquire admits the caller or returns ErrOverloaded (gate and queue
+// full, or the queue deadline passed) or ctx's error (caller gave up).
+// On success the returned release MUST be called exactly once.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case g.tokens <- struct{}{}:
+		return g.admit(), nil
+	default:
+	}
+	// Queue for a slot, bounded in both depth and time.
+	for {
+		q := g.queued.Load()
+		if q >= int64(g.cfg.MaxQueue) {
+			g.rejected.Inc()
+			return nil, ErrOverloaded
+		}
+		if g.queued.CompareAndSwap(q, q+1) {
+			break
+		}
+	}
+	g.depth.Inc()
+	defer func() {
+		g.queued.Add(-1)
+		g.depth.Dec()
+	}()
+	timer := time.NewTimer(g.cfg.QueueWait)
+	defer timer.Stop()
+	start := time.Now()
+	select {
+	case g.tokens <- struct{}{}:
+		g.waitHist.Observe(time.Since(start).Seconds())
+		return g.admit(), nil
+	case <-timer.C:
+		g.rejected.Inc()
+		return nil, ErrOverloaded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) admit() func() {
+	g.admitted.Inc()
+	g.inflight.Inc()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-g.tokens
+			g.inflight.Dec()
+		})
+	}
+}
+
+// RetryAfter is the wait a rejected caller should observe before
+// retrying — what the HTTP layer puts in the Retry-After header.
+func (g *Gate) RetryAfter() time.Duration { return g.cfg.RetryAfter }
+
+// InFlight reports currently admitted callers.
+func (g *Gate) InFlight() int { return len(g.tokens) }
+
+// --- idempotency -----------------------------------------------------------
+
+// IdemResult is the recorded outcome of one idempotent operation. The
+// first caller with a key runs the operation and Finishes the result;
+// duplicates wait on Done and replay it.
+type IdemResult struct {
+	done chan struct{}
+
+	status      int
+	contentType string
+	body        []byte
+	finishedAt  time.Time
+}
+
+// Done is closed once the original caller Finished.
+func (r *IdemResult) Done() <-chan struct{} { return r.done }
+
+// Finish records the outcome and releases every waiting duplicate. Safe
+// to call once; later calls are ignored.
+func (r *IdemResult) Finish(status int, contentType string, body []byte) {
+	select {
+	case <-r.done:
+		return // already finished
+	default:
+	}
+	r.status = status
+	r.contentType = contentType
+	r.body = body
+	r.finishedAt = time.Now()
+	close(r.done)
+}
+
+// Result returns the recorded outcome. Only valid after Done is closed.
+func (r *IdemResult) Result() (status int, contentType string, body []byte) {
+	return r.status, r.contentType, r.body
+}
+
+// IdempotencyCache deduplicates mutating operations by client-supplied
+// key. Begin is single-flight: the first caller per key gets dup=false
+// and must Finish the returned result; concurrent and later duplicates
+// get dup=true and the same result to wait on. Finished entries expire
+// after the TTL.
+type IdempotencyCache struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	entries map[string]*IdemResult
+}
+
+// NewIdempotencyCache builds a cache; ttl <= 0 defaults to 5 minutes.
+func NewIdempotencyCache(ttl time.Duration) *IdempotencyCache {
+	if ttl <= 0 {
+		ttl = 5 * time.Minute
+	}
+	return &IdempotencyCache{ttl: ttl, entries: make(map[string]*IdemResult)}
+}
+
+// Begin claims a key. dup=false: the caller owns the operation and must
+// call Finish on the result. dup=true: another caller owns (or owned)
+// it; wait on Done and replay Result.
+func (c *IdempotencyCache) Begin(key string) (r *IdemResult, dup bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pruneLocked()
+	if e, ok := c.entries[key]; ok {
+		mIdemHits.Inc()
+		return e, true
+	}
+	e := &IdemResult{done: make(chan struct{})}
+	c.entries[key] = e
+	mIdemEntries.Set(int64(len(c.entries)))
+	return e, false
+}
+
+// Forget drops a key — used when the owning operation never produced a
+// result worth replaying (e.g. it was rejected before running).
+func (c *IdempotencyCache) Forget(key string) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	mIdemEntries.Set(int64(len(c.entries)))
+	c.mu.Unlock()
+}
+
+// pruneLocked drops finished entries past the TTL.
+func (c *IdempotencyCache) pruneLocked() {
+	cutoff := time.Now().Add(-c.ttl)
+	for key, e := range c.entries {
+		select {
+		case <-e.done:
+			if e.finishedAt.Before(cutoff) {
+				delete(c.entries, key)
+			}
+		default: // still in flight, keep
+		}
+	}
+	mIdemEntries.Set(int64(len(c.entries)))
+}
+
+// --- retry backoff ---------------------------------------------------------
+
+// Backoff returns the wait before retry number attempt (0-based):
+// exponential growth from base, capped at max, with full jitter — the
+// classic decorrelated policy that keeps a thundering herd of retrying
+// clients from re-synchronizing on the server they just overloaded.
+func Backoff(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 10 * time.Second
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 { // <= 0: shift overflow
+		d = max
+	}
+	// Full jitter over [base/2, d]: never collapses to zero, never syncs.
+	lo := base / 2
+	if d <= lo {
+		return d
+	}
+	return lo + time.Duration(rand.Int63n(int64(d-lo)+1))
+}

@@ -1,0 +1,295 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketRate(t *testing.T) {
+	b := NewTokenBucket(100, 10)
+	// The bucket starts full: exactly burst tokens available at once.
+	allowed := 0
+	for i := 0; i < 50; i++ {
+		if b.Allow(1) {
+			allowed++
+		}
+	}
+	if allowed != 10 {
+		t.Fatalf("burst allowed %d, want 10", allowed)
+	}
+	// Refill: 100/s for 100ms is ~10 more tokens.
+	time.Sleep(120 * time.Millisecond)
+	allowed = 0
+	for i := 0; i < 50; i++ {
+		if b.Allow(1) {
+			allowed++
+		}
+	}
+	if allowed < 8 || allowed > 13 {
+		t.Fatalf("after refill allowed %d, want ~10", allowed)
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	var nilBucket *TokenBucket
+	if !nilBucket.Allow(1) {
+		t.Error("nil bucket must allow")
+	}
+	b := NewTokenBucket(0, 0)
+	for i := 0; i < 1000; i++ {
+		if !b.Allow(1) {
+			t.Fatal("zero-rate bucket must be unlimited")
+		}
+	}
+}
+
+func TestShedderVictimIsNoisiest(t *testing.T) {
+	s := NewShedder()
+	for i := 0; i < 30; i++ {
+		s.Enqueued("noisy")
+	}
+	for i := 0; i < 3; i++ {
+		s.Enqueued("quiet")
+	}
+	if v := s.Victim(); v != "noisy" {
+		t.Fatalf("victim = %q, want noisy", v)
+	}
+	// Shedding drains the noisy class before quiet ever loses.
+	for i := 0; i < 27; i++ {
+		s.Shed(s.Victim())
+	}
+	if got := s.Queued("quiet"); got != 3 {
+		t.Fatalf("quiet lost packets while noisy dominated: queued %d, want 3", got)
+	}
+	by := s.ShedByClass()
+	if by["noisy"] != 27 || by["quiet"] != 0 {
+		t.Fatalf("shed accounting = %v, want 27 noisy / 0 quiet", by)
+	}
+	// Ties break deterministically (lexicographic).
+	s2 := NewShedder()
+	s2.Enqueued("b")
+	s2.Enqueued("a")
+	if v := s2.Victim(); v != "a" {
+		t.Fatalf("tie victim = %q, want a", v)
+	}
+}
+
+func TestShedderReset(t *testing.T) {
+	s := NewShedder()
+	s.Enqueued("x")
+	s.Enqueued("x")
+	s.Reset()
+	if v := s.Victim(); v != "" {
+		t.Fatalf("victim after reset = %q, want empty", v)
+	}
+	if s.Queued("x") != 0 {
+		t.Fatal("counts must clear on reset")
+	}
+}
+
+func TestGateAdmitsUpToLimit(t *testing.T) {
+	g := NewGate("testlimit", GateConfig{MaxInFlight: 2, MaxQueue: 0, QueueWait: 50 * time.Millisecond})
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(context.Background()); err != ErrOverloaded {
+		t.Fatalf("third acquire = %v, want ErrOverloaded", err)
+	}
+	r1()
+	r1() // double release must be a no-op
+	r3, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+	r3()
+	if g.InFlight() != 0 {
+		t.Fatalf("inflight = %d after all releases", g.InFlight())
+	}
+}
+
+func TestGateQueueAdmitsWhenSlotFrees(t *testing.T) {
+	g := NewGate("testqueue", GateConfig{MaxInFlight: 1, MaxQueue: 1, QueueWait: 2 * time.Second})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter queue
+	release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued caller rejected: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued caller never admitted")
+	}
+}
+
+func TestGateQueueDeadline(t *testing.T) {
+	g := NewGate("testdeadline", GateConfig{MaxInFlight: 1, MaxQueue: 4, QueueWait: 30 * time.Millisecond, RetryAfter: 7 * time.Second})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	if _, err := g.Acquire(context.Background()); err != ErrOverloaded {
+		t.Fatalf("queued past deadline = %v, want ErrOverloaded", err)
+	}
+	if e := time.Since(start); e < 20*time.Millisecond {
+		t.Fatalf("rejected after %v, before the queue deadline", e)
+	}
+	if g.RetryAfter() != 7*time.Second {
+		t.Fatalf("RetryAfter = %v", g.RetryAfter())
+	}
+}
+
+func TestGateContextCancel(t *testing.T) {
+	g := NewGate("testcancel", GateConfig{MaxInFlight: 1, MaxQueue: 4, QueueWait: 10 * time.Second})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := g.Acquire(ctx); err != context.Canceled {
+		t.Fatalf("canceled acquire = %v, want context.Canceled", err)
+	}
+}
+
+func TestGateConcurrencyNeverExceeded(t *testing.T) {
+	const limit = 3
+	g := NewGate("testconc", GateConfig{MaxInFlight: limit, MaxQueue: 100, QueueWait: 5 * time.Second})
+	var mu sync.Mutex
+	current, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := g.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			mu.Lock()
+			current++
+			if current > peak {
+				peak = current
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			current--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if peak > limit {
+		t.Fatalf("observed %d concurrent admissions, limit %d", peak, limit)
+	}
+}
+
+func TestIdempotencySingleFlight(t *testing.T) {
+	c := NewIdempotencyCache(time.Minute)
+	r, dup := c.Begin("k1")
+	if dup {
+		t.Fatal("first Begin must not be a duplicate")
+	}
+	// A concurrent duplicate waits for the original to finish.
+	got := make(chan []byte, 1)
+	go func() {
+		e, d := c.Begin("k1")
+		if !d {
+			t.Error("second Begin must be a duplicate")
+		}
+		<-e.Done()
+		_, _, body := e.Result()
+		got <- body
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Finish(200, "application/json", []byte(`{"ok":true}`))
+	select {
+	case body := <-got:
+		if string(body) != `{"ok":true}` {
+			t.Fatalf("duplicate replayed %q", body)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("duplicate never saw the result")
+	}
+	// A later duplicate replays instantly.
+	e, d := c.Begin("k1")
+	if !d {
+		t.Fatal("later Begin must be a duplicate")
+	}
+	status, ct, _ := e.Result()
+	if status != 200 || ct != "application/json" {
+		t.Fatalf("replayed status=%d ct=%q", status, ct)
+	}
+	// Double Finish is a no-op.
+	e.Finish(500, "", nil)
+	if status, _, _ := e.Result(); status != 200 {
+		t.Fatal("second Finish overwrote the result")
+	}
+}
+
+func TestIdempotencyExpiry(t *testing.T) {
+	c := NewIdempotencyCache(20 * time.Millisecond)
+	r, _ := c.Begin("gone")
+	r.Finish(200, "", nil)
+	time.Sleep(40 * time.Millisecond)
+	if _, dup := c.Begin("gone"); dup {
+		t.Fatal("expired key must not replay")
+	}
+	// Forget drops an entry outright.
+	c.Forget("gone")
+	if _, dup := c.Begin("gone"); dup {
+		t.Fatal("forgotten key must not replay")
+	}
+}
+
+func TestBackoffGrowthAndJitter(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	prevCap := time.Duration(0)
+	for attempt := 0; attempt < 12; attempt++ {
+		capNow := base << uint(attempt)
+		if capNow > max || capNow <= 0 {
+			capNow = max
+		}
+		for i := 0; i < 50; i++ {
+			d := Backoff(attempt, base, max)
+			if d < base/2 || d > capNow {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, base/2, capNow)
+			}
+		}
+		if capNow < prevCap {
+			t.Fatalf("backoff cap shrank at attempt %d", attempt)
+		}
+		prevCap = capNow
+	}
+	// Defaults kick in for zero parameters.
+	if d := Backoff(3, 0, 0); d <= 0 {
+		t.Fatalf("default backoff = %v", d)
+	}
+}

@@ -1,0 +1,49 @@
+package admission
+
+import (
+	"fmt"
+
+	"rnl/internal/obs"
+)
+
+// Process-wide admission metrics. The shed/throttle counters are the
+// accounting series the chaos soak test audits: every packet the
+// fair-share policy sheds or a token bucket refuses increments exactly
+// one of them.
+var (
+	mShedTotal = obs.Default().Counter("rnl_admission_shed_total",
+		"Packets shed by the fair-share policy across all tunnel send queues.")
+	mThrottleTotal = obs.Default().Counter("rnl_admission_throttled_total",
+		"Packets refused by per-lab token-bucket rate limiters.")
+	mIdemHits = obs.Default().Counter("rnl_admission_idem_hits_total",
+		"Mutating API calls suppressed as duplicates by idempotency keys.")
+	mIdemEntries = obs.Default().Gauge("rnl_admission_idem_entries",
+		"Idempotency results currently cached.")
+)
+
+// Throttled counts n packets refused by a rate limiter in the
+// process-wide series. Callers that keep their own per-class view (the
+// route server's per-lab counters) mirror, never double-count.
+func Throttled(n uint64) { mThrottleTotal.Add(n) }
+
+// Per-gate series are registered on first use; registration in obs is
+// idempotent, so two gates with the same name share the series.
+
+func gateCounter(gate, what string) *obs.Counter {
+	return obs.Default().Counter(
+		fmt.Sprintf("rnl_admission_%s_%s_total", gate, what),
+		fmt.Sprintf("Callers %s by the %q admission gate.", what, gate))
+}
+
+func gateGauge(gate, what string) *obs.Gauge {
+	return obs.Default().Gauge(
+		fmt.Sprintf("rnl_admission_%s_%s", gate, what),
+		fmt.Sprintf("Current %s at the %q admission gate.", what, gate))
+}
+
+func gateWaitHist(gate string) *obs.Histogram {
+	return obs.Default().Histogram(
+		fmt.Sprintf("rnl_admission_%s_wait_seconds", gate),
+		fmt.Sprintf("Queue wait before admission at the %q gate.", gate),
+		obs.LatencyBuckets)
+}

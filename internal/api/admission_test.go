@@ -1,0 +1,231 @@
+package api_test
+
+// Admission-control tests for the web API: the 429 → backoff → success
+// round-trip through the real HTTP stack, the client's Retry-After and
+// idempotency-key discipline, and server-side duplicate suppression for
+// retried mutating calls.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/lab"
+	"rnl/internal/obs"
+	"rnl/internal/topology"
+)
+
+func flatMetric(name string) uint64 {
+	return obs.Default().Snapshot().Flatten()[name]
+}
+
+func pollUntil(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestOverloadedReadRetriesToSuccess(t *testing.T) {
+	// One read slot, no queue: while a long poll holds the gate, every
+	// other read is answered 429 + Retry-After. A retrying client must
+	// ride that out and succeed once the long poll drains.
+	c := newTestCloud(t, lab.Options{Admission: api.AdmissionConfig{
+		ReadInFlight: 1,
+		ReadQueue:    -1, // reject immediately instead of queueing
+		RetryAfter:   time.Second,
+	}})
+	if _, _, err := c.AddHost("ovl-h1", "10.0.0.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	capID, err := c.Client.OpenCapture(api.CaptureRequest{Router: "ovl-h1", Port: "eth0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejectedBefore := flatMetric("rnl_admission_api_read_rejected_total")
+
+	// Occupy the only read slot with a long poll on an idle capture.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Client.ReadCapture(capID, 1, 2*time.Second)
+	}()
+	defer wg.Wait()
+	pollUntil(t, 2*time.Second, func() bool {
+		return flatMetric("rnl_admission_api_read_inflight") >= 1
+	}, "long poll never occupied the read gate")
+
+	// A no-retry client sees the overload response directly.
+	impatient := api.NewClient("http://"+c.WebAddr, "", api.WithRetries(0))
+	if _, err := impatient.Inventory(); err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("want HTTP 429 from the saturated read gate, got: %v", err)
+	}
+
+	// A retrying client backs off — honouring the 1s Retry-After hint,
+	// which dwarfs its own 300ms backoff cap — and gets through.
+	patient := api.NewClient("http://"+c.WebAddr, "",
+		api.WithRetries(6), api.WithRetryBackoff(50*time.Millisecond, 300*time.Millisecond))
+	start := time.Now()
+	inv, err := patient.Inventory()
+	if err != nil {
+		t.Fatalf("retrying client never got through: %v", err)
+	}
+	if len(inv) != 1 {
+		t.Errorf("inventory after retry = %d routers, want 1", len(inv))
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retry succeeded after %v: the 1s Retry-After hint was not honoured", elapsed)
+	}
+	if d := flatMetric("rnl_admission_api_read_rejected_total") - rejectedBefore; d < 2 {
+		t.Errorf("read gate rejected %d callers, want >= 2 (impatient + patient's first try)", d)
+	}
+}
+
+func TestClientRetryAfterAndKeyReuse(t *testing.T) {
+	// Against a hand-rolled server: the first deploy attempt is answered
+	// 429 with Retry-After: 1, the second succeeds. The client must wait
+	// out the hint and present the SAME idempotency key both times —
+	// that's what makes the retry safe.
+	var mu sync.Mutex
+	var keys []string
+	var stamps []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/api/deployments" {
+			http.NotFound(w, r)
+			return
+		}
+		mu.Lock()
+		keys = append(keys, r.Header.Get("X-RNL-Idempotency-Key"))
+		stamps = append(stamps, time.Now())
+		n := len(keys)
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"overloaded"}`)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	cl := api.NewClient(srv.URL, "", api.WithRetryBackoff(10*time.Millisecond, 20*time.Millisecond))
+	if err := cl.Deploy(api.DeployRequest{Design: "d", User: "u"}); err != nil {
+		t.Fatalf("deploy should succeed on the retry: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(keys))
+	}
+	if keys[0] == "" {
+		t.Fatal("deploy carried no idempotency key")
+	}
+	if keys[0] != keys[1] {
+		t.Errorf("retry minted a fresh key (%q then %q); retries must reuse the key", keys[0], keys[1])
+	}
+	if gap := stamps[1].Sub(stamps[0]); gap < 900*time.Millisecond {
+		t.Errorf("retry arrived %v after the 429; the 1s Retry-After hint was not honoured", gap)
+	}
+}
+
+func TestDeployIdempotencySuppressesDuplicates(t *testing.T) {
+	// Server side of the same contract: concurrent and sequential
+	// duplicates of a keyed deploy collapse onto one execution, with the
+	// recorded response replayed — exactly one deployment installed.
+	c := newTestCloud(t, lab.Options{})
+	if _, _, err := c.AddHost("idm-h1", "10.0.0.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AddHost("idm-h2", "10.0.0.2/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	d := &topology.Design{Name: "idem-lab", Owner: "alice", Routers: []string{"idm-h1", "idm-h2"}}
+	if err := d.Connect("idm-h1", "eth0", "idm-h2", "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.SaveDesign(d); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if _, err := c.Client.Reserve(api.ReserveRequest{
+		User: "alice", Routers: d.Routers, Start: now.Add(-time.Minute), End: now.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	hitsBefore := flatMetric("rnl_admission_idem_hits_total")
+	post := func(key string) (int, string) {
+		req, err := http.NewRequest("POST", "http://"+c.WebAddr+"/api/deployments",
+			strings.NewReader(`{"design":"idem-lab","user":"alice"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("X-RNL-Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Two racing requests with the same key: both must succeed (one runs,
+	// the other waits and gets the recorded response replayed).
+	const key = "deploy-idem-lab-attempt-1"
+	type result struct {
+		status int
+		body   string
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			st, body := post(key)
+			results <- result{st, body}
+		}()
+	}
+	first, second := <-results, <-results
+	if first.status >= 300 || second.status >= 300 {
+		t.Fatalf("concurrent keyed deploys: %d %q / %d %q — both should succeed",
+			first.status, first.body, second.status, second.body)
+	}
+	if first.status != second.status || first.body != second.body {
+		t.Errorf("duplicate got a different response: %d %q vs %d %q",
+			first.status, first.body, second.status, second.body)
+	}
+	// A later retry with the same key replays instead of re-deploying.
+	if st, body := post(key); st >= 300 {
+		t.Errorf("sequential duplicate rejected: %d %q", st, body)
+	}
+	// Sanity: without the key's protection the same request is refused,
+	// proving the duplicates above were suppressed, not re-executed.
+	if st, _ := post("a-different-key"); st < 400 {
+		t.Errorf("deploy under a fresh key returned %d; want an error for the already-deployed design", st)
+	}
+
+	deps, err := c.Client.Deployments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 1 {
+		t.Fatalf("%d deployments installed, want exactly 1", len(deps))
+	}
+	if d := flatMetric("rnl_admission_idem_hits_total") - hitsBefore; d < 2 {
+		t.Errorf("idempotency cache recorded %d hits, want >= 2", d)
+	}
+}

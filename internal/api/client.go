@@ -3,73 +3,227 @@ package api
 import (
 	"bufio"
 	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
+	"rnl/internal/admission"
 	"rnl/internal/topology"
 )
 
 // Client is the Go binding to the web-services API — what rnlctl, the
 // autotest runner and the examples use to drive RNL programmatically.
+//
+// Every call runs under a per-request context (the configured timeout
+// plus any long-poll wait, so captures and console execs are never cut
+// off mid-flight by an unrelated global deadline). Overload responses
+// (429/503) are retried with jittered exponential backoff honouring the
+// server's Retry-After hint; mutating calls carry idempotency keys, so a
+// retried deploy is applied at most once server-side.
 type Client struct {
-	base  string
-	token string
-	http  *http.Client
+	base      string
+	token     string
+	http      *http.Client
+	ctx       context.Context
+	timeout   time.Duration // per-call budget; 0 disables
+	retries   int           // retry attempts after the first try
+	retryBase time.Duration
+	retryMax  time.Duration
+}
+
+// ClientOption customizes NewClient.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-call time budget (default 30s; 0 disables).
+// Long-poll calls add their wait on top, so a 2-minute capture read is
+// not aborted by the 30-second default.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithHTTPClient substitutes the transport (proxies, test instrumentation).
+// Leave its Timeout zero: per-call contexts handle deadlines.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// WithRetries sets how many times an overloaded (429/503) or, for
+// idempotent calls, network-failed request is retried (default 3;
+// 0 disables).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithRetryBackoff tunes the jittered exponential backoff between
+// retries (defaults 200ms base, 5s cap).
+func WithRetryBackoff(base, max time.Duration) ClientOption {
+	return func(c *Client) {
+		if base > 0 {
+			c.retryBase = base
+		}
+		if max > 0 {
+			c.retryMax = max
+		}
+	}
 }
 
 // NewClient targets an RNL web server at base, e.g. "http://127.0.0.1:8080".
-func NewClient(base, token string) *Client {
-	return &Client{
-		base:  base,
-		token: token,
-		http:  &http.Client{Timeout: 30 * time.Second},
+func NewClient(base, token string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:      base,
+		token:     token,
+		http:      &http.Client{},
+		timeout:   30 * time.Second,
+		retries:   3,
+		retryBase: 200 * time.Millisecond,
+		retryMax:  5 * time.Second,
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
-// do performs one request; out may be nil for status-only calls.
-func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
-	if in != nil {
-		b, err := json.Marshal(in)
+// WithContext returns a copy of the client whose calls are bounded by
+// (and cancellable through) ctx in addition to the per-call timeout.
+func (c *Client) WithContext(ctx context.Context) *Client {
+	cc := *c
+	cc.ctx = ctx
+	return &cc
+}
+
+// callOpts describes one logical API call, possibly spanning retries.
+type callOpts struct {
+	method    string
+	path      string
+	in        any
+	out       any           // JSON-decoded response, may be nil
+	rawOut    *[]byte       // raw response body (pcap download)
+	extraWait time.Duration // server-side long-poll budget on top of timeout
+	idemKey   string        // idempotency key; same key on every retry
+}
+
+// call runs one logical request with retries. 429/503 responses are
+// always retriable (the server told us to come back); transport errors
+// are retried only when the call is idempotent — non-POST, or POST with
+// an idempotency key — because a connection that died mid-request may
+// have mutated state server-side.
+func (c *Client) call(o callOpts) error {
+	var body []byte
+	if o.in != nil {
+		b, err := json.Marshal(o.in)
 		if err != nil {
 			return fmt.Errorf("api: encoding request: %w", err)
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	baseCtx := c.ctx
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := baseCtx, context.CancelFunc(func() {})
+		if c.timeout > 0 {
+			ctx, cancel = context.WithTimeout(baseCtx, c.timeout+o.extraWait)
+		}
+		status, hint, err := c.once(ctx, o, body)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		overloaded := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+		idempotent := o.method != http.MethodPost || o.idemKey != ""
+		netFailed := status == 0 && baseCtx.Err() == nil
+		if attempt >= c.retries || !(overloaded || (netFailed && idempotent)) {
+			return err
+		}
+		wait := admission.Backoff(attempt, c.retryBase, c.retryMax)
+		if hint > wait {
+			wait = hint // the server's Retry-After outranks our guess
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-baseCtx.Done():
+			timer.Stop()
+			return err
+		}
+	}
+}
+
+// once performs a single HTTP attempt. status is 0 on transport errors;
+// hint carries the server's Retry-After, when present.
+func (c *Client) once(ctx context.Context, o callOpts, body []byte) (status int, hint time.Duration, err error) {
+	var rd io.Reader
+	if o.in != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, o.method, c.base+o.path, rd)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
-	if in != nil {
+	if o.in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if c.token != "" {
 		req.Header.Set("X-RNL-Token", c.token)
 	}
+	if o.idemKey != "" {
+		req.Header.Set("X-RNL-Idempotency-Key", o.idemKey)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		hint = time.Duration(secs) * time.Second
+	}
 	if resp.StatusCode >= 400 {
 		var e ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("api: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			return resp.StatusCode, hint, fmt.Errorf("api: %s %s: %s (HTTP %d)", o.method, o.path, e.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("api: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return resp.StatusCode, hint, fmt.Errorf("api: %s %s: HTTP %d", o.method, o.path, resp.StatusCode)
 	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("api: decoding response: %w", err)
+	if o.rawOut != nil {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return resp.StatusCode, hint, fmt.Errorf("api: reading response: %w", err)
+		}
+		*o.rawOut = b
+		return resp.StatusCode, hint, nil
+	}
+	if o.out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(o.out); err != nil {
+			return resp.StatusCode, hint, fmt.Errorf("api: decoding response: %w", err)
 		}
 	}
-	return nil
+	return resp.StatusCode, hint, nil
+}
+
+// newIdemKey mints a fresh idempotency key for one logical mutating
+// call; retries of that call reuse it, so the server executes it once.
+func newIdemKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "" // no key: the call simply loses retry-on-network-error
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// do performs one request; out may be nil for status-only calls.
+func (c *Client) do(method, path string, in, out any) error {
+	return c.call(callOpts{method: method, path: path, in: in, out: out})
 }
 
 // Inventory lists registered routers.
@@ -118,7 +272,10 @@ func (c *Client) DeleteDesign(name string) error {
 // consoles and returns the updated design.
 func (c *Client) SaveConfigs(name string) (*Design, error) {
 	var out topology.Design
-	err := c.do("POST", "/api/designs/"+url.PathEscape(name)+"/save-configs", struct{}{}, &out)
+	err := c.call(callOpts{
+		method: "POST", path: "/api/designs/" + url.PathEscape(name) + "/save-configs",
+		in: struct{}{}, out: &out, idemKey: newIdemKey(),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -126,9 +283,14 @@ func (c *Client) SaveConfigs(name string) (*Design, error) {
 }
 
 // Reserve books routers; the returned reservations carry IDs for Cancel.
+// The call carries an idempotency key: a retry after an ambiguous
+// failure books the routers once, not twice.
 func (c *Client) Reserve(req ReserveRequest) ([]ReservationInfo, error) {
 	var out []ReservationInfo
-	err := c.do("POST", "/api/reservations", req, &out)
+	err := c.call(callOpts{
+		method: "POST", path: "/api/reservations",
+		in: req, out: &out, idemKey: newIdemKey(),
+	})
 	return out, err
 }
 
@@ -151,9 +313,14 @@ func (c *Client) NextFree(req NextFreeRequest) (time.Time, error) {
 	return out.Start, err
 }
 
-// Deploy wires up a saved design.
+// Deploy wires up a saved design. The call carries an idempotency key,
+// so a retry after a 429 or a dropped connection installs the
+// deployment at most once.
 func (c *Client) Deploy(req DeployRequest) error {
-	return c.do("POST", "/api/deployments", req, nil)
+	return c.call(callOpts{
+		method: "POST", path: "/api/deployments",
+		in: req, idemKey: newIdemKey(),
+	})
 }
 
 // Teardown removes a deployment.
@@ -181,10 +348,12 @@ func (c *Client) OpenCapture(req CaptureRequest) (uint64, error) {
 }
 
 // ReadCapture drains up to max frames, waiting up to wait for the first.
+// The long-poll wait extends the per-call deadline, so waits longer than
+// the client timeout are honoured instead of aborted mid-poll.
 func (c *Client) ReadCapture(id uint64, max int, wait time.Duration) ([]CapturedFrame, error) {
 	var out []CapturedFrame
 	path := fmt.Sprintf("/api/captures/%d?max=%d&wait_ms=%d", id, max, wait.Milliseconds())
-	err := c.do("GET", path, nil, &out)
+	err := c.call(callOpts{method: "GET", path: path, out: &out, extraWait: wait})
 	return out, err
 }
 
@@ -195,23 +364,10 @@ func (c *Client) CloseCapture(id uint64) error {
 
 // DownloadPcap drains a capture into classic pcap bytes.
 func (c *Client) DownloadPcap(id uint64, max int, wait time.Duration) ([]byte, error) {
-	path := fmt.Sprintf("%s/api/captures/%d/pcap?max=%d&wait_ms=%d", c.base, id, max, wait.Milliseconds())
-	req, err := http.NewRequest("GET", path, nil)
-	if err != nil {
-		return nil, err
-	}
-	if c.token != "" {
-		req.Header.Set("X-RNL-Token", c.token)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		return nil, fmt.Errorf("api: pcap download: HTTP %d", resp.StatusCode)
-	}
-	return io.ReadAll(resp.Body)
+	var raw []byte
+	path := fmt.Sprintf("/api/captures/%d/pcap?max=%d&wait_ms=%d", id, max, wait.Milliseconds())
+	err := c.call(callOpts{method: "GET", path: path, rawOut: &raw, extraWait: wait})
+	return raw, err
 }
 
 // StartStream begins rate-controlled traffic generation.
@@ -296,14 +452,23 @@ func (b *bufferedConn) Read(p []byte) (int, error) {
 
 // FlashFirmware loads a firmware version onto a router via its console.
 func (c *Client) FlashFirmware(router, version string) error {
-	return c.do("POST", "/api/routers/"+url.PathEscape(router)+"/firmware", FlashRequest{Version: version}, nil)
+	return c.call(callOpts{
+		method: "POST", path: "/api/routers/" + url.PathEscape(router) + "/firmware",
+		in: FlashRequest{Version: version}, idemKey: newIdemKey(),
+	})
 }
 
 // ConsoleExec runs commands on a router's console and returns per-command
-// output.
+// output. The request's own console timeout extends the call deadline
+// (per command), and the idempotency key keeps a retried exec from
+// running the commands twice.
 func (c *Client) ConsoleExec(req ConsoleExecRequest) ([]string, error) {
+	extra := time.Duration(req.TimeoutMS) * time.Millisecond * time.Duration(max(len(req.Commands), 1))
 	var out ConsoleExecResponse
-	err := c.do("POST", "/api/console/exec", req, &out)
+	err := c.call(callOpts{
+		method: "POST", path: "/api/console/exec",
+		in: req, out: &out, extraWait: extra, idemKey: newIdemKey(),
+	})
 	return out.Outputs, err
 }
 

@@ -1,7 +1,10 @@
 package api
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net"
@@ -11,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"rnl/internal/admission"
 	"rnl/internal/capture"
 	"rnl/internal/console"
 	"rnl/internal/obs"
@@ -32,11 +36,78 @@ type Server struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 
+	mutateGate *admission.Gate
+	readGate   *admission.Gate
+	idem       *admission.IdempotencyCache
+
 	mu         sync.Mutex
 	captures   map[uint64]*routeserver.Capture
 	nextCap    uint64
 	streams    map[uint64]*routeserver.Stream
 	nextStream uint64
+}
+
+// AdmissionConfig tunes the web API's overload protection. Two endpoint
+// classes get independent bounded-concurrency gates: mutating calls
+// (deploy, teardown, reserve, save-configs, firmware, console exec) are
+// expensive — they take the matrix lock and drive consoles — so their
+// gate is narrow; reads are cheap and get a wide one. A caller that
+// cannot be admitted within QueueWait receives 429 Too Many Requests
+// with a Retry-After header. Zero fields select the defaults.
+type AdmissionConfig struct {
+	// Disable turns the gates and the idempotency cache off entirely.
+	Disable bool
+	// MutateInFlight bounds concurrently executing mutating calls
+	// (default 4); MutateQueue bounds callers waiting behind them
+	// (default 4× in-flight; negative = no queue, reject immediately).
+	MutateInFlight int
+	MutateQueue    int
+	// ReadInFlight / ReadQueue do the same for read-only endpoints
+	// (defaults 64 / 256; negative queue = reject immediately).
+	ReadInFlight int
+	ReadQueue    int
+	// QueueWait bounds how long an over-limit caller queues before 429
+	// (default 2s). RetryAfter is the hint returned with the 429
+	// (default 1s).
+	QueueWait  time.Duration
+	RetryAfter time.Duration
+	// IdempotencyTTL is how long a completed mutating response is
+	// replayable under its X-RNL-Idempotency-Key (default 5m).
+	IdempotencyTTL time.Duration
+}
+
+func (a AdmissionConfig) mutateGate() admission.GateConfig {
+	inFlight := a.MutateInFlight
+	if inFlight <= 0 {
+		inFlight = 4
+	}
+	queue := a.MutateQueue
+	if queue == 0 {
+		queue = -1 // gate default: 4× in-flight
+	} else if queue < 0 {
+		queue = 0 // reject immediately
+	}
+	return admission.GateConfig{
+		MaxInFlight: inFlight, MaxQueue: queue,
+		QueueWait: a.QueueWait, RetryAfter: a.RetryAfter,
+	}
+}
+
+func (a AdmissionConfig) readGate() admission.GateConfig {
+	inFlight := a.ReadInFlight
+	if inFlight <= 0 {
+		inFlight = 64
+	}
+	queue := a.ReadQueue
+	if queue == 0 {
+		queue = 256
+	} else if queue < 0 {
+		queue = 0 // reject immediately
+	}
+	return admission.GateConfig{
+		MaxInFlight: inFlight, MaxQueue: queue,
+		QueueWait: a.QueueWait, RetryAfter: a.RetryAfter,
+	}
 }
 
 // Config assembles a web server.
@@ -50,6 +121,9 @@ type Config struct {
 	// ConsoleTimeout bounds console automation commands.
 	ConsoleTimeout time.Duration
 	Logger         *slog.Logger
+	// Admission tunes overload protection; the zero value enables it
+	// with generous defaults.
+	Admission AdmissionConfig
 }
 
 // NewServer builds the web server (not yet listening).
@@ -74,14 +148,32 @@ func NewServer(cfg Config) *Server {
 		streams:    make(map[uint64]*routeserver.Stream),
 		nextStream: 1,
 	}
+	if !cfg.Admission.Disable {
+		s.mutateGate = admission.NewGate("api_mutate", cfg.Admission.mutateGate())
+		s.readGate = admission.NewGate("api_read", cfg.Admission.readGate())
+		s.idem = admission.NewIdempotencyCache(cfg.Admission.IdempotencyTTL)
+	}
 	return s
 }
 
 // Handler returns the HTTP handler (useful for tests via httptest).
+// Every API endpoint runs behind an admission gate for its class:
+// mutating calls (matrix lock, console automation) behind the narrow
+// mutate gate — retriable via idempotency keys — and reads behind the
+// wide read gate. /metrics and /healthz stay ungated so monitoring sees
+// an overloaded server instead of being shed by it, and the raw console
+// stream is exempt because it hijacks the connection for its lifetime.
 func (s *Server) Handler() http.Handler {
+	mutate := func(h http.HandlerFunc) http.HandlerFunc {
+		return s.auth(s.gated(s.mutateGate, s.idempotent(h)))
+	}
+	read := func(h http.HandlerFunc) http.HandlerFunc {
+		return s.auth(s.gated(s.readGate, h))
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/inventory", s.auth(s.handleInventory))
-	mux.HandleFunc("GET /api/stats", s.auth(s.handleStats))
+	mux.HandleFunc("GET /api/inventory", read(s.handleInventory))
+	mux.HandleFunc("GET /api/stats", read(s.handleStats))
 
 	// Observability endpoints are unauthenticated by design: liveness
 	// probes and metric scrapers don't carry API tokens, and neither
@@ -89,33 +181,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 
-	mux.HandleFunc("GET /api/designs", s.auth(s.handleDesignList))
-	mux.HandleFunc("GET /api/designs/{name}", s.auth(s.handleDesignGet))
-	mux.HandleFunc("PUT /api/designs/{name}", s.auth(s.handleDesignPut))
-	mux.HandleFunc("DELETE /api/designs/{name}", s.auth(s.handleDesignDelete))
-	mux.HandleFunc("POST /api/designs/{name}/save-configs", s.auth(s.handleSaveConfigs))
+	mux.HandleFunc("GET /api/designs", read(s.handleDesignList))
+	mux.HandleFunc("GET /api/designs/{name}", read(s.handleDesignGet))
+	mux.HandleFunc("PUT /api/designs/{name}", mutate(s.handleDesignPut))
+	mux.HandleFunc("DELETE /api/designs/{name}", mutate(s.handleDesignDelete))
+	mux.HandleFunc("POST /api/designs/{name}/save-configs", mutate(s.handleSaveConfigs))
 
-	mux.HandleFunc("POST /api/reservations", s.auth(s.handleReserve))
-	mux.HandleFunc("DELETE /api/reservations/{id}", s.auth(s.handleCancelReservation))
-	mux.HandleFunc("GET /api/schedule/{router}", s.auth(s.handleSchedule))
-	mux.HandleFunc("POST /api/next-free", s.auth(s.handleNextFree))
+	mux.HandleFunc("POST /api/reservations", mutate(s.handleReserve))
+	mux.HandleFunc("DELETE /api/reservations/{id}", mutate(s.handleCancelReservation))
+	mux.HandleFunc("GET /api/schedule/{router}", read(s.handleSchedule))
+	mux.HandleFunc("POST /api/next-free", read(s.handleNextFree))
 
-	mux.HandleFunc("GET /api/deployments", s.auth(s.handleDeploymentList))
-	mux.HandleFunc("POST /api/deployments", s.auth(s.handleDeploy))
-	mux.HandleFunc("DELETE /api/deployments/{name}", s.auth(s.handleTeardown))
+	mux.HandleFunc("GET /api/deployments", read(s.handleDeploymentList))
+	mux.HandleFunc("POST /api/deployments", mutate(s.handleDeploy))
+	mux.HandleFunc("DELETE /api/deployments/{name}", mutate(s.handleTeardown))
 
-	mux.HandleFunc("POST /api/generate", s.auth(s.handleGenerate))
-	mux.HandleFunc("POST /api/captures", s.auth(s.handleCaptureOpen))
-	mux.HandleFunc("GET /api/captures/{id}", s.auth(s.handleCaptureRead))
-	mux.HandleFunc("GET /api/captures/{id}/pcap", s.auth(s.handleCapturePcap))
-	mux.HandleFunc("DELETE /api/captures/{id}", s.auth(s.handleCaptureClose))
+	mux.HandleFunc("POST /api/generate", read(s.handleGenerate))
+	mux.HandleFunc("POST /api/captures", read(s.handleCaptureOpen))
+	mux.HandleFunc("GET /api/captures/{id}", read(s.handleCaptureRead))
+	mux.HandleFunc("GET /api/captures/{id}/pcap", read(s.handleCapturePcap))
+	mux.HandleFunc("DELETE /api/captures/{id}", read(s.handleCaptureClose))
 
-	mux.HandleFunc("POST /api/streams", s.auth(s.handleStreamStart))
-	mux.HandleFunc("GET /api/streams/{id}", s.auth(s.handleStreamStatus))
-	mux.HandleFunc("DELETE /api/streams/{id}", s.auth(s.handleStreamStop))
+	mux.HandleFunc("POST /api/streams", read(s.handleStreamStart))
+	mux.HandleFunc("GET /api/streams/{id}", read(s.handleStreamStatus))
+	mux.HandleFunc("DELETE /api/streams/{id}", read(s.handleStreamStop))
 
-	mux.HandleFunc("POST /api/console/exec", s.auth(s.handleConsoleExec))
-	mux.HandleFunc("POST /api/routers/{name}/firmware", s.auth(s.handleFlash))
+	mux.HandleFunc("POST /api/console/exec", mutate(s.handleConsoleExec))
+	mux.HandleFunc("POST /api/routers/{name}/firmware", mutate(s.handleFlash))
 	mux.HandleFunc("GET /api/console/raw/{name}", s.auth(s.handleConsoleRaw))
 
 	mux.HandleFunc("GET /", s.handleIndex)
@@ -160,6 +252,113 @@ func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
 		}
 		h(w, r)
 	}
+}
+
+// gated runs h under an admission gate: the handler executes only while
+// holding one of the gate's in-flight slots, queueing briefly when the
+// gate is saturated and answering 429 + Retry-After when the queue
+// overflows or the wait deadline passes.
+func (s *Server) gated(gate *admission.Gate, h http.HandlerFunc) http.HandlerFunc {
+	if gate == nil { // admission disabled
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := gate.Acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, admission.ErrOverloaded) {
+				retryAfter(w, gate.RetryAfter())
+				writeError(w, http.StatusTooManyRequests, fmt.Errorf("server overloaded; retry later"))
+			}
+			// Context errors mean the client is gone — nothing to write.
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// retryAfter sets the Retry-After header (whole seconds, minimum 1).
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// idempotent makes a mutating handler safe to retry: requests carrying
+// an X-RNL-Idempotency-Key execute once, with the recorded response
+// replayed to every duplicate (including concurrent ones, which wait for
+// the original to finish). Keyless requests pass straight through.
+func (s *Server) idempotent(h http.HandlerFunc) http.HandlerFunc {
+	if s.idem == nil { // admission disabled
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("X-RNL-Idempotency-Key")
+		if key == "" {
+			h(w, r)
+			return
+		}
+		res, dup := s.idem.Begin(key)
+		if dup {
+			select {
+			case <-res.Done():
+			case <-r.Context().Done():
+				return
+			}
+			status, ct, body := res.Result()
+			if ct != "" {
+				w.Header().Set("Content-Type", ct)
+			}
+			w.WriteHeader(status)
+			w.Write(body)
+			return
+		}
+		rec := &responseRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if !rec.wrote {
+				// Handler never responded (client vanished mid-call):
+				// don't cache an empty 200 — let a retry run for real.
+				s.idem.Forget(key)
+				res.Finish(http.StatusServiceUnavailable, "", nil)
+				return
+			}
+			res.Finish(rec.status, rec.Header().Get("Content-Type"), rec.body.Bytes())
+		}()
+		h(rec, r)
+	}
+}
+
+// responseRecorder tees a handler's response so the idempotency cache
+// can replay it to retries.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	body   bytes.Buffer
+	wrote  bool
+}
+
+func (r *responseRecorder) WriteHeader(status int) {
+	r.status = status
+	r.wrote = true
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	r.body.Write(b)
+	return r.ResponseWriter.Write(b)
+}
+
+// ctxStatus maps a handler error to its HTTP status: context errors
+// (client gone, deadline passed) become 503 so a retrying client backs
+// off, everything else keeps the handler's chosen status.
+func ctxStatus(err error, fallback int) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return fallback
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -266,8 +465,8 @@ func (s *Server) handleSaveConfigs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	if err := s.dep.SaveConfigs(d); err != nil {
-		writeError(w, http.StatusBadGateway, err)
+	if err := s.dep.SaveConfigs(r.Context(), d); err != nil {
+		writeError(w, ctxStatus(err, http.StatusBadGateway), err)
 		return
 	}
 	if err := s.store.Save(d); err != nil {
@@ -346,8 +545,12 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	if err := s.dep.Deploy(req.User, d, req.RestoreConfigs); err != nil {
-		writeError(w, http.StatusConflict, err)
+	if err := s.dep.Deploy(r.Context(), req.User, d, req.RestoreConfigs); err != nil {
+		status := ctxStatus(err, http.StatusConflict)
+		if status == http.StatusServiceUnavailable {
+			retryAfter(w, time.Second)
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, DeploymentInfo{Name: d.Name, Links: len(d.Links)})
@@ -459,7 +662,10 @@ func (s *Server) handleCaptureRead(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	frames := []CapturedFrame{}
-	deadline := time.After(wait)
+	// One timer for the whole long-poll: time.After in the loop would
+	// allocate a timer per iteration, each alive until expiry.
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
 	for len(frames) < max {
 		select {
 		case cp, open := <-cap.Packets():
@@ -480,7 +686,7 @@ func (s *Server) handleCaptureRead(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				frames = append(frames, CapturedFrame{When: cp.When, Dir: cp.Dir.String(), Frame: cp.Frame})
-			case <-deadline:
+			case <-deadline.C:
 				writeJSON(w, http.StatusOK, frames)
 				return
 			}
@@ -535,7 +741,9 @@ func (s *Server) handleCapturePcap(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/vnd.tcpdump.pcap")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=capture-%d.pcap", id))
 	pw := capture.NewWriter(w)
-	deadline := time.After(wait)
+	// Single timer across the drain loop (see handleCaptureRead).
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
 	n := 0
 	for n < max {
 		select {
@@ -548,7 +756,7 @@ func (s *Server) handleCapturePcap(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			n++
-		case <-deadline:
+		case <-deadline.C:
 			pw.Flush()
 			return
 		}
@@ -645,13 +853,13 @@ func (s *Server) handleFlash(w http.ResponseWriter, r *http.Request) {
 	defer sess.Close()
 	drv := console.NewDriver(sess, 10*time.Second)
 	drv.Drain(20 * time.Millisecond)
-	if _, err := drv.Command("enable"); err != nil {
-		writeError(w, http.StatusBadGateway, err)
+	if _, err := drv.CommandCtx(r.Context(), "enable"); err != nil {
+		writeError(w, ctxStatus(err, http.StatusBadGateway), err)
 		return
 	}
-	out, err := drv.Command("flash " + req.Version)
+	out, err := drv.CommandCtx(r.Context(), "flash "+req.Version)
 	if err != nil {
-		writeError(w, http.StatusBadGateway, err)
+		writeError(w, ctxStatus(err, http.StatusBadGateway), err)
 		return
 	}
 	if !strings.Contains(out, "flashed") {
@@ -688,9 +896,9 @@ func (s *Server) handleConsoleExec(w http.ResponseWriter, r *http.Request) {
 	drv.Drain(20 * time.Millisecond)
 	resp := ConsoleExecResponse{}
 	for _, cmd := range req.Commands {
-		out, err := drv.Command(cmd)
+		out, err := drv.CommandCtx(r.Context(), cmd)
 		if err != nil {
-			writeError(w, http.StatusBadGateway, fmt.Errorf("command %q: %w", cmd, err))
+			writeError(w, ctxStatus(err, http.StatusBadGateway), fmt.Errorf("command %q: %w", cmd, err))
 			return
 		}
 		resp.Outputs = append(resp.Outputs, out)

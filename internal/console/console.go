@@ -7,6 +7,7 @@
 package console
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -78,13 +79,26 @@ func promptAtEnd(s string) bool {
 // Command sends one line and returns everything printed before the next
 // prompt (the echoed prompt itself is stripped).
 func (d *Driver) Command(cmd string) (string, error) {
+	return d.CommandCtx(context.Background(), cmd)
+}
+
+// CommandCtx is Command bounded by a context as well as the driver
+// timeout: an abandoned HTTP request cancels mid-automation instead of
+// holding the console (and whatever lock the caller holds) until the
+// timeout. The context error is returned wrapped, so callers can map it
+// with errors.Is(err, context.Canceled / DeadlineExceeded).
+func (d *Driver) CommandCtx(ctx context.Context, cmd string) (string, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("console: %w before %q", err, cmd)
+	}
 	if _, err := io.WriteString(d.rw, cmd+"\n"); err != nil {
 		return "", fmt.Errorf("console: writing %q: %w", cmd, err)
 	}
 	var out strings.Builder
-	deadline := time.After(d.timeout)
+	timer := time.NewTimer(d.timeout)
+	defer timer.Stop()
 	for {
 		select {
 		case b := <-d.data:
@@ -94,7 +108,9 @@ func (d *Driver) Command(cmd string) (string, error) {
 			}
 		case err := <-d.errs:
 			return cleanOutput(out.String()), fmt.Errorf("console: stream ended: %w", err)
-		case <-deadline:
+		case <-ctx.Done():
+			return cleanOutput(out.String()), fmt.Errorf("console: %w waiting for prompt after %q", ctx.Err(), cmd)
+		case <-timer.C:
 			return cleanOutput(out.String()), fmt.Errorf("console: timeout waiting for prompt after %q", cmd)
 		}
 	}
@@ -133,23 +149,25 @@ func cleanOutput(s string) string {
 
 // DumpConfig retrieves a device's running configuration via its console —
 // the Cisco-style automation the web UI performs when saving a design.
-func DumpConfig(d *Driver) (string, error) {
-	if _, err := d.Command("enable"); err != nil {
+// ctx cancels mid-dump (an abandoned save stops driving the console).
+func DumpConfig(ctx context.Context, d *Driver) (string, error) {
+	if _, err := d.CommandCtx(ctx, "enable"); err != nil {
 		return "", err
 	}
-	out, err := d.Command("show running-config")
+	out, err := d.CommandCtx(ctx, "show running-config")
 	if err != nil {
 		return "", err
 	}
 	return out, nil
 }
 
-// RestoreConfig replays a previously dumped configuration.
-func RestoreConfig(d *Driver, cfg string) error {
-	if _, err := d.Command("enable"); err != nil {
+// RestoreConfig replays a previously dumped configuration. ctx cancels
+// between lines; the caller is expected to roll the deployment back.
+func RestoreConfig(ctx context.Context, d *Driver, cfg string) error {
+	if _, err := d.CommandCtx(ctx, "enable"); err != nil {
 		return err
 	}
-	if _, err := d.Command("configure terminal"); err != nil {
+	if _, err := d.CommandCtx(ctx, "configure terminal"); err != nil {
 		return err
 	}
 	for _, line := range strings.Split(cfg, "\n") {
@@ -157,13 +175,13 @@ func RestoreConfig(d *Driver, cfg string) error {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
-		if out, err := d.Command(line); err != nil {
+		if out, err := d.CommandCtx(ctx, line); err != nil {
 			return fmt.Errorf("console: restoring line %q: %w", line, err)
 		} else if strings.HasPrefix(strings.TrimSpace(out), "%") {
 			return fmt.Errorf("console: device rejected line %q: %s", line, strings.TrimSpace(out))
 		}
 	}
-	if _, err := d.Command("end"); err != nil {
+	if _, err := d.CommandCtx(ctx, "end"); err != nil {
 		return err
 	}
 	return nil

@@ -1,6 +1,7 @@
 package console
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -42,7 +43,7 @@ func TestDumpAndRestoreConfig(t *testing.T) {
 	if err := h1.Configure(mustIP(t, "10.8.0.1"), mask24(), mustIP(t, "10.8.0.254")); err != nil {
 		t.Fatal(err)
 	}
-	cfg, err := DumpConfig(d1)
+	cfg, err := DumpConfig(context.Background(), d1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestDumpAndRestoreConfig(t *testing.T) {
 	}
 
 	h2, d2 := newConsoledHost(t, "dst")
-	if err := RestoreConfig(d2, cfg); err != nil {
+	if err := RestoreConfig(context.Background(), d2, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if got := h2.IP().String(); got != "10.8.0.1" {
@@ -61,7 +62,7 @@ func TestDumpAndRestoreConfig(t *testing.T) {
 
 func TestRestoreRejectsBadLine(t *testing.T) {
 	_, d := newConsoledHost(t, "bad")
-	err := RestoreConfig(d, "utterly bogus command here")
+	err := RestoreConfig(context.Background(), d, "utterly bogus command here")
 	if err == nil {
 		t.Fatal("restore of a rejected line should fail")
 	}

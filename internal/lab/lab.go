@@ -7,6 +7,7 @@
 package lab
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -32,6 +33,13 @@ type Options struct {
 	Timers device.Timers
 	// Logger for all components; nil discards.
 	Logger *slog.Logger
+	// Admission tunes the web API's overload protection; the zero value
+	// enables it with generous defaults.
+	Admission api.AdmissionConfig
+	// LabRateLimit/LabRateBurst cap each deployed lab's delivered packet
+	// rate at the route server; zero disables per-lab throttling.
+	LabRateLimit float64
+	LabRateBurst float64
 }
 
 // Cloud is a running in-process RNL instance.
@@ -59,7 +67,12 @@ func NewCloud(opts Options) (*Cloud, error) {
 	if opts.Timers == (device.Timers{}) {
 		opts.Timers = device.FastTimers()
 	}
-	rs := routeserver.New(routeserver.Options{AllowCompression: opts.Compress, Logger: logger})
+	rs := routeserver.New(routeserver.Options{
+		AllowCompression: opts.Compress,
+		Logger:           logger,
+		LabRateLimit:     opts.LabRateLimit,
+		LabRateBurst:     opts.LabRateBurst,
+	})
 	tunnelAddr, err := rs.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -77,6 +90,7 @@ func NewCloud(opts Options) (*Cloud, error) {
 		Token:          opts.Token,
 		ConsoleTimeout: 5 * time.Second,
 		Logger:         logger,
+		Admission:      opts.Admission,
 	})
 	webAddr, err := web.Listen("127.0.0.1:0")
 	if err != nil {
@@ -99,7 +113,7 @@ func NewCloud(opts Options) (*Cloud, error) {
 // (Client.Deploy) enforces reservations.
 func (c *Cloud) DeployDesign(d *topology.Design) error {
 	dep := &topology.Deployer{Server: c.RS, ConsoleTimeout: 5 * time.Second}
-	return dep.Deploy("", d, false)
+	return dep.Deploy(context.Background(), "", d, false)
 }
 
 // Close shuts everything down, equipment first.

@@ -140,7 +140,7 @@ func (a *Agent) Start() error {
 	wc := wire.NewConn(conn, wire.ConnConfig{
 		QueueLen: a.cfg.SendQueueLen,
 		Encoder:  enc,
-		OnDropPacket: func(n int) {
+		OnShed: func(_ string, n int) {
 			a.stats.FramesDropped.Add(uint64(n))
 		},
 	})

@@ -43,6 +43,14 @@ func newMatrix() *matrix {
 	}
 }
 
+// ownerOf resolves the deployment name owning a router ("" when free) —
+// the shedding class the fan-out path tags outbound packets with.
+func (m *matrix) ownerOf(id uint32) string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.routerOwner[id]
+}
+
 // lookup returns the far end of a port's virtual wire.
 func (m *matrix) lookup(src PortKey) (PortKey, bool) {
 	m.mu.RLock()
@@ -342,6 +350,7 @@ func (s *Server) DeployReclaiming(name, owner string, links []Link, canReclaim f
 		return err
 	}
 	for _, n := range reclaimed {
+		s.forgetLab(n)
 		s.log.Info("reclaimed expired lab", "name", n, "takenOverBy", name)
 	}
 	s.log.Info("deployed", "name", name, "owner", owner, "links", len(links))
@@ -353,6 +362,7 @@ func (s *Server) DeployReclaiming(name, owner string, links []Link, canReclaim f
 func (s *Server) Teardown(name string) error {
 	err := s.matrix.teardown(name)
 	if err == nil {
+		s.forgetLab(name)
 		s.log.Info("torn down", "name", name)
 		s.persist()
 	}

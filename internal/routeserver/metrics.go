@@ -28,6 +28,8 @@ var (
 		"Frames delivered to software capture taps.")
 	mPacketsDropped = obs.Default().Counter("rnl_routeserver_packets_dropped_total",
 		"Frames shed by per-session tunnel send queues under backpressure.")
+	mPacketsThrottled = obs.Default().Counter("rnl_routeserver_packets_throttled_total",
+		"Frames refused by per-lab token-bucket rate limiters on the fan-out path.")
 	mStreamsActive = obs.Default().Gauge("rnl_routeserver_streams_active",
 		"Traffic-generation streams currently running.")
 	mStreamInjections = obs.Default().Counter("rnl_routeserver_stream_injections_total",

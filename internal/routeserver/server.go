@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rnl/internal/admission"
 	"rnl/internal/compress"
 	"rnl/internal/wire"
 )
@@ -57,6 +58,16 @@ type Options struct {
 	// SnapshotInterval is the periodic snapshot cadence when StateDir is
 	// set; zero means DefaultSnapshotInterval.
 	SnapshotInterval time.Duration
+	// LabRateLimit, when positive, caps each deployed lab's delivered
+	// packet rate (packets/second) with a per-lab token bucket on the
+	// fan-out path. Packets over the limit are dropped before they reach
+	// the send queue and counted in Stats.PacketsThrottled. Zero disables
+	// throttling; the fair-share shedder still protects quiet labs when
+	// a send queue saturates.
+	LabRateLimit float64
+	// LabRateBurst sizes each lab's token bucket; zero means a burst
+	// equal to LabRateLimit (one second's worth).
+	LabRateBurst float64
 }
 
 // Stats are the server's forwarding-plane counters.
@@ -70,6 +81,9 @@ type Stats struct {
 	// PacketsDropped counts frames shed by per-session send queues when
 	// a RIS tunnel cannot keep up (slow or stalled Internet peer).
 	PacketsDropped atomic.Uint64
+	// PacketsThrottled counts frames refused by per-lab token-bucket
+	// rate limiters (Options.LabRateLimit) before reaching a send queue.
+	PacketsThrottled atomic.Uint64
 	// Recoveries counts routers that re-joined within the grace period
 	// and had their lab state reconciled.
 	Recoveries atomic.Uint64
@@ -99,6 +113,11 @@ type Server struct {
 
 	saveMu        sync.Mutex    // serializes state-snapshot writers
 	stopSnapshots chan struct{} // closed by Close; ends the periodic snapshot loop
+
+	labMu          sync.Mutex                        // guards the three per-lab maps below
+	labLimits      map[string]*admission.TokenBucket // lazily created; forgotten on teardown
+	shedByLab      map[string]uint64                 // cumulative fair-share sheds by lab
+	throttledByLab map[string]uint64                 // cumulative token-bucket drops by lab
 
 	accepting atomic.Bool // accept loop liveness, reported by Health
 }
@@ -142,13 +161,20 @@ func (s *session) setConn(wc *wire.Conn) {
 // Compression (when negotiated) happens on the writer goroutine in wire
 // order, after drop decisions.
 func (s *session) writePacket(m wire.PacketMsg) error {
+	return s.writePacketClass("", m)
+}
+
+// writePacketClass queues one packet tagged with its shedding class (the
+// destination lab), so a saturated send queue sheds the noisiest lab's
+// frames first instead of whoever queued earliest.
+func (s *session) writePacketClass(class string, m wire.PacketMsg) error {
 	s.writeMu.Lock()
 	wc := s.wc
 	s.writeMu.Unlock()
 	if wc == nil {
 		return fmt.Errorf("routeserver: session %d not ready", s.id)
 	}
-	return wc.SendPacket(m)
+	return wc.SendPacketClass(class, m)
 }
 
 // New creates an unstarted server. With Options.StateDir set, any
@@ -166,10 +192,13 @@ func New(opts Options) *Server {
 		matrix:        newMatrix(),
 		captures:      newCaptureHub(),
 		consoles:      newConsoleHub(),
-		sessions:      make(map[uint64]*session),
-		nextSess:      1,
-		gcTimers:      make(map[uint32]*time.Timer),
-		stopSnapshots: make(chan struct{}),
+		sessions:       make(map[uint64]*session),
+		nextSess:       1,
+		gcTimers:       make(map[uint32]*time.Timer),
+		stopSnapshots:  make(chan struct{}),
+		labLimits:      make(map[string]*admission.TokenBucket),
+		shedByLab:      make(map[string]uint64),
+		throttledByLab: make(map[string]uint64),
 	}
 	if opts.StateDir != "" {
 		s.loadState()
@@ -294,6 +323,7 @@ func (s *Server) StatsSnapshot() map[string]uint64 {
 		"packets_injected":  s.stats.PacketsInjected.Load(),
 		"packets_captured":  s.stats.PacketsCaptured.Load(),
 		"packets_dropped":   s.stats.PacketsDropped.Load(),
+		"packets_throttled": s.stats.PacketsThrottled.Load(),
 		"sessions_total":    s.stats.SessionsTotal.Load(),
 		"recoveries":        s.stats.Recoveries.Load(),
 		"labs_lost":         s.stats.LabsLost.Load(),
@@ -371,9 +401,12 @@ func (s *Server) serveSession(sess *session) {
 	wc := wire.NewConn(sess.conn, wire.ConnConfig{
 		QueueLen: s.opts.SendQueueLen,
 		Encoder:  enc,
-		OnDropPacket: func(n int) {
+		OnShed: func(class string, n int) {
 			s.stats.PacketsDropped.Add(uint64(n))
 			mPacketsDropped.Add(uint64(n))
+			s.labMu.Lock()
+			s.shedByLab[class] += uint64(n)
+			s.labMu.Unlock()
 		},
 	})
 	sess.setConn(wc)
@@ -637,22 +670,82 @@ func (s *Server) handlePacket(sess *session, payload []byte) {
 	s.deliverToPort(dst, data)
 }
 
-// deliverToPort sends a frame toward a router port via its RIS.
+// deliverToPort sends a frame toward a router port via its RIS. The
+// frame is classified by the lab owning the destination router: the
+// class feeds the per-lab rate limiter (when configured) and tags the
+// queued packet so a saturated send queue sheds fairly per lab.
 func (s *Server) deliverToPort(dst PortKey, data []byte) {
 	s.captures.deliver(dst, DirToPort, data, &s.stats)
+	lab := s.matrix.ownerOf(dst.Router)
+	if lab != "" && s.opts.LabRateLimit > 0 && !s.labLimiter(lab).Allow(1) {
+		s.stats.PacketsThrottled.Add(1)
+		mPacketsThrottled.Inc()
+		admission.Throttled(1)
+		s.labMu.Lock()
+		s.throttledByLab[lab]++
+		s.labMu.Unlock()
+		return
+	}
 	dstSess, ok := s.sessionFor(dst.Router)
 	if !ok {
 		s.stats.PacketsNoRoute.Add(1)
 		mPacketsNoRoute.Inc()
 		return
 	}
-	err := dstSess.writePacket(wire.PacketMsg{RouterID: dst.Router, PortID: dst.Port, Data: data})
+	err := dstSess.writePacketClass(lab, wire.PacketMsg{RouterID: dst.Router, PortID: dst.Port, Data: data})
 	if err == nil {
 		s.stats.PacketsForwarded.Add(1)
 		s.stats.BytesForwarded.Add(uint64(len(data)))
 		mPacketsForwarded.Inc()
 		mBytesForwarded.Add(uint64(len(data)))
 	}
+}
+
+// labLimiter returns (creating on first use) the token bucket for a lab.
+func (s *Server) labLimiter(lab string) *admission.TokenBucket {
+	s.labMu.Lock()
+	defer s.labMu.Unlock()
+	b := s.labLimits[lab]
+	if b == nil {
+		b = admission.NewTokenBucket(s.opts.LabRateLimit, s.opts.LabRateBurst)
+		s.labLimits[lab] = b
+	}
+	return b
+}
+
+// forgetLab drops a torn-down lab's rate limiter and ledger entries so a
+// future deployment reusing the name starts fresh, and so the per-lab
+// maps cannot grow without bound as labs come and go. The global
+// counters (stats, obs metrics) keep the history.
+func (s *Server) forgetLab(name string) {
+	s.labMu.Lock()
+	delete(s.labLimits, name)
+	delete(s.shedByLab, name)
+	delete(s.throttledByLab, name)
+	s.labMu.Unlock()
+}
+
+// ShedByLab snapshots cumulative fair-share sheds per lab ("" collects
+// packets for routers not owned by any deployment).
+func (s *Server) ShedByLab() map[string]uint64 {
+	s.labMu.Lock()
+	defer s.labMu.Unlock()
+	out := make(map[string]uint64, len(s.shedByLab))
+	for k, v := range s.shedByLab {
+		out[k] = v
+	}
+	return out
+}
+
+// ThrottledByLab snapshots cumulative token-bucket drops per lab.
+func (s *Server) ThrottledByLab() map[string]uint64 {
+	s.labMu.Lock()
+	defer s.labMu.Unlock()
+	out := make(map[string]uint64, len(s.throttledByLab))
+	for k, v := range s.throttledByLab {
+		out[k] = v
+	}
+	return out
 }
 
 // InjectPacket sends an arbitrary frame to a router port — the traffic

@@ -1,0 +1,345 @@
+package routeserver_test
+
+// Overload soak tests: the admission-control PR's acceptance criteria.
+// A saturating "noisy" lab and a well-behaved "quiet" lab share one RIS
+// tunnel whose server side is conditioned by the fault-injection harness;
+// fair-share shedding must make the noisy lab absorb essentially all of
+// the queue drops while the quiet lab's STP convergence stays within 2×
+// its unloaded time. Every shed and throttled unit must be accounted for
+// by the rnl_admission_* metrics.
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rnl/internal/device"
+	"rnl/internal/faultinject"
+	"rnl/internal/netsim"
+	"rnl/internal/obs"
+	"rnl/internal/packet"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+	"rnl/internal/wanem"
+)
+
+// soakAgent bundles the devices fronted by one RIS agent: an STP switch
+// and a RIP router (the quiet lab's endpoints) plus a sink host (the
+// noisy lab's endpoint). Quiet and noisy share the agent deliberately —
+// the point of the test is that they share one tunnel send queue.
+type soakAgent struct {
+	sw    *device.Switch
+	rtr   *device.Router
+	agent *ris.Agent
+}
+
+// newSoakAgent stands up the three devices. ownNet is the /24 the RIP
+// router advertises (its e0 network); linkIP is its address on the
+// RIP-speaking link that the quiet lab wires through the tunnel.
+func newSoakAgent(t *testing.T, addr, pc, swName, rtrName, ownNet, linkIP, sinkName, sinkIP string) *soakAgent {
+	t.Helper()
+	sw := device.NewSwitch(swName, []string{"Gi0/1"}, device.FastTimers())
+	t.Cleanup(sw.Close)
+	nicSw := netsim.NewIface(pc + "/" + swName)
+	wSw := netsim.Connect(sw.Port("Gi0/1"), nicSw, nil)
+	t.Cleanup(wSw.Disconnect)
+
+	rtr := device.NewRouter(rtrName, []string{"e0", "e1"}, device.FastTimers())
+	t.Cleanup(rtr.Close)
+	if err := rtr.SetIP("e0", mustIP(t, ownNet), mask24()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtr.SetIP("e1", mustIP(t, linkIP), mask24()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtr.EnableRIP("e1"); err != nil {
+		t.Fatal(err)
+	}
+	nicRtr := netsim.NewIface(pc + "/" + rtrName)
+	wRtr := netsim.Connect(rtr.Port("e1"), nicRtr, nil)
+	t.Cleanup(wRtr.Disconnect)
+
+	sink := device.NewHost(sinkName, device.FastTimers())
+	t.Cleanup(sink.Close)
+	if err := sink.Configure(mustIP(t, sinkIP), mask24(), nil); err != nil {
+		t.Fatal(err)
+	}
+	nicSink := netsim.NewIface(pc + "/" + sinkName)
+	wSink := netsim.Connect(sink.Ports()[0], nicSink, nil)
+	t.Cleanup(wSink.Disconnect)
+
+	a, err := ris.New(ris.Config{
+		ServerAddr: addr,
+		PCName:     pc,
+		Routers: []ris.RouterDef{
+			{Name: swName, Ports: []ris.PortMap{{Name: "Gi0/1", NIC: nicSw}}},
+			{Name: rtrName, Ports: []ris.PortMap{{Name: "e1", NIC: nicRtr}}},
+			{Name: sinkName, Ports: []ris.PortMap{{Name: "eth0", NIC: nicSink}}},
+		},
+	}, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	return &soakAgent{sw: sw, rtr: rtr, agent: a}
+}
+
+// hasRIPRoute reports whether r learned prefix via RIP.
+func hasRIPRoute(r *device.Router, prefix string) bool {
+	for _, line := range r.Routes() {
+		if strings.HasPrefix(line, "R ") && strings.Contains(line, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSoakQuietLabSurvivesNoisyNeighbor(t *testing.T) {
+	// Conditioned server: every tunnel write eats a small base delay and
+	// a bandwidth cap, so a saturating sender genuinely backs the send
+	// queue up instead of draining at loopback speed. The queue is kept
+	// small so shedding decisions happen constantly.
+	ctl := faultinject.NewController()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := routeserver.New(routeserver.Options{
+		Logger:       quietLogger(),
+		SendQueueLen: 256,
+	})
+	s.Serve(ctl.WrapListener(ln))
+	t.Cleanup(s.Close)
+	ctl.SetConditioner(wanem.New(wanem.Profile{
+		Delay:   time.Millisecond,
+		Jitter:  500 * time.Microsecond,
+		RateBps: 1 << 20, // 1 MiB/s: far above BPDU needs, far below the flood
+	}, 7))
+
+	// Agent A fronts the quiet lab's switch sw1 and RIP router r1 AND the
+	// noisy sink; agent B fronts their peers and the noisy source. All
+	// noisy flood traffic is injected toward the sink, so it contends
+	// with sw1's BPDUs and r1's RIP updates for agent A's single tunnel
+	// send queue.
+	a := newSoakAgent(t, s.Addr(), "pc-soak-a", "soak-sw1", "soak-r1", "10.0.32.1", "192.168.40.1", "soak-sink", "10.0.30.1")
+	b := newSoakAgent(t, s.Addr(), "pc-soak-b", "soak-sw2", "soak-r2", "10.0.33.1", "192.168.40.2", "soak-src", "10.0.30.2")
+
+	quietLinks := []routeserver.Link{
+		{
+			A: portKeyOf(t, a.agent, "soak-sw1", "Gi0/1"),
+			B: portKeyOf(t, b.agent, "soak-sw2", "Gi0/1"),
+		},
+		{
+			A: portKeyOf(t, a.agent, "soak-r1", "e1"),
+			B: portKeyOf(t, b.agent, "soak-r2", "e1"),
+		},
+	}
+	pkSink := portKeyOf(t, a.agent, "soak-sink", "eth0")
+	noisyLink := routeserver.Link{
+		A: pkSink,
+		B: portKeyOf(t, b.agent, "soak-src", "eth0"),
+	}
+
+	// Converged = the switches elected exactly one STP root (BPDUs flowed
+	// both ways) AND both routers learned the other's network via RIP.
+	converge := func(limit time.Duration) (time.Duration, bool) {
+		start := time.Now()
+		for time.Since(start) < limit {
+			if a.sw.IsRoot() != b.sw.IsRoot() &&
+				hasRIPRoute(b.rtr, "10.0.32.0/24") && hasRIPRoute(a.rtr, "10.0.33.0/24") {
+				return time.Since(start), true
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return limit, false
+	}
+
+	// Phase A: unloaded baseline on the same conditioned tunnels.
+	if err := s.Deploy("quiet", quietLinks); err != nil {
+		t.Fatal(err)
+	}
+	dtBase, ok := converge(5 * time.Second)
+	if !ok {
+		t.Fatal("baseline: quiet lab never converged (STP root + RIP routes)")
+	}
+	if err := s.Teardown("quiet"); err != nil {
+		t.Fatal(err)
+	}
+	// The partitioned lab must return to its cold state — both switches
+	// claiming root, RIP routes aged out — so the loaded run re-converges
+	// from the same starting point.
+	waitFor(t, 5*time.Second, func() bool {
+		return a.sw.IsRoot() && b.sw.IsRoot() &&
+			!hasRIPRoute(b.rtr, "10.0.32.0/24") && !hasRIPRoute(a.rtr, "10.0.33.0/24")
+	}, "quiet lab never returned to cold state after teardown")
+
+	// Phase B: deploy the noisy lab and saturate it. The flood frame is
+	// addressed to a MAC nobody owns so the sink host drops it silently
+	// (no replies to muddy the accounting).
+	if err := s.Deploy("noisy", []routeserver.Link{noisyLink}); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := packet.BuildUDP(
+		net.HardwareAddr{0x02, 0, 0, 0, 0, 0xaa},
+		net.HardwareAddr{0x02, 0, 0, 0, 0, 0xbb},
+		mustIP(t, "10.0.30.2"), mustIP(t, "10.0.30.1"), 7, 9999, make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shedBase := s.ShedByLab()
+	totalBase := obs.Default().Snapshot().Flatten()["rnl_admission_shed_total"]
+	agentDropsBase := a.agent.Stats().FramesDropped.Load() + b.agent.Stats().FramesDropped.Load()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var injected atomic.Uint64
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.InjectPacket(pkSink, frame); err != nil {
+					return
+				}
+				injected.Add(1)
+			}
+		}()
+	}
+	// Only start the clock once the flood has demonstrably saturated the
+	// shared queue (sheds are happening).
+	waitFor(t, 5*time.Second, func() bool {
+		return s.ShedByLab()["noisy"] > shedBase["noisy"]
+	}, "flood never saturated the shared send queue")
+
+	if err := s.Deploy("quiet", quietLinks); err != nil {
+		t.Fatal(err)
+	}
+	limit := 2 * dtBase
+	if limit < 1500*time.Millisecond {
+		// Floor: the baseline can be a handful of milliseconds, and STP
+		// hello/max-age timers put a lower bound on any re-convergence.
+		limit = 1500 * time.Millisecond
+	}
+	dtLoaded, ok := converge(8 * time.Second)
+	close(stop)
+	wg.Wait()
+	if !ok {
+		t.Fatalf("loaded: switches never converged (baseline %v, injected %d)", dtBase, injected.Load())
+	}
+	if dtLoaded > limit {
+		t.Errorf("quiet lab degraded under noisy neighbor: converged in %v, limit %v (baseline %v)", dtLoaded, limit, dtBase)
+	}
+	t.Logf("quiet-lab convergence (STP root + RIP routes): unloaded %v, under saturating neighbour %v (%d packets injected)",
+		dtBase, dtLoaded, injected.Load())
+
+	// Let the drained queue settle, then audit the shedding ledger.
+	time.Sleep(200 * time.Millisecond)
+	shed := s.ShedByLab()
+	shedNoisy := shed["noisy"] - shedBase["noisy"]
+	shedQuiet := shed["quiet"] - shedBase["quiet"]
+	if shedNoisy == 0 {
+		t.Fatal("noisy lab was never shed despite saturating the queue")
+	}
+	minQuiet := shedQuiet
+	if minQuiet == 0 {
+		minQuiet = 1
+	}
+	if shedNoisy < 10*minQuiet {
+		t.Errorf("shedding not proportional: noisy=%d quiet=%d (want noisy >= 10x quiet)", shedNoisy, shedQuiet)
+	}
+	if shedNoisy >= injected.Load() {
+		t.Errorf("shed more noisy packets (%d) than were injected (%d)", shedNoisy, injected.Load())
+	}
+
+	// Metric accounting: the global admission counter must equal the
+	// per-lab server-side ledger plus agent-side tunnel sheds — every
+	// dropped unit shows up exactly once.
+	totalDelta := obs.Default().Snapshot().Flatten()["rnl_admission_shed_total"] - totalBase
+	agentDrops := a.agent.Stats().FramesDropped.Load() + b.agent.Stats().FramesDropped.Load() - agentDropsBase
+	if want := shedNoisy + shedQuiet + agentDrops; totalDelta != want {
+		t.Errorf("rnl_admission_shed_total delta = %d, want %d (noisy %d + quiet %d + agent-side %d)",
+			totalDelta, want, shedNoisy, shedQuiet, agentDrops)
+	}
+	t.Logf("shed ledger: noisy %d, quiet %d, agent-side %d", shedNoisy, shedQuiet, agentDrops)
+}
+
+func TestPerLabThrottleAccounting(t *testing.T) {
+	// Per-lab token buckets in front of the send queues: with a rate
+	// limit configured, every injected packet is either forwarded or
+	// counted throttled — conservation, no silent loss.
+	s := startServer(t, routeserver.Options{
+		LabRateLimit: 500,
+		LabRateBurst: 100,
+	})
+	hA := addLabHost(t, s, "thrA", "10.0.31.1", false)
+	hB := addLabHost(t, s, "thrB", "10.0.31.2", false)
+	pkA := portKeyOf(t, hA.agent, "thrA", "eth0")
+	pkB := portKeyOf(t, hB.agent, "thrB", "eth0")
+	if err := s.Deploy("thr-lab", []routeserver.Link{{A: pkA, B: pkB}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bogus destination MAC: the host's NIC drops the frame silently, so
+	// no replies flow back through the lab's token bucket.
+	frame, err := packet.BuildUDP(
+		net.HardwareAddr{0x02, 0, 0, 0, 0, 0xcc},
+		net.HardwareAddr{0x02, 0, 0, 0, 0, 0xdd},
+		mustIP(t, "10.0.31.1"), mustIP(t, "10.0.31.2"), 7, 9999, []byte("flood"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := s.StatsSnapshot()
+	obsBefore := obs.Default().Snapshot().Flatten()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := s.InjectPacket(pkB, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// InjectPacket delivers synchronously, so the ledger is already
+	// settled: forwarded + throttled must equal injected exactly.
+	after := s.StatsSnapshot()
+	forwarded := after["packets_forwarded"] - before["packets_forwarded"]
+	throttled := after["packets_throttled"] - before["packets_throttled"]
+	if throttled == 0 {
+		t.Fatal("rate limiter never engaged: nothing throttled")
+	}
+	if forwarded == 0 {
+		t.Fatal("everything throttled: burst allowance never admitted a packet")
+	}
+	if forwarded+throttled != n {
+		t.Errorf("conservation violated: forwarded %d + throttled %d != injected %d", forwarded, throttled, n)
+	}
+	if got := s.ThrottledByLab()["thr-lab"]; got != throttled {
+		t.Errorf("ThrottledByLab[thr-lab] = %d, want %d", got, throttled)
+	}
+	obsAfter := obs.Default().Snapshot().Flatten()
+	if d := obsAfter["rnl_routeserver_packets_throttled_total"] - obsBefore["rnl_routeserver_packets_throttled_total"]; d != throttled {
+		t.Errorf("rnl_routeserver_packets_throttled_total delta = %d, want %d", d, throttled)
+	}
+	if d := obsAfter["rnl_admission_throttled_total"] - obsBefore["rnl_admission_throttled_total"]; d != throttled {
+		t.Errorf("rnl_admission_throttled_total delta = %d, want %d", d, throttled)
+	}
+
+	// Teardown forgets the lab's limiter and ledger entries, so a future
+	// lab reusing the name starts with a fresh bucket.
+	if err := s.Teardown("thr-lab"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.ThrottledByLab()["thr-lab"]; ok {
+		t.Error("throttle ledger entry survived teardown")
+	}
+}

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -53,8 +54,11 @@ func (dep *Deployer) portKey(p PortRef) (routeserver.PortKey, error) {
 }
 
 // Deploy wires a design up. With restoreConfigs, each router with a saved
-// configuration and a console gets it replayed automatically.
-func (dep *Deployer) Deploy(user string, d *Design, restoreConfigs bool) error {
+// configuration and a console gets it replayed automatically. ctx bounds
+// the console automation: an abandoned HTTP request cancels the restore
+// (and rolls the half-deployed lab back) instead of driving consoles for
+// a client that is gone.
+func (dep *Deployer) Deploy(ctx context.Context, user string, d *Design, restoreConfigs bool) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
@@ -91,7 +95,7 @@ func (dep *Deployer) Deploy(user string, d *Design, restoreConfigs bool) error {
 	}
 	sort.Strings(routers)
 	for _, router := range routers {
-		if err := dep.restoreOne(router, d.Configs[router]); err != nil {
+		if err := dep.restoreOne(ctx, router, d.Configs[router]); err != nil {
 			// Roll back the half-deployed lab: partial restores leave
 			// the lab in an unknown state, the one thing RNL exists to
 			// prevent.
@@ -124,7 +128,7 @@ func (dep *Deployer) reclaimable(existing routeserver.Deployment) bool {
 }
 
 // restoreOne replays one router's saved configuration over its console.
-func (dep *Deployer) restoreOne(router, cfg string) error {
+func (dep *Deployer) restoreOne(ctx context.Context, router, cfg string) error {
 	r, ok := dep.Server.RouterByName(router)
 	if !ok {
 		return fmt.Errorf("router offline")
@@ -140,13 +144,13 @@ func (dep *Deployer) restoreOne(router, cfg string) error {
 	defer sess.Close()
 	drv := console.NewDriver(sess, dep.consoleTimeout())
 	drv.Drain(20 * time.Millisecond)
-	return console.RestoreConfig(drv, cfg)
+	return console.RestoreConfig(ctx, drv, cfg)
 }
 
 // SaveConfigs dumps the running configuration of every consoled router in
 // the design into d.Configs — what the web UI does when a user with a
-// valid reservation saves a design.
-func (dep *Deployer) SaveConfigs(d *Design) error {
+// valid reservation saves a design. ctx cancels mid-dump.
+func (dep *Deployer) SaveConfigs(ctx context.Context, d *Design) error {
 	if d.Configs == nil {
 		d.Configs = make(map[string]string)
 	}
@@ -161,7 +165,7 @@ func (dep *Deployer) SaveConfigs(d *Design) error {
 		}
 		drv := console.NewDriver(sess, dep.consoleTimeout())
 		drv.Drain(20 * time.Millisecond)
-		cfg, err := console.DumpConfig(drv)
+		cfg, err := console.DumpConfig(ctx, drv)
 		sess.Close()
 		if err != nil {
 			return fmt.Errorf("topology: dumping %q: %w", router, err)

@@ -1,6 +1,7 @@
 package topology_test
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"strings"
@@ -83,14 +84,14 @@ func TestDeployerReservationGateAndFakeClock(t *testing.T) {
 	d := linkedDesign("dlab", "dh1", "dh2")
 
 	// No reservation: refused.
-	if err := rig.dep.Deploy("alice", d, false); err == nil {
+	if err := rig.dep.Deploy(context.Background(), "alice", d, false); err == nil {
 		t.Fatal("deploy without reservation should fail")
 	}
 	now := rig.clk.Now()
 	if _, err := rig.cal.Reserve("alice", d.Routers, now, now.Add(time.Hour)); err != nil {
 		t.Fatal(err)
 	}
-	if err := rig.dep.Deploy("alice", d, false); err != nil {
+	if err := rig.dep.Deploy(context.Background(), "alice", d, false); err != nil {
 		t.Fatal(err)
 	}
 	// Reservation lapses on the fake clock: bob reclaims on deploy.
@@ -100,7 +101,7 @@ func TestDeployerReservationGateAndFakeClock(t *testing.T) {
 		t.Fatal(err)
 	}
 	d2 := linkedDesign("dlab2", "dh1", "dh2")
-	if err := rig.dep.Deploy("bob", d2, false); err != nil {
+	if err := rig.dep.Deploy(context.Background(), "bob", d2, false); err != nil {
 		t.Fatalf("bob should reclaim the expired lab: %v", err)
 	}
 	deps := rig.server.Deployments()
@@ -118,17 +119,17 @@ func TestDeployerResolveErrors(t *testing.T) {
 	// Router not in inventory.
 	d := &topology.Design{Name: "bad1", Routers: []string{"eh1", "ghost"}}
 	d.Links = []topology.Link{{A: topology.PortRef{Router: "eh1", Port: "eth0"}, B: topology.PortRef{Router: "ghost", Port: "eth0"}}}
-	if err := rig.dep.Deploy("u", d, false); err == nil || !strings.Contains(err.Error(), "not in inventory") {
+	if err := rig.dep.Deploy(context.Background(), "u", d, false); err == nil || !strings.Contains(err.Error(), "not in inventory") {
 		t.Fatalf("err = %v", err)
 	}
 	// Unknown port.
 	d2 := &topology.Design{Name: "bad2", Routers: []string{"eh1", "eh2"}}
 	d2.Links = []topology.Link{{A: topology.PortRef{Router: "eh1", Port: "nope"}, B: topology.PortRef{Router: "eh2", Port: "eth0"}}}
-	if err := rig.dep.Deploy("u", d2, false); err == nil || !strings.Contains(err.Error(), "no port") {
+	if err := rig.dep.Deploy(context.Background(), "u", d2, false); err == nil || !strings.Contains(err.Error(), "no port") {
 		t.Fatalf("err = %v", err)
 	}
 	// Invalid design caught before anything else.
-	if err := rig.dep.Deploy("u", &topology.Design{}, false); err == nil {
+	if err := rig.dep.Deploy(context.Background(), "u", &topology.Design{}, false); err == nil {
 		t.Fatal("invalid design should fail")
 	}
 }
@@ -139,7 +140,7 @@ func TestDeployerSaveAndRestoreConfigs(t *testing.T) {
 
 	// Put distinctive state on ch1, then save configs.
 	device.RestoreConfig(rig.hosts["ch1"], "ip gateway 10.0.0.200")
-	if err := rig.dep.SaveConfigs(d); err != nil {
+	if err := rig.dep.SaveConfigs(context.Background(), d); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(d.Configs["ch1"], "ip gateway 10.0.0.200") {
@@ -149,7 +150,7 @@ func TestDeployerSaveAndRestoreConfigs(t *testing.T) {
 	device.RestoreConfig(rig.hosts["ch1"], "ip gateway 10.0.0.99")
 	now := rig.clk.Now()
 	rig.cal.Reserve("u", d.Routers, now, now.Add(time.Hour))
-	if err := rig.dep.Deploy("u", d, true); err != nil {
+	if err := rig.dep.Deploy(context.Background(), "u", d, true); err != nil {
 		t.Fatal(err)
 	}
 	cfg := device.DumpRunningConfig(rig.hosts["ch1"])

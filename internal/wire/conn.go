@@ -8,9 +8,13 @@ package wire
 // goroutine that coalesces every queued frame into a single buffered
 // write + flush — one syscall for N frames instead of two per frame.
 //
-// Backpressure policy: when the queue is full the OLDEST queued packet
-// is dropped (counted in ConnStats.PacketsDropped), which is what a
-// congested real link would do to tunneled L2 traffic; control frames
+// Backpressure policy: when the queue is full, one queued packet is
+// shed (counted in ConnStats.PacketsDropped). Untagged packets fall
+// back to drop-oldest — what a congested real link would do to tunneled
+// L2 traffic. Packets tagged with a class via SendPacketClass get
+// fair-share shedding instead: the class with the most queued packets
+// (the noisiest lab) loses its oldest frame first, so one saturating
+// tenant cannot starve its neighbours' control traffic. Control frames
 // (join, console, keepalive, leave) are never dropped — the queue
 // stretches to hold them. Frame order is preserved for everything that
 // is not dropped, so the stateful template compressor stays in sync with
@@ -27,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rnl/internal/admission"
 )
 
 // Tuning defaults for Conn.
@@ -60,9 +66,10 @@ type ConnConfig struct {
 	// packet header. The returned slice may alias encoder-internal
 	// scratch; it is consumed before the next call.
 	Encoder func(data []byte) ([]byte, uint16)
-	// OnDropPacket is called (outside the queue lock) with the number of
-	// packets just dropped by the backpressure policy.
-	OnDropPacket func(n int)
+	// OnShed is called (outside the queue lock) with the class and count
+	// of packets just shed by the backpressure policy. Packets queued via
+	// SendPacket carry the empty class.
+	OnShed func(class string, n int)
 }
 
 // ConnStats counts Conn activity. FramesEnqueued-FramesWritten-
@@ -82,6 +89,7 @@ type sendEntry struct {
 	typ     MsgType
 	payload *[]byte // pooled; packet: raw frame data, control: full payload
 	packet  bool
+	class   string // shedding class (lab name); "" for untagged
 	router  uint32
 	port    uint32
 	flags   uint16
@@ -114,7 +122,8 @@ type Conn struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []sendEntry
-	npkt   int // packet entries currently queued
+	npkt   int                // packet entries currently queued
+	shed   *admission.Shedder // per-class occupancy; guarded by mu
 	closed bool
 	err    error
 
@@ -134,7 +143,7 @@ func NewConn(nc net.Conn, cfg ConnConfig) *Conn {
 	if cfg.WriteBufSize <= 0 {
 		cfg.WriteBufSize = DefaultWriteBufSize
 	}
-	c := &Conn{nc: nc, cfg: cfg, done: make(chan struct{})}
+	c := &Conn{nc: nc, cfg: cfg, shed: admission.NewShedder(), done: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
 	c.bw = bufio.NewWriterSize(nc, cfg.WriteBufSize)
 	go c.writeLoop()
@@ -173,38 +182,53 @@ func (c *Conn) SendFrame(f Frame) error {
 	return nil
 }
 
-// SendPacket queues one packet frame; m.Data is copied. When QueueLen
-// packets are already waiting, the oldest queued packet is dropped to
-// make room. Enqueued packets may still be dropped later, so a nil
-// return means "accepted", not "delivered".
+// SendPacket queues one untagged packet frame. It is exactly
+// SendPacketClass("", m): with every packet in one class, the fair-share
+// policy degenerates to the original drop-oldest behaviour.
 func (c *Conn) SendPacket(m PacketMsg) error {
+	return c.SendPacketClass("", m)
+}
+
+// SendPacketClass queues one packet frame tagged with a shedding class
+// (typically the owning lab); m.Data is copied. When QueueLen packets
+// are already waiting, the oldest packet of the class with the most
+// queued packets is shed to make room — the incoming packet counts
+// toward its own class first, so a saturating class sheds its own
+// arrivals while quieter classes keep their place in the queue.
+// Enqueued packets may still be shed later, so a nil return means
+// "accepted", not "delivered".
+func (c *Conn) SendPacketClass(class string, m PacketMsg) error {
 	if packetHeaderLen+len(m.Data)+2 > MaxFrameLen {
 		return fmt.Errorf("wire: packet data %d bytes exceeds maximum", len(m.Data))
 	}
 	buf := getBuf(m.Data)
 	dropped := 0
+	victim := ""
 	c.mu.Lock()
 	if err := c.sendErrLocked(); err != nil {
 		c.mu.Unlock()
 		putBuf(buf)
 		return err
 	}
-	if c.npkt >= c.cfg.QueueLen {
+	c.queue = append(c.queue, sendEntry{
+		typ: MsgPacket, payload: buf, packet: true, class: class,
+		router: m.RouterID, port: m.PortID, flags: m.Flags,
+	})
+	c.npkt++
+	c.shed.Enqueued(class)
+	if c.npkt > c.cfg.QueueLen {
+		victim = c.shed.Victim()
 		for i := range c.queue {
-			if c.queue[i].packet {
+			if c.queue[i].packet && c.queue[i].class == victim {
 				putBuf(c.queue[i].payload)
 				c.queue = append(c.queue[:i], c.queue[i+1:]...)
 				c.npkt--
+				c.shed.Shed(victim)
 				dropped++
 				break
 			}
 		}
 	}
-	c.queue = append(c.queue, sendEntry{
-		typ: MsgPacket, payload: buf, packet: true,
-		router: m.RouterID, port: m.PortID, flags: m.Flags,
-	})
-	c.npkt++
 	c.stats.FramesEnqueued.Add(1)
 	if dropped > 0 {
 		c.stats.PacketsDropped.Add(uint64(dropped))
@@ -214,8 +238,8 @@ func (c *Conn) SendPacket(m PacketMsg) error {
 	mQueueDepth.Add(int64(1 - dropped))
 	if dropped > 0 {
 		mPacketsDropped.Add(uint64(dropped))
-		if c.cfg.OnDropPacket != nil {
-			c.cfg.OnDropPacket(dropped)
+		if c.cfg.OnShed != nil {
+			c.cfg.OnShed(victim, dropped)
 		}
 	}
 	return nil
@@ -267,6 +291,7 @@ func (c *Conn) writeLoop() {
 		}
 		batch, c.queue = c.queue, batch[:0]
 		c.npkt = 0
+		c.shed.Reset() // queue drained wholesale: occupancy back to zero
 		closing := c.closed
 		c.mu.Unlock()
 		mQueueDepth.Add(int64(-len(batch)))
@@ -361,6 +386,7 @@ func (c *Conn) fail(err error) {
 	}
 	c.queue = nil
 	c.npkt = 0
+	c.shed.Reset()
 	c.mu.Unlock()
 	mQueueDepth.Add(int64(-discarded))
 	c.nc.Close()

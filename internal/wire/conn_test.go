@@ -170,7 +170,7 @@ func TestConnDropsOldestKeepsControl(t *testing.T) {
 	wc := NewConn(a, ConnConfig{
 		QueueLen:     8,
 		WriteTimeout: time.Minute,
-		OnDropPacket: func(n int) {
+		OnShed: func(_ string, n int) {
 			dropMu.Lock()
 			dropCb += n
 			dropMu.Unlock()
@@ -210,7 +210,7 @@ func TestConnDropsOldestKeepsControl(t *testing.T) {
 	}
 	dropMu.Lock()
 	if dropCb != int(wantDropped) {
-		t.Fatalf("OnDropPacket total = %d, want %d", dropCb, wantDropped)
+		t.Fatalf("OnShed total = %d, want %d", dropCb, wantDropped)
 	}
 	dropMu.Unlock()
 
@@ -436,5 +436,105 @@ func TestConnWriterFailurePropagates(t *testing.T) {
 	}
 	if wc.Err() == nil {
 		t.Error("Err() should report the writer failure")
+	}
+}
+
+// TestConnFairShareShedding saturates the queue with two classes and
+// asserts the fair-share policy sheds only the dominant one: the quiet
+// class's packets all survive while every drop lands on the noisy class.
+func TestConnFairShareShedding(t *testing.T) {
+	a, b := net.Pipe() // unbuffered: the writer blocks until b reads
+	defer b.Close()
+
+	var shedMu sync.Mutex
+	shedBy := map[string]int{}
+	wc := NewConn(a, ConnConfig{
+		QueueLen:     10,
+		WriteTimeout: time.Minute,
+		OnShed: func(class string, n int) {
+			shedMu.Lock()
+			shedBy[class] += n
+			shedMu.Unlock()
+		},
+	})
+	defer wc.Close()
+
+	// First packet: the writer dequeues it and blocks flushing to the
+	// unread pipe. Everything sent afterwards stays queued.
+	if err := wc.SendPacketClass("noisy", PacketMsg{RouterID: 1, PortID: 1, Data: patternFrame(1, 0, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for wc.Stats().FramesWritten.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never picked up the first packet")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// 5 quiet packets fit comfortably, then 45 noisy ones saturate the
+	// queue. Once full (5 quiet + 5 noisy), every further noisy arrival
+	// makes noisy the majority class, so each one sheds a noisy packet.
+	const quiet, noisy = 5, 45
+	for seq := 1; seq <= quiet; seq++ {
+		if err := wc.SendPacketClass("quiet", PacketMsg{RouterID: 2, PortID: 1, Data: patternFrame(2, uint32(seq), 64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for seq := 1; seq <= noisy; seq++ {
+		if err := wc.SendPacketClass("noisy", PacketMsg{RouterID: 1, PortID: 1, Data: patternFrame(1, uint32(seq), 64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wantShed := noisy - 5 // queue keeps 5 quiet + the 5 newest noisy
+	if d := wc.Stats().PacketsDropped.Load(); d != uint64(wantShed) {
+		t.Fatalf("PacketsDropped = %d, want %d", d, wantShed)
+	}
+	shedMu.Lock()
+	if shedBy["noisy"] != wantShed || shedBy["quiet"] != 0 {
+		t.Fatalf("shed by class = %v, want %d noisy / 0 quiet", shedBy, wantShed)
+	}
+	shedMu.Unlock()
+
+	// Drain the pipe and verify exactly the expected survivors arrive.
+	quietGot, noisyGot := []uint32{}, []uint32{}
+	fr := NewFrameReader(b)
+	for len(quietGot)+len(noisyGot) < 1+quiet+noisy-wantShed {
+		f, err := fr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != MsgPacket {
+			continue
+		}
+		m, err := DecodePacket(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writer, seq := checkPattern(t, m.Data)
+		if writer == 2 {
+			quietGot = append(quietGot, seq)
+		} else {
+			noisyGot = append(noisyGot, seq)
+		}
+	}
+	if len(quietGot) != quiet {
+		t.Fatalf("quiet survivors = %v, want all %d", quietGot, quiet)
+	}
+	for i, seq := range quietGot {
+		if seq != uint32(i+1) {
+			t.Fatalf("quiet seqs = %v, want 1..%d in order", quietGot, quiet)
+		}
+	}
+	// Noisy survivors: seq 0 (already in flight) plus the newest 5.
+	wantNoisy := []uint32{0, 41, 42, 43, 44, 45}
+	if len(noisyGot) != len(wantNoisy) {
+		t.Fatalf("noisy survivors = %v, want %v", noisyGot, wantNoisy)
+	}
+	for i, seq := range noisyGot {
+		if seq != wantNoisy[i] {
+			t.Fatalf("noisy survivors = %v, want %v", noisyGot, wantNoisy)
+		}
 	}
 }
