@@ -1,13 +1,16 @@
 GO ?= go
 
-.PHONY: verify build test race soak bench
+.PHONY: verify build test race soak bench bench-fast
 
-# Tier-1 gate (keep in sync with ROADMAP.md).
+# Tier-1 gate (keep in sync with ROADMAP.md). The 1-iteration bench
+# smoke keeps the fast-path benchmark compiling and running without
+# costing verify any real time.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/...
+	$(GO) test -run '^$$' -bench ForwardFastPath -benchtime 1x ./internal/routeserver/
 
 build:
 	$(GO) build ./...
@@ -26,3 +29,10 @@ soak:
 # Paper-figure and ablation benchmarks (EXPERIMENTS.md numbers).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1s ./...
+
+# Forwarding fast-path benchmarks, recorded as machine-readable JSON
+# (BENCH_fastpath.json) for before/after comparison across PRs.
+bench-fast:
+	{ $(GO) test -run '^$$' -bench ForwardFastPath -benchtime 2s -count 3 ./internal/routeserver/ ; \
+	  $(GO) test -run '^$$' -bench Fig4PacketFlow -benchtime 1s . ; } \
+	| tee /dev/stderr | $(GO) run ./internal/tools/benchjson > BENCH_fastpath.json

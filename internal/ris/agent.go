@@ -383,9 +383,17 @@ func (a *Agent) writeFrame(f wire.Frame) error {
 func (a *Agent) readLoop(conn net.Conn) {
 	defer conn.Close()
 	fr := wire.NewFrameReader(conn)
+	defer fr.Close()
 	timeout := a.cfg.peerTimeout()
+	var armed time.Time
 	for {
-		conn.SetReadDeadline(time.Now().Add(timeout))
+		// Re-arm the read deadline at most once per timeout/4: the
+		// netpoller timer update is a lock we need not take per frame.
+		// A silent peer is still dropped within [¾·timeout, timeout].
+		if now := time.Now(); now.Sub(armed) > timeout/4 {
+			conn.SetReadDeadline(now.Add(timeout))
+			armed = now
+		}
 		f, err := fr.Next()
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {

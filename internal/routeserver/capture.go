@@ -2,6 +2,7 @@ package routeserver
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,20 +40,19 @@ type Capture struct {
 	port PortKey
 	ch   chan CapturedPacket
 
+	// mu exists only to order sends against the Stop-side channel close;
+	// drop accounting is atomic so readers (API long-polls) never touch
+	// the forwarding path's lock.
 	mu      sync.Mutex
 	stopped bool
-	dropped uint64
+	dropped atomic.Uint64
 }
 
 // Packets streams captured frames. The channel is closed by Stop.
 func (c *Capture) Packets() <-chan CapturedPacket { return c.ch }
 
 // Dropped reports frames lost to a slow consumer.
-func (c *Capture) Dropped() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dropped
-}
+func (c *Capture) Dropped() uint64 { return c.dropped.Load() }
 
 // Stop detaches the tap and closes the channel.
 func (c *Capture) Stop() {
@@ -65,8 +65,12 @@ func (c *Capture) Stop() {
 	c.mu.Unlock()
 }
 
-// captureHub fans captured frames out to taps.
+// captureHub fans captured frames out to taps. The active counter lets
+// the forwarding path skip the hub entirely — one atomic load — in the
+// common case of no taps anywhere; the RWMutex only matters while a
+// capture is actually running.
 type captureHub struct {
+	active atomic.Int64 // installed taps, hub-wide
 	mu     sync.RWMutex
 	taps   map[PortKey][]*Capture
 	nextID int
@@ -86,6 +90,7 @@ func (h *captureHub) add(port PortKey, depth int) *Capture {
 	c := &Capture{hub: h, id: h.nextID, port: port, ch: make(chan CapturedPacket, depth)}
 	h.nextID++
 	h.taps[port] = append(h.taps[port], c)
+	h.active.Add(1)
 	return c
 }
 
@@ -96,6 +101,7 @@ func (h *captureHub) remove(c *Capture) {
 	for i, t := range taps {
 		if t.id == c.id {
 			h.taps[c.port] = append(taps[:i], taps[i+1:]...)
+			h.active.Add(-1)
 			break
 		}
 	}
@@ -106,13 +112,19 @@ func (h *captureHub) remove(c *Capture) {
 
 // deliver copies a frame to every tap on the port. Non-blocking: slow
 // consumers lose frames (counted), the forwarding plane never stalls.
+// With no taps installed anywhere — the steady state — it is a single
+// atomic load, no locks, no timestamp.
 func (h *captureHub) deliver(port PortKey, dir CaptureDir, frame []byte, stats *Stats) {
+	if h.active.Load() == 0 {
+		return
+	}
 	h.mu.RLock()
 	taps := h.taps[port]
 	if len(taps) == 0 {
 		h.mu.RUnlock()
 		return
 	}
+	// Stamp and copy once per call, shared by every tap on the port.
 	cp := CapturedPacket{
 		When: time.Now(), Dir: dir, Port: port,
 		Frame: append([]byte(nil), frame...),
@@ -130,7 +142,7 @@ func (h *captureHub) deliver(port PortKey, dir CaptureDir, frame []byte, stats *
 			stats.PacketsCaptured.Add(1)
 			mPacketsCaptured.Inc()
 		default:
-			t.dropped++
+			t.dropped.Add(1)
 		}
 		t.mu.Unlock()
 	}

@@ -1,0 +1,134 @@
+package routeserver
+
+// BenchmarkForwardFastPath isolates the route server's per-frame
+// forwarding work (paper Fig. 4: unwrap → matrix lookup → wrap → queue)
+// from the tunnel itself: sessions are in-process with a null sink
+// connection, so the numbers measure exactly the code between a frame
+// arriving off a tunnel and it being handed to the destination session's
+// send queue. Run parallel over 8 sessions — the multi-session scaling
+// the ROADMAP cares about — with and without capture taps and per-lab
+// rate limits. Interleave with BenchmarkFig4PacketFlow (repo root) for
+// the end-to-end view; see EXPERIMENTS.md for recorded numbers.
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rnl/internal/wire"
+)
+
+// nullConn is a net.Conn that discards writes and is never read: the
+// cheapest possible peer, so the benchmark charges only the server.
+type nullConn struct {
+	closed atomic.Bool
+	bytes  atomic.Uint64
+}
+
+func (c *nullConn) Write(p []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, io.ErrClosedPipe
+	}
+	c.bytes.Add(uint64(len(p)))
+	return len(p), nil
+}
+func (c *nullConn) Read(p []byte) (int, error)         { return 0, io.EOF }
+func (c *nullConn) Close() error                       { c.closed.Store(true); return nil }
+func (c *nullConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *nullConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *nullConn) SetDeadline(t time.Time) error      { return nil }
+func (c *nullConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *nullConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// addBenchSession registers an in-process session fronting one router
+// with two ports, with the batched writer draining into a null sink.
+func addBenchSession(tb testing.TB, s *Server, pc string) (*session, []PortKey) {
+	tb.Helper()
+	conn := &nullConn{}
+	s.mu.Lock()
+	id := s.nextSess
+	s.nextSess++
+	sess := &session{id: id, conn: conn}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	wc := wire.NewConn(conn, wire.ConnConfig{QueueLen: 1 << 15})
+	sess.setConn(wc)
+	tb.Cleanup(func() { wc.Close() })
+	info := RouterInfo{Name: pc + "-r", PC: pc, Ports: []PortInfo{{Name: "p0"}, {Name: "p1"}}}
+	reg, _ := s.reg.add(id, info)
+	s.bumpFwd()
+	keys := make([]PortKey, len(reg.Ports))
+	for i, p := range reg.Ports {
+		keys[i] = PortKey{Router: reg.ID, Port: p.ID}
+	}
+	return sess, keys
+}
+
+func BenchmarkForwardFastPath(b *testing.B) {
+	const nSess = 8
+	run := func(b *testing.B, opts Options, tapped bool) {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+		s := New(opts)
+		b.Cleanup(s.Close)
+		sessions := make([]*session, nSess)
+		ports := make([][]PortKey, nSess)
+		for i := 0; i < nSess; i++ {
+			sessions[i], ports[i] = addBenchSession(b, s, fmt.Sprintf("bench-pc%d", i))
+		}
+		// Ring of wires: session i's p0 ↔ session (i+1)'s p1, so every
+		// forwarded frame crosses sessions like a real multi-PC lab.
+		links := make([]Link, nSess)
+		for i := range links {
+			links[i] = Link{A: ports[i][0], B: ports[(i+1)%nSess][1]}
+		}
+		if err := s.Deploy("bench", links); err != nil {
+			b.Fatal(err)
+		}
+		if tapped {
+			c := s.CapturePort(ports[0][0], 1024)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for range c.Packets() {
+				}
+			}()
+			b.Cleanup(func() { c.Stop(); <-done })
+		}
+		frame := make([]byte, 64)
+		payloads := make([][]byte, nSess)
+		for i := range payloads {
+			payloads[i] = wire.EncodePacket(wire.PacketMsg{
+				RouterID: ports[i][0].Router, PortID: ports[i][0].Port, Data: frame,
+			})
+		}
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.SetBytes(64)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(next.Add(1)-1) % nSess
+			sess, payload := sessions[i], payloads[i]
+			for pb.Next() {
+				s.handlePacket(sess, payload)
+			}
+		})
+		b.StopTimer()
+		fwd := s.stats.PacketsForwarded.Load()
+		if nr := s.stats.PacketsNoRoute.Load(); nr > 0 {
+			b.Fatalf("%d packets had no route (bench wiring broken)", nr)
+		}
+		if fwd+s.stats.PacketsThrottled.Load() < uint64(b.N) {
+			b.Fatalf("only %d/%d packets accounted", fwd, b.N)
+		}
+	}
+
+	b.Run("base", func(b *testing.B) { run(b, Options{}, false) })
+	b.Run("ratelimit", func(b *testing.B) {
+		run(b, Options{LabRateLimit: 1e12, LabRateBurst: 1e12}, false)
+	})
+	b.Run("capture", func(b *testing.B) { run(b, Options{}, true) })
+}

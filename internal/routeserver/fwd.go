@@ -1,0 +1,213 @@
+package routeserver
+
+// The lock-free forwarding plane (paper Fig. 4). The registry and the
+// routing matrix keep their locks and stay the source of truth for the
+// control plane; the packet path never touches them. Instead the server
+// publishes an immutable forwarding snapshot (fwdTable) through an
+// atomic pointer — the classic RCU / copy-on-write split software
+// routers use — and every control-plane mutation bumps a generation
+// counter and synchronously republishes. A forwarded frame costs one
+// atomic load plus one map lookup; the snapshot it uses is at most one
+// mutation stale and can never reference a freed session (sessions are
+// garbage-collected by the runtime, and a dead session's send queue
+// just returns an error). See DESIGN.md "Forwarding fast path".
+
+import (
+	"sync/atomic"
+
+	"rnl/internal/admission"
+)
+
+// fwdEntry is the precomputed per-port delivery state: everything
+// deliverToPort used to look up under four different locks, resolved
+// once at rebuild time.
+type fwdEntry struct {
+	// dst is the port this entry delivers to.
+	dst PortKey
+	// sess is the RIS session fronting dst's router; nil while offline.
+	sess *session
+	// lab names the deployment owning dst's router ("" when free) — the
+	// shedding class outbound packets are tagged with.
+	lab string
+	// limiter is the lab's token bucket; nil when the router is unowned
+	// or Options.LabRateLimit is off, so the common path skips it on a
+	// nil check alone.
+	limiter *admission.TokenBucket
+	// throttled points at the lab's cumulative throttle counter (set
+	// exactly when limiter is).
+	throttled *atomic.Uint64
+}
+
+// labCounters is the per-lab accounting block. The blocks live in
+// Server.labStats (guarded by labMu) and are shared by reference with
+// every published snapshot, so the hot path increments them lock-free
+// and no rebuild can lose or double-count a unit.
+type labCounters struct {
+	shed      atomic.Uint64 // fair-share send-queue sheds
+	throttled atomic.Uint64 // token-bucket refusals
+}
+
+// fwdTable is one immutable forwarding snapshot. Readers load it once
+// per frame and use it without synchronization; writers build a fresh
+// table and publish it with a single atomic store.
+type fwdTable struct {
+	// gen is the mutation generation this table covers: every table
+	// published observes all control-plane mutations numbered <= gen.
+	gen uint64
+	// routes maps a source port to the delivery entry of the far end of
+	// its virtual wire — the handlePacket lookup.
+	routes map[PortKey]*fwdEntry
+	// ports maps every registered port to its own delivery entry — the
+	// injection-path (deliverToPort) lookup, wired or not.
+	ports map[PortKey]*fwdEntry
+	// labs caches the per-lab counter blocks referenced by entries, so
+	// the shed callback can attribute drops without taking labMu.
+	labs map[string]*labCounters
+}
+
+// bumpFwd records one control-plane mutation and synchronously
+// publishes a snapshot covering it. Mutators call it after releasing
+// the registry/matrix locks; when it returns, the packet path observes
+// the mutation.
+func (s *Server) bumpFwd() {
+	s.rebuildFwd(s.fwdGen.Add(1))
+}
+
+// rebuildFwd publishes a snapshot with gen >= target. Rebuilds
+// coalesce: a burst of mutations queues on fwdMu, the first builder
+// reads the latest generation and builds once, and the rest find their
+// mutation already covered and return without building.
+func (s *Server) rebuildFwd(target uint64) {
+	s.fwdMu.Lock()
+	defer s.fwdMu.Unlock()
+	if t := s.fwd.Load(); t != nil && t.gen >= target {
+		return
+	}
+	goal := s.fwdGen.Load()
+	s.fwd.Store(s.buildFwd(goal))
+	mFwdRebuilds.Inc()
+	mFwdGeneration.Set(int64(goal))
+}
+
+// buildFwd assembles a snapshot from the locked sources of truth. It
+// runs on the control plane (rebuild frequency = mutation frequency,
+// never packet frequency), so the copying here is cheap where it
+// matters.
+func (s *Server) buildFwd(gen uint64) *fwdTable {
+	routes, owners := s.matrix.snapshotForwarding()
+	portSess := s.reg.forwardingPorts()
+	s.mu.RLock()
+	sessions := make(map[uint64]*session, len(s.sessions))
+	for id, sess := range s.sessions {
+		sessions[id] = sess
+	}
+	s.mu.RUnlock()
+
+	t := &fwdTable{
+		gen:    gen,
+		routes: make(map[PortKey]*fwdEntry, len(routes)),
+		ports:  make(map[PortKey]*fwdEntry, len(portSess)),
+		labs:   make(map[string]*labCounters),
+	}
+	for port, sid := range portSess {
+		lab := owners[port.Router]
+		e := &fwdEntry{dst: port, sess: sessions[sid], lab: lab}
+		if lab != "" {
+			lc := t.labs[lab]
+			if lc == nil {
+				lc = s.labCounter(lab)
+				t.labs[lab] = lc
+			}
+			e.throttled = &lc.throttled
+			if s.opts.LabRateLimit > 0 {
+				e.limiter = s.labLimiter(lab)
+			}
+		}
+		t.ports[port] = e
+	}
+	for src, dst := range routes {
+		if e := t.ports[dst]; e != nil {
+			t.routes[src] = e
+		}
+	}
+	return t
+}
+
+// fwdSnapshot returns the current forwarding snapshot (never nil after
+// New).
+func (s *Server) fwdSnapshot() *fwdTable { return s.fwd.Load() }
+
+// labCounter returns (creating on first use) the persistent counter
+// block for a lab.
+func (s *Server) labCounter(lab string) *labCounters {
+	s.labMu.Lock()
+	defer s.labMu.Unlock()
+	lc := s.labStats[lab]
+	if lc == nil {
+		lc = &labCounters{}
+		s.labStats[lab] = lc
+	}
+	return lc
+}
+
+// labLimiter returns (creating on first use) the token bucket for a lab.
+func (s *Server) labLimiter(lab string) *admission.TokenBucket {
+	s.labMu.Lock()
+	defer s.labMu.Unlock()
+	b := s.labLimits[lab]
+	if b == nil {
+		b = admission.NewTokenBucket(s.opts.LabRateLimit, s.opts.LabRateBurst)
+		s.labLimits[lab] = b
+	}
+	return b
+}
+
+// countShed attributes n fair-share-shed packets to a shedding class.
+// It runs inside the tunnel writer's backpressure path, so the common
+// case (class present in the snapshot) is a lock-free pointer chase;
+// classes the snapshot no longer knows — packets queued before a
+// teardown, or the "" class of unowned routers — fall back to labMu.
+func (s *Server) countShed(class string, n uint64) {
+	if t := s.fwd.Load(); t != nil {
+		if lc := t.labs[class]; lc != nil {
+			lc.shed.Add(n)
+			return
+		}
+	}
+	s.labCounter(class).shed.Add(n)
+}
+
+// forgetLab drops a torn-down lab's rate limiter and counter block so a
+// future deployment reusing the name starts fresh, and so the per-lab
+// maps cannot grow without bound as labs come and go. The global
+// counters (stats, obs metrics) keep the history. Callers follow up
+// with bumpFwd so published snapshots stop referencing the lab.
+func (s *Server) forgetLab(name string) {
+	s.labMu.Lock()
+	delete(s.labLimits, name)
+	delete(s.labStats, name)
+	s.labMu.Unlock()
+}
+
+// ShedByLab snapshots cumulative fair-share sheds per lab ("" collects
+// packets for routers not owned by any deployment).
+func (s *Server) ShedByLab() map[string]uint64 {
+	s.labMu.Lock()
+	defer s.labMu.Unlock()
+	out := make(map[string]uint64, len(s.labStats))
+	for k, lc := range s.labStats {
+		out[k] = lc.shed.Load()
+	}
+	return out
+}
+
+// ThrottledByLab snapshots cumulative token-bucket drops per lab.
+func (s *Server) ThrottledByLab() map[string]uint64 {
+	s.labMu.Lock()
+	defer s.labMu.Unlock()
+	out := make(map[string]uint64, len(s.labStats))
+	for k, lc := range s.labStats {
+		out[k] = lc.throttled.Load()
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package routeserver
+
+// Tests for the RCU-style forwarding snapshot: freshness (a control-plane
+// mutation is visible to the fast path by the time the mutator returns —
+// "within one generation"), and a churn race proving the consistency
+// contract under -race: deploy/teardown/capture/session-drop concurrent
+// with forwarding never delivers a frame on a torn-down wire and never
+// loses accounting (injected == forwarded + no_route + throttled).
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rnl/internal/wire"
+)
+
+func newFwdTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := New(opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func packetFor(src PortKey) []byte {
+	return wire.EncodePacket(wire.PacketMsg{
+		RouterID: src.Router, PortID: src.Port, Data: []byte("fwd-test-frame"),
+	})
+}
+
+// TestFwdSnapshotFreshness: when Deploy returns, the published snapshot
+// already routes the new wires; when Teardown returns, it no longer
+// does, and a frame injected on the torn wire is counted no_route, not
+// forwarded. This is the "at most one generation stale" contract made
+// concrete: the mutator's own return is the generation boundary.
+func TestFwdSnapshotFreshness(t *testing.T) {
+	s := newFwdTestServer(t, Options{})
+	sessA, portsA := addBenchSession(t, s, "fresh-pc0")
+	_, portsB := addBenchSession(t, s, "fresh-pc1")
+
+	snap := s.fwdSnapshot()
+	if _, ok := snap.routes[portsA[0]]; ok {
+		t.Fatal("route present before any deployment")
+	}
+	genBefore := snap.gen
+
+	if err := s.Deploy("fresh", []Link{{A: portsA[0], B: portsB[1]}}); err != nil {
+		t.Fatal(err)
+	}
+	snap = s.fwdSnapshot()
+	if snap.gen <= genBefore {
+		t.Fatalf("generation did not advance on deploy: %d -> %d", genBefore, snap.gen)
+	}
+	if got := s.fwdGen.Load(); snap.gen != got {
+		t.Fatalf("published generation %d lags requested %d after mutator returned", snap.gen, got)
+	}
+	e, ok := snap.routes[portsA[0]]
+	if !ok {
+		t.Fatal("deployed wire missing from snapshot after Deploy returned")
+	}
+	if e.dst != portsB[1] || e.sess == nil || e.lab != "fresh" {
+		t.Fatalf("bad snapshot entry: dst=%v sess=%p lab=%q", e.dst, e.sess, e.lab)
+	}
+	if _, ok := snap.routes[portsB[1]]; !ok {
+		t.Fatal("reverse direction missing from snapshot")
+	}
+
+	// Forward one frame through the snapshot path to prove it is live.
+	fwd0 := s.stats.PacketsForwarded.Load()
+	s.handlePacket(sessA, packetFor(portsA[0]))
+	if got := s.stats.PacketsForwarded.Load(); got != fwd0+1 {
+		t.Fatalf("frame on deployed wire not forwarded: %d -> %d", fwd0, got)
+	}
+
+	if err := s.Teardown("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	snap = s.fwdSnapshot()
+	if _, ok := snap.routes[portsA[0]]; ok {
+		t.Fatal("torn-down wire still routed after Teardown returned")
+	}
+	fwd1 := s.stats.PacketsForwarded.Load()
+	nr0 := s.stats.PacketsNoRoute.Load()
+	const probes = 64
+	for i := 0; i < probes; i++ {
+		s.handlePacket(sessA, packetFor(portsA[0]))
+	}
+	if got := s.stats.PacketsForwarded.Load(); got != fwd1 {
+		t.Fatalf("packet delivered on torn-down wire: forwarded %d -> %d", fwd1, got)
+	}
+	if got := s.stats.PacketsNoRoute.Load(); got != nr0+probes {
+		t.Fatalf("torn-down probes not counted no_route: %d -> %d (want +%d)", nr0, got, probes)
+	}
+}
+
+// TestFwdRebuildCoalescing: a burst of sequential mutations always
+// leaves the published snapshot at the requested generation, and the
+// invariant published <= requested holds at every step (rebuilds may
+// coalesce, never run ahead).
+func TestFwdRebuildCoalescing(t *testing.T) {
+	s := newFwdTestServer(t, Options{})
+	_, portsA := addBenchSession(t, s, "coal-pc0")
+	_, portsB := addBenchSession(t, s, "coal-pc1")
+	link := []Link{{A: portsA[0], B: portsB[1]}}
+	for i := 0; i < 20; i++ {
+		if err := s.Deploy("coal", link); err != nil {
+			t.Fatal(err)
+		}
+		if snap, want := s.fwdSnapshot(), s.fwdGen.Load(); snap.gen > want {
+			t.Fatalf("published generation %d ahead of requested %d", snap.gen, want)
+		}
+		if err := s.Teardown("coal"); err != nil {
+			t.Fatal(err)
+		}
+		if snap, want := s.fwdSnapshot(), s.fwdGen.Load(); snap.gen != want {
+			t.Fatalf("iteration %d: published %d != requested %d after quiesce", i, snap.gen, want)
+		}
+	}
+}
+
+// TestFwdChurnConservation hammers the fast path while the control plane
+// churns underneath it: one lab stays up, another is deployed and torn
+// down in a tight loop, capture taps come and go, and one session is
+// dropped mid-test. Under -race this doubles as the data/control-plane
+// race test; the accounting check proves no frame is ever lost or
+// double-counted across snapshot swaps.
+func TestFwdChurnConservation(t *testing.T) {
+	s := newFwdTestServer(t, Options{})
+	const nSess = 4
+	sessions := make([]*session, nSess)
+	ports := make([][]PortKey, nSess)
+	for i := 0; i < nSess; i++ {
+		sessions[i], ports[i] = addBenchSession(t, s, fmt.Sprintf("churn-pc%d", i))
+	}
+	// Stable lab on sessions 0/1; churned lab on sessions 2/3.
+	if err := s.Deploy("stable", []Link{{A: ports[0][0], B: ports[1][1]}}); err != nil {
+		t.Fatal(err)
+	}
+	churnLinks := []Link{{A: ports[2][0], B: ports[3][1]}}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var injected atomic.Uint64
+
+	// Injectors: two on the stable wire, two on the churned wire.
+	inject := func(sess *session, src PortKey) {
+		defer wg.Done()
+		payload := packetFor(src)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.handlePacket(sess, payload)
+			injected.Add(1)
+		}
+	}
+	wg.Add(4)
+	go inject(sessions[0], ports[0][0])
+	go inject(sessions[1], ports[1][1])
+	go inject(sessions[2], ports[2][0])
+	go inject(sessions[3], ports[3][1])
+
+	// Control-plane churn: deploy/teardown the second lab continuously.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Deploy("churn", churnLinks); err != nil {
+				t.Errorf("deploy churn: %v", err)
+				return
+			}
+			if err := s.Teardown("churn"); err != nil {
+				t.Errorf("teardown churn: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Capture churn: tap the stable wire, drain, stop, repeat.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := s.CapturePort(ports[0][0], 64)
+			for i := 0; i < 32; i++ {
+				select {
+				case <-c.Packets():
+				default:
+				}
+			}
+			c.Stop()
+		}
+	}()
+
+	// Let everything collide for a while, then drop session 3 mid-churn:
+	// frames routed to its ports must flip to no_route, never crash or
+	// reach a freed session.
+	for injected.Load() < 20000 {
+		runtime.Gosched()
+	}
+	s.dropSession(sessions[3])
+	for start := injected.Load(); injected.Load() < start+20000; {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	s.Teardown("churn") // may or may not be deployed; either is fine
+
+	total := injected.Load()
+	accounted := s.stats.PacketsForwarded.Load() +
+		s.stats.PacketsNoRoute.Load() +
+		s.stats.PacketsThrottled.Load()
+	if total != accounted {
+		t.Fatalf("conservation violated: injected %d != forwarded+no_route+throttled %d", total, accounted)
+	}
+
+	// Post-drop probe: the dropped session's wire must be dead.
+	if err := s.Deploy("churn", churnLinks); err == nil {
+		fwd := s.stats.PacketsForwarded.Load()
+		nr := s.stats.PacketsNoRoute.Load()
+		s.handlePacket(sessions[2], packetFor(ports[2][0]))
+		if got := s.stats.PacketsForwarded.Load(); got != fwd {
+			t.Fatalf("frame delivered toward dropped session: forwarded %d -> %d", fwd, got)
+		}
+		if got := s.stats.PacketsNoRoute.Load(); got != nr+1 {
+			t.Fatalf("frame toward dropped session not counted no_route")
+		}
+	}
+}

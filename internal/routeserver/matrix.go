@@ -59,6 +59,24 @@ func (m *matrix) lookup(src PortKey) (PortKey, bool) {
 	return dst, ok
 }
 
+// snapshotForwarding copies the routes and router-ownership maps for a
+// forwarding-table rebuild (fwd.go). The matrix stays the source of
+// truth behind its lock; the copies seed the immutable snapshot the
+// packet path reads lock-free.
+func (m *matrix) snapshotForwarding() (map[PortKey]PortKey, map[uint32]string) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	routes := make(map[PortKey]PortKey, len(m.routes))
+	for k, v := range m.routes {
+		routes[k] = v
+	}
+	owners := make(map[uint32]string, len(m.routerOwner))
+	for k, v := range m.routerOwner {
+		owners[k] = v
+	}
+	return routes, owners
+}
+
 // deploy installs a deployment after validation; any blocking deployment
 // is an error.
 func (m *matrix) deploy(name, owner string, links []Link, portExists func(PortKey) bool) error {
@@ -330,6 +348,7 @@ func (s *Server) Deploy(name string, links []Link) error {
 func (s *Server) DeployOwned(name, owner string, links []Link) error {
 	err := s.matrix.deploy(name, owner, links, s.reg.portExists)
 	if err == nil {
+		s.bumpFwd()
 		s.log.Info("deployed", "name", name, "owner", owner, "links", len(links))
 		s.persist()
 	}
@@ -353,6 +372,7 @@ func (s *Server) DeployReclaiming(name, owner string, links []Link, canReclaim f
 		s.forgetLab(n)
 		s.log.Info("reclaimed expired lab", "name", n, "takenOverBy", name)
 	}
+	s.bumpFwd()
 	s.log.Info("deployed", "name", name, "owner", owner, "links", len(links))
 	s.persist()
 	return nil
@@ -363,6 +383,7 @@ func (s *Server) Teardown(name string) error {
 	err := s.matrix.teardown(name)
 	if err == nil {
 		s.forgetLab(name)
+		s.bumpFwd()
 		s.log.Info("torn down", "name", name)
 		s.persist()
 	}

@@ -40,6 +40,12 @@ var (
 		"Routers that re-joined within the grace period and had their lab state reconciled.")
 	mLabsLost = obs.Default().Counter("rnl_routeserver_labs_lost_total",
 		"Deployed labs that permanently lost a router (grace expired or grace disabled).")
+	mFwdRebuilds = obs.Default().Counter("rnl_routeserver_fwd_rebuilds_total",
+		"Forwarding-snapshot rebuilds published (coalesced control-plane mutations).")
+	mFwdGeneration = obs.Default().Gauge("rnl_routeserver_fwd_generation",
+		"Control-plane mutation generation covered by the published forwarding snapshot.")
+	mFwdLatency = obs.Default().Histogram("rnl_routeserver_fwd_latency_seconds",
+		"Route-server forwarding latency: matrix lookup to send-queue handoff.", obs.LatencyBuckets)
 )
 
 // Health is the route server's liveness view, served on /healthz.
@@ -61,9 +67,9 @@ type Health struct {
 // currently holds. A server that never listened, or whose listener
 // died, reports Listening=false.
 func (s *Server) Health() Health {
-	s.mu.Lock()
+	s.mu.RLock()
 	sessions := len(s.sessions)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	return Health{
 		Listening:   s.accepting.Load(),
 		Sessions:    sessions,

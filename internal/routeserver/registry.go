@@ -298,6 +298,36 @@ func copyInfo(r *RouterInfo) RouterInfo {
 	return cp
 }
 
+// sessionIDFor resolves a router to its owning session ID (0 while
+// offline) without the defensive copy get makes — get's copyInfo was a
+// per-packet allocation when the forwarding path still used it, and it
+// remains the accessor of choice for anything that only needs the
+// session. API and inventory readers keep the copying accessors.
+func (g *registry) sessionIDFor(id uint32) (uint64, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r, ok := g.routers[id]
+	if !ok {
+		return 0, false
+	}
+	return r.sessionID, true
+}
+
+// forwardingPorts snapshots every registered port with its owning
+// session ID (0 while offline) — the raw material of a forwarding-table
+// rebuild (fwd.go).
+func (g *registry) forwardingPorts() map[PortKey]uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[PortKey]uint64)
+	for id, r := range g.routers {
+		for _, p := range r.Ports {
+			out[PortKey{Router: id, Port: p.ID}] = r.sessionID
+		}
+	}
+	return out
+}
+
 // get returns a defensive copy of a router's record. Callers read the
 // copy outside the registry lock, so handing out the live pointer would
 // race with setFirmware's locked writes.

@@ -103,7 +103,7 @@ type Server struct {
 	consoles *consoleHub
 	stats    Stats
 
-	mu       sync.Mutex
+	mu       sync.RWMutex // control-plane state below; read-locked by slow-path lookups
 	sessions map[uint64]*session
 	nextSess uint64
 	closed   bool
@@ -114,10 +114,16 @@ type Server struct {
 	saveMu        sync.Mutex    // serializes state-snapshot writers
 	stopSnapshots chan struct{} // closed by Close; ends the periodic snapshot loop
 
-	labMu          sync.Mutex                        // guards the three per-lab maps below
-	labLimits      map[string]*admission.TokenBucket // lazily created; forgotten on teardown
-	shedByLab      map[string]uint64                 // cumulative fair-share sheds by lab
-	throttledByLab map[string]uint64                 // cumulative token-bucket drops by lab
+	labMu     sync.Mutex                        // guards the two per-lab maps below
+	labLimits map[string]*admission.TokenBucket // lazily created; forgotten on teardown
+	labStats  map[string]*labCounters           // cumulative per-lab shed/throttle atomics
+
+	// The forwarding snapshot (see fwd.go): fwd holds the immutable
+	// table the packet path reads lock-free; fwdGen numbers control-
+	// plane mutations; fwdMu serializes (and coalesces) rebuilds.
+	fwd    atomic.Pointer[fwdTable]
+	fwdGen atomic.Uint64
+	fwdMu  sync.Mutex
 
 	accepting atomic.Bool // accept loop liveness, reported by Health
 }
@@ -127,10 +133,14 @@ type session struct {
 	id   uint64
 	conn net.Conn
 
-	writeMu sync.Mutex             // serializes raw writes until wc exists
-	wc      *wire.Conn             // asynchronous batched writer, set after join
-	comp    *compress.Compressor   // outbound, nil if not negotiated
-	decomp  *compress.Decompressor // inbound, nil if not negotiated
+	writeMu sync.Mutex                // serializes raw writes until wc exists
+	wc      atomic.Pointer[wire.Conn] // asynchronous batched writer, set after join
+	comp    *compress.Compressor      // outbound, nil if not negotiated
+	decomp  *compress.Decompressor    // inbound, nil if not negotiated
+
+	// seq counts inbound packets for latency sampling. One goroutine
+	// reads a session's frames, so this atomic is uncontended.
+	seq atomic.Uint64
 
 	pcName  string
 	routers []uint32
@@ -140,12 +150,14 @@ type session struct {
 // batched writer exists) it writes synchronously; afterwards control
 // frames ride the send queue, where they are never dropped.
 func (s *session) writeFrame(f wire.Frame) error {
-	s.writeMu.Lock()
-	if wc := s.wc; wc != nil {
-		s.writeMu.Unlock()
+	if wc := s.wc.Load(); wc != nil {
 		return wc.SendFrame(f)
 	}
+	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	if wc := s.wc.Load(); wc != nil {
+		return wc.SendFrame(f)
+	}
 	return wire.WriteFrame(s.conn, f)
 }
 
@@ -153,7 +165,7 @@ func (s *session) writeFrame(f wire.Frame) error {
 // handoff orders it after any in-flight raw write.
 func (s *session) setConn(wc *wire.Conn) {
 	s.writeMu.Lock()
-	s.wc = wc
+	s.wc.Store(wc)
 	s.writeMu.Unlock()
 }
 
@@ -166,11 +178,10 @@ func (s *session) writePacket(m wire.PacketMsg) error {
 
 // writePacketClass queues one packet tagged with its shedding class (the
 // destination lab), so a saturated send queue sheds the noisiest lab's
-// frames first instead of whoever queued earliest.
+// frames first instead of whoever queued earliest. One atomic load, no
+// locks: this sits on the per-frame forwarding path.
 func (s *session) writePacketClass(class string, m wire.PacketMsg) error {
-	s.writeMu.Lock()
-	wc := s.wc
-	s.writeMu.Unlock()
+	wc := s.wc.Load()
 	if wc == nil {
 		return fmt.Errorf("routeserver: session %d not ready", s.id)
 	}
@@ -192,17 +203,19 @@ func New(opts Options) *Server {
 		matrix:        newMatrix(),
 		captures:      newCaptureHub(),
 		consoles:      newConsoleHub(),
-		sessions:       make(map[uint64]*session),
-		nextSess:       1,
-		gcTimers:       make(map[uint32]*time.Timer),
-		stopSnapshots:  make(chan struct{}),
-		labLimits:      make(map[string]*admission.TokenBucket),
-		shedByLab:      make(map[string]uint64),
-		throttledByLab: make(map[string]uint64),
+		sessions:      make(map[uint64]*session),
+		nextSess:      1,
+		gcTimers:      make(map[uint32]*time.Timer),
+		stopSnapshots: make(chan struct{}),
+		labLimits:     make(map[string]*admission.TokenBucket),
+		labStats:      make(map[string]*labCounters),
 	}
 	if opts.StateDir != "" {
 		s.loadState()
 	}
+	// Publish the initial forwarding snapshot (covering any restored
+	// state) so the packet path never sees a nil table.
+	s.rebuildFwd(0)
 	return s
 }
 
@@ -284,9 +297,9 @@ func (s *Server) OnChange(fn func()) {
 }
 
 func (s *Server) fireChange() {
-	s.mu.Lock()
+	s.mu.RLock()
 	cbs := append([]func(){}, s.onChange...)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	for _, cb := range cbs {
 		cb()
 	}
@@ -404,9 +417,7 @@ func (s *Server) serveSession(sess *session) {
 		OnShed: func(class string, n int) {
 			s.stats.PacketsDropped.Add(uint64(n))
 			mPacketsDropped.Add(uint64(n))
-			s.labMu.Lock()
-			s.shedByLab[class] += uint64(n)
-			s.labMu.Unlock()
+			s.countShed(class, uint64(n))
 		},
 	})
 	sess.setConn(wc)
@@ -415,9 +426,18 @@ func (s *Server) serveSession(sess *session) {
 	// The read deadline (3 missed keepalives at the defaults) tears down
 	// half-open peers that TCP alone never notices; the RIS sends a
 	// keepalive every interval, so a healthy session always refreshes.
+	// Re-arming mutates a runtime-pollster timer under its lock, so the
+	// hot loop coalesces: the deadline is pushed out at most once per
+	// quarter-timeout instead of once per frame. A busy tunnel still
+	// re-arms every window; a silent one is dropped within [¾t, t].
 	fr := wire.NewFrameReader(sess.conn)
+	defer fr.Close()
+	var armed time.Time
 	for {
-		sess.conn.SetReadDeadline(time.Now().Add(timeout))
+		if now := time.Now(); now.Sub(armed) > timeout/4 {
+			sess.conn.SetReadDeadline(now.Add(timeout))
+			armed = now
+		}
 		f, err := fr.Next()
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
@@ -522,6 +542,10 @@ func (s *Server) handshake(sess *session) error {
 		ackMsg.Routers = append(ackMsg.Routers, assign)
 		sess.routers = append(sess.routers, reg.ID)
 	}
+	// Publish the joined routers (and any reinstalled routes) to the
+	// forwarding snapshot before acking, so the agent's first data frame
+	// finds its wires.
+	s.bumpFwd()
 	joinAck, err := wire.EncodeJSON(wire.MsgJoinAck, ackMsg)
 	if err != nil {
 		return err
@@ -556,6 +580,7 @@ func (s *Server) dropSession(sess *session) {
 			s.scheduleGC(ref.id, ref.epoch, grace)
 		}
 		if len(offline) > 0 {
+			s.bumpFwd()
 			s.log.Info("RIS left; routers offline awaiting re-join",
 				"session", sess.id, "routers", len(offline), "grace", grace)
 			s.fireChange()
@@ -569,6 +594,7 @@ func (s *Server) dropSession(sess *session) {
 		s.consoles.dropRouter(id)
 	}
 	if len(gone) > 0 {
+		s.bumpFwd()
 		s.log.Info("RIS left", "session", sess.id, "routers", len(gone))
 		s.fireChange()
 		s.persist()
@@ -611,6 +637,7 @@ func (s *Server) gcRouter(id uint32, epoch uint64) {
 	s.mu.Unlock()
 	s.countLabsLost(s.matrix.dropRouter(id), id)
 	s.consoles.dropRouter(id)
+	s.bumpFwd()
 	s.log.Info("router grace expired; pruned", "router", info.Name, "pc", info.PC)
 	s.fireChange()
 	s.persist()
@@ -626,20 +653,25 @@ func (s *Server) countLabsLost(lost []string, routerID uint32) {
 	}
 }
 
-// sessionFor finds the session owning a router.
+// sessionFor finds the session owning a router — a slow-path accessor
+// (console open, injection fallback). It reads the registry through the
+// cheap sessionIDFor accessor and only read-locks the session map, so
+// it never contends with the control plane's exclusive section.
 func (s *Server) sessionFor(routerID uint32) (*session, bool) {
-	r, ok := s.reg.get(routerID)
-	if !ok {
+	sid, ok := s.reg.sessionIDFor(routerID)
+	if !ok || sid == 0 {
 		return nil, false
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[r.sessionID]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sess, ok := s.sessions[sid]
 	return sess, ok
 }
 
-// handlePacket is the forwarding fast path (paper Fig. 4): unwrap, look up
-// the routing matrix, wrap, send to the destination RIS.
+// handlePacket is the forwarding fast path (paper Fig. 4): unwrap, look
+// up the forwarding snapshot, wrap, queue to the destination RIS. One
+// atomic load plus one map lookup; zero mutexes (the snapshot precomputes
+// everything the old path took five locks to resolve).
 func (s *Server) handlePacket(sess *session, payload []byte) {
 	m, err := wire.DecodePacket(payload)
 	if err != nil {
@@ -658,32 +690,86 @@ func (s *Server) handlePacket(sess *session, payload []byte) {
 			return
 		}
 	}
+	// Sample forwarding latency 1-in-64: two clock reads plus a shared
+	// histogram per frame would cost more than the forwarding itself.
+	sample := sess.seq.Add(1)&63 == 0
+	var start time.Time
+	if sample {
+		start = time.Now()
+	}
 	src := PortKey{Router: m.RouterID, Port: m.PortID}
 	s.captures.deliver(src, DirFromPort, data, &s.stats)
 
-	dst, ok := s.matrix.lookup(src)
+	e, ok := s.fwd.Load().routes[src]
 	if !ok {
 		s.stats.PacketsNoRoute.Add(1)
 		mPacketsNoRoute.Inc()
 		return
 	}
-	s.deliverToPort(dst, data)
+	s.forward(e, data)
+	if sample {
+		mFwdLatency.Observe(time.Since(start).Seconds())
+	}
 }
 
-// deliverToPort sends a frame toward a router port via its RIS. The
-// frame is classified by the lab owning the destination router: the
-// class feeds the per-lab rate limiter (when configured) and tags the
-// queued packet so a saturated send queue sheds fairly per lab.
+// forward delivers a frame to its precomputed snapshot entry: capture
+// tap check (one atomic when untapped), optional per-lab token bucket,
+// then the destination session's send queue. No locks are taken on the
+// untapped, unlimited path.
+func (s *Server) forward(e *fwdEntry, data []byte) {
+	s.captures.deliver(e.dst, DirToPort, data, &s.stats)
+	if e.limiter != nil && !e.limiter.Allow(1) {
+		s.stats.PacketsThrottled.Add(1)
+		mPacketsThrottled.Inc()
+		admission.Throttled(1)
+		e.throttled.Add(1)
+		return
+	}
+	sess := e.sess
+	if sess == nil {
+		// Destination RIS offline (grace period): no live route.
+		s.stats.PacketsNoRoute.Add(1)
+		mPacketsNoRoute.Inc()
+		return
+	}
+	err := sess.writePacketClass(e.lab, wire.PacketMsg{RouterID: e.dst.Router, PortID: e.dst.Port, Data: data})
+	if err == nil {
+		s.stats.PacketsForwarded.Add(1)
+		s.stats.BytesForwarded.Add(uint64(len(data)))
+		mPacketsForwarded.Inc()
+		mBytesForwarded.Add(uint64(len(data)))
+	} else {
+		// The session died between snapshot publish and this frame (at
+		// most one mutation stale): account it like any dead route so
+		// injected == forwarded + no_route + throttled stays exact.
+		s.stats.PacketsNoRoute.Add(1)
+		mPacketsNoRoute.Inc()
+	}
+}
+
+// deliverToPort sends a frame toward a router port via its RIS — the
+// injection path (traffic generation, streams). Wired or not, every
+// registered port has a snapshot entry; the locked fallback only runs
+// when an injection races a registration ahead of its rebuild.
 func (s *Server) deliverToPort(dst PortKey, data []byte) {
+	if e, ok := s.fwd.Load().ports[dst]; ok {
+		s.forward(e, data)
+		return
+	}
+	s.deliverToPortSlow(dst, data)
+}
+
+// deliverToPortSlow is the pre-snapshot delivery path, kept for ports
+// the current snapshot does not know yet. It resolves ownership, rate
+// limit and session under the source-of-truth locks.
+func (s *Server) deliverToPortSlow(dst PortKey, data []byte) {
 	s.captures.deliver(dst, DirToPort, data, &s.stats)
 	lab := s.matrix.ownerOf(dst.Router)
 	if lab != "" && s.opts.LabRateLimit > 0 && !s.labLimiter(lab).Allow(1) {
 		s.stats.PacketsThrottled.Add(1)
 		mPacketsThrottled.Inc()
 		admission.Throttled(1)
-		s.labMu.Lock()
-		s.throttledByLab[lab]++
-		s.labMu.Unlock()
+		s.labCounter(lab).throttled.Add(1)
 		return
 	}
 	dstSess, ok := s.sessionFor(dst.Router)
@@ -698,54 +784,10 @@ func (s *Server) deliverToPort(dst PortKey, data []byte) {
 		s.stats.BytesForwarded.Add(uint64(len(data)))
 		mPacketsForwarded.Inc()
 		mBytesForwarded.Add(uint64(len(data)))
+	} else {
+		s.stats.PacketsNoRoute.Add(1)
+		mPacketsNoRoute.Inc()
 	}
-}
-
-// labLimiter returns (creating on first use) the token bucket for a lab.
-func (s *Server) labLimiter(lab string) *admission.TokenBucket {
-	s.labMu.Lock()
-	defer s.labMu.Unlock()
-	b := s.labLimits[lab]
-	if b == nil {
-		b = admission.NewTokenBucket(s.opts.LabRateLimit, s.opts.LabRateBurst)
-		s.labLimits[lab] = b
-	}
-	return b
-}
-
-// forgetLab drops a torn-down lab's rate limiter and ledger entries so a
-// future deployment reusing the name starts fresh, and so the per-lab
-// maps cannot grow without bound as labs come and go. The global
-// counters (stats, obs metrics) keep the history.
-func (s *Server) forgetLab(name string) {
-	s.labMu.Lock()
-	delete(s.labLimits, name)
-	delete(s.shedByLab, name)
-	delete(s.throttledByLab, name)
-	s.labMu.Unlock()
-}
-
-// ShedByLab snapshots cumulative fair-share sheds per lab ("" collects
-// packets for routers not owned by any deployment).
-func (s *Server) ShedByLab() map[string]uint64 {
-	s.labMu.Lock()
-	defer s.labMu.Unlock()
-	out := make(map[string]uint64, len(s.shedByLab))
-	for k, v := range s.shedByLab {
-		out[k] = v
-	}
-	return out
-}
-
-// ThrottledByLab snapshots cumulative token-bucket drops per lab.
-func (s *Server) ThrottledByLab() map[string]uint64 {
-	s.labMu.Lock()
-	defer s.labMu.Unlock()
-	out := make(map[string]uint64, len(s.throttledByLab))
-	for k, v := range s.throttledByLab {
-		out[k] = v
-	}
-	return out
 }
 
 // InjectPacket sends an arbitrary frame to a router port — the traffic

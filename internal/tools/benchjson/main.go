@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a benchstat-friendly JSON document on stdout, so benchmark runs can be
+// committed (BENCH_fastpath.json) and diffed across PRs without parsing
+// free text. Context lines (goos/goarch/cpu/pkg) are captured so a
+// recorded run states the machine it came from.
+//
+// Usage: go test -run '^$' -bench X ./... | go run ./internal/tools/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line, e.g.
+//
+//	BenchmarkForwardFastPath/base-8  1202714  955.2 ns/op  211 B/op  1 allocs/op
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit → value ("ns/op", "B/op", ...)
+	Raw        string             `json:"raw"`
+}
+
+// Report is the whole run.
+type Report struct {
+	Context    map[string]string `json:"context"` // goos, goarch, cpu, pkg
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"),
+			strings.HasPrefix(line, "pkg:"):
+			k, v, _ := strings.Cut(line, ":")
+			rep.Context[k] = strings.TrimSpace(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench splits "BenchmarkX-8  N  <value unit>..." into fields. Any
+// value/unit pair is kept, so custom b.ReportMetric units survive.
+func parseBench(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}, Raw: line}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}

@@ -122,7 +122,8 @@ type Conn struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []sendEntry
-	npkt   int                // packet entries currently queued
+	head   int                // queue[:head] holds only shed tombstones
+	npkt   int                // live packet entries currently queued
 	shed   *admission.Shedder // per-class occupancy; guarded by mu
 	closed bool
 	err    error
@@ -217,16 +218,26 @@ func (c *Conn) SendPacketClass(class string, m PacketMsg) error {
 	c.npkt++
 	c.shed.Enqueued(class)
 	if c.npkt > c.cfg.QueueLen {
+		// Shed the oldest live packet of the victim class by tombstoning
+		// it in place (payload nil; the writer skips it). No slice shift:
+		// the old splice memmoved up to the whole queue per drop while
+		// holding mu, which starved the writer and froze the queue at
+		// capacity. The head hint keeps the scan O(1) amortized when one
+		// class dominates — exactly the saturation case.
 		victim = c.shed.Victim()
-		for i := range c.queue {
-			if c.queue[i].packet && c.queue[i].class == victim {
-				putBuf(c.queue[i].payload)
-				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+		for i := c.head; i < len(c.queue); i++ {
+			e := &c.queue[i]
+			if e.packet && e.payload != nil && e.class == victim {
+				putBuf(e.payload)
+				e.payload = nil
 				c.npkt--
 				c.shed.Shed(victim)
 				dropped++
 				break
 			}
+		}
+		for c.head < len(c.queue) && c.queue[c.head].packet && c.queue[c.head].payload == nil {
+			c.head++
 		}
 	}
 	c.stats.FramesEnqueued.Add(1)
@@ -290,12 +301,19 @@ func (c *Conn) writeLoop() {
 			return
 		}
 		batch, c.queue = c.queue, batch[:0]
+		c.head = 0
 		c.npkt = 0
 		c.shed.Reset() // queue drained wholesale: occupancy back to zero
 		closing := c.closed
 		c.mu.Unlock()
-		mQueueDepth.Add(int64(-len(batch)))
-		mBatchFrames.Observe(float64(len(batch)))
+		live := 0
+		for i := range batch {
+			if batch[i].payload != nil {
+				live++
+			}
+		}
+		mQueueDepth.Add(int64(-live))
+		mBatchFrames.Observe(float64(live))
 
 		timeout := c.cfg.WriteTimeout
 		if closing && timeout > closeGrace {
@@ -309,6 +327,9 @@ func (c *Conn) writeLoop() {
 		var err error
 		written := 0
 		for i := range batch {
+			if batch[i].payload == nil {
+				continue // shed tombstone, already uncounted
+			}
 			if err == nil {
 				if err = c.writeEntry(batch[i]); err == nil {
 					written++
@@ -379,12 +400,16 @@ func (c *Conn) fail(err error) {
 	if c.err == nil {
 		c.err = err
 	}
-	discarded := len(c.queue)
+	discarded := 0
 	for i := range c.queue {
-		putBuf(c.queue[i].payload)
-		c.queue[i].payload = nil
+		if c.queue[i].payload != nil {
+			discarded++
+			putBuf(c.queue[i].payload)
+			c.queue[i].payload = nil
+		}
 	}
 	c.queue = nil
+	c.head = 0
 	c.npkt = 0
 	c.shed.Reset()
 	c.mu.Unlock()
@@ -392,19 +417,38 @@ func (c *Conn) fail(err error) {
 	c.nc.Close()
 }
 
+// readBufPool recycles FrameReader payload buffers across reader
+// lifetimes, so session churn (tunnel flaps, reconnects) reaches a
+// steady state with zero read-side payload allocations.
+var readBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
 // FrameReader reads frames with a reused payload buffer, eliminating the
 // per-frame allocation of ReadFrame on the hot receive path. The
 // returned Frame's payload is only valid until the next call to Next;
 // consumers that retain it must copy (every consumer in this repo either
-// copies or finishes with the payload synchronously).
+// copies or finishes with the payload synchronously). Call Close when
+// done to return the payload buffer to a pool shared by all readers.
 type FrameReader struct {
 	br  *bufio.Reader
-	buf []byte
+	buf *[]byte
 }
 
 // NewFrameReader wraps r (typically a net.Conn).
 func NewFrameReader(r io.Reader) *FrameReader {
-	return &FrameReader{br: bufio.NewReaderSize(r, DefaultWriteBufSize)}
+	return &FrameReader{
+		br:  bufio.NewReaderSize(r, DefaultWriteBufSize),
+		buf: readBufPool.Get().(*[]byte),
+	}
+}
+
+// Close recycles the reader's payload buffer. The reader must not be
+// used again, and payloads returned by Next are invalid after Close.
+// Safe to call more than once.
+func (fr *FrameReader) Close() {
+	if fr.buf != nil {
+		readBufPool.Put(fr.buf)
+		fr.buf = nil
+	}
 }
 
 // Next reads one frame. The payload aliases the reader's internal buffer.
@@ -420,10 +464,13 @@ func (fr *FrameReader) Next() (Frame, error) {
 	f := Frame{Type: MsgType(hdr[4])}
 	if n > 1 {
 		need := int(n - 1)
-		if cap(fr.buf) < need {
-			fr.buf = make([]byte, need)
+		if fr.buf == nil { // closed; be defensive rather than crash
+			fr.buf = readBufPool.Get().(*[]byte)
 		}
-		f.Payload = fr.buf[:need]
+		if cap(*fr.buf) < need {
+			*fr.buf = make([]byte, need)
+		}
+		f.Payload = (*fr.buf)[:need]
 		if _, err := io.ReadFull(fr.br, f.Payload); err != nil {
 			return Frame{}, err
 		}
