@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race soak bench bench-fast
+.PHONY: verify build test race soak sim bench bench-fast
 
 # Tier-1 gate (keep in sync with ROADMAP.md). The 1-iteration bench
 # smoke keeps the fast-path benchmark compiling and running without
@@ -9,8 +9,17 @@ verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/...
+	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/... ./internal/detsim/...
 	$(GO) test -run '^$$' -bench ForwardFastPath -benchtime 1x ./internal/routeserver/
+	$(MAKE) sim
+
+# Deterministic cluster simulation: the pinned seed corpus plus
+# SIM_SEEDS fresh random seeds (a failure prints the seed; replay it
+# exactly with DETSIM_SEED=<seed> go test ./internal/detsim/ -run RandomSeeds).
+SIM_SEEDS ?= 10
+sim:
+	$(GO) test -count=1 ./internal/detsim/
+	DETSIM_RANDOM=$(SIM_SEEDS) $(GO) test -count=1 -run RandomSeeds ./internal/detsim/
 
 build:
 	$(GO) build ./...

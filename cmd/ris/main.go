@@ -27,12 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only when -pprof is set
 	"os"
 	"os/signal"
+	rnllog "rnl/internal/log"
 	"syscall"
 
 	"rnl/internal/device"
@@ -158,7 +158,7 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log := rnllog.New(rnllog.Options{W: os.Stderr})
 	if *pprofAddr != "" {
 		go func() {
 			log.Info("pprof listening", "addr", *pprofAddr)

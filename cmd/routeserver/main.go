@@ -9,7 +9,6 @@ package main
 
 import (
 	"flag"
-	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only when -pprof is set
 	"os"
@@ -19,6 +18,7 @@ import (
 	"time"
 
 	"rnl/internal/api"
+	rnllog "rnl/internal/log"
 	"rnl/internal/reservation"
 	"rnl/internal/routeserver"
 	"rnl/internal/sim"
@@ -43,7 +43,7 @@ func main() {
 		noAdmission    = flag.Bool("no-admission", false, "disable web API admission control and idempotency caching")
 	)
 	flag.Parse()
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log := rnllog.New(rnllog.Options{W: os.Stderr})
 	if *pprofAddr != "" {
 		go func() {
 			log.Info("pprof listening", "addr", *pprofAddr)

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"rnl/internal/obs"
+	"rnl/internal/sim"
 )
 
 // ErrOverloaded is returned by Gate.Acquire when the gate (including its
@@ -46,19 +47,30 @@ var ErrOverloaded = errors.New("admission: overloaded")
 // refill up to burst. A rate <= 0 disables limiting (Allow always true).
 type TokenBucket struct {
 	mu     sync.Mutex
+	clock  sim.Clock
 	rate   float64
 	burst  float64
 	tokens float64
 	last   time.Time
 }
 
-// NewTokenBucket returns a full bucket. burst <= 0 defaults to rate (one
-// second of credit); both <= 0 means unlimited.
+// NewTokenBucket returns a full bucket on the wall clock. burst <= 0
+// defaults to rate (one second of credit); both <= 0 means unlimited.
 func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return NewTokenBucketClock(rate, burst, sim.Real{})
+}
+
+// NewTokenBucketClock is NewTokenBucket with an injected clock; a nil
+// clock means wall time. Refill is computed from clock.Now deltas, so on
+// a fake clock tokens refill only when the test advances time.
+func NewTokenBucketClock(rate, burst float64, clock sim.Clock) *TokenBucket {
 	if burst <= 0 {
 		burst = rate
 	}
-	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+	if clock == nil {
+		clock = sim.Real{}
+	}
+	return &TokenBucket{clock: clock, rate: rate, burst: burst, tokens: burst, last: clock.Now()}
 }
 
 // Allow consumes n tokens if available and reports whether it could.
@@ -68,7 +80,7 @@ func (b *TokenBucket) Allow(n float64) bool {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	now := time.Now()
+	now := b.clock.Now()
 	b.tokens += now.Sub(b.last).Seconds() * b.rate
 	if b.tokens > b.burst {
 		b.tokens = b.burst
@@ -159,6 +171,9 @@ type GateConfig struct {
 	QueueWait time.Duration
 	// RetryAfter is the hint handed to rejected callers (default 1s).
 	RetryAfter time.Duration
+	// Clock drives the queue-wait deadline and wait-time metrics; nil
+	// means wall time.
+	Clock sim.Clock
 }
 
 // Gate is a bounded-concurrency admission controller for one endpoint
@@ -192,6 +207,9 @@ func NewGate(name string, cfg GateConfig) *Gate {
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.Real{}
 	}
 	return &Gate{
 		cfg:      cfg,
@@ -229,14 +247,15 @@ func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 		g.queued.Add(-1)
 		g.depth.Dec()
 	}()
-	timer := time.NewTimer(g.cfg.QueueWait)
+	deadline := make(chan struct{})
+	timer := g.cfg.Clock.AfterFunc(g.cfg.QueueWait, func() { close(deadline) })
 	defer timer.Stop()
-	start := time.Now()
+	start := g.cfg.Clock.Now()
 	select {
 	case g.tokens <- struct{}{}:
-		g.waitHist.Observe(time.Since(start).Seconds())
+		g.waitHist.Observe(g.cfg.Clock.Now().Sub(start).Seconds())
 		return g.admit(), nil
-	case <-timer.C:
+	case <-deadline:
 		g.rejected.Inc()
 		return nil, ErrOverloaded
 	case <-ctx.Done():
@@ -269,7 +288,8 @@ func (g *Gate) InFlight() int { return len(g.tokens) }
 // first caller with a key runs the operation and Finishes the result;
 // duplicates wait on Done and replay it.
 type IdemResult struct {
-	done chan struct{}
+	done  chan struct{}
+	clock sim.Clock // owning cache's clock, for the finishedAt stamp
 
 	status      int
 	contentType string
@@ -291,7 +311,11 @@ func (r *IdemResult) Finish(status int, contentType string, body []byte) {
 	r.status = status
 	r.contentType = contentType
 	r.body = body
-	r.finishedAt = time.Now()
+	if r.clock != nil {
+		r.finishedAt = r.clock.Now()
+	} else {
+		r.finishedAt = time.Now()
+	}
 	close(r.done)
 }
 
@@ -307,16 +331,27 @@ func (r *IdemResult) Result() (status int, contentType string, body []byte) {
 // after the TTL.
 type IdempotencyCache struct {
 	mu      sync.Mutex
+	clock   sim.Clock
 	ttl     time.Duration
 	entries map[string]*IdemResult
 }
 
-// NewIdempotencyCache builds a cache; ttl <= 0 defaults to 5 minutes.
+// NewIdempotencyCache builds a cache on the wall clock; ttl <= 0 defaults
+// to 5 minutes.
 func NewIdempotencyCache(ttl time.Duration) *IdempotencyCache {
+	return NewIdempotencyCacheClock(ttl, sim.Real{})
+}
+
+// NewIdempotencyCacheClock is NewIdempotencyCache with an injected clock
+// (nil means wall time); TTL expiry then follows virtual time.
+func NewIdempotencyCacheClock(ttl time.Duration, clock sim.Clock) *IdempotencyCache {
 	if ttl <= 0 {
 		ttl = 5 * time.Minute
 	}
-	return &IdempotencyCache{ttl: ttl, entries: make(map[string]*IdemResult)}
+	if clock == nil {
+		clock = sim.Real{}
+	}
+	return &IdempotencyCache{clock: clock, ttl: ttl, entries: make(map[string]*IdemResult)}
 }
 
 // Begin claims a key. dup=false: the caller owns the operation and must
@@ -330,7 +365,7 @@ func (c *IdempotencyCache) Begin(key string) (r *IdemResult, dup bool) {
 		mIdemHits.Inc()
 		return e, true
 	}
-	e := &IdemResult{done: make(chan struct{})}
+	e := &IdemResult{done: make(chan struct{}), clock: c.clock}
 	c.entries[key] = e
 	mIdemEntries.Set(int64(len(c.entries)))
 	return e, false
@@ -347,7 +382,7 @@ func (c *IdempotencyCache) Forget(key string) {
 
 // pruneLocked drops finished entries past the TTL.
 func (c *IdempotencyCache) pruneLocked() {
-	cutoff := time.Now().Add(-c.ttl)
+	cutoff := c.clock.Now().Add(-c.ttl)
 	for key, e := range c.entries {
 		select {
 		case <-e.done:
@@ -366,7 +401,16 @@ func (c *IdempotencyCache) pruneLocked() {
 // exponential growth from base, capped at max, with full jitter — the
 // classic decorrelated policy that keeps a thundering herd of retrying
 // clients from re-synchronizing on the server they just overloaded.
+// Jitter comes from the process-global PRNG; simulations that need a
+// reproducible schedule use BackoffRand with a seeded source.
 func Backoff(attempt int, base, max time.Duration) time.Duration {
+	return BackoffRand(nil, attempt, base, max)
+}
+
+// BackoffRand is Backoff drawing jitter from rng (nil means the global
+// PRNG). With a seeded *rand.Rand the retry schedule is deterministic,
+// which detsim relies on for replay.
+func BackoffRand(rng *rand.Rand, attempt int, base, max time.Duration) time.Duration {
 	if base <= 0 {
 		base = 100 * time.Millisecond
 	}
@@ -382,5 +426,9 @@ func Backoff(attempt int, base, max time.Duration) time.Duration {
 	if d <= lo {
 		return d
 	}
-	return lo + time.Duration(rand.Int63n(int64(d-lo)+1))
+	span := int64(d-lo) + 1
+	if rng != nil {
+		return lo + time.Duration(rng.Int63n(span))
+	}
+	return lo + time.Duration(rand.Int63n(span))
 }

@@ -2,13 +2,17 @@ package admission
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
+
+	"rnl/internal/sim"
 )
 
 func TestTokenBucketRate(t *testing.T) {
-	b := NewTokenBucket(100, 10)
+	clock := sim.NewFake(time.Unix(0, 0))
+	b := NewTokenBucketClock(100, 10, clock)
 	// The bucket starts full: exactly burst tokens available at once.
 	allowed := 0
 	for i := 0; i < 50; i++ {
@@ -19,16 +23,16 @@ func TestTokenBucketRate(t *testing.T) {
 	if allowed != 10 {
 		t.Fatalf("burst allowed %d, want 10", allowed)
 	}
-	// Refill: 100/s for 100ms is ~10 more tokens.
-	time.Sleep(120 * time.Millisecond)
+	// Refill: 100/s for 100ms is exactly 10 more tokens on the fake clock.
+	clock.Advance(100 * time.Millisecond)
 	allowed = 0
 	for i := 0; i < 50; i++ {
 		if b.Allow(1) {
 			allowed++
 		}
 	}
-	if allowed < 8 || allowed > 13 {
-		t.Fatalf("after refill allowed %d, want ~10", allowed)
+	if allowed != 10 {
+		t.Fatalf("after refill allowed %d, want exactly 10", allowed)
 	}
 }
 
@@ -142,21 +146,35 @@ func TestGateQueueAdmitsWhenSlotFrees(t *testing.T) {
 }
 
 func TestGateQueueDeadline(t *testing.T) {
-	g := NewGate("testdeadline", GateConfig{MaxInFlight: 1, MaxQueue: 4, QueueWait: 30 * time.Millisecond, RetryAfter: 7 * time.Second})
+	clock := sim.NewFake(time.Unix(0, 0))
+	g := NewGate("testdeadline", GateConfig{MaxInFlight: 1, MaxQueue: 4, QueueWait: 30 * time.Second, RetryAfter: 7 * time.Second, Clock: clock})
 	release, err := g.Acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer release()
-	start := time.Now()
-	if _, err := g.Acquire(context.Background()); err != ErrOverloaded {
-		t.Fatalf("queued past deadline = %v, want ErrOverloaded", err)
-	}
-	if e := time.Since(start); e < 20*time.Millisecond {
-		t.Fatalf("rejected after %v, before the queue deadline", e)
-	}
-	if g.RetryAfter() != 7*time.Second {
-		t.Fatalf("RetryAfter = %v", g.RetryAfter())
+	got := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(context.Background())
+		got <- err
+	}()
+	// Drive virtual time until the queued caller's deadline fires. No
+	// real 30s pass; each Advance is a full queue-wait, so the caller is
+	// rejected as soon as it has registered its timer.
+	for {
+		select {
+		case err := <-got:
+			if err != ErrOverloaded {
+				t.Fatalf("queued past deadline = %v, want ErrOverloaded", err)
+			}
+			if g.RetryAfter() != 7*time.Second {
+				t.Fatalf("RetryAfter = %v", g.RetryAfter())
+			}
+			return
+		default:
+			clock.Advance(30 * time.Second)
+			time.Sleep(time.Millisecond)
+		}
 	}
 }
 
@@ -255,10 +273,11 @@ func TestIdempotencySingleFlight(t *testing.T) {
 }
 
 func TestIdempotencyExpiry(t *testing.T) {
-	c := NewIdempotencyCache(20 * time.Millisecond)
+	clock := sim.NewFake(time.Unix(0, 0))
+	c := NewIdempotencyCacheClock(time.Minute, clock)
 	r, _ := c.Begin("gone")
 	r.Finish(200, "", nil)
-	time.Sleep(40 * time.Millisecond)
+	clock.Advance(2 * time.Minute)
 	if _, dup := c.Begin("gone"); dup {
 		t.Fatal("expired key must not replay")
 	}
@@ -291,5 +310,22 @@ func TestBackoffGrowthAndJitter(t *testing.T) {
 	// Defaults kick in for zero parameters.
 	if d := Backoff(3, 0, 0); d <= 0 {
 		t.Fatalf("default backoff = %v", d)
+	}
+}
+
+func TestBackoffRandDeterministic(t *testing.T) {
+	schedule := func() []time.Duration {
+		rng := rand.New(rand.NewSource(42))
+		var out []time.Duration
+		for attempt := 0; attempt < 8; attempt++ {
+			out = append(out, BackoffRand(rng, attempt, 100*time.Millisecond, 2*time.Second))
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: %v vs %v — seeded backoff must be reproducible", i, a[i], b[i])
+		}
 	}
 }

@@ -6,14 +6,18 @@ import (
 
 	"rnl/internal/api"
 	"rnl/internal/lab"
+	"rnl/internal/sim"
 	"rnl/internal/topology"
 )
 
 // TestExpiredReservationReclaimedOnDeploy is the paper's expiry rule:
 // "when the reservation expires, the router connections could be torn
-// down when the next user deploys her test lab design."
+// down when the next user deploys her test lab design." The whole cloud
+// runs on a fake clock so the reservation lapses by advancing virtual
+// time instead of sleeping through the window.
 func TestExpiredReservationReclaimedOnDeploy(t *testing.T) {
-	c := newTestCloud(t, lab.Options{})
+	clk := sim.NewFake(time.Unix(1_700_000_000, 0).UTC())
+	c := newTestCloud(t, lab.Options{Clock: clk})
 	if _, _, err := c.AddHost("ex-h1", "10.0.0.1/24", ""); err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +39,7 @@ func TestExpiredReservationReclaimedOnDeploy(t *testing.T) {
 	bobLab := mkDesign("bob-expiry-lab")
 
 	// Alice books a very short window and deploys.
-	now := time.Now()
+	now := clk.Now()
 	if _, err := c.Client.Reserve(api.ReserveRequest{
 		User: "alice", Routers: routers, Start: now.Add(-time.Minute), End: now.Add(250 * time.Millisecond),
 	}); err != nil {
@@ -52,16 +56,16 @@ func TestExpiredReservationReclaimedOnDeploy(t *testing.T) {
 		t.Fatal("bob's overlapping reservation should conflict")
 	}
 
-	// Let alice's reservation lapse. Her deployment is still wired up —
-	// nothing tears it down proactively.
-	time.Sleep(350 * time.Millisecond)
+	// Let alice's reservation lapse — purely virtually. Her deployment is
+	// still wired up; nothing tears it down proactively.
+	clk.Advance(300 * time.Millisecond)
 	if deps, _ := c.Client.Deployments(); len(deps) != 1 || deps[0].Name != aliceLab.Name {
 		t.Fatalf("alice's lab should still be deployed: %v", deps)
 	}
 
 	// Bob books the now-free window and deploys: alice's stale lab is
 	// torn down as part of his deploy.
-	now = time.Now()
+	now = clk.Now()
 	if _, err := c.Client.Reserve(api.ReserveRequest{
 		User: "bob", Routers: routers, Start: now.Add(-10 * time.Millisecond), End: now.Add(time.Hour),
 	}); err != nil {

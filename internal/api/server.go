@@ -20,6 +20,7 @@ import (
 	"rnl/internal/obs"
 	"rnl/internal/reservation"
 	"rnl/internal/routeserver"
+	"rnl/internal/sim"
 	"rnl/internal/topology"
 )
 
@@ -32,6 +33,7 @@ type Server struct {
 	dep   *topology.Deployer
 	log   *slog.Logger
 	token string
+	clock sim.Clock
 
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -124,6 +126,9 @@ type Config struct {
 	// Admission tunes overload protection; the zero value enables it
 	// with generous defaults.
 	Admission AdmissionConfig
+	// Clock drives admission gate waits, idempotency expiry and
+	// reservation "next free" lookups; nil means wall time.
+	Clock sim.Clock
 }
 
 // NewServer builds the web server (not yet listening).
@@ -132,12 +137,17 @@ func NewServer(cfg Config) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = sim.Real{}
+	}
 	s := &Server{
 		rs:    cfg.RouteServer,
 		store: cfg.Store,
 		cal:   cfg.Calendar,
 		log:   logger,
 		token: cfg.Token,
+		clock: clock,
 		dep: &topology.Deployer{
 			Server:         cfg.RouteServer,
 			Cal:            cfg.Calendar,
@@ -149,9 +159,13 @@ func NewServer(cfg Config) *Server {
 		nextStream: 1,
 	}
 	if !cfg.Admission.Disable {
-		s.mutateGate = admission.NewGate("api_mutate", cfg.Admission.mutateGate())
-		s.readGate = admission.NewGate("api_read", cfg.Admission.readGate())
-		s.idem = admission.NewIdempotencyCache(cfg.Admission.IdempotencyTTL)
+		mg := cfg.Admission.mutateGate()
+		mg.Clock = clock
+		rg := cfg.Admission.readGate()
+		rg.Clock = clock
+		s.mutateGate = admission.NewGate("api_mutate", mg)
+		s.readGate = admission.NewGate("api_read", rg)
+		s.idem = admission.NewIdempotencyCacheClock(cfg.Admission.IdempotencyTTL, clock)
 	}
 	return s
 }
@@ -517,7 +531,7 @@ func (s *Server) handleNextFree(w http.ResponseWriter, r *http.Request) {
 	if horizon == 0 {
 		horizon = 14 * 24 * time.Hour
 	}
-	start, err := s.cal.NextFree(req.Routers, req.Duration, time.Now(), horizon)
+	start, err := s.cal.NextFree(req.Routers, req.Duration, s.clock.Now(), horizon)
 	if err != nil {
 		writeError(w, http.StatusConflict, err)
 		return

@@ -13,6 +13,7 @@ import (
 
 	"rnl/internal/api"
 	"rnl/internal/packet"
+	"rnl/internal/sim"
 )
 
 // Matcher selects captured frames of interest.
@@ -55,6 +56,18 @@ func MatchICMP(icmpType uint8) Matcher {
 type Context struct {
 	Client *api.Client
 	Log    io.Writer
+	// Clock times Wait steps and probe observation windows; nil means
+	// wall time. Simulation runs inject sim.Fake so convergence waits
+	// complete the instant virtual time advances past them.
+	Clock sim.Clock
+}
+
+// clock resolves the step clock (wall time by default).
+func (c *Context) clock() sim.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return sim.Real{}
 }
 
 // Logf writes a progress line to the test log; steps use it to narrate
@@ -102,8 +115,19 @@ type Wait struct{ Duration time.Duration }
 // Describe implements Step.
 func (s Wait) Describe() string { return fmt.Sprintf("wait %v", s.Duration) }
 
-// Run implements Step.
-func (s Wait) Run(*Context) error { time.Sleep(s.Duration); return nil }
+// Run implements Step. The wait runs on the context clock, not a raw
+// time.Sleep: under a fake clock a convergence wait completes when the
+// scenario advances, instead of stalling the suite for real seconds.
+func (s Wait) Run(ctx *Context) error {
+	if s.Duration <= 0 {
+		return nil
+	}
+	done := make(chan struct{})
+	t := ctx.clock().AfterFunc(s.Duration, func() { close(done) })
+	defer t.Stop()
+	<-done
+	return nil
+}
 
 // Custom runs arbitrary Go (for assertions the declarative steps can't
 // express).
@@ -177,9 +201,10 @@ func (s Probe) Run(ctx *Context) error {
 		return fmt.Errorf("injecting: %w", err)
 	}
 
-	deadline := time.Now().Add(within)
+	clock := ctx.clock()
+	deadline := clock.Now().Add(within)
 	for {
-		remaining := time.Until(deadline)
+		remaining := deadline.Sub(clock.Now())
 		if remaining <= 0 {
 			break
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rnl/internal/api"
+	"rnl/internal/sim"
 )
 
 // TestCase is one automated network test: deploy a saved design, run the
@@ -44,6 +45,16 @@ type Runner struct {
 	Client *api.Client
 	// Log receives progress lines; nil discards.
 	Log io.Writer
+	// Clock times steps and waits; nil means wall time. It is passed
+	// through to each step's Context.
+	Clock sim.Clock
+}
+
+func (r *Runner) clock() sim.Clock {
+	if r.Clock != nil {
+		return r.Clock
+	}
+	return sim.Real{}
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -55,9 +66,10 @@ func (r *Runner) logf(format string, args ...any) {
 // Run executes one test case: automated "from topology setup, applying
 // configuration, testing, to topology tear down".
 func (r *Runner) Run(tc TestCase) Result {
-	start := time.Now()
+	clock := r.clock()
+	start := clock.Now()
 	res := Result{Name: tc.Name}
-	ctx := &Context{Client: r.Client, Log: r.Log}
+	ctx := &Context{Client: r.Client, Log: r.Log, Clock: r.Clock}
 	r.logf("=== TEST %s", tc.Name)
 
 	if tc.Design != "" {
@@ -65,7 +77,7 @@ func (r *Runner) Run(tc TestCase) Result {
 			Design: tc.Design, User: tc.User, RestoreConfigs: tc.RestoreConfigs,
 		}); err != nil {
 			res.Err = fmt.Errorf("deploy %q: %w", tc.Design, err)
-			res.Duration = time.Since(start)
+			res.Duration = clock.Now().Sub(start)
 			r.logf("--- FAIL %s (deploy: %v)", tc.Name, err)
 			return res
 		}
@@ -80,9 +92,9 @@ func (r *Runner) Run(tc TestCase) Result {
 
 	passed := true
 	for _, step := range tc.Steps {
-		st := time.Now()
+		st := clock.Now()
 		err := step.Run(ctx)
-		sr := StepResult{Description: step.Describe(), Err: err, Duration: time.Since(st)}
+		sr := StepResult{Description: step.Describe(), Err: err, Duration: clock.Now().Sub(st)}
 		res.Steps = append(res.Steps, sr)
 		if err != nil {
 			passed = false
@@ -92,7 +104,7 @@ func (r *Runner) Run(tc TestCase) Result {
 		r.logf("    ok   %s (%v)", sr.Description, sr.Duration.Round(time.Millisecond))
 	}
 	res.Passed = passed && res.Err == nil
-	res.Duration = time.Since(start)
+	res.Duration = clock.Now().Sub(start)
 	if res.Passed {
 		r.logf("--- PASS %s (%v)", tc.Name, res.Duration.Round(time.Millisecond))
 	} else {

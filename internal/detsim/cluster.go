@@ -1,0 +1,291 @@
+package detsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"time"
+
+	"rnl/internal/faultinject"
+	"rnl/internal/netsim"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+	"rnl/internal/sim"
+)
+
+// Cluster timing constants. Everything virtual runs on the fake clock;
+// the real-time constants below bound only how long the harness waits
+// for goroutines (dials, handshakes, queue drains) to settle between
+// virtual events.
+const (
+	// stepQuantum is the virtual time between scenario steps. It is
+	// deliberately enormous relative to every virtual timer in the
+	// cluster (redial backoff, keepalives) so that quiescing — which
+	// advances virtual time by a race-dependent amount — can always be
+	// realigned to the next canonical step boundary. Log records are
+	// written only at aligned instants, which is what makes replay logs
+	// byte-identical.
+	stepQuantum = time.Hour
+
+	// agentBackoff is the agents' initial redial delay (virtual). After
+	// a flap the harness advances past it in small chunks until the
+	// agents are back.
+	agentBackoff = 50 * time.Millisecond
+
+	// quiesceChunk is how much virtual time one quiesce iteration
+	// advances; quiesceReal is the real-time settle between chunks.
+	quiesceChunk = 50 * time.Millisecond
+	quiesceReal  = time.Millisecond
+
+	// quiesceLimit bounds a quiesce in real time; a cluster that cannot
+	// settle within it is broken, not slow.
+	quiesceLimit = 30 * time.Second
+
+	// labRate / labBurst configure per-lab throttling. The bucket only
+	// refills when virtual time advances, so with a full quantum between
+	// steps every step starts with a full burst allowance and overload
+	// outcomes are exact: min(burst, injected) forwarded, rest throttled.
+	labRate  = 100.0
+	labBurst = 50.0
+)
+
+// host is one simulated lab PC: a RIS agent fronting a single router
+// with one port, wired to a bare interface adapter. No emulated device
+// hangs off the adapter — delivered frames fall off the open end — so
+// the cluster generates no traffic the scenario didn't inject and the
+// packet ledger stays exact.
+type host struct {
+	name   string
+	nic    *netsim.Iface
+	agent  *ris.Agent
+	cancel context.CancelFunc
+}
+
+// cluster is the simulated deployment a scenario runs against: one
+// route server (restartable, state on disk) behind a fault-injection
+// controller, plus a fleet of reconnecting agents — all sharing one
+// fake clock.
+type cluster struct {
+	clock    *sim.Fake
+	ctl      *faultinject.Controller
+	stateDir string
+	addr     string
+	srv      *routeserver.Server
+	ln       net.Listener
+	hosts    []*host
+
+	// recoveriesWant is how many session recoveries the current server
+	// incarnation must have seen for the cluster to be settled (reset to
+	// zero by a restart, bumped by len(hosts) per flap/restart).
+	recoveriesWant uint64
+
+	// cum accumulates packet counters across server restarts (a restart
+	// resets the server's in-memory stats).
+	cum map[string]uint64
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func (c *cluster) serverOptions() routeserver.Options {
+	return routeserver.Options{
+		Logger: discardLogger(),
+		Clock:  c.clock,
+		// Dead-peer detection off: the scenario advances virtual time in
+		// huge jumps, and a virtual-time watchdog would tear down tunnels
+		// whose real TCP is perfectly healthy.
+		PeerTimeout: routeserver.NoPeerTimeout,
+		// Grace far beyond the scenario's total virtual duration: flaps
+		// and restarts must recover, never GC.
+		RouterGracePeriod: 1 << 20 * time.Hour,
+		StateDir:          c.stateDir,
+		LabRateLimit:      labRate,
+		LabRateBurst:      labBurst,
+	}
+}
+
+// startCluster brings up the server and n agents. Agents join strictly
+// one after another so router and port ID assignment is deterministic.
+func startCluster(clock *sim.Fake, stateDir string, n int) (*cluster, error) {
+	c := &cluster{
+		clock:    clock,
+		ctl:      faultinject.NewControllerClock(clock),
+		stateDir: stateDir,
+		cum:      map[string]uint64{},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	c.ln = ln
+	c.addr = ln.Addr().String()
+	c.srv = routeserver.New(c.serverOptions())
+	c.srv.Serve(c.ctl.WrapListener(ln))
+
+	for i := 0; i < n; i++ {
+		h, err := c.startHost(fmt.Sprintf("h%d", i))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.hosts = append(c.hosts, h)
+	}
+	return c, nil
+}
+
+// startHost creates one agent in reconnecting Run mode and blocks until
+// it has joined (so the next host's IDs are assigned after this one's).
+func (c *cluster) startHost(name string) (*host, error) {
+	h := &host{name: name, nic: netsim.NewIface("pc-" + name + "/eth0")}
+	agent, err := ris.New(ris.Config{
+		ServerAddr: c.addr,
+		PCName:     "pc-" + name,
+		Routers: []ris.RouterDef{{
+			Name:  name,
+			Model: "Linux Server",
+			Ports: []ris.PortMap{{Name: "eth0", NIC: h.nic}},
+		}},
+		Clock:       c.clock,
+		PeerTimeout: ris.NoPeerTimeout,
+		// Keepalives still flow (on virtual time) but far apart, so
+		// alignment advances don't flood the tunnels.
+		KeepaliveInterval: 10 * time.Minute,
+		ReconnectBackoff:  agentBackoff,
+		// Backoff resets after any full step quantum of connected time,
+		// so every flap starts from the same redial schedule.
+		ReconnectResetAfter: time.Minute,
+	}, discardLogger())
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h.agent = agent
+	h.cancel = cancel
+	go agent.Run(ctx)
+	deadline := time.Now().Add(quiesceLimit)
+	for agent.RouterID(name) == 0 {
+		if time.Now().After(deadline) {
+			cancel()
+			return nil, fmt.Errorf("detsim: host %s never joined", name)
+		}
+		time.Sleep(quiesceReal)
+	}
+	return h, nil
+}
+
+// portKey resolves host i's single port to its server-side key.
+func (c *cluster) portKey(i int) (routeserver.PortKey, error) {
+	h := c.hosts[i]
+	rid, pid, ok := h.agent.PortID(h.name, "eth0")
+	if !ok {
+		return routeserver.PortKey{}, fmt.Errorf("detsim: no port ID for %s", h.name)
+	}
+	return routeserver.PortKey{Router: rid, Port: pid}, nil
+}
+
+// settled reports whether the current server incarnation has every
+// router online and all expected recoveries counted.
+func (c *cluster) settled() bool {
+	if c.srv.StatsSnapshot()["recoveries"] < c.recoveriesWant {
+		return false
+	}
+	inv := c.srv.Inventory()
+	if len(inv) != len(c.hosts) {
+		return false
+	}
+	for _, r := range inv {
+		if !r.Online {
+			return false
+		}
+	}
+	return true
+}
+
+// quiesce drives the cluster back to a settled state: it advances
+// virtual time in small chunks (releasing redial backoff timers) and
+// yields real time for the dial/handshake goroutines to run. The amount
+// of virtual time consumed is race-dependent; callers realign to the
+// next canonical instant before logging anything.
+func (c *cluster) quiesce() error {
+	deadline := time.Now().Add(quiesceLimit)
+	for !c.settled() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("detsim: cluster failed to settle within %v", quiesceLimit)
+		}
+		c.clock.Advance(quiesceChunk)
+		time.Sleep(quiesceReal)
+	}
+	return nil
+}
+
+// flap kills every tunnel and waits for all agents to redial and
+// recover their identities. Returns how many connections were killed.
+func (c *cluster) flap() (int, error) {
+	killed := c.ctl.KillAll()
+	c.recoveriesWant += uint64(len(c.hosts))
+	return killed, c.quiesce()
+}
+
+// restart models a route-server crash: the server (and its listener)
+// goes away, a fresh incarnation restores the control plane from the
+// state directory, rebinds the same address, and the redialing agents
+// re-attach. The agents block on their virtual-time redial backoff
+// while the real-time rebind happens, so by the time quiesce advances
+// the clock the new listener is ready.
+func (c *cluster) restart() error {
+	c.accumulate()
+	c.srv.Close()
+	c.srv = routeserver.New(c.serverOptions())
+	var (
+		ln  net.Listener
+		err error
+	)
+	deadline := time.Now().Add(quiesceLimit)
+	for {
+		ln, err = net.Listen("tcp", c.addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("detsim: rebinding %s: %w", c.addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.ln = ln
+	c.srv.Serve(c.ctl.WrapListener(ln))
+	c.recoveriesWant = uint64(len(c.hosts))
+	return c.quiesce()
+}
+
+// accumulate folds the current server's packet counters into the
+// cross-restart totals.
+func (c *cluster) accumulate() {
+	for k, v := range c.srv.StatsSnapshot() {
+		c.cum[k] += v
+	}
+}
+
+// totals returns the cross-restart cumulative counters including the
+// live server's.
+func (c *cluster) totals() map[string]uint64 {
+	out := make(map[string]uint64, len(c.cum))
+	for k, v := range c.cum {
+		out[k] = v
+	}
+	for k, v := range c.srv.StatsSnapshot() {
+		out[k] += v
+	}
+	return out
+}
+
+func (c *cluster) Close() {
+	for _, h := range c.hosts {
+		h.cancel()
+	}
+	if c.srv != nil {
+		c.srv.Close()
+	}
+}

@@ -1,0 +1,621 @@
+// Package detsim is the deterministic whole-cluster simulation harness:
+// a route server, a fleet of reconnecting RIS agents and the
+// fault-injection controller all run on one shared fake clock, and a
+// seeded scenario interleaves deploys, teardowns, tunnel flaps, server
+// restarts, overload bursts and deployment churn against them. After
+// every step the harness checks invariants that must Always hold —
+// exact packet conservation, bounded forwarding-snapshot staleness,
+// single-winner reclaim, no delivery on a torn wire — and records which
+// Sometimes behaviours (throttling engaged, a flap recovered, ...) the
+// run exercised.
+//
+// Determinism contract: two runs of the same Scenario produce
+// byte-identical event logs. The log is written through internal/log on
+// the fake clock, and only at canonical virtual instants — the harness
+// "quiesces" real goroutine races (dials, handshakes) between those
+// instants and then realigns virtual time, so race-dependent timing
+// never leaks into the log. A failing seed therefore reproduces the
+// same step order, the same injected traffic and the same log bytes,
+// which is what makes a randomized-seed failure from CI replayable at a
+// desk.
+package detsim
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	rnllog "rnl/internal/log"
+	"rnl/internal/packet"
+	"rnl/internal/routeserver"
+	"rnl/internal/sim"
+)
+
+// Op is one scenario operation kind.
+type Op int
+
+// The scenario operations, in the order the seeded generator draws them.
+const (
+	OpDeploy Op = iota
+	OpTeardown
+	OpInject
+	OpOverload
+	OpFlap
+	OpRestart
+	OpChurn
+	numOps
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpDeploy:
+		return "deploy"
+	case OpTeardown:
+		return "teardown"
+	case OpInject:
+		return "inject"
+	case OpOverload:
+		return "overload"
+	case OpFlap:
+		return "flap"
+	case OpRestart:
+		return "restart"
+	case OpChurn:
+		return "churn"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Scenario describes one deterministic run.
+type Scenario struct {
+	// Seed drives every random choice: the step sequence and each
+	// step's parameters. Same seed, same scenario.
+	Seed int64
+	// Steps is how many operations to run (ignored when Ops is set).
+	Steps int
+	// Hosts is the agent fleet size (default 4, minimum 2).
+	Hosts int
+	// Ops, when non-nil, forces the exact operation sequence instead of
+	// drawing it from the seed. Parameters (which lab, which hosts) are
+	// still drawn from the seed.
+	Ops []Op
+}
+
+// Options tunes a run without affecting its determinism.
+type Options struct {
+	// StateDir is where the route server persists control-plane state
+	// (restarts restore from it). Empty means a private temp directory.
+	StateDir string
+	// Mirror, when non-nil, receives a live copy of the event log.
+	Mirror io.Writer
+}
+
+// Result is what a completed run reports.
+type Result struct {
+	// Log is the deterministic event log: byte-identical across runs of
+	// the same Scenario.
+	Log []byte
+	// Sometimes records which behaviours the run exercised at least
+	// once (keys: deploy, teardown, inject, overload, flap, restart,
+	// churn, throttled).
+	Sometimes map[string]bool
+}
+
+// Violation is an Always-invariant failure. It carries the seed and
+// step so the run can be replayed exactly.
+type Violation struct {
+	Seed int64
+	Step int
+	Op   Op
+	Msg  string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("detsim: seed %d step %d (%s): %s", v.Seed, v.Step, v.Op, v.Msg)
+}
+
+// runner executes one scenario.
+type runner struct {
+	sc    Scenario
+	rng   *rand.Rand
+	clk   *sim.Fake
+	cl    *cluster
+	log   *slog.Logger
+	frame []byte
+
+	labs     map[string][2]int // lab name -> host indices
+	free     []int             // unwired host indices, sorted
+	labSeq   int
+	baseKeys []routeserver.PortKey // initial port key per host (stability check)
+
+	sometimes map[string]bool
+}
+
+// Run executes the scenario and returns its result. The error, if any,
+// is a *Violation for invariant failures or a plain error for harness
+// infrastructure failures; both name the seed.
+func Run(sc Scenario, opts Options) (*Result, error) {
+	if sc.Hosts == 0 {
+		sc.Hosts = 4
+	}
+	if sc.Hosts < 2 {
+		return nil, fmt.Errorf("detsim: seed %d: need at least 2 hosts", sc.Seed)
+	}
+	if sc.Ops != nil {
+		sc.Steps = len(sc.Ops)
+	}
+	if sc.Steps <= 0 {
+		return nil, fmt.Errorf("detsim: seed %d: scenario has no steps", sc.Seed)
+	}
+	stateDir := opts.StateDir
+	if stateDir == "" {
+		dir, err := os.MkdirTemp("", "detsim-*")
+		if err != nil {
+			return nil, fmt.Errorf("detsim: seed %d: %w", sc.Seed, err)
+		}
+		defer os.RemoveAll(dir)
+		stateDir = dir
+	}
+
+	clk := sim.NewFake(time.Unix(0, 0).UTC())
+	cl, err := startCluster(clk, stateDir, sc.Hosts)
+	if err != nil {
+		return nil, fmt.Errorf("detsim: seed %d: %w", sc.Seed, err)
+	}
+	defer cl.Close()
+
+	buf := &bytes.Buffer{}
+	var w io.Writer = buf
+	if opts.Mirror != nil {
+		w = io.MultiWriter(buf, opts.Mirror)
+	}
+	r := &runner{
+		sc:        sc,
+		rng:       rand.New(rand.NewSource(sc.Seed)),
+		clk:       clk,
+		cl:        cl,
+		log:       rnllog.New(rnllog.Options{W: w, Clock: clk}),
+		labs:      map[string][2]int{},
+		sometimes: map[string]bool{},
+	}
+	for i := range cl.hosts {
+		r.free = append(r.free, i)
+		pk, err := cl.portKey(i)
+		if err != nil {
+			return nil, fmt.Errorf("detsim: seed %d: %w", sc.Seed, err)
+		}
+		r.baseKeys = append(r.baseKeys, pk)
+	}
+	r.frame, err = packet.BuildUDP(
+		net.HardwareAddr{0x02, 0, 0, 0, 0, 0x01},
+		net.HardwareAddr{0x02, 0, 0, 0, 0, 0x02},
+		net.IPv4(10, 99, 0, 1), net.IPv4(10, 99, 0, 2),
+		7, 9999, []byte("detsim probe"))
+	if err != nil {
+		return nil, fmt.Errorf("detsim: seed %d: %w", sc.Seed, err)
+	}
+
+	if err := r.run(); err != nil {
+		return &Result{Log: buf.Bytes(), Sometimes: r.sometimes}, err
+	}
+	return &Result{Log: buf.Bytes(), Sometimes: r.sometimes}, nil
+}
+
+// stepStart is the canonical virtual instant step i begins at;
+// stepResult is where its outcome is logged. All log writes happen at
+// these instants (after realignment), never at race-dependent times.
+func (r *runner) stepStart(i int) time.Time {
+	return time.Unix(0, 0).UTC().Add(time.Duration(i+1) * stepQuantum)
+}
+
+func (r *runner) stepResult(i int) time.Time {
+	return r.stepStart(i).Add(stepQuantum / 2)
+}
+
+// align advances virtual time to exactly t. A scenario whose quiescing
+// overran the step quantum cannot be realigned and fails loudly rather
+// than logging nondeterministic timestamps.
+func (r *runner) align(t time.Time) error {
+	d := t.Sub(r.clk.Now())
+	if d < 0 {
+		return fmt.Errorf("virtual time overran the step quantum by %v", -d)
+	}
+	r.clk.Advance(d)
+	return nil
+}
+
+func (r *runner) violation(step int, op Op, format string, args ...any) error {
+	return &Violation{Seed: r.sc.Seed, Step: step, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (r *runner) run() error {
+	r.log.Info("scenario start", "seed", r.sc.Seed, "steps", r.sc.Steps, "hosts", r.sc.Hosts)
+	for i := 0; i < r.sc.Steps; i++ {
+		if err := r.align(r.stepStart(i)); err != nil {
+			return r.violation(i, -1, "%v", err)
+		}
+		op := r.pickOp(i)
+		r.sometimes[op.String()] = true
+		if err := r.exec(i, op); err != nil {
+			return err
+		}
+		if err := r.checkAlways(i, op); err != nil {
+			return err
+		}
+	}
+	if err := r.align(r.stepStart(r.sc.Steps)); err != nil {
+		return r.violation(r.sc.Steps, -1, "%v", err)
+	}
+	tot := r.cl.totals()
+	flags := make([]string, 0, len(r.sometimes))
+	for k := range r.sometimes {
+		flags = append(flags, k)
+	}
+	sort.Strings(flags)
+	r.log.Info("scenario done",
+		"injected", tot["packets_injected"],
+		"forwarded", tot["packets_forwarded"],
+		"no_route", tot["packets_no_route"],
+		"throttled", tot["packets_throttled"],
+		"sometimes", strings.Join(flags, ","))
+	return nil
+}
+
+// pickOp draws the step's operation, substituting a feasible one when
+// the draw cannot apply to the current cluster state (the substitution
+// depends only on deterministic harness bookkeeping, so replays agree).
+func (r *runner) pickOp(i int) Op {
+	var op Op
+	if r.sc.Ops != nil {
+		op = r.sc.Ops[i]
+	} else {
+		op = Op(r.rng.Intn(int(numOps)))
+	}
+	needsLab := op == OpTeardown || op == OpInject || op == OpOverload || op == OpChurn
+	if needsLab && len(r.labs) == 0 {
+		if len(r.free) >= 2 {
+			return OpDeploy
+		}
+		return OpFlap
+	}
+	if op == OpDeploy && len(r.free) < 2 {
+		return OpTeardown
+	}
+	return op
+}
+
+// labNames returns the deployed lab names in sorted order (the rng
+// picks by index, so the order must be reproducible).
+func (r *runner) labNames() []string {
+	names := make([]string, 0, len(r.labs))
+	for n := range r.labs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r *runner) exec(i int, op Op) error {
+	switch op {
+	case OpDeploy:
+		return r.opDeploy(i)
+	case OpTeardown:
+		return r.opTeardown(i)
+	case OpInject:
+		return r.opInject(i, 20, op)
+	case OpOverload:
+		return r.opInject(i, int(labBurst)+30, op)
+	case OpFlap:
+		return r.opFlap(i)
+	case OpRestart:
+		return r.opRestart(i)
+	case OpChurn:
+		return r.opChurn(i)
+	}
+	return r.violation(i, op, "unknown op")
+}
+
+// labLinks resolves a lab's single link from harness bookkeeping.
+func (r *runner) labLinks(name string) ([]routeserver.Link, error) {
+	hs := r.labs[name]
+	pkA, err := r.cl.portKey(hs[0])
+	if err != nil {
+		return nil, err
+	}
+	pkB, err := r.cl.portKey(hs[1])
+	if err != nil {
+		return nil, err
+	}
+	return []routeserver.Link{{A: pkA, B: pkB}}, nil
+}
+
+func (r *runner) opDeploy(i int) error {
+	a := r.free[r.rng.Intn(len(r.free))]
+	r.removeFree(a)
+	b := r.free[r.rng.Intn(len(r.free))]
+	r.removeFree(b)
+	name := fmt.Sprintf("lab%d", r.labSeq)
+	r.labSeq++
+	r.labs[name] = [2]int{a, b}
+	r.log.Info("step", "i", i, "op", "deploy", "lab", name,
+		"a", r.cl.hosts[a].name, "b", r.cl.hosts[b].name)
+	links, err := r.labLinks(name)
+	if err != nil {
+		return r.violation(i, OpDeploy, "%v", err)
+	}
+	if err := r.cl.srv.Deploy(name, links); err != nil {
+		return r.violation(i, OpDeploy, "deploy failed: %v", err)
+	}
+	if err := r.align(r.stepResult(i)); err != nil {
+		return r.violation(i, OpDeploy, "%v", err)
+	}
+	r.log.Info("result", "i", i, "deployed", name)
+	return nil
+}
+
+// opTeardown tears a lab down and then proves the wire is really torn:
+// frames emitted at one former end must be accounted no_route and
+// nothing may arrive at the other end.
+func (r *runner) opTeardown(i int) error {
+	names := r.labNames()
+	name := names[r.rng.Intn(len(names))]
+	hs := r.labs[name]
+	r.log.Info("step", "i", i, "op", "teardown", "lab", name)
+	links, err := r.labLinks(name)
+	if err != nil {
+		return r.violation(i, OpTeardown, "%v", err)
+	}
+	tap := r.cl.srv.CapturePort(links[0].B, 16)
+	defer tap.Stop()
+	if err := r.cl.srv.Teardown(name); err != nil {
+		return r.violation(i, OpTeardown, "teardown failed: %v", err)
+	}
+	delete(r.labs, name)
+	r.free = append(r.free, hs[0], hs[1])
+	sort.Ints(r.free)
+
+	const probes = 5
+	before := r.cl.srv.StatsSnapshot()
+	for p := 0; p < probes; p++ {
+		if err := r.cl.srv.InjectFromPort(links[0].A, r.frame); err != nil {
+			return r.violation(i, OpTeardown, "torn-wire probe: %v", err)
+		}
+	}
+	after := r.cl.srv.StatsSnapshot()
+	noRoute := after["packets_no_route"] - before["packets_no_route"]
+	if noRoute != probes {
+		return r.violation(i, OpTeardown,
+			"torn wire: %d/%d probes accounted no_route", noRoute, probes)
+	}
+	leaked := 0
+	for {
+		select {
+		case <-tap.Packets():
+			leaked++
+			continue
+		default:
+		}
+		break
+	}
+	if leaked != 0 {
+		return r.violation(i, OpTeardown,
+			"torn wire delivered %d frames to the far port", leaked)
+	}
+	if err := r.align(r.stepResult(i)); err != nil {
+		return r.violation(i, OpTeardown, "%v", err)
+	}
+	r.log.Info("result", "i", i, "torn", name, "probes_no_route", noRoute)
+	return nil
+}
+
+// opInject sends n frames toward one end of a deployed lab. With the
+// cluster quiesced and the lab's token bucket refilled by the step
+// alignment, the split is exact: min(burst, n) forwarded, the rest
+// throttled. n <= burst is the plain traffic step; n > burst is the
+// overload step.
+func (r *runner) opInject(i, n int, op Op) error {
+	names := r.labNames()
+	name := names[r.rng.Intn(len(names))]
+	hs := r.labs[name]
+	dst := hs[r.rng.Intn(2)]
+	r.log.Info("step", "i", i, "op", op.String(), "lab", name,
+		"dst", r.cl.hosts[dst].name, "count", n)
+	pk, err := r.cl.portKey(dst)
+	if err != nil {
+		return r.violation(i, op, "%v", err)
+	}
+	before := r.cl.srv.StatsSnapshot()
+	for p := 0; p < n; p++ {
+		if err := r.cl.srv.InjectPacket(pk, r.frame); err != nil {
+			return r.violation(i, op, "inject: %v", err)
+		}
+	}
+	after := r.cl.srv.StatsSnapshot()
+	forwarded := after["packets_forwarded"] - before["packets_forwarded"]
+	throttled := after["packets_throttled"] - before["packets_throttled"]
+	noRoute := after["packets_no_route"] - before["packets_no_route"]
+	if forwarded+throttled+noRoute != uint64(n) {
+		return r.violation(i, op, "step conservation: forwarded %d + throttled %d + no_route %d != injected %d",
+			forwarded, throttled, noRoute, n)
+	}
+	wantFwd := uint64(n)
+	if n > int(labBurst) {
+		wantFwd = uint64(labBurst)
+	}
+	if forwarded != wantFwd || noRoute != 0 {
+		return r.violation(i, op, "deterministic split violated: forwarded %d (want %d), throttled %d, no_route %d",
+			forwarded, wantFwd, throttled, noRoute)
+	}
+	if throttled > 0 {
+		r.sometimes["throttled"] = true
+	}
+	if err := r.align(r.stepResult(i)); err != nil {
+		return r.violation(i, op, "%v", err)
+	}
+	r.log.Info("result", "i", i, "forwarded", forwarded, "throttled", throttled)
+	return nil
+}
+
+func (r *runner) opFlap(i int) error {
+	r.log.Info("step", "i", i, "op", "flap")
+	killed, err := r.cl.flap()
+	if err != nil {
+		return r.violation(i, OpFlap, "%v", err)
+	}
+	if killed != len(r.cl.hosts) {
+		return r.violation(i, OpFlap, "killed %d tunnels, want %d", killed, len(r.cl.hosts))
+	}
+	if err := r.checkIDsStable(i, OpFlap); err != nil {
+		return err
+	}
+	if err := r.align(r.stepResult(i)); err != nil {
+		return r.violation(i, OpFlap, "%v", err)
+	}
+	r.log.Info("result", "i", i, "killed", killed, "recovered", true)
+	return nil
+}
+
+func (r *runner) opRestart(i int) error {
+	r.log.Info("step", "i", i, "op", "restart")
+	if err := r.cl.restart(); err != nil {
+		return r.violation(i, OpRestart, "%v", err)
+	}
+	// Every deployment the harness believes in must have survived the
+	// restart, restored from the state snapshot.
+	want := r.labNames()
+	got := make([]string, 0, len(want))
+	for _, d := range r.cl.srv.Deployments() {
+		got = append(got, d.Name)
+	}
+	sort.Strings(got)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		return r.violation(i, OpRestart, "deployments after restart = [%s], want [%s]",
+			strings.Join(got, ","), strings.Join(want, ","))
+	}
+	if err := r.checkIDsStable(i, OpRestart); err != nil {
+		return err
+	}
+	if err := r.align(r.stepResult(i)); err != nil {
+		return r.violation(i, OpRestart, "%v", err)
+	}
+	r.log.Info("result", "i", i, "deployments", strings.Join(got, ","), "ids_stable", true)
+	return nil
+}
+
+// opChurn races two concurrent takeovers for the same lab through
+// DeployReclaiming: exactly one may win, the loser must fail cleanly,
+// and the surviving deployment must be intact — the single-winner
+// reclaim invariant, exercised with real goroutine interleaving (the
+// assertion is on the outcome, which is deterministic).
+func (r *runner) opChurn(i int) error {
+	names := r.labNames()
+	victim := names[r.rng.Intn(len(names))]
+	hs := r.labs[victim]
+	taker := fmt.Sprintf("take%d", r.labSeq)
+	r.labSeq++
+	r.log.Info("step", "i", i, "op", "churn", "victim", victim, "taker", taker)
+	links, err := r.labLinks(victim)
+	if err != nil {
+		return r.violation(i, OpChurn, "%v", err)
+	}
+	canReclaim := func(d routeserver.Deployment) bool { return d.Name == victim }
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for j := 0; j < 2; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			errs[j] = r.cl.srv.DeployReclaiming(taker, "churn", links, canReclaim)
+		}(j)
+	}
+	wg.Wait()
+	wins := 0
+	for _, err := range errs {
+		if err == nil {
+			wins++
+		}
+	}
+	if wins != 1 {
+		return r.violation(i, OpChurn, "single-winner reclaim violated: %d winners (errs=%v)", wins, errs)
+	}
+	delete(r.labs, victim)
+	r.labs[taker] = hs
+	// The winner's deployment must be fully installed.
+	found := false
+	for _, d := range r.cl.srv.Deployments() {
+		if d.Name == taker {
+			found = true
+		}
+		if d.Name == victim {
+			return r.violation(i, OpChurn, "reclaimed victim %q still deployed", victim)
+		}
+	}
+	if !found {
+		return r.violation(i, OpChurn, "winner's deployment %q missing", taker)
+	}
+	if err := r.align(r.stepResult(i)); err != nil {
+		return r.violation(i, OpChurn, "%v", err)
+	}
+	r.log.Info("result", "i", i, "winners", wins, "survivor", taker)
+	return nil
+}
+
+// checkIDsStable asserts every host kept its original router/port IDs
+// across a flap or restart — keyed identity is what makes recovery
+// transparent to deployed labs.
+func (r *runner) checkIDsStable(i int, op Op) error {
+	for h := range r.cl.hosts {
+		pk, err := r.cl.portKey(h)
+		if err != nil {
+			return r.violation(i, op, "%v", err)
+		}
+		if pk != r.baseKeys[h] {
+			return r.violation(i, op, "host %s port key changed: %v -> %v",
+				r.cl.hosts[h].name, r.baseKeys[h], pk)
+		}
+	}
+	return nil
+}
+
+// checkAlways evaluates the invariants that must hold after every step.
+func (r *runner) checkAlways(i int, op Op) error {
+	// Exact packet conservation: every packet injected into the current
+	// server incarnation is accounted exactly once.
+	s := r.cl.srv.StatsSnapshot()
+	if s["packets_injected"] != s["packets_forwarded"]+s["packets_no_route"]+s["packets_throttled"] {
+		return r.violation(i, op,
+			"conservation violated: injected %d != forwarded %d + no_route %d + throttled %d",
+			s["packets_injected"], s["packets_forwarded"], s["packets_no_route"], s["packets_throttled"])
+	}
+	// The published forwarding snapshot may trail the mutation counter
+	// by at most one mutation.
+	published, latest := r.cl.srv.FwdGeneration()
+	if latest-published > 1 {
+		return r.violation(i, op, "forwarding snapshot %d mutations stale (published %d, latest %d)",
+			latest-published, published, latest)
+	}
+	// The fleet is whole: every agent online between steps.
+	if !r.cl.settled() {
+		return r.violation(i, op, "cluster not settled after step")
+	}
+	return nil
+}
+
+func (r *runner) removeFree(h int) {
+	for k, v := range r.free {
+		if v == h {
+			r.free = append(r.free[:k], r.free[k+1:]...)
+			return
+		}
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"rnl/internal/sim"
 )
 
 // Direction selects which half of a wrapped connection a fault applies
@@ -37,6 +39,7 @@ type Conditioner interface {
 // Controller owns a set of wrapped connections and applies faults to all
 // of them. The zero value is not usable; call NewController.
 type Controller struct {
+	clock      sim.Clock
 	mu         sync.Mutex
 	conns      map[*Conn]struct{}
 	stallUntil time.Time
@@ -47,9 +50,21 @@ type Controller struct {
 	kills      int
 }
 
-// NewController returns a controller with no faults active.
+// NewController returns a controller with no faults active, timed by the
+// wall clock.
 func NewController() *Controller {
-	return &Controller{conns: make(map[*Conn]struct{})}
+	return NewControllerClock(sim.Real{})
+}
+
+// NewControllerClock is NewController with an injected clock (nil means
+// wall time). Under sim.Fake, stall windows, flap schedules and
+// conditioner delays all run on virtual time: faults fire exactly when
+// the scenario advances past them, never on a wall-time schedule.
+func NewControllerClock(clock sim.Clock) *Controller {
+	if clock == nil {
+		clock = sim.Real{}
+	}
+	return &Controller{clock: clock, conns: make(map[*Conn]struct{})}
 }
 
 // Wrap registers a connection with the controller and returns the
@@ -106,7 +121,7 @@ func (c *Controller) Active() int {
 // open; deadlines set by the wrapped code still fire.
 func (c *Controller) StallFor(d time.Duration) {
 	c.mu.Lock()
-	c.stallUntil = time.Now().Add(d)
+	c.stallUntil = c.clock.Now().Add(d)
 	c.mu.Unlock()
 }
 
@@ -134,25 +149,21 @@ func (c *Controller) SetConditioner(cond Conditioner) {
 
 // FlapEvery kills all connections every up interval and keeps the
 // wrapped listener refusing new connections for the following down
-// interval — a link that cycles on a schedule. The returned stop
-// function ends the flapping (leaving the link up).
+// interval — a link that cycles on a schedule driven by the controller
+// clock. The returned stop function ends the flapping (leaving the link
+// up).
 func (c *Controller) FlapEvery(up, down time.Duration) (stop func()) {
 	stopCh := make(chan struct{})
 	go func() {
 		for {
-			select {
-			case <-stopCh:
+			if c.waitOrStop(up, stopCh) {
 				return
-			case <-time.After(up):
 			}
 			c.mu.Lock()
 			c.down = true
 			c.mu.Unlock()
 			c.KillAll()
-			select {
-			case <-stopCh:
-			case <-time.After(down):
-			}
+			c.waitOrStop(down, stopCh)
 			c.mu.Lock()
 			c.down = false
 			c.mu.Unlock()
@@ -169,23 +180,44 @@ func (c *Controller) FlapEvery(up, down time.Duration) (stop func()) {
 	}
 }
 
+// waitOrStop blocks for d on the controller clock (or until stop closes)
+// and reports whether it was stopped. Clock-timer based, so a fake clock
+// releases it the instant Advance crosses the deadline.
+func (c *Controller) waitOrStop(d time.Duration, stop <-chan struct{}) bool {
+	ch := make(chan struct{})
+	t := c.clock.AfterFunc(d, func() { close(ch) })
+	defer t.Stop()
+	select {
+	case <-stop:
+		return true
+	case <-ch:
+		return false
+	}
+}
+
 func (c *Controller) forget(fc *Conn) {
 	c.mu.Lock()
 	delete(c.conns, fc)
 	c.mu.Unlock()
 }
 
-// waitStall blocks while a stall window is active.
+// waitStall blocks while a stall window is active. It waits on a clock
+// timer rather than sleeping: sim.Fake's Sleep is a no-op, and a
+// sleep-poll loop would spin forever there instead of blocking until the
+// scenario advances past the stall.
 func (c *Controller) waitStall() {
 	for {
 		c.mu.Lock()
 		until := c.stallUntil
 		c.mu.Unlock()
-		d := time.Until(until)
+		d := until.Sub(c.clock.Now())
 		if d <= 0 {
 			return
 		}
-		time.Sleep(d)
+		ch := make(chan struct{})
+		t := c.clock.AfterFunc(d, func() { close(ch) })
+		<-ch
+		t.Stop()
 	}
 }
 
@@ -252,7 +284,10 @@ func (fc *Conn) Write(p []byte) (int, error) {
 	if delay, drop := fc.ctl.condition(len(p)); drop {
 		return len(p), nil
 	} else if delay > 0 {
-		time.Sleep(delay)
+		ch := make(chan struct{})
+		t := fc.ctl.clock.AfterFunc(delay, func() { close(ch) })
+		<-ch
+		t.Stop()
 	}
 	return fc.Conn.Write(p)
 }

@@ -40,6 +40,22 @@ type Options struct {
 	// rate at the route server; zero disables per-lab throttling.
 	LabRateLimit float64
 	LabRateBurst float64
+	// Clock drives the route server, web API, RIS agents and the
+	// reservation calendar; nil means wall time. Inject sim.Fake to run
+	// the whole cloud on virtual time (see internal/detsim).
+	Clock sim.Clock
+	// PeerTimeout overrides the route server's and agents' dead-peer
+	// timeout. Set routeserver.NoPeerTimeout / ris.NoPeerTimeout (any
+	// negative value) to disable detection under a fake clock.
+	PeerTimeout time.Duration
+}
+
+// clock resolves the cloud clock (wall time by default).
+func (o *Options) clock() sim.Clock {
+	if o.Clock != nil {
+		return o.Clock
+	}
+	return sim.Real{}
 }
 
 // Cloud is a running in-process RNL instance.
@@ -72,6 +88,8 @@ func NewCloud(opts Options) (*Cloud, error) {
 		Logger:           logger,
 		LabRateLimit:     opts.LabRateLimit,
 		LabRateBurst:     opts.LabRateBurst,
+		Clock:            opts.Clock,
+		PeerTimeout:      opts.PeerTimeout,
 	})
 	tunnelAddr, err := rs.Listen("127.0.0.1:0")
 	if err != nil {
@@ -82,7 +100,7 @@ func NewCloud(opts Options) (*Cloud, error) {
 		rs.Close()
 		return nil, err
 	}
-	cal := reservation.New(sim.Real{})
+	cal := reservation.New(opts.clock())
 	web := api.NewServer(api.Config{
 		RouteServer:    rs,
 		Store:          store,
@@ -91,6 +109,7 @@ func NewCloud(opts Options) (*Cloud, error) {
 		ConsoleTimeout: 5 * time.Second,
 		Logger:         logger,
 		Admission:      opts.Admission,
+		Clock:          opts.Clock,
 	})
 	webAddr, err := web.Listen("127.0.0.1:0")
 	if err != nil {
@@ -157,10 +176,12 @@ func (c *Cloud) joinDevice(name, model, description string, ports []string, getP
 		def.Console = sp.PCEnd
 	}
 	agent, err := ris.New(ris.Config{
-		ServerAddr: c.TunnelAddr,
-		PCName:     "pc-" + name,
-		Compress:   c.opts.Compress,
-		Routers:    []ris.RouterDef{def},
+		ServerAddr:  c.TunnelAddr,
+		PCName:      "pc-" + name,
+		Compress:    c.opts.Compress,
+		Routers:     []ris.RouterDef{def},
+		Clock:       c.opts.Clock,
+		PeerTimeout: c.opts.PeerTimeout,
 	}, c.log)
 	if err != nil {
 		return nil, err

@@ -124,12 +124,36 @@ func TestFig5BPDUForwardingTamesLoop(t *testing.T) {
 		return f.FW1.State().String() == "Active" && f.FW2.State().String() == "Active"
 	}, "both FWSMs active (misconfigured failover)")
 
-	// Give STP a moment to block the loop, then seed broadcasts.
-	time.Sleep(500 * time.Millisecond)
-	base := f.SW1.Floods() + f.SW2.Floods()
+	// The devices run on real-time protocol timers, so this test cannot
+	// ride the fake clock; instead of fixed warm-up/observation sleeps it
+	// waits for the flood growth rate to fall back to the background
+	// level (periodic hellos and BPDUs flood steadily even when healthy).
+	// STP blocking the redundant path is exactly the moment the rate
+	// collapses; a storm multiplies thousands of floods per window and
+	// never settles.
+	quietFloods := func(why string) uint64 {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		last := f.SW1.Floods() + f.SW2.Floods()
+		streak := 0
+		for streak < 3 {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: flood rate never settled (at %d)", why, last)
+			}
+			time.Sleep(50 * time.Millisecond)
+			cur := f.SW1.Floods() + f.SW2.Floods()
+			if cur-last <= 25 {
+				streak++
+			} else {
+				streak = 0
+			}
+			last = cur
+		}
+		return last
+	}
+	base := quietFloods("waiting for STP to block the loop")
 	go f.S2.Ping(f.S1.IP(), 500*time.Millisecond)
-	time.Sleep(2 * time.Second)
-	grown := f.SW1.Floods() + f.SW2.Floods() - base
+	grown := quietFloods("after seeding broadcasts") - base
 	if grown > 500 {
 		t.Fatalf("storm of %d floods despite BPDU forwarding — STP failed to block the loop", grown)
 	}

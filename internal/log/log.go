@@ -1,0 +1,179 @@
+// Package log is RNL's structured JSON logger: a slog.Handler that emits
+// exactly one JSON object per line with a deterministic field order and
+// timestamps taken from an injected sim.Clock. Under the real clock it is
+// an ordinary operational logger for the daemons; under sim.Fake every
+// timestamp is virtual, so two runs of the same deterministic scenario
+// produce byte-identical logs — the property the detsim harness's replay
+// mode asserts on.
+//
+// Field order is fixed: ts (unless disabled), level, msg, then every
+// attribute in the order it was attached (With/WithGroup context first,
+// then call-site attrs). No map is ever iterated while rendering, so the
+// bytes are a pure function of the log calls.
+package log
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"rnl/internal/sim"
+)
+
+// Options configures a logger.
+type Options struct {
+	// W receives the JSON lines; nil means os.Stderr.
+	W io.Writer
+	// Clock supplies timestamps; nil means sim.Real{}.
+	Clock sim.Clock
+	// Level is the minimum level emitted (default slog.LevelInfo).
+	Level slog.Leveler
+	// NoTime omits the ts field entirely — for logs that must be
+	// byte-identical regardless of when (or on which clock) they ran.
+	NoTime bool
+}
+
+// New builds a *slog.Logger backed by the deterministic JSON handler, so
+// every component that already accepts a *slog.Logger (routeserver, ris,
+// the web API) adopts structured logging without code changes.
+func New(opts Options) *slog.Logger {
+	return slog.New(NewHandler(opts))
+}
+
+// Handler is the deterministic JSON slog.Handler. Safe for concurrent
+// use; each line is written with a single Write call under a mutex shared
+// by every derived (WithAttrs/WithGroup) handler.
+type Handler struct {
+	opts  Options
+	mu    *sync.Mutex
+	attrs []byte // pre-rendered ,"k":"v" context fields
+	group string // dotted prefix for subsequent attr keys
+}
+
+// NewHandler builds the handler; most callers want New.
+func NewHandler(opts Options) *Handler {
+	if opts.W == nil {
+		opts.W = os.Stderr
+	}
+	if opts.Clock == nil {
+		opts.Clock = sim.Real{}
+	}
+	if opts.Level == nil {
+		opts.Level = slog.LevelInfo
+	}
+	return &Handler{opts: opts, mu: &sync.Mutex{}}
+}
+
+// Enabled implements slog.Handler.
+func (h *Handler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.opts.Level.Level()
+}
+
+// WithAttrs implements slog.Handler: the attrs are rendered once, here,
+// and prefixed to every record the derived handler emits.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append(append([]byte(nil), h.attrs...), renderAttrs(h.group, attrs)...)
+	return &nh
+}
+
+// WithGroup implements slog.Handler by flattening groups into dotted key
+// prefixes ("sess.id"), keeping the output a single flat object whose key
+// order is append order.
+func (h *Handler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.group = h.group + name + "."
+	return &nh
+}
+
+// Handle implements slog.Handler.
+func (h *Handler) Handle(_ context.Context, r slog.Record) error {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, '{')
+	if !h.opts.NoTime {
+		buf = append(buf, `"ts":`...)
+		buf = appendJSONString(buf, h.opts.Clock.Now().UTC().Format(time.RFC3339Nano))
+		buf = append(buf, ',')
+	}
+	buf = append(buf, `"level":`...)
+	buf = appendJSONString(buf, r.Level.String())
+	buf = append(buf, `,"msg":`...)
+	buf = appendJSONString(buf, r.Message)
+	buf = append(buf, h.attrs...)
+	r.Attrs(func(a slog.Attr) bool {
+		buf = append(buf, renderAttrs(h.group, []slog.Attr{a})...)
+		return true
+	})
+	buf = append(buf, '}', '\n')
+	h.mu.Lock()
+	_, err := h.opts.W.Write(buf)
+	h.mu.Unlock()
+	return err
+}
+
+// renderAttrs renders attrs as `,"key":value` fragments with the given
+// dotted group prefix. Group attrs recurse with an extended prefix.
+func renderAttrs(prefix string, attrs []slog.Attr) []byte {
+	var out []byte
+	for _, a := range attrs {
+		v := a.Value.Resolve()
+		if v.Kind() == slog.KindGroup {
+			p := prefix
+			if a.Key != "" {
+				p = prefix + a.Key + "."
+			}
+			out = append(out, renderAttrs(p, v.Group())...)
+			continue
+		}
+		if a.Key == "" {
+			continue
+		}
+		out = append(out, ',')
+		out = appendJSONString(out, prefix+a.Key)
+		out = append(out, ':')
+		out = appendValue(out, v)
+	}
+	return out
+}
+
+// appendValue renders one resolved slog value deterministically.
+func appendValue(buf []byte, v slog.Value) []byte {
+	switch v.Kind() {
+	case slog.KindString:
+		return appendJSONString(buf, v.String())
+	case slog.KindInt64:
+		return strconv.AppendInt(buf, v.Int64(), 10)
+	case slog.KindUint64:
+		return strconv.AppendUint(buf, v.Uint64(), 10)
+	case slog.KindFloat64:
+		return strconv.AppendFloat(buf, v.Float64(), 'g', -1, 64)
+	case slog.KindBool:
+		return strconv.AppendBool(buf, v.Bool())
+	case slog.KindDuration:
+		return appendJSONString(buf, v.Duration().String())
+	case slog.KindTime:
+		return appendJSONString(buf, v.Time().UTC().Format(time.RFC3339Nano))
+	default:
+		data, err := json.Marshal(v.Any())
+		if err != nil {
+			return appendJSONString(buf, "!marshal:"+err.Error())
+		}
+		return append(buf, data...)
+	}
+}
+
+// appendJSONString appends s as a JSON string literal.
+func appendJSONString(buf []byte, s string) []byte {
+	// json.Marshal of a string never fails and handles all escaping; a
+	// hand-rolled escaper is not worth the subtle bugs on a cold path.
+	data, _ := json.Marshal(s)
+	return append(buf, data...)
+}

@@ -1,0 +1,66 @@
+package log
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"testing"
+	"time"
+
+	"rnl/internal/sim"
+)
+
+func TestDeterministicBytes(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		clock := sim.NewFake(time.Unix(1000, 0))
+		lg := New(Options{W: &buf, Clock: clock}).With("lab", 7, "tenant", "acme")
+		lg.Info("deployed", "routers", 3)
+		clock.Advance(250 * time.Millisecond)
+		lg.Warn("flap", "session", uint64(12), "up", false)
+		lg.WithGroup("sess").Error("torn", "id", 9, "err", "wire closed")
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical runs differ:\n%s\nvs\n%s", a, b)
+	}
+	want := `{"ts":"1970-01-01T00:16:40Z","level":"INFO","msg":"deployed","lab":7,"tenant":"acme","routers":3}` + "\n" +
+		`{"ts":"1970-01-01T00:16:40.25Z","level":"WARN","msg":"flap","lab":7,"tenant":"acme","session":12,"up":false}` + "\n" +
+		`{"ts":"1970-01-01T00:16:40.25Z","level":"ERROR","msg":"torn","lab":7,"tenant":"acme","sess.id":9,"sess.err":"wire closed"}` + "\n"
+	if string(a) != want {
+		t.Errorf("output:\n%s\nwant:\n%s", a, want)
+	}
+}
+
+func TestEveryLineIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(Options{W: &buf, Clock: sim.NewFake(time.Unix(0, 0))})
+	lg.Info(`quotes " and \ slashes`, "dur", 1500*time.Millisecond,
+		"when", time.Unix(42, 0), "f", 0.5, "list", []int{1, 2},
+		slog.Group("g", "x", 1))
+	for i, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, line)
+		}
+		if i == 0 {
+			if m["g.x"] != float64(1) {
+				t.Errorf("group not flattened: %v", m)
+			}
+			if m["dur"] != "1.5s" {
+				t.Errorf("duration = %v", m["dur"])
+			}
+		}
+	}
+}
+
+func TestNoTimeAndLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(Options{W: &buf, NoTime: true, Level: slog.LevelWarn})
+	lg.Info("dropped")
+	lg.Warn("kept")
+	if got, want := buf.String(), `{"level":"WARN","msg":"kept"}`+"\n"; got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}

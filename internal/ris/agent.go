@@ -12,6 +12,7 @@ import (
 
 	"rnl/internal/compress"
 	"rnl/internal/netsim"
+	"rnl/internal/sim"
 	"rnl/internal/wire"
 )
 
@@ -117,7 +118,14 @@ func (a *Agent) Start() error {
 	if err != nil {
 		return fmt.Errorf("ris: dialing route server: %w", err)
 	}
-	conn.SetDeadline(time.Now().Add(a.cfg.peerTimeout()))
+	// The handshake deadline stays on the kernel clock — it bounds raw
+	// synchronous reads on a fresh TCP connection, which only wall time
+	// can police, even inside a simulation.
+	hsTimeout := a.cfg.peerTimeout()
+	if hsTimeout <= 0 {
+		hsTimeout = 3 * a.cfg.keepaliveInterval()
+	}
+	conn.SetDeadline(time.Now().Add(hsTimeout))
 	if err := a.handshake(conn); err != nil {
 		conn.Close()
 		return err
@@ -174,6 +182,7 @@ func (a *Agent) Start() error {
 // accepts the dial but drops the connection right away keeps backing
 // off instead of being redialed at the floor rate forever.
 func (a *Agent) Run(ctx context.Context) error {
+	clock := a.cfg.clock()
 	base := a.cfg.reconnectBackoff()
 	maxBackoff := 30 * time.Second
 	if base > maxBackoff {
@@ -183,7 +192,7 @@ func (a *Agent) Run(ctx context.Context) error {
 	for {
 		err := a.Start()
 		if err == nil {
-			connectedAt := time.Now()
+			connectedAt := clock.Now()
 			select {
 			case <-ctx.Done():
 				a.Close()
@@ -191,7 +200,7 @@ func (a *Agent) Run(ctx context.Context) error {
 			case <-a.connDone():
 				a.stats.Reconnects.Add(1)
 				mReconnects.Inc()
-				if time.Since(connectedAt) >= a.cfg.reconnectResetAfter() {
+				if clock.Now().Sub(connectedAt) >= a.cfg.reconnectResetAfter() {
 					backoff = base
 				}
 				a.log.Warn("tunnel lost; reconnecting", "backoff", backoff)
@@ -199,10 +208,16 @@ func (a *Agent) Run(ctx context.Context) error {
 		} else {
 			a.log.Warn("connect failed", "err", err)
 		}
+		// The redial delay runs on the agent clock: under sim.Fake a
+		// flapped tunnel redials the instant the scenario advances past
+		// the backoff, never on a wall-time schedule of its own.
+		wait := make(chan struct{})
+		tm := clock.AfterFunc(backoff, func() { close(wait) })
 		select {
 		case <-ctx.Done():
+			tm.Stop()
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-wait:
 		}
 		if backoff < maxBackoff {
 			backoff *= 2
@@ -375,53 +390,62 @@ func (a *Agent) writeFrame(f wire.Frame) error {
 	return wc.SendFrame(f)
 }
 
-// readLoop dispatches frames arriving from the route server. A read
-// deadline of PeerTimeout (3 missed keepalives by default) tears down a
-// half-open connection that TCP alone would let hang forever; the
-// server echoes our keepalives, so a healthy idle link always has
-// inbound traffic inside the window.
+// readLoop dispatches frames arriving from the route server. A watchdog
+// of PeerTimeout (3 missed keepalives by default) tears down a half-open
+// connection that TCP alone would let hang forever; the server echoes
+// our keepalives, so a healthy idle link always has inbound traffic
+// inside the window. The watchdog runs on the agent clock — not kernel
+// read deadlines — so silence detection is deterministic under sim.Fake.
 func (a *Agent) readLoop(conn net.Conn) {
 	defer conn.Close()
 	fr := wire.NewFrameReader(conn)
 	defer fr.Close()
-	timeout := a.cfg.peerTimeout()
-	var armed time.Time
-	for {
-		// Re-arm the read deadline at most once per timeout/4: the
-		// netpoller timer update is a lock we need not take per frame.
-		// A silent peer is still dropped within [¾·timeout, timeout].
-		if now := time.Now(); now.Sub(armed) > timeout/4 {
-			conn.SetReadDeadline(now.Add(timeout))
-			armed = now
+	if timeout := a.cfg.peerTimeout(); timeout > 0 {
+		wd := sim.NewWatchdog(a.cfg.clock(), timeout, func() {
+			a.log.Warn("tunnel peer silent past timeout; closing", "timeout", timeout)
+			conn.Close() // unblocks the frame reader below
+		})
+		defer wd.Stop()
+		for {
+			f, err := fr.Next()
+			if err != nil {
+				return
+			}
+			wd.Touch()
+			a.dispatchFrame(f)
 		}
+	}
+	for {
 		f, err := fr.Next()
 		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				a.log.Warn("tunnel peer silent past timeout; closing", "timeout", timeout)
-			}
 			return
 		}
-		switch f.Type {
-		case wire.MsgPacket:
-			a.deliverPacket(f.Payload)
-		case wire.MsgConsoleOpen:
-			var m wire.ConsoleOpenMsg
-			if wire.DecodeJSON(f, wire.MsgConsoleOpen, &m) == nil {
-				a.consoleOpen(m)
-			}
-		case wire.MsgConsoleData:
-			if m, err := wire.DecodeConsoleData(f.Payload); err == nil {
-				a.consoleInput(m)
-			}
-		case wire.MsgConsoleClose:
-			var m wire.ConsoleCloseMsg
-			if wire.DecodeJSON(f, wire.MsgConsoleClose, &m) == nil {
-				a.consoleClose(m)
-			}
-		case wire.MsgKeepalive:
-		case wire.MsgError:
-			a.log.Warn("server error", "msg", string(f.Payload))
+		a.dispatchFrame(f)
+	}
+}
+
+// dispatchFrame routes one inbound tunnel frame to its handler.
+func (a *Agent) dispatchFrame(f wire.Frame) {
+	switch f.Type {
+	case wire.MsgPacket:
+		a.deliverPacket(f.Payload)
+	case wire.MsgConsoleOpen:
+		var m wire.ConsoleOpenMsg
+		if wire.DecodeJSON(f, wire.MsgConsoleOpen, &m) == nil {
+			a.consoleOpen(m)
 		}
+	case wire.MsgConsoleData:
+		if m, err := wire.DecodeConsoleData(f.Payload); err == nil {
+			a.consoleInput(m)
+		}
+	case wire.MsgConsoleClose:
+		var m wire.ConsoleCloseMsg
+		if wire.DecodeJSON(f, wire.MsgConsoleClose, &m) == nil {
+			a.consoleClose(m)
+		}
+	case wire.MsgKeepalive:
+	case wire.MsgError:
+		a.log.Warn("server error", "msg", string(f.Payload))
 	}
 }
 
@@ -458,8 +482,10 @@ func (a *Agent) deliverPacket(payload []byte) {
 }
 
 // keepaliveLoop emits periodic liveness frames until the connection dies.
+// The ticker runs on the agent clock, so simulated runs emit keepalives
+// on virtual time.
 func (a *Agent) keepaliveLoop(connClosed <-chan struct{}) {
-	t := time.NewTicker(a.cfg.keepaliveInterval())
+	t := sim.NewTicker(a.cfg.clock(), a.cfg.keepaliveInterval())
 	defer t.Stop()
 	for {
 		select {

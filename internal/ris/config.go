@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rnl/internal/netsim"
+	"rnl/internal/sim"
 )
 
 // Tunnel timing defaults. The keepalive interval matches the seed's
@@ -22,6 +23,11 @@ const (
 	DefaultReconnectBackoff    = time.Second
 	DefaultReconnectResetAfter = 30 * time.Second
 )
+
+// NoPeerTimeout disables the agent's dead-peer detection — deterministic
+// simulation runs use it so advancing virtual time cannot spuriously
+// tear down tunnels whose real-TCP traffic is still in flight.
+const NoPeerTimeout time.Duration = -1
 
 // PortMap binds one router port to the PC network interface adapter it is
 // physically wired to (the mapping the lab manager defines in Fig. 3).
@@ -85,6 +91,18 @@ type Config struct {
 	// SendQueueLen bounds the tunnel send queue (drop-oldest under
 	// backpressure); zero means wire.DefaultSendQueueLen.
 	SendQueueLen int
+	// Clock drives the keepalive cadence, dead-peer detection and redial
+	// backoff; nil means wall time. Detsim injects sim.Fake here so the
+	// agent's timing is virtual.
+	Clock sim.Clock
+}
+
+// clock resolves the injected clock (wall time by default).
+func (c *Config) clock() sim.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return sim.Real{}
 }
 
 func (c *Config) keepaliveInterval() time.Duration {
@@ -97,6 +115,9 @@ func (c *Config) keepaliveInterval() time.Duration {
 func (c *Config) peerTimeout() time.Duration {
 	if c.PeerTimeout > 0 {
 		return c.PeerTimeout
+	}
+	if c.PeerTimeout < 0 {
+		return 0 // NoPeerTimeout: detection disabled
 	}
 	return 3 * c.keepaliveInterval()
 }

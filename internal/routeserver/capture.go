@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rnl/internal/sim"
 )
 
 // CaptureDir is the direction of a captured frame relative to the port.
@@ -70,14 +72,18 @@ func (c *Capture) Stop() {
 // common case of no taps anywhere; the RWMutex only matters while a
 // capture is actually running.
 type captureHub struct {
+	clock  sim.Clock    // stamps CapturedPacket.When
 	active atomic.Int64 // installed taps, hub-wide
 	mu     sync.RWMutex
 	taps   map[PortKey][]*Capture
 	nextID int
 }
 
-func newCaptureHub() *captureHub {
-	return &captureHub{taps: make(map[PortKey][]*Capture)}
+func newCaptureHub(clock sim.Clock) *captureHub {
+	if clock == nil {
+		clock = sim.Real{}
+	}
+	return &captureHub{clock: clock, taps: make(map[PortKey][]*Capture)}
 }
 
 // add installs a tap with the given channel depth.
@@ -126,7 +132,7 @@ func (h *captureHub) deliver(port PortKey, dir CaptureDir, frame []byte, stats *
 	}
 	// Stamp and copy once per call, shared by every tap on the port.
 	cp := CapturedPacket{
-		When: time.Now(), Dir: dir, Port: port,
+		When: h.clock.Now(), Dir: dir, Port: port,
 		Frame: append([]byte(nil), frame...),
 	}
 	tapsCopy := append([]*Capture(nil), taps...)

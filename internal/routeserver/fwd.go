@@ -137,6 +137,15 @@ func (s *Server) buildFwd(gen uint64) *fwdTable {
 // New).
 func (s *Server) fwdSnapshot() *fwdTable { return s.fwd.Load() }
 
+// FwdGeneration reports the published forwarding snapshot's generation
+// alongside the latest control-plane mutation number. bumpFwd republishes
+// synchronously, so outside a mutation in flight published == latest; the
+// detsim harness asserts latest-published <= 1 (the snapshot is at most
+// one mutation stale) as an Always invariant.
+func (s *Server) FwdGeneration() (published, latest uint64) {
+	return s.fwd.Load().gen, s.fwdGen.Load()
+}
+
 // labCounter returns (creating on first use) the persistent counter
 // block for a lab.
 func (s *Server) labCounter(lab string) *labCounters {
@@ -156,7 +165,7 @@ func (s *Server) labLimiter(lab string) *admission.TokenBucket {
 	defer s.labMu.Unlock()
 	b := s.labLimits[lab]
 	if b == nil {
-		b = admission.NewTokenBucket(s.opts.LabRateLimit, s.opts.LabRateBurst)
+		b = admission.NewTokenBucketClock(s.opts.LabRateLimit, s.opts.LabRateBurst, s.clock)
 		s.labLimits[lab] = b
 	}
 	return b

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"rnl/internal/sim"
 )
 
 // PortKey uniquely identifies a router port in the labs.
@@ -79,6 +81,7 @@ type offlineRouter struct {
 // ("those specialized equipment defined by users could come and go at
 // any time" — coming back must not destroy a deployed lab).
 type registry struct {
+	clock      sim.Clock // stamps offlineAt; the server's injected clock
 	mu         sync.RWMutex
 	routers    map[uint32]*RouterInfo
 	byKey      map[routerKey]uint32
@@ -86,8 +89,12 @@ type registry struct {
 	nextPort   uint32
 }
 
-func newRegistry() *registry {
+func newRegistry(clock sim.Clock) *registry {
+	if clock == nil {
+		clock = sim.Real{}
+	}
 	return &registry{
+		clock:      clock,
 		routers:    make(map[uint32]*RouterInfo),
 		byKey:      make(map[routerKey]uint32),
 		nextRouter: 1,
@@ -157,7 +164,7 @@ func (g *registry) markSessionOffline(sessionID uint64) []offlineRouter {
 		if r.sessionID == sessionID && r.Online {
 			r.Online = false
 			r.sessionID = 0
-			r.offlineAt = time.Now()
+			r.offlineAt = g.clock.Now()
 			r.epoch++
 			mRoutersOffline.Inc()
 			out = append(out, offlineRouter{id: id, epoch: r.epoch})
@@ -266,7 +273,7 @@ func (g *registry) importState(routers []RouterInfo, nextRouter, nextPort uint32
 		r.Ports = append([]PortInfo(nil), in.Ports...)
 		r.Online = false
 		r.sessionID = 0
-		r.offlineAt = time.Now()
+		r.offlineAt = g.clock.Now()
 		r.epoch = 1
 		g.routers[r.ID] = &r
 		g.byKey[key] = r.ID

@@ -12,6 +12,7 @@ import (
 
 	"rnl/internal/admission"
 	"rnl/internal/compress"
+	"rnl/internal/sim"
 	"rnl/internal/wire"
 )
 
@@ -32,6 +33,12 @@ const DefaultRouterGracePeriod = 60 * time.Second
 // are deleted from the inventory immediately.
 const NoRouterGrace time.Duration = -1
 
+// NoPeerTimeout disables silent-peer detection. Deterministic simulation
+// runs use it so advancing virtual time far past the timeout (to expire a
+// grace period, say) cannot spuriously drop sessions whose real-TCP
+// keepalives are still in flight.
+const NoPeerTimeout time.Duration = -1
+
 // Options configures a route server.
 type Options struct {
 	// AllowCompression accepts RIS compression offers (paper §4).
@@ -39,8 +46,14 @@ type Options struct {
 	// Logger receives operational events; nil means slog.Default.
 	Logger *slog.Logger
 	// PeerTimeout drops a session with no inbound traffic for this
-	// long; zero means DefaultPeerTimeout.
+	// long; zero means DefaultPeerTimeout, NoPeerTimeout (negative)
+	// disables the check entirely.
 	PeerTimeout time.Duration
+	// Clock drives every timestamp and timer on the control plane (peer
+	// watchdogs, grace-expiry GC, snapshot cadence, capture stamps,
+	// per-lab token buckets); nil means wall time. The packet fast path
+	// itself reads no clock.
+	Clock sim.Clock
 	// SendQueueLen bounds each session's tunnel send queue (drop-oldest
 	// under backpressure); zero means wire.DefaultSendQueueLen.
 	SendQueueLen int
@@ -93,8 +106,9 @@ type Stats struct {
 
 // Server is the route server: the rendezvous point of every RIS tunnel.
 type Server struct {
-	opts Options
-	log  *slog.Logger
+	opts  Options
+	log   *slog.Logger
+	clock sim.Clock
 
 	ln       net.Listener
 	reg      *registry
@@ -108,8 +122,8 @@ type Server struct {
 	nextSess uint64
 	closed   bool
 	wg       sync.WaitGroup
-	onChange []func()                // registry-change notifications (web UI refresh)
-	gcTimers map[uint32]*time.Timer // pending grace-expiry collections by router ID
+	onChange []func()             // registry-change notifications (web UI refresh)
+	gcTimers map[uint32]sim.Timer // pending grace-expiry collections by router ID
 
 	saveMu        sync.Mutex    // serializes state-snapshot writers
 	stopSnapshots chan struct{} // closed by Close; ends the periodic snapshot loop
@@ -196,16 +210,21 @@ func New(opts Options) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = sim.Real{}
+	}
 	s := &Server{
 		opts:          opts,
 		log:           logger,
-		reg:           newRegistry(),
+		clock:         clock,
+		reg:           newRegistry(clock),
 		matrix:        newMatrix(),
-		captures:      newCaptureHub(),
+		captures:      newCaptureHub(clock),
 		consoles:      newConsoleHub(),
 		sessions:      make(map[uint64]*session),
 		nextSess:      1,
-		gcTimers:      make(map[uint32]*time.Timer),
+		gcTimers:      make(map[uint32]sim.Timer),
 		stopSnapshots: make(chan struct{}),
 		labLimits:     make(map[string]*admission.TokenBucket),
 		labStats:      make(map[string]*labCounters),
@@ -370,10 +389,13 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// peerTimeout resolves the configured silent-peer window.
+// peerTimeout resolves the configured silent-peer window (0 = disabled).
 func (s *Server) peerTimeout() time.Duration {
 	if s.opts.PeerTimeout > 0 {
 		return s.opts.PeerTimeout
+	}
+	if s.opts.PeerTimeout < 0 {
+		return 0
 	}
 	return DefaultPeerTimeout
 }
@@ -394,8 +416,25 @@ func (s *Server) serveSession(sess *session) {
 	defer s.wg.Done()
 	defer s.dropSession(sess)
 
+	// The handshake installs the batched writer partway through (after
+	// compression is negotiated, before the join publishes); tear it down
+	// on every exit path, including a handshake that fails after the
+	// install point.
+	defer func() {
+		if wc := sess.wc.Load(); wc != nil {
+			wc.Close()
+		}
+	}()
+
+	// The handshake deadline stays on the kernel clock: it bounds a raw
+	// synchronous read on a brand-new TCP connection, where wall time is
+	// the only meaningful notion of "stuck" even inside a simulation.
 	timeout := s.peerTimeout()
-	sess.conn.SetDeadline(time.Now().Add(timeout))
+	hsTimeout := timeout
+	if hsTimeout <= 0 {
+		hsTimeout = DefaultPeerTimeout
+	}
+	sess.conn.SetDeadline(time.Now().Add(hsTimeout))
 	if err := s.handshake(sess); err != nil {
 		if !errors.Is(err, io.EOF) {
 			s.log.Warn("handshake failed", "session", sess.id, "err", err)
@@ -404,66 +443,65 @@ func (s *Server) serveSession(sess *session) {
 	}
 	sess.conn.SetDeadline(time.Time{})
 
-	// Switch outbound traffic to the asynchronous batched writer.
-	var enc func([]byte) ([]byte, uint16)
-	if comp := sess.comp; comp != nil {
-		enc = func(data []byte) ([]byte, uint16) {
-			return comp.Compress(data), wire.FlagCompressed
-		}
-	}
-	wc := wire.NewConn(sess.conn, wire.ConnConfig{
-		QueueLen: s.opts.SendQueueLen,
-		Encoder:  enc,
-		OnShed: func(class string, n int) {
-			s.stats.PacketsDropped.Add(uint64(n))
-			mPacketsDropped.Add(uint64(n))
-			s.countShed(class, uint64(n))
-		},
-	})
-	sess.setConn(wc)
-	defer wc.Close()
-
-	// The read deadline (3 missed keepalives at the defaults) tears down
-	// half-open peers that TCP alone never notices; the RIS sends a
-	// keepalive every interval, so a healthy session always refreshes.
-	// Re-arming mutates a runtime-pollster timer under its lock, so the
-	// hot loop coalesces: the deadline is pushed out at most once per
-	// quarter-timeout instead of once per frame. A busy tunnel still
-	// re-arms every window; a silent one is dropped within [¾t, t].
+	// Dead-peer detection (3 missed keepalives at the defaults) tears
+	// down half-open peers that TCP alone never notices; the RIS sends a
+	// keepalive every interval, so a healthy session always touches the
+	// watchdog. The watchdog runs on the server clock — not on kernel
+	// read deadlines — so silence detection is deterministic under
+	// sim.Fake and costs the hot loop one Touch per frame instead of a
+	// runtime-pollster timer mutation.
 	fr := wire.NewFrameReader(sess.conn)
 	defer fr.Close()
-	var armed time.Time
-	for {
-		if now := time.Now(); now.Sub(armed) > timeout/4 {
-			sess.conn.SetReadDeadline(now.Add(timeout))
-			armed = now
+	if timeout > 0 {
+		wd := sim.NewWatchdog(s.clock, timeout, func() {
+			s.log.Warn("session silent past timeout; dropping", "session", sess.id, "timeout", timeout)
+			sess.conn.Close() // unblocks the frame reader below
+		})
+		defer wd.Stop()
+		for {
+			f, err := fr.Next()
+			if err != nil {
+				return
+			}
+			wd.Touch()
+			s.dispatchFrame(sess, f)
+			if f.Type == wire.MsgLeave {
+				return
+			}
 		}
+	}
+	for {
 		f, err := fr.Next()
 		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				s.log.Warn("session silent past timeout; dropping", "session", sess.id, "timeout", timeout)
-			}
 			return
 		}
-		switch f.Type {
-		case wire.MsgPacket:
-			s.handlePacket(sess, f.Payload)
-		case wire.MsgConsoleData:
-			s.consoles.fromRIS(f.Payload)
-		case wire.MsgConsoleClose:
-			var m wire.ConsoleCloseMsg
-			if wire.DecodeJSON(f, wire.MsgConsoleClose, &m) == nil {
-				s.consoles.closeSession(m.SessionID)
-			}
-		case wire.MsgKeepalive:
-			// Echo so the RIS sees inbound traffic on an otherwise idle
-			// tunnel and its own dead-peer timer stays quiet.
-			sess.writeFrame(wire.Frame{Type: wire.MsgKeepalive})
-		case wire.MsgLeave:
+		s.dispatchFrame(sess, f)
+		if f.Type == wire.MsgLeave {
 			return
-		default:
-			s.log.Warn("unexpected message", "session", sess.id, "type", f.Type)
 		}
+	}
+}
+
+// dispatchFrame routes one inbound tunnel frame to its handler. MsgLeave
+// is a no-op here; the serve loop exits on it.
+func (s *Server) dispatchFrame(sess *session, f wire.Frame) {
+	switch f.Type {
+	case wire.MsgPacket:
+		s.handlePacket(sess, f.Payload)
+	case wire.MsgConsoleData:
+		s.consoles.fromRIS(f.Payload)
+	case wire.MsgConsoleClose:
+		var m wire.ConsoleCloseMsg
+		if wire.DecodeJSON(f, wire.MsgConsoleClose, &m) == nil {
+			s.consoles.closeSession(m.SessionID)
+		}
+	case wire.MsgKeepalive:
+		// Echo so the RIS sees inbound traffic on an otherwise idle
+		// tunnel and its own dead-peer timer stays quiet.
+		sess.writeFrame(wire.Frame{Type: wire.MsgKeepalive})
+	case wire.MsgLeave:
+	default:
+		s.log.Warn("unexpected message", "session", sess.id, "type", f.Type)
 	}
 }
 
@@ -500,6 +538,29 @@ func (s *Server) handshake(sess *session) error {
 		sess.decomp = compress.NewDecompressor()
 	}
 
+	// Switch outbound traffic to the asynchronous batched writer now —
+	// before the join is processed — so the session accepts fast-path
+	// packet writes the instant a forwarding snapshot references it.
+	// Installing the writer only after the handshake returned left a
+	// window (stretched to milliseconds by the post-join persist) where
+	// the published snapshot pointed at a session whose writer did not
+	// exist yet and deliverable packets were misaccounted as no_route.
+	var enc func([]byte) ([]byte, uint16)
+	if comp := sess.comp; comp != nil {
+		enc = func(data []byte) ([]byte, uint16) {
+			return comp.Compress(data), wire.FlagCompressed
+		}
+	}
+	sess.setConn(wire.NewConn(sess.conn, wire.ConnConfig{
+		QueueLen: s.opts.SendQueueLen,
+		Encoder:  enc,
+		OnShed: func(class string, n int) {
+			s.stats.PacketsDropped.Add(uint64(n))
+			mPacketsDropped.Add(uint64(n))
+			s.countShed(class, uint64(n))
+		},
+	}))
+
 	f, err = wire.ReadFrame(sess.conn)
 	if err != nil {
 		return err
@@ -529,8 +590,6 @@ func (s *Server) handshake(sess *session) error {
 		if rejoined {
 			s.cancelGC(reg.ID)
 			routes := s.matrix.reinstallRouter(reg.ID, s.reg.portExists)
-			s.stats.Recoveries.Add(1)
-			mRecoveries.Inc()
 			recovered++
 			s.log.Info("router re-joined; lab state reconciled",
 				"router", reg.Name, "id", reg.ID, "routes", routes)
@@ -544,8 +603,14 @@ func (s *Server) handshake(sess *session) error {
 	}
 	// Publish the joined routers (and any reinstalled routes) to the
 	// forwarding snapshot before acking, so the agent's first data frame
-	// finds its wires.
+	// finds its wires. The recovery counter moves only after the publish:
+	// anyone who observes the recovery must also observe the reinstalled
+	// routes, or a recovered-looking cluster can still return no_route.
 	s.bumpFwd()
+	if recovered > 0 {
+		s.stats.Recoveries.Add(uint64(recovered))
+		mRecoveries.Add(uint64(recovered))
+	}
 	joinAck, err := wire.EncodeJSON(wire.MsgJoinAck, ackMsg)
 	if err != nil {
 		return err
@@ -611,7 +676,7 @@ func (s *Server) scheduleGC(id uint32, epoch uint64, grace time.Duration) {
 	if old := s.gcTimers[id]; old != nil {
 		old.Stop()
 	}
-	s.gcTimers[id] = time.AfterFunc(grace, func() { s.gcRouter(id, epoch) })
+	s.gcTimers[id] = s.clock.AfterFunc(grace, func() { s.gcRouter(id, epoch) })
 }
 
 // cancelGC disarms a pending collection after a re-join.

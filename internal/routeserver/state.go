@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"rnl/internal/sim"
 )
 
 // DefaultSnapshotInterval is the periodic state-snapshot cadence — a
@@ -57,7 +59,7 @@ func (s *Server) persist() {
 func (s *Server) saveState() error {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
-	st := persistedState{SavedAt: time.Now()}
+	st := persistedState{SavedAt: s.clock.Now()}
 	st.Routers, st.NextRouter, st.NextPort = s.reg.exportState()
 	st.Deployments = s.matrix.exportState()
 	data, err := json.MarshalIndent(st, "", "  ")
@@ -105,10 +107,11 @@ func (s *Server) snapshotInterval() time.Duration {
 	return DefaultSnapshotInterval
 }
 
-// snapshotLoop persists periodically until Close.
+// snapshotLoop persists periodically until Close. The ticker runs on the
+// server clock, so simulated runs snapshot on virtual time.
 func (s *Server) snapshotLoop() {
 	defer s.wg.Done()
-	t := time.NewTicker(s.snapshotInterval())
+	t := sim.NewTicker(s.clock, s.snapshotInterval())
 	defer t.Stop()
 	for {
 		select {

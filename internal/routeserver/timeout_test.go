@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rnl/internal/routeserver"
+	"rnl/internal/sim"
 	"rnl/internal/wire"
 )
 
@@ -46,11 +47,15 @@ func rawJoin(t *testing.T, addr, pcName string) net.Conn {
 
 // TestServerDropsSilentPeer: a session that stops sending anything —
 // including keepalives — must be torn down after PeerTimeout and its
-// inventory withdrawn, instead of lingering half-open forever.
+// inventory withdrawn, instead of lingering half-open forever. The
+// silence window is virtual: the test advances a fake clock instead of
+// sleeping through real timeout windows.
 func TestServerDropsSilentPeer(t *testing.T) {
+	clock := sim.NewFake(time.Unix(0, 0))
 	s := startServer(t, routeserver.Options{
 		PeerTimeout:       200 * time.Millisecond,
 		RouterGracePeriod: routeserver.NoRouterGrace,
+		Clock:             clock,
 	})
 
 	conn := rawJoin(t, s.Addr(), "pc-silent")
@@ -58,39 +63,40 @@ func TestServerDropsSilentPeer(t *testing.T) {
 		t.Fatalf("inventory after join = %d routers, want 1", got)
 	}
 
-	// Go silent: keep the TCP connection open but never write again.
+	// Go silent: keep the TCP connection open but never write again, and
+	// push virtual time past the timeout until the watchdog (armed by the
+	// serve loop, possibly an instant after rawJoin returns) fires and the
+	// drop propagates.
 	deadline := time.Now().Add(5 * time.Second)
 	for len(s.Inventory()) != 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("server never dropped the silent session")
 		}
-		time.Sleep(10 * time.Millisecond)
+		clock.Advance(200 * time.Millisecond)
+		time.Sleep(time.Millisecond)
 	}
 	_ = conn // held open the whole time; only silence triggered the drop
 }
 
 // TestServerKeepsTalkativePeer: keepalives alone must be enough to stay
 // registered — the timeout fires on silence, not on missing data frames.
+// Each round waits for the server's keepalive echo before advancing the
+// clock, so the watchdog is provably touched between advances and the
+// test is deterministic (and sleeps no real time).
 func TestServerKeepsTalkativePeer(t *testing.T) {
-	s := startServer(t, routeserver.Options{PeerTimeout: 200 * time.Millisecond})
+	clock := sim.NewFake(time.Unix(0, 0))
+	s := startServer(t, routeserver.Options{PeerTimeout: 200 * time.Millisecond, Clock: clock})
 
 	conn := rawJoin(t, s.Addr(), "pc-alive")
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		for {
-			select {
-			case <-stop:
-				return
-			case <-time.After(50 * time.Millisecond):
-				if wire.WriteFrame(conn, wire.Frame{Type: wire.MsgKeepalive}) != nil {
-					return
-				}
-			}
+	for i := 0; i < 10; i++ { // 1s of virtual time, touch every half-window
+		if err := wire.WriteFrame(conn, wire.Frame{Type: wire.MsgKeepalive}); err != nil {
+			t.Fatalf("keepalive %d: %v", i, err)
 		}
-	}()
-
-	time.Sleep(time.Second) // five timeout windows
+		if _, err := wire.ReadFrame(conn); err != nil {
+			t.Fatalf("keepalive echo %d: %v", i, err)
+		}
+		clock.Advance(100 * time.Millisecond)
+	}
 	if got := len(s.Inventory()); got != 1 {
 		t.Errorf("inventory after 1s of keepalives = %d routers, want 1", got)
 	}

@@ -40,11 +40,19 @@ func (Real) Sleep(d time.Duration) { time.Sleep(d) }
 
 // Fake is a manually advanced clock for deterministic tests. The zero value
 // is not usable; call NewFake.
+//
+// Determinism contract: timers fire in (when, creation id) order — two runs
+// that schedule the same timers in the same order observe the same firing
+// schedule. AfterFunc never runs the callback synchronously, even for
+// d <= 0: the timer becomes due at the current instant and fires on the
+// next Advance (including Advance(0)). Callers may therefore invoke
+// AfterFunc while holding their own locks without re-entering themselves.
 type Fake struct {
-	mu     sync.Mutex
-	now    time.Time
-	nextID int
-	timers []*fakeTimer
+	mu        sync.Mutex
+	now       time.Time
+	nextID    int
+	timers    []*fakeTimer
+	advancing bool // an Advance is draining timers on some goroutine
 }
 
 type fakeTimer struct {
@@ -67,16 +75,21 @@ func (c *Fake) Now() time.Time {
 	return c.now
 }
 
-// AfterFunc implements Clock.
+// AfterFunc implements Clock. A non-positive d schedules the timer at the
+// current instant; it fires on the next Advance call (never synchronously
+// inside AfterFunc — see the determinism contract above). Re-entering
+// Advance here would run f while the caller potentially holds locks f
+// also wants, a deadlock the seed implementation was one unlucky caller
+// away from.
 func (c *Fake) AfterFunc(d time.Duration, f func()) Timer {
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
 	t := &fakeTimer{clock: c, id: c.nextID, when: c.now.Add(d), f: f}
 	c.nextID++
 	c.timers = append(c.timers, t)
-	c.mu.Unlock()
-	if d <= 0 {
-		c.Advance(0)
-	}
 	return t
 }
 
@@ -85,12 +98,27 @@ func (c *Fake) AfterFunc(d time.Duration, f func()) Timer {
 // deadlock single-goroutine tests.
 func (c *Fake) Sleep(time.Duration) {}
 
-// Advance moves the clock forward, firing due timers in order. Callbacks
-// run without the clock lock held, so they may schedule more timers; timers
-// scheduled inside callbacks fire too if they land within the window.
+// Advance moves the clock forward, firing due timers in deterministic
+// (when, id) order. Callbacks run without the clock lock held, so they may
+// schedule more timers; timers scheduled inside callbacks fire too if they
+// land within the window. A nested Advance from inside a callback (or a
+// concurrent Advance from another goroutine) only moves the target time:
+// the outermost draining call fires every due timer, keeping the firing
+// order a single deterministic sequence.
 func (c *Fake) Advance(d time.Duration) {
 	c.mu.Lock()
 	target := c.now.Add(d)
+	if c.advancing {
+		// Someone is already draining; just extend their horizon. They
+		// re-scan after every callback, so they will pick up the new
+		// target (monotonically: never move time backwards).
+		if target.After(c.now) {
+			c.now = target
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.advancing = true
 	for {
 		var next *fakeTimer
 		for _, t := range c.timers {
@@ -113,13 +141,23 @@ func (c *Fake) Advance(d time.Duration) {
 		c.mu.Unlock()
 		f()
 		c.mu.Lock()
+		// A nested Advance may have pushed time past our target; honor it.
+		if c.now.After(target) {
+			target = c.now
+		}
 	}
-	c.now = target
+	if target.After(c.now) {
+		c.now = target
+	}
+	c.advancing = false
 	c.compactLocked()
 	c.mu.Unlock()
 }
 
-// compactLocked drops fired timers to bound memory in long tests.
+// compactLocked drops fired timers to bound memory in long tests. The
+// stable (when, id) sort keeps the pending slice in firing order, so a
+// scan is cheap and — more importantly — the order is identical across
+// runs that scheduled identically.
 func (c *Fake) compactLocked() {
 	live := c.timers[:0]
 	for _, t := range c.timers {
@@ -128,7 +166,12 @@ func (c *Fake) compactLocked() {
 		}
 	}
 	c.timers = live
-	sort.Slice(c.timers, func(i, j int) bool { return c.timers[i].when.Before(c.timers[j].when) })
+	sort.SliceStable(c.timers, func(i, j int) bool {
+		if !c.timers[i].when.Equal(c.timers[j].when) {
+			return c.timers[i].when.Before(c.timers[j].when)
+		}
+		return c.timers[i].id < c.timers[j].id
+	})
 }
 
 // Stop implements Timer.
@@ -138,4 +181,132 @@ func (t *fakeTimer) Stop() bool {
 	was := t.fired
 	t.fired = true
 	return !was
+}
+
+// --- ticker ----------------------------------------------------------------
+
+// Ticker delivers the clock's current time on C every interval, built on
+// Clock.AfterFunc so it works identically on Real and Fake clocks. Like
+// time.Ticker it drops ticks a slow receiver misses (C has capacity 1).
+// Call Stop when done.
+type Ticker struct {
+	C <-chan time.Time
+
+	c        Clock
+	ch       chan time.Time
+	interval time.Duration
+
+	mu      sync.Mutex
+	t       Timer
+	stopped bool
+}
+
+// NewTicker starts a ticker on the given clock. interval must be > 0.
+func NewTicker(c Clock, interval time.Duration) *Ticker {
+	if interval <= 0 {
+		panic("sim: NewTicker interval must be positive")
+	}
+	ch := make(chan time.Time, 1)
+	tk := &Ticker{C: ch, c: c, ch: ch, interval: interval}
+	tk.mu.Lock()
+	tk.arm()
+	tk.mu.Unlock()
+	return tk
+}
+
+// arm schedules the next tick; callers hold tk.mu.
+func (tk *Ticker) arm() {
+	tk.t = tk.c.AfterFunc(tk.interval, tk.tick)
+}
+
+func (tk *Ticker) tick() {
+	tk.mu.Lock()
+	if tk.stopped {
+		tk.mu.Unlock()
+		return
+	}
+	tk.arm()
+	tk.mu.Unlock()
+	select {
+	case tk.ch <- tk.c.Now():
+	default: // receiver is behind; drop the tick like time.Ticker does
+	}
+}
+
+// Stop cancels the ticker. It does not close C.
+func (tk *Ticker) Stop() {
+	tk.mu.Lock()
+	tk.stopped = true
+	if tk.t != nil {
+		tk.t.Stop()
+	}
+	tk.mu.Unlock()
+}
+
+// --- watchdog --------------------------------------------------------------
+
+// Watchdog invokes expired once when no Touch has arrived for timeout —
+// the dead-peer detector tunnels use instead of re-arming kernel read
+// deadlines. It checks lazily: a timer fires at the earliest possible
+// expiry, and each check re-arms for the remaining idle allowance, so an
+// actively touched watchdog wakes rarely. Driven entirely by the Clock,
+// it is deterministic under sim.Fake.
+type Watchdog struct {
+	c       Clock
+	timeout time.Duration
+	expired func()
+
+	mu      sync.Mutex
+	t       Timer
+	last    time.Time
+	stopped bool
+}
+
+// NewWatchdog arms a watchdog; timeout must be > 0. expired runs on the
+// clock's timer goroutine (or inside Advance on a fake clock) and must
+// not call back into the watchdog.
+func NewWatchdog(c Clock, timeout time.Duration, expired func()) *Watchdog {
+	if timeout <= 0 {
+		panic("sim: NewWatchdog timeout must be positive")
+	}
+	w := &Watchdog{c: c, timeout: timeout, expired: expired}
+	w.mu.Lock()
+	w.last = c.Now()
+	w.t = c.AfterFunc(timeout, w.check)
+	w.mu.Unlock()
+	return w
+}
+
+// Touch records liveness, pushing the expiry out to now+timeout.
+func (w *Watchdog) Touch() {
+	w.mu.Lock()
+	w.last = w.c.Now()
+	w.mu.Unlock()
+}
+
+func (w *Watchdog) check() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	idle := w.c.Now().Sub(w.last)
+	if idle >= w.timeout {
+		w.stopped = true
+		w.mu.Unlock()
+		w.expired()
+		return
+	}
+	w.t = w.c.AfterFunc(w.timeout-idle, w.check)
+	w.mu.Unlock()
+}
+
+// Stop disarms the watchdog; expired will not be called afterwards.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	w.stopped = true
+	if w.t != nil {
+		w.t.Stop()
+	}
+	w.mu.Unlock()
 }

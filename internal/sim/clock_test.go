@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -71,12 +72,127 @@ func TestFakeRescheduleInsideCallback(t *testing.T) {
 	}
 }
 
-func TestFakeZeroDelayFiresImmediately(t *testing.T) {
+func TestFakeZeroDelayFiresOnNextAdvance(t *testing.T) {
 	c := NewFake(time.Unix(0, 0))
 	var fired atomic.Int32
 	c.AfterFunc(0, func() { fired.Add(1) })
-	if fired.Load() != 1 {
-		t.Error("zero-delay timer did not fire on schedule")
+	c.AfterFunc(-time.Second, func() { fired.Add(1) })
+	// Never synchronously: the caller may hold locks the callback wants.
+	if fired.Load() != 0 {
+		t.Fatal("zero-delay timer fired inside AfterFunc")
+	}
+	c.Advance(0)
+	if fired.Load() != 2 {
+		t.Errorf("due timers after Advance(0) = %d, want 2", fired.Load())
+	}
+}
+
+// TestFakeAfterFuncWhileLocked is the regression test for the seed's
+// fire-while-locked bug: AfterFunc(0) used to re-enter Advance(0)
+// synchronously, running the callback while the caller still held its own
+// lock — a deadlock whenever the callback wanted that lock too.
+func TestFakeAfterFuncWhileLocked(t *testing.T) {
+	c := NewFake(time.Unix(0, 0))
+	var mu sync.Mutex
+	var fired bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mu.Lock()
+		c.AfterFunc(0, func() {
+			mu.Lock() // deadlocks here if the callback runs synchronously
+			fired = true
+			mu.Unlock()
+		})
+		mu.Unlock()
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("AfterFunc(0) deadlocked against the caller's lock")
+	}
+	c.Advance(0)
+	mu.Lock()
+	defer mu.Unlock()
+	if !fired {
+		t.Error("due timer never fired on Advance")
+	}
+}
+
+// TestFakeTieBreakByID: timers due at the same instant fire in creation
+// order, so identical schedules give identical interleavings across runs.
+func TestFakeTieBreakByID(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		c := NewFake(time.Unix(0, 0))
+		var order []int
+		for i := 0; i < 8; i++ {
+			i := i
+			c.AfterFunc(10*time.Millisecond, func() { order = append(order, i) })
+		}
+		c.Advance(10 * time.Millisecond)
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("run %d: fire order %v, want creation order", run, order)
+			}
+		}
+	}
+}
+
+func TestTickerOnFakeClock(t *testing.T) {
+	c := NewFake(time.Unix(0, 0))
+	tk := NewTicker(c, 10*time.Millisecond)
+	defer tk.Stop()
+	for i := 1; i <= 3; i++ {
+		c.Advance(10 * time.Millisecond)
+		select {
+		case at := <-tk.C:
+			if want := time.Unix(0, 0).Add(time.Duration(i) * 10 * time.Millisecond); !at.Equal(want) {
+				t.Errorf("tick %d at %v, want %v", i, at, want)
+			}
+		default:
+			t.Fatalf("tick %d never delivered", i)
+		}
+	}
+	tk.Stop()
+	c.Advance(time.Second)
+	select {
+	case <-tk.C:
+		t.Error("stopped ticker still ticking")
+	default:
+	}
+}
+
+func TestWatchdogExpiresOnSilence(t *testing.T) {
+	c := NewFake(time.Unix(0, 0))
+	var expired atomic.Int32
+	w := NewWatchdog(c, 100*time.Millisecond, func() { expired.Add(1) })
+	// Touched regularly: never expires.
+	for i := 0; i < 5; i++ {
+		c.Advance(60 * time.Millisecond)
+		w.Touch()
+	}
+	if expired.Load() != 0 {
+		t.Fatal("watchdog expired despite regular touches")
+	}
+	// Silence: expires exactly once.
+	c.Advance(200 * time.Millisecond)
+	if expired.Load() != 1 {
+		t.Fatalf("expired = %d after silence, want 1", expired.Load())
+	}
+	c.Advance(time.Second)
+	if expired.Load() != 1 {
+		t.Error("watchdog expired more than once")
+	}
+}
+
+func TestWatchdogStop(t *testing.T) {
+	c := NewFake(time.Unix(0, 0))
+	var expired atomic.Int32
+	w := NewWatchdog(c, 50*time.Millisecond, func() { expired.Add(1) })
+	w.Stop()
+	c.Advance(time.Second)
+	if expired.Load() != 0 {
+		t.Error("stopped watchdog expired")
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"rnl/internal/admission"
+	"rnl/internal/sim"
 )
 
 // Tuning defaults for Conn.
@@ -55,8 +56,16 @@ var ErrConnClosed = errors.New("wire: connection closed")
 type ConnConfig struct {
 	// QueueLen bounds queued packets (control frames are exempt).
 	QueueLen int
-	// WriteTimeout bounds a single batch write to the peer.
+	// WriteTimeout bounds a single batch write to the peer. Zero means
+	// DefaultWriteTimeout; negative disables the kernel write deadline
+	// entirely (deterministic simulation runs, where wall-time deadlines
+	// must never fire under virtual-time pauses). Close still applies
+	// its own short grace deadline so shutdown cannot wedge.
 	WriteTimeout time.Duration
+	// Clock supplies the write-duration bookkeeping timestamps (metrics);
+	// nil means wall time. Kernel deadlines always use wall time — the
+	// only clock net.Conn understands.
+	Clock sim.Clock
 	// WriteBufSize sizes the coalescing write buffer.
 	WriteBufSize int
 	// Encoder, when set, transforms each packet payload just before it
@@ -143,6 +152,9 @@ func NewConn(nc net.Conn, cfg ConnConfig) *Conn {
 	}
 	if cfg.WriteBufSize <= 0 {
 		cfg.WriteBufSize = DefaultWriteBufSize
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.Real{}
 	}
 	c := &Conn{nc: nc, cfg: cfg, shed: admission.NewShedder(), done: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
@@ -316,13 +328,13 @@ func (c *Conn) writeLoop() {
 		mBatchFrames.Observe(float64(live))
 
 		timeout := c.cfg.WriteTimeout
-		if closing && timeout > closeGrace {
+		if closing && (timeout <= 0 || timeout > closeGrace) {
 			timeout = closeGrace
 		}
 		if timeout > 0 {
 			c.nc.SetWriteDeadline(time.Now().Add(timeout))
 		}
-		start := time.Now()
+		start := c.cfg.Clock.Now()
 		bytesBefore := c.stats.BytesWritten.Load()
 		var err error
 		written := 0
@@ -344,7 +356,7 @@ func (c *Conn) writeLoop() {
 				mFlushes.Inc()
 			}
 		}
-		mWriteSeconds.Observe(time.Since(start).Seconds())
+		mWriteSeconds.Observe(c.cfg.Clock.Now().Sub(start).Seconds())
 		mFramesSent.Add(uint64(written))
 		mBytesSent.Add(c.stats.BytesWritten.Load() - bytesBefore)
 		if err != nil {
