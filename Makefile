@@ -11,6 +11,7 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/... ./internal/detsim/...
 	$(GO) test -run '^$$' -bench ForwardFastPath -benchtime 1x ./internal/routeserver/
+	$(GO) test -count=1 -run 'Datagram|Dgram' . ./internal/wire/ ./internal/detsim/
 	$(MAKE) sim
 
 # Deterministic cluster simulation: the pinned seed corpus plus
@@ -39,9 +40,11 @@ soak:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1s ./...
 
-# Forwarding fast-path benchmarks, recorded as machine-readable JSON
-# (BENCH_fastpath.json) for before/after comparison across PRs.
+# Forwarding fast-path and transport benchmarks, recorded as
+# machine-readable JSON (BENCH_fastpath.json) for before/after
+# comparison across PRs.
 bench-fast:
 	{ $(GO) test -run '^$$' -bench ForwardFastPath -benchtime 2s -count 3 ./internal/routeserver/ ; \
-	  $(GO) test -run '^$$' -bench Fig4PacketFlow -benchtime 1s . ; } \
+	  $(GO) test -run '^$$' -bench Fig4PacketFlow -benchtime 1s . ; \
+	  $(GO) test -run '^$$' -bench Transport -benchtime 1s ./internal/wire/ ; } \
 	| tee /dev/stderr | $(GO) run ./internal/tools/benchjson > BENCH_fastpath.json

@@ -8,6 +8,7 @@
 //	  "server": "127.0.0.1:9000",
 //	  "pc_name": "pc-sanjose-1",
 //	  "compress": true,
+//	  "datagram": false,
 //	  "devices": [
 //	    {"kind": "host",   "name": "s1",  "ip": "10.0.0.1/24", "gateway": "10.0.0.254"},
 //	    {"kind": "router", "name": "r1",  "ports": ["e0", "e1"]},
@@ -55,6 +56,7 @@ type fileConfig struct {
 	Server   string       `json:"server"`
 	PCName   string       `json:"pc_name"`
 	Compress bool         `json:"compress"`
+	Datagram bool         `json:"datagram"`
 	Devices  []deviceSpec `json:"devices"`
 }
 
@@ -182,7 +184,7 @@ func main() {
 	if *fast {
 		timers = device.FastTimers()
 	}
-	cfg := ris.Config{ServerAddr: fc.Server, PCName: fc.PCName, Compress: fc.Compress}
+	cfg := ris.Config{ServerAddr: fc.Server, PCName: fc.PCName, Compress: fc.Compress, Datagram: fc.Datagram}
 	var stops []func()
 	defer func() {
 		for i := len(stops) - 1; i >= 0; i-- {

@@ -30,17 +30,21 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
+	"rnl/internal/admission"
 	"rnl/internal/api"
+	"rnl/internal/sim"
 	"rnl/internal/topology"
 )
 
@@ -303,7 +307,16 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		for {
+		// Poll with jittered backoff on one reused timer instead of a
+		// fixed 500ms sleep: short streams finish after one quick check,
+		// long ones settle toward gentle polling, and a fleet of scripted
+		// clients never synchronizes its status requests. Ctrl-C stops
+		// watching without killing the server-side stream.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stopSignals()
+		poll := sim.NewOneShot(sim.Real{})
+		defer poll.Stop()
+		for attempt := 0; ; attempt++ {
 			st, err := c.StreamStatus(id)
 			if err != nil {
 				fatal("%v", err)
@@ -312,7 +325,13 @@ func main() {
 			if !st.Running {
 				break
 			}
-			time.Sleep(500 * time.Millisecond)
+			poll.Arm(admission.Backoff(attempt, 200*time.Millisecond, 2*time.Second))
+			select {
+			case <-ctx.Done():
+				fmt.Fprintf(os.Stderr, "rnlctl: interrupted; stream %d keeps running server-side\n", id)
+				os.Exit(130)
+			case <-poll.C:
+			}
 		}
 	default:
 		fatal("unknown command %q", cmd)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	routeserver [-tunnel :9000] [-http :8080] [-compress] [-token T] [-state DIR] [-grace 60s]
+//	routeserver [-tunnel :9000] [-http :8080] [-compress] [-datagram] [-token T] [-state DIR] [-grace 60s]
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 		tunnelAddr = flag.String("tunnel", ":9000", "address for RIS tunnel connections")
 		httpAddr   = flag.String("http", ":8080", "address for the web UI and API")
 		compress   = flag.Bool("compress", false, "accept tunnel packet compression")
+		datagram   = flag.Bool("datagram", false, "offer the best-effort UDP data plane for PACKET frames (mutually exclusive with compression per session)")
 		token      = flag.String("token", "", "API token (empty disables auth)")
 		storeDir   = flag.String("store", "", "directory for persisted designs (default <state>/designs when -state is set, else memory only)")
 		stateDir   = flag.String("state", "", "directory for durable control-plane state: deployments, inventory, reservations (empty = volatile)")
@@ -70,6 +71,7 @@ func main() {
 
 	rs := routeserver.New(routeserver.Options{
 		AllowCompression:  *compress,
+		Datagram:          *datagram,
 		Logger:            log,
 		RouterGracePeriod: graceOpt,
 		StateDir:          *stateDir,
@@ -116,7 +118,7 @@ func main() {
 		log.Error("http listen failed", "err", err)
 		os.Exit(1)
 	}
-	log.Info("route server up", "tunnel", boundTunnel, "http", boundHTTP, "compress", *compress, "state", *stateDir)
+	log.Info("route server up", "tunnel", boundTunnel, "http", boundHTTP, "compress", *compress, "datagram", *datagram, "state", *stateDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

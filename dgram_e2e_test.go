@@ -1,0 +1,177 @@
+package rnl
+
+// End-to-end smoke for the best-effort datagram data plane (tunnel
+// transport v2): negotiation over the TCP handshake, hole punching,
+// PACKET delivery over UDP, loss accounting, and the compression
+// exclusion.
+
+import (
+	"testing"
+	"time"
+
+	"rnl/internal/netsim"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+)
+
+// newDgramPair is newTunnelPair with the datagram plane negotiated.
+// lossAll drops every server→RIS datagram via the loss hook (the agents'
+// uplink datagrams are unaffected). compress requests compression too —
+// the server must then refuse the datagram offer.
+func newDgramPair(tb testing.TB, compress, lossAll bool) (*tunnelPair, []*ris.Agent) {
+	tb.Helper()
+	tp := &tunnelPair{}
+	opts := routeserver.Options{
+		AllowCompression: compress,
+		Datagram:         true,
+		Logger:           quietLogger(),
+	}
+	if lossAll {
+		opts.DatagramLoss = func() bool { return true }
+	}
+	s := routeserver.New(opts)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tp.Server = s
+	tp.closers = append(tp.closers, s.Close)
+
+	var agents []*ris.Agent
+	join := func(name string) (*netsim.Iface, routeserver.PortKey) {
+		dev := netsim.NewIface(name + "-dev")
+		nic := netsim.NewIface(name + "-nic")
+		w := netsim.Connect(dev, nic, nil)
+		tp.closers = append(tp.closers, w.Disconnect)
+		a, err := ris.New(ris.Config{
+			ServerAddr: addr,
+			PCName:     "pc-" + name,
+			Compress:   compress,
+			Datagram:   true,
+			Routers: []ris.RouterDef{{
+				Name:  name,
+				Ports: []ris.PortMap{{Name: "p0", NIC: nic}},
+			}},
+		}, quietLogger())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := a.Start(); err != nil {
+			tb.Fatal(err)
+		}
+		tp.closers = append(tp.closers, a.Close)
+		agents = append(agents, a)
+		rid, pid, ok := a.PortID(name, "p0")
+		if !ok {
+			tb.Fatal("no port ID")
+		}
+		return dev, routeserver.PortKey{Router: rid, Port: pid}
+	}
+	tp.A, tp.PKA = join("dgram-a")
+	tp.B, tp.PKB = join("dgram-b")
+	tp.B.SetReceiver(func(f []byte) {
+		tp.received.Add(1)
+		if cb := tp.onRecvB.Load(); cb != nil {
+			(*cb)(f)
+		}
+	})
+	if err := s.Deploy("dgram", []routeserver.Link{{A: tp.PKA, B: tp.PKB}}); err != nil {
+		tb.Fatal(err)
+	}
+	return tp, agents
+}
+
+// waitDgramReady blocks until every agent's punch is acknowledged and
+// the server sees every peer established.
+func waitDgramReady(tb testing.TB, tp *tunnelPair, agents []*ris.Agent) {
+	tb.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ready := tp.Server.DatagramPeers() == len(agents)
+		for _, a := range agents {
+			ready = ready && a.DatagramReady()
+		}
+		if ready {
+			return
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("datagram paths never established: server peers %d/%d",
+				tp.Server.DatagramPeers(), len(agents))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDatagramSmoke negotiates the UDP data plane end to end and drives
+// frames A→B across it: agent uplink datagram in, server downlink
+// datagram out. Delivery is best-effort, so the test keeps transmitting
+// until enough frames land rather than demanding zero loopback loss.
+func TestDatagramSmoke(t *testing.T) {
+	tp, agents := newDgramPair(t, false, false)
+	defer tp.Close()
+	waitDgramReady(t, tp, agents)
+
+	frame := make([]byte, 64)
+	const want = 10
+	deadline := time.Now().Add(5 * time.Second)
+	for tp.Received() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d/%d frames over the datagram plane", tp.Received(), want)
+		}
+		tp.A.Transmit(frame)
+		time.Sleep(200 * time.Microsecond)
+	}
+	if fwd := tp.Server.StatsSnapshot()["packets_forwarded"]; fwd == 0 {
+		t.Fatal("server forwarded nothing")
+	}
+}
+
+// TestDatagramLossAccounting drops every server→RIS datagram: each
+// injected frame must be accounted lost_datagram (never forwarded,
+// never silently vanished), keeping conservation exact under loss.
+func TestDatagramLossAccounting(t *testing.T) {
+	tp, agents := newDgramPair(t, false, true)
+	defer tp.Close()
+	waitDgramReady(t, tp, agents)
+
+	const n = 25
+	frame := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		if err := tp.Server.InjectPacket(tp.PKB, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tp.Server.StatsSnapshot()
+	if s["packets_lost_datagram"] != n {
+		t.Fatalf("lost_datagram = %d, want %d (forwarded %d, no_route %d)",
+			s["packets_lost_datagram"], n, s["packets_forwarded"], s["packets_no_route"])
+	}
+	if s["packets_forwarded"] != 0 {
+		t.Fatalf("forwarded = %d with a 100%% loss hook", s["packets_forwarded"])
+	}
+	if got := tp.Received(); got != 0 {
+		t.Fatalf("%d frames delivered through a 100%% loss hook", got)
+	}
+}
+
+// TestDatagramRefusedWithCompression requests both compression and the
+// datagram plane: the server must grant compression only (the §4 codec
+// is stateful; loss would desync it) and traffic must still flow over
+// the TCP tunnel.
+func TestDatagramRefusedWithCompression(t *testing.T) {
+	tp, agents := newDgramPair(t, true, false)
+	defer tp.Close()
+	for _, a := range agents {
+		if a.DatagramReady() {
+			t.Fatal("datagram path established alongside compression")
+		}
+	}
+	if n := tp.Server.DatagramPeers(); n != 0 {
+		t.Fatalf("server has %d datagram peers alongside compression", n)
+	}
+	frame := make([]byte, 64)
+	for i := 0; i < 5; i++ {
+		tp.A.Transmit(frame)
+	}
+	tp.waitReceived(t, 5, 5*time.Second)
+}

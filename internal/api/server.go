@@ -152,6 +152,7 @@ func NewServer(cfg Config) *Server {
 			Server:         cfg.RouteServer,
 			Cal:            cfg.Calendar,
 			ConsoleTimeout: cfg.ConsoleTimeout,
+			Clock:          clock,
 		},
 		captures:   make(map[uint64]*routeserver.Capture),
 		nextCap:    1,
@@ -865,7 +866,7 @@ func (s *Server) handleFlash(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sess.Close()
-	drv := console.NewDriver(sess, 10*time.Second)
+	drv := console.NewDriverClock(sess, 10*time.Second, s.clock)
 	drv.Drain(20 * time.Millisecond)
 	if _, err := drv.CommandCtx(r.Context(), "enable"); err != nil {
 		writeError(w, ctxStatus(err, http.StatusBadGateway), err)
@@ -906,7 +907,7 @@ func (s *Server) handleConsoleExec(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
-	drv := console.NewDriver(sess, timeout)
+	drv := console.NewDriverClock(sess, timeout, s.clock)
 	drv.Drain(20 * time.Millisecond)
 	resp := ConsoleExecResponse{}
 	for _, cmd := range req.Commands {

@@ -10,6 +10,7 @@
 package compress
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 )
@@ -18,6 +19,12 @@ import (
 const (
 	methodRaw   byte = 0
 	methodDelta byte = 1
+	// methodSame marks a packet byte-identical to its template: the
+	// encoding is two bytes (method, slot) and the decoder replays the
+	// template verbatim — a template hit skips serialization entirely,
+	// which is the common case for generated test traffic re-sending
+	// one frame (the batch drain's fastest path).
+	methodSame byte = 2
 )
 
 // RingSize is how many recent packets each side remembers. A byte-sized
@@ -67,6 +74,7 @@ type Compressor struct {
 	In, Out    uint64 // bytes before and after encoding
 	RawCount   uint64
 	DeltaCount uint64
+	SameCount  uint64 // exact template hits (two-byte encodings)
 }
 
 // NewCompressor returns an empty-state compressor.
@@ -88,6 +96,17 @@ func (c *Compressor) Compress(pkt []byte) []byte {
 	slot, ok := c.ring.candidate(len(pkt))
 	var enc []byte
 	if ok {
+		// The two-byte encoding only pays past one byte — and an empty
+		// packet's ring slot stays nil, which the decoder must keep
+		// treating as "never seen".
+		if len(pkt) > 1 && bytes.Equal(c.ring.slots[slot], pkt) {
+			// Exact template hit: skip the delta scan altogether.
+			c.scratch = append(c.scratch[:0], methodSame, byte(slot))
+			c.ring.add(pkt)
+			c.SameCount++
+			c.Out += 2
+			return c.scratch
+		}
 		enc = encodeDelta(c.scratch[:0], byte(slot), c.ring.slots[slot], pkt)
 	}
 	if enc == nil || len(enc) >= len(pkt)+1 {
@@ -129,6 +148,17 @@ func (d *Decompressor) Decompress(enc []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		d.ring.add(pkt)
+		return pkt, nil
+	case methodSame:
+		if len(enc) != 2 {
+			return nil, fmt.Errorf("compress: same-encoding must be 2 bytes, got %d", len(enc))
+		}
+		slot := int(enc[1])
+		if slot >= RingSize || d.ring.slots[slot] == nil {
+			return nil, fmt.Errorf("compress: same references empty slot %d", slot)
+		}
+		pkt := append([]byte(nil), d.ring.slots[slot]...)
 		d.ring.add(pkt)
 		return pkt, nil
 	default:

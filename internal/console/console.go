@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"rnl/internal/sim"
 )
 
 // Driver executes commands on a console and collects output up to the
@@ -21,6 +23,7 @@ import (
 type Driver struct {
 	rw      io.ReadWriter
 	timeout time.Duration
+	clk     sim.Clock
 
 	mu   sync.Mutex
 	buf  strings.Builder
@@ -31,10 +34,21 @@ type Driver struct {
 
 // NewDriver wraps a console stream. timeout bounds each Command call.
 func NewDriver(rw io.ReadWriter, timeout time.Duration) *Driver {
+	return NewDriverClock(rw, timeout, nil)
+}
+
+// NewDriverClock is NewDriver with the timeout and drain waits driven by
+// an injected clock (nil means wall time). Simulated deployments pass
+// their fake clock so console automation timeouts advance with virtual
+// time instead of silently waiting out real seconds.
+func NewDriverClock(rw io.ReadWriter, timeout time.Duration, clock sim.Clock) *Driver {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	d := &Driver{rw: rw, timeout: timeout, errs: make(chan error, 1), data: make(chan []byte, 64)}
+	if clock == nil {
+		clock = sim.Real{}
+	}
+	d := &Driver{rw: rw, timeout: timeout, clk: clock, errs: make(chan error, 1), data: make(chan []byte, 64)}
 	go d.readLoop()
 	return d
 }
@@ -97,8 +111,9 @@ func (d *Driver) CommandCtx(ctx context.Context, cmd string) (string, error) {
 		return "", fmt.Errorf("console: writing %q: %w", cmd, err)
 	}
 	var out strings.Builder
-	timer := time.NewTimer(d.timeout)
+	timer := sim.NewOneShot(d.clk)
 	defer timer.Stop()
+	timer.Arm(d.timeout)
 	for {
 		select {
 		case b := <-d.data:
@@ -117,13 +132,17 @@ func (d *Driver) CommandCtx(ctx context.Context, cmd string) (string, error) {
 }
 
 // Drain consumes any pending output (banners, previous prompts) for up to
-// the given duration. Call it once after opening a console.
+// the given duration. Call it once after opening a console. The wait runs
+// on the driver's clock: under a fake clock a drain completes when
+// virtual time advances, not after a hidden wall-clock sleep.
 func (d *Driver) Drain(dur time.Duration) {
-	deadline := time.After(dur)
+	deadline := sim.NewOneShot(d.clk)
+	defer deadline.Stop()
+	deadline.Arm(dur)
 	for {
 		select {
 		case <-d.data:
-		case <-deadline:
+		case <-deadline.C:
 			return
 		case err := <-d.errs:
 			// Put the error back for the next Command to see.

@@ -8,6 +8,7 @@ import (
 
 	"rnl/internal/device"
 	"rnl/internal/netsim"
+	"rnl/internal/sim"
 )
 
 // newConsoledHost wires a host's console to a serial port and returns a
@@ -107,3 +108,84 @@ func mustIP(t *testing.T, s string) []byte {
 }
 
 func mask24() []byte { return []byte{255, 255, 255, 0} }
+
+// TestDriverFakeClockTimeout proves the command timeout runs on the
+// injected clock: a mute console times out the instant virtual time
+// passes the deadline, with no hidden wall-clock wait.
+func TestDriverFakeClockTimeout(t *testing.T) {
+	sp := netsim.NewSerialPort()
+	t.Cleanup(sp.Close)
+	go func() { // swallow input, never reply
+		buf := make([]byte, 256)
+		for {
+			if _, err := sp.DeviceEnd.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	clk := sim.NewFake(time.Unix(0, 0))
+	d := NewDriverClock(sp.PCEnd, time.Hour, clk)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := d.Command("hello?")
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("command returned before virtual time advanced: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Advance in chunks until the command goroutine has armed its timer
+	// and observed the virtual deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		clk.Advance(time.Hour)
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Fatal("want timeout error")
+			}
+			return
+		case <-time.After(time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("command never timed out after advancing virtual time")
+		}
+	}
+}
+
+// TestDriverFakeClockDrain proves Drain waits on the injected clock
+// rather than time.After: it returns when virtual time passes, and the
+// buffered banner bytes are gone afterwards.
+func TestDriverFakeClockDrain(t *testing.T) {
+	sp := netsim.NewSerialPort()
+	t.Cleanup(sp.Close)
+	clk := sim.NewFake(time.Unix(0, 0))
+	d := NewDriverClock(sp.PCEnd, time.Hour, clk)
+	if _, err := sp.DeviceEnd.Write([]byte("banner noise\n")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		d.Drain(time.Hour)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("drain returned before virtual time advanced")
+	case <-time.After(20 * time.Millisecond):
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		clk.Advance(time.Hour)
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never returned after advancing virtual time")
+		}
+	}
+}

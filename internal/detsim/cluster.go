@@ -6,6 +6,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"rnl/internal/faultinject"
@@ -76,6 +77,15 @@ type cluster struct {
 	ln       net.Listener
 	hosts    []*host
 
+	// datagram switches the whole cluster to the best-effort UDP data
+	// plane; lossEveryN > 0 drops every Nth datagram send, counted by
+	// lossCtr. The counter lives on the cluster — not the server — so the
+	// drop schedule survives restarts and stays a pure function of the
+	// packet sequence number, which is what keeps lossy runs replayable.
+	datagram   bool
+	lossEveryN int
+	lossCtr    atomic.Uint64
+
 	// recoveriesWant is how many session recoveries the current server
 	// incarnation must have seen for the cluster to be settled (reset to
 	// zero by a restart, bumped by len(hosts) per flap/restart).
@@ -104,18 +114,38 @@ func (c *cluster) serverOptions() routeserver.Options {
 		StateDir:          c.stateDir,
 		LabRateLimit:      labRate,
 		LabRateBurst:      labBurst,
+		Datagram:          c.datagram,
+		DatagramLoss:      c.dgramLoss(),
 	}
 }
 
-// startCluster brings up the server and n agents. Agents join strictly
-// one after another so router and port ID assignment is deterministic.
-func startCluster(clock *sim.Fake, stateDir string, n int) (*cluster, error) {
-	c := &cluster{
-		clock:    clock,
-		ctl:      faultinject.NewControllerClock(clock),
-		stateDir: stateDir,
-		cum:      map[string]uint64{},
+// dgramLoss builds the deterministic loss hook: every lossEveryN-th
+// datagram send attempt is dropped. Nil when loss injection is off.
+func (c *cluster) dgramLoss() func() bool {
+	if c.lossEveryN <= 0 {
+		return nil
 	}
+	n := uint64(c.lossEveryN)
+	return func() bool {
+		return c.lossCtr.Add(1)%n == 0
+	}
+}
+
+// startCluster brings up the server and sc.Hosts agents. Agents join
+// strictly one after another so router and port ID assignment is
+// deterministic. In datagram mode it additionally waits for every
+// agent's punch to land before returning, so the transport mix is fixed
+// before the first scenario step.
+func startCluster(clock *sim.Fake, stateDir string, sc Scenario) (*cluster, error) {
+	c := &cluster{
+		clock:      clock,
+		ctl:        faultinject.NewControllerClock(clock),
+		stateDir:   stateDir,
+		datagram:   sc.Datagram,
+		lossEveryN: sc.DatagramLossEveryN,
+		cum:        map[string]uint64{},
+	}
+	n := sc.Hosts
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -132,6 +162,20 @@ func startCluster(clock *sim.Fake, stateDir string, n int) (*cluster, error) {
 			return nil, err
 		}
 		c.hosts = append(c.hosts, h)
+	}
+	if c.datagram {
+		// The punch exchange runs on the real clock (agent retransmits on
+		// a wall-time timer), so wait for it without advancing virtual
+		// time: "scenario start" must still log at the epoch, not at a
+		// race-dependent number of quiesce chunks past it.
+		deadline := time.Now().Add(quiesceLimit)
+		for !c.settled() {
+			if time.Now().After(deadline) {
+				c.Close()
+				return nil, fmt.Errorf("detsim: datagram punch never settled within %v", quiesceLimit)
+			}
+			time.Sleep(quiesceReal)
+		}
 	}
 	return c, nil
 }
@@ -150,6 +194,7 @@ func (c *cluster) startHost(name string) (*host, error) {
 		}},
 		Clock:       c.clock,
 		PeerTimeout: ris.NoPeerTimeout,
+		Datagram:    c.datagram,
 		// Keepalives still flow (on virtual time) but far apart, so
 		// alignment advances don't flood the tunnels.
 		KeepaliveInterval: 10 * time.Minute,
@@ -200,6 +245,13 @@ func (c *cluster) settled() bool {
 		if !r.Online {
 			return false
 		}
+	}
+	// Datagram mode also requires every live session's UDP path to be
+	// punched (exactly one per host: stale peers of dead sessions keep
+	// the count off until the server reaps them), so forwarding during
+	// steps never silently falls back to TCP on a race.
+	if c.datagram && c.srv.DatagramPeers() != len(c.hosts) {
+		return false
 	}
 	return true
 }

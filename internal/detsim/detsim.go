@@ -88,6 +88,14 @@ type Scenario struct {
 	// drawing it from the seed. Parameters (which lab, which hosts) are
 	// still drawn from the seed.
 	Ops []Op
+	// Datagram runs the whole cluster on the best-effort UDP data plane
+	// (tunnel transport v2): forwarded frames ride datagrams, control
+	// stays on TCP. Conservation extends to the lost_datagram ledger.
+	Datagram bool
+	// DatagramLossEveryN, with Datagram, drops every Nth datagram send —
+	// a deterministic loss schedule (a counter, not a coin flip), so
+	// lossy runs still produce byte-identical logs.
+	DatagramLossEveryN int
 }
 
 // Options tunes a run without affecting its determinism.
@@ -106,7 +114,7 @@ type Result struct {
 	Log []byte
 	// Sometimes records which behaviours the run exercised at least
 	// once (keys: deploy, teardown, inject, overload, flap, restart,
-	// churn, throttled).
+	// churn, throttled, datagram_loss).
 	Sometimes map[string]bool
 }
 
@@ -168,7 +176,7 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	}
 
 	clk := sim.NewFake(time.Unix(0, 0).UTC())
-	cl, err := startCluster(clk, stateDir, sc.Hosts)
+	cl, err := startCluster(clk, stateDir, sc)
 	if err != nil {
 		return nil, fmt.Errorf("detsim: seed %d: %w", sc.Seed, err)
 	}
@@ -267,6 +275,7 @@ func (r *runner) run() error {
 		"forwarded", tot["packets_forwarded"],
 		"no_route", tot["packets_no_route"],
 		"throttled", tot["packets_throttled"],
+		"lost_datagram", tot["packets_lost_datagram"],
 		"sometimes", strings.Join(flags, ","))
 	return nil
 }
@@ -444,25 +453,32 @@ func (r *runner) opInject(i, n int, op Op) error {
 	forwarded := after["packets_forwarded"] - before["packets_forwarded"]
 	throttled := after["packets_throttled"] - before["packets_throttled"]
 	noRoute := after["packets_no_route"] - before["packets_no_route"]
-	if forwarded+throttled+noRoute != uint64(n) {
-		return r.violation(i, op, "step conservation: forwarded %d + throttled %d + no_route %d != injected %d",
-			forwarded, throttled, noRoute, n)
+	lost := after["packets_lost_datagram"] - before["packets_lost_datagram"]
+	if forwarded+throttled+noRoute+lost != uint64(n) {
+		return r.violation(i, op, "step conservation: forwarded %d + throttled %d + no_route %d + lost_datagram %d != injected %d",
+			forwarded, throttled, noRoute, lost, n)
 	}
 	wantFwd := uint64(n)
 	if n > int(labBurst) {
 		wantFwd = uint64(labBurst)
 	}
-	if forwarded != wantFwd || noRoute != 0 {
-		return r.violation(i, op, "deterministic split violated: forwarded %d (want %d), throttled %d, no_route %d",
-			forwarded, wantFwd, throttled, noRoute)
+	// The datagram loss schedule is a deterministic counter over send
+	// attempts, so forwarded+lost — the frames that passed admission —
+	// must still hit the exact split even on a lossy run.
+	if forwarded+lost != wantFwd || noRoute != 0 {
+		return r.violation(i, op, "deterministic split violated: forwarded %d + lost_datagram %d (want %d), throttled %d, no_route %d",
+			forwarded, lost, wantFwd, throttled, noRoute)
 	}
 	if throttled > 0 {
 		r.sometimes["throttled"] = true
 	}
+	if lost > 0 {
+		r.sometimes["datagram_loss"] = true
+	}
 	if err := r.align(r.stepResult(i)); err != nil {
 		return r.violation(i, op, "%v", err)
 	}
-	r.log.Info("result", "i", i, "forwarded", forwarded, "throttled", throttled)
+	r.log.Info("result", "i", i, "forwarded", forwarded, "throttled", throttled, "lost_datagram", lost)
 	return nil
 }
 
@@ -592,10 +608,10 @@ func (r *runner) checkAlways(i int, op Op) error {
 	// Exact packet conservation: every packet injected into the current
 	// server incarnation is accounted exactly once.
 	s := r.cl.srv.StatsSnapshot()
-	if s["packets_injected"] != s["packets_forwarded"]+s["packets_no_route"]+s["packets_throttled"] {
+	if s["packets_injected"] != s["packets_forwarded"]+s["packets_no_route"]+s["packets_throttled"]+s["packets_lost_datagram"] {
 		return r.violation(i, op,
-			"conservation violated: injected %d != forwarded %d + no_route %d + throttled %d",
-			s["packets_injected"], s["packets_forwarded"], s["packets_no_route"], s["packets_throttled"])
+			"conservation violated: injected %d != forwarded %d + no_route %d + throttled %d + lost_datagram %d",
+			s["packets_injected"], s["packets_forwarded"], s["packets_no_route"], s["packets_throttled"], s["packets_lost_datagram"])
 	}
 	// The published forwarding snapshot may trail the mutation counter
 	// by at most one mutation.

@@ -118,3 +118,28 @@ func TestScenarioRandomSeeds(t *testing.T) {
 		})
 	}
 }
+
+// TestDatagramLossScenario runs the fleet on the best-effort UDP data
+// plane with a deterministic 1-in-7 drop schedule: the extended
+// conservation ledger (injected == forwarded + no_route + throttled +
+// lost_datagram) must hold at every step, loss must actually have been
+// exercised, and the run must still replay to byte-identical logs —
+// loss is a counter over the packet sequence, not a coin flip.
+func TestDatagramLossScenario(t *testing.T) {
+	sc := detsim.Scenario{Seed: 11, Ops: fullSweep, Datagram: true, DatagramLossEveryN: 7}
+	first, err := detsim.Run(sc, detsim.Options{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("first run: %v\nevent log:\n%s", err, first.Log)
+	}
+	if !first.Sometimes["datagram_loss"] {
+		t.Error("sometimes[datagram_loss] never held: the loss schedule never fired")
+	}
+	second, err := detsim.Run(sc, detsim.Options{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("replay: %v\nevent log:\n%s", err, second.Log)
+	}
+	if !bytes.Equal(first.Log, second.Log) {
+		t.Fatalf("lossy replay logs differ for seed %d:\n--- first ---\n%s\n--- second ---\n%s",
+			sc.Seed, first.Log, second.Log)
+	}
+}

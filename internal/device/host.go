@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rnl/internal/packet"
+	"rnl/internal/sim"
 )
 
 // UDPHandler consumes a datagram delivered to a host port.
@@ -283,6 +284,12 @@ func (h *Host) Ping(dst net.IP, timeout time.Duration) (bool, time.Duration) {
 	if interval < 5*time.Millisecond {
 		interval = 5 * time.Millisecond
 	}
+	// One reused timer for the whole retransmit loop: a fresh time.After
+	// per iteration leaks its timer until it fires — with the interval
+	// floored at 5ms, a long ping parks hundreds of dead timers in the
+	// runtime wheel.
+	retry := sim.NewOneShot(sim.Real{})
+	defer retry.Stop()
 	for {
 		var (
 			ch  = make(chan struct{})
@@ -313,10 +320,11 @@ func (h *Host) Ping(dst net.IP, timeout time.Duration) (bool, time.Duration) {
 		if wait <= 0 {
 			return false, time.Since(start)
 		}
+		retry.Arm(wait)
 		select {
 		case <-ch:
 			return true, time.Since(start)
-		case <-time.After(wait):
+		case <-retry.C:
 			h.pingMu.Lock()
 			delete(h.pingWait, uint32(h.pingID)<<16|uint32(seq))
 			h.pingMu.Unlock()
@@ -402,6 +410,9 @@ func (h *Host) Traceroute(dst net.IP, maxHops int, perHop time.Duration) []Hop {
 		return nil
 	}
 	var hops []Hop
+	// One reused hop timer instead of a leaked time.After per TTL.
+	hopTimer := sim.NewOneShot(sim.Real{})
+	defer hopTimer.Stop()
 	for ttl := 1; ttl <= maxHops; ttl++ {
 		var (
 			ch  = make(chan hopInfo, 1)
@@ -431,10 +442,11 @@ func (h *Host) Traceroute(dst net.IP, maxHops int, perHop time.Duration) []Hop {
 			h.sendIP(frame, nh)
 		})
 		hop := Hop{TTL: ttl}
+		hopTimer.Arm(perHop)
 		select {
 		case info := <-ch:
 			hop.IP, hop.Final = info.ip, info.final
-		case <-time.After(perHop):
+		case <-hopTimer.C:
 		}
 		h.pingMu.Lock()
 		delete(h.hopWait, seq)

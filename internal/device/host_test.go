@@ -91,3 +91,53 @@ func TestHostConfigRestore(t *testing.T) {
 		t.Errorf("running-config = %q, want %q", cfg, want)
 	}
 }
+
+// TestHostPingTimeoutBounded is the regression for the retransmit loop's
+// timer handling: an unanswered ping must return close to its timeout —
+// the reused one-shot timer has to actually fire per retransmit interval
+// and respect the deadline, not hang or return early.
+func TestHostPingTimeoutBounded(t *testing.T) {
+	a, b := newHostPair(t, "10.0.0.1", "10.0.0.2")
+	connect(t, a.Ports()[0], b.Ports()[0])
+
+	const timeout = 120 * time.Millisecond
+	start := time.Now()
+	ok, _ := a.Ping(mustIP(t, "10.0.0.99"), timeout)
+	elapsed := time.Since(start)
+	if ok {
+		t.Fatal("ping to a nonexistent host succeeded")
+	}
+	if elapsed < timeout {
+		t.Errorf("ping gave up after %v, before the %v timeout", elapsed, timeout)
+	}
+	if elapsed > timeout+2*time.Second {
+		t.Errorf("ping took %v, way past the %v timeout", elapsed, timeout)
+	}
+}
+
+// TestTracerouteHopTimeoutBounded: an unanswerable traceroute must spend
+// about maxHops × perHop, proving the reused hop timer fires every
+// iteration instead of carrying stale state between hops.
+func TestTracerouteHopTimeoutBounded(t *testing.T) {
+	a, b := newHostPair(t, "10.0.0.1", "10.0.0.2")
+	connect(t, a.Ports()[0], b.Ports()[0])
+
+	const perHop = 40 * time.Millisecond
+	start := time.Now()
+	hops := a.Traceroute(mustIP(t, "10.0.0.99"), 3, perHop)
+	elapsed := time.Since(start)
+	if len(hops) != 3 {
+		t.Fatalf("got %d hops, want 3", len(hops))
+	}
+	for _, h := range hops {
+		if h.IP != nil || h.Final {
+			t.Fatalf("unanswerable hop got a reply: %+v", h)
+		}
+	}
+	if elapsed < 3*perHop {
+		t.Errorf("traceroute finished in %v, before 3×%v of hop waits", elapsed, perHop)
+	}
+	if elapsed > 3*perHop+5*time.Second {
+		t.Errorf("traceroute took %v for 3 silent hops of %v", elapsed, perHop)
+	}
+}

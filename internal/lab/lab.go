@@ -131,7 +131,7 @@ func NewCloud(opts Options) (*Cloud, error) {
 // the programmatic path experiments and benchmarks use. The API path
 // (Client.Deploy) enforces reservations.
 func (c *Cloud) DeployDesign(d *topology.Design) error {
-	dep := &topology.Deployer{Server: c.RS, ConsoleTimeout: 5 * time.Second}
+	dep := &topology.Deployer{Server: c.RS, ConsoleTimeout: 5 * time.Second, Clock: c.opts.Clock}
 	return dep.Deploy(context.Background(), "", d, false)
 }
 

@@ -44,13 +44,26 @@ type Stats struct {
 	TxDropped, RxDropped atomic.Uint64
 }
 
+// ifState is the immutable snapshot of everything Transmit and Deliver
+// consult per frame. Mutators rebuild and republish it under the
+// interface mutex; the data path does one atomic load and no locking —
+// the same publish-on-write discipline as the route server's forwarding
+// table, one layer down.
+type ifState struct {
+	adminUp bool
+	carrier bool
+	recv    Handler
+	out     Handler
+	taps    []Tap
+}
+
 // Iface is a virtual network interface adapter. A device transmits frames
 // out of it; a Wire (or any component that calls SetOutput) carries them to
 // the far end, which delivers them with Deliver.
 type Iface struct {
 	name string
 
-	mu      sync.Mutex
+	mu      sync.Mutex // serializes mutations; the data path reads st only
 	adminUp bool
 	carrier bool
 	recv    Handler
@@ -58,12 +71,33 @@ type Iface struct {
 	taps    map[int]Tap
 	nextTap int
 
+	st atomic.Pointer[ifState]
+
 	stats Stats
 }
 
 // NewIface creates an administratively-up interface with no carrier.
 func NewIface(name string) *Iface {
-	return &Iface{name: name, adminUp: true, taps: make(map[int]Tap)}
+	i := &Iface{name: name, adminUp: true, taps: make(map[int]Tap)}
+	i.st.Store(&ifState{adminUp: true})
+	return i
+}
+
+// publishLocked rebuilds the data-path snapshot; callers hold i.mu.
+func (i *Iface) publishLocked() {
+	st := &ifState{
+		adminUp: i.adminUp,
+		carrier: i.carrier,
+		recv:    i.recv,
+		out:     i.out,
+	}
+	if len(i.taps) > 0 {
+		st.taps = make([]Tap, 0, len(i.taps))
+		for _, t := range i.taps {
+			st.taps = append(st.taps, t)
+		}
+	}
+	i.st.Store(st)
 }
 
 // Name returns the interface name.
@@ -79,6 +113,7 @@ func (i *Iface) SetReceiver(h Handler) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.recv = h
+	i.publishLocked()
 }
 
 // SetOutput installs the wire-side sink for transmitted frames and flips
@@ -88,6 +123,7 @@ func (i *Iface) SetOutput(h Handler) {
 	defer i.mu.Unlock()
 	i.out = h
 	i.carrier = h != nil
+	i.publishLocked()
 }
 
 // SetAdminUp raises or lowers the interface administratively; a downed
@@ -96,20 +132,18 @@ func (i *Iface) SetAdminUp(up bool) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.adminUp = up
+	i.publishLocked()
 }
 
 // AdminUp reports the administrative state alone, ignoring carrier.
 func (i *Iface) AdminUp() bool {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	return i.adminUp
+	return i.st.Load().adminUp
 }
 
 // Up reports whether the interface can pass traffic (admin up + carrier).
 func (i *Iface) Up() bool {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	return i.adminUp && i.carrier
+	st := i.st.Load()
+	return st.adminUp && st.carrier
 }
 
 // AddTap installs a promiscuous capture tap and returns a removal handle.
@@ -121,37 +155,21 @@ func (i *Iface) AddTap(t Tap) (remove func()) {
 	id := i.nextTap
 	i.nextTap++
 	i.taps[id] = t
+	i.publishLocked()
 	return func() {
 		i.mu.Lock()
 		defer i.mu.Unlock()
 		delete(i.taps, id)
+		i.publishLocked()
 	}
-}
-
-// snapshotTaps returns the current taps without holding the lock during
-// delivery.
-func (i *Iface) snapshotTaps() []Tap {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	if len(i.taps) == 0 {
-		return nil
-	}
-	out := make([]Tap, 0, len(i.taps))
-	for _, t := range i.taps {
-		out = append(out, t)
-	}
-	return out
 }
 
 // Transmit sends a frame out of the interface. The frame is copied, so the
 // caller may reuse its buffer. Transmit never blocks the caller beyond the
 // wire's queue admission.
 func (i *Iface) Transmit(frame []byte) {
-	i.mu.Lock()
-	up := i.adminUp && i.carrier
-	out := i.out
-	i.mu.Unlock()
-	if !up || out == nil {
+	st := i.st.Load()
+	if !st.adminUp || !st.carrier || st.out == nil {
 		i.stats.TxDropped.Add(1)
 		return
 	}
@@ -159,30 +177,27 @@ func (i *Iface) Transmit(frame []byte) {
 	copy(c, frame)
 	i.stats.TxFrames.Add(1)
 	i.stats.TxBytes.Add(uint64(len(c)))
-	for _, t := range i.snapshotTaps() {
+	for _, t := range st.taps {
 		t(DirTx, c)
 	}
-	out(c)
+	st.out(c)
 }
 
 // Deliver hands a frame arriving from the wire to the device. It is called
 // by Wire; devices never call it directly.
 func (i *Iface) Deliver(frame []byte) {
-	i.mu.Lock()
-	up := i.adminUp
-	recv := i.recv
-	i.mu.Unlock()
-	if !up {
+	st := i.st.Load()
+	if !st.adminUp {
 		i.stats.RxDropped.Add(1)
 		return
 	}
 	i.stats.RxFrames.Add(1)
 	i.stats.RxBytes.Add(uint64(len(frame)))
-	for _, t := range i.snapshotTaps() {
+	for _, t := range st.taps {
 		t(DirRx, frame)
 	}
-	if recv != nil {
-		recv(frame)
+	if st.recv != nil {
+		st.recv(frame)
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"rnl/internal/sim"
 )
 
 // recvChan installs a channel-backed receiver on an interface.
@@ -282,5 +284,43 @@ func TestWireQueueOverflowDropsNotBlocks(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("Transmit blocked on full wire queue")
+	}
+}
+
+// TestConnectClockDelaysOnFakeClock is the regression for the wire pump's
+// wall-clock delay bug: a conditioned wire built on sim.Fake must hold
+// delayed frames until virtual time advances past the delay — never
+// deliver them on a hidden time.After schedule of its own.
+func TestConnectClockDelaysOnFakeClock(t *testing.T) {
+	a, b := NewIface("a"), NewIface("b")
+	chb := recvChan(b, 1)
+	clk := sim.NewFake(time.Unix(0, 0))
+	w := ConnectClock(a, b, &fixedDelay{d: time.Hour}, clk)
+	defer w.Disconnect()
+
+	a.Transmit([]byte("virtual"))
+	// Give the pump real time to pick the frame up and park on the
+	// virtual delay: it must NOT arrive while the fake clock stands still.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-chb:
+		t.Fatal("delayed frame delivered with virtual time frozen")
+	default:
+	}
+	// The pump arms its timer asynchronously; advance until delivery.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		clk.Advance(time.Hour)
+		select {
+		case f := <-chb:
+			if !bytes.Equal(f, []byte("virtual")) {
+				t.Fatalf("delivered %q", f)
+			}
+			return
+		case <-time.After(time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("frame never delivered after advancing virtual time")
+		}
 	}
 }

@@ -1,8 +1,11 @@
 package netsim
 
 import (
+	"runtime"
 	"sync"
 	"time"
+
+	"rnl/internal/sim"
 )
 
 // Conditioner shapes traffic on a wire: per-frame delay and drop decisions.
@@ -19,70 +22,136 @@ type Conditioner interface {
 // memory, just as a real loop saturates real links instead.
 const wireQueueLen = 512
 
+// wireDir is one direction of a wire: its ring queue and the receiving
+// interface.
+type wireDir struct {
+	q   chan []byte
+	dst *Iface
+}
+
+// pumpSpinBudget is how long an ideal wire's pump stays runnable after
+// its last delivery before parking, polling the queue with scheduler
+// yields — NAPI-style interrupt mitigation for the simulated NIC. The
+// point is not the queue poll itself but keeping the process non-idle
+// for a beat: on a contended 1-vCPU host, waking an idle process costs
+// over a millisecond (measured), so a sender that paces itself with
+// short sleeps against an otherwise-parked simulation loses ~25x the
+// intended pause. A briefly-runnable pump keeps the Go scheduler
+// servicing expired timers at their real deadlines, and an idle wire
+// stops spinning after the budget and costs nothing.
+const pumpSpinBudget = 100 * time.Microsecond
+
 // Wire is a full-duplex physical link between two interfaces. Each
-// direction runs its own delivery goroutine so a slow consumer or a
-// conditioner delay in one direction never stalls the other.
+// direction has a delivery goroutine so a slow consumer or a conditioner
+// delay in one direction never stalls the other; ideal wires short-cut
+// it with in-place delivery.
 type Wire struct {
 	a, b *Iface
 
 	mu     sync.Mutex
 	closed bool
 
-	ab, ba chan []byte
+	ab, ba wireDir
 	cond   Conditioner
+	clk    sim.Clock
 	done   chan struct{}
 	wg     sync.WaitGroup
 }
 
 // Connect plugs two interfaces together with an optional conditioner
-// (nil means an ideal wire) and starts carrying frames.
+// (nil means an ideal wire) and starts carrying frames on the real clock.
 func Connect(a, b *Iface, cond Conditioner) *Wire {
+	return ConnectClock(a, b, cond, sim.Real{})
+}
+
+// ConnectClock is Connect with an injected clock: conditioner delays wait
+// on clk, so a lab built on sim.Fake sees delayed frames delivered when
+// the test advances time, not when the wall clock happens to pass.
+func ConnectClock(a, b *Iface, cond Conditioner, clk sim.Clock) *Wire {
 	w := &Wire{
 		a: a, b: b,
-		ab:   make(chan []byte, wireQueueLen),
-		ba:   make(chan []byte, wireQueueLen),
 		cond: cond,
+		clk:  clk,
 		done: make(chan struct{}),
 	}
-	a.SetOutput(func(f []byte) { w.enqueue(w.ab, f, &a.stats) })
-	b.SetOutput(func(f []byte) { w.enqueue(w.ba, f, &b.stats) })
+	w.ab = wireDir{q: make(chan []byte, wireQueueLen), dst: b}
+	w.ba = wireDir{q: make(chan []byte, wireQueueLen), dst: a}
+	a.SetOutput(func(f []byte) { w.enqueue(&w.ab, f, &a.stats) })
+	b.SetOutput(func(f []byte) { w.enqueue(&w.ba, f, &b.stats) })
 	w.wg.Add(2)
-	go w.pump(w.ab, b)
-	go w.pump(w.ba, a)
+	go w.pump(&w.ab)
+	go w.pump(&w.ba)
 	return w
 }
 
-func (w *Wire) enqueue(q chan []byte, f []byte, st *Stats) {
+func (w *Wire) enqueue(d *wireDir, f []byte, st *Stats) {
 	select {
-	case q <- f:
+	case d.q <- f:
 	default:
 		st.TxDropped.Add(1)
 	}
 }
 
-func (w *Wire) pump(q chan []byte, dst *Iface) {
+func (w *Wire) pump(d *wireDir) {
 	defer w.wg.Done()
+	// One reusable timer per direction: a conditioned wire delays most
+	// frames, and a fresh time.After timer per frame was both allocation
+	// churn and — worse — wall-clock time on what is otherwise a fully
+	// clock-driven simulation.
+	timer := sim.NewOneShot(w.clk)
+	defer timer.Stop()
 	for {
 		select {
 		case <-w.done:
 			return
-		case f := <-q:
-			if w.cond != nil {
-				delay, drop := w.cond.Condition(len(f))
-				if drop {
-					continue
-				}
-				if delay > 0 {
-					select {
-					case <-time.After(delay):
-					case <-w.done:
-						return
-					}
-				}
+		case f := <-d.q:
+			w.carry(f, d.dst, timer)
+			if w.cond == nil {
+				w.drainSpin(d, timer)
 			}
-			dst.Deliver(f)
 		}
 	}
+}
+
+// drainSpin is the ideal wire's post-delivery busy-poll: keep draining
+// with scheduler yields until the queue has stayed empty for
+// pumpSpinBudget, then return to the parked select.
+func (w *Wire) drainSpin(d *wireDir, timer *sim.OneShot) {
+	last := time.Now()
+	for {
+		select {
+		case <-w.done:
+			return
+		case f := <-d.q:
+			w.carry(f, d.dst, timer)
+			last = time.Now()
+		default:
+			if time.Since(last) > pumpSpinBudget {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// carry applies the conditioner to one frame and delivers it. Delay waits
+// park on the reusable clock timer (or wire teardown).
+func (w *Wire) carry(f []byte, dst *Iface, timer *sim.OneShot) {
+	if w.cond != nil {
+		delay, drop := w.cond.Condition(len(f))
+		if drop {
+			return
+		}
+		if delay > 0 {
+			timer.Arm(delay)
+			select {
+			case <-timer.C:
+			case <-w.done:
+				return
+			}
+		}
+	}
+	dst.Deliver(f)
 }
 
 // Disconnect unplugs the wire: both interfaces lose carrier and the pump

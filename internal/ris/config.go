@@ -71,6 +71,12 @@ type Config struct {
 	PCName string
 	// Compress offers tunnel packet compression to the server (§4).
 	Compress bool
+	// Datagram offers the best-effort datagram data plane: negotiated
+	// PACKET frames travel over UDP to the server's port (loss-tolerant,
+	// like the L2 traffic they carry) while control frames and consoles
+	// stay on the TCP tunnel. The server refuses the offer when
+	// compression is also negotiated.
+	Datagram bool
 	// Routers is the equipment behind this PC.
 	Routers []RouterDef
 

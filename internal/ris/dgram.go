@@ -1,0 +1,111 @@
+package ris
+
+// The RIS half of the best-effort datagram data plane (tunnel transport
+// v2). When the HelloAck grants the offer, the agent dials a UDP socket
+// to the server's port (the same number as the TCP tunnel), punches it
+// with the session token until the server acknowledges — NAT and
+// firewall state is created by this outbound datagram, exactly like the
+// outbound TCP dial the paper relies on — and then carries PACKET frames
+// over it in both directions. Control frames, consoles and joins stay on
+// the TCP tunnel; a datagram that does not fit, or a path that never
+// establishes, falls back to TCP per frame.
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+
+	"rnl/internal/sim"
+	"rnl/internal/wire"
+)
+
+// dgramPunchInterval is the punch retransmit cadence while the path is
+// not yet acknowledged. Real clock by design: like the handshake
+// deadline, it polices a real network round trip even inside a
+// simulation.
+const dgramPunchInterval = 250 * time.Millisecond
+
+// agentDgram is one connection's datagram endpoint. A redial builds a
+// fresh one (new token, new socket); the old socket dies with the old
+// connection's read loop.
+type agentDgram struct {
+	uc    *net.UDPConn
+	token uint64
+	// ready flips when the server's punch-ack arrives: only then does
+	// sendPacket prefer the datagram, so no frame is ever sent into a
+	// path the server cannot yet answer on.
+	ready atomic.Bool
+}
+
+// dialDatagram opens the UDP socket toward the server. Failure is
+// logged and degrades to TCP-only; the tunnel itself is unaffected.
+func (a *Agent) dialDatagram(token uint64) *agentDgram {
+	raddr, err := net.ResolveUDPAddr("udp", a.cfg.ServerAddr)
+	if err != nil {
+		a.log.Warn("datagram resolve failed; staying TCP-only", "err", err)
+		return nil
+	}
+	uc, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		a.log.Warn("datagram dial failed; staying TCP-only", "err", err)
+		return nil
+	}
+	return &agentDgram{uc: uc, token: token}
+}
+
+// dgramReadLoop services the datagram socket until it is closed (the
+// tunnel's read-loop exit closes it). Token mismatches are dropped —
+// the socket is connected, but UDP trusts nothing.
+func (a *Agent) dgramReadLoop(dg *agentDgram) {
+	buf := make([]byte, wire.MaxDgramLen)
+	for {
+		n, err := dg.uc.Read(buf)
+		if err != nil {
+			return
+		}
+		kind, token, body, err := wire.DecodeDgram(buf[:n])
+		if err != nil || token != dg.token {
+			continue
+		}
+		switch kind {
+		case wire.DgramPunchAck:
+			dg.ready.Store(true)
+		case wire.DgramPacket:
+			// Same delivery as a TCP PACKET frame. Datagram payloads are
+			// never compressed (the §4 codec is stateful and would desync
+			// under loss), and deliverPacket enforces that: a datagram
+			// session's decompressor is nil.
+			a.deliverPacket(body)
+		}
+	}
+}
+
+// dgramPunchLoop retransmits the punch until the server acknowledges or
+// the connection dies. The first punch goes out immediately; each
+// retransmit rides one reused timer.
+func (a *Agent) dgramPunchLoop(dg *agentDgram, stop <-chan struct{}) {
+	punch := wire.EncodeDgramPunch(dg.token)
+	timer := sim.NewOneShot(sim.Real{})
+	defer timer.Stop()
+	for {
+		if dg.ready.Load() {
+			return
+		}
+		if _, err := dg.uc.Write(punch); err != nil {
+			return
+		}
+		timer.Arm(dgramPunchInterval)
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+// DatagramReady reports whether the current connection's datagram path
+// is established (negotiated, dialed and punch-acknowledged).
+func (a *Agent) DatagramReady() bool {
+	hot := a.hot.Load()
+	return hot != nil && hot.dgram != nil && hot.dgram.ready.Load()
+}

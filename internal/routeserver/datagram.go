@@ -1,0 +1,190 @@
+package routeserver
+
+// The server half of the best-effort datagram data plane (tunnel
+// transport v2): one UDP socket on the listener's port shared by every
+// negotiated session. Inbound punches learn each RIS's return address;
+// inbound packet datagrams enter the same forwarding fast path as TCP
+// PACKET frames; outbound forwards prefer the datagram when the peer is
+// punched and fall back to the TCP send queue otherwise. Loss is part of
+// the contract — a dropped datagram is counted in
+// Stats.PacketsLostDatagram so packet conservation stays exact:
+// injected == forwarded + no_route + throttled + lost_datagram.
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"net"
+	"sync/atomic"
+
+	"rnl/internal/wire"
+)
+
+// dgramPeer is one negotiated session's datagram endpoint.
+type dgramPeer struct {
+	sess  *session
+	token uint64
+	// addr is the RIS's UDP return address, nil until its punch arrives.
+	addr atomic.Pointer[net.UDPAddr]
+}
+
+// newDgramToken draws a fresh session token. Tokens gate datagrams to
+// their TCP session; collision would cross-wire two labs, so they come
+// from the CSPRNG rather than a seeded source.
+func newDgramToken() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}
+
+// listenDatagram binds the UDP socket next to the TCP listener and
+// starts the receive loop. Called from Serve when Options.Datagram is
+// set; failure degrades to TCP-only (sessions simply never negotiate).
+func (s *Server) listenDatagram(addr net.Addr) error {
+	pc, err := net.ListenPacket("udp", addr.String())
+	if err != nil {
+		return err
+	}
+	s.udp = pc.(*net.UDPConn)
+	s.wg.Add(1)
+	go s.datagramLoop()
+	return nil
+}
+
+// datagramLoop services the shared UDP socket until Close. Unknown or
+// malformed datagrams are dropped silently — UDP on an open port
+// collects noise, and the token is what authenticates a sender.
+func (s *Server) datagramLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, wire.MaxDgramLen)
+	for {
+		n, raddr, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		kind, token, body, err := wire.DecodeDgram(buf[:n])
+		if err != nil {
+			continue
+		}
+		s.dgramMu.Lock()
+		peer := s.dgramPeers[token]
+		s.dgramMu.Unlock()
+		if peer == nil {
+			continue
+		}
+		switch kind {
+		case wire.DgramPunch:
+			peer.addr.Store(raddr)
+			s.udp.WriteToUDP(wire.EncodeDgramPunchAck(token), raddr)
+		case wire.DgramPacket:
+			// Same fast path as a TCP PACKET frame. handlePacket rejects
+			// compressed payloads itself: datagram sessions never
+			// negotiate compression, so their decompressor is nil.
+			s.handlePacket(peer.sess, body)
+		}
+	}
+}
+
+// registerDgramPeer issues a token and installs the peer during the
+// handshake, before the HelloAck goes out, so the first punch already
+// resolves.
+func (s *Server) registerDgramPeer(sess *session) (uint64, error) {
+	token, err := newDgramToken()
+	if err != nil {
+		return 0, err
+	}
+	peer := &dgramPeer{sess: sess, token: token}
+	sess.dgram = peer
+	s.dgramMu.Lock()
+	s.dgramPeers[token] = peer
+	s.dgramMu.Unlock()
+	return token, nil
+}
+
+// dropDgramPeer forgets a dead session's token.
+func (s *Server) dropDgramPeer(sess *session) {
+	if sess.dgram == nil {
+		return
+	}
+	s.dgramMu.Lock()
+	delete(s.dgramPeers, sess.dgram.token)
+	s.dgramMu.Unlock()
+}
+
+// DatagramPeers reports how many sessions have an established (punched)
+// datagram path — what simulation harnesses await before treating the
+// cluster's transport mix as settled.
+func (s *Server) DatagramPeers() int {
+	s.dgramMu.Lock()
+	defer s.dgramMu.Unlock()
+	n := 0
+	for _, p := range s.dgramPeers {
+		if p.addr.Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// trySendDatagram attempts best-effort delivery of one packet. handled
+// reports the datagram path owned the packet (the caller must not fall
+// back to TCP); lost reports it was dropped — by the injected loss hook
+// or a socket error — and must be accounted as lost_datagram. A session
+// without an established datagram path returns handled=false and the
+// caller uses the TCP send queue.
+func (s *Server) trySendDatagram(sess *session, m wire.PacketMsg) (handled, lost bool) {
+	peer := sess.dgram
+	if peer == nil || s.udp == nil {
+		return false, false
+	}
+	addr := peer.addr.Load()
+	if addr == nil {
+		return false, false
+	}
+	if !wire.DgramPacketFits(len(m.Data)) {
+		return false, false // jumbo frame: ride the TCP tunnel
+	}
+	if s.opts.DatagramLoss != nil && s.opts.DatagramLoss() {
+		return true, true
+	}
+	if err := wire.WriteDgramPacketTo(s.udp, addr, peer.token, m); err != nil {
+		return true, true
+	}
+	return true, false
+}
+
+// flushDatagram is flushPend's twin for a destination with an
+// established datagram path: each staged frame goes out as its own
+// datagram (there is no queue to batch into — the kernel send is the
+// handoff), with per-frame loss accounting. Buffers are recycled here;
+// frames the datagram cannot carry fall back to the TCP send queue.
+func (s *Server) flushDatagram(g *destGroup) {
+	for i := range g.pbs {
+		pb := &g.pbs[i]
+		data := (*pb.Buf)[pb.Off:]
+		m := wire.PacketMsg{RouterID: pb.Router, PortID: pb.Port, Flags: pb.Flags, Data: data}
+		if handled, lost := s.trySendDatagram(g.sess, m); handled {
+			if lost {
+				s.stats.PacketsLostDatagram.Add(1)
+				mPacketsLostDatagram.Inc()
+			} else {
+				s.stats.PacketsForwarded.Add(1)
+				s.stats.BytesForwarded.Add(uint64(len(data)))
+				mPacketsForwarded.Inc()
+				mBytesForwarded.Add(uint64(len(data)))
+			}
+			continue
+		}
+		if err := g.sess.writePacketClass(pb.Class, m); err == nil {
+			s.stats.PacketsForwarded.Add(1)
+			s.stats.BytesForwarded.Add(uint64(len(data)))
+			mPacketsForwarded.Inc()
+			mBytesForwarded.Add(uint64(len(data)))
+		} else {
+			s.stats.PacketsNoRoute.Add(1)
+			mPacketsNoRoute.Inc()
+		}
+	}
+	wire.RecyclePacketBufs(g.pbs)
+}

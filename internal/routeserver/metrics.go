@@ -30,6 +30,8 @@ var (
 		"Frames shed by per-session tunnel send queues under backpressure.")
 	mPacketsThrottled = obs.Default().Counter("rnl_routeserver_packets_throttled_total",
 		"Frames refused by per-lab token-bucket rate limiters on the fan-out path.")
+	mPacketsLostDatagram = obs.Default().Counter("rnl_routeserver_packets_lost_datagram_total",
+		"Frames dropped on the best-effort datagram data plane (loss hook or send error).")
 	mStreamsActive = obs.Default().Gauge("rnl_routeserver_streams_active",
 		"Traffic-generation streams currently running.")
 	mStreamInjections = obs.Default().Counter("rnl_routeserver_stream_injections_total",

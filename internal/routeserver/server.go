@@ -81,6 +81,18 @@ type Options struct {
 	// LabRateBurst sizes each lab's token bucket; zero means a burst
 	// equal to LabRateLimit (one second's worth).
 	LabRateBurst float64
+	// Datagram accepts RIS datagram offers: a negotiated session carries
+	// PACKET frames over best-effort UDP on the listener's port while
+	// control traffic stays on the TCP tunnel (see datagram.go). Mutually
+	// exclusive with compression per session — the stateful §4 template
+	// codec needs lossless in-order delivery — so a session that
+	// negotiates compression stays TCP-only.
+	Datagram bool
+	// DatagramLoss, when set, is consulted once per outbound datagram;
+	// returning true drops it before the socket and counts it in
+	// Stats.PacketsLostDatagram — simulated network loss, injected by
+	// deterministic simulation harnesses.
+	DatagramLoss func() bool
 }
 
 // Stats are the server's forwarding-plane counters.
@@ -97,6 +109,11 @@ type Stats struct {
 	// PacketsThrottled counts frames refused by per-lab token-bucket
 	// rate limiters (Options.LabRateLimit) before reaching a send queue.
 	PacketsThrottled atomic.Uint64
+	// PacketsLostDatagram counts frames dropped on the best-effort
+	// datagram path (simulated loss hook or a send error). Together with
+	// the other counters conservation stays exact:
+	// injected == forwarded + no_route + throttled + lost_datagram.
+	PacketsLostDatagram atomic.Uint64
 	// Recoveries counts routers that re-joined within the grace period
 	// and had their lab state reconciled.
 	Recoveries atomic.Uint64
@@ -128,6 +145,12 @@ type Server struct {
 	saveMu        sync.Mutex    // serializes state-snapshot writers
 	stopSnapshots chan struct{} // closed by Close; ends the periodic snapshot loop
 
+	// The datagram data plane (datagram.go): one shared UDP socket and
+	// the token → peer map its receive loop resolves senders through.
+	udp        *net.UDPConn
+	dgramMu    sync.Mutex
+	dgramPeers map[uint64]*dgramPeer
+
 	labMu     sync.Mutex                        // guards the two per-lab maps below
 	labLimits map[string]*admission.TokenBucket // lazily created; forgotten on teardown
 	labStats  map[string]*labCounters           // cumulative per-lab shed/throttle atomics
@@ -155,6 +178,9 @@ type session struct {
 	// seq counts inbound packets for latency sampling. One goroutine
 	// reads a session's frames, so this atomic is uncontended.
 	seq atomic.Uint64
+
+	// dgram is the session's datagram endpoint, nil unless negotiated.
+	dgram *dgramPeer
 
 	pcName  string
 	routers []uint32
@@ -228,6 +254,7 @@ func New(opts Options) *Server {
 		stopSnapshots: make(chan struct{}),
 		labLimits:     make(map[string]*admission.TokenBucket),
 		labStats:      make(map[string]*labCounters),
+		dgramPeers:    make(map[uint64]*dgramPeer),
 	}
 	if opts.StateDir != "" {
 		s.loadState()
@@ -254,6 +281,14 @@ func (s *Server) Listen(addr string) (string, error) {
 // the production entry point.
 func (s *Server) Serve(ln net.Listener) {
 	s.ln = ln
+	// The datagram socket comes up before the accept loop: a session can
+	// only punch after its TCP handshake, so by then the socket must
+	// exist. Failure degrades to TCP-only rather than refusing service.
+	if s.opts.Datagram {
+		if err := s.listenDatagram(ln.Addr()); err != nil {
+			s.log.Warn("datagram listen failed; sessions stay TCP-only", "err", err)
+		}
+	}
 	s.accepting.Store(true)
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -298,6 +333,9 @@ func (s *Server) Close() {
 	close(s.stopSnapshots)
 	if s.ln != nil {
 		s.ln.Close()
+	}
+	if s.udp != nil {
+		s.udp.Close()
 	}
 	for _, sess := range sessions {
 		sess.conn.Close()
@@ -354,8 +392,9 @@ func (s *Server) StatsSnapshot() map[string]uint64 {
 		"packets_no_route":  s.stats.PacketsNoRoute.Load(),
 		"packets_injected":  s.stats.PacketsInjected.Load(),
 		"packets_captured":  s.stats.PacketsCaptured.Load(),
-		"packets_dropped":   s.stats.PacketsDropped.Load(),
-		"packets_throttled": s.stats.PacketsThrottled.Load(),
+		"packets_dropped":       s.stats.PacketsDropped.Load(),
+		"packets_throttled":     s.stats.PacketsThrottled.Load(),
+		"packets_lost_datagram": s.stats.PacketsLostDatagram.Load(),
 		"sessions_total":    s.stats.SessionsTotal.Load(),
 		"recoveries":        s.stats.Recoveries.Load(),
 		"labs_lost":         s.stats.LabsLost.Load(),
@@ -452,31 +491,42 @@ func (s *Server) serveSession(sess *session) {
 	// runtime-pollster timer mutation.
 	fr := wire.NewFrameReader(sess.conn)
 	defer fr.Close()
+	var wd *sim.Watchdog
 	if timeout > 0 {
-		wd := sim.NewWatchdog(s.clock, timeout, func() {
+		wd = sim.NewWatchdog(s.clock, timeout, func() {
 			s.log.Warn("session silent past timeout; dropping", "session", sess.id, "timeout", timeout)
 			sess.conn.Close() // unblocks the frame reader below
 		})
 		defer wd.Stop()
-		for {
-			f, err := fr.Next()
-			if err != nil {
-				return
-			}
-			wd.Touch()
-			s.dispatchFrame(sess, f)
-			if f.Type == wire.MsgLeave {
-				return
-			}
-		}
 	}
+	// The burst loop: one blocking Next per wake, then keep draining
+	// frames the kernel already delivered (a whole header is buffered)
+	// and stage PACKET forwards per destination; the flush queues each
+	// destination's share in one batched call. See inbound.go.
+	pend := newPendBatch()
 	for {
 		f, err := fr.Next()
 		if err != nil {
 			return
 		}
-		s.dispatchFrame(sess, f)
-		if f.Type == wire.MsgLeave {
+		if wd != nil {
+			wd.Touch()
+		}
+		leave := false
+		for burst := 1; ; burst++ {
+			if s.consumeFrame(sess, f, fr, pend) {
+				leave = true
+				break
+			}
+			if burst >= maxInboundBurst || fr.Buffered() < 5 {
+				break
+			}
+			if f, err = fr.Next(); err != nil {
+				break
+			}
+		}
+		s.flushPend(pend)
+		if leave || err != nil {
 			return
 		}
 	}
@@ -524,9 +574,19 @@ func (s *Server) handshake(sess *session) error {
 	}
 	sess.pcName = hello.PCName
 	useCompress := hello.Compress && s.opts.AllowCompression
-	ack, err := wire.EncodeJSON(wire.MsgHelloAck, wire.HelloAckMsg{
-		Version: wire.ProtocolVersion, Compress: useCompress,
-	})
+	helloAck := wire.HelloAckMsg{Version: wire.ProtocolVersion, Compress: useCompress}
+	// Datagram and compression are mutually exclusive per session: the
+	// stateful template codec cannot survive loss, so compression wins
+	// when both were offered.
+	if hello.Datagram && s.opts.Datagram && s.udp != nil && !useCompress {
+		token, terr := s.registerDgramPeer(sess)
+		if terr != nil {
+			return terr
+		}
+		helloAck.Datagram = true
+		helloAck.DatagramToken = token
+	}
+	ack, err := wire.EncodeJSON(wire.MsgHelloAck, helloAck)
 	if err != nil {
 		return err
 	}
@@ -631,6 +691,7 @@ func (s *Server) handshake(sess *session) error {
 // without one they are deleted immediately (the seed behavior).
 func (s *Server) dropSession(sess *session) {
 	sess.conn.Close()
+	s.dropDgramPeer(sess)
 	s.mu.Lock()
 	if _, live := s.sessions[sess.id]; live {
 		delete(s.sessions, sess.id)
@@ -797,7 +858,20 @@ func (s *Server) forward(e *fwdEntry, data []byte) {
 		mPacketsNoRoute.Inc()
 		return
 	}
-	err := sess.writePacketClass(e.lab, wire.PacketMsg{RouterID: e.dst.Router, PortID: e.dst.Port, Data: data})
+	m := wire.PacketMsg{RouterID: e.dst.Router, PortID: e.dst.Port, Data: data}
+	if handled, lost := s.trySendDatagram(sess, m); handled {
+		if lost {
+			s.stats.PacketsLostDatagram.Add(1)
+			mPacketsLostDatagram.Inc()
+		} else {
+			s.stats.PacketsForwarded.Add(1)
+			s.stats.BytesForwarded.Add(uint64(len(data)))
+			mPacketsForwarded.Inc()
+			mBytesForwarded.Add(uint64(len(data)))
+		}
+		return
+	}
+	err := sess.writePacketClass(e.lab, m)
 	if err == nil {
 		s.stats.PacketsForwarded.Add(1)
 		s.stats.BytesForwarded.Add(uint64(len(data)))
@@ -806,7 +880,8 @@ func (s *Server) forward(e *fwdEntry, data []byte) {
 	} else {
 		// The session died between snapshot publish and this frame (at
 		// most one mutation stale): account it like any dead route so
-		// injected == forwarded + no_route + throttled stays exact.
+		// injected == forwarded + no_route + throttled (+ lost_datagram)
+		// stays exact.
 		s.stats.PacketsNoRoute.Add(1)
 		mPacketsNoRoute.Inc()
 	}
@@ -843,7 +918,20 @@ func (s *Server) deliverToPortSlow(dst PortKey, data []byte) {
 		mPacketsNoRoute.Inc()
 		return
 	}
-	err := dstSess.writePacketClass(lab, wire.PacketMsg{RouterID: dst.Router, PortID: dst.Port, Data: data})
+	m := wire.PacketMsg{RouterID: dst.Router, PortID: dst.Port, Data: data}
+	if handled, lost := s.trySendDatagram(dstSess, m); handled {
+		if lost {
+			s.stats.PacketsLostDatagram.Add(1)
+			mPacketsLostDatagram.Inc()
+		} else {
+			s.stats.PacketsForwarded.Add(1)
+			s.stats.BytesForwarded.Add(uint64(len(data)))
+			mPacketsForwarded.Inc()
+			mBytesForwarded.Add(uint64(len(data)))
+		}
+		return
+	}
+	err := dstSess.writePacketClass(lab, m)
 	if err == nil {
 		s.stats.PacketsForwarded.Add(1)
 		s.stats.BytesForwarded.Add(uint64(len(data)))

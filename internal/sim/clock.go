@@ -6,6 +6,7 @@ package sim
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -243,22 +244,134 @@ func (tk *Ticker) Stop() {
 	tk.mu.Unlock()
 }
 
+// --- one-shot timer --------------------------------------------------------
+
+// OneShot is a reusable one-shot timer for select loops that repeatedly
+// wait varying durations: one timer for the life of the loop instead of a
+// fresh garbage timer from time.After per iteration. On the real clock it
+// wraps a single time.Timer and re-arms it with Reset; on any other Clock
+// (sim.Fake in tests) it schedules through AfterFunc, so waits advance
+// deterministically with the fake clock. Arm/Stop and receiving from C
+// belong to one owning goroutine; OneShot is not for concurrent use.
+type OneShot struct {
+	// C delivers the fire time of the most recent Arm.
+	C <-chan time.Time
+
+	c  Clock
+	rt *time.Timer // real-clock fast path: reused runtime timer
+
+	mu    sync.Mutex // guards gen against late AfterFunc callbacks
+	ch    chan time.Time
+	t     Timer
+	gen   uint64
+	armed bool
+}
+
+// NewOneShot returns an unarmed timer on the given clock.
+func NewOneShot(c Clock) *OneShot {
+	o := &OneShot{c: c}
+	if _, ok := c.(Real); ok {
+		rt := time.NewTimer(time.Hour)
+		if !rt.Stop() {
+			<-rt.C
+		}
+		o.rt = rt
+		o.C = rt.C
+	} else {
+		o.ch = make(chan time.Time, 1)
+		o.C = o.ch
+	}
+	return o
+}
+
+// Arm schedules the timer to fire on C after d, superseding any previous
+// arming whose fire has not been received yet.
+func (o *OneShot) Arm(d time.Duration) {
+	if o.rt != nil {
+		if o.armed && !o.rt.Stop() {
+			select {
+			case <-o.rt.C:
+			default:
+			}
+		}
+		o.rt.Reset(d)
+		o.armed = true
+		return
+	}
+	o.mu.Lock()
+	if o.t != nil {
+		o.t.Stop()
+	}
+	select {
+	case <-o.ch:
+	default:
+	}
+	o.gen++
+	gen := o.gen
+	o.t = o.c.AfterFunc(d, func() {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if gen != o.gen {
+			return // superseded by a later Arm or Stop
+		}
+		select {
+		case o.ch <- o.c.Now():
+		default:
+		}
+	})
+	o.armed = true
+	o.mu.Unlock()
+}
+
+// Stop cancels any pending arming and drains C, leaving the timer ready
+// to Arm again.
+func (o *OneShot) Stop() {
+	if o.rt != nil {
+		if o.armed && !o.rt.Stop() {
+			select {
+			case <-o.rt.C:
+			default:
+			}
+		}
+		o.armed = false
+		return
+	}
+	o.mu.Lock()
+	if o.t != nil {
+		o.t.Stop()
+		o.t = nil
+	}
+	o.gen++
+	select {
+	case <-o.ch:
+	default:
+	}
+	o.armed = false
+	o.mu.Unlock()
+}
+
 // --- watchdog --------------------------------------------------------------
 
-// Watchdog invokes expired once when no Touch has arrived for timeout —
-// the dead-peer detector tunnels use instead of re-arming kernel read
-// deadlines. It checks lazily: a timer fires at the earliest possible
-// expiry, and each check re-arms for the remaining idle allowance, so an
-// actively touched watchdog wakes rarely. Driven entirely by the Clock,
-// it is deterministic under sim.Fake.
+// Watchdog invokes expired once when no Touch has arrived for a full
+// check window — the dead-peer detector tunnels use instead of re-arming
+// kernel read deadlines. Touch is a single atomic store with no clock
+// read: it sits on the per-frame receive path of every tunnel, where the
+// previous mutex+Now() pair was a measured hotspot. The cost of that
+// cheapness is coarser expiry: the timer fires every timeout, and a peer
+// is declared dead when a whole window passes untouched, so expiry lands
+// in [timeout, 2·timeout) after the last frame instead of at exactly
+// timeout. Dead-peer detection tolerates that slack by construction —
+// the timeout is already a multiple of the keepalive interval. Driven
+// entirely by the Clock, it is deterministic under sim.Fake.
 type Watchdog struct {
 	c       Clock
 	timeout time.Duration
 	expired func()
 
+	touched atomic.Bool
+
 	mu      sync.Mutex
 	t       Timer
-	last    time.Time
 	stopped bool
 }
 
@@ -271,17 +384,16 @@ func NewWatchdog(c Clock, timeout time.Duration, expired func()) *Watchdog {
 	}
 	w := &Watchdog{c: c, timeout: timeout, expired: expired}
 	w.mu.Lock()
-	w.last = c.Now()
 	w.t = c.AfterFunc(timeout, w.check)
 	w.mu.Unlock()
 	return w
 }
 
-// Touch records liveness, pushing the expiry out to now+timeout.
+// Touch records liveness, pushing the expiry out to at least one and at
+// most two full timeouts from now. One atomic store; safe from any
+// goroutine, any rate.
 func (w *Watchdog) Touch() {
-	w.mu.Lock()
-	w.last = w.c.Now()
-	w.mu.Unlock()
+	w.touched.Store(true)
 }
 
 func (w *Watchdog) check() {
@@ -290,15 +402,14 @@ func (w *Watchdog) check() {
 		w.mu.Unlock()
 		return
 	}
-	idle := w.c.Now().Sub(w.last)
-	if idle >= w.timeout {
-		w.stopped = true
+	if w.touched.Swap(false) {
+		w.t = w.c.AfterFunc(w.timeout, w.check)
 		w.mu.Unlock()
-		w.expired()
 		return
 	}
-	w.t = w.c.AfterFunc(w.timeout-idle, w.check)
+	w.stopped = true
 	w.mu.Unlock()
+	w.expired()
 }
 
 // Stop disarms the watchdog; expired will not be called afterwards.

@@ -210,3 +210,90 @@ func TestRealClockBasics(t *testing.T) {
 		t.Error("real Now went backwards")
 	}
 }
+
+func TestOneShotRealClock(t *testing.T) {
+	o := NewOneShot(Real{})
+	defer o.Stop()
+	// Reused across iterations: each Arm supersedes the last fire.
+	for i := 0; i < 3; i++ {
+		o.Arm(time.Millisecond)
+		select {
+		case <-o.C:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: timer never fired", i)
+		}
+	}
+}
+
+func TestOneShotRealRearmBeforeFire(t *testing.T) {
+	o := NewOneShot(Real{})
+	defer o.Stop()
+	o.Arm(time.Hour)
+	o.Arm(time.Millisecond) // supersedes: must fire at the short delay
+	select {
+	case <-o.C:
+	case <-time.After(5 * time.Second):
+		t.Fatal("superseding Arm never fired")
+	}
+}
+
+func TestOneShotFakeClock(t *testing.T) {
+	c := NewFake(time.Unix(0, 0))
+	o := NewOneShot(c)
+	defer o.Stop()
+	o.Arm(10 * time.Millisecond)
+	select {
+	case <-o.C:
+		t.Fatal("fired before virtual time advanced")
+	default:
+	}
+	c.Advance(9 * time.Millisecond)
+	select {
+	case <-o.C:
+		t.Fatal("fired 1ms early")
+	default:
+	}
+	c.Advance(time.Millisecond)
+	select {
+	case <-o.C:
+	default:
+		t.Fatal("did not fire once virtual time reached the deadline")
+	}
+	// Rearm after a fire works on the same channel.
+	o.Arm(5 * time.Millisecond)
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-o.C:
+	default:
+		t.Fatal("rearmed timer did not fire")
+	}
+}
+
+func TestOneShotFakeStopAndSupersede(t *testing.T) {
+	c := NewFake(time.Unix(0, 0))
+	o := NewOneShot(c)
+	o.Arm(10 * time.Millisecond)
+	o.Stop()
+	c.Advance(time.Hour)
+	select {
+	case <-o.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	// A stale armed generation must not leak into a new arming.
+	o.Arm(time.Hour)
+	o.Arm(time.Millisecond)
+	c.Advance(time.Millisecond)
+	select {
+	case <-o.C:
+	default:
+		t.Fatal("superseding Arm did not fire on the fake clock")
+	}
+	c.Advance(2 * time.Hour)
+	select {
+	case <-o.C:
+		t.Fatal("superseded arming fired a second value")
+	default:
+	}
+	o.Stop()
+}

@@ -9,6 +9,7 @@ import (
 	"rnl/internal/console"
 	"rnl/internal/reservation"
 	"rnl/internal/routeserver"
+	"rnl/internal/sim"
 )
 
 // Deployer turns saved designs into live labs: it checks the user's
@@ -22,6 +23,17 @@ type Deployer struct {
 	Cal *reservation.Calendar
 	// ConsoleTimeout bounds each console automation command.
 	ConsoleTimeout time.Duration
+	// Clock drives console automation timeouts and drains; nil means
+	// wall time. Simulated deployments inject their fake clock.
+	Clock sim.Clock
+}
+
+// clock resolves the injected clock (wall time by default).
+func (dep *Deployer) clock() sim.Clock {
+	if dep.Clock != nil {
+		return dep.Clock
+	}
+	return sim.Real{}
 }
 
 // resolve maps a design's links onto registered port keys.
@@ -142,7 +154,7 @@ func (dep *Deployer) restoreOne(ctx context.Context, router, cfg string) error {
 		return err
 	}
 	defer sess.Close()
-	drv := console.NewDriver(sess, dep.consoleTimeout())
+	drv := console.NewDriverClock(sess, dep.consoleTimeout(), dep.clock())
 	drv.Drain(20 * time.Millisecond)
 	return console.RestoreConfig(ctx, drv, cfg)
 }
@@ -163,7 +175,7 @@ func (dep *Deployer) SaveConfigs(ctx context.Context, d *Design) error {
 		if err != nil {
 			return fmt.Errorf("topology: console to %q: %w", router, err)
 		}
-		drv := console.NewDriver(sess, dep.consoleTimeout())
+		drv := console.NewDriverClock(sess, dep.consoleTimeout(), dep.clock())
 		drv.Drain(20 * time.Millisecond)
 		cfg, err := console.DumpConfig(ctx, drv)
 		sess.Close()

@@ -93,10 +93,14 @@ type ConnStats struct {
 
 // sendEntry is one queued frame. Packets keep their header fields
 // unserialized so the writer can encode straight into the wire buffer
-// without an intermediate EncodePacket allocation.
+// without an intermediate EncodePacket allocation. The packet data is
+// (*payload)[off:]: a zero-copy segment detached from a FrameReader
+// carries the inbound frame's own header at the front, and off skips it
+// instead of memmoving the payload down.
 type sendEntry struct {
 	typ     MsgType
-	payload *[]byte // pooled; packet: raw frame data, control: full payload
+	payload *[]byte // pooled; packet: raw frame data at [off:], control: full payload
+	off     int     // start of packet data inside *payload
 	packet  bool
 	class   string // shedding class (lab name); "" for untagged
 	router  uint32
@@ -104,8 +108,9 @@ type sendEntry struct {
 	flags   uint16
 }
 
-// bufPool recycles payload buffers between SendFrame/SendPacket and the
-// writer goroutine.
+// bufPool recycles payload buffers between senders, FrameReader and the
+// writer goroutine. One shared pool lets a buffer filled by a reader be
+// handed to a writer (zero-copy forwarding) and still come back home.
 var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
 
 func getBuf(data []byte) *[]byte {
@@ -268,6 +273,117 @@ func (c *Conn) SendPacketClass(class string, m PacketMsg) error {
 	return nil
 }
 
+// PacketBuf is one packet frame staged for a batched SendPacketBufs
+// call. Buf is a pooled buffer whose ownership transfers to the Conn on
+// the call: the packet data is (*Buf)[Off:], typically a frame detached
+// from a FrameReader with the inbound packet header still at the front.
+// After SendPacketBufs returns (success or error) the caller must not
+// touch Buf again.
+type PacketBuf struct {
+	Class  string
+	Router uint32
+	Port   uint32
+	Flags  uint16
+	Buf    *[]byte
+	Off    int
+}
+
+// MakePacketBuf copies data into a pooled buffer, for callers staging a
+// batch without a detachable source buffer (decompressed payloads,
+// injected frames).
+func MakePacketBuf(class string, router, port uint32, flags uint16, data []byte) PacketBuf {
+	return PacketBuf{Class: class, Router: router, Port: port, Flags: flags, Buf: getBuf(data)}
+}
+
+// RecyclePacketBufs returns staged buffers to the shared pool — the
+// release path for a batch that never reached SendPacketBufs (dead
+// destination resolved before enqueue, datagram path consumed the data).
+func RecyclePacketBufs(pbs []PacketBuf) {
+	for i := range pbs {
+		putBuf(pbs[i].Buf)
+		pbs[i].Buf = nil
+	}
+}
+
+// SendPacketBufs queues a batch of packet frames under one lock
+// acquisition and one writer wakeup — the route server's per-destination
+// batching: N frames read off one inbound tunnel and bound for the same
+// outbound tunnel cost one enqueue instead of N. Buffer ownership
+// transfers to the Conn on entry (including on error, when the buffers
+// are recycled immediately). A nil receiver reports ErrConnClosed, so
+// callers can race a batch against session teardown without a guard.
+// Shedding follows SendPacketClass: the queue admits the whole batch,
+// then evicts the noisiest class's oldest frames until the bound holds.
+func (c *Conn) SendPacketBufs(pbs []PacketBuf) error {
+	if c == nil {
+		RecyclePacketBufs(pbs)
+		return ErrConnClosed
+	}
+	for i := range pbs {
+		if packetHeaderLen+len(*pbs[i].Buf)-pbs[i].Off+2 > MaxFrameLen {
+			RecyclePacketBufs(pbs)
+			return fmt.Errorf("wire: packet data %d bytes exceeds maximum", len(*pbs[i].Buf)-pbs[i].Off)
+		}
+	}
+	dropped := 0
+	var shedClasses []string
+	c.mu.Lock()
+	if err := c.sendErrLocked(); err != nil {
+		c.mu.Unlock()
+		RecyclePacketBufs(pbs)
+		return err
+	}
+	for i := range pbs {
+		pb := &pbs[i]
+		c.queue = append(c.queue, sendEntry{
+			typ: MsgPacket, payload: pb.Buf, off: pb.Off, packet: true, class: pb.Class,
+			router: pb.Router, port: pb.Port, flags: pb.Flags,
+		})
+		pb.Buf = nil
+		c.npkt++
+		c.shed.Enqueued(pb.Class)
+	}
+	for c.npkt > c.cfg.QueueLen {
+		victim := c.shed.Victim()
+		found := false
+		for i := c.head; i < len(c.queue); i++ {
+			e := &c.queue[i]
+			if e.packet && e.payload != nil && e.class == victim {
+				putBuf(e.payload)
+				e.payload = nil
+				c.npkt--
+				c.shed.Shed(victim)
+				dropped++
+				shedClasses = append(shedClasses, victim)
+				found = true
+				break
+			}
+		}
+		if !found {
+			break // occupancy out of sync; never spin
+		}
+	}
+	for c.head < len(c.queue) && c.queue[c.head].packet && c.queue[c.head].payload == nil {
+		c.head++
+	}
+	c.stats.FramesEnqueued.Add(uint64(len(pbs)))
+	if dropped > 0 {
+		c.stats.PacketsDropped.Add(uint64(dropped))
+	}
+	c.cond.Signal()
+	c.mu.Unlock()
+	mQueueDepth.Add(int64(len(pbs) - dropped))
+	if dropped > 0 {
+		mPacketsDropped.Add(uint64(dropped))
+		if c.cfg.OnShed != nil {
+			for _, class := range shedClasses {
+				c.cfg.OnShed(class, 1)
+			}
+		}
+	}
+	return nil
+}
+
 func (c *Conn) sendErrLocked() error {
 	if c.err != nil {
 		return c.err
@@ -296,12 +412,23 @@ func (c *Conn) Close() error {
 	return nil
 }
 
+// maxRedrainRounds bounds the pre-flush re-drain so a fast producer
+// cannot postpone the flush forever: each round already serializes a
+// whole queue swap, so a handful of rounds is plenty of coalescing.
+const maxRedrainRounds = 4
+
 // writeLoop drains the queue in batches: every entry present when the
 // writer wakes is serialized into one buffered write and flushed with a
-// single syscall (modulo buffer size).
+// single syscall (modulo buffer size). Before flushing it re-checks the
+// queue a few times: frames that arrived while the batch serialized join
+// the same flush, raising frames-per-syscall exactly when the link is
+// busiest. The kernel write deadline is re-armed at most once per
+// timeout/4 — a stall is still caught within [3/4·timeout, timeout+ε],
+// without a setsockopt-grade syscall on every small batch.
 func (c *Conn) writeLoop() {
 	defer close(c.done)
 	var batch []sendEntry
+	var lastArm time.Time // wall clock; deadlines are kernel-side
 	for {
 		c.mu.Lock()
 		for len(c.queue) == 0 && !c.closed && c.err == nil {
@@ -318,37 +445,35 @@ func (c *Conn) writeLoop() {
 		c.shed.Reset() // queue drained wholesale: occupancy back to zero
 		closing := c.closed
 		c.mu.Unlock()
-		live := 0
-		for i := range batch {
-			if batch[i].payload != nil {
-				live++
-			}
-		}
-		mQueueDepth.Add(int64(-live))
-		mBatchFrames.Observe(float64(live))
 
 		timeout := c.cfg.WriteTimeout
 		if closing && (timeout <= 0 || timeout > closeGrace) {
 			timeout = closeGrace
 		}
 		if timeout > 0 {
-			c.nc.SetWriteDeadline(time.Now().Add(timeout))
+			if now := time.Now(); closing || lastArm.IsZero() || now.Sub(lastArm) > timeout/4 {
+				c.nc.SetWriteDeadline(now.Add(timeout))
+				lastArm = now
+			}
 		}
 		start := c.cfg.Clock.Now()
 		bytesBefore := c.stats.BytesWritten.Load()
-		var err error
-		written := 0
-		for i := range batch {
-			if batch[i].payload == nil {
-				continue // shed tombstone, already uncounted
+		written, err := c.writeBatch(batch)
+		for rounds := 0; err == nil && !closing && rounds < maxRedrainRounds; rounds++ {
+			c.mu.Lock()
+			if len(c.queue) == 0 {
+				c.mu.Unlock()
+				break
 			}
-			if err == nil {
-				if err = c.writeEntry(batch[i]); err == nil {
-					written++
-				}
-			}
-			putBuf(batch[i].payload)
-			batch[i].payload = nil
+			batch, c.queue = c.queue, batch[:0]
+			c.head = 0
+			c.npkt = 0
+			c.shed.Reset()
+			closing = c.closed
+			c.mu.Unlock()
+			var w int
+			w, err = c.writeBatch(batch)
+			written += w
 		}
 		if err == nil {
 			if err = c.bw.Flush(); err == nil {
@@ -366,11 +491,40 @@ func (c *Conn) writeLoop() {
 	}
 }
 
+// writeBatch serializes one queue swap into the coalescing buffer,
+// recycling every payload. On error the remaining entries are still
+// recycled; the first error is returned.
+func (c *Conn) writeBatch(batch []sendEntry) (written int, err error) {
+	live := 0
+	for i := range batch {
+		if batch[i].payload != nil {
+			live++
+		}
+	}
+	mQueueDepth.Add(int64(-live))
+	mBatchFrames.Observe(float64(live))
+	for i := range batch {
+		if batch[i].payload == nil {
+			continue // shed tombstone, already uncounted
+		}
+		if err == nil {
+			if werr := c.writeEntry(batch[i]); werr == nil {
+				written++
+			} else {
+				err = werr
+			}
+		}
+		putBuf(batch[i].payload)
+		batch[i].payload = nil
+	}
+	return written, err
+}
+
 // writeEntry serializes one frame into the coalescing buffer.
 func (c *Conn) writeEntry(e sendEntry) error {
 	payload := *e.payload
 	if e.packet {
-		data, flags := payload, e.flags
+		data, flags := payload[e.off:], e.flags
 		if c.cfg.Encoder != nil {
 			enc, f := c.cfg.Encoder(data)
 			data, flags = enc, e.flags|f
@@ -429,17 +583,13 @@ func (c *Conn) fail(err error) {
 	c.nc.Close()
 }
 
-// readBufPool recycles FrameReader payload buffers across reader
-// lifetimes, so session churn (tunnel flaps, reconnects) reaches a
-// steady state with zero read-side payload allocations.
-var readBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
-
 // FrameReader reads frames with a reused payload buffer, eliminating the
 // per-frame allocation of ReadFrame on the hot receive path. The
 // returned Frame's payload is only valid until the next call to Next;
-// consumers that retain it must copy (every consumer in this repo either
-// copies or finishes with the payload synchronously). Call Close when
-// done to return the payload buffer to a pool shared by all readers.
+// consumers that retain it must copy — or Detach the buffer outright and
+// hand it to SendPacketBufs (the zero-copy forwarding path). Call Close
+// when done to return the payload buffer to the pool shared with the
+// writers.
 type FrameReader struct {
 	br  *bufio.Reader
 	buf *[]byte
@@ -449,7 +599,7 @@ type FrameReader struct {
 func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{
 		br:  bufio.NewReaderSize(r, DefaultWriteBufSize),
-		buf: readBufPool.Get().(*[]byte),
+		buf: bufPool.Get().(*[]byte),
 	}
 }
 
@@ -458,9 +608,36 @@ func NewFrameReader(r io.Reader) *FrameReader {
 // Safe to call more than once.
 func (fr *FrameReader) Close() {
 	if fr.buf != nil {
-		readBufPool.Put(fr.buf)
+		bufPool.Put(fr.buf)
 		fr.buf = nil
 	}
+}
+
+// Buffered reports how many bytes sit in the reader's buffer unread —
+// at least 5 means a whole frame header is already in memory, so the
+// caller can keep draining frames without risking a blocking read. The
+// route server uses this to size its inbound burst.
+func (fr *FrameReader) Buffered() int { return fr.br.Buffered() }
+
+// Detach surrenders the buffer backing the last payload returned by Next
+// and re-arms the reader from the pool. The buffer's length is exactly
+// the payload; ownership moves to the caller, who recycles it by handing
+// it to SendPacketBufs or RecyclePacketBufs. This is how a forwarded
+// frame crosses the server without a copy: read into the buffer, detach,
+// queue the same bytes on the destination tunnel.
+func (fr *FrameReader) Detach() *[]byte {
+	b := fr.buf
+	fr.buf = bufPool.Get().(*[]byte)
+	return b
+}
+
+// DetachPacket detaches the buffer backing the last frame returned by
+// Next — which must have been a MsgPacket — and wraps it as a PacketBuf
+// re-addressed to (router, port). The inbound packet header stays in the
+// buffer; Off skips it, so forwarding a frame re-uses the received bytes
+// with no copy at all.
+func (fr *FrameReader) DetachPacket(class string, router, port uint32, flags uint16) PacketBuf {
+	return PacketBuf{Class: class, Router: router, Port: port, Flags: flags, Buf: fr.Detach(), Off: packetHeaderLen}
 }
 
 // Next reads one frame. The payload aliases the reader's internal buffer.
@@ -477,12 +654,15 @@ func (fr *FrameReader) Next() (Frame, error) {
 	if n > 1 {
 		need := int(n - 1)
 		if fr.buf == nil { // closed; be defensive rather than crash
-			fr.buf = readBufPool.Get().(*[]byte)
+			fr.buf = bufPool.Get().(*[]byte)
 		}
 		if cap(*fr.buf) < need {
-			*fr.buf = make([]byte, need)
+			*fr.buf = make([]byte, 0, need)
 		}
-		f.Payload = (*fr.buf)[:need]
+		// Keep the buffer's own length equal to the payload so Detach
+		// hands over exactly the frame, nothing stale behind it.
+		*fr.buf = (*fr.buf)[:need]
+		f.Payload = *fr.buf
 		if _, err := io.ReadFull(fr.br, f.Payload); err != nil {
 			return Frame{}, err
 		}

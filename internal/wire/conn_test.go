@@ -538,3 +538,61 @@ func TestConnFairShareShedding(t *testing.T) {
 		}
 	}
 }
+
+// TestSendPacketBufsBatch drives a mixed batch — a copied buffer
+// (MakePacketBuf) and a zero-copy buffer detached from a FrameReader —
+// through SendPacketBufs and verifies each arrives as a standard PACKET
+// frame re-addressed to its staged destination.
+func TestSendPacketBufsBatch(t *testing.T) {
+	client, server := tcpPair(t)
+	wc := NewConn(client, ConnConfig{})
+	defer wc.Close()
+
+	// Source frame to detach: write a PACKET frame through a pipe-backed
+	// FrameReader, exactly how the route server receives one.
+	srcData := patternFrame(3, 9, 256)
+	var srcBuf bytes.Buffer
+	pf := Frame{Type: MsgPacket, Payload: EncodePacket(PacketMsg{RouterID: 1, PortID: 1, Data: srcData})}
+	if err := WriteFrame(&srcBuf, pf); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&srcBuf)
+	defer fr.Close()
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+
+	copied := patternFrame(4, 11, 128)
+	batch := []PacketBuf{
+		fr.DetachPacket("lab", 7, 8, 0),
+		MakePacketBuf("lab", 9, 10, 0, copied),
+	}
+	if err := wc.SendPacketBufs(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := NewFrameReader(server)
+	defer rd.Close()
+	want := []struct {
+		router, port uint32
+		data         []byte
+	}{{7, 8, srcData}, {9, 10, copied}}
+	for i, w := range want {
+		server.SetReadDeadline(time.Now().Add(5 * time.Second))
+		f, err := rd.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != MsgPacket {
+			t.Fatalf("frame %d: type %v", i, f.Type)
+		}
+		m, err := DecodePacket(f.Payload)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if m.RouterID != w.router || m.PortID != w.port || !bytes.Equal(m.Data, w.data) {
+			t.Fatalf("frame %d: got router %d port %d %d bytes, want router %d port %d %d bytes",
+				i, m.RouterID, m.PortID, len(m.Data), w.router, w.port, len(w.data))
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package wire
+
+// Best-effort datagram transport for PACKET frames (tunnel transport
+// v2). A negotiated session carries its data plane over UDP on the route
+// server's port while every control frame (join, console, keepalive,
+// leave) stays on the TCP tunnel: the tunneled traffic is L2 frames that
+// already expect a lossy wire, so retransmitting them inside TCP only
+// adds head-of-line blocking between unrelated labs.
+//
+// Datagram layout:
+//
+//	uint8   kind (punch / punch-ack / packet)
+//	uint64  session token (big endian, issued in the HelloAck)
+//	...     for DgramPacket: a standard MsgPacket payload
+//	        (router ID, port ID, flags, frame bytes)
+//
+// The token binds datagrams to a TCP session: the RIS learns it from the
+// HelloAck, the server learns the RIS's UDP address from the first punch
+// carrying it (the same outbound-only hole punching the TCP tunnel uses
+// to cross firewalls). Datagrams are never compressed — the §4 template
+// codec is stateful and loss would desync it — so a session that
+// negotiates compression stays TCP-only.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Datagram kinds.
+const (
+	// DgramPunch is RIS → server: establish/refresh the UDP return path.
+	DgramPunch byte = 1
+	// DgramPunchAck is server → RIS: the punch was accepted.
+	DgramPunchAck byte = 2
+	// DgramPacket carries one MsgPacket payload, either direction.
+	DgramPacket byte = 3
+)
+
+// DgramHeaderLen is the kind + token prefix on every datagram.
+const DgramHeaderLen = 1 + 8
+
+// MaxDgramLen bounds one datagram — the UDP payload ceiling. Packets
+// whose encoding would exceed it fall back to the TCP tunnel.
+const MaxDgramLen = 65507
+
+// DgramPacketFits reports whether a packet with n data bytes fits in one
+// datagram.
+func DgramPacketFits(n int) bool {
+	return DgramHeaderLen+packetHeaderLen+n <= MaxDgramLen
+}
+
+func encodeDgramControl(kind byte, token uint64) []byte {
+	out := make([]byte, DgramHeaderLen)
+	out[0] = kind
+	binary.BigEndian.PutUint64(out[1:9], token)
+	return out
+}
+
+// EncodeDgramPunch builds a punch datagram.
+func EncodeDgramPunch(token uint64) []byte { return encodeDgramControl(DgramPunch, token) }
+
+// EncodeDgramPunchAck builds a punch acknowledgment.
+func EncodeDgramPunchAck(token uint64) []byte { return encodeDgramControl(DgramPunchAck, token) }
+
+// AppendDgramPacket appends the datagram encoding of one packet frame to
+// dst and returns the extended slice.
+func AppendDgramPacket(dst []byte, token uint64, m PacketMsg) []byte {
+	var hdr [DgramHeaderLen + packetHeaderLen]byte
+	hdr[0] = DgramPacket
+	binary.BigEndian.PutUint64(hdr[1:9], token)
+	binary.BigEndian.PutUint32(hdr[9:13], m.RouterID)
+	binary.BigEndian.PutUint32(hdr[13:17], m.PortID)
+	binary.BigEndian.PutUint16(hdr[17:19], m.Flags)
+	dst = append(dst, hdr[:]...)
+	return append(dst, m.Data...)
+}
+
+// DecodeDgram splits one received datagram into kind, token and body.
+// For DgramPacket the body is a standard MsgPacket payload; for the
+// control kinds it is empty.
+func DecodeDgram(b []byte) (kind byte, token uint64, body []byte, err error) {
+	if len(b) < DgramHeaderLen {
+		return 0, 0, nil, fmt.Errorf("wire: datagram %d bytes, need %d", len(b), DgramHeaderLen)
+	}
+	return b[0], binary.BigEndian.Uint64(b[1:9]), b[DgramHeaderLen:], nil
+}
+
+// dgramScratch recycles encode buffers between datagram senders.
+var dgramScratch = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+// WriteDgramPacket encodes one packet datagram into pooled scratch and
+// sends it with a single Write on a connected UDP socket (the RIS side).
+func WriteDgramPacket(w io.Writer, token uint64, m PacketMsg) error {
+	bp := dgramScratch.Get().(*[]byte)
+	buf := AppendDgramPacket((*bp)[:0], token, m)
+	_, err := w.Write(buf)
+	*bp = buf
+	dgramScratch.Put(bp)
+	return err
+}
+
+// WriteDgramPacketTo is WriteDgramPacket for the server's shared
+// unconnected socket, addressed to one punched peer.
+func WriteDgramPacketTo(c *net.UDPConn, addr *net.UDPAddr, token uint64, m PacketMsg) error {
+	bp := dgramScratch.Get().(*[]byte)
+	buf := AppendDgramPacket((*bp)[:0], token, m)
+	_, err := c.WriteToUDP(buf, addr)
+	*bp = buf
+	dgramScratch.Put(bp)
+	return err
+}

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDgramControlRoundtrip(t *testing.T) {
+	const token = uint64(0xdeadbeefcafef00d)
+	for _, tc := range []struct {
+		name string
+		buf  []byte
+		kind byte
+	}{
+		{"punch", EncodeDgramPunch(token), DgramPunch},
+		{"punch-ack", EncodeDgramPunchAck(token), DgramPunchAck},
+	} {
+		kind, tok, body, err := DecodeDgram(tc.buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if kind != tc.kind || tok != token || len(body) != 0 {
+			t.Fatalf("%s: decoded kind=%d token=%#x body=%d bytes", tc.name, kind, tok, len(body))
+		}
+	}
+}
+
+func TestDgramPacketRoundtrip(t *testing.T) {
+	const token = uint64(42)
+	m := PacketMsg{RouterID: 7, PortID: 3, Flags: 0, Data: []byte("frame bytes here")}
+	buf := AppendDgramPacket(nil, token, m)
+	kind, tok, body, err := DecodeDgram(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if kind != DgramPacket || tok != token {
+		t.Fatalf("kind=%d token=%d", kind, tok)
+	}
+	// The body must be a standard MsgPacket payload, decodable by the
+	// same path TCP PACKET frames use.
+	got, err := DecodePacket(body)
+	if err != nil {
+		t.Fatalf("decode packet body: %v", err)
+	}
+	if got.RouterID != m.RouterID || got.PortID != m.PortID || got.Flags != m.Flags ||
+		!bytes.Equal(got.Data, m.Data) {
+		t.Fatalf("roundtrip mismatch: got %+v want %+v", got, m)
+	}
+}
+
+func TestDgramDecodeShort(t *testing.T) {
+	for n := 0; n < DgramHeaderLen; n++ {
+		if _, _, _, err := DecodeDgram(make([]byte, n)); err == nil {
+			t.Fatalf("decode of %d-byte datagram succeeded", n)
+		}
+	}
+}
+
+func TestDgramPacketFits(t *testing.T) {
+	maxData := MaxDgramLen - DgramHeaderLen - packetHeaderLen
+	if !DgramPacketFits(maxData) {
+		t.Fatalf("packet with %d data bytes should fit", maxData)
+	}
+	if DgramPacketFits(maxData + 1) {
+		t.Fatalf("packet with %d data bytes should not fit", maxData+1)
+	}
+	// The boundary claim must match the actual encoding.
+	buf := AppendDgramPacket(nil, 1, PacketMsg{Data: make([]byte, maxData)})
+	if len(buf) != MaxDgramLen {
+		t.Fatalf("encoded max packet is %d bytes, want %d", len(buf), MaxDgramLen)
+	}
+}

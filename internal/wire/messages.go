@@ -6,11 +6,14 @@ import (
 )
 
 // HelloMsg opens a tunnel: protocol version check plus feature
-// negotiation (packet compression).
+// negotiation (packet compression, datagram data plane).
 type HelloMsg struct {
 	Version  int    `json:"version"`
 	PCName   string `json:"pc_name"`
 	Compress bool   `json:"compress"`
+	// Datagram offers the best-effort UDP data plane for PACKET frames
+	// (see dgram.go); control traffic stays on this TCP tunnel.
+	Datagram bool `json:"datagram,omitempty"`
 }
 
 // HelloAckMsg confirms the tunnel; Compress is the negotiated result
@@ -18,6 +21,12 @@ type HelloMsg struct {
 type HelloAckMsg struct {
 	Version  int  `json:"version"`
 	Compress bool `json:"compress"`
+	// Datagram reports the server accepted the datagram offer; the RIS
+	// then punches the server's UDP port with DatagramToken. Never set
+	// together with Compress — datagrams are never compressed.
+	Datagram bool `json:"datagram,omitempty"`
+	// DatagramToken authenticates this session's datagrams.
+	DatagramToken uint64 `json:"datagram_token,omitempty"`
 }
 
 // PortAnnounce describes one router port the RIS manages (paper Fig. 3):

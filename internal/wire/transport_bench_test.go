@@ -1,0 +1,76 @@
+package wire
+
+// Transport micro-benchmarks for tunnel transport v2: the batched
+// zero-copy enqueue against the per-packet path, and the datagram
+// encode. Part of `make bench-fast` so transport regressions show up in
+// BENCH_fastpath.json next to the end-to-end forwarding numbers.
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// BenchmarkTransportSendPacket is the per-packet enqueue baseline: one
+// lock acquisition and one writer wakeup per 64-byte frame.
+func BenchmarkTransportSendPacket(b *testing.B) {
+	wc := NewConn(discardWriteCloser{}, ConnConfig{QueueLen: 1 << 20})
+	defer wc.Close()
+	frame := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wc.SendPacket(PacketMsg{RouterID: 1, PortID: 2, Data: frame}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransportSendPacketBufs enqueues the same traffic in
+// 16-frame batches through the zero-copy staging path — the route
+// server's per-destination batching.
+func BenchmarkTransportSendPacketBufs(b *testing.B) {
+	wc := NewConn(discardWriteCloser{}, ConnConfig{QueueLen: 1 << 20})
+	defer wc.Close()
+	frame := make([]byte, 64)
+	const batch = 16
+	pbs := make([]PacketBuf, batch)
+	b.SetBytes(64 * batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range pbs {
+			pbs[j] = MakePacketBuf("", 1, 2, 0, frame)
+		}
+		if err := wc.SendPacketBufs(pbs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransportDgramEncode measures the datagram hot path: encode
+// one 64-byte packet into pooled scratch and hand it to the writer.
+func BenchmarkTransportDgramEncode(b *testing.B) {
+	frame := make([]byte, 64)
+	m := PacketMsg{RouterID: 1, PortID: 2, Data: frame}
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteDgramPacket(io.Discard, 42, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// discardWriteCloser soaks up the writer goroutine's output so the
+// benchmarks measure the enqueue path, not a socket.
+type discardWriteCloser struct{}
+
+func (discardWriteCloser) Write(p []byte) (int, error)      { return len(p), nil }
+func (discardWriteCloser) Read(p []byte) (int, error)       { return 0, io.EOF }
+func (discardWriteCloser) Close() error                     { return nil }
+func (discardWriteCloser) LocalAddr() net.Addr              { return nil }
+func (discardWriteCloser) RemoteAddr() net.Addr             { return nil }
+func (discardWriteCloser) SetDeadline(time.Time) error      { return nil }
+func (discardWriteCloser) SetReadDeadline(time.Time) error  { return nil }
+func (discardWriteCloser) SetWriteDeadline(time.Time) error { return nil }
