@@ -9,9 +9,10 @@ verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/... ./internal/detsim/...
+	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/... ./internal/detsim/... ./internal/identity/...
 	$(GO) test -run '^$$' -bench ForwardFastPath -benchtime 1x ./internal/routeserver/
 	$(GO) test -count=1 -run 'Datagram|Dgram' . ./internal/wire/ ./internal/detsim/
+	$(GO) test -count=1 -run 'AuthenticatedDeployEndToEnd|MultiTenant' ./internal/api/ ./internal/detsim/
 	$(MAKE) sim
 
 # Deterministic cluster simulation: the pinned seed corpus plus
@@ -29,7 +30,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/...
+	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/... ./internal/identity/...
 
 # Overload/chaos soaks: the fair-share shedding and admission round-trip
 # tests, race-instrumented and repeated to shake out ordering flakes.

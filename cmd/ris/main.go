@@ -37,6 +37,7 @@ import (
 	"syscall"
 
 	"rnl/internal/device"
+	"rnl/internal/identity"
 	"rnl/internal/netsim"
 	"rnl/internal/ris"
 )
@@ -53,11 +54,17 @@ type deviceSpec struct {
 
 // fileConfig is the ris.json schema.
 type fileConfig struct {
-	Server   string       `json:"server"`
-	PCName   string       `json:"pc_name"`
-	Compress bool         `json:"compress"`
-	Datagram bool         `json:"datagram"`
-	Devices  []deviceSpec `json:"devices"`
+	Server   string `json:"server"`
+	PCName   string `json:"pc_name"`
+	Compress bool   `json:"compress"`
+	Datagram bool   `json:"datagram"`
+	// DgramMTU caps frames on the UDP datagram path (0 = default 1400).
+	DgramMTU int `json:"dgram_mtu,omitempty"`
+	// Token authenticates the tunnel join. Prefer the RNL_TOKEN
+	// environment variable (or the -token flag) over storing the secret
+	// in the config file.
+	Token   string       `json:"token,omitempty"`
+	Devices []deviceSpec `json:"devices"`
 }
 
 // buildDevice stands up one emulated device and returns its RIS router
@@ -157,6 +164,8 @@ func main() {
 	var (
 		configPath = flag.String("config", "ris.json", "path to the RIS configuration")
 		fast       = flag.Bool("fast", false, "use fast protocol timers (demos)")
+		token      = flag.String("token", "", "tunnel join credential (empty = RNL_TOKEN env var, then the config file's token)")
+		dgramMTU   = flag.Int("dgram-mtu", 0, "largest frame allowed on the UDP datagram path before TCP fallback (0 = config file, then default 1400)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
@@ -184,7 +193,21 @@ func main() {
 	if *fast {
 		timers = device.FastTimers()
 	}
-	cfg := ris.Config{ServerAddr: fc.Server, PCName: fc.PCName, Compress: fc.Compress, Datagram: fc.Datagram}
+	// Flag beats environment beats config file for the credential, so
+	// the secret can stay out of both argv and the on-disk config.
+	joinToken := identity.ResolveToken(*token)
+	if joinToken == "" {
+		joinToken = fc.Token
+	}
+	mtu := *dgramMTU
+	if mtu == 0 {
+		mtu = fc.DgramMTU
+	}
+	cfg := ris.Config{
+		ServerAddr: fc.Server, PCName: fc.PCName,
+		Compress: fc.Compress, Datagram: fc.Datagram,
+		Token: joinToken, DatagramMTU: mtu,
+	}
 	var stops []func()
 	defer func() {
 		for i := len(stops) - 1; i >= 0; i-- {

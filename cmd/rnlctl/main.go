@@ -5,8 +5,16 @@
 //
 //	rnlctl [-server http://host:8080] [-token T] <command> [args]
 //
+// The credential may be a legacy shared secret, a signed bearer token,
+// or a static API key; prefer passing it via the RNL_TOKEN environment
+// variable (the -token flag overrides it) so it stays off argv. Against
+// a multi-tenant server, tenant-role credentials act only on their own
+// reservations, deployments and consoles; "whoami" shows what the
+// server resolved the credential to.
+//
 // Commands:
 //
+//	whoami                             show the authenticated tenant and role
 //	inventory                          list registered routers and ports
 //	stats                              observability snapshot (route server + rnl_* metrics, JSON)
 //	designs                            list saved designs
@@ -44,6 +52,7 @@ import (
 
 	"rnl/internal/admission"
 	"rnl/internal/api"
+	"rnl/internal/identity"
 	"rnl/internal/sim"
 	"rnl/internal/topology"
 )
@@ -64,17 +73,25 @@ func printJSON(v any) {
 func main() {
 	var (
 		server = flag.String("server", "http://127.0.0.1:8080", "RNL web server URL")
-		token  = flag.String("token", "", "API token")
+		token  = flag.String("token", "", "API credential: shared secret, signed bearer token or API key (empty = RNL_TOKEN env var)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		fatal("missing command; see -h")
 	}
-	c := api.NewClient(*server, *token)
+	// The flag wins over RNL_TOKEN; prefer the environment in scripts so
+	// the credential never shows up in process listings or shell history.
+	c := api.NewClient(*server, identity.ResolveToken(*token))
 	cmd, rest := args[0], args[1:]
 
 	switch cmd {
+	case "whoami":
+		who, err := c.WhoAmI()
+		if err != nil {
+			fatal("%v", err)
+		}
+		printJSON(who)
 	case "inventory":
 		inv, err := c.Inventory()
 		if err != nil {

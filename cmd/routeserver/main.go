@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	routeserver [-tunnel :9000] [-http :8080] [-compress] [-datagram] [-token T] [-state DIR] [-grace 60s]
+//	routeserver [-tunnel :9000] [-http :8080] [-compress] [-datagram] [-dgram-mtu N]
+//	            [-token T] [-tunnel-token T] [-auth-secret S] [-api-keys K=T:R,...]
+//	            [-tenant-max-labs N] [-tenant-reservation-hours H]
+//	            [-state DIR] [-grace 60s]
+//
+// The API token may also come from the RNL_TOKEN environment variable
+// (the -token flag wins), keeping the secret off argv.
 package main
 
 import (
@@ -14,10 +20,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"rnl/internal/api"
+	"rnl/internal/identity"
 	rnllog "rnl/internal/log"
 	"rnl/internal/reservation"
 	"rnl/internal/routeserver"
@@ -31,7 +39,13 @@ func main() {
 		httpAddr   = flag.String("http", ":8080", "address for the web UI and API")
 		compress   = flag.Bool("compress", false, "accept tunnel packet compression")
 		datagram   = flag.Bool("datagram", false, "offer the best-effort UDP data plane for PACKET frames (mutually exclusive with compression per session)")
-		token      = flag.String("token", "", "API token (empty disables auth)")
+		dgramMTU   = flag.Int("dgram-mtu", 0, "largest PACKET frame allowed on the UDP datagram path before TCP fallback (0 = default 1400; clamp to the path MTU to avoid fragmentation)")
+		token      = flag.String("token", "", "legacy shared API secret; a match grants admin (empty = RNL_TOKEN env var, both empty disables)")
+		tunnelTok  = flag.String("tunnel-token", "", "shared secret RIS agents present at tunnel join (empty = same as the API token)")
+		authSecret = flag.String("auth-secret", "", "HMAC signing secret enabling the identity layer: signed bearer tokens with tenant and role (empty disables)")
+		apiKeys    = flag.String("api-keys", "", "static automation credentials as key=tenant:role, comma-separated (requires -auth-secret)")
+		maxLabs    = flag.Int("tenant-max-labs", 0, "default per-tenant concurrent-lab quota (0 = unlimited)")
+		maxResHrs  = flag.Float64("tenant-reservation-hours", 0, "default per-tenant cap on outstanding reserved router-hours (0 = unlimited)")
 		storeDir   = flag.String("store", "", "directory for persisted designs (default <state>/designs when -state is set, else memory only)")
 		stateDir   = flag.String("state", "", "directory for durable control-plane state: deployments, inventory, reservations (empty = volatile)")
 		grace      = flag.Duration("grace", routeserver.DefaultRouterGracePeriod, "how long a disconnected RIS keeps its identity and labs before GC (0 = drop immediately)")
@@ -45,6 +59,48 @@ func main() {
 	)
 	flag.Parse()
 	log := rnllog.New(rnllog.Options{W: os.Stderr})
+	// Secrets come from the environment when flags are unset: argv is
+	// world-readable via ps/procfs, the environment is not.
+	apiToken := identity.ResolveToken(*token)
+	tunnelToken := *tunnelTok
+	if tunnelToken == "" {
+		tunnelToken = apiToken
+	}
+	var ident *identity.Authority
+	if *authSecret != "" {
+		var err error
+		ident, err = identity.New([]byte(*authSecret), nil)
+		if err != nil {
+			log.Error("identity authority failed", "err", err)
+			os.Exit(1)
+		}
+		for _, spec := range strings.Split(*apiKeys, ",") {
+			if spec = strings.TrimSpace(spec); spec == "" {
+				continue
+			}
+			key, claim, ok := strings.Cut(spec, "=")
+			if !ok {
+				log.Error("bad -api-keys entry; want key=tenant:role", "entry", identity.Redacted(spec))
+				os.Exit(1)
+			}
+			tenant, role, ok := strings.Cut(claim, ":")
+			if !ok {
+				log.Error("bad -api-keys entry; want key=tenant:role", "entry", identity.Redacted(spec))
+				os.Exit(1)
+			}
+			if err := ident.AddAPIKey(key, identity.Claims{Tenant: tenant, Role: identity.Role(role)}); err != nil {
+				log.Error("registering API key", "tenant", tenant, "err", err)
+				os.Exit(1)
+			}
+		}
+	} else if *apiKeys != "" {
+		log.Error("-api-keys requires -auth-secret")
+		os.Exit(1)
+	}
+	var quotas *identity.Quotas
+	if *maxLabs > 0 || *maxResHrs > 0 {
+		quotas = identity.NewQuotas(identity.Quota{MaxConcurrentLabs: *maxLabs, ReservationHours: *maxResHrs})
+	}
 	if *pprofAddr != "" {
 		go func() {
 			log.Info("pprof listening", "addr", *pprofAddr)
@@ -72,11 +128,14 @@ func main() {
 	rs := routeserver.New(routeserver.Options{
 		AllowCompression:  *compress,
 		Datagram:          *datagram,
+		DatagramMTU:       *dgramMTU,
 		Logger:            log,
 		RouterGracePeriod: graceOpt,
 		StateDir:          *stateDir,
 		LabRateLimit:      *labPPS,
 		LabRateBurst:      *labBurst,
+		TunnelToken:       tunnelToken,
+		Identity:          ident,
 	})
 	boundTunnel, err := rs.Listen(*tunnelAddr)
 	if err != nil {
@@ -104,7 +163,9 @@ func main() {
 		RouteServer:    rs,
 		Store:          store,
 		Calendar:       cal,
-		Token:          *token,
+		Token:          apiToken,
+		Identity:       ident,
+		Quotas:         quotas,
 		ConsoleTimeout: 10 * time.Second,
 		Logger:         log,
 		Admission: api.AdmissionConfig{
@@ -118,7 +179,9 @@ func main() {
 		log.Error("http listen failed", "err", err)
 		os.Exit(1)
 	}
-	log.Info("route server up", "tunnel", boundTunnel, "http", boundHTTP, "compress", *compress, "datagram", *datagram, "state", *stateDir)
+	log.Info("route server up", "tunnel", boundTunnel, "http", boundHTTP,
+		"compress", *compress, "datagram", *datagram, "state", *stateDir,
+		"token", identity.Redacted(apiToken), "identity", ident != nil)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,24 +96,85 @@ func (b *TokenBucket) Allow(n float64) bool {
 
 // --- fair-share shedder ----------------------------------------------------
 
-// Shedder tracks how many droppable units each class (lab, session, "")
-// currently has queued and picks the shed victim: the class with the
-// most queued, ties broken lexicographically for determinism. It is NOT
-// self-locking — the owning queue (wire.Conn) already serializes every
-// call under its own mutex, and a second lock on the packet fast path
-// would be pure overhead.
+// ClassSep separates the tenant and lab halves of a hierarchical
+// shedding class built by HierClass. It is a control byte no tenant or
+// lab name legitimately contains.
+const ClassSep = "\x1f"
+
+// HierClass builds a two-level shedding class: tenant above lab. The
+// composite is precomputed at forwarding-snapshot rebuild time (never
+// per frame), so tenant-level fairness costs the packet path nothing
+// beyond the string it already carried. An empty tenant degrades to the
+// plain per-lab class.
+func HierClass(tenant, lab string) string {
+	if tenant == "" {
+		return lab
+	}
+	return tenant + ClassSep + lab
+}
+
+// SplitClass decomposes a shedding class into its tenant and lab halves;
+// a non-hierarchical class has tenant "".
+func SplitClass(class string) (tenant, lab string) {
+	if i := strings.IndexByte(class, ClassSep[0]); i >= 0 {
+		return class[:i], class[i+1:]
+	}
+	return "", class
+}
+
+// Shedder tracks how many droppable units each class currently has
+// queued and picks the shed victim. Classes are hierarchical: a class
+// built with HierClass belongs to its tenant's group, a plain class is
+// its own group. The victim is chosen top-down — first the group with
+// the most queued units in total, then the largest class inside it, ties
+// broken lexicographically at both levels for determinism — so a tenant
+// spreading load across many labs competes as one aggregate and can no
+// longer starve a single-lab tenant whose per-lab count never tops the
+// herd's. With only plain classes the policy reduces exactly to the old
+// flat most-queued rule.
+//
+// It is NOT self-locking — the owning queue (wire.Conn) already
+// serializes every call under its own mutex, and a second lock on the
+// packet fast path would be pure overhead.
 type Shedder struct {
 	counts map[string]int
 	shed   map[string]uint64 // cumulative sheds per class, for accounting
+	// groups caches each class's group key (its tenant, or itself when
+	// flat). Parsed once per distinct class and kept across Reset: class
+	// strings are interned by the forwarding snapshot, so the cache stays
+	// small and the per-enqueue cost is one map hit, no allocation.
+	groups      map[string]string
+	groupCounts map[string]int
 }
 
 // NewShedder returns an empty shedder.
 func NewShedder() *Shedder {
-	return &Shedder{counts: make(map[string]int), shed: make(map[string]uint64)}
+	return &Shedder{
+		counts:      make(map[string]int),
+		shed:        make(map[string]uint64),
+		groups:      make(map[string]string),
+		groupCounts: make(map[string]int),
+	}
+}
+
+// groupOf resolves (and caches) the class's group key.
+func (s *Shedder) groupOf(class string) string {
+	if g, ok := s.groups[class]; ok {
+		return g
+	}
+	g := class
+	if tenant, _ := SplitClass(class); tenant != "" {
+		g = tenant
+	}
+	s.groups[class] = g
+	return g
 }
 
 // Enqueued records one unit of class entering the queue.
-func (s *Shedder) Enqueued(class string) { s.counts[class]++ }
+func (s *Shedder) Enqueued(class string) {
+	s.counts[class]++
+	s.groupCounts[s.groupOf(class)]++
+}
 
 // Shed records one unit of class dropped by the policy and counts it in
 // the process-wide rnl_admission_shed_total series.
@@ -122,27 +184,52 @@ func (s *Shedder) Shed(class string) {
 	} else {
 		delete(s.counts, class)
 	}
+	g := s.groupOf(class)
+	if c := s.groupCounts[g]; c > 1 {
+		s.groupCounts[g] = c - 1
+	} else {
+		delete(s.groupCounts, g)
+	}
 	s.shed[class]++
 	mShedTotal.Inc()
 }
 
 // Reset clears the occupancy counts — called when the owning queue is
-// drained wholesale (the batched writer swaps the entire queue out).
+// drained wholesale (the batched writer swaps the entire queue out). The
+// class→group cache survives: it describes identity, not occupancy.
 func (s *Shedder) Reset() {
 	clear(s.counts)
+	clear(s.groupCounts)
 }
 
-// Victim returns the class that should lose next: the one with the most
-// units queued. With nothing queued it returns "".
+// Victim returns the class that should lose next: the largest class
+// within the group holding the most queued units overall. With nothing
+// queued it returns "".
 func (s *Shedder) Victim() string {
+	vgroup, gmax := "", 0
+	for g, n := range s.groupCounts {
+		if n > gmax || (n == gmax && gmax > 0 && g < vgroup) {
+			vgroup, gmax = g, n
+		}
+	}
+	if gmax == 0 {
+		return ""
+	}
 	victim, max := "", 0
 	for class, n := range s.counts {
+		if s.groups[class] != vgroup {
+			continue
+		}
 		if n > max || (n == max && max > 0 && class < victim) {
 			victim, max = class, n
 		}
 	}
 	return victim
 }
+
+// QueuedGroup reports the aggregate occupancy of one group (a tenant,
+// or a flat class).
+func (s *Shedder) QueuedGroup(group string) int { return s.groupCounts[group] }
 
 // Queued reports the current occupancy of one class.
 func (s *Shedder) Queued(class string) int { return s.counts[class] }

@@ -2,6 +2,7 @@ package admission
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -77,6 +78,75 @@ func TestShedderVictimIsNoisiest(t *testing.T) {
 	s2.Enqueued("a")
 	if v := s2.Victim(); v != "a" {
 		t.Fatalf("tie victim = %q, want a", v)
+	}
+}
+
+func TestShedderTenantHierarchy(t *testing.T) {
+	if HierClass("", "lab1") != "lab1" {
+		t.Fatal("empty tenant must degrade to a flat class")
+	}
+	composite := HierClass("greedy", "lab1")
+	if tenant, lab := SplitClass(composite); tenant != "greedy" || lab != "lab1" {
+		t.Fatalf("SplitClass(%q) = %q, %q", composite, tenant, lab)
+	}
+	if tenant, lab := SplitClass("flat"); tenant != "" || lab != "flat" {
+		t.Fatalf("SplitClass(flat) = %q, %q", tenant, lab)
+	}
+
+	// A tenant spreading load over many labs competes as one aggregate:
+	// greedy has 4 labs × 5 queued (20 total, each lab smaller than
+	// quiet's 8), quiet has one lab with 8. The victim must come from
+	// greedy's group anyway.
+	s := NewShedder()
+	for lab := 0; lab < 4; lab++ {
+		class := HierClass("greedy", fmt.Sprintf("lab%d", lab))
+		for i := 0; i < 5; i++ {
+			s.Enqueued(class)
+		}
+	}
+	quiet := HierClass("quiet", "labQ")
+	for i := 0; i < 8; i++ {
+		s.Enqueued(quiet)
+	}
+	if got := s.QueuedGroup("greedy"); got != 20 {
+		t.Fatalf("greedy group occupancy = %d, want 20", got)
+	}
+	// Shed down to parity: every drop until greedy's total falls to
+	// quiet's must hit greedy.
+	for i := 0; i < 12; i++ {
+		v := s.Victim()
+		if tenant, _ := SplitClass(v); tenant != "greedy" {
+			t.Fatalf("shed %d picked victim %q, want a greedy class", i, v)
+		}
+		s.Shed(v)
+	}
+	if s.Queued(quiet) != 8 {
+		t.Fatalf("quiet tenant lost packets: queued %d, want 8", s.Queued(quiet))
+	}
+	// Within the chosen group, the largest class loses first and ties
+	// break lexicographically — greedy's labs are equal, so lab0 first.
+	s2 := NewShedder()
+	s2.Enqueued(HierClass("t", "b"))
+	s2.Enqueued(HierClass("t", "a"))
+	if v := s2.Victim(); v != HierClass("t", "a") {
+		t.Fatalf("intra-group tie victim = %q", v)
+	}
+	// Flat classes still behave exactly as before against each other.
+	s3 := NewShedder()
+	s3.Enqueued("x")
+	s3.Enqueued("x")
+	s3.Enqueued("y")
+	if v := s3.Victim(); v != "x" {
+		t.Fatalf("flat victim = %q, want x", v)
+	}
+	// Group cache survives Reset; counts do not.
+	s.Reset()
+	if s.QueuedGroup("greedy") != 0 || s.Victim() != "" {
+		t.Fatal("reset must clear group occupancy")
+	}
+	s.Enqueued(composite)
+	if v := s.Victim(); v != composite {
+		t.Fatalf("post-reset victim = %q", v)
 	}
 }
 

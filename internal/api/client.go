@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"rnl/internal/admission"
+	"rnl/internal/identity"
 	"rnl/internal/topology"
 )
 
@@ -112,12 +113,19 @@ type callOpts struct {
 	idemKey   string        // idempotency key; same key on every retry
 }
 
-// call runs one logical request with retries. 429/503 responses are
-// always retriable (the server told us to come back); transport errors
-// are retried only when the call is idempotent — non-POST, or POST with
-// an idempotency key — because a connection that died mid-request may
-// have mutated state server-side.
+// call runs one logical request with retries, scrubbing the credential
+// from whatever error surfaces — transports echo what they were sent,
+// and API errors end up in logs and terminal output.
 func (c *Client) call(o callOpts) error {
+	return identity.RedactError(c.callRetrying(o), c.token)
+}
+
+// callRetrying runs one logical request with retries. 429/503 responses
+// are always retriable (the server told us to come back); transport
+// errors are retried only when the call is idempotent — non-POST, or
+// POST with an idempotency key — because a connection that died
+// mid-request may have mutated state server-side.
+func (c *Client) callRetrying(o callOpts) error {
 	var body []byte
 	if o.in != nil {
 		b, err := json.Marshal(o.in)
@@ -224,6 +232,14 @@ func newIdemKey() string {
 // do performs one request; out may be nil for status-only calls.
 func (c *Client) do(method, path string, in, out any) error {
 	return c.call(callOpts{method: method, path: path, in: in, out: out})
+}
+
+// WhoAmI echoes the principal the server resolved this client's
+// credential to — the "did my login work, and as whom" probe.
+func (c *Client) WhoAmI() (WhoAmIResponse, error) {
+	var out WhoAmIResponse
+	err := c.do("GET", "/api/whoami", nil, &out)
+	return out, err
 }
 
 // Inventory lists registered routers.
@@ -414,7 +430,9 @@ func (c *Client) AttachConsole(router string) (net.Conn, error) {
 	}
 	if !strings.Contains(status, "101") {
 		conn.Close()
-		return nil, fmt.Errorf("api: console attach refused: %s", strings.TrimSpace(status))
+		// The refusal line comes off the wire: scrub the credential in
+		// case a proxy or error page echoed the request headers.
+		return nil, identity.RedactError(fmt.Errorf("api: console attach refused: %s", strings.TrimSpace(status)), c.token)
 	}
 	// Skip headers.
 	for {

@@ -18,6 +18,12 @@ import (
 // connection becomes the console stream.
 func (s *Server) handleConsoleRaw(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	// Ownership is checked before the hijack, while the error path can
+	// still answer with a plain HTTP status.
+	if p := callerOf(r); !p.crossTenant() && !s.routerInTenantLab(p.Tenant, name) {
+		writeError(w, http.StatusForbidden, fmt.Errorf("router %q is not in one of tenant %q's labs", name, p.Tenant))
+		return
+	}
 	ri, ok := s.rs.RouterByName(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("router %q not in inventory", name))

@@ -3,6 +3,7 @@ package api
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"rnl/internal/admission"
 	"rnl/internal/capture"
 	"rnl/internal/console"
+	"rnl/internal/identity"
 	"rnl/internal/obs"
 	"rnl/internal/reservation"
 	"rnl/internal/routeserver"
@@ -27,13 +29,15 @@ import (
 // Server is the RNL web server: the browser UI's backend and the
 // web-services API.
 type Server struct {
-	rs    *routeserver.Server
-	store *topology.Store
-	cal   *reservation.Calendar
-	dep   *topology.Deployer
-	log   *slog.Logger
-	token string
-	clock sim.Clock
+	rs     *routeserver.Server
+	store  *topology.Store
+	cal    *reservation.Calendar
+	dep    *topology.Deployer
+	log    *slog.Logger
+	token  string
+	ident  *identity.Authority
+	quotas *identity.Quotas
+	clock  sim.Clock
 
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -117,9 +121,22 @@ type Config struct {
 	RouteServer *routeserver.Server
 	Store       *topology.Store
 	Calendar    *reservation.Calendar
-	// Token, when non-empty, is required in the X-RNL-Token header of
-	// every API request.
+	// Token, when non-empty, is the legacy shared secret: a request
+	// presenting it (X-RNL-Token header) is admitted with admin
+	// privileges — the pre-tenancy single-secret trust model, unchanged
+	// in power. Compared in constant time.
 	Token string
+	// Identity, when non-nil, verifies signed bearer tokens and API
+	// keys into tenant-scoped principals (see internal/identity).
+	// Token and Identity compose: either credential kind is accepted.
+	// When both are unset the server is open — every caller is an
+	// anonymous admin, the original single-user mode.
+	Identity *identity.Authority
+	// Quotas, when non-nil alongside Identity, caps each tenant's
+	// scarce-resource usage: concurrent labs (enforced inside the route
+	// server's matrix critical section) and outstanding
+	// reservation-hours (enforced inside the calendar lock).
+	Quotas *identity.Quotas
 	// ConsoleTimeout bounds console automation commands.
 	ConsoleTimeout time.Duration
 	Logger         *slog.Logger
@@ -142,12 +159,14 @@ func NewServer(cfg Config) *Server {
 		clock = sim.Real{}
 	}
 	s := &Server{
-		rs:    cfg.RouteServer,
-		store: cfg.Store,
-		cal:   cfg.Calendar,
-		log:   logger,
-		token: cfg.Token,
-		clock: clock,
+		rs:     cfg.RouteServer,
+		store:  cfg.Store,
+		cal:    cfg.Calendar,
+		log:    logger,
+		token:  cfg.Token,
+		ident:  cfg.Identity,
+		quotas: cfg.Quotas,
+		clock:  clock,
 		dep: &topology.Deployer{
 			Server:         cfg.RouteServer,
 			Cal:            cfg.Calendar,
@@ -158,6 +177,16 @@ func NewServer(cfg Config) *Server {
 		nextCap:    1,
 		streams:    make(map[uint64]*routeserver.Stream),
 		nextStream: 1,
+	}
+	if cfg.Quotas != nil {
+		s.dep.MaxLabs = func(tenant string) int {
+			return cfg.Quotas.For(tenant).MaxConcurrentLabs
+		}
+		if cfg.Calendar != nil {
+			cfg.Calendar.SetQuota(func(user string) float64 {
+				return cfg.Quotas.For(user).ReservationHours
+			})
+		}
 	}
 	if !cfg.Admission.Disable {
 		mg := cfg.Admission.mutateGate()
@@ -187,6 +216,7 @@ func (s *Server) Handler() http.Handler {
 	}
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/whoami", read(s.handleWhoAmI))
 	mux.HandleFunc("GET /api/inventory", read(s.handleInventory))
 	mux.HandleFunc("GET /api/stats", read(s.handleStats))
 
@@ -258,14 +288,70 @@ func (s *Server) Close() {
 	}
 }
 
-// auth enforces the API token when configured.
+// principal is the verified caller identity auth attaches to each
+// request. Handlers read it with callerOf to enforce ownership.
+type principal struct {
+	Tenant string
+	Role   identity.Role
+}
+
+// crossTenant reports whether the principal may act on resources it
+// does not own (operator and admin).
+func (p principal) crossTenant() bool { return p.Role.AtLeast(identity.RoleOperator) }
+
+type principalKey struct{}
+
+func withPrincipal(r *http.Request, p principal) *http.Request {
+	return r.WithContext(context.WithValue(r.Context(), principalKey{}, p))
+}
+
+// callerOf returns the request's verified principal. Requests that
+// never passed auth (none exist today — every /api route is wrapped)
+// would read as an anonymous admin, matching the open-server regime.
+func callerOf(r *http.Request) principal {
+	if p, ok := r.Context().Value(principalKey{}).(principal); ok {
+		return p
+	}
+	return principal{Role: identity.RoleAdmin}
+}
+
+// auth authenticates the request and attaches the caller's principal.
+// The credential arrives in the X-RNL-Token header (what rnlctl sends)
+// or as "Authorization: Bearer <token>". Three regimes:
+//
+//   - Open server (no legacy token, no identity authority): every
+//     caller is an anonymous admin — the pre-auth single-user mode.
+//   - Legacy shared token: a constant-time match grants admin.
+//   - Identity authority: signed bearer tokens and API keys resolve to
+//     a tenant-scoped principal; handlers then enforce ownership.
+//
+// Verification happens here, once per request — never again
+// downstream, and never on the packet fast path. The rejection is
+// deliberately uniform: it does not reveal whether the credential was
+// absent, malformed, mis-signed or expired.
 func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.token != "" && r.Header.Get("X-RNL-Token") != s.token {
-			writeError(w, http.StatusUnauthorized, fmt.Errorf("missing or wrong X-RNL-Token"))
+		cred := r.Header.Get("X-RNL-Token")
+		if cred == "" {
+			if v, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); ok {
+				cred = v
+			}
+		}
+		if s.token == "" && s.ident == nil {
+			h(w, withPrincipal(r, principal{Role: identity.RoleAdmin}))
 			return
 		}
-		h(w, r)
+		if s.token != "" && subtle.ConstantTimeCompare([]byte(cred), []byte(s.token)) == 1 {
+			h(w, withPrincipal(r, principal{Role: identity.RoleAdmin}))
+			return
+		}
+		if s.ident != nil {
+			if c, err := s.ident.VerifyCredential(cred); err == nil {
+				h(w, withPrincipal(r, principal{Tenant: c.Tenant, Role: c.Role}))
+				return
+			}
+		}
+		writeError(w, http.StatusUnauthorized, fmt.Errorf("missing or invalid credential"))
 	}
 }
 
@@ -402,6 +488,13 @@ func (s *Server) handleInventory(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.rs.Inventory())
 }
 
+// handleWhoAmI echoes the caller's verified principal — the "did my
+// token work, and as whom" probe rnlctl login scripts use.
+func (s *Server) handleWhoAmI(w http.ResponseWriter, r *http.Request) {
+	p := callerOf(r)
+	writeJSON(w, http.StatusOK, WhoAmIResponse{Tenant: p.Tenant, Role: string(p.Role)})
+}
+
 // handleStats serves the flat JSON counter snapshot: the route server's
 // legacy per-instance counters plus every rnl_* metric in the process
 // observability registry (histograms as <name>_count).
@@ -498,6 +591,14 @@ func (s *Server) handleReserve(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	if p := callerOf(r); !p.crossTenant() {
+		if req.User == "" {
+			req.User = p.Tenant
+		} else if req.User != p.Tenant {
+			writeError(w, http.StatusForbidden, fmt.Errorf("tenant %q cannot reserve as %q", p.Tenant, req.User))
+			return
+		}
+	}
 	res, err := s.cal.Reserve(req.User, req.Routers, req.Start, req.End)
 	if err != nil {
 		writeError(w, http.StatusConflict, err)
@@ -511,6 +612,14 @@ func (s *Server) handleCancelReservation(w http.ResponseWriter, r *http.Request)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad reservation id"))
 		return
+	}
+	if p := callerOf(r); !p.crossTenant() {
+		// Unknown IDs fall through to Cancel's 404 — a tenant probing the
+		// ID space learns existence no faster than deletion would reveal.
+		if res, ok := s.cal.Get(id); ok && res.User != p.Tenant {
+			writeError(w, http.StatusForbidden, fmt.Errorf("reservation %d is not held by tenant %q", id, p.Tenant))
+			return
+		}
 	}
 	if err := s.cal.Cancel(id); err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -545,9 +654,36 @@ func (s *Server) handleNextFree(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeploymentList(w http.ResponseWriter, _ *http.Request) {
 	var out []DeploymentInfo
 	for _, d := range s.rs.Deployments() {
-		out = append(out, DeploymentInfo{Name: d.Name, Links: len(d.Links), Routers: d.Routers})
+		out = append(out, DeploymentInfo{
+			Name: d.Name, Owner: d.Owner, Tenant: d.Tenant,
+			Links: len(d.Links), Routers: d.Routers,
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// deploymentTenant resolves who a deployment is accounted to: the
+// recorded tenant, else the owner (pre-tenancy records).
+func deploymentTenant(d routeserver.Deployment) string {
+	if d.Tenant != "" {
+		return d.Tenant
+	}
+	return d.Owner
+}
+
+// ownsDeployment reports whether the principal may act on the named
+// deployment. Unknown names are allowed through so the handler's own
+// 404 answers — existence is not hidden, control is.
+func (s *Server) ownsDeployment(p principal, name string) bool {
+	if p.crossTenant() {
+		return true
+	}
+	for _, d := range s.rs.Deployments() {
+		if d.Name == name {
+			return deploymentTenant(d) == p.Tenant
+		}
+	}
+	return true
 }
 
 func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
@@ -555,12 +691,24 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	p := callerOf(r)
+	if !p.crossTenant() {
+		if req.User == "" {
+			req.User = p.Tenant
+		} else if req.User != p.Tenant {
+			writeError(w, http.StatusForbidden, fmt.Errorf("tenant %q cannot deploy as %q", p.Tenant, req.User))
+			return
+		}
+	}
 	d, err := s.store.Load(req.Design)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	if err := s.dep.Deploy(r.Context(), req.User, d, req.RestoreConfigs); err != nil {
+	// The deployment is accounted to the requesting user's tenant: quotas
+	// and fair-share attribution follow req.User even when an operator
+	// deploys on a tenant's behalf.
+	if err := s.dep.DeployAs(r.Context(), req.User, req.User, d, req.RestoreConfigs); err != nil {
 		status := ctxStatus(err, http.StatusConflict)
 		if status == http.StatusServiceUnavailable {
 			retryAfter(w, time.Second)
@@ -572,6 +720,11 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTeardown(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if p := callerOf(r); !s.ownsDeployment(p, name) {
+		writeError(w, http.StatusForbidden, fmt.Errorf("deployment %q is not owned by tenant %q", name, p.Tenant))
+		return
+	}
 	if err := s.dep.Teardown(r.PathValue("name")); err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -887,9 +1040,35 @@ func (s *Server) handleFlash(w http.ResponseWriter, r *http.Request) {
 
 // --- console ---------------------------------------------------------------------
 
+// routerInTenantLab reports whether the named router is currently part
+// of one of the tenant's deployments — the ownership gate on console
+// access. A tenant may drive consoles only inside its own labs; the
+// check runs once at session join, never per byte.
+func (s *Server) routerInTenantLab(tenant, router string) bool {
+	ri, ok := s.rs.RouterByName(router)
+	if !ok {
+		return false
+	}
+	for _, d := range s.rs.Deployments() {
+		if deploymentTenant(d) != tenant {
+			continue
+		}
+		for _, rid := range d.Routers {
+			if rid == ri.ID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func (s *Server) handleConsoleExec(w http.ResponseWriter, r *http.Request) {
 	var req ConsoleExecRequest
 	if !readJSON(w, r, &req) {
+		return
+	}
+	if p := callerOf(r); !p.crossTenant() && !s.routerInTenantLab(p.Tenant, req.Router) {
+		writeError(w, http.StatusForbidden, fmt.Errorf("router %q is not in one of tenant %q's labs", req.Router, p.Tenant))
 		return
 	}
 	ri, ok := s.rs.RouterByName(req.Router)

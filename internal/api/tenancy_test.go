@@ -1,0 +1,238 @@
+package api_test
+
+// Multi-tenant API behavior: signed bearer tokens and API keys at
+// ingress, tenant-scoped ownership on reservations / deployments /
+// consoles, and per-tenant quotas (concurrent labs, reservation-hours)
+// enforced end to end through the HTTP surface.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/identity"
+	"rnl/internal/lab"
+	"rnl/internal/sim"
+)
+
+// newTenantCloud builds a cloud with an identity authority, per-tenant
+// quotas, and n hosts named h0..h(n-1).
+func newTenantCloud(t *testing.T, quota identity.Quota, n int) (*lab.Cloud, *identity.Authority) {
+	t.Helper()
+	auth, err := identity.New([]byte("test-signing-secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With an identity authority configured, tunnel joins need a
+	// credential too — the cloud's own agents present the shared tunnel
+	// secret (never valid at the web API, which takes Token/Identity).
+	c := newTestCloud(t, lab.Options{
+		Identity:    auth,
+		Quotas:      identity.NewQuotas(quota),
+		TunnelToken: "tunnel-secret",
+	})
+	for i := 0; i < n; i++ {
+		name := "th" + string(rune('0'+i))
+		if _, _, err := c.AddHost(name, "10.0.0."+string(rune('1'+i))+"/24", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, auth
+}
+
+// tenantClient mints a bearer token for tenant and returns a client
+// presenting it.
+func tenantClient(t *testing.T, c *lab.Cloud, auth *identity.Authority, tenant string, role identity.Role) *api.Client {
+	t.Helper()
+	tok, err := auth.SignFor(tenant, role, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return api.NewClient("http://"+c.WebAddr, tok)
+}
+
+// saveWire saves a two-host design through cl.
+func saveWire(t *testing.T, cl *api.Client, name, a, b string) {
+	t.Helper()
+	d := &api.Design{Name: name, Routers: []string{a, b}}
+	if err := d.Connect(a, "eth0", b, "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SaveDesign(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func reserveNow(t *testing.T, cl *api.Client, user string, routers []string, d time.Duration) []api.ReservationInfo {
+	t.Helper()
+	now := time.Now()
+	res, err := cl.Reserve(api.ReserveRequest{User: user, Routers: routers, Start: now.Add(-time.Minute), End: now.Add(d)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAuthenticatedDeployEndToEnd(t *testing.T) {
+	// The full tenant workflow over HTTP with signed bearer tokens:
+	// whoami → reserve → deploy → cross-tenant denials → teardown.
+	c, auth := newTenantCloud(t, identity.Quota{MaxConcurrentLabs: 1}, 4)
+	acme := tenantClient(t, c, auth, "acme", identity.RoleTenant)
+	rival := tenantClient(t, c, auth, "rival", identity.RoleTenant)
+
+	// No credential at all is rejected uniformly.
+	anon := api.NewClient("http://"+c.WebAddr, "")
+	if _, err := anon.Inventory(); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("anonymous request error = %v, want 401", err)
+	}
+
+	// The token verifies into the expected principal.
+	who, err := acme.WhoAmI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if who.Tenant != "acme" || who.Role != string(identity.RoleTenant) {
+		t.Fatalf("whoami = %+v, want acme/tenant", who)
+	}
+
+	// Reserve + deploy as the token's own tenant. The request's User is
+	// left blank: ingress fills it from the verified principal.
+	saveWire(t, acme, "acme-lab", "th0", "th1")
+	reserveNow(t, acme, "", []string{"th0", "th1"}, time.Hour)
+	if err := acme.Deploy(api.DeployRequest{Design: "acme-lab"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The deployment records its owning tenant.
+	deps, err := acme.Deployments()
+	if err != nil || len(deps) != 1 {
+		t.Fatalf("deployments = %v, %v", deps, err)
+	}
+	if deps[0].Tenant != "acme" {
+		t.Fatalf("deployment tenant = %q, want acme", deps[0].Tenant)
+	}
+
+	// A tenant cannot act as another tenant, tear down another tenant's
+	// lab, or drive consoles inside it.
+	if _, err := rival.Reserve(api.ReserveRequest{User: "acme", Routers: []string{"th2"},
+		Start: time.Now(), End: time.Now().Add(time.Hour)}); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("cross-tenant reserve error = %v, want 403", err)
+	}
+	if err := rival.Teardown("acme-lab"); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("cross-tenant teardown error = %v, want 403", err)
+	}
+	if _, err := rival.ConsoleExec(api.ConsoleExecRequest{Router: "th0", Commands: []string{"enable"}}); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("cross-tenant console error = %v, want 403", err)
+	}
+	// The owner can drive its own consoles.
+	if _, err := acme.ConsoleExec(api.ConsoleExecRequest{Router: "th0", Commands: []string{"enable"}}); err != nil {
+		t.Fatalf("owner console exec: %v", err)
+	}
+
+	// An operator token crosses tenants.
+	op := tenantClient(t, c, auth, "", identity.RoleOperator)
+	if err := op.Teardown("acme-lab"); err != nil {
+		t.Fatalf("operator teardown: %v", err)
+	}
+}
+
+func TestTenantConcurrentLabQuotaOverAPI(t *testing.T) {
+	c, auth := newTenantCloud(t, identity.Quota{MaxConcurrentLabs: 1}, 4)
+	acme := tenantClient(t, c, auth, "acme", identity.RoleTenant)
+
+	saveWire(t, acme, "lab-a", "th0", "th1")
+	saveWire(t, acme, "lab-b", "th2", "th3")
+	reserveNow(t, acme, "", []string{"th0", "th1", "th2", "th3"}, time.Hour)
+	if err := acme.Deploy(api.DeployRequest{Design: "lab-a"}); err != nil {
+		t.Fatal(err)
+	}
+	err := acme.Deploy(api.DeployRequest{Design: "lab-b"})
+	if err == nil || !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("second concurrent lab error = %v, want quota error", err)
+	}
+	// Tearing the first down frees the slot.
+	if err := acme.Teardown("lab-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := acme.Deploy(api.DeployRequest{Design: "lab-b"}); err != nil {
+		t.Fatalf("deploy after teardown: %v", err)
+	}
+}
+
+func TestReservationHoursQuotaOverAPI(t *testing.T) {
+	c, auth := newTenantCloud(t, identity.Quota{ReservationHours: 3}, 2)
+	acme := tenantClient(t, c, auth, "acme", identity.RoleTenant)
+
+	// 2 routers × 1h = 2 router-hours: fits the 3h cap.
+	res := reserveNow(t, acme, "", []string{"th0", "th1"}, time.Hour)
+	// Another 2 router-hours would exceed it.
+	now := time.Now()
+	_, err := acme.Reserve(api.ReserveRequest{Routers: []string{"th0", "th1"},
+		Start: now.Add(2 * time.Hour), End: now.Add(3 * time.Hour)})
+	if err == nil || !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("over-quota reservation error = %v, want quota error", err)
+	}
+	// Cancelling releases the hours.
+	for _, r := range res {
+		if err := acme.CancelReservation(r.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := acme.Reserve(api.ReserveRequest{Routers: []string{"th0", "th1"},
+		Start: now.Add(2 * time.Hour), End: now.Add(3 * time.Hour)}); err != nil {
+		t.Fatalf("reservation after cancel: %v", err)
+	}
+}
+
+func TestCrossTenantReservationCancel(t *testing.T) {
+	c, auth := newTenantCloud(t, identity.Quota{}, 1)
+	acme := tenantClient(t, c, auth, "acme", identity.RoleTenant)
+	rival := tenantClient(t, c, auth, "rival", identity.RoleTenant)
+
+	res := reserveNow(t, acme, "", []string{"th0"}, time.Hour)
+	if err := rival.CancelReservation(res[0].ID); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("cross-tenant cancel error = %v, want 403", err)
+	}
+	if err := acme.CancelReservation(res[0].ID); err != nil {
+		t.Fatalf("owner cancel: %v", err)
+	}
+}
+
+func TestAPIKeyCredential(t *testing.T) {
+	c, auth := newTenantCloud(t, identity.Quota{}, 1)
+	if err := auth.AddAPIKey("nightly-ci-key", identity.Claims{Tenant: "ci", Role: identity.RoleTenant}); err != nil {
+		t.Fatal(err)
+	}
+	ci := api.NewClient("http://"+c.WebAddr, "nightly-ci-key")
+	who, err := ci.WhoAmI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if who.Tenant != "ci" || who.Role != string(identity.RoleTenant) {
+		t.Fatalf("API key principal = %+v, want ci/tenant", who)
+	}
+}
+
+func TestExpiredTokenRejected(t *testing.T) {
+	// Only the authority runs on the fake clock: token expiry is virtual
+	// while the cloud itself stays on wall time.
+	clk := sim.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	auth, err := identity.New([]byte("test-signing-secret"), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCloud(t, lab.Options{Identity: auth})
+	tok, err := auth.SignFor("acme", identity.RoleTenant, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := api.NewClient("http://"+c.WebAddr, tok)
+	if _, err := cl.Inventory(); err != nil {
+		t.Fatalf("fresh token rejected: %v", err)
+	}
+	clk.Advance(2 * time.Minute)
+	if _, err := cl.Inventory(); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("expired token error = %v, want 401", err)
+	}
+}

@@ -117,8 +117,18 @@ type ErrorResponse struct {
 // DeploymentInfo describes one active deployment.
 type DeploymentInfo struct {
 	Name    string   `json:"name"`
+	Owner   string   `json:"owner,omitempty"`
+	Tenant  string   `json:"tenant,omitempty"`
 	Links   int      `json:"links"`
 	Routers []uint32 `json:"routers"`
+}
+
+// WhoAmIResponse echoes the caller's verified principal.
+type WhoAmIResponse struct {
+	// Tenant is empty for the anonymous admin of an open or
+	// shared-token server.
+	Tenant string `json:"tenant,omitempty"`
+	Role   string `json:"role"`
 }
 
 // Aliases re-exported so API consumers need only this package.

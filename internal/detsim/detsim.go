@@ -96,6 +96,15 @@ type Scenario struct {
 	// a deterministic loss schedule (a counter, not a coin flip), so
 	// lossy runs still produce byte-identical logs.
 	DatagramLossEveryN int
+	// Tenants > 0 runs the scenario multi-tenant: deployed labs are
+	// assigned round-robin to t0..t(Tenants-1), deploys go through
+	// DeployLab with the tenant recorded, and two extra invariant
+	// families apply — tenant attribution (throttle drops roll up to the
+	// offending tenant; deployments keep their tenant across restarts)
+	// and tenant isolation (one tenant exhausting its lab's forwarding
+	// allowance must not dent another tenant's, checked by probing a
+	// different tenant's lab immediately after every overload burst).
+	Tenants int
 }
 
 // Options tunes a run without affecting its determinism.
@@ -114,7 +123,7 @@ type Result struct {
 	Log []byte
 	// Sometimes records which behaviours the run exercised at least
 	// once (keys: deploy, teardown, inject, overload, flap, restart,
-	// churn, throttled, datagram_loss).
+	// churn, throttled, datagram_loss, tenant_isolated).
 	Sometimes map[string]bool
 }
 
@@ -142,6 +151,7 @@ type runner struct {
 	frame []byte
 
 	labs     map[string][2]int // lab name -> host indices
+	tenantOf map[string]string // lab name -> tenant (multi-tenant mode)
 	free     []int             // unwired host indices, sorted
 	labSeq   int
 	baseKeys []routeserver.PortKey // initial port key per host (stability check)
@@ -194,6 +204,7 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 		cl:        cl,
 		log:       rnllog.New(rnllog.Options{W: w, Clock: clk}),
 		labs:      map[string][2]int{},
+		tenantOf:  map[string]string{},
 		sometimes: map[string]bool{},
 	}
 	for i := range cl.hosts {
@@ -354,15 +365,27 @@ func (r *runner) opDeploy(i int) error {
 	b := r.free[r.rng.Intn(len(r.free))]
 	r.removeFree(b)
 	name := fmt.Sprintf("lab%d", r.labSeq)
+	// Round-robin tenant assignment off the lab sequence number — a pure
+	// function of harness bookkeeping, so replays agree on who owns what.
+	tenant := ""
+	if r.sc.Tenants > 0 {
+		tenant = fmt.Sprintf("t%d", r.labSeq%r.sc.Tenants)
+	}
 	r.labSeq++
 	r.labs[name] = [2]int{a, b}
-	r.log.Info("step", "i", i, "op", "deploy", "lab", name,
-		"a", r.cl.hosts[a].name, "b", r.cl.hosts[b].name)
+	if tenant != "" {
+		r.tenantOf[name] = tenant
+		r.log.Info("step", "i", i, "op", "deploy", "lab", name, "tenant", tenant,
+			"a", r.cl.hosts[a].name, "b", r.cl.hosts[b].name)
+	} else {
+		r.log.Info("step", "i", i, "op", "deploy", "lab", name,
+			"a", r.cl.hosts[a].name, "b", r.cl.hosts[b].name)
+	}
 	links, err := r.labLinks(name)
 	if err != nil {
 		return r.violation(i, OpDeploy, "%v", err)
 	}
-	if err := r.cl.srv.Deploy(name, links); err != nil {
+	if err := r.cl.srv.DeployLab(routeserver.DeploySpec{Name: name, Owner: tenant, Tenant: tenant}, links, nil); err != nil {
 		return r.violation(i, OpDeploy, "deploy failed: %v", err)
 	}
 	if err := r.align(r.stepResult(i)); err != nil {
@@ -390,6 +413,7 @@ func (r *runner) opTeardown(i int) error {
 		return r.violation(i, OpTeardown, "teardown failed: %v", err)
 	}
 	delete(r.labs, name)
+	delete(r.tenantOf, name)
 	r.free = append(r.free, hs[0], hs[1])
 	sort.Ints(r.free)
 
@@ -443,6 +467,10 @@ func (r *runner) opInject(i, n int, op Op) error {
 	if err != nil {
 		return r.violation(i, op, "%v", err)
 	}
+	var tbBefore map[string]uint64
+	if r.sc.Tenants > 0 {
+		tbBefore = r.cl.srv.ThrottledByTenant()
+	}
 	before := r.cl.srv.StatsSnapshot()
 	for p := 0; p < n; p++ {
 		if err := r.cl.srv.InjectPacket(pk, r.frame); err != nil {
@@ -475,10 +503,69 @@ func (r *runner) opInject(i, n int, op Op) error {
 	if lost > 0 {
 		r.sometimes["datagram_loss"] = true
 	}
+	// Tenant attribution: every token-bucket drop this step rolls up to
+	// the tenant that owns the overloaded lab — never smeared across the
+	// fleet, never lost.
+	if r.sc.Tenants > 0 && throttled > 0 {
+		tenant := r.tenantOf[name]
+		attributed := r.cl.srv.ThrottledByTenant()[tenant] - tbBefore[tenant]
+		if attributed != throttled {
+			return r.violation(i, op, "tenant attribution: %d of %d throttled drops rolled up to tenant %q",
+				attributed, throttled, tenant)
+		}
+	}
 	if err := r.align(r.stepResult(i)); err != nil {
 		return r.violation(i, op, "%v", err)
 	}
 	r.log.Info("result", "i", i, "forwarded", forwarded, "throttled", throttled, "lost_datagram", lost)
+	// Tenant isolation: the burst just exhausted this lab's forwarding
+	// allowance; another tenant's lab must still have its full one.
+	if r.sc.Tenants > 0 && op == OpOverload {
+		return r.probeTenantIsolation(i, name)
+	}
+	return nil
+}
+
+// probeTenantIsolation is the multi-tenant starvation invariant: run
+// immediately after an overload burst against greedy's lab — with no
+// virtual time advanced, so no bucket has refilled — a full burst
+// injected at another tenant's lab must forward completely. A quota or
+// throttle accounted at the wrong level (global, or per-tenant-group
+// instead of per-lab-within-tenant) would fail here. Skipped when every
+// deployed lab belongs to the overloaded tenant.
+func (r *runner) probeTenantIsolation(i int, greedy string) error {
+	var other string
+	for _, name := range r.labNames() {
+		if name != greedy && r.tenantOf[name] != r.tenantOf[greedy] {
+			other = name
+			break
+		}
+	}
+	if other == "" {
+		return nil
+	}
+	pk, err := r.cl.portKey(r.labs[other][0])
+	if err != nil {
+		return r.violation(i, OpOverload, "%v", err)
+	}
+	n := int(labBurst)
+	before := r.cl.srv.StatsSnapshot()
+	for p := 0; p < n; p++ {
+		if err := r.cl.srv.InjectPacket(pk, r.frame); err != nil {
+			return r.violation(i, OpOverload, "isolation probe inject: %v", err)
+		}
+	}
+	after := r.cl.srv.StatsSnapshot()
+	forwarded := after["packets_forwarded"] - before["packets_forwarded"]
+	lost := after["packets_lost_datagram"] - before["packets_lost_datagram"]
+	throttled := after["packets_throttled"] - before["packets_throttled"]
+	if forwarded+lost != uint64(n) || throttled != 0 {
+		return r.violation(i, OpOverload,
+			"tenant starvation: tenant %q overload cost tenant %q its allowance (forwarded %d + lost_datagram %d of %d, throttled %d)",
+			r.tenantOf[greedy], r.tenantOf[other], forwarded, lost, n, throttled)
+	}
+	r.sometimes["tenant_isolated"] = true
+	r.log.Info("result", "i", i, "tenant_probe", other, "tenant", r.tenantOf[other], "forwarded", forwarded)
 	return nil
 }
 
@@ -545,13 +632,16 @@ func (r *runner) opChurn(i int) error {
 		return r.violation(i, OpChurn, "%v", err)
 	}
 	canReclaim := func(d routeserver.Deployment) bool { return d.Name == victim }
+	// The taker inherits the victim's tenant (a reclaim is the same
+	// tenant's next user taking over the routers, not a tenant transfer).
+	spec := routeserver.DeploySpec{Name: taker, Owner: "churn", Tenant: r.tenantOf[victim]}
 	errs := make([]error, 2)
 	var wg sync.WaitGroup
 	for j := 0; j < 2; j++ {
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
-			errs[j] = r.cl.srv.DeployReclaiming(taker, "churn", links, canReclaim)
+			errs[j] = r.cl.srv.DeployLab(spec, links, canReclaim)
 		}(j)
 	}
 	wg.Wait()
@@ -566,6 +656,10 @@ func (r *runner) opChurn(i int) error {
 	}
 	delete(r.labs, victim)
 	r.labs[taker] = hs
+	if tnt, ok := r.tenantOf[victim]; ok {
+		delete(r.tenantOf, victim)
+		r.tenantOf[taker] = tnt
+	}
 	// The winner's deployment must be fully installed.
 	found := false
 	for _, d := range r.cl.srv.Deployments() {
@@ -623,6 +717,18 @@ func (r *runner) checkAlways(i int, op Op) error {
 	// The fleet is whole: every agent online between steps.
 	if !r.cl.settled() {
 		return r.violation(i, op, "cluster not settled after step")
+	}
+	// Multi-tenant mode: tenant attribution is durable — every live
+	// deployment still carries the tenant the harness assigned it, across
+	// churn takeovers and server restarts (the state snapshot must
+	// persist and restore it, or quotas silently stop binding after a
+	// crash).
+	if r.sc.Tenants > 0 {
+		for _, d := range r.cl.srv.Deployments() {
+			if want := r.tenantOf[d.Name]; d.Tenant != want {
+				return r.violation(i, op, "deployment %q tenant = %q, want %q", d.Name, d.Tenant, want)
+			}
+		}
 	}
 	return nil
 }

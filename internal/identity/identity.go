@@ -1,0 +1,283 @@
+// Package identity is RNL's stateless multi-tenant identity layer. The
+// cloud is one shared pool of scarce equipment (paper §2.1: every
+// router's schedule is shared by all users), so every API call and every
+// tunnel join must answer *who* is asking before the tenancy layer can
+// enforce quotas and fairness. Two credential kinds are accepted:
+//
+//   - Signed bearer tokens: an HMAC-SHA256 authenticated JSON claim set
+//     (tenant ID, role, expiry) minted by any holder of the signing
+//     secret. Verification is stateless — any frontend holding the same
+//     secret validates tokens minted by any other — which is what lets
+//     the identity check scale horizontally with the API fleet.
+//   - Static API keys: opaque strings registered at startup and mapped
+//     to a fixed claim set, for nightly automation (paper §3.2) that
+//     cannot run an interactive login.
+//
+// Verification happens exactly twice per workload: once at API ingress
+// and once at tunnel/console session join. It is never on the packet
+// fast path — forwarded frames carry no credentials, and tenant
+// attribution rides the forwarding snapshot's precomputed per-lab
+// counter blocks instead (see internal/routeserver/fwd.go).
+//
+// All credential comparisons are constant-time (crypto/hmac.Equal,
+// crypto/subtle) so a remote caller cannot binary-search a secret byte
+// by byte off response latency.
+package identity
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"rnl/internal/sim"
+)
+
+// Role orders what a principal may do. Roles are strictly ranked:
+// admin > operator > tenant.
+//
+//   - RoleTenant: act on the tenant's own resources only (reserve,
+//     deploy, tear down, console into its own labs).
+//   - RoleOperator: act on any tenant's resources — the lab manager who
+//     untangles stuck labs — but cannot mint credentials.
+//   - RoleAdmin: everything, including acting as any tenant.
+type Role string
+
+// The roles, lowest to highest.
+const (
+	RoleTenant   Role = "tenant"
+	RoleOperator Role = "operator"
+	RoleAdmin    Role = "admin"
+)
+
+// rank orders roles for AtLeast; unknown roles rank below every real one.
+func (r Role) rank() int {
+	switch r {
+	case RoleAdmin:
+		return 3
+	case RoleOperator:
+		return 2
+	case RoleTenant:
+		return 1
+	}
+	return 0
+}
+
+// Valid reports whether the role is one of the three known ranks.
+func (r Role) Valid() bool { return r.rank() > 0 }
+
+// AtLeast reports whether the role grants at least min's privileges.
+func (r Role) AtLeast(min Role) bool { return r.rank() >= min.rank() }
+
+// Claims is what a verified credential asserts about its holder.
+type Claims struct {
+	// Tenant is the tenant (user) ID every scarce resource is accounted
+	// to. Empty only for admin/operator principals acting cross-tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Role ranks the principal's privileges.
+	Role Role `json:"role"`
+	// Expiry is the token's expiration as Unix seconds; zero means the
+	// token never expires (API keys, long-lived automation).
+	Expiry int64 `json:"exp,omitempty"`
+}
+
+// Verification errors. Verify returns ErrBadToken for anything malformed
+// or mis-signed — deliberately one error for both, so the response does
+// not reveal which stage rejected the credential.
+var (
+	ErrBadToken = errors.New("identity: invalid token")
+	ErrExpired  = errors.New("identity: token expired")
+)
+
+// tokenPrefix versions the wire format: "rnl1." + base64url(claims JSON)
+// + "." + base64url(HMAC-SHA256(secret, claims JSON)).
+const tokenPrefix = "rnl1."
+
+// Authority signs and verifies credentials for one deployment. It is
+// safe for concurrent use; the signing secret is fixed at construction.
+type Authority struct {
+	secret []byte
+	clock  sim.Clock
+
+	mu      sync.RWMutex
+	apiKeys map[string]Claims
+}
+
+// New builds an Authority from a signing secret. clock drives expiry
+// checks; nil means wall time (detsim injects sim.Fake).
+func New(secret []byte, clock sim.Clock) (*Authority, error) {
+	if len(secret) == 0 {
+		return nil, errors.New("identity: empty signing secret")
+	}
+	if clock == nil {
+		clock = sim.Real{}
+	}
+	return &Authority{
+		secret:  append([]byte(nil), secret...),
+		clock:   clock,
+		apiKeys: make(map[string]Claims),
+	}, nil
+}
+
+func (a *Authority) mac(payload []byte) []byte {
+	h := hmac.New(sha256.New, a.secret)
+	h.Write(payload)
+	return h.Sum(nil)
+}
+
+// Sign mints a bearer token for the claims. The claims travel in the
+// clear (base64, not encrypted) — tokens carry identity, not secrets —
+// and the HMAC binds them to this Authority's secret.
+func (a *Authority) Sign(c Claims) (string, error) {
+	if !c.Role.Valid() {
+		return "", fmt.Errorf("identity: unknown role %q", c.Role)
+	}
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	enc := base64.RawURLEncoding
+	return tokenPrefix + enc.EncodeToString(payload) + "." + enc.EncodeToString(a.mac(payload)), nil
+}
+
+// SignFor is the common mint: a tenant-scoped token valid for ttl
+// (ttl <= 0 means no expiry).
+func (a *Authority) SignFor(tenant string, role Role, ttl time.Duration) (string, error) {
+	c := Claims{Tenant: tenant, Role: role}
+	if ttl > 0 {
+		c.Expiry = a.clock.Now().Add(ttl).Unix()
+	}
+	return a.Sign(c)
+}
+
+// Verify checks a signed bearer token: format, MAC (constant-time) and
+// expiry, in that order. The MAC is checked before the payload is even
+// parsed, so malformed-JSON probing never reaches the parser unsigned.
+func (a *Authority) Verify(token string) (Claims, error) {
+	rest, ok := strings.CutPrefix(token, tokenPrefix)
+	if !ok {
+		return Claims{}, ErrBadToken
+	}
+	payload64, mac64, ok := strings.Cut(rest, ".")
+	if !ok {
+		return Claims{}, ErrBadToken
+	}
+	enc := base64.RawURLEncoding
+	payload, err := enc.DecodeString(payload64)
+	if err != nil {
+		return Claims{}, ErrBadToken
+	}
+	mac, err := enc.DecodeString(mac64)
+	if err != nil {
+		return Claims{}, ErrBadToken
+	}
+	if !hmac.Equal(mac, a.mac(payload)) {
+		return Claims{}, ErrBadToken
+	}
+	var c Claims
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return Claims{}, ErrBadToken
+	}
+	if !c.Role.Valid() {
+		return Claims{}, ErrBadToken
+	}
+	if c.Expiry != 0 && !a.clock.Now().Before(time.Unix(c.Expiry, 0)) {
+		return Claims{}, ErrExpired
+	}
+	return c, nil
+}
+
+// AddAPIKey registers a static key for automation. The claims must name
+// a valid role; API keys never expire (revoke by restarting without the
+// key).
+func (a *Authority) AddAPIKey(key string, c Claims) error {
+	if key == "" {
+		return errors.New("identity: empty API key")
+	}
+	if !c.Role.Valid() {
+		return fmt.Errorf("identity: unknown role %q", c.Role)
+	}
+	c.Expiry = 0
+	a.mu.Lock()
+	a.apiKeys[key] = c
+	a.mu.Unlock()
+	return nil
+}
+
+// lookupAPIKey finds a registered key matching cred. Every registered
+// key is compared in constant time regardless of where (or whether) a
+// match occurs, so timing reveals only the key count — which the caller
+// already influences less than the network jitter floor.
+func (a *Authority) lookupAPIKey(cred string) (Claims, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var (
+		found Claims
+		hit   int
+		credB = []byte(cred)
+	)
+	for key, claims := range a.apiKeys {
+		if subtle.ConstantTimeCompare([]byte(key), credB) == 1 {
+			found, hit = claims, 1
+		}
+	}
+	return found, hit == 1
+}
+
+// VerifyCredential accepts either credential kind: a registered API key
+// or a signed bearer token.
+func (a *Authority) VerifyCredential(cred string) (Claims, error) {
+	if cred == "" {
+		return Claims{}, ErrBadToken
+	}
+	if c, ok := a.lookupAPIKey(cred); ok {
+		return c, nil
+	}
+	return a.Verify(cred)
+}
+
+// TokenEnv is the environment variable daemons and rnlctl read a
+// credential from when the -token flag is unset — secrets on argv leak
+// into process listings (ps, /proc), the environment does not.
+const TokenEnv = "RNL_TOKEN"
+
+// ResolveToken returns the flag value when set, else the RNL_TOKEN
+// environment variable. The flag always wins so one-off overrides work.
+func ResolveToken(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	return os.Getenv(TokenEnv)
+}
+
+// Redacted replaces a secret for log and error output: "" stays
+// "(unset)", anything else becomes "(redacted)". Never log or format a
+// raw credential — argv was fixed by ResolveToken, logs are fixed here.
+func Redacted(secret string) string {
+	if secret == "" {
+		return "(unset)"
+	}
+	return "(redacted)"
+}
+
+// RedactError scrubs a secret from an error's message chain. Transports
+// love to echo what they were sent (URLs, handshake lines); any error
+// that might have seen the credential goes through here before logging
+// or returning to the user.
+func RedactError(err error, secret string) error {
+	if err == nil || secret == "" {
+		return err
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, secret) {
+		return err
+	}
+	return errors.New(strings.ReplaceAll(msg, secret, "(redacted)"))
+}

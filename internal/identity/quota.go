@@ -1,0 +1,51 @@
+package identity
+
+import "sync"
+
+// Quota bounds one tenant's claim on the cloud's scarce resources. Zero
+// fields mean unlimited, so the zero Quota is "no quota".
+type Quota struct {
+	// MaxConcurrentLabs caps how many labs the tenant may have deployed
+	// at once. Enforced atomically inside the route server's matrix
+	// critical section, so racing deploys cannot both squeeze under it.
+	MaxConcurrentLabs int
+	// ReservationHours caps the tenant's total outstanding reserved
+	// router-hours (sum over not-yet-ended bookings of window length ×
+	// routers). Enforced inside reservation.Calendar.Reserve.
+	ReservationHours float64
+}
+
+// Quotas maps tenants to their quotas, with a default for tenants not
+// explicitly listed. Safe for concurrent use.
+type Quotas struct {
+	mu        sync.RWMutex
+	def       Quota
+	perTenant map[string]Quota
+}
+
+// NewQuotas builds a quota book whose unlisted tenants get def.
+func NewQuotas(def Quota) *Quotas {
+	return &Quotas{def: def, perTenant: make(map[string]Quota)}
+}
+
+// Set overrides one tenant's quota.
+func (q *Quotas) Set(tenant string, quota Quota) {
+	q.mu.Lock()
+	q.perTenant[tenant] = quota
+	q.mu.Unlock()
+}
+
+// For returns the tenant's quota (the default when not listed, and the
+// zero "unlimited" quota for the empty tenant — programmatic callers
+// that predate identity are never quota-limited).
+func (q *Quotas) For(tenant string) Quota {
+	if q == nil || tenant == "" {
+		return Quota{}
+	}
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if quota, ok := q.perTenant[tenant]; ok {
+		return quota
+	}
+	return q.def
+}

@@ -15,6 +15,7 @@ import (
 
 	"rnl/internal/api"
 	"rnl/internal/device"
+	"rnl/internal/identity"
 	"rnl/internal/netsim"
 	"rnl/internal/reservation"
 	"rnl/internal/ris"
@@ -27,8 +28,22 @@ import (
 type Options struct {
 	// Compress enables tunnel compression end to end.
 	Compress bool
-	// Token protects the web API.
+	// Token protects the web API (legacy shared secret; a match grants
+	// admin). It also protects the RIS tunnel joins when TunnelToken is
+	// unset.
 	Token string
+	// Identity, when non-nil, verifies signed bearer tokens and API keys
+	// into tenant-scoped principals at the web API and tunnel joins.
+	Identity *identity.Authority
+	// Quotas caps per-tenant concurrent labs and reservation-hours;
+	// effective only alongside Identity (or tenant-named API users).
+	Quotas *identity.Quotas
+	// TunnelToken protects RIS session joins separately from the web
+	// API; empty falls back to Token.
+	TunnelToken string
+	// DatagramMTU caps frames on the UDP datagram path (server and
+	// agents); zero means wire.DefaultDgramMTU.
+	DatagramMTU int
 	// Timers is the device timing profile; zero means FastTimers.
 	Timers device.Timers
 	// Logger for all components; nil discards.
@@ -83,6 +98,10 @@ func NewCloud(opts Options) (*Cloud, error) {
 	if opts.Timers == (device.Timers{}) {
 		opts.Timers = device.FastTimers()
 	}
+	tunnelToken := opts.TunnelToken
+	if tunnelToken == "" {
+		tunnelToken = opts.Token
+	}
 	rs := routeserver.New(routeserver.Options{
 		AllowCompression: opts.Compress,
 		Logger:           logger,
@@ -90,6 +109,9 @@ func NewCloud(opts Options) (*Cloud, error) {
 		LabRateBurst:     opts.LabRateBurst,
 		Clock:            opts.Clock,
 		PeerTimeout:      opts.PeerTimeout,
+		TunnelToken:      tunnelToken,
+		Identity:         opts.Identity,
+		DatagramMTU:      opts.DatagramMTU,
 	})
 	tunnelAddr, err := rs.Listen("127.0.0.1:0")
 	if err != nil {
@@ -106,6 +128,8 @@ func NewCloud(opts Options) (*Cloud, error) {
 		Store:          store,
 		Calendar:       cal,
 		Token:          opts.Token,
+		Identity:       opts.Identity,
+		Quotas:         opts.Quotas,
 		ConsoleTimeout: 5 * time.Second,
 		Logger:         logger,
 		Admission:      opts.Admission,
@@ -175,10 +199,16 @@ func (c *Cloud) joinDevice(name, model, description string, ports []string, getP
 		go consoleAttach(sp.DeviceEnd)
 		def.Console = sp.PCEnd
 	}
+	tunnelToken := c.opts.TunnelToken
+	if tunnelToken == "" {
+		tunnelToken = c.opts.Token
+	}
 	agent, err := ris.New(ris.Config{
 		ServerAddr:  c.TunnelAddr,
 		PCName:      "pc-" + name,
 		Compress:    c.opts.Compress,
+		Token:       tunnelToken,
+		DatagramMTU: c.opts.DatagramMTU,
 		Routers:     []ris.RouterDef{def},
 		Clock:       c.opts.Clock,
 		PeerTimeout: c.opts.PeerTimeout,

@@ -41,6 +41,11 @@ type Calendar struct {
 	// onMutate callbacks fire (outside the lock) after every successful
 	// mutation — the durability hook.
 	onMutate []func()
+	// quota, when set, returns a user's outstanding router-hours cap
+	// (0 = unlimited) — the tenancy layer's reservation-hours quota,
+	// injected as a plain function so this package stays free of
+	// identity imports.
+	quota func(user string) float64
 }
 
 // New creates an empty calendar on the given clock (sim.Real{} in
@@ -83,6 +88,15 @@ func (c *Calendar) Reserve(user string, routers []string, start, end time.Time) 
 	out, err := func() ([]Reservation, error) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
+		if c.quota != nil {
+			if cap := c.quota(user); cap > 0 {
+				asking := end.Sub(start).Hours() * float64(len(routers))
+				if held := c.outstandingHoursLocked(user); held+asking > cap {
+					return nil, fmt.Errorf("reservation: user %q over reservation-hours quota: holds %.1fh, asked %.1fh, cap %.1fh",
+						user, held, asking, cap)
+				}
+			}
+		}
 		for _, router := range routers {
 			for _, existing := range c.byRouter[router] {
 				if existing.overlaps(start, end) {
@@ -111,6 +125,47 @@ func insertSorted(list []Reservation, r Reservation) []Reservation {
 	copy(list[i+1:], list[i:])
 	list[i] = r
 	return list
+}
+
+// SetQuota installs the reservation-hours quota hook: fn returns a
+// user's cap on total outstanding router-hours (0 = unlimited). Checked
+// atomically inside Reserve — two racing reservations by one user
+// cannot both squeeze under the cap.
+func (c *Calendar) SetQuota(fn func(user string) float64) {
+	c.mu.Lock()
+	c.quota = fn
+	c.mu.Unlock()
+}
+
+// outstandingHoursLocked sums router-hours of the user's not-yet-ended
+// bookings — each booking counts its full window once it exists, so a
+// quota cannot be gamed by booking far in the future.
+func (c *Calendar) outstandingHoursLocked(user string) float64 {
+	now := c.clock.Now()
+	total := 0.0
+	for _, list := range c.byRouter {
+		for _, r := range list {
+			if r.User == user && r.End.After(now) {
+				total += r.End.Sub(r.Start).Hours()
+			}
+		}
+	}
+	return total
+}
+
+// Get returns a booking by ID — the ownership lookup the API's
+// tenant-scoped cancel uses.
+func (c *Calendar) Get(id uint64) (Reservation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, list := range c.byRouter {
+		for _, r := range list {
+			if r.ID == id {
+				return r, true
+			}
+		}
+	}
+	return Reservation{}, false
 }
 
 // Cancel removes a booking by ID.

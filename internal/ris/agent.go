@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rnl/internal/compress"
+	"rnl/internal/identity"
 	"rnl/internal/netsim"
 	"rnl/internal/sim"
 	"rnl/internal/wire"
@@ -151,7 +152,9 @@ func (a *Agent) Start() error {
 	conn.SetDeadline(time.Now().Add(hsTimeout))
 	if err := a.handshake(conn); err != nil {
 		conn.Close()
-		return err
+		// A server error frame may echo the handshake it rejected; never
+		// let the credential reach the logs through it.
+		return identity.RedactError(err, a.cfg.Token)
 	}
 	conn.SetDeadline(time.Time{})
 
@@ -300,6 +303,7 @@ func (a *Agent) handshake(conn net.Conn) error {
 	hello, err := wire.EncodeJSON(wire.MsgHello, wire.HelloMsg{
 		Version: wire.ProtocolVersion, PCName: a.cfg.PCName,
 		Compress: a.cfg.Compress, Datagram: a.cfg.Datagram,
+		Token: a.cfg.Token,
 	})
 	if err != nil {
 		return err
@@ -415,7 +419,7 @@ func (a *Agent) sendPacket(id portID, frame []byte) {
 		return
 	}
 	m := wire.PacketMsg{RouterID: id.router, PortID: id.port, Data: frame}
-	if dg := hot.dgram; dg != nil && dg.ready.Load() && wire.DgramPacketFits(len(frame)) {
+	if dg := hot.dgram; dg != nil && dg.ready.Load() && wire.DgramPacketFitsMTU(len(frame), a.cfg.DatagramMTU) {
 		// Established datagram path: kernel send is the whole handoff, no
 		// queue, no writer wakeup. A socket error falls through to TCP.
 		if wire.WriteDgramPacket(dg.uc, dg.token, m) == nil {

@@ -77,6 +77,17 @@ type Config struct {
 	// stay on the TCP tunnel. The server refuses the offer when
 	// compression is also negotiated.
 	Datagram bool
+	// Token authenticates the tunnel join: the route server's shared
+	// tunnel secret or a signed identity bearer token, sent once in the
+	// Hello — never per packet. Leave empty against an open server.
+	// Prefer the RNL_TOKEN environment variable over flags so the
+	// credential stays off argv (see identity.ResolveToken).
+	Token string
+	// DatagramMTU caps how large a frame may ride the UDP datagram path
+	// before falling back to the TCP tunnel; zero means
+	// wire.DefaultDgramMTU. Match it to the path MTU toward the server:
+	// oversize datagrams fragment, and a lost fragment loses the frame.
+	DatagramMTU int
 	// Routers is the equipment behind this PC.
 	Routers []RouterDef
 

@@ -142,8 +142,8 @@ func (s *Server) trySendDatagram(sess *session, m wire.PacketMsg) (handled, lost
 	if addr == nil {
 		return false, false
 	}
-	if !wire.DgramPacketFits(len(m.Data)) {
-		return false, false // jumbo frame: ride the TCP tunnel
+	if !wire.DgramPacketFitsMTU(len(m.Data), s.opts.DatagramMTU) {
+		return false, false // over the path-MTU budget: ride the TCP tunnel
 	}
 	if s.opts.DatagramLoss != nil && s.opts.DatagramLoss() {
 		return true, true

@@ -26,8 +26,11 @@ type fwdEntry struct {
 	dst PortKey
 	// sess is the RIS session fronting dst's router; nil while offline.
 	sess *session
-	// lab names the deployment owning dst's router ("" when free) — the
-	// shedding class outbound packets are tagged with.
+	// lab is the shedding class outbound packets are tagged with: the
+	// hierarchical admission.HierClass(tenant, lab) composite when the
+	// owning deployment has a tenant, the bare deployment name otherwise,
+	// "" when the router is free. Precomputed here — once per rebuild —
+	// so tenant-level fairness adds zero per-frame work.
 	lab string
 	// limiter is the lab's token bucket; nil when the router is unowned
 	// or Options.LabRateLimit is off, so the common path skips it on a
@@ -45,6 +48,10 @@ type fwdEntry struct {
 type labCounters struct {
 	shed      atomic.Uint64 // fair-share send-queue sheds
 	throttled atomic.Uint64 // token-bucket refusals
+	// tenant attributes the lab to its owning tenant for the per-tenant
+	// rollups (ShedByTenant, rnl_tenant_* metrics). Written only under
+	// labMu; "" for tenantless labs.
+	tenant string
 }
 
 // fwdTable is one immutable forwarding snapshot. Readers load it once
@@ -60,8 +67,9 @@ type fwdTable struct {
 	// ports maps every registered port to its own delivery entry — the
 	// injection-path (deliverToPort) lookup, wired or not.
 	ports map[PortKey]*fwdEntry
-	// labs caches the per-lab counter blocks referenced by entries, so
-	// the shed callback can attribute drops without taking labMu.
+	// labs caches the per-lab counter blocks referenced by entries,
+	// keyed by shedding class (the tenant-qualified composite), so the
+	// shed callback can attribute drops without taking labMu.
 	labs map[string]*labCounters
 }
 
@@ -94,7 +102,7 @@ func (s *Server) rebuildFwd(target uint64) {
 // never packet frequency), so the copying here is cheap where it
 // matters.
 func (s *Server) buildFwd(gen uint64) *fwdTable {
-	routes, owners := s.matrix.snapshotForwarding()
+	routes, owners, tenants := s.matrix.snapshotForwarding()
 	portSess := s.reg.forwardingPorts()
 	s.mu.RLock()
 	sessions := make(map[uint64]*session, len(s.sessions))
@@ -111,12 +119,13 @@ func (s *Server) buildFwd(gen uint64) *fwdTable {
 	}
 	for port, sid := range portSess {
 		lab := owners[port.Router]
-		e := &fwdEntry{dst: port, sess: sessions[sid], lab: lab}
+		class := admission.HierClass(tenants[lab], lab)
+		e := &fwdEntry{dst: port, sess: sessions[sid], lab: class}
 		if lab != "" {
-			lc := t.labs[lab]
+			lc := t.labs[class]
 			if lc == nil {
-				lc = s.labCounter(lab)
-				t.labs[lab] = lc
+				lc = s.labCounterTenant(lab, tenants[lab])
+				t.labs[class] = lc
 			}
 			e.throttled = &lc.throttled
 			if s.opts.LabRateLimit > 0 {
@@ -149,12 +158,23 @@ func (s *Server) FwdGeneration() (published, latest uint64) {
 // labCounter returns (creating on first use) the persistent counter
 // block for a lab.
 func (s *Server) labCounter(lab string) *labCounters {
+	return s.labCounterTenant(lab, "")
+}
+
+// labCounterTenant is labCounter plus tenant attribution: a non-empty
+// tenant is recorded on the block so the per-tenant rollups can
+// aggregate it. An empty tenant never clears a known attribution (the
+// fallback paths that lost the tenant half must not detach the lab).
+func (s *Server) labCounterTenant(lab, tenant string) *labCounters {
 	s.labMu.Lock()
 	defer s.labMu.Unlock()
 	lc := s.labStats[lab]
 	if lc == nil {
 		lc = &labCounters{}
 		s.labStats[lab] = lc
+	}
+	if tenant != "" {
+		lc.tenant = tenant
 	}
 	return lc
 }
@@ -183,7 +203,8 @@ func (s *Server) countShed(class string, n uint64) {
 			return
 		}
 	}
-	s.labCounter(class).shed.Add(n)
+	tenant, lab := admission.SplitClass(class)
+	s.labCounterTenant(lab, tenant).shed.Add(n)
 }
 
 // forgetLab drops a torn-down lab's rate limiter and counter block so a
@@ -217,6 +238,29 @@ func (s *Server) ThrottledByLab() map[string]uint64 {
 	out := make(map[string]uint64, len(s.labStats))
 	for k, lc := range s.labStats {
 		out[k] = lc.throttled.Load()
+	}
+	return out
+}
+
+// ShedByTenant rolls fair-share sheds up to the tenant level. Labs with
+// no tenant attribution aggregate under "".
+func (s *Server) ShedByTenant() map[string]uint64 {
+	s.labMu.Lock()
+	defer s.labMu.Unlock()
+	out := make(map[string]uint64)
+	for _, lc := range s.labStats {
+		out[lc.tenant] += lc.shed.Load()
+	}
+	return out
+}
+
+// ThrottledByTenant rolls token-bucket drops up to the tenant level.
+func (s *Server) ThrottledByTenant() map[string]uint64 {
+	s.labMu.Lock()
+	defer s.labMu.Unlock()
+	out := make(map[string]uint64)
+	for _, lc := range s.labStats {
+		out[lc.tenant] += lc.throttled.Load()
 	}
 	return out
 }

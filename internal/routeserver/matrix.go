@@ -17,6 +17,7 @@ type Link struct {
 type Deployment struct {
 	Name    string
 	Owner   string // deploying user; "" for programmatic deployments
+	Tenant  string // owning tenant for quotas and fair-share attribution
 	Links   []Link
 	Routers []uint32
 
@@ -59,11 +60,13 @@ func (m *matrix) lookup(src PortKey) (PortKey, bool) {
 	return dst, ok
 }
 
-// snapshotForwarding copies the routes and router-ownership maps for a
-// forwarding-table rebuild (fwd.go). The matrix stays the source of
-// truth behind its lock; the copies seed the immutable snapshot the
-// packet path reads lock-free.
-func (m *matrix) snapshotForwarding() (map[PortKey]PortKey, map[uint32]string) {
+// snapshotForwarding copies the routes, router-ownership and
+// lab-tenancy maps for a forwarding-table rebuild (fwd.go). The matrix
+// stays the source of truth behind its lock; the copies seed the
+// immutable snapshot the packet path reads lock-free. Tenancy is
+// resolved here, once per rebuild, so the packet path never touches a
+// deployment record.
+func (m *matrix) snapshotForwarding() (map[PortKey]PortKey, map[uint32]string, map[string]string) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	routes := make(map[PortKey]PortKey, len(m.routes))
@@ -74,13 +77,32 @@ func (m *matrix) snapshotForwarding() (map[PortKey]PortKey, map[uint32]string) {
 	for k, v := range m.routerOwner {
 		owners[k] = v
 	}
-	return routes, owners
+	tenants := make(map[string]string, len(m.deployments))
+	for name, d := range m.deployments {
+		if d.Tenant != "" {
+			tenants[name] = d.Tenant
+		}
+	}
+	return routes, owners, tenants
+}
+
+// DeploySpec names a deployment and its accounting identities.
+type DeploySpec struct {
+	Name  string
+	Owner string // deploying user; "" for programmatic deployments
+	// Tenant is the tenant the lab is accounted to. Defaults to Owner
+	// when empty (one-user-one-tenant is the common case).
+	Tenant string
+	// MaxTenantLabs caps the tenant's concurrent deployments; zero means
+	// unlimited. Checked inside the matrix critical section so two racing
+	// deploys cannot both squeeze under the cap.
+	MaxTenantLabs int
 }
 
 // deploy installs a deployment after validation; any blocking deployment
 // is an error.
-func (m *matrix) deploy(name, owner string, links []Link, portExists func(PortKey) bool) error {
-	_, err := m.deployReclaiming(name, owner, links, portExists, nil)
+func (m *matrix) deploy(spec DeploySpec, links []Link, portExists func(PortKey) bool) error {
+	_, err := m.deployReclaiming(spec, links, portExists, nil)
 	return err
 }
 
@@ -93,9 +115,13 @@ func (m *matrix) deploy(name, owner string, links []Link, portExists func(PortKe
 // non-reclaimable blocker and fails cleanly. Takeover is all-or-nothing:
 // if any blocker is not reclaimable, nothing is torn down. Returns the
 // names of the reclaimed deployments.
-func (m *matrix) deployReclaiming(name, owner string, links []Link, portExists func(PortKey) bool, canReclaim func(Deployment) bool) ([]string, error) {
+func (m *matrix) deployReclaiming(spec DeploySpec, links []Link, portExists func(PortKey) bool, canReclaim func(Deployment) bool) ([]string, error) {
+	name := spec.Name
 	if name == "" {
 		return nil, fmt.Errorf("routeserver: deployment needs a name")
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = spec.Owner
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -147,6 +173,22 @@ func (m *matrix) deployReclaiming(name, owner string, links []Link, portExists f
 			return nil, fmt.Errorf("routeserver: deployment %q blocks %q and cannot be reclaimed", bname, name)
 		}
 	}
+
+	// Per-tenant concurrent-lab quota, enforced here — under the same
+	// lock that installs the deployment — so racing deploys serialize
+	// against the cap. Labs about to be reclaimed no longer count.
+	if spec.MaxTenantLabs > 0 && spec.Tenant != "" {
+		active := 0
+		for dname, d := range m.deployments {
+			if d.Tenant == spec.Tenant && !blockers[dname] {
+				active++
+			}
+		}
+		if active >= spec.MaxTenantLabs {
+			return nil, fmt.Errorf("routeserver: tenant %q at concurrent-lab quota (%d)", spec.Tenant, spec.MaxTenantLabs)
+		}
+	}
+
 	reclaimed := make([]string, 0, len(blockers))
 	for bname := range blockers {
 		m.teardownLocked(bname)
@@ -154,7 +196,7 @@ func (m *matrix) deployReclaiming(name, owner string, links []Link, portExists f
 	}
 	sort.Strings(reclaimed)
 
-	d := &Deployment{Name: name, Owner: owner, Links: append([]Link(nil), links...)}
+	d := &Deployment{Name: name, Owner: spec.Owner, Tenant: spec.Tenant, Links: append([]Link(nil), links...)}
 	for rid := range routerSet {
 		m.routerOwner[rid] = name
 		d.Routers = append(d.Routers, rid)
@@ -338,7 +380,7 @@ func (m *matrix) list() []Deployment {
 
 // Deploy wires up a test lab on the server.
 func (s *Server) Deploy(name string, links []Link) error {
-	return s.DeployOwned(name, "", links)
+	return s.DeployLab(DeploySpec{Name: name}, links, nil)
 }
 
 // DeployOwned wires up a test lab, recording the deploying user so an
@@ -346,34 +388,37 @@ func (s *Server) Deploy(name string, links []Link) error {
 // "when the reservation expires, the router connections could be torn
 // down when the next user deploys her test lab design").
 func (s *Server) DeployOwned(name, owner string, links []Link) error {
-	err := s.matrix.deploy(name, owner, links, s.reg.portExists)
-	if err == nil {
-		s.bumpFwd()
-		s.log.Info("deployed", "name", name, "owner", owner, "links", len(links))
-		s.persist()
-	}
-	return err
+	return s.DeployLab(DeploySpec{Name: name, Owner: owner}, links, nil)
 }
 
 // DeployReclaiming wires up a test lab, atomically tearing down any
 // blocking deployment the canReclaim callback approves — typically one
 // whose owner no longer holds a current reservation (paper §2.1 expiry).
-// The decision and the takeover share the routing matrix's critical
-// section, so two users racing for the same expired lab cannot both tear
-// it down and overwrite each other's deployment. canReclaim must not
-// call back into matrix operations (Deploy/Teardown/Deployments);
-// registry and reservation reads are safe.
 func (s *Server) DeployReclaiming(name, owner string, links []Link, canReclaim func(Deployment) bool) error {
-	reclaimed, err := s.matrix.deployReclaiming(name, owner, links, s.reg.portExists, canReclaim)
+	return s.DeployLab(DeploySpec{Name: name, Owner: owner}, links, canReclaim)
+}
+
+// DeployLab is the full-control deploy: spec carries the accounting
+// identities (owner, tenant, tenant quota) and canReclaim (nil = plain
+// deploy) approves atomic takeover of blocking deployments. The reclaim
+// decision, the quota check and the takeover happen under one matrix
+// critical section: two deployers racing for the same expired blocker
+// cannot both observe it active and clobber each other, and two racing
+// deploys by one tenant cannot both squeeze under the lab cap.
+// canReclaim must not call back into matrix operations
+// (Deploy/Teardown/Deployments); registry and reservation reads are
+// safe.
+func (s *Server) DeployLab(spec DeploySpec, links []Link, canReclaim func(Deployment) bool) error {
+	reclaimed, err := s.matrix.deployReclaiming(spec, links, s.reg.portExists, canReclaim)
 	if err != nil {
 		return err
 	}
 	for _, n := range reclaimed {
 		s.forgetLab(n)
-		s.log.Info("reclaimed expired lab", "name", n, "takenOverBy", name)
+		s.log.Info("reclaimed expired lab", "name", n, "takenOverBy", spec.Name)
 	}
 	s.bumpFwd()
-	s.log.Info("deployed", "name", name, "owner", owner, "links", len(links))
+	s.log.Info("deployed", "name", spec.Name, "owner", spec.Owner, "tenant", spec.Tenant, "links", len(links))
 	s.persist()
 	return nil
 }

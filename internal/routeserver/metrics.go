@@ -50,6 +50,23 @@ var (
 		"Route-server forwarding latency: matrix lookup to send-queue handoff.", obs.LatencyBuckets)
 )
 
+// metricNamePart makes a tenant ID safe for embedding in a dynamic
+// metric name (rnl_tenant_*): anything outside the registry's allowed
+// alphabet becomes '_'. Digits are fine — the part always follows a
+// static prefix, never starts the name.
+func metricNamePart(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
 // Health is the route server's liveness view, served on /healthz.
 type Health struct {
 	// Listening reports the RIS tunnel accept loop is up.

@@ -19,11 +19,11 @@ func anyPortOK(PortKey) bool { return true }
 func TestDeployReclaimingRefusesUnreclaimableBlocker(t *testing.T) {
 	m := newMatrix()
 	p1, p2, p5 := PortKey{Router: 1, Port: 10}, PortKey{Router: 2, Port: 20}, PortKey{Router: 5, Port: 50}
-	if err := m.deploy("A", "alice", []Link{{A: p1, B: p2}}, anyPortOK); err != nil {
+	if err := m.deploy(DeploySpec{Name: "A", Owner: "alice"}, []Link{{A: p1, B: p2}}, anyPortOK); err != nil {
 		t.Fatal(err)
 	}
 	reclaimNone := func(Deployment) bool { return false }
-	if _, err := m.deployReclaiming("B", "bob", []Link{{A: p2, B: p5}}, anyPortOK, reclaimNone); err == nil {
+	if _, err := m.deployReclaiming(DeploySpec{Name: "B", Owner: "bob"}, []Link{{A: p2, B: p5}}, anyPortOK, reclaimNone); err == nil {
 		t.Fatal("takeover of an unreclaimable lab succeeded")
 	}
 	// A must be fully intact.
@@ -40,15 +40,15 @@ func TestDeployReclaimingAtomicTakeover(t *testing.T) {
 	p1, p2 := PortKey{Router: 1, Port: 10}, PortKey{Router: 2, Port: 20}
 	p3, p4 := PortKey{Router: 3, Port: 30}, PortKey{Router: 4, Port: 40}
 	p5 := PortKey{Router: 5, Port: 50}
-	if err := m.deploy("A", "alice", []Link{{A: p1, B: p2}}, anyPortOK); err != nil {
+	if err := m.deploy(DeploySpec{Name: "A", Owner: "alice"}, []Link{{A: p1, B: p2}}, anyPortOK); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.deploy("C", "carol", []Link{{A: p3, B: p4}}, anyPortOK); err != nil {
+	if err := m.deploy(DeploySpec{Name: "C", Owner: "carol"}, []Link{{A: p3, B: p4}}, anyPortOK); err != nil {
 		t.Fatal(err)
 	}
 
 	reclaimA := func(d Deployment) bool { return d.Name == "A" }
-	reclaimed, err := m.deployReclaiming("B", "bob", []Link{{A: p2, B: p5}}, anyPortOK, reclaimA)
+	reclaimed, err := m.deployReclaiming(DeploySpec{Name: "B", Owner: "bob"}, []Link{{A: p2, B: p5}}, anyPortOK, reclaimA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestDeployReclaimingAtomicTakeover(t *testing.T) {
 	// All-or-nothing: E needs both B (reclaimable) and C (not). Nothing
 	// may be torn down.
 	reclaimB := func(d Deployment) bool { return d.Name == "B" }
-	if _, err := m.deployReclaiming("E", "eve", []Link{{A: p2, B: p4}}, anyPortOK, reclaimB); err == nil {
+	if _, err := m.deployReclaiming(DeploySpec{Name: "E", Owner: "eve"}, []Link{{A: p2, B: p4}}, anyPortOK, reclaimB); err == nil {
 		t.Fatal("partial takeover succeeded")
 	}
 	if dst, ok := m.lookup(p2); !ok || dst != p5 {
@@ -94,7 +94,7 @@ func TestConcurrentReclaimSingleWinner(t *testing.T) {
 	p1, p2 := PortKey{Router: 1, Port: 10}, PortKey{Router: 2, Port: 20}
 	for i := 0; i < 100; i++ {
 		m := newMatrix()
-		if err := m.deploy("victim", "expired-user", []Link{{A: p1, B: p2}}, anyPortOK); err != nil {
+		if err := m.deploy(DeploySpec{Name: "victim", Owner: "expired-user"}, []Link{{A: p1, B: p2}}, anyPortOK); err != nil {
 			t.Fatal(err)
 		}
 		canReclaim := func(d Deployment) bool { return d.Name == "victim" }
@@ -104,7 +104,7 @@ func TestConcurrentReclaimSingleWinner(t *testing.T) {
 			wg.Add(1)
 			go func(j int) {
 				defer wg.Done()
-				_, errs[j] = m.deployReclaiming(fmt.Sprintf("taker-%d", j), "user",
+				_, errs[j] = m.deployReclaiming(DeploySpec{Name: fmt.Sprintf("taker-%d", j), Owner: "user"},
 					[]Link{{A: p1, B: p2}}, anyPortOK, canReclaim)
 			}(j)
 		}

@@ -92,7 +92,7 @@ func TestTeardownAfterDropLeavesReusedPortsWired(t *testing.T) {
 	anyPort := func(PortKey) bool { return true }
 	p1, p2, p3 := PortKey{Router: 1, Port: 10}, PortKey{Router: 2, Port: 20}, PortKey{Router: 3, Port: 30}
 
-	if err := m.deploy("D", "alice", []Link{{A: p1, B: p2}}, anyPort); err != nil {
+	if err := m.deploy(DeploySpec{Name: "D", Owner: "alice"}, []Link{{A: p1, B: p2}}, anyPort); err != nil {
 		t.Fatal(err)
 	}
 	m.dropRouter(2) // RIS for router 2 vanished
@@ -111,7 +111,7 @@ func TestTeardownAfterDropLeavesReusedPortsWired(t *testing.T) {
 
 	// Port key 2.20 gets reused by a new deployment (the registry hands
 	// out monotonic IDs, but the matrix must not depend on that).
-	if err := m.deploy("E", "bob", []Link{{A: p2, B: p3}}, anyPort); err != nil {
+	if err := m.deploy(DeploySpec{Name: "E", Owner: "bob"}, []Link{{A: p2, B: p3}}, anyPort); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.teardown("D"); err != nil {

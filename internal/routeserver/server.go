@@ -1,6 +1,7 @@
 package routeserver
 
 import (
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,8 @@ import (
 
 	"rnl/internal/admission"
 	"rnl/internal/compress"
+	"rnl/internal/identity"
+	"rnl/internal/obs"
 	"rnl/internal/sim"
 	"rnl/internal/wire"
 )
@@ -93,6 +96,23 @@ type Options struct {
 	// Stats.PacketsLostDatagram — simulated network loss, injected by
 	// deterministic simulation harnesses.
 	DatagramLoss func() bool
+	// DatagramMTU caps the UDP payload a negotiated datagram session
+	// will emit (header included): frames that would exceed it fall back
+	// to the lossless TCP tunnel instead of gambling on IP fragmentation,
+	// whose blackholes surface only as silent packets_lost_datagram.
+	// Zero means wire.DefaultDgramMTU (1400, safe under common 1500-MTU
+	// paths with tunnel overhead); values above wire.MaxDgramLen clamp.
+	DatagramMTU int
+	// TunnelToken, when set, requires every RIS session to present the
+	// same shared secret in its HELLO before the handshake proceeds —
+	// verified once per session join, never per frame. Comparison is
+	// constant-time.
+	TunnelToken string
+	// Identity, when set, accepts signed bearer tokens and API keys as
+	// session credentials (see internal/identity). A session may satisfy
+	// either TunnelToken or Identity; with both unset joins are open
+	// (single-operator deployments, tests).
+	Identity *identity.Authority
 }
 
 // Stats are the server's forwarding-plane counters.
@@ -384,21 +404,42 @@ func (s *Server) SetRouterFirmware(name, version string) bool {
 	return ok
 }
 
-// StatsSnapshot returns a copy of the counters.
+// StatsSnapshot returns a copy of the counters, plus per-tenant
+// "tenant_shed_<t>" / "tenant_throttled_<t>" rollups for every tenant
+// with attributed labs. Snapshotting also refreshes the rnl_tenant_*
+// gauges in the obs registry — per-tenant attribution is aggregated
+// lazily at observation time, never on the packet path.
 func (s *Server) StatsSnapshot() map[string]uint64 {
-	return map[string]uint64{
-		"packets_forwarded": s.stats.PacketsForwarded.Load(),
-		"bytes_forwarded":   s.stats.BytesForwarded.Load(),
-		"packets_no_route":  s.stats.PacketsNoRoute.Load(),
-		"packets_injected":  s.stats.PacketsInjected.Load(),
-		"packets_captured":  s.stats.PacketsCaptured.Load(),
+	out := map[string]uint64{
+		"packets_forwarded":     s.stats.PacketsForwarded.Load(),
+		"bytes_forwarded":       s.stats.BytesForwarded.Load(),
+		"packets_no_route":      s.stats.PacketsNoRoute.Load(),
+		"packets_injected":      s.stats.PacketsInjected.Load(),
+		"packets_captured":      s.stats.PacketsCaptured.Load(),
 		"packets_dropped":       s.stats.PacketsDropped.Load(),
 		"packets_throttled":     s.stats.PacketsThrottled.Load(),
 		"packets_lost_datagram": s.stats.PacketsLostDatagram.Load(),
-		"sessions_total":    s.stats.SessionsTotal.Load(),
-		"recoveries":        s.stats.Recoveries.Load(),
-		"labs_lost":         s.stats.LabsLost.Load(),
+		"sessions_total":        s.stats.SessionsTotal.Load(),
+		"recoveries":            s.stats.Recoveries.Load(),
+		"labs_lost":             s.stats.LabsLost.Load(),
 	}
+	for tenant, n := range s.ShedByTenant() {
+		if tenant == "" {
+			continue
+		}
+		out["tenant_shed_"+tenant] = n
+		obs.Default().Gauge("rnl_tenant_shed_"+metricNamePart(tenant),
+			"Fair-share sheds attributed to one tenant's labs.").Set(int64(n))
+	}
+	for tenant, n := range s.ThrottledByTenant() {
+		if tenant == "" {
+			continue
+		}
+		out["tenant_throttled_"+tenant] = n
+		obs.Default().Gauge("rnl_tenant_throttled_"+metricNamePart(tenant),
+			"Token-bucket drops attributed to one tenant's labs.").Set(int64(n))
+	}
+	return out
 }
 
 func (s *Server) acceptLoop() {
@@ -560,6 +601,28 @@ func (s *Server) dispatchFrame(sess *session, f wire.Frame) {
 // restart — gets its previous wire IDs back and its surviving labs'
 // routes reinstalled; capture taps and streams are keyed by those same
 // port IDs, so their bindings come back with the routes.
+// authorizeSession verifies a joining RIS's credential — once per
+// session, never per frame (the packet fast path stays auth-free; see
+// internal/identity). A session is admitted when it matches the shared
+// tunnel token (constant-time) or verifies against the identity
+// authority; with neither configured, joins are open. The rejection is
+// deliberately uniform — no hint of which check failed.
+func (s *Server) authorizeSession(token string) error {
+	if s.opts.TunnelToken == "" && s.opts.Identity == nil {
+		return nil
+	}
+	if s.opts.TunnelToken != "" &&
+		subtle.ConstantTimeCompare([]byte(token), []byte(s.opts.TunnelToken)) == 1 {
+		return nil
+	}
+	if s.opts.Identity != nil {
+		if _, err := s.opts.Identity.VerifyCredential(token); err == nil {
+			return nil
+		}
+	}
+	return errors.New("session credential rejected")
+}
+
 func (s *Server) handshake(sess *session) error {
 	f, err := wire.ReadFrame(sess.conn)
 	if err != nil {
@@ -571,6 +634,9 @@ func (s *Server) handshake(sess *session) error {
 	}
 	if hello.Version != wire.ProtocolVersion {
 		return fmt.Errorf("protocol version %d unsupported", hello.Version)
+	}
+	if err := s.authorizeSession(hello.Token); err != nil {
+		return err
 	}
 	sess.pcName = hello.PCName
 	useCompress := hello.Compress && s.opts.AllowCompression

@@ -22,6 +22,7 @@ const stateFile = "routeserver.json"
 type persistedDeployment struct {
 	Name    string   `json:"name"`
 	Owner   string   `json:"owner,omitempty"`
+	Tenant  string   `json:"tenant,omitempty"`
 	Links   []Link   `json:"links"`
 	Routers []uint32 `json:"routers"`
 	Damaged bool     `json:"damaged,omitempty"`
@@ -132,6 +133,7 @@ func (m *matrix) exportState() []persistedDeployment {
 		out = append(out, persistedDeployment{
 			Name:    d.Name,
 			Owner:   d.Owner,
+			Tenant:  d.Tenant,
 			Links:   append([]Link(nil), d.Links...),
 			Routers: append([]uint32(nil), d.Routers...),
 			Damaged: d.damaged,
@@ -157,6 +159,7 @@ func (m *matrix) importState(deps []persistedDeployment) {
 		d := &Deployment{
 			Name:    pd.Name,
 			Owner:   pd.Owner,
+			Tenant:  pd.Tenant,
 			Links:   append([]Link(nil), pd.Links...),
 			Routers: append([]uint32(nil), pd.Routers...),
 			damaged: pd.Damaged,

@@ -1,0 +1,173 @@
+package routeserver
+
+// Tenancy on the route server: per-tenant concurrent-lab quotas enforced
+// atomically inside the matrix critical section, tenant-qualified
+// shedding classes precomputed into the forwarding snapshot, per-tenant
+// accounting rollups, tenant persistence, and session-join auth.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"rnl/internal/admission"
+	"rnl/internal/identity"
+)
+
+func TestDeployLabTenantQuota(t *testing.T) {
+	s := newFwdTestServer(t, Options{})
+	_, portsA := addBenchSession(t, s, "quota-pc0")
+	_, portsB := addBenchSession(t, s, "quota-pc1")
+	_, portsC := addBenchSession(t, s, "quota-pc2")
+
+	spec := func(name, tenant string) DeploySpec {
+		return DeploySpec{Name: name, Owner: tenant, Tenant: tenant, MaxTenantLabs: 2}
+	}
+	if err := s.DeployLab(spec("q1", "alice"), []Link{{A: portsA[0], B: portsA[1]}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeployLab(spec("q2", "alice"), []Link{{A: portsB[0], B: portsB[1]}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := s.DeployLab(spec("q3", "alice"), []Link{{A: portsC[0], B: portsC[1]}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("third lab over quota: err = %v, want quota error", err)
+	}
+	// Another tenant is not affected by alice's cap.
+	if err := s.DeployLab(spec("q3", "bob"), []Link{{A: portsC[0], B: portsC[1]}}, nil); err != nil {
+		t.Fatalf("other tenant blocked by alice's quota: %v", err)
+	}
+	if err := s.Teardown("q3"); err != nil {
+		t.Fatal(err)
+	}
+	// Teardown frees headroom.
+	if err := s.Teardown("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeployLab(spec("q3", "alice"), []Link{{A: portsC[0], B: portsC[1]}}, nil); err != nil {
+		t.Fatalf("deploy after teardown should fit the quota again: %v", err)
+	}
+	// A lab being reclaimed in the same deploy no longer counts against
+	// the quota: at the cap, taking over one of your own expired labs
+	// must succeed.
+	reclaimAll := func(Deployment) bool { return true }
+	if err := s.DeployLab(spec("q2", "alice"), []Link{{A: portsB[0], B: portsB[1]}}, reclaimAll); err != nil {
+		t.Fatalf("reclaiming takeover at quota should succeed: %v", err)
+	}
+}
+
+func TestDeployLabQuotaRace(t *testing.T) {
+	// Many racing deploys by one tenant, cap 3: exactly 3 win. The check
+	// and the install share the matrix lock, so no interleaving admits a
+	// fourth.
+	s := newFwdTestServer(t, Options{})
+	var ports []PortKey
+	for i := 0; i < 8; i++ {
+		_, p := addBenchSession(t, s, "race-pc"+string(rune('0'+i)))
+		ports = append(ports, p...)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.DeployLab(
+				DeploySpec{Name: "r" + string(rune('0'+i)), Tenant: "crowd", MaxTenantLabs: 3},
+				[]Link{{A: ports[2*i], B: ports[2*i+1]}}, nil)
+		}(i)
+	}
+	wg.Wait()
+	won := 0
+	for _, err := range errs {
+		if err == nil {
+			won++
+		} else if !strings.Contains(err.Error(), "quota") {
+			t.Fatalf("unexpected deploy error: %v", err)
+		}
+	}
+	if won != 3 {
+		t.Fatalf("%d racing deploys admitted, quota is 3", won)
+	}
+}
+
+func TestTenantAttribution(t *testing.T) {
+	s := newFwdTestServer(t, Options{})
+	_, portsA := addBenchSession(t, s, "attr-pc0")
+	_, portsB := addBenchSession(t, s, "attr-pc1")
+
+	if err := s.DeployLab(DeploySpec{Name: "lab1", Tenant: "acme"}, []Link{{A: portsA[0], B: portsB[1]}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot entry carries the precomputed composite class — the
+	// packet path tags frames with tenant attribution at zero cost.
+	e, ok := s.fwdSnapshot().routes[portsA[0]]
+	if !ok {
+		t.Fatal("deployed wire missing from snapshot")
+	}
+	want := admission.HierClass("acme", "lab1")
+	if e.lab != want {
+		t.Fatalf("snapshot class = %q, want %q", e.lab, want)
+	}
+	// Sheds attributed via the composite class roll up per lab and per
+	// tenant; the per-lab view keeps the bare name.
+	s.countShed(want, 7)
+	if got := s.ShedByLab()["lab1"]; got != 7 {
+		t.Fatalf("ShedByLab[lab1] = %d, want 7", got)
+	}
+	if got := s.ShedByTenant()["acme"]; got != 7 {
+		t.Fatalf("ShedByTenant[acme] = %d, want 7", got)
+	}
+	// A class the snapshot no longer knows (post-teardown backlog) still
+	// lands on the right tenant through the fallback split.
+	s.countShed(admission.HierClass("acme", "gone-lab"), 2)
+	if got := s.ShedByTenant()["acme"]; got != 9 {
+		t.Fatalf("ShedByTenant[acme] after fallback = %d, want 9", got)
+	}
+	stats := s.StatsSnapshot()
+	if stats["tenant_shed_acme"] != 9 {
+		t.Fatalf("StatsSnapshot tenant_shed_acme = %d, want 9", stats["tenant_shed_acme"])
+	}
+	// Tenancy survives a persistence roundtrip.
+	m2 := newMatrix()
+	m2.importState(s.matrix.exportState())
+	deps := m2.list()
+	if len(deps) != 1 || deps[0].Tenant != "acme" {
+		t.Fatalf("restored deployments = %+v, want one lab owned by acme", deps)
+	}
+}
+
+func TestAuthorizeSession(t *testing.T) {
+	auth, err := identity.New([]byte("seekrit"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := auth.SignFor("ris-fleet", identity.RoleOperator, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		opts  Options
+		token string
+		ok    bool
+	}{
+		{"open server admits empty", Options{}, "", true},
+		{"open server admits anything", Options{}, "whatever", true},
+		{"shared token match", Options{TunnelToken: "hunter2"}, "hunter2", true},
+		{"shared token mismatch", Options{TunnelToken: "hunter2"}, "hunter3", false},
+		{"shared token empty", Options{TunnelToken: "hunter2"}, "", false},
+		{"identity bearer token", Options{Identity: auth}, tok, true},
+		{"identity garbage", Options{Identity: auth}, "garbage", false},
+		{"either credential: shared", Options{TunnelToken: "hunter2", Identity: auth}, "hunter2", true},
+		{"either credential: bearer", Options{TunnelToken: "hunter2", Identity: auth}, tok, true},
+		{"either credential: neither", Options{TunnelToken: "hunter2", Identity: auth}, "nope", false},
+	}
+	for _, tc := range cases {
+		s := newFwdTestServer(t, tc.opts)
+		err := s.authorizeSession(tc.token)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: authorizeSession = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}

@@ -26,6 +26,12 @@ type Deployer struct {
 	// Clock drives console automation timeouts and drains; nil means
 	// wall time. Simulated deployments inject their fake clock.
 	Clock sim.Clock
+	// MaxLabs, when set, returns a tenant's concurrent-lab cap
+	// (0 = unlimited). The cap itself is enforced inside the route
+	// server's matrix critical section, so racing deploys serialize
+	// against it; this hook only resolves the number. A plain function
+	// keeps this package free of identity imports.
+	MaxLabs func(tenant string) int
 }
 
 // clock resolves the injected clock (wall time by default).
@@ -71,6 +77,12 @@ func (dep *Deployer) portKey(p PortRef) (routeserver.PortKey, error) {
 // (and rolls the half-deployed lab back) instead of driving consoles for
 // a client that is gone.
 func (dep *Deployer) Deploy(ctx context.Context, user string, d *Design, restoreConfigs bool) error {
+	return dep.DeployAs(ctx, user, "", d, restoreConfigs)
+}
+
+// DeployAs is Deploy with an explicit owning tenant for quota accounting
+// and fair-share attribution; an empty tenant defaults to the user.
+func (dep *Deployer) DeployAs(ctx context.Context, user, tenant string, d *Design, restoreConfigs bool) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
@@ -81,16 +93,24 @@ func (dep *Deployer) Deploy(ctx context.Context, user string, d *Design, restore
 	if err != nil {
 		return err
 	}
-	if dep.Cal == nil {
-		if err := dep.Server.DeployOwned(d.Name, user, links); err != nil {
-			return err
+	spec := routeserver.DeploySpec{Name: d.Name, Owner: user, Tenant: tenant}
+	if dep.MaxLabs != nil {
+		t := tenant
+		if t == "" {
+			t = user
 		}
-	} else if err := dep.Server.DeployReclaiming(d.Name, user, links, dep.reclaimable); err != nil {
+		spec.MaxTenantLabs = dep.MaxLabs(t)
+	}
+	var canReclaim func(routeserver.Deployment) bool
+	if dep.Cal != nil {
 		// A blocking deployment whose owner's reservation lapsed is torn
 		// down and taken over — the paper's expiry semantics. The check
 		// and the takeover are one critical section on the server, so
 		// two deployers racing for the same expired blocker cannot both
 		// tear it down and clobber each other's lab.
+		canReclaim = dep.reclaimable
+	}
+	if err := dep.Server.DeployLab(spec, links, canReclaim); err != nil {
 		return err
 	}
 	if !restoreConfigs {

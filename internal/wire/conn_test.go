@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"rnl/internal/admission"
 )
 
 // tcpPair returns two ends of a loopback TCP connection.
@@ -535,6 +537,108 @@ func TestConnFairShareShedding(t *testing.T) {
 	for i, seq := range noisyGot {
 		if seq != wantNoisy[i] {
 			t.Fatalf("noisy survivors = %v, want %v", noisyGot, wantNoisy)
+		}
+	}
+}
+
+// TestConnTenantFairShareStarvation is the tenant-level counterpart of
+// TestConnFairShareShedding: a greedy tenant spreads its load over four
+// labs so no single lab ever out-queues the quiet tenant's one lab. With
+// flat per-lab classes the quiet lab would be the perennial victim; with
+// hierarchical classes the shedder aggregates by tenant first, so every
+// drop lands on the greedy tenant and the quiet tenant's packets all
+// survive — the starvation bound ISSUE 8 demands.
+func TestConnTenantFairShareStarvation(t *testing.T) {
+	a, b := net.Pipe() // unbuffered: the writer blocks until b reads
+	defer b.Close()
+
+	var shedMu sync.Mutex
+	shedByTenant := map[string]int{}
+	wc := NewConn(a, ConnConfig{
+		QueueLen:     12,
+		WriteTimeout: time.Minute,
+		OnShed: func(class string, n int) {
+			tenant, _ := admission.SplitClass(class)
+			shedMu.Lock()
+			shedByTenant[tenant] += n
+			shedMu.Unlock()
+		},
+	})
+	defer wc.Close()
+
+	greedyLab := func(i int) string {
+		return admission.HierClass("greedy", fmt.Sprintf("lab%d", i))
+	}
+	quietClass := admission.HierClass("quiet", "labQ")
+
+	// First packet: dequeued by the writer, which then blocks flushing
+	// to the unread pipe. Everything after stays queued.
+	if err := wc.SendPacketClass(greedyLab(0), PacketMsg{RouterID: 1, PortID: 1, Data: patternFrame(1, 0, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for wc.Stats().FramesWritten.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never picked up the first packet")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Quiet tenant queues 6 packets — more than any single greedy lab
+	// will ever hold (12-slot queue, 4 greedy labs → ≤ 3 each if spread,
+	// and the shedder keeps greedy's aggregate at the cap). Then the
+	// greedy tenant fires 40 packets round-robin across its four labs.
+	const quietN, greedyN = 6, 40
+	for seq := 1; seq <= quietN; seq++ {
+		if err := wc.SendPacketClass(quietClass, PacketMsg{RouterID: 2, PortID: 1, Data: patternFrame(2, uint32(seq), 64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for seq := 1; seq <= greedyN; seq++ {
+		if err := wc.SendPacketClass(greedyLab(seq%4), PacketMsg{RouterID: 1, PortID: 1, Data: patternFrame(1, uint32(seq), 64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Queue holds 12: the quiet tenant's 6 all survive, greedy keeps 6,
+	// and every drop beyond capacity came out of greedy's herd.
+	wantShed := greedyN - quietN
+	if d := wc.Stats().PacketsDropped.Load(); d != uint64(wantShed) {
+		t.Fatalf("PacketsDropped = %d, want %d", d, wantShed)
+	}
+	shedMu.Lock()
+	if shedByTenant["greedy"] != wantShed || shedByTenant["quiet"] != 0 {
+		t.Fatalf("shed by tenant = %v, want %d greedy / 0 quiet", shedByTenant, wantShed)
+	}
+	shedMu.Unlock()
+
+	// Drain the pipe: all six quiet packets arrive in order.
+	quietGot := []uint32{}
+	fr := NewFrameReader(b)
+	for total := 0; total < 1+quietN+greedyN-wantShed; total++ {
+		f, err := fr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != MsgPacket {
+			total--
+			continue
+		}
+		m, err := DecodePacket(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writer, seq := checkPattern(t, m.Data)
+		if writer == 2 {
+			quietGot = append(quietGot, seq)
+		}
+	}
+	if len(quietGot) != quietN {
+		t.Fatalf("quiet survivors = %v, want all %d", quietGot, quietN)
+	}
+	for i, seq := range quietGot {
+		if seq != uint32(i+1) {
+			t.Fatalf("quiet seqs = %v, want 1..%d in order", quietGot, quietN)
 		}
 	}
 }

@@ -42,14 +42,37 @@ const (
 // DgramHeaderLen is the kind + token prefix on every datagram.
 const DgramHeaderLen = 1 + 8
 
-// MaxDgramLen bounds one datagram — the UDP payload ceiling. Packets
-// whose encoding would exceed it fall back to the TCP tunnel.
+// MaxDgramLen bounds one datagram — the theoretical UDP payload ceiling.
+// Nothing should send datagrams this large on a real path: anything over
+// the path MTU is IP-fragmented, and a single lost fragment (or a
+// fragment-dropping middlebox) silently blackholes the whole packet,
+// which this transport only ever sees as packets_lost_datagram.
 const MaxDgramLen = 65507
 
+// DefaultDgramMTU is the default per-datagram budget: conservatively
+// under the ubiquitous 1500-byte Ethernet MTU with room for IP/UDP
+// headers and common tunnel/VPN overhead, so datagrams traverse
+// commodity Internet paths (paper §3.2) unfragmented.
+const DefaultDgramMTU = 1400
+
 // DgramPacketFits reports whether a packet with n data bytes fits in one
-// datagram.
+// datagram under the default MTU budget.
 func DgramPacketFits(n int) bool {
-	return DgramHeaderLen+packetHeaderLen+n <= MaxDgramLen
+	return DgramPacketFitsMTU(n, DefaultDgramMTU)
+}
+
+// DgramPacketFitsMTU reports whether a packet with n data bytes fits in
+// one datagram no larger than mtu (the whole UDP payload, headers
+// included). mtu <= 0 means DefaultDgramMTU; values beyond MaxDgramLen
+// clamp to it. Oversize packets fall back to the lossless TCP tunnel.
+func DgramPacketFitsMTU(n, mtu int) bool {
+	if mtu <= 0 {
+		mtu = DefaultDgramMTU
+	}
+	if mtu > MaxDgramLen {
+		mtu = MaxDgramLen
+	}
+	return DgramHeaderLen+packetHeaderLen+n <= mtu
 }
 
 func encodeDgramControl(kind byte, token uint64) []byte {

@@ -57,16 +57,36 @@ func TestDgramDecodeShort(t *testing.T) {
 }
 
 func TestDgramPacketFits(t *testing.T) {
-	maxData := MaxDgramLen - DgramHeaderLen - packetHeaderLen
+	// Default budget: the conservative path MTU, not the UDP ceiling.
+	maxData := DefaultDgramMTU - DgramHeaderLen - packetHeaderLen
 	if !DgramPacketFits(maxData) {
-		t.Fatalf("packet with %d data bytes should fit", maxData)
+		t.Fatalf("packet with %d data bytes should fit the default MTU", maxData)
 	}
 	if DgramPacketFits(maxData + 1) {
-		t.Fatalf("packet with %d data bytes should not fit", maxData+1)
+		t.Fatalf("packet with %d data bytes should not fit the default MTU", maxData+1)
 	}
 	// The boundary claim must match the actual encoding.
 	buf := AppendDgramPacket(nil, 1, PacketMsg{Data: make([]byte, maxData)})
-	if len(buf) != MaxDgramLen {
-		t.Fatalf("encoded max packet is %d bytes, want %d", len(buf), MaxDgramLen)
+	if len(buf) != DefaultDgramMTU {
+		t.Fatalf("encoded max packet is %d bytes, want %d", len(buf), DefaultDgramMTU)
+	}
+}
+
+func TestDgramPacketFitsMTU(t *testing.T) {
+	maxAt := func(mtu int) int { return mtu - DgramHeaderLen - packetHeaderLen }
+	// An explicit MTU moves the boundary.
+	if !DgramPacketFitsMTU(maxAt(9000), 9000) || DgramPacketFitsMTU(maxAt(9000)+1, 9000) {
+		t.Fatal("9000-byte MTU boundary wrong")
+	}
+	// Zero and negative mean the default.
+	if DgramPacketFitsMTU(maxAt(DefaultDgramMTU)+1, 0) || DgramPacketFitsMTU(maxAt(DefaultDgramMTU)+1, -5) {
+		t.Fatal("unset MTU must fall back to the default budget")
+	}
+	// Values beyond the UDP ceiling clamp to it.
+	if DgramPacketFitsMTU(maxAt(MaxDgramLen)+1, 1<<20) {
+		t.Fatal("MTU beyond MaxDgramLen must clamp")
+	}
+	if !DgramPacketFitsMTU(maxAt(MaxDgramLen), 1<<20) {
+		t.Fatal("clamped ceiling should still admit a max UDP payload")
 	}
 }

@@ -14,6 +14,11 @@ type HelloMsg struct {
 	// Datagram offers the best-effort UDP data plane for PACKET frames
 	// (see dgram.go); control traffic stays on this TCP tunnel.
 	Datagram bool `json:"datagram,omitempty"`
+	// Token is the session credential the route server verifies before
+	// the handshake proceeds: the shared tunnel secret or a signed
+	// identity bearer token (see internal/identity). Omitted on open
+	// deployments. Checked once per join, never per packet.
+	Token string `json:"token,omitempty"`
 }
 
 // HelloAckMsg confirms the tunnel; Compress is the negotiated result
