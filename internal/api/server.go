@@ -47,10 +47,23 @@ type Server struct {
 	idem       *admission.IdempotencyCache
 
 	mu         sync.Mutex
-	captures   map[uint64]*routeserver.Capture
+	captures   map[uint64]*ownedCapture
 	nextCap    uint64
-	streams    map[uint64]*routeserver.Stream
+	streams    map[uint64]*ownedStream
 	nextStream uint64
+}
+
+// ownedCapture / ownedStream remember which tenant opened the handle so
+// read/close (and status/stop) stay scoped to the opener: a packet tap
+// or traffic stream is as sensitive as the lab it points into.
+type ownedCapture struct {
+	cap    *routeserver.Capture
+	tenant string
+}
+
+type ownedStream struct {
+	st     *routeserver.Stream
+	tenant string
 }
 
 // AdmissionConfig tunes the web API's overload protection. Two endpoint
@@ -173,9 +186,9 @@ func NewServer(cfg Config) *Server {
 			ConsoleTimeout: cfg.ConsoleTimeout,
 			Clock:          clock,
 		},
-		captures:   make(map[uint64]*routeserver.Capture),
+		captures:   make(map[uint64]*ownedCapture),
 		nextCap:    1,
-		streams:    make(map[uint64]*routeserver.Stream),
+		streams:    make(map[uint64]*ownedStream),
 		nextStream: 1,
 	}
 	if cfg.Quotas != nil {
@@ -279,9 +292,9 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	caps := make([]*routeserver.Capture, 0, len(s.captures))
 	for _, c := range s.captures {
-		caps = append(caps, c)
+		caps = append(caps, c.cap)
 	}
-	s.captures = map[uint64]*routeserver.Capture{}
+	s.captures = map[uint64]*ownedCapture{}
 	s.mu.Unlock()
 	for _, c := range caps {
 		c.Stop()
@@ -298,6 +311,12 @@ type principal struct {
 // crossTenant reports whether the principal may act on resources it
 // does not own (operator and admin).
 func (p principal) crossTenant() bool { return p.Role.AtLeast(identity.RoleOperator) }
+
+// mayAccess reports whether the principal may touch a resource recorded
+// as owned by ownerTenant (capture and stream handles).
+func (p principal) mayAccess(ownerTenant string) bool {
+	return p.crossTenant() || p.Tenant == ownerTenant
+}
 
 type principalKey struct{}
 
@@ -401,6 +420,11 @@ func (s *Server) idempotent(h http.HandlerFunc) http.HandlerFunc {
 			h(w, r)
 			return
 		}
+		// The cache key is scoped to the verified principal: two tenants
+		// reusing the same client key must not see each other's recorded
+		// responses (nor have their own mutation silently skipped).
+		p := callerOf(r)
+		key = string(p.Role) + "\x1f" + p.Tenant + "\x1f" + key
 		res, dup := s.idem.Begin(key)
 		if dup {
 			select {
@@ -551,6 +575,16 @@ func (s *Server) handleDesignPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("design name %q does not match URL %q", d.Name, r.PathValue("name")))
 		return
 	}
+	// A tenant's saves are stamped with its tenant ID and may only
+	// overwrite designs it already owns; unowned (pre-tenancy or
+	// operator-saved) designs stay read-only to tenants.
+	if p := callerOf(r); !p.crossTenant() {
+		if existing, err := s.store.Load(d.Name); err == nil && existing.Tenant != p.Tenant {
+			writeError(w, http.StatusForbidden, fmt.Errorf("design %q is not owned by tenant %q", d.Name, p.Tenant))
+			return
+		}
+		d.Tenant = p.Tenant
+	}
 	if err := s.store.Save(&d); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -559,7 +593,15 @@ func (s *Server) handleDesignPut(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDesignDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.store.Delete(r.PathValue("name")); err != nil {
+	name := r.PathValue("name")
+	if p := callerOf(r); !p.crossTenant() {
+		// Unknown names fall through to Delete's 404.
+		if existing, err := s.store.Load(name); err == nil && existing.Tenant != p.Tenant {
+			writeError(w, http.StatusForbidden, fmt.Errorf("design %q is not owned by tenant %q", name, p.Tenant))
+			return
+		}
+	}
+	if err := s.store.Delete(name); err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
@@ -572,6 +614,21 @@ func (s *Server) handleSaveConfigs(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
+	}
+	// SaveConfigs drives a console on every router in the design: the
+	// caller must own the design AND have each router in one of its own
+	// labs — the same per-router gate as console exec.
+	if p := callerOf(r); !p.crossTenant() {
+		if d.Tenant != p.Tenant {
+			writeError(w, http.StatusForbidden, fmt.Errorf("design %q is not owned by tenant %q", name, p.Tenant))
+			return
+		}
+		for _, router := range d.Routers {
+			if !s.routerInTenantLab(p.Tenant, router) {
+				writeError(w, http.StatusForbidden, fmt.Errorf("router %q is not in one of tenant %q's labs", router, p.Tenant))
+				return
+			}
+		}
 	}
 	if err := s.dep.SaveConfigs(r.Context(), d); err != nil {
 		writeError(w, ctxStatus(err, http.StatusBadGateway), err)
@@ -613,16 +670,20 @@ func (s *Server) handleCancelReservation(w http.ResponseWriter, r *http.Request)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad reservation id"))
 		return
 	}
-	if p := callerOf(r); !p.crossTenant() {
-		// Unknown IDs fall through to Cancel's 404 — a tenant probing the
-		// ID space learns existence no faster than deletion would reveal.
-		if res, ok := s.cal.Get(id); ok && res.User != p.Tenant {
-			writeError(w, http.StatusForbidden, fmt.Errorf("reservation %d is not held by tenant %q", id, p.Tenant))
-			return
-		}
+	// Tenant cancels go through CancelOwned so the ownership check and
+	// the removal are atomic under the calendar lock.
+	var cancelErr error
+	if p := callerOf(r); p.crossTenant() {
+		cancelErr = s.cal.Cancel(id)
+	} else {
+		cancelErr = s.cal.CancelOwned(id, p.Tenant)
 	}
-	if err := s.cal.Cancel(id); err != nil {
-		writeError(w, http.StatusNotFound, err)
+	if cancelErr != nil {
+		status := http.StatusNotFound
+		if errors.Is(cancelErr, reservation.ErrNotOwner) {
+			status = http.StatusForbidden
+		}
+		writeError(w, status, cancelErr)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -747,6 +808,19 @@ func (s *Server) resolvePort(router, port string) (routeserver.PortKey, error) {
 	return routeserver.PortKey{Router: ri.ID, Port: pi.ID}, nil
 }
 
+// tenantPortGate enforces lab ownership on the traffic endpoints
+// (generate, capture, stream): a tenant may inject into or tap only
+// ports of routers inside its own labs. Writes the 403 itself and
+// reports whether the caller may proceed.
+func (s *Server) tenantPortGate(w http.ResponseWriter, r *http.Request, router string) bool {
+	p := callerOf(r)
+	if !p.crossTenant() && !s.routerInTenantLab(p.Tenant, router) {
+		writeError(w, http.StatusForbidden, fmt.Errorf("router %q is not in one of tenant %q's labs", router, p.Tenant))
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req GenerateRequest
 	if !readJSON(w, r, &req) {
@@ -754,6 +828,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Frame) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty frame"))
+		return
+	}
+	if !s.tenantPortGate(w, r, req.Router) {
 		return
 	}
 	pk, err := s.resolvePort(req.Router, req.Port)
@@ -783,6 +860,9 @@ func (s *Server) handleCaptureOpen(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	if !s.tenantPortGate(w, r, req.Router) {
+		return
+	}
 	pk, err := s.resolvePort(req.Router, req.Port)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -792,16 +872,27 @@ func (s *Server) handleCaptureOpen(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	id := s.nextCap
 	s.nextCap++
-	s.captures[id] = cap
+	s.captures[id] = &ownedCapture{cap: cap, tenant: callerOf(r).Tenant}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, CaptureResponse{ID: id})
 }
 
-func (s *Server) capture(id uint64) (*routeserver.Capture, bool) {
+// capture resolves a capture handle the caller may access. A handle
+// owned by another tenant answers 403, a missing one 404; ok=false
+// means the error has been written.
+func (s *Server) capture(w http.ResponseWriter, r *http.Request, id uint64) (*routeserver.Capture, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	c, ok := s.captures[id]
-	return c, ok
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no capture %d", id))
+		return nil, false
+	}
+	if p := callerOf(r); !p.mayAccess(c.tenant) {
+		writeError(w, http.StatusForbidden, fmt.Errorf("capture %d is not owned by tenant %q", id, p.Tenant))
+		return nil, false
+	}
+	return c.cap, true
 }
 
 // handleCaptureRead drains up to max frames, waiting up to wait_ms for the
@@ -812,9 +903,8 @@ func (s *Server) handleCaptureRead(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad capture id"))
 		return
 	}
-	cap, ok := s.capture(id)
+	cap, ok := s.capture(w, r, id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no capture %d", id))
 		return
 	}
 	max := 100
@@ -871,13 +961,20 @@ func (s *Server) handleCaptureClose(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	cap, ok := s.captures[id]
-	delete(s.captures, id)
+	if ok {
+		if p := callerOf(r); !p.mayAccess(cap.tenant) {
+			s.mu.Unlock()
+			writeError(w, http.StatusForbidden, fmt.Errorf("capture %d is not owned by tenant %q", id, p.Tenant))
+			return
+		}
+		delete(s.captures, id)
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no capture %d", id))
 		return
 	}
-	cap.Stop()
+	cap.cap.Stop()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -889,9 +986,8 @@ func (s *Server) handleCapturePcap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad capture id"))
 		return
 	}
-	cap, ok := s.capture(id)
+	cap, ok := s.capture(w, r, id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no capture %d", id))
 		return
 	}
 	max := 1000
@@ -939,6 +1035,9 @@ func (s *Server) handleStreamStart(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	if !s.tenantPortGate(w, r, req.Router) {
+		return
+	}
 	pk, err := s.resolvePort(req.Router, req.Port)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -952,16 +1051,25 @@ func (s *Server) handleStreamStart(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	id := s.nextStream
 	s.nextStream++
-	s.streams[id] = st
+	s.streams[id] = &ownedStream{st: st, tenant: callerOf(r).Tenant}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, StreamStatus{ID: id, Running: true})
 }
 
-func (s *Server) stream(id uint64) (*routeserver.Stream, bool) {
+// stream resolves a stream handle the caller may access (see capture).
+func (s *Server) stream(w http.ResponseWriter, r *http.Request, id uint64) (*routeserver.Stream, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, ok := s.streams[id]
-	return st, ok
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no stream %d", id))
+		return nil, false
+	}
+	if p := callerOf(r); !p.mayAccess(st.tenant) {
+		writeError(w, http.StatusForbidden, fmt.Errorf("stream %d is not owned by tenant %q", id, p.Tenant))
+		return nil, false
+	}
+	return st.st, true
 }
 
 func (s *Server) handleStreamStatus(w http.ResponseWriter, r *http.Request) {
@@ -970,9 +1078,8 @@ func (s *Server) handleStreamStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad stream id"))
 		return
 	}
-	st, ok := s.stream(id)
+	st, ok := s.stream(w, r, id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no stream %d", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, StreamStatus{ID: id, Sent: st.Sent(), Running: st.Running()})
@@ -986,14 +1093,21 @@ func (s *Server) handleStreamStop(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	st, ok := s.streams[id]
-	delete(s.streams, id)
+	if ok {
+		if p := callerOf(r); !p.mayAccess(st.tenant) {
+			s.mu.Unlock()
+			writeError(w, http.StatusForbidden, fmt.Errorf("stream %d is not owned by tenant %q", id, p.Tenant))
+			return
+		}
+		delete(s.streams, id)
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no stream %d", id))
 		return
 	}
-	st.Stop()
-	writeJSON(w, http.StatusOK, StreamStatus{ID: id, Sent: st.Sent(), Running: false})
+	st.st.Stop()
+	writeJSON(w, http.StatusOK, StreamStatus{ID: id, Sent: st.st.Sent(), Running: false})
 }
 
 // handleFlash loads a firmware version onto a router through its console
@@ -1002,6 +1116,12 @@ func (s *Server) handleFlash(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req FlashRequest
 	if !readJSON(w, r, &req) {
+		return
+	}
+	// Flashing mutates shared hardware through its console: same
+	// ownership gate as console exec.
+	if p := callerOf(r); !p.crossTenant() && !s.routerInTenantLab(p.Tenant, name) {
+		writeError(w, http.StatusForbidden, fmt.Errorf("router %q is not in one of tenant %q's labs", name, p.Tenant))
 		return
 	}
 	if req.Version == "" {

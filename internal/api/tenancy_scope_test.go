@@ -1,0 +1,208 @@
+package api_test
+
+// Tenant scoping on the traffic, firmware, design and idempotency
+// surfaces: every path that can read another tenant's packets, drive a
+// console in another tenant's lab, or replay another tenant's recorded
+// response must be gated on ownership, not just authentication.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/identity"
+)
+
+func want403(t *testing.T, what string, err error) {
+	t.Helper()
+	if err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("%s error = %v, want 403", what, err)
+	}
+}
+
+// TestCrossTenantTrafficEndpointsDenied pins the ownership gates on the
+// traffic plane: a tenant may inject frames, open captures, run streams
+// and flash firmware only on routers inside its own labs, and capture /
+// stream handles stay private to the tenant that opened them.
+func TestCrossTenantTrafficEndpointsDenied(t *testing.T) {
+	c, auth := newTenantCloud(t, identity.Quota{}, 2)
+	acme := tenantClient(t, c, auth, "acme", identity.RoleTenant)
+	rival := tenantClient(t, c, auth, "rival", identity.RoleTenant)
+
+	saveWire(t, acme, "acme-lab", "th0", "th1")
+	reserveNow(t, acme, "", []string{"th0", "th1"}, time.Hour)
+	if err := acme.Deploy(api.DeployRequest{Design: "acme-lab"}); err != nil {
+		t.Fatal(err)
+	}
+
+	frame := make([]byte, 64)
+	want403(t, "cross-tenant generate",
+		rival.Generate(api.GenerateRequest{Router: "th0", Port: "eth0", Frame: frame}))
+	_, err := rival.OpenCapture(api.CaptureRequest{Router: "th0", Port: "eth0"})
+	want403(t, "cross-tenant capture open", err)
+	_, err = rival.StartStream(api.StreamRequest{Router: "th0", Port: "eth0", Frame: frame, PPS: 10, Count: 1})
+	want403(t, "cross-tenant stream start", err)
+	want403(t, "cross-tenant flash", rival.FlashFirmware("th0", "4.2.0"))
+
+	// The owner passes the same gates.
+	if err := acme.Generate(api.GenerateRequest{Router: "th0", Port: "eth0", Frame: frame}); err != nil {
+		t.Fatalf("owner generate: %v", err)
+	}
+	capID, err := acme.OpenCapture(api.CaptureRequest{Router: "th0", Port: "eth0"})
+	if err != nil {
+		t.Fatalf("owner capture open: %v", err)
+	}
+
+	// The rival cannot read, download or close the owner's tap.
+	_, err = rival.ReadCapture(capID, 1, 0)
+	want403(t, "cross-tenant capture read", err)
+	_, err = rival.DownloadPcap(capID, 1, 0)
+	want403(t, "cross-tenant pcap download", err)
+	want403(t, "cross-tenant capture close", rival.CloseCapture(capID))
+	if _, err := acme.ReadCapture(capID, 1, 0); err != nil {
+		t.Fatalf("owner capture read after denied close: %v", err)
+	}
+	if err := acme.CloseCapture(capID); err != nil {
+		t.Fatalf("owner capture close: %v", err)
+	}
+
+	// Same for stream handles.
+	stID, err := acme.StartStream(api.StreamRequest{Router: "th0", Port: "eth0", Frame: frame, PPS: 10, Count: 1})
+	if err != nil {
+		t.Fatalf("owner stream start: %v", err)
+	}
+	_, err = rival.StreamStatus(stID)
+	want403(t, "cross-tenant stream status", err)
+	_, err = rival.StopStream(stID)
+	want403(t, "cross-tenant stream stop", err)
+	if _, err := acme.StopStream(stID); err != nil {
+		t.Fatalf("owner stream stop after denied stop: %v", err)
+	}
+
+	// An operator crosses tenants on all of it.
+	op := tenantClient(t, c, auth, "", identity.RoleOperator)
+	opCap, err := op.OpenCapture(api.CaptureRequest{Router: "th0", Port: "eth0"})
+	if err != nil {
+		t.Fatalf("operator capture open: %v", err)
+	}
+	if err := op.CloseCapture(opCap); err != nil {
+		t.Fatalf("operator capture close: %v", err)
+	}
+}
+
+// TestDesignOwnershipOverAPI pins design tenancy: a tenant's saves stamp
+// its tenant ID, other tenants cannot overwrite/delete the design or
+// drive save-configs console automation through it, and save-configs
+// additionally requires every design router to be in the caller's labs.
+func TestDesignOwnershipOverAPI(t *testing.T) {
+	c, auth := newTenantCloud(t, identity.Quota{}, 2)
+	acme := tenantClient(t, c, auth, "acme", identity.RoleTenant)
+	rival := tenantClient(t, c, auth, "rival", identity.RoleTenant)
+
+	saveWire(t, acme, "acme-lab", "th0", "th1")
+	d, err := acme.GetDesign("acme-lab")
+	if err != nil || d.Tenant != "acme" {
+		t.Fatalf("saved design tenant = %v, %v, want acme", d, err)
+	}
+
+	want403(t, "cross-tenant design overwrite",
+		rival.SaveDesign(&api.Design{Name: "acme-lab", Routers: []string{"th0"}}))
+	want403(t, "cross-tenant design delete", rival.DeleteDesign("acme-lab"))
+	_, err = rival.SaveConfigs("acme-lab")
+	want403(t, "cross-tenant save-configs", err)
+
+	// The owner may update its own design; others' names stay free.
+	saveWire(t, acme, "acme-lab", "th0", "th1")
+	saveWire(t, rival, "rival-lab", "th0", "th1")
+
+	// save-configs needs the routers deployed in the caller's own lab,
+	// not merely a design that names them.
+	_, err = acme.SaveConfigs("acme-lab")
+	want403(t, "save-configs outside own labs", err)
+	reserveNow(t, acme, "", []string{"th0", "th1"}, time.Hour)
+	if err := acme.Deploy(api.DeployRequest{Design: "acme-lab"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acme.SaveConfigs("acme-lab"); err != nil {
+		t.Fatalf("owner save-configs on deployed lab: %v", err)
+	}
+
+	// Operators cross tenants.
+	op := tenantClient(t, c, auth, "", identity.RoleOperator)
+	if err := op.DeleteDesign("acme-lab"); err != nil {
+		t.Fatalf("operator delete: %v", err)
+	}
+}
+
+// TestIdempotencyKeyScopedByTenant pins the idempotency-cache keying: a
+// client-supplied key is scoped to the verified principal, so one
+// tenant reusing another tenant's key neither sees the other's recorded
+// response nor loses its own mutation — while genuine same-principal
+// retries still replay.
+func TestIdempotencyKeyScopedByTenant(t *testing.T) {
+	c, auth := newTenantCloud(t, identity.Quota{}, 1)
+	acmeTok, err := auth.SignFor("acme", identity.RoleTenant, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rivalTok, err := auth.SignFor("rival", identity.RoleTenant, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(token, body string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest("POST", "http://"+c.WebAddr+"/api/reservations", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-RNL-Token", token)
+		req.Header.Set("X-RNL-Idempotency-Key", "shared-key")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+	window := func(startHours int) string {
+		start := time.Now().Add(time.Duration(startHours) * time.Hour).UTC()
+		return fmt.Sprintf(`{"user":"","routers":["th0"],"start":%q,"end":%q}`,
+			start.Format(time.RFC3339), start.Add(time.Hour).Format(time.RFC3339))
+	}
+
+	status, acmeBody := post(acmeTok, window(1))
+	if status != http.StatusOK || !strings.Contains(acmeBody, `"acme"`) {
+		t.Fatalf("acme reserve = %d %q", status, acmeBody)
+	}
+	// The rival's request with the same client key must execute as the
+	// rival's own mutation, not replay acme's recorded response.
+	status, rivalBody := post(rivalTok, window(3))
+	if status != http.StatusOK || !strings.Contains(rivalBody, `"rival"`) {
+		t.Fatalf("rival reserve with reused key = %d %q, want rival's own booking", status, rivalBody)
+	}
+	sched, err := api.NewClient("http://"+c.WebAddr, acmeTok).Schedule("th0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 2 {
+		t.Fatalf("schedule has %d bookings, want 2 (both tenants' mutations executed)", len(sched))
+	}
+	// A genuine retry by the same principal still replays: no third
+	// booking appears.
+	if status, body := post(acmeTok, window(1)); status != http.StatusOK || body != acmeBody {
+		t.Fatalf("acme retry = %d %q, want replay of %q", status, body, acmeBody)
+	}
+	if sched, err = api.NewClient("http://"+c.WebAddr, acmeTok).Schedule("th0"); err != nil || len(sched) != 2 {
+		t.Fatalf("schedule after replay = %v, %v, want the original 2 bookings", sched, err)
+	}
+}

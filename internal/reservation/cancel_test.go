@@ -1,6 +1,7 @@
 package reservation
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -24,5 +25,33 @@ func TestCancelDeletesEmptyRouterKey(t *testing.T) {
 	defer c.mu.Unlock()
 	for router, list := range c.byRouter {
 		t.Errorf("byRouter[%q] still present after cancelling all bookings: %v", router, list)
+	}
+}
+
+// TestCancelOwned pins the atomic check-and-remove: a non-owner's
+// cancel fails with ErrNotOwner and leaves the booking intact, the
+// owner's succeeds, and an unknown ID is a plain not-found (not an
+// ownership error).
+func TestCancelOwned(t *testing.T) {
+	c, _ := newCal()
+	res, err := c.Reserve("alice", []string{"r1"}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := res[0].ID
+	if err := c.CancelOwned(id, "bob"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("non-owner cancel error = %v, want ErrNotOwner", err)
+	}
+	if _, ok := c.Get(id); !ok {
+		t.Fatal("booking vanished after a denied cancel")
+	}
+	if err := c.CancelOwned(id, "alice"); err != nil {
+		t.Fatalf("owner cancel: %v", err)
+	}
+	if _, ok := c.Get(id); ok {
+		t.Fatal("booking survived the owner's cancel")
+	}
+	if err := c.CancelOwned(id, "alice"); err == nil || errors.Is(err, ErrNotOwner) {
+		t.Fatalf("cancel of unknown id error = %v, want plain not-found", err)
 	}
 }

@@ -7,6 +7,7 @@ package reservation
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -153,8 +154,9 @@ func (c *Calendar) outstandingHoursLocked(user string) float64 {
 	return total
 }
 
-// Get returns a booking by ID — the ownership lookup the API's
-// tenant-scoped cancel uses.
+// Get returns a booking by ID. Note it cannot substitute for
+// CancelOwned's atomic check-and-remove: a Get-then-Cancel pair races
+// with concurrent mutations.
 func (c *Calendar) Get(id uint64) (Reservation, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -168,31 +170,61 @@ func (c *Calendar) Get(id uint64) (Reservation, bool) {
 	return Reservation{}, false
 }
 
+// ErrNotOwner marks a CancelOwned attempt on a booking held by someone
+// else; callers distinguish it (403) from an unknown ID (404).
+var ErrNotOwner = errors.New("reservation: not the owner")
+
 // Cancel removes a booking by ID.
 func (c *Calendar) Cancel(id uint64) error {
 	err := func() error {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		for router, list := range c.byRouter {
-			for i, r := range list {
-				if r.ID == id {
-					if len(list) == 1 {
-						// Last booking: drop the key too, or routers that were
-						// ever cancelled leak map entries forever.
-						delete(c.byRouter, router)
-					} else {
-						c.byRouter[router] = append(list[:i], list[i+1:]...)
-					}
-					return nil
-				}
-			}
-		}
-		return fmt.Errorf("reservation: no reservation %d", id)
+		return c.cancelLocked(id, nil)
 	}()
 	if err == nil {
 		c.mutated()
 	}
 	return err
+}
+
+// CancelOwned removes a booking by ID only when it is held by user. The
+// ownership check and the removal happen under one hold of the calendar
+// lock, so a concurrent cancel/re-reserve cannot slip between them (the
+// Get-then-Cancel TOCTOU a caller-side check would have).
+func (c *Calendar) CancelOwned(id uint64, user string) error {
+	err := func() error {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.cancelLocked(id, &user)
+	}()
+	if err == nil {
+		c.mutated()
+	}
+	return err
+}
+
+// cancelLocked removes a booking, optionally verifying its holder first.
+// Caller holds c.mu.
+func (c *Calendar) cancelLocked(id uint64, owner *string) error {
+	for router, list := range c.byRouter {
+		for i, r := range list {
+			if r.ID != id {
+				continue
+			}
+			if owner != nil && r.User != *owner {
+				return fmt.Errorf("reservation %d is not held by %q: %w", id, *owner, ErrNotOwner)
+			}
+			if len(list) == 1 {
+				// Last booking: drop the key too, or routers that were
+				// ever cancelled leak map entries forever.
+				delete(c.byRouter, router)
+			} else {
+				c.byRouter[router] = append(list[:i], list[i+1:]...)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("reservation: no reservation %d", id)
 }
 
 // Schedule returns a router's bookings from now on, sorted by start.

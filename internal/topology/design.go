@@ -28,8 +28,12 @@ type Link struct {
 
 // Design is a saved test lab layout.
 type Design struct {
-	Name    string            `json:"name"`
-	Owner   string            `json:"owner,omitempty"`
+	Name  string `json:"name"`
+	Owner string `json:"owner,omitempty"`
+	// Tenant is the owning tenant the API stamps when a tenant-role
+	// caller saves the design; empty means unowned (pre-tenancy or
+	// operator-saved). Save/delete/save-configs are scoped to it.
+	Tenant  string            `json:"tenant,omitempty"`
 	Routers []string          `json:"routers"` // inventory names on the design plane
 	Links   []Link            `json:"links"`
 	Configs map[string]string `json:"configs,omitempty"` // router → saved running-config
