@@ -9,18 +9,21 @@ verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/... ./internal/detsim/... ./internal/identity/...
+	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/... ./internal/detsim/... ./internal/identity/... ./internal/wal/...
 	$(GO) test -run '^$$' -bench ForwardFastPath -benchtime 1x ./internal/routeserver/
 	$(GO) test -count=1 -run 'Datagram|Dgram' . ./internal/wire/ ./internal/detsim/
 	$(GO) test -count=1 -run 'AuthenticatedDeployEndToEnd|MultiTenant' ./internal/api/ ./internal/detsim/
 	$(MAKE) sim
 
-# Deterministic cluster simulation: the pinned seed corpus plus
-# SIM_SEEDS fresh random seeds (a failure prints the seed; replay it
-# exactly with DETSIM_SEED=<seed> go test ./internal/detsim/ -run RandomSeeds).
+# Deterministic cluster simulation: the pinned seed corpus — including
+# the crash-point scenario (TestCrashPointScenario, pinned seed 4242:
+# kill-without-checkpoint + torn log tail, byte-identical replay) —
+# plus SIM_SEEDS fresh random seeds (a failure prints the seed; replay
+# it exactly with DETSIM_SEED=<seed> go test ./internal/detsim/ -run RandomSeeds).
 SIM_SEEDS ?= 10
 sim:
 	$(GO) test -count=1 ./internal/detsim/
+	$(GO) test -count=1 -run CrashPointScenario ./internal/detsim/
 	DETSIM_RANDOM=$(SIM_SEEDS) $(GO) test -count=1 -run RandomSeeds ./internal/detsim/
 
 build:
@@ -30,7 +33,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/... ./internal/identity/...
+	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/... ./internal/identity/... ./internal/wal/...
 
 # Overload/chaos soaks: the fair-share shedding and admission round-trip
 # tests, race-instrumented and repeated to shake out ordering flakes.

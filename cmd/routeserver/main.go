@@ -6,8 +6,9 @@
 //
 //	routeserver [-tunnel :9000] [-http :8080] [-compress] [-datagram] [-dgram-mtu N]
 //	            [-token T] [-tunnel-token T] [-auth-secret S] [-api-keys K=T:R,...]
-//	            [-tenant-max-labs N] [-tenant-reservation-hours H]
-//	            [-state DIR] [-grace 60s]
+//	            [-auth-revoke-before RFC3339] [-tenant-max-labs N]
+//	            [-tenant-reservation-hours H] [-state DIR] [-grace 60s]
+//	            [-wal-fsync always|none|100ms] [-wal-max-bytes N]
 //
 // The API token may also come from the RNL_TOKEN environment variable
 // (the -token flag wins), keeping the secret off argv.
@@ -31,6 +32,7 @@ import (
 	"rnl/internal/routeserver"
 	"rnl/internal/sim"
 	"rnl/internal/topology"
+	"rnl/internal/wal"
 )
 
 func main() {
@@ -48,6 +50,9 @@ func main() {
 		maxResHrs  = flag.Float64("tenant-reservation-hours", 0, "default per-tenant cap on outstanding reserved router-hours (0 = unlimited)")
 		storeDir   = flag.String("store", "", "directory for persisted designs (default <state>/designs when -state is set, else memory only)")
 		stateDir   = flag.String("state", "", "directory for durable control-plane state: deployments, inventory, reservations (empty = volatile)")
+		walFsync   = flag.String("wal-fsync", "always", "mutation-log fsync policy: always, none, or a flush interval like 100ms")
+		walMax     = flag.Int64("wal-max-bytes", 0, "rotate the mutation log into an incremental snapshot once it exceeds this size (0 = default 1 MiB)")
+		revokeStr  = flag.String("auth-revoke-before", "", "reject bearer tokens issued before this RFC3339 instant (requires -auth-secret; also settable at runtime via POST /api/auth/revoke-before)")
 		grace      = flag.Duration("grace", routeserver.DefaultRouterGracePeriod, "how long a disconnected RIS keeps its identity and labs before GC (0 = drop immediately)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 
@@ -97,6 +102,23 @@ func main() {
 		log.Error("-api-keys requires -auth-secret")
 		os.Exit(1)
 	}
+	if *revokeStr != "" {
+		if ident == nil {
+			log.Error("-auth-revoke-before requires -auth-secret")
+			os.Exit(1)
+		}
+		cutoff, err := time.Parse(time.RFC3339, *revokeStr)
+		if err != nil {
+			log.Error("bad -auth-revoke-before; want RFC3339", "err", err)
+			os.Exit(1)
+		}
+		ident.SetRevokeBefore(cutoff)
+	}
+	fsyncPolicy, fsyncInterval, err := wal.ParsePolicy(*walFsync)
+	if err != nil {
+		log.Error("bad -wal-fsync", "err", err)
+		os.Exit(1)
+	}
 	var quotas *identity.Quotas
 	if *maxLabs > 0 || *maxResHrs > 0 {
 		quotas = identity.NewQuotas(identity.Quota{MaxConcurrentLabs: *maxLabs, ReservationHours: *maxResHrs})
@@ -132,6 +154,9 @@ func main() {
 		Logger:            log,
 		RouterGracePeriod: graceOpt,
 		StateDir:          *stateDir,
+		WALFsync:          fsyncPolicy,
+		WALFsyncInterval:  fsyncInterval,
+		WALMaxBytes:       *walMax,
 		LabRateLimit:      *labPPS,
 		LabRateBurst:      *labBurst,
 		TunnelToken:       tunnelToken,
@@ -148,16 +173,27 @@ func main() {
 		os.Exit(1)
 	}
 	cal := reservation.New(sim.Real{})
+	var calStore *wal.Store
 	if *stateDir != "" {
-		calPath := filepath.Join(*stateDir, "reservations.json")
-		if err := cal.LoadFile(calPath); err != nil {
-			log.Warn("reservation reload failed; starting empty", "path", calPath, "err", err)
+		// The calendar gets the same crash-consistency treatment as the
+		// route server: snapshot + append-ahead log instead of a full
+		// rewrite on every mutation. An unreadable snapshot or log is
+		// downgraded to a warning — scheduling continues from memory.
+		calStore, err = wal.OpenStore(
+			filepath.Join(*stateDir, "reservations.json"),
+			filepath.Join(*stateDir, "reservations.wal"),
+			wal.Options{Policy: fsyncPolicy, Interval: fsyncInterval, MaxBytes: *walMax},
+		)
+		if err != nil {
+			log.Warn("reservation store failed; calendar is volatile", "err", err)
+			calStore = nil
+		} else if err := cal.AttachStore(calStore, func(err error) {
+			log.Warn("reservation persist failed", "err", err)
+		}); err != nil {
+			log.Warn("reservation recovery failed; calendar is volatile", "err", err)
+			calStore.Close()
+			calStore = nil
 		}
-		cal.OnMutate(func() {
-			if err := cal.SaveFile(calPath); err != nil {
-				log.Warn("reservation persist failed", "path", calPath, "err", err)
-			}
-		})
 	}
 	web := api.NewServer(api.Config{
 		RouteServer:    rs,
@@ -189,4 +225,12 @@ func main() {
 	log.Info("shutting down")
 	web.Close()
 	rs.Close()
+	if calStore != nil {
+		// Fold the reservation log into a final snapshot so the next boot
+		// restores without replay.
+		if err := cal.Checkpoint(calStore); err != nil {
+			log.Warn("reservation final checkpoint failed", "err", err)
+		}
+		calStore.Close()
+	}
 }

@@ -242,6 +242,14 @@ func (c *Client) WhoAmI() (WhoAmIResponse, error) {
 	return out, err
 }
 
+// RevokeTokensBefore sets (or, with a zero request, clears) the
+// token-revocation cutoff. Admin-only.
+func (c *Client) RevokeTokensBefore(req RevokeBeforeRequest) (RevokeBeforeResponse, error) {
+	var out RevokeBeforeResponse
+	err := c.do("POST", "/api/auth/revoke-before", req, &out)
+	return out, err
+}
+
 // Inventory lists registered routers.
 func (c *Client) Inventory() ([]RouterInfo, error) {
 	var out []RouterInfo

@@ -1,0 +1,134 @@
+package api_test
+
+// Crash-consistency surfaces at the API layer: /healthz flips its
+// degraded flag when the route server's mutation log stops accepting
+// appends, and the admin revoke-before endpoint cuts off leaked bearer
+// tokens without a secret rotation.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/faultinject"
+	"rnl/internal/identity"
+	"rnl/internal/lab"
+	"rnl/internal/sim"
+	"rnl/internal/wal"
+)
+
+func getHealth(t *testing.T, addr string) (h struct {
+	Listening   bool   `json:"listening"`
+	Degraded    bool   `json:"degraded"`
+	StateErrors uint32 `json:"state_errors"`
+}) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHealthzDegradedOnWALFailures(t *testing.T) {
+	// A healthy persistent cloud is not degraded.
+	ok := newTestCloud(t, lab.Options{StateDir: t.TempDir()})
+	if _, _, err := ok.AddHost("dg-ok", "10.31.0.1/24", ""); err != nil {
+		t.Fatal(err)
+	}
+	if h := getHealth(t, ok.WebAddr); h.Degraded || h.StateErrors != 0 {
+		t.Fatalf("healthy cloud healthz = %+v, want not degraded", h)
+	}
+
+	// Same cloud shape, but every write to the state dir fails: after
+	// DegradedAfterFailures consecutive journal appends fail, /healthz
+	// must say so — mutations are still acked from memory, and the
+	// operator learns durability is gone from the probe, not from the
+	// next crash.
+	disk := faultinject.NewDisk(wal.OSFS{})
+	disk.FailWrites(errors.New("injected: disk full"))
+	c := newTestCloud(t, lab.Options{StateDir: t.TempDir(), WALFS: disk})
+	for i, name := range []string{"dg-h1", "dg-h2", "dg-h3"} {
+		if _, _, err := c.AddHost(name, "10.32.0."+string(rune('1'+i))+"/24", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := getHealth(t, c.WebAddr)
+	if !h.Degraded {
+		t.Fatalf("healthz after %d failed appends = %+v, want degraded", 3, h)
+	}
+	if h.StateErrors < 3 {
+		t.Fatalf("state_errors = %d, want >= 3", h.StateErrors)
+	}
+	if !h.Listening {
+		t.Error("degraded must not imply dead: listening should stay true")
+	}
+}
+
+func TestRevokeBeforeEndpoint(t *testing.T) {
+	// The authority runs on a fake clock so issued-at timestamps are
+	// exact; the rest of the cloud stays on wall time.
+	t0 := time.Unix(1_700_000_000, 0)
+	clk := sim.NewFake(t0)
+	auth, err := identity.New([]byte("test-signing-secret"), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCloud(t, lab.Options{Identity: auth, TunnelToken: "tunnel-secret"})
+
+	leaked := tenantClient(t, c, auth, "acme", identity.RoleTenant)
+	if _, err := leaked.WhoAmI(); err != nil {
+		t.Fatalf("fresh token rejected: %v", err)
+	}
+
+	// An hour later the token turns up in a pastebin.
+	clk.Advance(time.Hour)
+	admin := tenantClient(t, c, auth, "", identity.RoleAdmin)
+	operator := tenantClient(t, c, auth, "ops", identity.RoleOperator)
+
+	// Revocation is admin-only: even an operator is refused.
+	if _, err := operator.RevokeTokensBefore(api.RevokeBeforeRequest{Now: true}); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("operator revoke error = %v, want 403", err)
+	}
+
+	// Admin cuts off everything minted before half past the hour.
+	cutoff := t0.Add(30 * time.Minute)
+	resp, err := admin.RevokeTokensBefore(api.RevokeBeforeRequest{Before: cutoff.UTC().Format(time.RFC3339)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Before == "" {
+		t.Fatalf("revoke response = %+v, want echoed cutoff", resp)
+	}
+	if _, err := leaked.WhoAmI(); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("leaked token after revocation: err = %v, want 401", err)
+	}
+	// Tokens minted after the cutoff (the admin's own, and any fresh
+	// tenant login) keep working.
+	if _, err := admin.WhoAmI(); err != nil {
+		t.Fatalf("admin token after revocation: %v", err)
+	}
+	fresh := tenantClient(t, c, auth, "acme", identity.RoleTenant)
+	if who, err := fresh.WhoAmI(); err != nil || who.Tenant != "acme" {
+		t.Fatalf("fresh token after revocation = %+v, %v", who, err)
+	}
+
+	// Clearing the cutoff (empty request) restores the old token.
+	if resp, err := admin.RevokeTokensBefore(api.RevokeBeforeRequest{}); err != nil || resp.Before != "" {
+		t.Fatalf("clear revoke = %+v, %v, want empty cutoff", resp, err)
+	}
+	if _, err := leaked.WhoAmI(); err != nil {
+		t.Fatalf("old token after clearing cutoff: %v", err)
+	}
+}

@@ -266,6 +266,7 @@ func (s *Server) Handler() http.Handler {
 
 	mux.HandleFunc("POST /api/console/exec", mutate(s.handleConsoleExec))
 	mux.HandleFunc("POST /api/routers/{name}/firmware", mutate(s.handleFlash))
+	mux.HandleFunc("POST /api/auth/revoke-before", mutate(s.handleRevokeBefore))
 	mux.HandleFunc("GET /api/console/raw/{name}", s.auth(s.handleConsoleRaw))
 
 	mux.HandleFunc("GET /", s.handleIndex)
@@ -1156,6 +1157,46 @@ func (s *Server) handleFlash(w http.ResponseWriter, r *http.Request) {
 	}
 	s.rs.SetRouterFirmware(name, req.Version)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRevokeBefore sets (or clears) the authority-level token
+// revocation cutoff: every bearer token issued before the cutoff stops
+// verifying — the kill switch for a leaked token, no secret rotation
+// required. Admin-only: revocation affects every principal at once.
+func (s *Server) handleRevokeBefore(w http.ResponseWriter, r *http.Request) {
+	if p := callerOf(r); !p.Role.AtLeast(identity.RoleAdmin) {
+		writeError(w, http.StatusForbidden, fmt.Errorf("token revocation requires the admin role"))
+		return
+	}
+	if s.ident == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("identity layer not configured (-auth-secret unset)"))
+		return
+	}
+	var req RevokeBeforeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var cutoff time.Time
+	switch {
+	case req.Now:
+		cutoff = s.clock.Now()
+	case req.Before != "":
+		t, err := time.Parse(time.RFC3339, req.Before)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad before timestamp (want RFC3339): %w", err))
+			return
+		}
+		cutoff = t
+	default:
+		// Neither field set: clear the cutoff (zero time).
+	}
+	s.ident.SetRevokeBefore(cutoff)
+	resp := RevokeBeforeResponse{}
+	if got := s.ident.RevokeBefore(); !got.IsZero() {
+		resp.Before = got.UTC().Format(time.RFC3339)
+	}
+	s.log.Info("token revocation cutoff updated", "before", resp.Before)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- console ---------------------------------------------------------------------

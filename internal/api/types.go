@@ -109,6 +109,19 @@ type FlashRequest struct {
 	Version string `json:"version"`
 }
 
+// RevokeBeforeRequest sets the token-revocation cutoff: tokens issued
+// before the cutoff stop verifying. Now uses the server clock; Before
+// takes an explicit RFC3339 instant. Neither set clears the cutoff.
+type RevokeBeforeRequest struct {
+	Before string `json:"before,omitempty"`
+	Now    bool   `json:"now,omitempty"`
+}
+
+// RevokeBeforeResponse echoes the cutoff now in force ("" = none).
+type RevokeBeforeResponse struct {
+	Before string `json:"before,omitempty"`
+}
+
 // ErrorResponse is the uniform error body.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"rnl/internal/ris"
 	"rnl/internal/routeserver"
 	"rnl/internal/sim"
+	"rnl/internal/wal"
 )
 
 // Cluster timing constants. Everything virtual runs on the fake clock;
@@ -86,6 +89,13 @@ type cluster struct {
 	lossEveryN int
 	lossCtr    atomic.Uint64
 
+	// crash switches restarts to crash-restarts: kill without a final
+	// checkpoint, tear the mutation log's tail with crashRng-seeded junk,
+	// recover by replay. crashRng is its own seeded stream so torn-tail
+	// shapes replay exactly without consuming the scenario's draws.
+	crash    bool
+	crashRng *rand.Rand
+
 	// recoveriesWant is how many session recoveries the current server
 	// incarnation must have seen for the cluster to be settled (reset to
 	// zero by a restart, bumped by len(hosts) per flap/restart).
@@ -101,7 +111,7 @@ func discardLogger() *slog.Logger {
 }
 
 func (c *cluster) serverOptions() routeserver.Options {
-	return routeserver.Options{
+	o := routeserver.Options{
 		Logger: discardLogger(),
 		Clock:  c.clock,
 		// Dead-peer detection off: the scenario advances virtual time in
@@ -117,6 +127,14 @@ func (c *cluster) serverOptions() routeserver.Options {
 		Datagram:          c.datagram,
 		DatagramLoss:      c.dgramLoss(),
 	}
+	if c.crash {
+		// Crash runs want durable-before-ack journaling (fsync-always is
+		// the zero value, spelled out here) and a rotation threshold small
+		// enough that incremental snapshots fire mid-scenario.
+		o.WALFsync = wal.SyncAlways
+		o.WALMaxBytes = 4096
+	}
+	return o
 }
 
 // dgramLoss builds the deterministic loss hook: every lossEveryN-th
@@ -143,7 +161,11 @@ func startCluster(clock *sim.Fake, stateDir string, sc Scenario) (*cluster, erro
 		stateDir:   stateDir,
 		datagram:   sc.Datagram,
 		lossEveryN: sc.DatagramLossEveryN,
+		crash:      sc.Crash,
 		cum:        map[string]uint64{},
+	}
+	if c.crash {
+		c.crashRng = rand.New(rand.NewSource(sc.Seed ^ 0x5eed))
 	}
 	n := sc.Hosts
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -289,7 +311,20 @@ func (c *cluster) flap() (int, error) {
 // the clock the new listener is ready.
 func (c *cluster) restart() error {
 	c.accumulate()
-	c.srv.Close()
+	if c.crash {
+		// Crash, don't close: no final checkpoint, no fsync on the way
+		// down. Then tear the log's tail the way a power cut mid-append
+		// would — an impossible length prefix plus seeded junk — so
+		// recovery must detect and truncate it before replaying.
+		c.srv.Kill()
+		junk := make([]byte, 1+c.crashRng.Intn(64))
+		c.crashRng.Read(junk)
+		if err := faultinject.TornTail(filepath.Join(c.stateDir, routeserver.WALFile), junk); err != nil {
+			return fmt.Errorf("detsim: tearing log tail: %w", err)
+		}
+	} else {
+		c.srv.Close()
+	}
 	c.srv = routeserver.New(c.serverOptions())
 	var (
 		ln  net.Listener

@@ -96,6 +96,14 @@ type Scenario struct {
 	// a deterministic loss schedule (a counter, not a coin flip), so
 	// lossy runs still produce byte-identical logs.
 	DatagramLossEveryN int
+	// Crash makes every OpRestart a crash-restart instead of a graceful
+	// one: the server is killed without a final checkpoint, the mutation
+	// log's tail is torn (a seeded partial record, as if power died
+	// mid-append), and the next incarnation must recover by snapshot
+	// restore plus ordered log replay. The server runs with fsync-always
+	// and a tiny rotation threshold so the run also exercises incremental
+	// snapshots mid-scenario.
+	Crash bool
 	// Tenants > 0 runs the scenario multi-tenant: deployed labs are
 	// assigned round-robin to t0..t(Tenants-1), deploys go through
 	// DeployLab with the tenant recorded, and two extra invariant
@@ -589,7 +597,12 @@ func (r *runner) opFlap(i int) error {
 }
 
 func (r *runner) opRestart(i int) error {
-	r.log.Info("step", "i", i, "op", "restart")
+	if r.sc.Crash {
+		r.log.Info("step", "i", i, "op", "restart", "crash", true)
+		r.sometimes["crash"] = true
+	} else {
+		r.log.Info("step", "i", i, "op", "restart")
+	}
 	if err := r.cl.restart(); err != nil {
 		return r.violation(i, OpRestart, "%v", err)
 	}

@@ -1,0 +1,218 @@
+package faultinject
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+
+	"rnl/internal/wal"
+)
+
+// Disk is a wal.FS that injects storage faults: write errors, short
+// (torn) writes, fsync failures — one-shot, persistent, or every Nth —
+// and rename failures. The zero value passes everything through to the
+// real filesystem; arm faults from tests, then clear them with the
+// same setter and a nil error / zero count.
+type Disk struct {
+	// Inner is the wrapped filesystem; nil means wal.OSFS{}.
+	Inner wal.FS
+
+	mu         sync.Mutex
+	writeErr   error
+	shortWrite int // if >0 with writeErr set: write this many bytes before failing
+	syncErr    error
+	syncEveryN int // if >0: every Nth fsync fails (independent of syncErr)
+	renameErr  error
+
+	writes  int
+	syncs   int
+	renames int
+}
+
+// NewDisk wraps inner (nil for the OS filesystem).
+func NewDisk(inner wal.FS) *Disk {
+	if inner == nil {
+		inner = wal.OSFS{}
+	}
+	return &Disk{Inner: inner}
+}
+
+// FailWrites makes every file write fail with err (nil clears).
+func (d *Disk) FailWrites(err error) {
+	d.mu.Lock()
+	d.writeErr = err
+	d.shortWrite = 0
+	d.mu.Unlock()
+}
+
+// ShortWrites makes every file write persist only the first n bytes
+// and then fail with err — the torn tail a power loss mid-write
+// leaves. err must be non-nil; FailWrites(nil) clears.
+func (d *Disk) ShortWrites(n int, err error) {
+	d.mu.Lock()
+	d.writeErr = err
+	d.shortWrite = n
+	d.mu.Unlock()
+}
+
+// FailFsync makes every fsync fail with err (nil clears).
+func (d *Disk) FailFsync(err error) {
+	d.mu.Lock()
+	d.syncErr = err
+	d.syncEveryN = 0
+	d.mu.Unlock()
+}
+
+// FailEveryNthFsync makes every Nth fsync (counting from the next one)
+// fail with err. n <= 0 clears.
+func (d *Disk) FailEveryNthFsync(n int, err error) {
+	d.mu.Lock()
+	d.syncEveryN = n
+	d.syncErr = err
+	d.mu.Unlock()
+}
+
+// FailRenames makes every rename fail with err (nil clears).
+func (d *Disk) FailRenames(err error) {
+	d.mu.Lock()
+	d.renameErr = err
+	d.mu.Unlock()
+}
+
+// Counts returns how many writes, fsyncs and renames were attempted.
+func (d *Disk) Counts() (writes, syncs, renames int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes, d.syncs, d.renames
+}
+
+func (d *Disk) inner() wal.FS {
+	if d.Inner == nil {
+		return wal.OSFS{}
+	}
+	return d.Inner
+}
+
+func (d *Disk) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	f, err := d.inner().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &diskFile{File: f, d: d}, nil
+}
+
+func (d *Disk) ReadFile(name string) ([]byte, error) { return d.inner().ReadFile(name) }
+
+func (d *Disk) Rename(oldpath, newpath string) error {
+	d.mu.Lock()
+	d.renames++
+	err := d.renameErr
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return d.inner().Rename(oldpath, newpath)
+}
+
+func (d *Disk) Remove(name string) error                    { return d.inner().Remove(name) }
+func (d *Disk) MkdirAll(path string, perm os.FileMode) error { return d.inner().MkdirAll(path, perm) }
+
+func (d *Disk) SyncDir(dir string) error {
+	if err := d.syncFault(); err != nil {
+		return err
+	}
+	return d.inner().SyncDir(dir)
+}
+
+// syncFault counts an fsync attempt and returns the injected error, if
+// any, for this attempt.
+func (d *Disk) syncFault() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncs++
+	if d.syncEveryN > 0 {
+		if d.syncs%d.syncEveryN == 0 {
+			return d.syncErr
+		}
+		return nil
+	}
+	return d.syncErr
+}
+
+type diskFile struct {
+	wal.File
+	d *Disk
+}
+
+func (f *diskFile) Write(p []byte) (int, error) {
+	f.d.mu.Lock()
+	f.d.writes++
+	werr := f.d.writeErr
+	short := f.d.shortWrite
+	f.d.mu.Unlock()
+	if werr != nil {
+		if short > 0 && short < len(p) {
+			n, _ := f.File.Write(p[:short])
+			return n, werr
+		}
+		if short > 0 {
+			// Short-write limit exceeds this write: persist it all but
+			// still fail, as if power died after the write hit cache.
+			n, _ := f.File.Write(p)
+			return n, werr
+		}
+		return 0, werr
+	}
+	return f.File.Write(p)
+}
+
+// WriteAt passes through positioned writes (used by the log's append
+// path) with the same fault model as Write.
+func (f *diskFile) WriteAt(p []byte, off int64) (int, error) {
+	type writerAt interface {
+		WriteAt(p []byte, off int64) (int, error)
+	}
+	wa, ok := f.File.(writerAt)
+	if !ok {
+		return f.Write(p)
+	}
+	f.d.mu.Lock()
+	f.d.writes++
+	werr := f.d.writeErr
+	short := f.d.shortWrite
+	f.d.mu.Unlock()
+	if werr != nil {
+		if short > 0 && short < len(p) {
+			n, _ := wa.WriteAt(p[:short], off)
+			return n, werr
+		}
+		if short > 0 {
+			n, _ := wa.WriteAt(p, off)
+			return n, werr
+		}
+		return 0, werr
+	}
+	return wa.WriteAt(p, off)
+}
+
+func (f *diskFile) Sync() error {
+	if err := f.d.syncFault(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+// TornTail appends garbage bytes that can never parse as a valid WAL
+// record (the length field is all-ones) directly to path, simulating
+// the torn tail a crash leaves mid-append.
+func TornTail(path string, junk []byte) error {
+	f, err := os.OpenFile(filepath.Clean(path), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append([]byte{0xff, 0xff, 0xff, 0xff}, junk...)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

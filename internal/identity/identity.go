@@ -86,6 +86,12 @@ type Claims struct {
 	// Expiry is the token's expiration as Unix seconds; zero means the
 	// token never expires (API keys, long-lived automation).
 	Expiry int64 `json:"exp,omitempty"`
+	// IssuedAt is the mint time as Unix seconds, stamped by Sign. The
+	// revocation not-before (SetRevokeBefore) compares against it, so
+	// tokens minted before a leak can be cut off without rotating the
+	// signing secret. Zero (tokens minted by pre-revocation builds) is
+	// treated as older than any not-before.
+	IssuedAt int64 `json:"iat,omitempty"`
 }
 
 // Verification errors. Verify returns ErrBadToken for anything malformed
@@ -94,6 +100,7 @@ type Claims struct {
 var (
 	ErrBadToken = errors.New("identity: invalid token")
 	ErrExpired  = errors.New("identity: token expired")
+	ErrRevoked  = errors.New("identity: token revoked")
 )
 
 // tokenPrefix versions the wire format: "rnl1." + base64url(claims JSON)
@@ -108,6 +115,11 @@ type Authority struct {
 
 	mu      sync.RWMutex
 	apiKeys map[string]Claims
+	// revokeBefore, when non-zero, rejects every bearer token issued
+	// before it (Unix seconds). API keys are unaffected: they are
+	// registered at startup, not minted, so a leaked key is revoked by
+	// restarting without it.
+	revokeBefore int64
 }
 
 // New builds an Authority from a signing secret. clock drives expiry
@@ -138,6 +150,9 @@ func (a *Authority) mac(payload []byte) []byte {
 func (a *Authority) Sign(c Claims) (string, error) {
 	if !c.Role.Valid() {
 		return "", fmt.Errorf("identity: unknown role %q", c.Role)
+	}
+	if c.IssuedAt == 0 {
+		c.IssuedAt = a.clock.Now().Unix()
 	}
 	payload, err := json.Marshal(c)
 	if err != nil {
@@ -191,7 +206,39 @@ func (a *Authority) Verify(token string) (Claims, error) {
 	if c.Expiry != 0 && !a.clock.Now().Before(time.Unix(c.Expiry, 0)) {
 		return Claims{}, ErrExpired
 	}
+	if nb := a.notBefore(); nb != 0 && c.IssuedAt < nb {
+		return Claims{}, ErrRevoked
+	}
 	return c, nil
+}
+
+// SetRevokeBefore invalidates every bearer token issued before t —
+// the kill switch for a leaked token, no secret rotation required.
+// Tokens minted at or after t (including ones minted from now on)
+// keep working; the zero time clears the cutoff. API keys are not
+// affected (see Authority.revokeBefore).
+func (a *Authority) SetRevokeBefore(t time.Time) {
+	a.mu.Lock()
+	if t.IsZero() {
+		a.revokeBefore = 0
+	} else {
+		a.revokeBefore = t.Unix()
+	}
+	a.mu.Unlock()
+}
+
+// RevokeBefore returns the current revocation cutoff (zero when unset).
+func (a *Authority) RevokeBefore() time.Time {
+	if nb := a.notBefore(); nb != 0 {
+		return time.Unix(nb, 0)
+	}
+	return time.Time{}
+}
+
+func (a *Authority) notBefore() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.revokeBefore
 }
 
 // AddAPIKey registers a static key for automation. The claims must name

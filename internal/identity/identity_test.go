@@ -1,6 +1,8 @@
 package identity
 
 import (
+	"encoding/base64"
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
@@ -174,5 +176,62 @@ func TestResolveToken(t *testing.T) {
 	}
 	if got := ResolveToken("from-flag"); got != "from-flag" {
 		t.Fatalf("flag should win, got %q", got)
+	}
+}
+
+func TestRevocationNotBefore(t *testing.T) {
+	clk := sim.NewFake(time.Unix(1000, 0))
+	a, err := New([]byte("secret"), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldTok, err := a.SignFor("acme", RoleTenant, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddAPIKey("robot-key", Claims{Tenant: "bots", Role: RoleTenant}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The leak is noticed an hour later: cut off everything minted
+	// before "now".
+	clk.Advance(time.Hour)
+	a.SetRevokeBefore(clk.Now())
+
+	if _, err := a.Verify(oldTok); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("pre-cutoff token: err=%v, want ErrRevoked", err)
+	}
+	if _, err := a.VerifyCredential(oldTok); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("pre-cutoff token via VerifyCredential: err=%v, want ErrRevoked", err)
+	}
+	// Tokens minted at/after the cutoff work.
+	newTok, err := a.SignFor("acme", RoleTenant, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err := a.Verify(newTok); err != nil || c.Tenant != "acme" {
+		t.Fatalf("post-cutoff token: claims=%+v err=%v", c, err)
+	}
+	// API keys are registered, not minted — unaffected by the cutoff.
+	if c, err := a.VerifyCredential("robot-key"); err != nil || c.Tenant != "bots" {
+		t.Fatalf("API key after revocation: claims=%+v err=%v", c, err)
+	}
+	// A token with no iat claim (minted by a pre-revocation build) is
+	// treated as older than any cutoff. Sign always stamps iat now, so
+	// craft the legacy token by hand.
+	payload, _ := json.Marshal(Claims{Tenant: "acme", Role: RoleTenant})
+	enc := base64.RawURLEncoding
+	legacy := tokenPrefix + enc.EncodeToString(payload) + "." + enc.EncodeToString(a.mac(payload))
+	if _, err := a.Verify(legacy); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("legacy token without iat: err=%v, want ErrRevoked", err)
+	}
+
+	// Clearing the cutoff restores the old token.
+	a.SetRevokeBefore(time.Time{})
+	if _, err := a.Verify(oldTok); err != nil {
+		t.Fatalf("token after clearing cutoff: %v", err)
+	}
+	if got := a.RevokeBefore(); !got.IsZero() {
+		t.Fatalf("RevokeBefore after clear = %v, want zero", got)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"rnl/internal/routeserver"
 	"rnl/internal/sim"
 	"rnl/internal/topology"
+	"rnl/internal/wal"
 )
 
 // Options tunes a Cloud.
@@ -63,6 +64,17 @@ type Options struct {
 	// timeout. Set routeserver.NoPeerTimeout / ris.NoPeerTimeout (any
 	// negative value) to disable detection under a fake clock.
 	PeerTimeout time.Duration
+	// StateDir persists route-server state (snapshot + append-ahead
+	// mutation log) across restarts; empty means memory-only.
+	StateDir string
+	// WALFS overrides the filesystem the state dir is accessed through
+	// (fault injection in tests); nil means the real OS.
+	WALFS wal.FS
+	// WALFsync / WALMaxBytes tune the mutation log's durability policy
+	// and rotation threshold; zero values mean fsync-always and the
+	// package default threshold.
+	WALFsync    wal.Policy
+	WALMaxBytes int64
 }
 
 // clock resolves the cloud clock (wall time by default).
@@ -112,6 +124,10 @@ func NewCloud(opts Options) (*Cloud, error) {
 		TunnelToken:      tunnelToken,
 		Identity:         opts.Identity,
 		DatagramMTU:      opts.DatagramMTU,
+		StateDir:         opts.StateDir,
+		WALFS:            opts.WALFS,
+		WALFsync:         opts.WALFsync,
+		WALMaxBytes:      opts.WALMaxBytes,
 	})
 	tunnelAddr, err := rs.Listen("127.0.0.1:0")
 	if err != nil {

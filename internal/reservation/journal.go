@@ -1,0 +1,138 @@
+package reservation
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"rnl/internal/wal"
+)
+
+// Record is one journaled calendar mutation. Like the route server's
+// records, each is an absolute assertion — the booked reservations with
+// their assigned IDs, a cancellation by ID, an expiry horizon — so
+// replaying a prefix twice (or a full log over a newer snapshot)
+// converges: re-inserting an existing ID is skipped, re-cancelling a
+// missing ID is a no-op, and expiry is monotone.
+type Record struct {
+	Op     string        `json:"op"` // "reserve" | "cancel" | "expire"
+	Res    []Reservation `json:"res,omitempty"`
+	ID     uint64        `json:"id,omitempty"`
+	Before time.Time     `json:"before,omitempty"`
+}
+
+// recordLocked hands a mutation record to the attached store. Caller
+// holds c.mu — that is the ordering guarantee.
+func (c *Calendar) recordLocked(rec Record) {
+	if c.onRecord != nil {
+		c.onRecord(rec)
+	}
+}
+
+// applyRecord replays one journaled mutation. Caller holds c.mu.
+func (c *Calendar) applyRecordLocked(rec Record) {
+	switch rec.Op {
+	case "reserve":
+		for _, r := range rec.Res {
+			if r.Router == "" || !r.Start.Before(r.End) {
+				continue
+			}
+			if c.existsLocked(r.ID) {
+				continue // already in the snapshot this log overlaps
+			}
+			c.byRouter[r.Router] = insertSorted(c.byRouter[r.Router], r)
+			if r.ID >= c.nextID {
+				c.nextID = r.ID + 1
+			}
+		}
+	case "cancel":
+		c.cancelLocked(rec.ID, nil) //nolint:errcheck // missing ID = already gone
+	case "expire":
+		for router, list := range c.byRouter {
+			keep := list[:0]
+			for _, r := range list {
+				if r.End.After(rec.Before) {
+					keep = append(keep, r)
+				}
+			}
+			if len(keep) == 0 {
+				delete(c.byRouter, router)
+			} else {
+				c.byRouter[router] = keep
+			}
+		}
+	}
+}
+
+func (c *Calendar) existsLocked(id uint64) bool {
+	for _, list := range c.byRouter {
+		for _, r := range list {
+			if r.ID == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AttachStore binds the calendar to a snapshot+log store: it recovers
+// (snapshot restore, then ordered log replay), then journals every
+// subsequent mutation and rotates the log with incremental snapshots
+// once it outgrows the store threshold. onErr (optional) receives
+// journal failures — mutations stay acked from memory, matching the
+// route server's warn-and-continue persistence posture.
+func (c *Calendar) AttachStore(st *wal.Store, onErr func(error)) error {
+	snap, err := st.LoadSnapshot()
+	if err != nil {
+		return fmt.Errorf("reservation: snapshot unreadable: %w", err)
+	}
+	if len(snap) > 0 {
+		var list []Reservation
+		if err := json.Unmarshal(snap, &list); err != nil {
+			return fmt.Errorf("reservation: corrupt calendar snapshot: %w", err)
+		}
+		c.Restore(list)
+	}
+	c.mu.Lock()
+	if _, err := st.Replay(func(_ uint64, payload []byte) error {
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return nil // checksummed but unparseable: skip, keep replaying
+		}
+		c.applyRecordLocked(rec)
+		return nil
+	}); err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("reservation: log replay: %w", err)
+	}
+	c.onRecord = func(rec Record) {
+		data, merr := json.Marshal(rec)
+		if merr == nil {
+			merr = st.Append(data)
+		}
+		if merr != nil && onErr != nil {
+			onErr(merr)
+		}
+	}
+	c.mu.Unlock()
+	// Rotation rides the OnMutate hook (fired outside the lock, so the
+	// Snapshot() below cannot deadlock against c.mu).
+	c.OnMutate(func() {
+		if st.ShouldSnapshot() {
+			if err := c.Checkpoint(st); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	})
+	return nil
+}
+
+// Checkpoint folds the log into an incremental snapshot — called on
+// rotation and at graceful shutdown.
+func (c *Calendar) Checkpoint(st *wal.Store) error {
+	data, err := json.MarshalIndent(c.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return st.Snapshot(data)
+}

@@ -1,0 +1,126 @@
+package reservation
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"rnl/internal/sim"
+	"rnl/internal/wal"
+)
+
+func openCalStore(t *testing.T, dir string, maxBytes int64) *wal.Store {
+	t.Helper()
+	st, err := wal.OpenStore(
+		filepath.Join(dir, "reservations.json"),
+		filepath.Join(dir, "reservations.wal"),
+		wal.Options{MaxBytes: maxBytes},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestCalendarJournalRoundTrip drives reserve / cancel / expire through
+// an attached store, "crashes" (no checkpoint, log only), and recovers
+// a second calendar purely by replay: the schedules must match exactly.
+func TestCalendarJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(10_000, 0).UTC()
+	clk := sim.NewFake(t0)
+
+	c1 := New(clk)
+	st1 := openCalStore(t, dir, 0)
+	if err := c1.AttachStore(st1, func(err error) { t.Errorf("journal error: %v", err) }); err != nil {
+		t.Fatal(err)
+	}
+	kept, err := c1.Reserve("alice", []string{"r1", "r2"}, t0, t0.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := c1.Reserve("bob", []string{"r3"}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Cancel(doomed[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	// A short stale booking, then expire it.
+	if _, err := c1.Reserve("carol", []string{"r4"}, t0.Add(-2*time.Hour), t0.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(30 * time.Minute)
+	if n := c1.ExpireBefore(clk.Now()); n != 1 {
+		t.Fatalf("expired %d reservations, want 1", n)
+	}
+	want := c1.Snapshot()
+	st1.CloseNoSync() // crash: snapshot file never written
+
+	c2 := New(clk)
+	st2 := openCalStore(t, dir, 0)
+	defer st2.Close()
+	if err := c2.AttachStore(st2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed calendar diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+	// The replayed calendar allocates fresh IDs past every replayed one,
+	// and still sees the surviving bookings as conflicts.
+	if _, err := c2.Reserve("dave", []string{"r1"}, t0.Add(time.Hour), t0.Add(3*time.Hour)); err == nil {
+		t.Fatal("conflicting reservation accepted after replay")
+	}
+	more, err := c2.Reserve("dave", []string{"r5"}, t0.Add(time.Hour), t0.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more[0].ID <= kept[1].ID {
+		t.Fatalf("post-replay ID %d not past replayed IDs (max %d)", more[0].ID, kept[1].ID)
+	}
+}
+
+// TestCalendarLogRotation books enough reservations to push the log
+// past a tiny rotation threshold: the store must fold the log into a
+// snapshot, and recovery afterwards restores from snapshot + short log.
+func TestCalendarLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Unix(50_000, 0).UTC()
+	clk := sim.NewFake(t0)
+
+	c1 := New(clk)
+	st1 := openCalStore(t, dir, 512)
+	if err := c1.AttachStore(st1, func(err error) { t.Errorf("journal error: %v", err) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		start := t0.Add(time.Duration(i) * time.Hour)
+		if _, err := c1.Reserve("alice", []string{"rot-r"}, start, start.Add(30*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := os.ReadFile(filepath.Join(dir, "reservations.json"))
+	if err != nil || len(snap) == 0 {
+		t.Fatalf("rotation never wrote a snapshot: %v", err)
+	}
+	if size := st1.LogSize(); size > 512 {
+		t.Fatalf("log size %d after rotation, want <= threshold", size)
+	}
+	want := c1.Snapshot()
+	if len(want) != 20 {
+		t.Fatalf("calendar holds %d reservations, want 20", len(want))
+	}
+	st1.CloseNoSync() // crash after rotation
+
+	c2 := New(clk)
+	st2 := openCalStore(t, dir, 512)
+	defer st2.Close()
+	if err := c2.AttachStore(st2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-rotation recovery diverged:\ngot  %d entries\nwant %d entries", len(got), len(want))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"rnl/internal/sim"
+	"rnl/internal/wal"
 )
 
 // Reservation is one booking of one router.
@@ -42,6 +43,10 @@ type Calendar struct {
 	// onMutate callbacks fire (outside the lock) after every successful
 	// mutation — the durability hook.
 	onMutate []func()
+	// onRecord, when set (AttachStore), receives one journal Record per
+	// mutation while the lock is still held, so records are appended in
+	// mutation order — two racing mutations cannot journal swapped.
+	onRecord func(Record)
 	// quota, when set, returns a user's outstanding router-hours cap
 	// (0 = unlimited) — the tenancy layer's reservation-hours quota,
 	// injected as a plain function so this package stays free of
@@ -112,6 +117,7 @@ func (c *Calendar) Reserve(user string, routers []string, start, end time.Time) 
 			c.byRouter[router] = insertSorted(c.byRouter[router], res)
 			out = append(out, res)
 		}
+		c.recordLocked(Record{Op: "reserve", Res: out})
 		return out, nil
 	}()
 	if err == nil {
@@ -179,7 +185,11 @@ func (c *Calendar) Cancel(id uint64) error {
 	err := func() error {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		return c.cancelLocked(id, nil)
+		if err := c.cancelLocked(id, nil); err != nil {
+			return err
+		}
+		c.recordLocked(Record{Op: "cancel", ID: id})
+		return nil
 	}()
 	if err == nil {
 		c.mutated()
@@ -195,7 +205,11 @@ func (c *Calendar) CancelOwned(id uint64, user string) error {
 	err := func() error {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		return c.cancelLocked(id, &user)
+		if err := c.cancelLocked(id, &user); err != nil {
+			return err
+		}
+		c.recordLocked(Record{Op: "cancel", ID: id})
+		return nil
 	}()
 	if err == nil {
 		c.mutated()
@@ -320,6 +334,9 @@ func (c *Calendar) ExpireBefore(t time.Time) int {
 			c.byRouter[router] = keep
 		}
 	}
+	if n > 0 {
+		c.recordLocked(Record{Op: "expire", Before: t})
+	}
 	c.mu.Unlock()
 	if n > 0 {
 		c.mutated()
@@ -376,18 +393,15 @@ func (c *Calendar) Restore(list []Reservation) {
 	}
 }
 
-// SaveFile writes the calendar to path atomically (temp file + rename),
-// crash-safe like the route server's state snapshots.
+// SaveFile writes the calendar to path crash-durably: temp file +
+// fsync + rename + directory fsync (wal.WriteFileAtomic), so a power
+// loss right after the call never loses the whole snapshot.
 func (c *Calendar) SaveFile(path string) error {
 	data, err := json.MarshalIndent(c.Snapshot(), "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return wal.WriteFileAtomic(nil, path, data, 0o644)
 }
 
 // LoadFile restores the calendar from a SaveFile snapshot; a missing

@@ -409,28 +409,44 @@ func (s *Server) DeployReclaiming(name, owner string, links []Link, canReclaim f
 // (Deploy/Teardown/Deployments); registry and reservation reads are
 // safe.
 func (s *Server) DeployLab(spec DeploySpec, links []Link, canReclaim func(Deployment) bool) error {
+	s.walMu.Lock()
 	reclaimed, err := s.matrix.deployReclaiming(spec, links, s.reg.portExists, canReclaim)
 	if err != nil {
+		s.walMu.Unlock()
 		return err
 	}
+	// Journal the takeover in mutation order: the victims' teardowns,
+	// then the installed deployment.
+	for _, n := range reclaimed {
+		s.journalLocked(journalRecord{T: "teardown", Name: n})
+	}
+	if pd, ok := s.matrix.exportDeployment(spec.Name); ok {
+		s.journalLocked(journalRecord{T: "deploy", Dep: &pd})
+	}
+	s.walMu.Unlock()
 	for _, n := range reclaimed {
 		s.forgetLab(n)
 		s.log.Info("reclaimed expired lab", "name", n, "takenOverBy", spec.Name)
 	}
 	s.bumpFwd()
 	s.log.Info("deployed", "name", spec.Name, "owner", spec.Owner, "tenant", spec.Tenant, "links", len(links))
-	s.persist()
+	s.maybeCheckpoint()
 	return nil
 }
 
 // Teardown removes a deployed lab.
 func (s *Server) Teardown(name string) error {
+	s.walMu.Lock()
 	err := s.matrix.teardown(name)
+	if err == nil {
+		s.journalLocked(journalRecord{T: "teardown", Name: name})
+	}
+	s.walMu.Unlock()
 	if err == nil {
 		s.forgetLab(name)
 		s.bumpFwd()
 		s.log.Info("torn down", "name", name)
-		s.persist()
+		s.maybeCheckpoint()
 	}
 	return err
 }

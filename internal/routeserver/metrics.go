@@ -48,6 +48,8 @@ var (
 		"Control-plane mutation generation covered by the published forwarding snapshot.")
 	mFwdLatency = obs.Default().Histogram("rnl_routeserver_fwd_latency_seconds",
 		"Route-server forwarding latency: matrix lookup to send-queue handoff.", obs.LatencyBuckets)
+	mStateErrors = obs.Default().Counter("rnl_routeserver_state_errors_total",
+		"Control-plane persistence failures (journal appends, snapshots, recovery): the server keeps serving from memory.")
 )
 
 // metricNamePart makes a tenant ID safe for embedding in a dynamic
@@ -80,6 +82,15 @@ type Health struct {
 	Offline int `json:"offline"`
 	// Deployments is the number of active deployed labs.
 	Deployments int `json:"deployments"`
+	// Degraded reports the server is running on memory only: a state
+	// directory is configured but the mutation log could not be opened,
+	// or the last DegradedAfterFailures journal writes in a row failed.
+	// The server still serves traffic — this is an operator signal, not
+	// a liveness failure — but a crash now loses mutations.
+	Degraded bool `json:"degraded,omitempty"`
+	// StateErrors is how many consecutive journal writes have failed
+	// (0 while persistence is healthy or unconfigured).
+	StateErrors uint32 `json:"state_errors,omitempty"`
 }
 
 // Health reports whether the accept loop is up and how much the server
@@ -89,11 +100,14 @@ func (s *Server) Health() Health {
 	s.mu.RLock()
 	sessions := len(s.sessions)
 	s.mu.RUnlock()
+	fails := s.walFails.Load()
 	return Health{
 		Listening:   s.accepting.Load(),
 		Sessions:    sessions,
 		Routers:     s.reg.count(),
 		Offline:     s.reg.countOffline(),
 		Deployments: s.matrix.count(),
+		Degraded:    s.opts.StateDir != "" && (s.wal == nil || fails >= DegradedAfterFailures),
+		StateErrors: fails,
 	}
 }

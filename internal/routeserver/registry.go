@@ -297,6 +297,122 @@ func (g *registry) importState(routers []RouterInfo, nextRouter, nextPort uint32
 	}
 }
 
+// allocators returns the current ID allocators — journaled alongside
+// every router record so replay re-issues identical IDs.
+func (g *registry) allocators() (nextRouter, nextPort uint32) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nextRouter, g.nextPort
+}
+
+// exportRouterByName snapshots one router plus the allocators — the
+// payload of a "router" journal record for by-name mutations
+// (firmware updates).
+func (g *registry) exportRouterByName(name string) (RouterInfo, uint32, uint32, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, r := range g.routers {
+		if r.Name == name {
+			return copyInfo(r), g.nextRouter, g.nextPort, true
+		}
+	}
+	return RouterInfo{}, 0, 0, false
+}
+
+// applyRouter upserts a journaled router record during replay. Like
+// importState, the restored router starts offline with epoch 1 (its
+// RIS must redial); unlike importState, an existing record under the
+// same ID or identity is replaced — the journal's later record wins,
+// which is what makes replaying a prefix twice safe.
+func (g *registry) applyRouter(in RouterInfo, nextRouter, nextPort uint32) {
+	if in.ID == 0 || in.Name == "" {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if old, ok := g.routers[in.ID]; ok {
+		delete(g.byKey, routerKey{pc: old.PC, name: old.Name})
+		delete(g.routers, in.ID)
+		mRoutersRegistered.Dec()
+		mPortsRegistered.Add(int64(-len(old.Ports)))
+		if !old.Online {
+			mRoutersOffline.Dec()
+		}
+	}
+	key := routerKey{pc: in.PC, name: in.Name}
+	if oldID, ok := g.byKey[key]; ok && oldID != in.ID {
+		if old := g.routers[oldID]; old != nil {
+			delete(g.routers, oldID)
+			mRoutersRegistered.Dec()
+			mPortsRegistered.Add(int64(-len(old.Ports)))
+			if !old.Online {
+				mRoutersOffline.Dec()
+			}
+		}
+		delete(g.byKey, key)
+	}
+	r := in
+	r.Ports = append([]PortInfo(nil), in.Ports...)
+	r.Online = false
+	r.sessionID = 0
+	r.offlineAt = g.clock.Now()
+	r.epoch = 1
+	g.routers[r.ID] = &r
+	g.byKey[key] = r.ID
+	if r.ID >= g.nextRouter {
+		g.nextRouter = r.ID + 1
+	}
+	for _, p := range r.Ports {
+		if p.ID >= g.nextPort {
+			g.nextPort = p.ID + 1
+		}
+	}
+	if nextRouter > g.nextRouter {
+		g.nextRouter = nextRouter
+	}
+	if nextPort > g.nextPort {
+		g.nextPort = nextPort
+	}
+	mRoutersRegistered.Inc()
+	mPortsRegistered.Add(int64(len(r.Ports)))
+	mRoutersOffline.Inc()
+}
+
+// applyOffline marks a journaled offline transition during replay.
+// Routers restored by applyRouter are already offline, so this is
+// usually a no-op; it matters when replaying over a snapshot that
+// (from an older run) recorded the router online.
+func (g *registry) applyOffline(id uint32) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.routers[id]; ok && r.Online {
+		r.Online = false
+		r.sessionID = 0
+		r.offlineAt = g.clock.Now()
+		r.epoch++
+		mRoutersOffline.Inc()
+	}
+}
+
+// applyGone deletes a journaled router removal during replay; a
+// missing record is a no-op.
+func (g *registry) applyGone(id uint32) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.routers[id]
+	if !ok {
+		return false
+	}
+	delete(g.routers, id)
+	delete(g.byKey, routerKey{pc: r.PC, name: r.Name})
+	mRoutersRegistered.Dec()
+	mPortsRegistered.Add(int64(-len(r.Ports)))
+	if !r.Online {
+		mRoutersOffline.Dec()
+	}
+	return true
+}
+
 // copyInfo snapshots a registry record, including the port slice. Must
 // be called with g.mu held (either mode).
 func copyInfo(r *RouterInfo) RouterInfo {

@@ -16,6 +16,7 @@ import (
 	"rnl/internal/identity"
 	"rnl/internal/obs"
 	"rnl/internal/sim"
+	"rnl/internal/wal"
 	"rnl/internal/wire"
 )
 
@@ -67,13 +68,31 @@ type Options struct {
 	// immediately.
 	RouterGracePeriod time.Duration
 	// StateDir, when set, persists the control plane (router identities
-	// with their wire IDs, deployments) as atomic JSON snapshots —
-	// written on every mutation and periodically — and restores them in
-	// New, so a route-server restart resumes labs as agents redial.
+	// with their wire IDs, deployments): every mutation appends a
+	// checksummed record to an append-ahead log, periodic incremental
+	// snapshots fold the log into the base file, and New recovers by
+	// restoring the snapshot and replaying the log — so a route-server
+	// crash or restart resumes labs as agents redial.
 	StateDir string
-	// SnapshotInterval is the periodic snapshot cadence when StateDir is
-	// set; zero means DefaultSnapshotInterval.
+	// SnapshotInterval is the periodic checkpoint cadence when StateDir
+	// is set; zero means DefaultSnapshotInterval.
 	SnapshotInterval time.Duration
+	// WALFsync selects when mutation-log appends are fsynced:
+	// wal.SyncAlways (the zero value — an acked mutation survives power
+	// loss), wal.SyncInterval (batched on WALFsyncInterval), or
+	// wal.SyncNone.
+	WALFsync wal.Policy
+	// WALFsyncInterval is the batching cadence for wal.SyncInterval;
+	// zero means the wal package default (100ms).
+	WALFsyncInterval time.Duration
+	// WALMaxBytes triggers an incremental snapshot (and log truncation)
+	// once the mutation log grows past it; zero means the wal package
+	// default (1 MiB).
+	WALMaxBytes int64
+	// WALFS overrides the filesystem behind the log and snapshots —
+	// the disk-fault-injection seam (faultinject.Disk). Nil means the
+	// real filesystem.
+	WALFS wal.FS
 	// LabRateLimit, when positive, caps each deployed lab's delivered
 	// packet rate (packets/second) with a per-lab token bucket on the
 	// fan-out path. Packets over the limit are dropped before they reach
@@ -162,7 +181,14 @@ type Server struct {
 	onChange []func()             // registry-change notifications (web UI refresh)
 	gcTimers map[uint32]sim.Timer // pending grace-expiry collections by router ID
 
-	saveMu        sync.Mutex    // serializes state-snapshot writers
+	// walMu orders persistence: every mutation path holds it across
+	// {mutate + journal append}, and checkpoints hold it across
+	// {export + snapshot + log truncate}, so records land in mutation
+	// order and a checkpoint can never truncate a record its snapshot
+	// missed. Always acquired before s.mu and the entity locks.
+	walMu         sync.Mutex
+	wal           *wal.Store    // nil when StateDir is unset or the store failed to open
+	walFails      atomic.Uint32 // consecutive journal failures; drives the degraded flag
 	stopSnapshots chan struct{} // closed by Close; ends the periodic snapshot loop
 
 	// The datagram data plane (datagram.go): one shared UDP socket and
@@ -277,7 +303,7 @@ func New(opts Options) *Server {
 		dgramPeers:    make(map[uint64]*dgramPeer),
 	}
 	if opts.StateDir != "" {
-		s.loadState()
+		s.openState()
 	}
 	// Publish the initial forwarding snapshot (covering any restored
 	// state) so the packet path never sees a nil table.
@@ -333,8 +359,18 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener and all sessions.
-func (s *Server) Close() {
+// Close stops the listener and all sessions, then writes a final
+// checkpoint so the next start recovers without replaying a log.
+func (s *Server) Close() { s.shutdown(true) }
+
+// Kill is Close without the final checkpoint or log flush — the crash
+// the simulation harness injects. Everything the server acknowledged
+// must still recover from the snapshot + mutation log alone; anything
+// that doesn't is a durability bug, which is exactly what the
+// crash-point scenario exists to catch.
+func (s *Server) Kill() { s.shutdown(false) }
+
+func (s *Server) shutdown(flush bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -361,8 +397,13 @@ func (s *Server) Close() {
 		sess.conn.Close()
 	}
 	s.wg.Wait()
-	if s.opts.StateDir != "" {
-		s.persist()
+	if s.wal != nil {
+		if flush {
+			s.checkpoint()
+			s.wal.Close()
+		} else {
+			s.wal.CloseNoSync()
+		}
 	}
 }
 
@@ -396,10 +437,17 @@ func (s *Server) RouterName(id uint32) (string, bool) { return s.reg.routerName(
 // SetRouterFirmware records a router's flashed firmware version in the
 // inventory (called by the web server's firmware-loading feature).
 func (s *Server) SetRouterFirmware(name, version string) bool {
+	s.walMu.Lock()
 	ok := s.reg.setFirmware(name, version)
 	if ok {
+		if info, nr, np, found := s.reg.exportRouterByName(name); found {
+			s.journalLocked(journalRecord{T: "router", Router: &info, NextRouter: nr, NextPort: np})
+		}
+	}
+	s.walMu.Unlock()
+	if ok {
 		s.fireChange()
-		s.persist()
+		s.maybeCheckpoint()
 	}
 	return ok
 }
@@ -697,6 +745,7 @@ func (s *Server) handshake(sess *session) error {
 	}
 	ackMsg := wire.JoinAckMsg{}
 	recovered := 0
+	s.walMu.Lock()
 	for _, ra := range join.Routers {
 		info := RouterInfo{
 			Name:        ra.Name,
@@ -720,6 +769,9 @@ func (s *Server) handshake(sess *session) error {
 			s.log.Info("router re-joined; lab state reconciled",
 				"router", reg.Name, "id", reg.ID, "routes", routes)
 		}
+		rc := reg
+		nr, np := s.reg.allocators()
+		s.journalLocked(journalRecord{T: "router", Router: &rc, NextRouter: nr, NextPort: np})
 		assign := wire.RouterAssignment{Name: reg.Name, ID: reg.ID, Rejoined: rejoined, Ports: map[string]uint32{}}
 		for _, p := range reg.Ports {
 			assign.Ports[p.Name] = p.ID
@@ -727,6 +779,7 @@ func (s *Server) handshake(sess *session) error {
 		ackMsg.Routers = append(ackMsg.Routers, assign)
 		sess.routers = append(sess.routers, reg.ID)
 	}
+	s.walMu.Unlock()
 	// Publish the joined routers (and any reinstalled routes) to the
 	// forwarding snapshot before acking, so the agent's first data frame
 	// finds its wires. The recovery counter moves only after the publish:
@@ -747,7 +800,7 @@ func (s *Server) handshake(sess *session) error {
 	s.log.Info("RIS joined", "session", sess.id, "pc", sess.pcName,
 		"routers", len(sess.routers), "recovered", recovered)
 	s.fireChange()
-	s.persist()
+	s.maybeCheckpoint()
 	return nil
 }
 
@@ -765,31 +818,37 @@ func (s *Server) dropSession(sess *session) {
 	}
 	s.mu.Unlock()
 	if grace := s.routerGrace(); grace > 0 {
+		s.walMu.Lock()
 		offline := s.reg.markSessionOffline(sess.id)
 		for _, ref := range offline {
 			s.matrix.suspendRouter(ref.id)
 			s.consoles.dropRouter(ref.id)
 			s.scheduleGC(ref.id, ref.epoch, grace)
+			s.journalLocked(journalRecord{T: "offline", RouterID: ref.id})
 		}
+		s.walMu.Unlock()
 		if len(offline) > 0 {
 			s.bumpFwd()
 			s.log.Info("RIS left; routers offline awaiting re-join",
 				"session", sess.id, "routers", len(offline), "grace", grace)
 			s.fireChange()
-			s.persist()
+			s.maybeCheckpoint()
 		}
 		return
 	}
+	s.walMu.Lock()
 	gone := s.reg.removeSession(sess.id)
 	for _, id := range gone {
 		s.countLabsLost(s.matrix.dropRouter(id), id)
 		s.consoles.dropRouter(id)
+		s.journalLocked(journalRecord{T: "gone", RouterID: id})
 	}
+	s.walMu.Unlock()
 	if len(gone) > 0 {
 		s.bumpFwd()
 		s.log.Info("RIS left", "session", sess.id, "routers", len(gone))
 		s.fireChange()
-		s.persist()
+		s.maybeCheckpoint()
 	}
 }
 
@@ -820,8 +879,10 @@ func (s *Server) cancelGC(id uint32) {
 // The registry's epoch check makes a stale timer (router re-joined, went
 // offline again) a no-op.
 func (s *Server) gcRouter(id uint32, epoch uint64) {
+	s.walMu.Lock()
 	info, ok := s.reg.gcExpired(id, epoch)
 	if !ok {
+		s.walMu.Unlock()
 		return
 	}
 	s.mu.Lock()
@@ -829,10 +890,12 @@ func (s *Server) gcRouter(id uint32, epoch uint64) {
 	s.mu.Unlock()
 	s.countLabsLost(s.matrix.dropRouter(id), id)
 	s.consoles.dropRouter(id)
+	s.journalLocked(journalRecord{T: "gone", RouterID: id})
+	s.walMu.Unlock()
 	s.bumpFwd()
 	s.log.Info("router grace expired; pruned", "router", info.Name, "pc", info.PC)
 	s.fireChange()
-	s.persist()
+	s.maybeCheckpoint()
 }
 
 // countLabsLost records deployments newly damaged by a router's

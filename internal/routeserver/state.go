@@ -8,15 +8,28 @@ import (
 	"time"
 
 	"rnl/internal/sim"
+	"rnl/internal/wal"
 )
 
-// DefaultSnapshotInterval is the periodic state-snapshot cadence — a
-// backstop behind the on-mutation snapshots, bounding how stale the
-// on-disk state can get if a mutation path ever misses a persist call.
+// DefaultSnapshotInterval is the periodic checkpoint cadence: if the
+// mutation log is non-empty, the server folds it into an incremental
+// snapshot this often, bounding replay length after a crash.
 const DefaultSnapshotInterval = 30 * time.Second
 
-// stateFile is the snapshot filename inside Options.StateDir.
+// stateFile is the snapshot filename inside Options.StateDir. It is
+// the same file the pre-WAL full-rewrite persistence used, so a state
+// directory written by an older build restores cleanly (with an empty
+// mutation log).
 const stateFile = "routeserver.json"
+
+// WALFile is the control-plane mutation log beside the snapshot,
+// exported so crash harnesses can tear its tail between incarnations.
+const WALFile = "routeserver.wal"
+
+// DegradedAfterFailures is how many consecutive journal failures flip
+// the Health degraded flag: the server is then running on memory only
+// and a crash loses the unjournaled mutations.
+const DegradedAfterFailures = 3
 
 // persistedDeployment is a Deployment with its damage marker exported.
 type persistedDeployment struct {
@@ -40,67 +53,175 @@ type persistedState struct {
 	Deployments []persistedDeployment `json:"deployments"`
 }
 
+// journalRecord is one logged control-plane mutation. Records are
+// absolute post-mutation assertions about a single entity (a router
+// upsert, a deployment upsert, a deletion), never deltas — that is what
+// makes replay idempotent: replaying any prefix twice, or replaying a
+// full log over a snapshot that already contains some of it, converges
+// on the same state because the last record for each entity wins.
+type journalRecord struct {
+	T string `json:"t"` // "router" | "offline" | "gone" | "deploy" | "teardown"
+	// router: the full registry record plus the ID allocators at append
+	// time (join, re-join, firmware update).
+	Router     *RouterInfo `json:"router,omitempty"`
+	NextRouter uint32      `json:"nr,omitempty"`
+	NextPort   uint32      `json:"np,omitempty"`
+	// deploy: the full deployment record, damage marker included.
+	Dep *persistedDeployment `json:"dep,omitempty"`
+	// teardown: the deployment name.
+	Name string `json:"name,omitempty"`
+	// offline / gone: the router ID.
+	RouterID uint32 `json:"rid,omitempty"`
+}
+
 func (s *Server) statePath() string { return filepath.Join(s.opts.StateDir, stateFile) }
+func (s *Server) walPath() string   { return filepath.Join(s.opts.StateDir, WALFile) }
 
-// persist writes a state snapshot if a StateDir is configured. Mutation
-// paths call it outside the registry/matrix locks; failures are logged,
-// not fatal — the server keeps serving from memory.
-func (s *Server) persist() {
-	if s.opts.StateDir == "" {
-		return
-	}
-	if err := s.saveState(); err != nil {
-		s.log.Warn("state snapshot failed", "err", err)
-	}
-}
-
-// saveState writes the snapshot atomically — temp file in the same
-// directory, then rename — so a crash mid-write never corrupts the
-// previous snapshot (the same pattern the design store uses).
-func (s *Server) saveState() error {
-	s.saveMu.Lock()
-	defer s.saveMu.Unlock()
-	st := persistedState{SavedAt: s.clock.Now()}
-	st.Routers, st.NextRouter, st.NextPort = s.reg.exportState()
-	st.Deployments = s.matrix.exportState()
-	data, err := json.MarshalIndent(st, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp := s.statePath() + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, s.statePath())
-}
-
-// loadState restores the snapshot at construction time. Missing state is
-// a fresh start; corrupt state is logged and skipped — an empty server
-// is always safe to run.
-func (s *Server) loadState() {
+// openState opens the snapshot+log store and recovers: restore the
+// snapshot, then replay the mutation log in order. Missing state is a
+// fresh start; an unopenable store is logged and leaves the server
+// memory-only (and degraded in Health) — an empty server is always safe
+// to run.
+func (s *Server) openState() {
 	if err := os.MkdirAll(s.opts.StateDir, 0o755); err != nil {
-		s.log.Warn("state dir unavailable", "dir", s.opts.StateDir, "err", err)
+		s.log.Warn("state dir unavailable; running memory-only", "dir", s.opts.StateDir, "err", err)
+		mStateErrors.Inc()
 		return
 	}
-	data, err := os.ReadFile(s.statePath())
+	st, err := wal.OpenStore(s.statePath(), s.walPath(), wal.Options{
+		Policy:   s.opts.WALFsync,
+		Interval: s.opts.WALFsyncInterval,
+		MaxBytes: s.opts.WALMaxBytes,
+		Clock:    s.clock,
+		FS:       s.opts.WALFS,
+	})
 	if err != nil {
-		if !os.IsNotExist(err) {
-			s.log.Warn("state snapshot unreadable", "path", s.statePath(), "err", err)
+		s.log.Warn("mutation log unavailable; running memory-only", "err", err)
+		mStateErrors.Inc()
+		return
+	}
+	s.wal = st
+
+	snap, err := st.LoadSnapshot()
+	if err != nil {
+		s.log.Warn("state snapshot unreadable; replaying log from empty", "path", s.statePath(), "err", err)
+		mStateErrors.Inc()
+	}
+	restored := 0
+	if len(snap) > 0 {
+		var ps persistedState
+		if err := json.Unmarshal(snap, &ps); err != nil {
+			s.log.Warn("state snapshot corrupt; replaying log from empty", "path", s.statePath(), "err", err)
+			mStateErrors.Inc()
+		} else {
+			s.reg.importState(ps.Routers, ps.NextRouter, ps.NextPort)
+			s.matrix.importState(ps.Deployments)
+			restored = len(ps.Deployments)
 		}
-		return
 	}
-	var st persistedState
-	if err := json.Unmarshal(data, &st); err != nil {
-		s.log.Warn("state snapshot corrupt; starting empty", "path", s.statePath(), "err", err)
-		return
+	replayed, err := st.Replay(func(_ uint64, payload []byte) error {
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			s.log.Warn("unparseable journal record skipped", "err", err)
+			return nil
+		}
+		s.applyJournal(rec)
+		return nil
+	})
+	if err != nil {
+		s.log.Warn("journal replay incomplete", "err", err)
+		mStateErrors.Inc()
 	}
-	s.reg.importState(st.Routers, st.NextRouter, st.NextPort)
-	s.matrix.importState(st.Deployments)
-	s.log.Info("restored control-plane state", "routers", len(st.Routers),
-		"deployments", len(st.Deployments), "saved_at", st.SavedAt)
+	if restored > 0 || replayed > 0 {
+		s.log.Info("recovered control-plane state",
+			"routers", s.reg.count(), "deployments", s.matrix.count(), "replayed", replayed)
+	}
 }
 
-// snapshotInterval resolves the periodic snapshot cadence.
+// applyJournal applies one replayed mutation record.
+func (s *Server) applyJournal(rec journalRecord) {
+	switch rec.T {
+	case "router":
+		if rec.Router != nil {
+			s.reg.applyRouter(*rec.Router, rec.NextRouter, rec.NextPort)
+		}
+	case "offline":
+		s.reg.applyOffline(rec.RouterID)
+	case "gone":
+		s.reg.applyGone(rec.RouterID)
+		s.matrix.dropRouter(rec.RouterID)
+	case "deploy":
+		if rec.Dep != nil {
+			s.matrix.applyDeployment(*rec.Dep)
+		}
+	case "teardown":
+		s.matrix.applyTeardown(rec.Name)
+	default:
+		s.log.Warn("unknown journal record type skipped", "type", rec.T)
+	}
+}
+
+// journalLocked appends mutation records to the log. The caller holds
+// s.walMu across the mutation AND this append, so records always land
+// in mutation order and a concurrent checkpoint cannot truncate a
+// record for a mutation its snapshot missed. Failures are warn-and-
+// continue — the server keeps serving from memory — but they count
+// toward the degraded flag in Health.
+func (s *Server) journalLocked(recs ...journalRecord) {
+	if s.wal == nil {
+		return
+	}
+	for i := range recs {
+		data, err := json.Marshal(&recs[i])
+		if err == nil {
+			err = s.wal.Append(data)
+		}
+		if err != nil {
+			mStateErrors.Inc()
+			n := s.walFails.Add(1)
+			s.log.Warn("journal append failed; mutation is in memory only",
+				"type", recs[i].T, "consecutive", n, "err", err)
+			continue
+		}
+		s.walFails.Store(0)
+	}
+}
+
+// checkpoint writes an incremental snapshot and truncates the log. The
+// walMu span covers export + snapshot + truncate, so a mutation
+// committed while the snapshot marshals cannot fall between the
+// exported state and the surviving log.
+func (s *Server) checkpoint() {
+	if s.wal == nil {
+		return
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	ps := persistedState{SavedAt: s.clock.Now()}
+	ps.Routers, ps.NextRouter, ps.NextPort = s.reg.exportState()
+	ps.Deployments = s.matrix.exportState()
+	data, err := json.MarshalIndent(ps, "", "  ")
+	if err == nil {
+		err = s.wal.Snapshot(data)
+	}
+	if err != nil {
+		mStateErrors.Inc()
+		s.walFails.Add(1)
+		s.log.Warn("state snapshot failed; mutation log kept", "err", err)
+		return
+	}
+	s.walFails.Store(0)
+}
+
+// maybeCheckpoint rotates the log once it crosses the size threshold.
+// Called after mutations, outside walMu and the entity locks.
+func (s *Server) maybeCheckpoint() {
+	if s.wal != nil && s.wal.ShouldSnapshot() {
+		s.checkpoint()
+	}
+}
+
+// snapshotInterval resolves the periodic checkpoint cadence.
 func (s *Server) snapshotInterval() time.Duration {
 	if s.opts.SnapshotInterval > 0 {
 		return s.opts.SnapshotInterval
@@ -108,8 +229,10 @@ func (s *Server) snapshotInterval() time.Duration {
 	return DefaultSnapshotInterval
 }
 
-// snapshotLoop persists periodically until Close. The ticker runs on the
-// server clock, so simulated runs snapshot on virtual time.
+// snapshotLoop checkpoints periodically until Close — a backstop that
+// bounds replay length even when the log stays under the size
+// threshold. The ticker runs on the server clock, so simulated runs
+// checkpoint on virtual time.
 func (s *Server) snapshotLoop() {
 	defer s.wg.Done()
 	t := sim.NewTicker(s.clock, s.snapshotInterval())
@@ -117,7 +240,9 @@ func (s *Server) snapshotLoop() {
 	for {
 		select {
 		case <-t.C:
-			s.persist()
+			if s.wal != nil && s.wal.Dirty() {
+				s.checkpoint()
+			}
 		case <-s.stopSnapshots:
 			return
 		}
@@ -130,17 +255,33 @@ func (m *matrix) exportState() []persistedDeployment {
 	defer m.mu.RUnlock()
 	out := make([]persistedDeployment, 0, len(m.deployments))
 	for _, d := range m.deployments {
-		out = append(out, persistedDeployment{
-			Name:    d.Name,
-			Owner:   d.Owner,
-			Tenant:  d.Tenant,
-			Links:   append([]Link(nil), d.Links...),
-			Routers: append([]uint32(nil), d.Routers...),
-			Damaged: d.damaged,
-		})
+		out = append(out, exportDeploymentLocked(d))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// exportDeployment snapshots one deployment — the payload of a
+// "deploy" journal record.
+func (m *matrix) exportDeployment(name string) (persistedDeployment, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.deployments[name]
+	if !ok {
+		return persistedDeployment{}, false
+	}
+	return exportDeploymentLocked(d), true
+}
+
+func exportDeploymentLocked(d *Deployment) persistedDeployment {
+	return persistedDeployment{
+		Name:    d.Name,
+		Owner:   d.Owner,
+		Tenant:  d.Tenant,
+		Links:   append([]Link(nil), d.Links...),
+		Routers: append([]uint32(nil), d.Routers...),
+		Damaged: d.damaged,
+	}
 }
 
 // importState restores deployment records without installing any routes:
@@ -156,18 +297,50 @@ func (m *matrix) importState(deps []persistedDeployment) {
 		if _, dup := m.deployments[pd.Name]; dup {
 			continue
 		}
-		d := &Deployment{
-			Name:    pd.Name,
-			Owner:   pd.Owner,
-			Tenant:  pd.Tenant,
-			Links:   append([]Link(nil), pd.Links...),
-			Routers: append([]uint32(nil), pd.Routers...),
-			damaged: pd.Damaged,
-		}
-		m.deployments[pd.Name] = d
-		for _, rid := range d.Routers {
-			m.routerOwner[rid] = pd.Name
-		}
-		mDeploymentsActive.Inc()
+		m.installPersistedLocked(pd)
 	}
+}
+
+// applyDeployment upserts a journaled deployment during replay. An
+// existing record under the same name is torn down first (replaying a
+// record the snapshot already contains, or a redeploy after reclaim),
+// which is what makes the record idempotent.
+func (m *matrix) applyDeployment(pd persistedDeployment) {
+	if pd.Name == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.deployments[pd.Name]; ok {
+		m.teardownLocked(pd.Name)
+	}
+	m.installPersistedLocked(pd)
+}
+
+// applyTeardown removes a journaled teardown's deployment; a missing
+// record (already torn down in the snapshot) is a no-op.
+func (m *matrix) applyTeardown(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.deployments[name]; ok {
+		m.teardownLocked(name)
+	}
+}
+
+// installPersistedLocked inserts a persisted deployment with no routes
+// (recovery leaves route installation to re-join reconciliation).
+func (m *matrix) installPersistedLocked(pd persistedDeployment) {
+	d := &Deployment{
+		Name:    pd.Name,
+		Owner:   pd.Owner,
+		Tenant:  pd.Tenant,
+		Links:   append([]Link(nil), pd.Links...),
+		Routers: append([]uint32(nil), pd.Routers...),
+		damaged: pd.Damaged,
+	}
+	m.deployments[pd.Name] = d
+	for _, rid := range d.Routers {
+		m.routerOwner[rid] = pd.Name
+	}
+	mDeploymentsActive.Inc()
 }

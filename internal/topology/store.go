@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"rnl/internal/wal"
 )
 
 // Store keeps saved designs ("The design data is stored in the web
@@ -80,11 +82,9 @@ func (s *Store) Save(d *Design) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	// Crash-durable atomic write: fsync the temp file before the rename
+	// and the directory after, or a power loss can lose the whole file.
+	return wal.WriteFileAtomic(nil, path, b, 0o644)
 }
 
 // Load returns a copy of a saved design.

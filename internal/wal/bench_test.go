@@ -1,0 +1,147 @@
+package wal_test
+
+// Benchmarks for the two costs the append-ahead log changes:
+//
+//   - Per-mutation persistence: the pre-WAL code rewrote the entire
+//     control-plane snapshot (atomic temp+rename+fsync) on every
+//     mutation; the log appends one ~200 B record instead.
+//   - Recovery: the pre-WAL code read one full snapshot; the log path
+//     reads the snapshot and replays the journal tail. The benchmark
+//     shows what replay length costs, i.e. what the snapshot-rotation
+//     threshold is buying.
+//
+// Payload shapes mirror internal/routeserver: the "state" is a JSON
+// document the size of a ~100-deployment control plane, the "record" a
+// single journaled mutation.
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"rnl/internal/wal"
+)
+
+// benchState builds a snapshot-sized JSON blob (~40 KB, the shape of a
+// 100-deployment, 200-router control plane).
+func benchState() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`{"deployments":[`)
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, `{"name":"lab%d","owner":"tenant%d","links":[{"a":{"router":%d,"port":%d},"b":{"router":%d,"port":%d}}],"routers":[%d,%d]}`,
+			i, i%7, 2*i, 2*i, 2*i+1, 2*i+1, 2*i, 2*i+1)
+	}
+	buf.WriteString(`],"routers":[`)
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, `{"id":%d,"name":"h%d","model":"Linux Server","pc":"pc-h%d","ports":[{"id":%d,"name":"eth0"}]}`,
+			i+1, i, i, i+1)
+	}
+	buf.WriteString(`]}`)
+	return buf.Bytes()
+}
+
+// benchRecord is one journaled mutation (~200 B), the unit the new
+// per-mutation path writes.
+func benchRecord(i int) []byte {
+	return fmt.Appendf(nil, `{"t":"deploy","dep":{"name":"lab%d","owner":"tenant%d","links":[{"a":{"router":%d,"port":%d},"b":{"router":%d,"port":%d}}],"routers":[%d,%d]}}`,
+		i, i%7, 2*i, 2*i, 2*i+1, 2*i+1, 2*i, 2*i+1)
+}
+
+// BenchmarkPerMutationPersistence compares what acknowledging one
+// control-plane mutation costs on disk: the old full-snapshot rewrite
+// vs one journal append under each fsync policy.
+func BenchmarkPerMutationPersistence(b *testing.B) {
+	state := benchState()
+	rec := benchRecord(42)
+	b.Run("full-rewrite", func(b *testing.B) {
+		dir := b.TempDir()
+		path := filepath.Join(dir, "state.json")
+		b.SetBytes(int64(len(state)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := wal.WriteFileAtomic(nil, path, state, 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, tc := range []struct {
+		name   string
+		policy wal.Policy
+	}{
+		{"append-fsync-always", wal.SyncAlways},
+		{"append-no-fsync", wal.SyncNone},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			log, err := wal.OpenLog(filepath.Join(dir, "bench.wal"), wal.Options{Policy: tc.policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			b.SetBytes(int64(len(rec)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := log.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures a cold open of the state store: the old
+// shape (snapshot only — every mutation had already been folded in) vs
+// snapshot + journal replay at several tail lengths.
+func BenchmarkRecovery(b *testing.B) {
+	state := benchState()
+	for _, tail := range []int{0, 100, 1000, 10000} {
+		name := "full-snapshot"
+		if tail > 0 {
+			name = fmt.Sprintf("snapshot+replay-%d", tail)
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := b.TempDir()
+			snapPath := filepath.Join(dir, "state.json")
+			logPath := filepath.Join(dir, "state.wal")
+			st, err := wal.OpenStore(snapPath, logPath, wal.Options{Policy: wal.SyncNone})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Snapshot(state); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < tail; i++ {
+				if err := st.Append(benchRecord(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := wal.OpenStore(snapPath, logPath, wal.Options{Policy: wal.SyncNone})
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap, err := st.LoadSnapshot()
+				if err != nil || len(snap) == 0 {
+					b.Fatalf("snapshot: %d bytes, %v", len(snap), err)
+				}
+				replayed := 0
+				if _, err := st.Replay(func(_ uint64, payload []byte) error {
+					replayed += len(payload)
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				st.CloseNoSync()
+			}
+		})
+	}
+}

@@ -1,0 +1,27 @@
+package wal
+
+import "rnl/internal/obs"
+
+// WAL metrics are process-global (the obs registry dedupes by name),
+// so they aggregate across every log in the process — the route-server
+// mutation log and the reservation log both count here.
+var (
+	mAppends = obs.Default().Counter("rnl_routeserver_wal_appends_total",
+		"Records appended to control-plane write-ahead logs.")
+	mAppendErrors = obs.Default().Counter("rnl_routeserver_wal_append_errors_total",
+		"Append failures (write or policy-always fsync errors): the mutation stayed in memory only.")
+	mAppendBytes = obs.Default().Counter("rnl_routeserver_wal_appended_bytes_total",
+		"Bytes appended to control-plane write-ahead logs, including framing.")
+	mFsyncs = obs.Default().Counter("rnl_routeserver_wal_fsyncs_total",
+		"fsync calls issued by write-ahead logs.")
+	mFsyncErrors = obs.Default().Counter("rnl_routeserver_wal_fsync_errors_total",
+		"fsync failures in write-ahead logs.")
+	mSnapshots = obs.Default().Counter("rnl_routeserver_wal_snapshots_total",
+		"Incremental snapshots written (each one truncates the log prefix it covers).")
+	mSnapshotErrors = obs.Default().Counter("rnl_routeserver_wal_snapshot_errors_total",
+		"Failed incremental snapshot writes; the log is kept intact when this happens.")
+	mReplayed = obs.Default().Counter("rnl_routeserver_wal_replayed_records_total",
+		"Log records replayed during recovery.")
+	mTornBytes = obs.Default().Counter("rnl_routeserver_wal_torn_bytes_total",
+		"Bytes of torn or corrupt log tail truncated at open.")
+)

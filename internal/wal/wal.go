@@ -1,0 +1,480 @@
+// Package wal implements a checksummed append-ahead log for
+// control-plane mutations, plus the snapshot+log pair (Store) that
+// turns it into crash-consistent persistence: every mutation appends a
+// small record, a periodic incremental snapshot rewrites the base file
+// and truncates the log prefix, and recovery is snapshot-restore
+// followed by ordered log replay.
+//
+// On-disk record format (all integers little-endian):
+//
+//	[u32 length n] [u32 CRC32C] [u64 seq] [payload]
+//
+// where length covers the seq+payload region (n = 8+len(payload)) and
+// the CRC32C (Castagnoli) covers the same n bytes. Opening a log scans
+// the file for the longest valid prefix: a short header, a length out
+// of range, a record extending past EOF, or a checksum mismatch all
+// mark the torn tail, which is truncated away. Appends are a single
+// Write call so an injected short write leaves exactly the torn tail a
+// power loss would.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"rnl/internal/sim"
+)
+
+// Record framing constants.
+const (
+	headerSize = 8               // u32 length + u32 crc
+	seqSize    = 8               // u64 sequence number inside the checksummed region
+	maxRecord  = 64 * 1024 * 1024 // sanity cap: larger lengths are treated as torn garbage
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWedged is returned by Append after a failed write could not be
+// rolled back: the on-disk tail is in an unknown state and further
+// appends would be unrecoverable on replay.
+var ErrWedged = errors.New("wal: log wedged after unrecoverable write failure")
+
+// Policy selects when appends are fsynced.
+type Policy int
+
+const (
+	// SyncAlways fsyncs after every append (the default: an
+	// acknowledged mutation survives power loss).
+	SyncAlways Policy = iota
+	// SyncInterval batches fsyncs on a timer; a crash can lose up to
+	// one interval of acknowledged mutations.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; durability is whatever the OS
+	// page cache provides. Torn-tail recovery still applies.
+	SyncNone
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a -wal-fsync flag value: "always", "none", or a
+// Go duration (e.g. "100ms") selecting SyncInterval at that cadence.
+func ParsePolicy(s string) (Policy, time.Duration, error) {
+	switch strings.TrimSpace(s) {
+	case "", "always":
+		return SyncAlways, 0, nil
+	case "none":
+		return SyncNone, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return SyncAlways, 0, fmt.Errorf("wal: fsync policy %q is not \"always\", \"none\", or a positive duration", s)
+	}
+	return SyncInterval, d, nil
+}
+
+// File is the subset of *os.File the log needs; faultinject.Disk wraps
+// it to inject short writes, write errors, and fsync errors.
+type File interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// FS abstracts the filesystem operations behind the log and the atomic
+// snapshot writer so tests can inject disk faults.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so a preceding rename survives power
+	// loss.
+	SyncDir(dir string) error
+}
+
+// OSFS is the real-filesystem FS.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OSFS) ReadFile(name string) ([]byte, error)        { return os.ReadFile(name) }
+func (OSFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                    { return os.Remove(name) }
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Options configure a Log (and, via OpenStore, a Store).
+type Options struct {
+	Policy   Policy
+	Interval time.Duration // SyncInterval cadence; default 100ms
+	MaxBytes int64         // advisory rotation threshold for Store.ShouldSnapshot; default 1 MiB
+	Clock    sim.Clock     // default sim.Real{}
+	FS       FS            // default OSFS{}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 1 << 20
+	}
+	if o.Clock == nil {
+		o.Clock = sim.Real{}
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	return o
+}
+
+// Log is an append-ahead log of length-prefixed, CRC32C-checksummed
+// records. All methods are safe for concurrent use.
+type Log struct {
+	fs   FS
+	path string
+	opts Options
+
+	mu      sync.Mutex
+	f       File
+	size    int64 // bytes of valid records on disk
+	nextSeq uint64
+	dirty   bool // appends not yet fsynced
+	timer   sim.Timer
+	wedged  bool
+	closed  bool
+}
+
+// OpenLog opens (creating if absent) the log at path, scans it for the
+// longest valid record prefix, and truncates any torn tail. The
+// truncated byte count is reported through the torn-bytes metric.
+func OpenLog(path string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	l := &Log{fs: opts.FS, path: path, opts: opts, nextSeq: 1}
+
+	data, err := l.fs.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	valid, lastSeq, _ := scan(data)
+	if lastSeq > 0 {
+		l.nextSeq = lastSeq + 1
+	}
+	l.size = int64(valid)
+
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if torn := len(data) - valid; torn > 0 {
+		if err := f.Truncate(l.size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync %s after truncation: %w", path, err)
+		}
+		mTornBytes.Add(uint64(torn))
+	}
+	l.f = &appendAt{File: f, off: l.size}
+	return l, nil
+}
+
+// appendAt tracks the write offset explicitly so that a short write
+// (fault-injected or real) leaves the in-memory offset where the log
+// can truncate back to the last full record. The underlying file is
+// opened without O_APPEND: writes land at off.
+type appendAt struct {
+	File
+	off int64
+}
+
+func (a *appendAt) Write(p []byte) (int, error) {
+	type writerAt interface {
+		WriteAt(p []byte, off int64) (int, error)
+	}
+	var n int
+	var err error
+	if wa, ok := a.File.(writerAt); ok {
+		n, err = wa.WriteAt(p, a.off)
+	} else {
+		n, err = a.File.Write(p)
+	}
+	a.off += int64(n)
+	return n, err
+}
+
+func (a *appendAt) Truncate(size int64) error {
+	if err := a.File.Truncate(size); err != nil {
+		return err
+	}
+	a.off = size
+	return nil
+}
+
+// scan walks data and returns the length of the longest valid record
+// prefix, the last sequence number seen, and the record count.
+func scan(data []byte) (valid int, lastSeq uint64, count int) {
+	off := 0
+	for off+headerSize <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n < seqSize || n > maxRecord || off+headerSize+n > len(data) {
+			break // torn or garbage tail
+		}
+		body := data[off+headerSize : off+headerSize+n]
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[off+4:]) {
+			break // corrupt record: stop, do not skip
+		}
+		lastSeq = binary.LittleEndian.Uint64(body)
+		off += headerSize + n
+		count++
+	}
+	return off, lastSeq, count
+}
+
+// Append writes one record and applies the fsync policy. It returns
+// the record's sequence number. On a failed write it truncates back to
+// the previous record boundary; if that rollback also fails the log is
+// wedged and all future appends return ErrWedged.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: log closed")
+	}
+	if l.wedged {
+		mAppendErrors.Inc()
+		return 0, ErrWedged
+	}
+	if len(payload) > maxRecord-seqSize {
+		mAppendErrors.Inc()
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload), maxRecord-seqSize)
+	}
+	seq := l.nextSeq
+	buf := make([]byte, headerSize+seqSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(seqSize+len(payload)))
+	binary.LittleEndian.PutUint64(buf[headerSize:], seq)
+	copy(buf[headerSize+seqSize:], payload)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(buf[headerSize:], castagnoli))
+
+	if _, err := l.f.Write(buf); err != nil {
+		mAppendErrors.Inc()
+		// Roll the file back to the last full record so a partial
+		// write doesn't poison everything appended after it.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.wedged = true
+			return 0, fmt.Errorf("wal: append failed (%v) and rollback failed: %w", err, terr)
+		}
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.nextSeq++
+	l.size += int64(len(buf))
+	l.dirty = true
+	mAppends.Inc()
+	mAppendBytes.Add(uint64(len(buf)))
+
+	switch l.opts.Policy {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			mAppendErrors.Inc()
+			return seq, fmt.Errorf("wal: fsync after append: %w", err)
+		}
+	case SyncInterval:
+		if l.timer == nil {
+			l.timer = l.opts.Clock.AfterFunc(l.opts.Interval, l.intervalSync)
+		}
+	}
+	return seq, nil
+}
+
+func (l *Log) intervalSync() {
+	l.mu.Lock()
+	l.timer = nil
+	err := l.syncLocked()
+	l.mu.Unlock()
+	_ = err // counted in metrics; callers of Append were already acked
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty || l.f == nil {
+		return nil
+	}
+	mFsyncs.Inc()
+	if err := l.f.Sync(); err != nil {
+		mFsyncErrors.Inc()
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+// Sync flushes pending appends to disk regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// Replay re-reads the log from disk and calls fn for each valid record
+// in order, stopping silently at the first torn or corrupt record
+// (which open-time scanning normally already truncated). It returns
+// the number of records delivered.
+func (l *Log) Replay(fn func(seq uint64, payload []byte) error) (int, error) {
+	l.mu.Lock()
+	path := l.path
+	l.mu.Unlock()
+	data, err := l.fs.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	valid, _, _ := scan(data)
+	n := 0
+	off := 0
+	for off < valid {
+		recLen := int(binary.LittleEndian.Uint32(data[off:]))
+		body := data[off+headerSize : off+headerSize+recLen]
+		seq := binary.LittleEndian.Uint64(body)
+		if err := fn(seq, body[seqSize:]); err != nil {
+			return n, err
+		}
+		n++
+		off += headerSize + recLen
+	}
+	mReplayed.Add(uint64(n))
+	return n, nil
+}
+
+// Reset truncates the log to empty (after a snapshot has captured its
+// contents). Sequence numbers keep increasing across resets.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log closed")
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset %s: %w", l.path, err)
+	}
+	l.size = 0
+	l.dirty = false
+	l.wedged = false
+	if l.opts.Policy != SyncNone {
+		mFsyncs.Inc()
+		if err := l.f.Sync(); err != nil {
+			mFsyncErrors.Inc()
+			return fmt.Errorf("wal: sync after reset: %w", err)
+		}
+	}
+	return nil
+}
+
+// Size returns the bytes of valid records currently in the log.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close flushes pending appends and closes the file.
+func (l *Log) Close() error {
+	return l.close(true)
+}
+
+// CloseNoSync closes the file without flushing — used to simulate a
+// crash where page-cache contents may or may not have reached disk.
+func (l *Log) CloseNoSync() error {
+	return l.close(false)
+}
+
+func (l *Log) close(sync bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.timer != nil {
+		l.timer.Stop()
+		l.timer = nil
+	}
+	var err error
+	if sync {
+		err = l.syncLocked()
+	}
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	return err
+}
+
+// WriteFileAtomic writes data to path crash-durably: write to a temp
+// file in the same directory, fsync it, rename over path, then fsync
+// the directory so the rename itself survives power loss.
+func WriteFileAtomic(fs FS, path string, data []byte, perm os.FileMode) error {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	tmp := path + ".tmp"
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(path))
+}

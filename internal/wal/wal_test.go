@@ -1,0 +1,486 @@
+package wal_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rnl/internal/faultinject"
+	"rnl/internal/sim"
+	"rnl/internal/wal"
+)
+
+func openLog(t *testing.T, path string, opts wal.Options) *wal.Log {
+	t.Helper()
+	l, err := wal.OpenLog(path, opts)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func replayAll(t *testing.T, l *wal.Log) [][]byte {
+	t.Helper()
+	var got [][]byte
+	var lastSeq uint64
+	n, err := l.Replay(func(seq uint64, payload []byte) error {
+		if seq <= lastSeq {
+			t.Fatalf("sequence went backwards: %d after %d", seq, lastSeq)
+		}
+		lastSeq = seq
+		got = append(got, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(got) {
+		t.Fatalf("Replay reported %d records, delivered %d", n, len(got))
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l := openLog(t, path, wal.Options{})
+	want := [][]byte{[]byte("one"), []byte(""), bytes.Repeat([]byte{0xAB}, 5000)}
+	for _, p := range want {
+		if _, err := l.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	got := replayAll(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: same records survive, sequence numbers continue.
+	l2 := openLog(t, path, wal.Options{})
+	if got := replayAll(t, l2); len(got) != len(want) {
+		t.Fatalf("after reopen: %d records, want %d", len(got), len(want))
+	}
+	seq, err := l2.Append([]byte("four"))
+	if err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if seq != 4 {
+		t.Fatalf("sequence after reopen = %d, want 4", seq)
+	}
+}
+
+func TestOpenMissingAndEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file.
+	l := openLog(t, filepath.Join(dir, "missing.wal"), wal.Options{})
+	if got := replayAll(t, l); len(got) != 0 {
+		t.Fatalf("missing log replayed %d records", len(got))
+	}
+	if l.Size() != 0 {
+		t.Fatalf("missing log size = %d", l.Size())
+	}
+	// Empty file.
+	empty := filepath.Join(dir, "empty.wal")
+	if err := os.WriteFile(empty, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openLog(t, empty, wal.Options{})
+	if got := replayAll(t, l2); len(got) != 0 {
+		t.Fatalf("empty log replayed %d records", len(got))
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l := openLog(t, path, wal.Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantSize := l.Size()
+	l.Close()
+
+	// Simulate a crash mid-append: garbage tail after the last record.
+	if err := faultinject.TornTail(path, []byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, path, wal.Options{})
+	if got := replayAll(t, l2); len(got) != 3 {
+		t.Fatalf("after torn tail: %d records, want 3", len(got))
+	}
+	if l2.Size() != wantSize {
+		t.Fatalf("size after truncation = %d, want %d", l2.Size(), wantSize)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != wantSize {
+		t.Fatalf("file size on disk = %d, want %d (tail not truncated)", fi.Size(), wantSize)
+	}
+	// Appends after truncation land cleanly.
+	if _, err := l2.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, l2); len(got) != 4 {
+		t.Fatalf("after post-truncation append: %d records", len(got))
+	}
+}
+
+func TestPartialFinalRecordTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l := openLog(t, path, wal.Options{})
+	l.Append([]byte("keep-me"))
+	keep := l.Size()
+	l.Append(bytes.Repeat([]byte{7}, 100))
+	l.Close()
+
+	// Chop the last record in half — a torn append.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:keep+20], 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, path, wal.Options{})
+	got := replayAll(t, l2)
+	if len(got) != 1 || string(got[0]) != "keep-me" {
+		t.Fatalf("after partial record: got %d records %q", len(got), got)
+	}
+}
+
+func TestMidRecordCorruptionStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l := openLog(t, path, wal.Options{})
+	var offsets []int64
+	for i := 0; i < 3; i++ {
+		l.Append([]byte(fmt.Sprintf("payload-%d", i)))
+		offsets = append(offsets, l.Size())
+	}
+	l.Close()
+
+	// Flip a payload byte inside record 1 (the middle record). The CRC
+	// must reject it and replay must stop — records after a corrupt one
+	// cannot be trusted.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offsets[0]+16] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, path, wal.Options{})
+	got := replayAll(t, l2)
+	if len(got) != 1 || string(got[0]) != "payload-0" {
+		t.Fatalf("after mid-record corruption: got %d records %q, want just payload-0", len(got), got)
+	}
+	if l2.Size() != offsets[0] {
+		t.Fatalf("corrupt suffix not truncated: size %d, want %d", l2.Size(), offsets[0])
+	}
+}
+
+func TestGarbageLengthFieldStopsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l := openLog(t, path, wal.Options{})
+	l.Append([]byte("good"))
+	l.Close()
+
+	// Append a header claiming an absurd record length.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	f.Write(hdr[:])
+	f.Write(bytes.Repeat([]byte{0x55}, 64))
+	f.Close()
+
+	l2 := openLog(t, path, wal.Options{})
+	if got := replayAll(t, l2); len(got) != 1 {
+		t.Fatalf("after garbage length: %d records, want 1", len(got))
+	}
+}
+
+func TestDoubleReplayIdempotentAtLogLayer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l := openLog(t, path, wal.Options{})
+	for i := 0; i < 5; i++ {
+		l.Append([]byte{byte(i)})
+	}
+	first := replayAll(t, l)
+	second := replayAll(t, l)
+	if len(first) != 5 || len(second) != 5 {
+		t.Fatalf("replay counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if !bytes.Equal(first[i], second[i]) {
+			t.Fatalf("record %d differs between replays", i)
+		}
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		d := faultinject.NewDisk(nil)
+		l := openLog(t, filepath.Join(t.TempDir(), "a.wal"), wal.Options{Policy: wal.SyncAlways, FS: d})
+		l.Append([]byte("x"))
+		l.Append([]byte("y"))
+		if _, syncs, _ := d.Counts(); syncs < 2 {
+			t.Fatalf("policy always: %d fsyncs for 2 appends", syncs)
+		}
+	})
+	t.Run("none", func(t *testing.T) {
+		d := faultinject.NewDisk(nil)
+		l := openLog(t, filepath.Join(t.TempDir(), "n.wal"), wal.Options{Policy: wal.SyncNone, FS: d})
+		l.Append([]byte("x"))
+		l.Append([]byte("y"))
+		if _, syncs, _ := d.Counts(); syncs != 0 {
+			t.Fatalf("policy none: %d fsyncs, want 0", syncs)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		clk := sim.NewFake(time.Unix(0, 0))
+		d := faultinject.NewDisk(nil)
+		l := openLog(t, filepath.Join(t.TempDir(), "i.wal"), wal.Options{
+			Policy: wal.SyncInterval, Interval: time.Second, Clock: clk, FS: d,
+		})
+		l.Append([]byte("x"))
+		l.Append([]byte("y"))
+		if _, syncs, _ := d.Counts(); syncs != 0 {
+			t.Fatalf("interval policy fsynced before the interval elapsed (%d)", syncs)
+		}
+		clk.Advance(time.Second)
+		if _, syncs, _ := d.Counts(); syncs != 1 {
+			t.Fatalf("interval policy: %d fsyncs after tick, want 1 (batched)", syncs)
+		}
+	})
+}
+
+func TestWriteErrorRollsBack(t *testing.T) {
+	d := faultinject.NewDisk(nil)
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l := openLog(t, path, wal.Options{FS: d})
+	l.Append([]byte("good"))
+
+	boom := errors.New("disk full")
+	d.FailWrites(boom)
+	if _, err := l.Append([]byte("bad")); !errors.Is(err, boom) {
+		t.Fatalf("Append under write fault: err=%v, want %v", err, boom)
+	}
+	d.FailWrites(nil)
+
+	// The failed append must not have consumed disk space or broken the
+	// log: the next append lands right after "good".
+	if _, err := l.Append([]byte("after")); err != nil {
+		t.Fatalf("Append after fault cleared: %v", err)
+	}
+	got := replayAll(t, l)
+	if len(got) != 2 || string(got[0]) != "good" || string(got[1]) != "after" {
+		t.Fatalf("after rollback: %q", got)
+	}
+}
+
+func TestShortWriteLeavesRecoverableTornTail(t *testing.T) {
+	d := faultinject.NewDisk(nil)
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l := openLog(t, path, wal.Options{FS: d})
+	l.Append([]byte("good"))
+
+	// Tear the next append after 10 bytes; rollback truncates it away.
+	d.ShortWrites(10, errors.New("power loss"))
+	if _, err := l.Append([]byte("torn-record-payload")); err == nil {
+		t.Fatal("short write did not surface an error")
+	}
+	d.FailWrites(nil)
+	l.Close()
+
+	l2 := openLog(t, path, wal.Options{})
+	got := replayAll(t, l2)
+	if len(got) != 1 || string(got[0]) != "good" {
+		t.Fatalf("after torn append: %q", got)
+	}
+}
+
+func TestEveryNthFsyncFails(t *testing.T) {
+	d := faultinject.NewDisk(nil)
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l := openLog(t, path, wal.Options{Policy: wal.SyncAlways, FS: d})
+
+	boom := errors.New("fsync: I/O error")
+	d.FailEveryNthFsync(3, boom)
+	var failed, ok int
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("unexpected append error: %v", err)
+			}
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if failed == 0 || ok == 0 {
+		t.Fatalf("expected a mix of failures and successes, got %d/%d", failed, ok)
+	}
+	// Every record hit the file even when its fsync failed; all 12
+	// replay (durability of the failed ones is simply not guaranteed).
+	if got := replayAll(t, l); len(got) != 12 {
+		t.Fatalf("replayed %d records, want 12", len(got))
+	}
+}
+
+func TestStoreSnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	snap, logPath := filepath.Join(dir, "state.json"), filepath.Join(dir, "state.wal")
+	st, err := wal.OpenStore(snap, logPath, wal.Options{MaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	for i := 0; i < 20 && !st.ShouldSnapshot(); i++ {
+		if err := st.Append(bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.ShouldSnapshot() {
+		t.Fatal("log never crossed the rotation threshold")
+	}
+	if err := st.Snapshot([]byte(`{"base":true}`)); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if st.LogSize() != 0 {
+		t.Fatalf("log size after rotation = %d, want 0", st.LogSize())
+	}
+	data, err := st.LoadSnapshot()
+	if err != nil || string(data) != `{"base":true}` {
+		t.Fatalf("LoadSnapshot = %q, %v", data, err)
+	}
+	// Post-rotation appends replay on top of the new base.
+	st.Append([]byte("tail"))
+	n, err := st.Replay(func(_ uint64, p []byte) error {
+		if string(p) != "tail" {
+			t.Fatalf("unexpected record %q", p)
+		}
+		return nil
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("Replay after rotation: n=%d err=%v", n, err)
+	}
+}
+
+func TestStoreSnapshotFailureKeepsLog(t *testing.T) {
+	d := faultinject.NewDisk(nil)
+	dir := t.TempDir()
+	st, err := wal.OpenStore(filepath.Join(dir, "s.json"), filepath.Join(dir, "s.wal"), wal.Options{FS: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.Append([]byte("precious"))
+	size := st.LogSize()
+
+	d.FailRenames(errors.New("rename: EIO"))
+	if err := st.Snapshot([]byte("snap")); err == nil {
+		t.Fatal("Snapshot succeeded despite rename fault")
+	}
+	d.FailRenames(nil)
+	if st.LogSize() != size {
+		t.Fatalf("failed snapshot truncated the log: size %d, want %d", st.LogSize(), size)
+	}
+	if data, _ := st.LoadSnapshot(); data != nil {
+		t.Fatalf("failed snapshot left a base file: %q", data)
+	}
+}
+
+func TestStoreMissingEverything(t *testing.T) {
+	dir := t.TempDir()
+	st, err := wal.OpenStore(filepath.Join(dir, "none.json"), filepath.Join(dir, "none.wal"), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if data, err := st.LoadSnapshot(); err != nil || data != nil {
+		t.Fatalf("LoadSnapshot on fresh dir = %q, %v", data, err)
+	}
+	n, err := st.Replay(func(uint64, []byte) error { return nil })
+	if err != nil || n != 0 {
+		t.Fatalf("Replay on fresh dir: n=%d err=%v", n, err)
+	}
+}
+
+func TestWriteFileAtomicDurable(t *testing.T) {
+	d := faultinject.NewDisk(nil)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := wal.WriteFileAtomic(d, path, []byte("v1"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// fsyncs: one on the temp file, one on the directory after rename.
+	if _, syncs, renames := d.Counts(); syncs < 2 || renames != 1 {
+		t.Fatalf("WriteFileAtomic: syncs=%d renames=%d, want >=2 and 1", syncs, renames)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "v1" {
+		t.Fatalf("content = %q", data)
+	}
+	// A failed temp-file write must leave the old content untouched.
+	d.FailWrites(errors.New("EIO"))
+	if err := wal.WriteFileAtomic(d, path, []byte("v2"), 0o600); err == nil {
+		t.Fatal("WriteFileAtomic succeeded under write fault")
+	}
+	d.FailWrites(nil)
+	if data, _ := os.ReadFile(path); string(data) != "v1" {
+		t.Fatalf("old content clobbered: %q", data)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		p    wal.Policy
+		d    time.Duration
+		fail bool
+	}{
+		{"always", wal.SyncAlways, 0, false},
+		{"", wal.SyncAlways, 0, false},
+		{"none", wal.SyncNone, 0, false},
+		{"250ms", wal.SyncInterval, 250 * time.Millisecond, false},
+		{"bogus", 0, 0, true},
+		{"-1s", 0, 0, true},
+	}
+	for _, c := range cases {
+		p, d, err := wal.ParsePolicy(c.in)
+		if c.fail {
+			if err == nil {
+				t.Errorf("ParsePolicy(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil || p != c.p || d != c.d {
+			t.Errorf("ParsePolicy(%q) = %v,%v,%v want %v,%v", c.in, p, d, err, c.p, c.d)
+		}
+	}
+}
