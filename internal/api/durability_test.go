@@ -124,8 +124,17 @@ func TestRevokeBeforeEndpoint(t *testing.T) {
 		t.Fatalf("fresh token after revocation = %+v, %v", who, err)
 	}
 
-	// Clearing the cutoff (empty request) restores the old token.
-	if resp, err := admin.RevokeTokensBefore(api.RevokeBeforeRequest{}); err != nil || resp.Before != "" {
+	// An empty request must not silently clear the cutoff — clearing a
+	// security control takes the explicit field.
+	if _, err := admin.RevokeTokensBefore(api.RevokeBeforeRequest{}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("empty revoke request err = %v, want 400", err)
+	}
+	if _, err := leaked.WhoAmI(); err == nil {
+		t.Fatal("cutoff was cleared by an empty request")
+	}
+
+	// Explicitly clearing the cutoff restores the old token.
+	if resp, err := admin.RevokeTokensBefore(api.RevokeBeforeRequest{Clear: true}); err != nil || resp.Before != "" {
 		t.Fatalf("clear revoke = %+v, %v, want empty cutoff", resp, err)
 	}
 	if _, err := leaked.WhoAmI(); err != nil {

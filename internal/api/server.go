@@ -1187,8 +1187,12 @@ func (s *Server) handleRevokeBefore(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		cutoff = t
+	case req.Clear:
+		// Explicit clear: the zero cutoff lifts revocation.
 	default:
-		// Neither field set: clear the cutoff (zero time).
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf(`set "now" or "before" to revoke, or "clear": true to lift the cutoff`))
+		return
 	}
 	s.ident.SetRevokeBefore(cutoff)
 	resp := RevokeBeforeResponse{}

@@ -111,10 +111,13 @@ type FlashRequest struct {
 
 // RevokeBeforeRequest sets the token-revocation cutoff: tokens issued
 // before the cutoff stop verifying. Now uses the server clock; Before
-// takes an explicit RFC3339 instant. Neither set clears the cutoff.
+// takes an explicit RFC3339 instant; Clear lifts the cutoff. A request
+// setting none of them is rejected, so a defaulted body cannot
+// silently disable the kill switch.
 type RevokeBeforeRequest struct {
 	Before string `json:"before,omitempty"`
 	Now    bool   `json:"now,omitempty"`
+	Clear  bool   `json:"clear,omitempty"`
 }
 
 // RevokeBeforeResponse echoes the cutoff now in force ("" = none).

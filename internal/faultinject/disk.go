@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -174,7 +175,9 @@ func (f *diskFile) WriteAt(p []byte, off int64) (int, error) {
 	}
 	wa, ok := f.File.(writerAt)
 	if !ok {
-		return f.Write(p)
+		// Falling back to Write would silently drop the offset and
+		// corrupt the simulated log position.
+		return 0, fmt.Errorf("faultinject: inner file %T does not implement WriteAt", f.File)
 	}
 	f.d.mu.Lock()
 	f.d.writes++

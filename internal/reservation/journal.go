@@ -115,8 +115,8 @@ func (c *Calendar) AttachStore(st *wal.Store, onErr func(error)) error {
 		}
 	}
 	c.mu.Unlock()
-	// Rotation rides the OnMutate hook (fired outside the lock, so the
-	// Snapshot() below cannot deadlock against c.mu).
+	// Rotation rides the OnMutate hook — fired outside the lock, which
+	// Checkpoint then re-acquires for its whole capture+truncate span.
 	c.OnMutate(func() {
 		if st.ShouldSnapshot() {
 			if err := c.Checkpoint(st); err != nil && onErr != nil {
@@ -128,9 +128,15 @@ func (c *Calendar) AttachStore(st *wal.Store, onErr func(error)) error {
 }
 
 // Checkpoint folds the log into an incremental snapshot — called on
-// rotation and at graceful shutdown.
+// rotation and at graceful shutdown. It holds c.mu across the state
+// capture AND the snapshot+truncate: the journal append path also runs
+// under c.mu, so no mutation can land in the log after the captured
+// state and then be truncated away while absent from the snapshot —
+// the same guarantee the route server's walMu gives its checkpoint.
 func (c *Calendar) Checkpoint(st *wal.Store) error {
-	data, err := json.MarshalIndent(c.Snapshot(), "", "  ")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, err := json.MarshalIndent(c.snapshotLocked(), "", "  ")
 	if err != nil {
 		return err
 	}

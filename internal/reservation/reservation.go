@@ -367,6 +367,10 @@ func (c *Calendar) mutated() {
 func (c *Calendar) Snapshot() []Reservation {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Calendar) snapshotLocked() []Reservation {
 	var out []Reservation
 	for _, list := range c.byRouter {
 		out = append(out, list...)

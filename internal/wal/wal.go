@@ -266,9 +266,11 @@ func scan(data []byte) (valid int, lastSeq uint64, count int) {
 }
 
 // Append writes one record and applies the fsync policy. It returns
-// the record's sequence number. On a failed write it truncates back to
-// the previous record boundary; if that rollback also fails the log is
-// wedged and all future appends return ErrWedged.
+// the record's sequence number. On a failed write — or a failed fsync
+// under SyncAlways — it truncates back to the previous record
+// boundary, so a mutation reported as failed never replays; if that
+// rollback also fails the log is wedged and all future appends return
+// ErrWedged.
 func (l *Log) Append(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -310,7 +312,18 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	case SyncAlways:
 		if err := l.syncLocked(); err != nil {
 			mAppendErrors.Inc()
-			return seq, fmt.Errorf("wal: fsync after append: %w", err)
+			// The kernel may have dropped the record's dirty pages, so
+			// its durability is unknown. Roll it back like a failed
+			// write: a mutation reported as failed must not silently
+			// replay after restart.
+			if terr := l.f.Truncate(l.size - int64(len(buf))); terr != nil {
+				l.wedged = true
+				return 0, fmt.Errorf("wal: fsync after append failed (%v) and rollback failed: %w", err, terr)
+			}
+			l.nextSeq = seq
+			l.size -= int64(len(buf))
+			l.dirty = false
+			return 0, fmt.Errorf("wal: fsync after append: %w", err)
 		}
 	case SyncInterval:
 		if l.timer == nil {
