@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race soak sim bench bench-fast
+.PHONY: verify build test race soak sim bench bench-fast bench-scale
 
 # Tier-1 gate (keep in sync with ROADMAP.md). The 1-iteration bench
 # smoke keeps the fast-path benchmark compiling and running without
@@ -11,6 +11,7 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race ./internal/wire/... ./internal/ris/... ./internal/routeserver/... ./internal/obs/... ./internal/faultinject/... ./internal/admission/... ./internal/api/... ./internal/detsim/... ./internal/identity/... ./internal/wal/...
 	$(GO) test -run '^$$' -bench ForwardFastPath -benchtime 1x ./internal/routeserver/
+	RNL_SCALE=smoke $(GO) test -run '^$$' -bench Scale -benchtime 1x .
 	$(GO) test -count=1 -run 'Datagram|Dgram' . ./internal/wire/ ./internal/detsim/
 	$(GO) test -count=1 -run 'AuthenticatedDeployEndToEnd|MultiTenant' ./internal/api/ ./internal/detsim/
 	$(MAKE) sim
@@ -52,3 +53,11 @@ bench-fast:
 	  $(GO) test -run '^$$' -bench Fig4PacketFlow -benchtime 1s . ; \
 	  $(GO) test -run '^$$' -bench Transport -benchtime 1s ./internal/wire/ ; } \
 	| tee /dev/stderr | $(GO) run ./internal/tools/benchjson > BENCH_fastpath.json
+
+# Scenario-scale benchmarks: generated 100/500/1000-router labs measuring
+# deploy (sequential baseline vs parallel restore pool), teardown,
+# recovery replay and steady-state pps, recorded as BENCH_scale.json.
+bench-scale:
+	{ $(GO) test -run '^$$' -bench 'ScaleDeploy|ScaleRecovery' -benchtime 1x -timeout 1800s . ; \
+	  $(GO) test -run '^$$' -bench ScalePPS -benchtime 2s -timeout 600s . ; } \
+	| tee /dev/stderr | $(GO) run ./internal/tools/benchjson > BENCH_scale.json

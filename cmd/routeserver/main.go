@@ -9,6 +9,7 @@
 //	            [-auth-revoke-before RFC3339] [-tenant-max-labs N]
 //	            [-tenant-reservation-hours H] [-state DIR] [-grace 60s]
 //	            [-wal-fsync always|none|100ms] [-wal-max-bytes N]
+//	            [-wal-group-commit] [-deploy-workers N]
 //
 // The API token may also come from the RNL_TOKEN environment variable
 // (the -token flag wins), keeping the secret off argv.
@@ -52,6 +53,8 @@ func main() {
 		stateDir   = flag.String("state", "", "directory for durable control-plane state: deployments, inventory, reservations (empty = volatile)")
 		walFsync   = flag.String("wal-fsync", "always", "mutation-log fsync policy: always, none, or a flush interval like 100ms")
 		walMax     = flag.Int64("wal-max-bytes", 0, "rotate the mutation log into an incremental snapshot once it exceeds this size (0 = default 1 MiB)")
+		walGroup   = flag.Bool("wal-group-commit", false, "let concurrent fsync-always log appends share one fsync (group commit); durability per record is unchanged")
+		deployWkrs = flag.Int("deploy-workers", 0, "max concurrent console restores per deploy (0 = default 8, 1 = sequential)")
 		revokeStr  = flag.String("auth-revoke-before", "", "reject bearer tokens issued before this RFC3339 instant (requires -auth-secret; also settable at runtime via POST /api/auth/revoke-before)")
 		grace      = flag.Duration("grace", routeserver.DefaultRouterGracePeriod, "how long a disconnected RIS keeps its identity and labs before GC (0 = drop immediately)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
@@ -157,6 +160,7 @@ func main() {
 		WALFsync:          fsyncPolicy,
 		WALFsyncInterval:  fsyncInterval,
 		WALMaxBytes:       *walMax,
+		WALGroupCommit:    *walGroup,
 		LabRateLimit:      *labPPS,
 		LabRateBurst:      *labBurst,
 		TunnelToken:       tunnelToken,
@@ -203,6 +207,7 @@ func main() {
 		Identity:       ident,
 		Quotas:         quotas,
 		ConsoleTimeout: 10 * time.Second,
+		DeployWorkers:  *deployWkrs,
 		Logger:         log,
 		Admission: api.AdmissionConfig{
 			Disable:        *noAdmission,

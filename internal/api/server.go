@@ -152,7 +152,11 @@ type Config struct {
 	Quotas *identity.Quotas
 	// ConsoleTimeout bounds console automation commands.
 	ConsoleTimeout time.Duration
-	Logger         *slog.Logger
+	// DeployWorkers bounds how many console restores a deploy runs
+	// concurrently (0 = topology.DefaultRestoreWorkers, 1 = strictly
+	// sequential).
+	DeployWorkers int
+	Logger        *slog.Logger
 	// Admission tunes overload protection; the zero value enables it
 	// with generous defaults.
 	Admission AdmissionConfig
@@ -185,6 +189,7 @@ func NewServer(cfg Config) *Server {
 			Cal:            cfg.Calendar,
 			ConsoleTimeout: cfg.ConsoleTimeout,
 			Clock:          clock,
+			Workers:        cfg.DeployWorkers,
 		},
 		captures:   make(map[uint64]*ownedCapture),
 		nextCap:    1,

@@ -1,0 +1,116 @@
+package autotest_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rnl/internal/api"
+	"rnl/internal/autotest"
+	"rnl/internal/lab"
+	"rnl/internal/packet"
+	"rnl/internal/topogen"
+)
+
+// TestGeneratedTopologyConvergence runs the nightly-suite invariants
+// over a generated topology: deploy-with-restore brings every router's
+// RIP process up, the fabric converges (every router learns every link
+// subnet), and an ICMP echo injected at one edge is forwarded across
+// the fabric and captured at a far router's port.
+func TestGeneratedTopologyConvergence(t *testing.T) {
+	top, err := topogen.Generate(topogen.Params{
+		Kind: topogen.Ring, N: 5, Seed: 11, RIP: true,
+		NamePrefix: "gt", Name: "gt-ring",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := lab.NewCloud(lab.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cloud.Close)
+	fleet, err := cloud.AddGeneratedFleet(top, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cloud.Client.SaveDesign(top.Design); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if _, err := cloud.Client.Reserve(api.ReserveRequest{
+		User: "nightly", Routers: top.Design.Routers,
+		Start: now.Add(-time.Minute), End: now.Add(time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Convergence invariant: every router's table holds every link /30.
+	converged := func(ctx *autotest.Context) error {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			missing := ""
+		scan:
+			for _, router := range top.Design.Routers {
+				outs, err := ctx.Client.ConsoleExec(api.ConsoleExecRequest{
+					Router: router, Commands: []string{"show ip route"},
+				})
+				if err != nil {
+					return err
+				}
+				table := strings.Join(outs, "\n")
+				for i := range top.Design.Links {
+					if !strings.Contains(table, top.Subnet(i)) {
+						missing = fmt.Sprintf("%s lacks %s", router, top.Subnet(i))
+						break scan
+					}
+				}
+			}
+			if missing == "" {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("RIP never converged: %s", missing)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	// Far-connectivity probe: an echo request injected into gt-1 (as if
+	// a host on its eth0 wire sent it) addressed to gt-2's far-side
+	// interface must be RIP-forwarded out gt-1.eth1 and show up at
+	// gt-2.eth0. The shortest path is unique (1 hop vs 3 the other way
+	// around the ring), so the capture point is deterministic.
+	dstIP := net.ParseIP(top.Addr["gt-2"]["eth1"].IP)
+	echo, err := packet.BuildICMPEcho(
+		net.HardwareAddr{2, 0xaa, 0, 0, 0, 1}, fleet["gt-1"].PortMAC("eth0"),
+		net.ParseIP("10.99.0.1"), dstIP,
+		packet.ICMPv4TypeEchoRequest, 7, 1, []byte("gen-probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := autotest.ConnectivityPolicy("far-icmp", "gt-1", "eth0", echo,
+		"gt-2", "eth0", autotest.MatchICMP(packet.ICMPv4TypeEchoRequest))
+	probe.Count = 2
+	probe.Within = 5 * time.Second
+
+	r := &autotest.Runner{Client: cloud.Client}
+	res := r.Run(autotest.TestCase{
+		Name:   "generated-ring",
+		Design: top.Design.Name, User: "nightly", RestoreConfigs: true,
+		Steps: []autotest.Step{
+			autotest.Custom{Name: "rip-converged", Fn: converged},
+			probe,
+		},
+	})
+	if !res.Passed {
+		for _, s := range res.Steps {
+			if s.Err != nil {
+				t.Errorf("step %s: %v", s.Description, s.Err)
+			}
+		}
+		t.Fatalf("generated-topology case failed: %v", res.Err)
+	}
+}

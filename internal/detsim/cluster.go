@@ -16,6 +16,7 @@ import (
 	"rnl/internal/ris"
 	"rnl/internal/routeserver"
 	"rnl/internal/sim"
+	"rnl/internal/topogen"
 	"rnl/internal/wal"
 )
 
@@ -67,6 +68,15 @@ type host struct {
 	cancel context.CancelFunc
 }
 
+// topoNode is one router of the generated mega-lab: a reconnecting RIS
+// agent fronting a multi-port router whose ports are bare adapters —
+// like hosts, it generates no traffic of its own.
+type topoNode struct {
+	name   string
+	agent  *ris.Agent
+	cancel context.CancelFunc
+}
+
 // cluster is the simulated deployment a scenario runs against: one
 // route server (restartable, state on disk) behind a fault-injection
 // controller, plus a fleet of reconnecting agents — all sharing one
@@ -79,6 +89,12 @@ type cluster struct {
 	srv      *routeserver.Server
 	ln       net.Listener
 	hosts    []*host
+
+	// topo is the generated mega-lab fleet (Scenario.TopoSeed != 0):
+	// one agent per generated router, deployed as a single standing lab
+	// the invariants track across flaps and crash-restarts.
+	topo    []*topoNode
+	topoTop *topogen.Topology
 
 	// datagram switches the whole cluster to the best-effort UDP data
 	// plane; lossEveryN > 0 drops every Nth datagram send, counted by
@@ -185,6 +201,12 @@ func startCluster(clock *sim.Fake, stateDir string, sc Scenario) (*cluster, erro
 		}
 		c.hosts = append(c.hosts, h)
 	}
+	if sc.TopoSeed != 0 {
+		if err := c.startTopo(sc.TopoSeed); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	if c.datagram {
 		// The punch exchange runs on the real clock (agent retransmits on
 		// a wall-time timer), so wait for it without advancing virtual
@@ -243,6 +265,114 @@ func (c *cluster) startHost(name string) (*host, error) {
 	return h, nil
 }
 
+// topoLabName is the generated mega-lab's deployment name. The lab is
+// deployed once at cluster start and must survive every flap, restart
+// and crash-restart of the scenario intact.
+const topoLabName = "topo-lab"
+
+// topoParams derives the generated mega-lab's shape from the scenario
+// seed — a pure function, so replays of the same seed rebuild the same
+// topology byte for byte.
+func topoParams(seed int64) topogen.Params {
+	p := topogen.Params{Seed: seed, NamePrefix: "topo", Name: topoLabName}
+	switch ((seed % 3) + 3) % 3 {
+	case 0:
+		p.Kind, p.N = topogen.Ring, 5
+	case 1:
+		p.Kind, p.N = topogen.Mesh, 4
+	default:
+		p.Kind, p.Rings, p.RingSize = topogen.StarOfRings, 2, 2
+	}
+	return p
+}
+
+// startTopo generates the mega-lab topology, brings up one agent per
+// generated router (joined strictly in router order, like hosts, so ID
+// assignment is deterministic) and deploys the full link set as one
+// standing lab.
+func (c *cluster) startTopo(seed int64) error {
+	top, err := topogen.Generate(topoParams(seed))
+	if err != nil {
+		return fmt.Errorf("detsim: generating topo lab: %w", err)
+	}
+	c.topoTop = top
+	agents := make(map[string]*ris.Agent, len(top.Design.Routers))
+	for _, router := range top.Design.Routers {
+		node, err := c.startTopoNode(router, top.Ports[router])
+		if err != nil {
+			return err
+		}
+		c.topo = append(c.topo, node)
+		agents[router] = node.agent
+	}
+	links := make([]routeserver.Link, 0, len(top.Design.Links))
+	for _, l := range top.Design.Links {
+		ra, pa, ok := agents[l.A.Router].PortID(l.A.Router, l.A.Port)
+		if !ok {
+			return fmt.Errorf("detsim: no port ID for %s/%s", l.A.Router, l.A.Port)
+		}
+		rb, pb, ok := agents[l.B.Router].PortID(l.B.Router, l.B.Port)
+		if !ok {
+			return fmt.Errorf("detsim: no port ID for %s/%s", l.B.Router, l.B.Port)
+		}
+		links = append(links, routeserver.Link{
+			A: routeserver.PortKey{Router: ra, Port: pa},
+			B: routeserver.PortKey{Router: rb, Port: pb},
+		})
+	}
+	if err := c.srv.DeployLab(routeserver.DeploySpec{Name: topoLabName}, links, nil); err != nil {
+		return fmt.Errorf("detsim: deploying topo lab: %w", err)
+	}
+	return nil
+}
+
+// startTopoNode starts one mega-lab router's agent: multi-port, bare
+// adapters behind every port (no emulated device, no self-generated
+// traffic), reconnecting Run mode, blocked until joined.
+func (c *cluster) startTopoNode(name string, ports []string) (*topoNode, error) {
+	pm := make([]ris.PortMap, len(ports))
+	for i, p := range ports {
+		pm[i] = ris.PortMap{Name: p, NIC: netsim.NewIface("pc-" + name + "/" + p)}
+	}
+	agent, err := ris.New(ris.Config{
+		ServerAddr: c.addr,
+		PCName:     "pc-" + name,
+		Routers: []ris.RouterDef{{
+			Name:  name,
+			Model: "7200 Series",
+			Ports: pm,
+		}},
+		Clock:               c.clock,
+		PeerTimeout:         ris.NoPeerTimeout,
+		Datagram:            c.datagram,
+		KeepaliveInterval:   10 * time.Minute,
+		ReconnectBackoff:    agentBackoff,
+		ReconnectResetAfter: time.Minute,
+	}, discardLogger())
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	node := &topoNode{name: name, agent: agent, cancel: cancel}
+	go agent.Run(ctx)
+	deadline := time.Now().Add(quiesceLimit)
+	for agent.RouterID(name) == 0 {
+		if time.Now().After(deadline) {
+			cancel()
+			return nil, fmt.Errorf("detsim: topo router %s never joined", name)
+		}
+		time.Sleep(quiesceReal)
+	}
+	return node, nil
+}
+
+// fleetSize is how many routers (and agent sessions — both are one per
+// router here) the cluster runs: the scenario hosts plus the generated
+// mega-lab fleet.
+func (c *cluster) fleetSize() int {
+	return len(c.hosts) + len(c.topo)
+}
+
 // portKey resolves host i's single port to its server-side key.
 func (c *cluster) portKey(i int) (routeserver.PortKey, error) {
 	h := c.hosts[i]
@@ -260,7 +390,7 @@ func (c *cluster) settled() bool {
 		return false
 	}
 	inv := c.srv.Inventory()
-	if len(inv) != len(c.hosts) {
+	if len(inv) != c.fleetSize() {
 		return false
 	}
 	for _, r := range inv {
@@ -269,10 +399,10 @@ func (c *cluster) settled() bool {
 		}
 	}
 	// Datagram mode also requires every live session's UDP path to be
-	// punched (exactly one per host: stale peers of dead sessions keep
-	// the count off until the server reaps them), so forwarding during
-	// steps never silently falls back to TCP on a race.
-	if c.datagram && c.srv.DatagramPeers() != len(c.hosts) {
+	// punched (exactly one per host and topo router: stale peers of dead
+	// sessions keep the count off until the server reaps them), so
+	// forwarding during steps never silently falls back to TCP on a race.
+	if c.datagram && c.srv.DatagramPeers() != c.fleetSize() {
 		return false
 	}
 	return true
@@ -299,7 +429,7 @@ func (c *cluster) quiesce() error {
 // recover their identities. Returns how many connections were killed.
 func (c *cluster) flap() (int, error) {
 	killed := c.ctl.KillAll()
-	c.recoveriesWant += uint64(len(c.hosts))
+	c.recoveriesWant += uint64(c.fleetSize())
 	return killed, c.quiesce()
 }
 
@@ -343,7 +473,7 @@ func (c *cluster) restart() error {
 	}
 	c.ln = ln
 	c.srv.Serve(c.ctl.WrapListener(ln))
-	c.recoveriesWant = uint64(len(c.hosts))
+	c.recoveriesWant = uint64(c.fleetSize())
 	return c.quiesce()
 }
 
@@ -371,6 +501,9 @@ func (c *cluster) totals() map[string]uint64 {
 func (c *cluster) Close() {
 	for _, h := range c.hosts {
 		h.cancel()
+	}
+	for _, n := range c.topo {
+		n.cancel()
 	}
 	if c.srv != nil {
 		c.srv.Close()

@@ -104,6 +104,14 @@ type Scenario struct {
 	// and a tiny rotation threshold so the run also exercises incremental
 	// snapshots mid-scenario.
 	Crash bool
+	// TopoSeed, when non-zero, deploys a generated mega-lab (topogen,
+	// shape and addressing derived purely from this seed) at cluster
+	// start: one agent per generated router, every generated link wired
+	// through the matrix as the standing "topo-lab" deployment. The lab
+	// must survive every flap, restart and crash-restart with its full
+	// link set intact — checked after every step — which ties the
+	// topology generator's output to the crash-recovery corpus.
+	TopoSeed int64
 	// Tenants > 0 runs the scenario multi-tenant: deployed labs are
 	// assigned round-robin to t0..t(Tenants-1), deploys go through
 	// DeployLab with the tenant recorded, and two extra invariant
@@ -266,7 +274,13 @@ func (r *runner) violation(step int, op Op, format string, args ...any) error {
 }
 
 func (r *runner) run() error {
-	r.log.Info("scenario start", "seed", r.sc.Seed, "steps", r.sc.Steps, "hosts", r.sc.Hosts)
+	if r.sc.TopoSeed != 0 {
+		r.log.Info("scenario start", "seed", r.sc.Seed, "steps", r.sc.Steps, "hosts", r.sc.Hosts,
+			"topo_kind", string(topoParams(r.sc.TopoSeed).Kind), "topo_routers", len(r.cl.topoTop.Design.Routers),
+			"topo_links", len(r.cl.topoTop.Design.Links))
+	} else {
+		r.log.Info("scenario start", "seed", r.sc.Seed, "steps", r.sc.Steps, "hosts", r.sc.Hosts)
+	}
 	for i := 0; i < r.sc.Steps; i++ {
 		if err := r.align(r.stepStart(i)); err != nil {
 			return r.violation(i, -1, "%v", err)
@@ -583,8 +597,8 @@ func (r *runner) opFlap(i int) error {
 	if err != nil {
 		return r.violation(i, OpFlap, "%v", err)
 	}
-	if killed != len(r.cl.hosts) {
-		return r.violation(i, OpFlap, "killed %d tunnels, want %d", killed, len(r.cl.hosts))
+	if killed != r.cl.fleetSize() {
+		return r.violation(i, OpFlap, "killed %d tunnels, want %d", killed, r.cl.fleetSize())
 	}
 	if err := r.checkIDsStable(i, OpFlap); err != nil {
 		return err
@@ -607,8 +621,13 @@ func (r *runner) opRestart(i int) error {
 		return r.violation(i, OpRestart, "%v", err)
 	}
 	// Every deployment the harness believes in must have survived the
-	// restart, restored from the state snapshot.
+	// restart, restored from the state snapshot. The generated mega-lab,
+	// when present, is one of them.
 	want := r.labNames()
+	if r.sc.TopoSeed != 0 {
+		want = append(want, topoLabName)
+		sort.Strings(want)
+	}
 	got := make([]string, 0, len(want))
 	for _, d := range r.cl.srv.Deployments() {
 		got = append(got, d.Name)
@@ -730,6 +749,24 @@ func (r *runner) checkAlways(i int, op Op) error {
 	// The fleet is whole: every agent online between steps.
 	if !r.cl.settled() {
 		return r.violation(i, op, "cluster not settled after step")
+	}
+	// The generated mega-lab, when present, is a standing deployment
+	// with its complete link set — churn may not reclaim it, restarts
+	// must restore it, crash-replay may not shed a link.
+	if r.sc.TopoSeed != 0 {
+		found := false
+		for _, d := range r.cl.srv.Deployments() {
+			if d.Name != topoLabName {
+				continue
+			}
+			found = true
+			if want := len(r.cl.topoTop.Design.Links); len(d.Links) != want {
+				return r.violation(i, op, "topo lab has %d links, want %d", len(d.Links), want)
+			}
+		}
+		if !found {
+			return r.violation(i, op, "topo lab %q missing from deployments", topoLabName)
+		}
 	}
 	// Multi-tenant mode: tenant attribution is durable — every live
 	// deployment still carries the tenant the harness assigned it, across

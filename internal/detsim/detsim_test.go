@@ -196,6 +196,47 @@ func TestMultiTenantScenario(t *testing.T) {
 	}
 }
 
+// TestGeneratedTopologyScenario runs the full operation mix — including
+// crash-restarts with torn log tails — with a topogen-generated mega-lab
+// standing for the whole run: one agent per generated router, every
+// generated link deployed through the matrix at cluster start. After
+// every step the lab must still be deployed with its complete link set
+// (churn may not reclaim it, crash-replay may not shed a link), and the
+// run must replay to byte-identical logs — the generated topology is a
+// pure function of its seed.
+func TestGeneratedTopologyScenario(t *testing.T) {
+	sc := detsim.Scenario{
+		Seed: 9001,
+		Ops: []detsim.Op{
+			detsim.OpDeploy,
+			detsim.OpRestart,
+			detsim.OpInject,
+			detsim.OpChurn,
+			detsim.OpFlap,
+			detsim.OpRestart,
+			detsim.OpTeardown,
+			detsim.OpOverload,
+		},
+		Crash:    true,
+		TopoSeed: 31,
+	}
+	first, err := detsim.Run(sc, detsim.Options{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("first run: %v\nevent log:\n%s", err, first.Log)
+	}
+	if !first.Sometimes["crash"] {
+		t.Error("sometimes[crash] never held: the mega-lab never survived a crash-restart")
+	}
+	second, err := detsim.Run(sc, detsim.Options{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("replay: %v\nevent log:\n%s", err, second.Log)
+	}
+	if !bytes.Equal(first.Log, second.Log) {
+		t.Fatalf("generated-topology replay logs differ for seed %d:\n--- first ---\n%s\n--- second ---\n%s",
+			sc.Seed, first.Log, second.Log)
+	}
+}
+
 // TestDatagramLossScenario runs the fleet on the best-effort UDP data
 // plane with a deterministic 1-in-7 drop schedule: the extended
 // conservation ledger (injected == forwarded + no_route + throttled +

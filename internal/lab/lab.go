@@ -21,6 +21,7 @@ import (
 	"rnl/internal/ris"
 	"rnl/internal/routeserver"
 	"rnl/internal/sim"
+	"rnl/internal/topogen"
 	"rnl/internal/topology"
 	"rnl/internal/wal"
 )
@@ -75,6 +76,8 @@ type Options struct {
 	// package default threshold.
 	WALFsync    wal.Policy
 	WALMaxBytes int64
+	// WALGroupCommit lets concurrent fsync-always appends share fsyncs.
+	WALGroupCommit bool
 }
 
 // clock resolves the cloud clock (wall time by default).
@@ -128,6 +131,7 @@ func NewCloud(opts Options) (*Cloud, error) {
 		WALFS:            opts.WALFS,
 		WALFsync:         opts.WALFsync,
 		WALMaxBytes:      opts.WALMaxBytes,
+		WALGroupCommit:   opts.WALGroupCommit,
 	})
 	tunnelAddr, err := rs.Listen("127.0.0.1:0")
 	if err != nil {
@@ -173,6 +177,15 @@ func NewCloud(opts Options) (*Cloud, error) {
 func (c *Cloud) DeployDesign(d *topology.Design) error {
 	dep := &topology.Deployer{Server: c.RS, ConsoleTimeout: 5 * time.Second, Clock: c.opts.Clock}
 	return dep.Deploy(context.Background(), "", d, false)
+}
+
+// DeployDesignRestore deploys a design AND replays its saved configs
+// through a restore pool of the given width (0 = default, 1 = strictly
+// sequential) — the scale benchmarks' knob for sequential-vs-parallel
+// comparison.
+func (c *Cloud) DeployDesignRestore(ctx context.Context, d *topology.Design, workers int) error {
+	dep := &topology.Deployer{Server: c.RS, ConsoleTimeout: 5 * time.Second, Clock: c.opts.Clock, Workers: workers}
+	return dep.Deploy(ctx, "", d, true)
 }
 
 // Close shuts everything down, equipment first.
@@ -285,6 +298,89 @@ func (c *Cloud) AddRouter(name string, ports []string) (*device.Router, *Equipme
 		return nil, nil, err
 	}
 	return r, eq, nil
+}
+
+// FleetRouter names one router in a fleet and its port list.
+type FleetRouter struct {
+	Name  string
+	Ports []string
+}
+
+// AddRouterFleet creates many emulated routers behind ONE shared RIS
+// agent — the rack shape: a single lab PC fronting a shelf of routers.
+// At benchmark scale this is the difference between N tunnel sessions
+// and one. Every router still gets its own console and per-port NICs.
+func (c *Cloud) AddRouterFleet(pcName string, defs []FleetRouter) (map[string]*device.Router, *ris.Agent, error) {
+	routers := make(map[string]*device.Router, len(defs))
+	rdefs := make([]ris.RouterDef, 0, len(defs))
+	for _, fr := range defs {
+		r := device.NewRouter(fr.Name, fr.Ports, c.opts.Timers)
+		c.onClose(r.Close)
+		routers[fr.Name] = r
+		def := ris.RouterDef{Name: fr.Name, Model: "7200 Series", Description: "IP router"}
+		for _, pn := range fr.Ports {
+			nic := netsim.NewIface("pc-" + pcName + "/" + fr.Name + "/" + pn)
+			w := netsim.Connect(r.Port(pn), nic, nil)
+			c.onClose(w.Disconnect)
+			def.Ports = append(def.Ports, ris.PortMap{Name: pn, NIC: nic, Description: pn + " on " + fr.Name})
+		}
+		sp := netsim.NewSerialPort()
+		c.onClose(sp.Close)
+		go device.AttachConsole(r, sp.DeviceEnd)
+		def.Console = sp.PCEnd
+		rdefs = append(rdefs, def)
+	}
+	tunnelToken := c.opts.TunnelToken
+	if tunnelToken == "" {
+		tunnelToken = c.opts.Token
+	}
+	agent, err := ris.New(ris.Config{
+		ServerAddr:  c.TunnelAddr,
+		PCName:      "pc-" + pcName,
+		Compress:    c.opts.Compress,
+		Token:       tunnelToken,
+		DatagramMTU: c.opts.DatagramMTU,
+		Routers:     rdefs,
+		Clock:       c.opts.Clock,
+		PeerTimeout: c.opts.PeerTimeout,
+	}, c.log)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := agent.Start(); err != nil {
+		return nil, nil, err
+	}
+	c.onClose(agent.Close)
+	return routers, agent, nil
+}
+
+// AddGeneratedFleet instantiates every router of a generated topology,
+// chunked perAgent routers behind each RIS agent (perAgent ≤ 0 means
+// 64). Routers join in the topology's definition order.
+func (c *Cloud) AddGeneratedFleet(top *topogen.Topology, perAgent int) (map[string]*device.Router, error) {
+	if perAgent <= 0 {
+		perAgent = 64
+	}
+	all := make(map[string]*device.Router, len(top.Design.Routers))
+	names := top.Design.Routers
+	for start := 0; start < len(names); start += perAgent {
+		end := start + perAgent
+		if end > len(names) {
+			end = len(names)
+		}
+		defs := make([]FleetRouter, 0, end-start)
+		for _, n := range names[start:end] {
+			defs = append(defs, FleetRouter{Name: n, Ports: top.Ports[n]})
+		}
+		routers, _, err := c.AddRouterFleet(fmt.Sprintf("rack%d", start/perAgent), defs)
+		if err != nil {
+			return nil, err
+		}
+		for n, r := range routers {
+			all[n] = r
+		}
+	}
+	return all, nil
 }
 
 // AddSwitch creates an emulated Catalyst switch and joins it to the labs.

@@ -41,6 +41,7 @@ func (c *Calendar) applyRecordLocked(rec Record) {
 				continue // already in the snapshot this log overlaps
 			}
 			c.byRouter[r.Router] = insertSorted(c.byRouter[r.Router], r)
+			c.indexLocked(r)
 			if r.ID >= c.nextID {
 				c.nextID = r.ID + 1
 			}
@@ -53,6 +54,8 @@ func (c *Calendar) applyRecordLocked(rec Record) {
 			for _, r := range list {
 				if r.End.After(rec.Before) {
 					keep = append(keep, r)
+				} else {
+					c.unindexLocked(r)
 				}
 			}
 			if len(keep) == 0 {
@@ -65,14 +68,8 @@ func (c *Calendar) applyRecordLocked(rec Record) {
 }
 
 func (c *Calendar) existsLocked(id uint64) bool {
-	for _, list := range c.byRouter {
-		for _, r := range list {
-			if r.ID == id {
-				return true
-			}
-		}
-	}
-	return false
+	_, ok := c.byID[id]
+	return ok
 }
 
 // AttachStore binds the calendar to a snapshot+log store: it recovers

@@ -40,6 +40,12 @@ type Calendar struct {
 	nextID uint64
 	// byRouter holds each router's bookings sorted by start time.
 	byRouter map[string][]Reservation
+	// byID and byUser index the same bookings (values are immutable
+	// once created) so ID lookups, ownership checks and per-user quota
+	// sums don't scan the whole book — HeldBy on a 1000-router design
+	// is O(user's bookings + routers), not O(routers × bookings).
+	byID   map[uint64]Reservation
+	byUser map[string]map[uint64]Reservation
 	// onMutate callbacks fire (outside the lock) after every successful
 	// mutation — the durability hook.
 	onMutate []func()
@@ -60,7 +66,35 @@ func New(clock sim.Clock) *Calendar {
 	if clock == nil {
 		clock = sim.Real{}
 	}
-	return &Calendar{clock: clock, nextID: 1, byRouter: make(map[string][]Reservation)}
+	return &Calendar{
+		clock:    clock,
+		nextID:   1,
+		byRouter: make(map[string][]Reservation),
+		byID:     make(map[uint64]Reservation),
+		byUser:   make(map[string]map[uint64]Reservation),
+	}
+}
+
+// indexLocked and unindexLocked maintain byID/byUser alongside
+// byRouter. Caller holds c.mu.
+func (c *Calendar) indexLocked(r Reservation) {
+	c.byID[r.ID] = r
+	u := c.byUser[r.User]
+	if u == nil {
+		u = make(map[uint64]Reservation)
+		c.byUser[r.User] = u
+	}
+	u[r.ID] = r
+}
+
+func (c *Calendar) unindexLocked(r Reservation) {
+	delete(c.byID, r.ID)
+	if u := c.byUser[r.User]; u != nil {
+		delete(u, r.ID)
+		if len(u) == 0 {
+			delete(c.byUser, r.User)
+		}
+	}
 }
 
 // ErrConflict is returned when a requested window overlaps an existing
@@ -115,6 +149,7 @@ func (c *Calendar) Reserve(user string, routers []string, start, end time.Time) 
 			res := Reservation{ID: c.nextID, Router: router, User: user, Start: start, End: end}
 			c.nextID++
 			c.byRouter[router] = insertSorted(c.byRouter[router], res)
+			c.indexLocked(res)
 			out = append(out, res)
 		}
 		c.recordLocked(Record{Op: "reserve", Res: out})
@@ -150,11 +185,9 @@ func (c *Calendar) SetQuota(fn func(user string) float64) {
 func (c *Calendar) outstandingHoursLocked(user string) float64 {
 	now := c.clock.Now()
 	total := 0.0
-	for _, list := range c.byRouter {
-		for _, r := range list {
-			if r.User == user && r.End.After(now) {
-				total += r.End.Sub(r.Start).Hours()
-			}
+	for _, r := range c.byUser[user] {
+		if r.End.After(now) {
+			total += r.End.Sub(r.Start).Hours()
 		}
 	}
 	return total
@@ -166,14 +199,8 @@ func (c *Calendar) outstandingHoursLocked(user string) float64 {
 func (c *Calendar) Get(id uint64) (Reservation, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, list := range c.byRouter {
-		for _, r := range list {
-			if r.ID == id {
-				return r, true
-			}
-		}
-	}
-	return Reservation{}, false
+	r, ok := c.byID[id]
+	return r, ok
 }
 
 // ErrNotOwner marks a CancelOwned attempt on a booking held by someone
@@ -217,28 +244,33 @@ func (c *Calendar) CancelOwned(id uint64, user string) error {
 	return err
 }
 
-// cancelLocked removes a booking, optionally verifying its holder first.
-// Caller holds c.mu.
+// cancelLocked removes a booking, optionally verifying its holder
+// first. Caller holds c.mu. The byID index makes this O(bookings on
+// the one affected router), not a scan of the whole book.
 func (c *Calendar) cancelLocked(id uint64, owner *string) error {
-	for router, list := range c.byRouter {
-		for i, r := range list {
-			if r.ID != id {
-				continue
-			}
-			if owner != nil && r.User != *owner {
-				return fmt.Errorf("reservation %d is not held by %q: %w", id, *owner, ErrNotOwner)
-			}
-			if len(list) == 1 {
-				// Last booking: drop the key too, or routers that were
-				// ever cancelled leak map entries forever.
-				delete(c.byRouter, router)
-			} else {
-				c.byRouter[router] = append(list[:i], list[i+1:]...)
-			}
-			return nil
-		}
+	r, ok := c.byID[id]
+	if !ok {
+		return fmt.Errorf("reservation: no reservation %d", id)
 	}
-	return fmt.Errorf("reservation: no reservation %d", id)
+	if owner != nil && r.User != *owner {
+		return fmt.Errorf("reservation %d is not held by %q: %w", id, *owner, ErrNotOwner)
+	}
+	list := c.byRouter[r.Router]
+	for i := range list {
+		if list[i].ID != id {
+			continue
+		}
+		if len(list) == 1 {
+			// Last booking: drop the key too, or routers that were
+			// ever cancelled leak map entries forever.
+			delete(c.byRouter, r.Router)
+		} else {
+			c.byRouter[r.Router] = append(list[:i], list[i+1:]...)
+		}
+		break
+	}
+	c.unindexLocked(r)
+	return nil
 }
 
 // Schedule returns a router's bookings from now on, sorted by start.
@@ -256,20 +288,21 @@ func (c *Calendar) Schedule(router string) []Reservation {
 }
 
 // HeldBy reports whether user currently holds every listed router — the
-// check Deploy performs before wiring a design.
+// check Deploy performs before wiring a design. One pass over the
+// user's own bookings builds the currently-held set, so a 1000-router
+// design costs O(user's bookings + routers), not a per-router scan.
 func (c *Calendar) HeldBy(user string, routers []string) bool {
 	now := c.clock.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, router := range routers {
-		held := false
-		for _, r := range c.byRouter[router] {
-			if r.User == user && !r.Start.After(now) && r.End.After(now) {
-				held = true
-				break
-			}
+	held := make(map[string]bool, len(c.byUser[user]))
+	for _, r := range c.byUser[user] {
+		if !r.Start.After(now) && r.End.After(now) {
+			held[r.Router] = true
 		}
-		if !held {
+	}
+	for _, router := range routers {
+		if !held[router] {
 			return false
 		}
 	}
@@ -325,6 +358,7 @@ func (c *Calendar) ExpireBefore(t time.Time) int {
 			if r.End.After(t) {
 				keep = append(keep, r)
 			} else {
+				c.unindexLocked(r)
 				n++
 			}
 		}
@@ -386,11 +420,14 @@ func (c *Calendar) Restore(list []Reservation) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.byRouter = make(map[string][]Reservation)
+	c.byID = make(map[uint64]Reservation)
+	c.byUser = make(map[string]map[uint64]Reservation)
 	for _, r := range list {
 		if r.Router == "" || !r.Start.Before(r.End) {
 			continue
 		}
 		c.byRouter[r.Router] = insertSorted(c.byRouter[r.Router], r)
+		c.indexLocked(r)
 		if r.ID >= c.nextID {
 			c.nextID = r.ID + 1
 		}

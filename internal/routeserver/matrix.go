@@ -281,17 +281,27 @@ func (m *matrix) suspendRouter(id uint32) int {
 	return n
 }
 
-// reinstallRouter re-installs the surviving deployments' routes touching
-// a re-joined router. Only free (or already-identical) route slots are
-// filled — a wire installed by a newer deployment while the router was
-// away is never clobbered. It returns how many routes were installed.
-func (m *matrix) reinstallRouter(id uint32, portExists func(PortKey) bool) int {
+// reinstallRouters re-installs the surviving deployments' routes
+// touching any of the re-joined routers, in one pass over the matrix —
+// a mass re-join after a restart costs O(deployments×links) total
+// instead of per router. Only free (or already-identical) route slots
+// are filled — a wire installed by a newer deployment while a router
+// was away is never clobbered. It returns how many routes were
+// installed.
+func (m *matrix) reinstallRouters(ids []uint32, portExists func(PortKey) bool) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	set := make(map[uint32]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := 0
 	for _, d := range m.deployments {
 		for _, l := range d.Links {
-			if l.A.Router != id && l.B.Router != id {
+			if !set[l.A.Router] && !set[l.B.Router] {
 				continue
 			}
 			if !portExists(l.A) || !portExists(l.B) {
@@ -415,14 +425,16 @@ func (s *Server) DeployLab(spec DeploySpec, links []Link, canReclaim func(Deploy
 		s.walMu.Unlock()
 		return err
 	}
-	// Journal the takeover in mutation order: the victims' teardowns,
-	// then the installed deployment.
+	// Journal the takeover in mutation order — the victims' teardowns,
+	// then the installed deployment — as one all-or-nothing batch.
+	recs := make([]journalRecord, 0, len(reclaimed)+1)
 	for _, n := range reclaimed {
-		s.journalLocked(journalRecord{T: "teardown", Name: n})
+		recs = append(recs, journalRecord{T: "teardown", Name: n})
 	}
 	if pd, ok := s.matrix.exportDeployment(spec.Name); ok {
-		s.journalLocked(journalRecord{T: "deploy", Dep: &pd})
+		recs = append(recs, journalRecord{T: "deploy", Dep: &pd})
 	}
+	s.journalLocked(recs...)
 	s.walMu.Unlock()
 	for _, n := range reclaimed {
 		s.forgetLab(n)

@@ -85,6 +85,8 @@ type registry struct {
 	mu         sync.RWMutex
 	routers    map[uint32]*RouterInfo
 	byKey      map[routerKey]uint32
+	nameIdx    map[string]uint32 // inventory name → ID; resolving a 1000-router design must not scan the registry per port
+	nameCount  map[string]int    // live records per name; >1 only for duplicate names across PCs
 	nextRouter uint32
 	nextPort   uint32
 }
@@ -97,9 +99,46 @@ func newRegistry(clock sim.Clock) *registry {
 		clock:      clock,
 		routers:    make(map[uint32]*RouterInfo),
 		byKey:      make(map[routerKey]uint32),
+		nameIdx:    make(map[string]uint32),
+		nameCount:  make(map[string]int),
 		nextRouter: 1,
 		nextPort:   1,
 	}
+}
+
+// insertNameLocked adds a record to the name index. The first record
+// registered under a name stays the one by-name lookups resolve, which
+// makes duplicate inventory names (same router name behind two PCs)
+// deterministic instead of map-iteration-ordered.
+func (g *registry) insertNameLocked(name string, id uint32) {
+	g.nameCount[name]++
+	if _, ok := g.nameIdx[name]; !ok {
+		g.nameIdx[name] = id
+	}
+}
+
+// removeNameLocked drops a record from the name index. Call it after
+// the record has left g.routers. If a duplicate-named record survives,
+// the index falls back to a scan to re-point at it (duplicate names
+// are rare; unique names never pay the scan).
+func (g *registry) removeNameLocked(name string, id uint32) {
+	n := g.nameCount[name] - 1
+	if n <= 0 {
+		delete(g.nameCount, name)
+		delete(g.nameIdx, name)
+		return
+	}
+	g.nameCount[name] = n
+	if g.nameIdx[name] != id {
+		return
+	}
+	for rid, r := range g.routers {
+		if r.Name == name && rid != id {
+			g.nameIdx[name] = rid
+			return
+		}
+	}
+	delete(g.nameIdx, name)
 }
 
 // add registers a router owned by a session and returns a copy of the
@@ -149,6 +188,7 @@ func (g *registry) add(sessionID uint64, info RouterInfo) (reg RouterInfo, rejoi
 	r := &info
 	g.routers[info.ID] = r
 	g.byKey[key] = info.ID
+	g.insertNameLocked(info.Name, info.ID)
 	mRoutersRegistered.Inc()
 	mPortsRegistered.Add(int64(len(info.Ports)))
 	return copyInfo(r), false
@@ -183,6 +223,7 @@ func (g *registry) removeSession(sessionID uint64) []uint32 {
 		if r.sessionID == sessionID {
 			delete(g.routers, id)
 			delete(g.byKey, routerKey{pc: r.PC, name: r.Name})
+			g.removeNameLocked(r.Name, id)
 			gone = append(gone, id)
 			mRoutersRegistered.Dec()
 			mPortsRegistered.Add(int64(-len(r.Ports)))
@@ -204,6 +245,7 @@ func (g *registry) gcExpired(id uint32, epoch uint64) (RouterInfo, bool) {
 	}
 	delete(g.routers, id)
 	delete(g.byKey, routerKey{pc: r.PC, name: r.Name})
+	g.removeNameLocked(r.Name, id)
 	mRoutersRegistered.Dec()
 	mPortsRegistered.Add(int64(-len(r.Ports)))
 	mRoutersOffline.Dec()
@@ -277,6 +319,7 @@ func (g *registry) importState(routers []RouterInfo, nextRouter, nextPort uint32
 		r.epoch = 1
 		g.routers[r.ID] = &r
 		g.byKey[key] = r.ID
+		g.insertNameLocked(r.Name, r.ID)
 		if r.ID >= g.nextRouter {
 			g.nextRouter = r.ID + 1
 		}
@@ -311,8 +354,8 @@ func (g *registry) allocators() (nextRouter, nextPort uint32) {
 func (g *registry) exportRouterByName(name string) (RouterInfo, uint32, uint32, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	for _, r := range g.routers {
-		if r.Name == name {
+	if id, ok := g.nameIdx[name]; ok {
+		if r, ok := g.routers[id]; ok {
 			return copyInfo(r), g.nextRouter, g.nextPort, true
 		}
 	}
@@ -333,6 +376,7 @@ func (g *registry) applyRouter(in RouterInfo, nextRouter, nextPort uint32) {
 	if old, ok := g.routers[in.ID]; ok {
 		delete(g.byKey, routerKey{pc: old.PC, name: old.Name})
 		delete(g.routers, in.ID)
+		g.removeNameLocked(old.Name, in.ID)
 		mRoutersRegistered.Dec()
 		mPortsRegistered.Add(int64(-len(old.Ports)))
 		if !old.Online {
@@ -343,6 +387,7 @@ func (g *registry) applyRouter(in RouterInfo, nextRouter, nextPort uint32) {
 	if oldID, ok := g.byKey[key]; ok && oldID != in.ID {
 		if old := g.routers[oldID]; old != nil {
 			delete(g.routers, oldID)
+			g.removeNameLocked(old.Name, oldID)
 			mRoutersRegistered.Dec()
 			mPortsRegistered.Add(int64(-len(old.Ports)))
 			if !old.Online {
@@ -359,6 +404,7 @@ func (g *registry) applyRouter(in RouterInfo, nextRouter, nextPort uint32) {
 	r.epoch = 1
 	g.routers[r.ID] = &r
 	g.byKey[key] = r.ID
+	g.insertNameLocked(r.Name, r.ID)
 	if r.ID >= g.nextRouter {
 		g.nextRouter = r.ID + 1
 	}
@@ -464,12 +510,14 @@ func (g *registry) get(id uint32) (RouterInfo, bool) {
 	return copyInfo(r), true
 }
 
-// byName returns a defensive copy of a router's record by inventory name.
+// byName returns a defensive copy of a router's record by inventory
+// name — an index lookup, not a registry scan, since design resolution
+// calls this once per port of a (possibly 1000-router) design.
 func (g *registry) byName(name string) (RouterInfo, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	for _, r := range g.routers {
-		if r.Name == name {
+	if id, ok := g.nameIdx[name]; ok {
+		if r, ok := g.routers[id]; ok {
 			return copyInfo(r), true
 		}
 	}
@@ -510,8 +558,8 @@ func (g *registry) routerName(id uint32) (string, bool) {
 func (g *registry) setFirmware(name, version string) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for _, r := range g.routers {
-		if r.Name == name {
+	if id, ok := g.nameIdx[name]; ok {
+		if r, ok := g.routers[id]; ok {
 			r.Firmware = version
 			return true
 		}

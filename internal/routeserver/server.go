@@ -93,6 +93,11 @@ type Options struct {
 	// the disk-fault-injection seam (faultinject.Disk). Nil means the
 	// real filesystem.
 	WALFS wal.FS
+	// WALGroupCommit lets concurrent fsync-always journal appenders
+	// share fsyncs (leader/follower group commit): racing control-plane
+	// mutations pay O(batches) fsyncs instead of one each, and a failed
+	// shared fsync still rolls back every record in the batch.
+	WALGroupCommit bool
 	// LabRateLimit, when positive, caps each deployed lab's delivered
 	// packet rate (packets/second) with a per-lab token bucket on the
 	// fan-out path. Packets over the limit are dropped before they reach
@@ -745,6 +750,8 @@ func (s *Server) handshake(sess *session) error {
 	}
 	ackMsg := wire.JoinAckMsg{}
 	recovered := 0
+	var rejoinedIDs []uint32
+	var recs []journalRecord
 	s.walMu.Lock()
 	for _, ra := range join.Routers {
 		info := RouterInfo{
@@ -764,14 +771,12 @@ func (s *Server) handshake(sess *session) error {
 		reg, rejoined := s.reg.add(sess.id, info)
 		if rejoined {
 			s.cancelGC(reg.ID)
-			routes := s.matrix.reinstallRouter(reg.ID, s.reg.portExists)
+			rejoinedIDs = append(rejoinedIDs, reg.ID)
 			recovered++
-			s.log.Info("router re-joined; lab state reconciled",
-				"router", reg.Name, "id", reg.ID, "routes", routes)
 		}
 		rc := reg
 		nr, np := s.reg.allocators()
-		s.journalLocked(journalRecord{T: "router", Router: &rc, NextRouter: nr, NextPort: np})
+		recs = append(recs, journalRecord{T: "router", Router: &rc, NextRouter: nr, NextPort: np})
 		assign := wire.RouterAssignment{Name: reg.Name, ID: reg.ID, Rejoined: rejoined, Ports: map[string]uint32{}}
 		for _, p := range reg.Ports {
 			assign.Ports[p.Name] = p.ID
@@ -779,6 +784,15 @@ func (s *Server) handshake(sess *session) error {
 		ackMsg.Routers = append(ackMsg.Routers, assign)
 		sess.routers = append(sess.routers, reg.ID)
 	}
+	// Reconcile every re-joined router's lab routes in one matrix pass,
+	// then journal the whole join as one batch: a 1000-router agent
+	// join costs one fsync, not one per router.
+	if len(rejoinedIDs) > 0 {
+		routes := s.matrix.reinstallRouters(rejoinedIDs, s.reg.portExists)
+		s.log.Info("routers re-joined; lab state reconciled",
+			"session", sess.id, "routers", len(rejoinedIDs), "routes", routes)
+	}
+	s.journalLocked(recs...)
 	s.walMu.Unlock()
 	// Publish the joined routers (and any reinstalled routes) to the
 	// forwarding snapshot before acking, so the agent's first data frame
@@ -820,12 +834,14 @@ func (s *Server) dropSession(sess *session) {
 	if grace := s.routerGrace(); grace > 0 {
 		s.walMu.Lock()
 		offline := s.reg.markSessionOffline(sess.id)
+		offRecs := make([]journalRecord, 0, len(offline))
 		for _, ref := range offline {
 			s.matrix.suspendRouter(ref.id)
 			s.consoles.dropRouter(ref.id)
 			s.scheduleGC(ref.id, ref.epoch, grace)
-			s.journalLocked(journalRecord{T: "offline", RouterID: ref.id})
+			offRecs = append(offRecs, journalRecord{T: "offline", RouterID: ref.id})
 		}
+		s.journalLocked(offRecs...)
 		s.walMu.Unlock()
 		if len(offline) > 0 {
 			s.bumpFwd()
@@ -838,11 +854,13 @@ func (s *Server) dropSession(sess *session) {
 	}
 	s.walMu.Lock()
 	gone := s.reg.removeSession(sess.id)
+	goneRecs := make([]journalRecord, 0, len(gone))
 	for _, id := range gone {
 		s.countLabsLost(s.matrix.dropRouter(id), id)
 		s.consoles.dropRouter(id)
-		s.journalLocked(journalRecord{T: "gone", RouterID: id})
+		goneRecs = append(goneRecs, journalRecord{T: "gone", RouterID: id})
 	}
+	s.journalLocked(goneRecs...)
 	s.walMu.Unlock()
 	if len(gone) > 0 {
 		s.bumpFwd()

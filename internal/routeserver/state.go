@@ -89,11 +89,12 @@ func (s *Server) openState() {
 		return
 	}
 	st, err := wal.OpenStore(s.statePath(), s.walPath(), wal.Options{
-		Policy:   s.opts.WALFsync,
-		Interval: s.opts.WALFsyncInterval,
-		MaxBytes: s.opts.WALMaxBytes,
-		Clock:    s.clock,
-		FS:       s.opts.WALFS,
+		Policy:      s.opts.WALFsync,
+		Interval:    s.opts.WALFsyncInterval,
+		MaxBytes:    s.opts.WALMaxBytes,
+		Clock:       s.clock,
+		FS:          s.opts.WALFS,
+		GroupCommit: s.opts.WALGroupCommit,
 	})
 	if err != nil {
 		s.log.Warn("mutation log unavailable; running memory-only", "err", err)
@@ -161,30 +162,44 @@ func (s *Server) applyJournal(rec journalRecord) {
 	}
 }
 
-// journalLocked appends mutation records to the log. The caller holds
-// s.walMu across the mutation AND this append, so records always land
-// in mutation order and a concurrent checkpoint cannot truncate a
-// record for a mutation its snapshot missed. Failures are warn-and-
-// continue — the server keeps serving from memory — but they count
-// toward the degraded flag in Health.
+// journalLocked appends mutation records to the log as one batch: one
+// write and (at fsync-always) one shared fsync no matter how many
+// records the mutation produced — a mass join or a reclaiming deploy
+// pays O(1) fsyncs instead of O(records). The caller holds s.walMu
+// across the mutation AND this append, so records always land in
+// mutation order and a concurrent checkpoint cannot truncate a record
+// for a mutation its snapshot missed. Failures are warn-and-continue —
+// the server keeps serving from memory — but they count toward the
+// degraded flag in Health. A failed batch rolls back every record in
+// it (wal.AppendBatch is all-or-nothing), so the journal never holds a
+// prefix of a mutation.
 func (s *Server) journalLocked(recs ...journalRecord) {
-	if s.wal == nil {
+	if s.wal == nil || len(recs) == 0 {
 		return
 	}
+	payloads := make([][]byte, 0, len(recs))
 	for i := range recs {
 		data, err := json.Marshal(&recs[i])
-		if err == nil {
-			err = s.wal.Append(data)
-		}
 		if err != nil {
 			mStateErrors.Inc()
 			n := s.walFails.Add(1)
-			s.log.Warn("journal append failed; mutation is in memory only",
+			s.log.Warn("journal record unmarshalable; mutation is in memory only",
 				"type", recs[i].T, "consecutive", n, "err", err)
 			continue
 		}
-		s.walFails.Store(0)
+		payloads = append(payloads, data)
 	}
+	if len(payloads) == 0 {
+		return
+	}
+	if err := s.wal.AppendBatch(payloads); err != nil {
+		mStateErrors.Inc()
+		n := s.walFails.Add(uint32(len(payloads)))
+		s.log.Warn("journal append failed; mutations are in memory only",
+			"records", len(payloads), "consecutive", n, "err", err)
+		return
+	}
+	s.walFails.Store(0)
 }
 
 // checkpoint writes an incremental snapshot and truncates the log. The

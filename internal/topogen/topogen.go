@@ -1,0 +1,320 @@
+// Package topogen generates parameterized lab topologies — fat-tree,
+// ring, full mesh, star-of-rings — as topology.Design values with
+// deterministic seeded addressing and per-device configurations (RIP,
+// static guards, ACLs) in the emulated devices' CLI grammar. The same
+// Params always produce byte-identical output: the scale benchmarks,
+// the deterministic simulator and the autotest corpus all lean on that
+// to replay the exact same lab.
+package topogen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rnl/internal/topology"
+)
+
+// Kind selects the generated topology family.
+type Kind string
+
+const (
+	// FatTree is a k-ary fat-tree (k even): k pods of k/2 edge and k/2
+	// aggregation routers plus (k/2)² cores — 5k²/4 routers total.
+	FatTree Kind = "fat-tree"
+	// Ring wires N routers in a cycle.
+	Ring Kind = "ring"
+	// Mesh wires N routers in a full mesh.
+	Mesh Kind = "mesh"
+	// StarOfRings hangs R rings of S routers off a central hub.
+	StarOfRings Kind = "star-of-rings"
+)
+
+// Params describes one generated topology. Identical Params generate
+// byte-identical topologies — Seed is part of the identity, not a
+// source of run-to-run variation.
+type Params struct {
+	Kind Kind
+	// Name is the design name; empty derives "<kind>-<routers>".
+	Name string
+	// Seed drives the deterministic pseudo-random choices (which
+	// routers carry ACLs). Two generations with the same Params are
+	// byte-identical; changing only Seed moves the ACLs.
+	Seed int64
+
+	// K is the fat-tree arity (even, ≥ 2).
+	K int
+	// N is the ring or mesh size (≥ 2).
+	N int
+	// Rings and RingSize shape a star-of-rings (each ≥ 1; RingSize ≥ 2).
+	Rings, RingSize int
+
+	// RIP emits a RIP process with one network statement per addressed
+	// interface, so the generated lab converges on its own.
+	RIP bool
+	// ACLs places a two-rule guard ACL (deny 192.168/16, permit any) on
+	// this many seeded-chosen routers' first interfaces.
+	ACLs int
+	// NamePrefix prefixes every router name (default "r").
+	NamePrefix string
+}
+
+// Addr is one interface's IPv4 address assignment.
+type Addr struct {
+	IP   string
+	Mask string
+}
+
+// Topology is a generated design plus the inventory shape needed to
+// instantiate it as emulated equipment.
+type Topology struct {
+	Design *topology.Design
+	// Ports lists each router's port names in definition order — the
+	// order equipment must be created with for the design to resolve.
+	Ports map[string][]string
+	// Addr maps router → port → assigned /30 address.
+	Addr map[string]map[string]Addr
+}
+
+// edge is one generated link between router indexes.
+type edge struct{ a, b int }
+
+// Generate builds the topology described by p. The result always
+// passes Design.Validate.
+func Generate(p Params) (*Topology, error) {
+	prefix := p.NamePrefix
+	if prefix == "" {
+		prefix = "r"
+	}
+	var (
+		names []string
+		edges []edge
+		err   error
+	)
+	switch p.Kind {
+	case FatTree:
+		names, edges, err = fatTree(prefix, p.K)
+	case Ring:
+		names, edges, err = ring(prefix, p.N)
+	case Mesh:
+		names, edges, err = mesh(prefix, p.N)
+	case StarOfRings:
+		names, edges, err = starOfRings(prefix, p.Rings, p.RingSize)
+	default:
+		err = fmt.Errorf("topogen: unknown kind %q", p.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(edges) > 1<<21 {
+		return nil, fmt.Errorf("topogen: %d links exceed the 10.0.0.0/8 /30 pool", len(edges))
+	}
+	name := p.Name
+	if name == "" {
+		name = fmt.Sprintf("%s-%d", p.Kind, len(names))
+	}
+	t := &Topology{
+		Design: &topology.Design{Name: name, Routers: names},
+		Ports:  make(map[string][]string, len(names)),
+		Addr:   make(map[string]map[string]Addr, len(names)),
+	}
+	// Lay links down in generation order; each endpoint takes the
+	// router's next ethN port and each link carves the next /30 out of
+	// 10.0.0.0/8 (link i → network 10.0.0.0 + 4i, .1 on the A side,
+	// .2 on the B side).
+	for i, e := range edges {
+		base := uint32(0x0A000000) + uint32(i)*4
+		pa := t.addPort(names[e.a], ip4String(base+1))
+		pb := t.addPort(names[e.b], ip4String(base+2))
+		t.Design.Links = append(t.Design.Links, topology.Link{
+			A: topology.PortRef{Router: names[e.a], Port: pa},
+			B: topology.PortRef{Router: names[e.b], Port: pb},
+		})
+	}
+	aclOn := t.pickACLRouters(p, names)
+	t.Design.Configs = make(map[string]string, len(names))
+	for _, n := range names {
+		t.Design.Configs[n] = t.routerConfig(n, p.RIP, aclOn[n])
+	}
+	if err := t.Design.Validate(); err != nil {
+		return nil, fmt.Errorf("topogen: generated invalid design: %w", err)
+	}
+	return t, nil
+}
+
+// addPort allocates the router's next port name and records its /30
+// address; returns the port name.
+func (t *Topology) addPort(router, ip string) string {
+	port := fmt.Sprintf("eth%d", len(t.Ports[router]))
+	t.Ports[router] = append(t.Ports[router], port)
+	if t.Addr[router] == nil {
+		t.Addr[router] = make(map[string]Addr)
+	}
+	t.Addr[router][port] = Addr{IP: ip, Mask: "255.255.255.252"}
+	return port
+}
+
+// pickACLRouters chooses p.ACLs routers via the seeded generator.
+func (t *Topology) pickACLRouters(p Params, names []string) map[string]bool {
+	on := make(map[string]bool, p.ACLs)
+	if p.ACLs <= 0 {
+		return on
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.ACLs
+	if n > len(names) {
+		n = len(names)
+	}
+	for _, i := range rng.Perm(len(names))[:n] {
+		on[names[i]] = true
+	}
+	return on
+}
+
+// routerConfig emits one router's saved configuration in the device CLI
+// grammar (what console.RestoreConfig replays line by line).
+func (t *Topology) routerConfig(router string, rip, acl bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hostname %s\n", router)
+	if acl {
+		// Guard ACL ahead of the interfaces that reference it.
+		sb.WriteString("access-list guard deny ip 192.168.0.0 0.0.255.255 any\n")
+		sb.WriteString("access-list guard permit ip any any\n")
+	}
+	for i, port := range t.Ports[router] {
+		a := t.Addr[router][port]
+		fmt.Fprintf(&sb, "interface %s\n", port)
+		fmt.Fprintf(&sb, " ip address %s %s\n", a.IP, a.Mask)
+		if acl && i == 0 {
+			sb.WriteString(" ip access-group guard in\n")
+		}
+		sb.WriteString(" exit\n")
+	}
+	if rip {
+		// The device enables RIP per interface whose subnet contains
+		// the named address, so emit one network statement per port.
+		sb.WriteString("router rip\n")
+		for _, port := range t.Ports[router] {
+			fmt.Fprintf(&sb, " network %s\n", t.Addr[router][port].IP)
+		}
+	}
+	return sb.String()
+}
+
+// Subnet returns link i's /30 network in CIDR form — what a converged
+// routing table must contain for every link in the design.
+func (t *Topology) Subnet(i int) string {
+	return ip4String(uint32(0x0A000000)+uint32(i)*4) + "/30"
+}
+
+func ip4String(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// fatTree lays out a k-ary fat-tree. Edge j of pod p connects to every
+// aggregation router in its pod; aggregation router j of each pod
+// connects to cores [j·k/2, (j+1)·k/2).
+func fatTree(prefix string, k int) ([]string, []edge, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, nil, fmt.Errorf("topogen: fat-tree arity must be even and ≥ 2, got %d", k)
+	}
+	half := k / 2
+	var names []string
+	idx := func() int { return len(names) - 1 }
+	cores := make([]int, half*half)
+	for i := range cores {
+		names = append(names, fmt.Sprintf("%s-core-%d", prefix, i))
+		cores[i] = idx()
+	}
+	var edges []edge
+	for p := 0; p < k; p++ {
+		aggs := make([]int, half)
+		for j := 0; j < half; j++ {
+			names = append(names, fmt.Sprintf("%s-agg-%d-%d", prefix, p, j))
+			aggs[j] = idx()
+			for c := j * half; c < (j+1)*half; c++ {
+				edges = append(edges, edge{a: aggs[j], b: cores[c]})
+			}
+		}
+		for j := 0; j < half; j++ {
+			names = append(names, fmt.Sprintf("%s-edge-%d-%d", prefix, p, j))
+			e := idx()
+			for _, a := range aggs {
+				edges = append(edges, edge{a: e, b: a})
+			}
+		}
+	}
+	return names, edges, nil
+}
+
+func ring(prefix string, n int) ([]string, []edge, error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("topogen: ring needs ≥ 2 routers, got %d", n)
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-%d", prefix, i)
+	}
+	edges := make([]edge, 0, n)
+	for i := 0; i < n; i++ {
+		if n == 2 && i == 1 {
+			break // two routers: a single wire, not two parallel ones
+		}
+		edges = append(edges, edge{a: i, b: (i + 1) % n})
+	}
+	return names, edges, nil
+}
+
+func mesh(prefix string, n int) ([]string, []edge, error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("topogen: mesh needs ≥ 2 routers, got %d", n)
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-%d", prefix, i)
+	}
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, edge{a: i, b: j})
+		}
+	}
+	return names, edges, nil
+}
+
+func starOfRings(prefix string, rings, size int) ([]string, []edge, error) {
+	if rings < 1 || size < 2 {
+		return nil, nil, fmt.Errorf("topogen: star-of-rings needs ≥ 1 ring of ≥ 2 routers, got %d×%d", rings, size)
+	}
+	names := []string{prefix + "-hub"}
+	var edges []edge
+	for r := 0; r < rings; r++ {
+		first := len(names)
+		for j := 0; j < size; j++ {
+			names = append(names, fmt.Sprintf("%s-ring-%d-%d", prefix, r, j))
+		}
+		for j := 0; j < size; j++ {
+			if size == 2 && j == 1 {
+				break
+			}
+			edges = append(edges, edge{a: first + j, b: first + (j+1)%size})
+		}
+		edges = append(edges, edge{a: 0, b: first})
+	}
+	return names, edges, nil
+}
+
+// RouterCount reports how many routers Generate would produce for p
+// without generating — sizing helper for benchmarks and callers that
+// pick parameters to hit a target scale.
+func (p Params) RouterCount() int {
+	switch p.Kind {
+	case FatTree:
+		return 5 * p.K * p.K / 4
+	case Ring, Mesh:
+		return p.N
+	case StarOfRings:
+		return 1 + p.Rings*p.RingSize
+	}
+	return 0
+}

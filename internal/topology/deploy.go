@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rnl/internal/console"
@@ -11,6 +13,10 @@ import (
 	"rnl/internal/routeserver"
 	"rnl/internal/sim"
 )
+
+// DefaultRestoreWorkers is the console-restore pool width when
+// Deployer.Workers is zero.
+const DefaultRestoreWorkers = 8
 
 // Deployer turns saved designs into live labs: it checks the user's
 // reservation, resolves inventory names to wire IDs, programs the route
@@ -32,6 +38,12 @@ type Deployer struct {
 	// against it; this hook only resolves the number. A plain function
 	// keeps this package free of identity imports.
 	MaxLabs func(tenant string) int
+	// Workers bounds how many console restores run concurrently during
+	// a deploy (0 = DefaultRestoreWorkers; 1 restores strictly
+	// sequentially). Each restore drives one router's console, so the
+	// pool turns a 1000-router restore from a serial walk into
+	// len/Workers waves.
+	Workers int
 }
 
 // clock resolves the injected clock (wall time by default).
@@ -126,16 +138,92 @@ func (dep *Deployer) DeployAs(ctx context.Context, user, tenant string, d *Desig
 		}
 	}
 	sort.Strings(routers)
-	for _, router := range routers {
-		if err := dep.restoreOne(ctx, router, d.Configs[router]); err != nil {
-			// Roll back the half-deployed lab: partial restores leave
-			// the lab in an unknown state, the one thing RNL exists to
-			// prevent.
-			if terr := dep.Server.Teardown(d.Name); terr != nil {
-				return fmt.Errorf("topology: restoring %q: %w (rollback teardown also failed: %v)", router, err, terr)
-			}
-			return fmt.Errorf("topology: restoring %q: %w", router, err)
+	if err := dep.restoreAll(ctx, d, routers); err != nil {
+		// Roll back the half-deployed lab: partial restores leave the
+		// lab in an unknown state, the one thing RNL exists to prevent.
+		// The teardown runs even when err is the client's own
+		// cancellation — rollback is owed to the lab invariant, not to
+		// the client that walked away, and Teardown takes no context so
+		// a dead ctx cannot abort it halfway.
+		if terr := dep.Server.Teardown(d.Name); terr != nil {
+			return fmt.Errorf("%w (rollback teardown also failed: %v)", err, terr)
 		}
+		return err
+	}
+	return nil
+}
+
+// restoreAll replays saved configurations through a bounded worker pool
+// (Deployer.Workers wide). Rollback contract: the first failure wins,
+// its cancellation stops in-flight restores at the next console command
+// and keeps queued routers from starting, and the caller tears the
+// whole lab down — deploys are all-or-nothing. The error names the
+// router whose restore failed first in completion order; with a single
+// injected fault that is deterministic.
+func (dep *Deployer) restoreAll(ctx context.Context, d *Design, routers []string) error {
+	if len(routers) == 0 {
+		return nil
+	}
+	workers := dep.Workers
+	if workers <= 0 {
+		workers = DefaultRestoreWorkers
+	}
+	if workers > len(routers) {
+		workers = len(routers)
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		jobs     = make(chan string)
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		done     atomic.Int64
+	)
+	fail := func(router string, err error) {
+		errOnce.Do(func() {
+			firstErr = fmt.Errorf("topology: restoring %q: %w", router, err)
+			cancel()
+		})
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for router := range jobs {
+				if rctx.Err() != nil {
+					return
+				}
+				if err := dep.restoreOne(rctx, router, d.Configs[router]); err != nil {
+					fail(router, err)
+					return
+				}
+				done.Add(1)
+			}
+		}()
+	}
+feed:
+	for _, router := range routers {
+		select {
+		case jobs <- router:
+		case <-rctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if int(done.Load()) != len(routers) {
+		// Cancelled between jobs: no restore failed outright, but some
+		// never ran. A ctx cancelled before the pool even spun up lands
+		// here too.
+		err := ctx.Err()
+		if err == nil {
+			err = context.Canceled
+		}
+		return fmt.Errorf("topology: restore cancelled: %w", err)
 	}
 	return nil
 }

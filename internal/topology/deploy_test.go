@@ -2,6 +2,7 @@ package topology_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"log/slog"
 	"strings"
@@ -76,6 +77,15 @@ func newDeployRig(t *testing.T, names ...string) *deployRig {
 func linkedDesign(name string, routers ...string) *topology.Design {
 	d := &topology.Design{Name: name, Routers: routers}
 	d.Connect(routers[0], "eth0", routers[1], "eth0")
+	return d
+}
+
+// pairDesign places every router and wires them in disjoint pairs.
+func pairDesign(name string, routers ...string) *topology.Design {
+	d := &topology.Design{Name: name, Routers: routers}
+	for i := 0; i+1 < len(routers); i += 2 {
+		d.Connect(routers[i], "eth0", routers[i+1], "eth0")
+	}
 	return d
 }
 
@@ -159,5 +169,89 @@ func TestDeployerSaveAndRestoreConfigs(t *testing.T) {
 	}
 	if err := rig.dep.Teardown("clab"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDeployerParallelRestore deploys with a multi-worker restore pool
+// and checks every router ends up with its own saved config — the
+// parallel pipeline must not cross wires between consoles. Run under
+// -race this also proves the pool is race-clean.
+func TestDeployerParallelRestore(t *testing.T) {
+	names := []string{"pp1", "pp2", "pp3", "pp4", "pp5", "pp6"}
+	rig := newDeployRig(t, names...)
+	d := pairDesign("plab", names...)
+	d.Configs = map[string]string{}
+	for i, n := range names {
+		d.Configs[n] = fmt.Sprintf("ip gateway 10.0.0.%d", 100+i)
+	}
+	rig.dep.Workers = 4
+	now := rig.clk.Now()
+	if _, err := rig.cal.Reserve("u", names, now, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.dep.Deploy(context.Background(), "u", d, true); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		cfg := device.DumpRunningConfig(rig.hosts[n])
+		want := fmt.Sprintf("ip gateway 10.0.0.%d", 100+i)
+		if !strings.Contains(cfg, want) {
+			t.Fatalf("router %s config missing %q:\n%s", n, want, cfg)
+		}
+	}
+	if err := rig.dep.Teardown("plab"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeployerParallelRestoreFailureRollsBack injects one rejected
+// config line: the deploy must fail naming that router, cancel the rest
+// of the pool, and leave no deployment behind (all-or-nothing).
+func TestDeployerParallelRestoreFailureRollsBack(t *testing.T) {
+	names := []string{"fx1", "fx2", "fx3", "fx4"}
+	rig := newDeployRig(t, names...)
+	d := pairDesign("flab", names...)
+	d.Configs = map[string]string{}
+	for _, n := range names {
+		d.Configs[n] = "ip gateway 10.0.0.200"
+	}
+	d.Configs["fx3"] = "frobnicate the flux capacitor" // '%'-rejected
+	rig.dep.Workers = 4
+	now := rig.clk.Now()
+	if _, err := rig.cal.Reserve("u", names, now, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	err := rig.dep.Deploy(context.Background(), "u", d, true)
+	if err == nil || !strings.Contains(err.Error(), `restoring "fx3"`) {
+		t.Fatalf("err = %v, want restore failure naming fx3", err)
+	}
+	if deps := rig.server.Deployments(); len(deps) != 0 {
+		t.Fatalf("failed deploy left deployments behind: %+v", deps)
+	}
+}
+
+// TestDeployerCancelledRestoreStillTearsDown is the regression test for
+// the rollback-under-cancellation bug: when the client's own context is
+// dead mid-restore, the rollback teardown must still run to completion
+// rather than being aborted by the same cancellation.
+func TestDeployerCancelledRestoreStillTearsDown(t *testing.T) {
+	rig := newDeployRig(t, "kk1", "kk2")
+	d := linkedDesign("klab", "kk1", "kk2")
+	d.Configs = map[string]string{
+		"kk1": "ip gateway 10.0.0.201",
+		"kk2": "ip gateway 10.0.0.202",
+	}
+	now := rig.clk.Now()
+	if _, err := rig.cal.Reserve("u", d.Routers, now, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // client walked away before the restore phase
+	err := rig.dep.Deploy(ctx, "u", d, true)
+	if err == nil || !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if deps := rig.server.Deployments(); len(deps) != 0 {
+		t.Fatalf("cancelled deploy left deployments behind: %+v", deps)
 	}
 }

@@ -1,0 +1,233 @@
+package wal_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"rnl/internal/faultinject"
+	"rnl/internal/wal"
+)
+
+func TestAppendBatchSingleWriteAndFsync(t *testing.T) {
+	disk := faultinject.NewDisk(nil)
+	path := filepath.Join(t.TempDir(), "batch.wal")
+	l := openLog(t, path, wal.Options{Policy: wal.SyncAlways, FS: disk})
+
+	payloads := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc"), []byte("")}
+	first, err := l.AppendBatch(payloads)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if first != 1 {
+		t.Fatalf("first seq = %d, want 1", first)
+	}
+	writes, syncs, _ := disk.Counts()
+	if writes != 1 {
+		t.Fatalf("batch used %d writes, want 1", writes)
+	}
+	if syncs != 1 {
+		t.Fatalf("batch used %d fsyncs, want 1", syncs)
+	}
+	got := replayAll(t, l)
+	if len(got) != len(payloads) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if string(got[i]) != string(payloads[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+
+	if _, err := l.AppendBatch(nil); err != nil {
+		t.Fatalf("empty AppendBatch: %v", err)
+	}
+	if n := len(replayAll(t, l)); n != len(payloads) {
+		t.Fatalf("empty batch changed record count to %d", n)
+	}
+}
+
+func TestAppendBatchFailedFsyncRollsBackWholeBatch(t *testing.T) {
+	disk := faultinject.NewDisk(nil)
+	path := filepath.Join(t.TempDir(), "batch.wal")
+	l := openLog(t, path, wal.Options{Policy: wal.SyncAlways, FS: disk})
+
+	if _, err := l.Append([]byte("durable")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	disk.FailFsync(errors.New("injected fsync failure"))
+	if _, err := l.AppendBatch([][]byte{[]byte("x1"), []byte("x2"), []byte("x3")}); err == nil {
+		t.Fatal("AppendBatch succeeded despite failed fsync")
+	}
+	disk.FailFsync(nil)
+
+	// None of the batch records may survive: reopen as after a crash.
+	l.CloseNoSync()
+	l2 := openLog(t, path, wal.Options{Policy: wal.SyncAlways, FS: disk})
+	got := replayAll(t, l2)
+	if len(got) != 1 || string(got[0]) != "durable" {
+		t.Fatalf("after rollback got %q, want just [durable]", got)
+	}
+	// Sequence numbers rewound: the next append reuses the batch's.
+	seq, err := l2.Append([]byte("after"))
+	if err != nil {
+		t.Fatalf("Append after rollback: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("seq after rollback = %d, want 2", seq)
+	}
+}
+
+func TestGroupCommitSharesFsyncs(t *testing.T) {
+	disk := faultinject.NewDisk(nil)
+	path := filepath.Join(t.TempDir(), "group.wal")
+	l := openLog(t, path, wal.Options{Policy: wal.SyncAlways, FS: disk, GroupCommit: true})
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := l.Append(fmt.Appendf(nil, "w%d-%d", w, i)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	got := replayAll(t, l)
+	if len(got) != workers*perWorker {
+		t.Fatalf("replayed %d records, want %d", len(got), workers*perWorker)
+	}
+	seen := make(map[string]bool, len(got))
+	for _, p := range got {
+		if seen[string(p)] {
+			t.Fatalf("duplicate record %q", p)
+		}
+		seen[string(p)] = true
+	}
+	_, syncs, _ := disk.Counts()
+	if syncs > workers*perWorker {
+		t.Fatalf("group commit issued %d fsyncs for %d appends", syncs, workers*perWorker)
+	}
+	t.Logf("group commit: %d appends, %d fsyncs", workers*perWorker, syncs)
+}
+
+// TestGroupCommitFailedFsyncRollsBackBatch arms a persistent fsync
+// failure under concurrent group-commit appenders: every append must
+// report failure, and after a crash none of the failed records may
+// replay — the PR 9 guarantee, batch-wide.
+func TestGroupCommitFailedFsyncRollsBackBatch(t *testing.T) {
+	disk := faultinject.NewDisk(nil)
+	path := filepath.Join(t.TempDir(), "group.wal")
+	l := openLog(t, path, wal.Options{Policy: wal.SyncAlways, FS: disk, GroupCommit: true})
+
+	if _, err := l.Append([]byte("durable")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	disk.FailFsync(errors.New("injected fsync failure"))
+	const workers = 6
+	var wg sync.WaitGroup
+	failed := make([]bool, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, err := l.Append(fmt.Appendf(nil, "batch-%d", w))
+			failed[w] = err != nil
+		}(w)
+	}
+	wg.Wait()
+	for w, f := range failed {
+		if !f {
+			t.Fatalf("worker %d append succeeded under failing fsync", w)
+		}
+	}
+	disk.FailFsync(nil)
+
+	l.CloseNoSync()
+	l2 := openLog(t, path, wal.Options{Policy: wal.SyncAlways, FS: disk, GroupCommit: true})
+	got := replayAll(t, l2)
+	if len(got) != 1 || string(got[0]) != "durable" {
+		t.Fatalf("after batch rollback got %q, want just [durable]", got)
+	}
+	// The log is not wedged: once the disk heals, appends resume with
+	// rewound sequence numbers.
+	seq, err := l2.Append([]byte("after"))
+	if err != nil {
+		t.Fatalf("Append after rollback: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("seq after rollback = %d, want 2", seq)
+	}
+}
+
+// TestGroupCommitAckedRecordsSurviveFault mixes successful and failed
+// fsync rounds: every append that reported success must replay after a
+// crash, and every append that reported failure must not.
+func TestGroupCommitAckedRecordsSurviveFault(t *testing.T) {
+	disk := faultinject.NewDisk(nil)
+	path := filepath.Join(t.TempDir(), "group.wal")
+	l := openLog(t, path, wal.Options{Policy: wal.SyncAlways, FS: disk, GroupCommit: true})
+
+	var mu sync.Mutex
+	acked := make(map[string]bool)
+	failed := make(map[string]bool)
+	const workers = 4
+	const perWorker = 30
+	disk.FailEveryNthFsync(5, errors.New("injected intermittent fsync failure"))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p := fmt.Sprintf("w%d-%d", w, i)
+				_, err := l.Append([]byte(p))
+				mu.Lock()
+				if err != nil {
+					failed[p] = true
+				} else {
+					acked[p] = true
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	disk.FailEveryNthFsync(0, nil)
+
+	l.CloseNoSync()
+	l2 := openLog(t, path, wal.Options{Policy: wal.SyncAlways, FS: disk, GroupCommit: true})
+	replayed := make(map[string]bool)
+	for _, p := range replayAll(t, l2) {
+		replayed[string(p)] = true
+	}
+	for p := range acked {
+		if !replayed[p] {
+			t.Fatalf("acked record %q lost after crash", p)
+		}
+	}
+	for p := range failed {
+		if replayed[p] {
+			t.Fatalf("failed record %q replayed after crash", p)
+		}
+	}
+	if len(acked)+len(failed) != workers*perWorker {
+		t.Fatalf("accounted for %d+%d records, want %d", len(acked), len(failed), workers*perWorker)
+	}
+	t.Logf("acked %d, failed %d", len(acked), len(failed))
+}

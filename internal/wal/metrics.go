@@ -24,4 +24,8 @@ var (
 		"Log records replayed during recovery.")
 	mTornBytes = obs.Default().Counter("rnl_routeserver_wal_torn_bytes_total",
 		"Bytes of torn or corrupt log tail truncated at open.")
+	mBatchAppends = obs.Default().Counter("rnl_routeserver_wal_batch_appends_total",
+		"Multi-record batch appends: one write (and one policy fsync) covering several records.")
+	mGroupCommits = obs.Default().Counter("rnl_routeserver_wal_group_commits_total",
+		"Group-commit rounds: shared fsyncs covering one or more concurrent appenders.")
 )

@@ -59,6 +59,14 @@ func (s *Store) Append(payload []byte) error {
 	return err
 }
 
+// AppendBatch journals several mutation records with one write and —
+// under SyncAlways — one fsync for the whole batch. The batch is
+// all-or-nothing: a failed write or fsync rolls back every record.
+func (s *Store) AppendBatch(payloads [][]byte) error {
+	_, err := s.log.AppendBatch(payloads)
+	return err
+}
+
 // Sync flushes pending appends regardless of fsync policy.
 func (s *Store) Sync() error { return s.log.Sync() }
 

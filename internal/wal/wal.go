@@ -142,6 +142,13 @@ type Options struct {
 	MaxBytes int64         // advisory rotation threshold for Store.ShouldSnapshot; default 1 MiB
 	Clock    sim.Clock     // default sim.Real{}
 	FS       FS            // default OSFS{}
+	// GroupCommit makes concurrent SyncAlways appenders share fsyncs
+	// (leader/follower): each appender writes its record under the log
+	// lock, then the first to need durability fsyncs once on behalf of
+	// every record written so far. A failed shared fsync rolls back
+	// every record in the batch — each waiter gets an error and none of
+	// the records replay after restart.
+	GroupCommit bool
 }
 
 func (o Options) withDefaults() Options {
@@ -175,7 +182,31 @@ type Log struct {
 	timer   sim.Timer
 	wedged  bool
 	closed  bool
+
+	// Group-commit state. synced/syncedSeq mark the durable boundary:
+	// everything at or below synced has been fsynced, and syncedSeq is
+	// the nextSeq value at that boundary (where nextSeq rewinds to if
+	// unsynced records roll back). waiters are appenders whose records
+	// sit above the boundary, parked until a leader's shared fsync
+	// covers (or rolls back) their offsets.
+	synced    int64
+	syncedSeq uint64
+	syncing   bool // a group-commit leader is running fsync rounds
+	waiters   []*groupWaiter
 }
+
+// groupWaiter parks one group-commit appender: end is the log offset
+// just past its record, ch receives exactly one verdict — nil (record
+// durable), an append error (record rolled back), or errLead
+// (promoted: take over as leader and resolve yourself).
+type groupWaiter struct {
+	end int64
+	ch  chan error
+}
+
+// errLead promotes a parked waiter to group-commit leader. Never
+// returned to callers.
+var errLead = errors.New("wal: promoted to group-commit leader")
 
 // OpenLog opens (creating if absent) the log at path, scans it for the
 // longest valid record prefix, and truncates any torn tail. The
@@ -210,6 +241,8 @@ func OpenLog(path string, opts Options) (*Log, error) {
 		mTornBytes.Add(uint64(torn))
 	}
 	l.f = &appendAt{File: f, off: l.size}
+	l.synced = l.size
+	l.syncedSeq = l.nextSeq
 	return l, nil
 }
 
@@ -272,57 +305,125 @@ func scan(data []byte) (valid int, lastSeq uint64, count int) {
 // rollback also fails the log is wedged and all future appends return
 // ErrWedged.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	return l.append([][]byte{payload})
+}
+
+// AppendBatch writes len(payloads) records contiguously with a single
+// Write call and applies the fsync policy once for the whole batch, so
+// a bulk mutation at SyncAlways pays one fsync instead of one per
+// record. It returns the first record's sequence number (the rest are
+// consecutive). The batch is all-or-nothing: a failed write or fsync
+// rolls back every record in it, and none replay after restart.
+func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	return l.append(payloads)
+}
+
+func (l *Log) append(payloads [][]byte) (uint64, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return 0, errors.New("wal: log closed")
 	}
 	if l.wedged {
 		mAppendErrors.Inc()
+		l.mu.Unlock()
 		return 0, ErrWedged
 	}
-	if len(payload) > maxRecord-seqSize {
-		mAppendErrors.Inc()
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload), maxRecord-seqSize)
+	total := 0
+	for _, p := range payloads {
+		if len(p) > maxRecord-seqSize {
+			mAppendErrors.Inc()
+			l.mu.Unlock()
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds max %d", len(p), maxRecord-seqSize)
+		}
+		total += headerSize + seqSize + len(p)
 	}
-	seq := l.nextSeq
-	buf := make([]byte, headerSize+seqSize+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:], uint32(seqSize+len(payload)))
-	binary.LittleEndian.PutUint64(buf[headerSize:], seq)
-	copy(buf[headerSize+seqSize:], payload)
-	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(buf[headerSize:], castagnoli))
+	firstSeq := l.nextSeq
+	buf := make([]byte, 0, total)
+	seq := firstSeq
+	for _, p := range payloads {
+		off := len(buf)
+		buf = append(buf, make([]byte, headerSize+seqSize)...)
+		buf = append(buf, p...)
+		rec := buf[off:]
+		binary.LittleEndian.PutUint32(rec[0:], uint32(seqSize+len(p)))
+		binary.LittleEndian.PutUint64(rec[headerSize:], seq)
+		binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(rec[headerSize:], castagnoli))
+		seq++
+	}
 
 	if _, err := l.f.Write(buf); err != nil {
 		mAppendErrors.Inc()
 		// Roll the file back to the last full record so a partial
-		// write doesn't poison everything appended after it.
+		// write doesn't poison everything appended after it. Records
+		// other appenders wrote before us (awaiting a group fsync)
+		// live below l.size and are untouched.
 		if terr := l.f.Truncate(l.size); terr != nil {
 			l.wedged = true
+			l.mu.Unlock()
 			return 0, fmt.Errorf("wal: append failed (%v) and rollback failed: %w", err, terr)
 		}
+		l.mu.Unlock()
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
-	l.nextSeq++
+	l.nextSeq = seq
 	l.size += int64(len(buf))
 	l.dirty = true
-	mAppends.Inc()
+	mAppends.Add(uint64(len(payloads)))
 	mAppendBytes.Add(uint64(len(buf)))
+	if len(payloads) > 1 {
+		mBatchAppends.Inc()
+	}
 
 	switch l.opts.Policy {
 	case SyncAlways:
+		if l.opts.GroupCommit {
+			// Register as a group-commit waiter under the same lock
+			// hold as the write, then either lead a shared fsync round
+			// or park until a leader covers (or rolls back) us.
+			w := &groupWaiter{end: l.size, ch: make(chan error, 1)}
+			l.waiters = append(l.waiters, w)
+			lead := !l.syncing
+			if lead {
+				l.syncing = true
+			}
+			l.mu.Unlock()
+			if !lead {
+				werr := <-w.ch
+				if werr != errLead {
+					if werr != nil {
+						mAppendErrors.Inc()
+						return 0, werr
+					}
+					return firstSeq, nil
+				}
+			}
+			if err := l.leadGroup(w); err != nil {
+				mAppendErrors.Inc()
+				return 0, err
+			}
+			return firstSeq, nil
+		}
 		if err := l.syncLocked(); err != nil {
 			mAppendErrors.Inc()
-			// The kernel may have dropped the record's dirty pages, so
-			// its durability is unknown. Roll it back like a failed
-			// write: a mutation reported as failed must not silently
-			// replay after restart.
+			// The kernel may have dropped the records' dirty pages, so
+			// their durability is unknown. Roll the whole batch back
+			// like a failed write: a mutation reported as failed must
+			// not silently replay after restart.
 			if terr := l.f.Truncate(l.size - int64(len(buf))); terr != nil {
 				l.wedged = true
+				l.mu.Unlock()
 				return 0, fmt.Errorf("wal: fsync after append failed (%v) and rollback failed: %w", err, terr)
 			}
-			l.nextSeq = seq
+			l.nextSeq = firstSeq
 			l.size -= int64(len(buf))
 			l.dirty = false
+			l.synced = l.size
+			l.syncedSeq = firstSeq
+			l.mu.Unlock()
 			return 0, fmt.Errorf("wal: fsync after append: %w", err)
 		}
 	case SyncInterval:
@@ -330,7 +431,111 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			l.timer = l.opts.Clock.AfterFunc(l.opts.Interval, l.intervalSync)
 		}
 	}
-	return seq, nil
+	l.mu.Unlock()
+	return firstSeq, nil
+}
+
+// leadGroup runs one group-commit fsync round on behalf of every
+// waiter registered so far, with the lock released during the fsync so
+// racing appenders keep writing records for the next round. own is the
+// leader's waiter entry; its verdict is returned directly instead of
+// through the channel. On success, waiters covered by the round
+// resolve nil and leadership hands off to the first uncovered waiter.
+// On a failed fsync the leader truncates back to the durable boundary
+// — rolling back every unsynced record, including ones written while
+// the fsync was in flight — and every rolled-back waiter reports
+// failure, so no record reported as failed ever replays.
+func (l *Log) leadGroup(own *groupWaiter) error {
+	l.mu.Lock()
+	if l.closed || l.wedged || l.f == nil {
+		werr := ErrWedged
+		if l.closed || l.f == nil {
+			werr = errors.New("wal: log closed")
+		}
+		return l.finishGroupLocked(own, nil, werr)
+	}
+	batchEnd := l.size
+	batchSeq := l.nextSeq
+	f := l.f
+	l.mu.Unlock()
+
+	mFsyncs.Inc()
+	err := f.Sync()
+
+	l.mu.Lock()
+	if err == nil {
+		mGroupCommits.Inc()
+		if batchEnd > l.synced {
+			l.synced = batchEnd
+			l.syncedSeq = batchSeq
+		}
+		if l.size == l.synced {
+			l.dirty = false
+		}
+		return l.finishGroupLocked(own, nil, nil)
+	}
+	mFsyncErrors.Inc()
+	if l.closed || l.f == nil {
+		// The log was closed under the fsync (which is why it failed);
+		// report the records above the boundary as unresolved-closed.
+		return l.finishGroupLocked(own, nil, errors.New("wal: log closed"))
+	}
+	ferr := fmt.Errorf("wal: fsync after append: %w", err)
+	if terr := l.f.Truncate(l.synced); terr != nil {
+		// Rollback failed: the tail is in an unknown state. Wedge the
+		// log; the affected records' durability is unknown, so their
+		// appenders all see the wedge error.
+		l.wedged = true
+		return l.finishGroupLocked(own, nil,
+			fmt.Errorf("wal: fsync after append failed (%v) and rollback failed: %w", err, terr))
+	}
+	l.size = l.synced
+	l.nextSeq = l.syncedSeq
+	l.dirty = false
+	return l.finishGroupLocked(own, nil, ferr)
+}
+
+// finishGroupLocked resolves this round's waiters and releases l.mu.
+// Waiters at or below the durable boundary get okErr (nil on a
+// successful round); everyone else gets failErr — except that when
+// failErr is nil only covered waiters resolve, the rest stay parked
+// and the first of them is promoted to lead the next round. Returns
+// own's verdict.
+func (l *Log) finishGroupLocked(own *groupWaiter, okErr, failErr error) error {
+	ownErr := okErr
+	rest := l.waiters[:0]
+	for _, w := range l.waiters {
+		var verdict error
+		switch {
+		case w.end <= l.synced:
+			// A successful round (or a racing full Sync) made this
+			// record durable; rollbacks never truncate below the
+			// durable boundary, so it survives regardless of failErr.
+			verdict = okErr
+		case failErr == nil:
+			// Successful round that didn't reach this record: leave it
+			// parked for the next round.
+			rest = append(rest, w)
+			continue
+		default:
+			verdict = failErr
+		}
+		if w == own {
+			ownErr = verdict
+		} else {
+			w.ch <- verdict
+		}
+	}
+	l.waiters = rest
+	if len(l.waiters) == 0 {
+		l.syncing = false
+	} else {
+		// Hand leadership to the first parked waiter; it stays in the
+		// list so the next round resolves it as its own.
+		l.waiters[0].ch <- errLead
+	}
+	l.mu.Unlock()
+	return ownErr
 }
 
 func (l *Log) intervalSync() {
@@ -351,6 +556,8 @@ func (l *Log) syncLocked() error {
 		return err
 	}
 	l.dirty = false
+	l.synced = l.size
+	l.syncedSeq = l.nextSeq
 	return nil
 }
 
@@ -407,6 +614,8 @@ func (l *Log) Reset() error {
 	l.size = 0
 	l.dirty = false
 	l.wedged = false
+	l.synced = 0
+	l.syncedSeq = l.nextSeq
 	if l.opts.Policy != SyncNone {
 		mFsyncs.Inc()
 		if err := l.f.Sync(); err != nil {

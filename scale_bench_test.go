@@ -1,0 +1,209 @@
+package rnl
+
+// Scenario-scale benchmarks (BENCH_scale.json): generated topologies at
+// 100/500/1000 routers measuring what the deploy pipeline costs —
+// deploy-with-restore time (sequential baseline vs the bounded worker
+// pool), teardown time, control-plane recovery replay of the deploy's
+// journal, and steady-state forwarding alongside a large deployed lab.
+//
+// RNL_SCALE=smoke shrinks every case to a 12-router lab: the 1-iteration
+// smoke `make verify` runs to keep this harness compiling and honest
+// without paying benchmark time.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rnl/internal/lab"
+	"rnl/internal/netsim"
+	"rnl/internal/ris"
+	"rnl/internal/routeserver"
+	"rnl/internal/topogen"
+	"rnl/internal/wal"
+)
+
+// scaleSmoke reports whether the harness runs in verify's smoke mode.
+func scaleSmoke() bool { return os.Getenv("RNL_SCALE") == "smoke" }
+
+// scaleCloud stands up a cloud (fsync-always, group commit) with a
+// generated ring fleet of n routers joined behind shared RIS agents.
+func scaleCloud(b *testing.B, n int, stateDir string) (*lab.Cloud, *topogen.Topology) {
+	b.Helper()
+	top, err := topogen.Generate(topogen.Params{
+		Kind: topogen.Ring, N: n, Seed: 1, Name: fmt.Sprintf("scale-%d", n),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := lab.NewCloud(lab.Options{
+		Logger:         quietLogger(),
+		StateDir:       stateDir,
+		WALFsync:       wal.SyncAlways,
+		WALGroupCommit: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.AddGeneratedFleet(top, 64); err != nil {
+		c.Close()
+		b.Fatal(err)
+	}
+	return c, top
+}
+
+// BenchmarkScaleDeploy measures deploy-with-restore and teardown of
+// generated labs. The workers=1 case is the sequential baseline the
+// parallel pipeline is judged against (acceptance: ≥3× at equal size).
+func BenchmarkScaleDeploy(b *testing.B) {
+	cases := []struct {
+		routers, workers int
+	}{
+		{100, 1},
+		{100, 8},
+		{500, 8},
+		{1000, 8},
+	}
+	if scaleSmoke() {
+		cases = []struct{ routers, workers int }{{12, 1}, {12, 8}}
+	}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("routers=%d/workers=%d", tc.routers, tc.workers), func(b *testing.B) {
+			c, top := scaleCloud(b, tc.routers, b.TempDir())
+			defer c.Close()
+			var deployNs, teardownNs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if err := c.DeployDesignRestore(context.Background(), top.Design, tc.workers); err != nil {
+					b.Fatal(err)
+				}
+				t1 := time.Now()
+				if err := c.RS.Teardown(top.Design.Name); err != nil {
+					b.Fatal(err)
+				}
+				deployNs += t1.Sub(t0).Nanoseconds()
+				teardownNs += time.Since(t1).Nanoseconds()
+			}
+			b.ReportMetric(float64(deployNs)/1e6/float64(b.N), "deploy-ms/op")
+			b.ReportMetric(float64(teardownNs)/1e6/float64(b.N), "teardown-ms/op")
+		})
+	}
+}
+
+// BenchmarkScaleRecovery deploys a generated lab into a journaled state
+// dir, then measures a cold control-plane recovery (snapshot restore +
+// journal replay) from a copy of those files — the crash-restart cost
+// at scale, which must hold PR 9's replay bar.
+func BenchmarkScaleRecovery(b *testing.B) {
+	n := 500
+	if scaleSmoke() {
+		n = 12
+	}
+	b.Run(fmt.Sprintf("routers=%d", n), func(b *testing.B) {
+		src := b.TempDir()
+		c, top := scaleCloud(b, n, src)
+		defer c.Close()
+		if err := c.DeployDesignRestore(context.Background(), top.Design, 0); err != nil {
+			b.Fatal(err)
+		}
+		// Copy the quiesced state files: recovery runs against the
+		// journal exactly as the deploy left it on disk.
+		cp := b.TempDir()
+		for _, f := range []string{"routeserver.json", routeserver.WALFile} {
+			data, err := os.ReadFile(filepath.Join(src, f))
+			if err != nil && !os.IsNotExist(err) {
+				b.Fatal(err)
+			}
+			if err == nil {
+				if err := os.WriteFile(filepath.Join(cp, f), data, 0o644); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		records := 0
+		if st, err := wal.OpenStore(filepath.Join(cp, "routeserver.json"), filepath.Join(cp, routeserver.WALFile), wal.Options{Policy: wal.SyncNone}); err == nil {
+			_, _ = st.Replay(func(uint64, []byte) error { records++; return nil })
+			st.Close()
+		}
+		var recoverNs int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			for _, f := range []string{"routeserver.json", routeserver.WALFile} {
+				if data, err := os.ReadFile(filepath.Join(cp, f)); err == nil {
+					if err := os.WriteFile(filepath.Join(dir, f), data, 0o644); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StartTimer()
+			t0 := time.Now()
+			rs := routeserver.New(routeserver.Options{Logger: quietLogger(), StateDir: dir})
+			recoverNs += time.Since(t0).Nanoseconds()
+			b.StopTimer()
+			rs.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(recoverNs)/1e6/float64(b.N), "recovery-ms/op")
+		b.ReportMetric(float64(records), "journal-records")
+	})
+}
+
+// BenchmarkScalePPS measures steady-state forwarded packets/sec through
+// a probe lab while a large generated lab stays deployed on the same
+// route server — the control plane's scale must not tax the data plane.
+func BenchmarkScalePPS(b *testing.B) {
+	n := 500
+	if scaleSmoke() {
+		n = 12
+	}
+	b.Run(fmt.Sprintf("deployed=%d", n), func(b *testing.B) {
+		c, top := scaleCloud(b, n, b.TempDir())
+		defer c.Close()
+		if err := c.DeployDesignRestore(context.Background(), top.Design, 0); err != nil {
+			b.Fatal(err)
+		}
+		// Probe lab: two bare ports joined through their own agent.
+		join := func(name string) (*netsim.Iface, routeserver.PortKey, func()) {
+			dev := netsim.NewIface(name + "-dev")
+			nic := netsim.NewIface(name + "-nic")
+			w := netsim.Connect(dev, nic, nil)
+			ag, err := ris.New(ris.Config{
+				ServerAddr: c.TunnelAddr, PCName: name,
+				Routers: []ris.RouterDef{{Name: name, Ports: []ris.PortMap{{Name: "p0", NIC: nic}}}},
+			}, quietLogger())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ag.Start(); err != nil {
+				b.Fatal(err)
+			}
+			rid, pid, _ := ag.PortID(name, "p0")
+			return dev, routeserver.PortKey{Router: rid, Port: pid}, func() { ag.Close(); w.Disconnect() }
+		}
+		aDev, pkA, closeA := join("scale-probe-a")
+		defer closeA()
+		bDev, pkB, closeB := join("scale-probe-b")
+		defer closeB()
+		var got atomic.Uint64
+		bDev.SetReceiver(func([]byte) { got.Add(1) })
+		if err := c.RS.Deploy("scale-probe", []routeserver.Link{{A: pkA, B: pkB}}); err != nil {
+			b.Fatal(err)
+		}
+		const size = 512
+		frames := templateFrames(64, size)
+		b.SetBytes(size)
+		b.ResetTimer()
+		t0 := time.Now()
+		pumpWindowed(b, frames, 128, aDev.Transmit, got.Load)
+		if el := time.Since(t0).Seconds(); el > 0 {
+			b.ReportMetric(float64(b.N)/el, "pps")
+		}
+	})
+}
